@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks for the RDDR engine: the per-exchange costs
+//! behind the paper's "low performance impact beyond the cost of
+//! replicating microservices" claim, plus the N-sweep ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rddr_core::protocol::LineProtocol;
+use rddr_core::{
+    diff_segments, EngineConfig, EphemeralStore, NVersionEngine, NoiseMask, Segment,
+    SignatureThrottle, VarianceRule, VarianceRules,
+};
+
+fn segments(lines: usize, salt: &str) -> Vec<Segment> {
+    (0..lines)
+        .map(|i| Segment::new("line", format!("row {i} value {salt}").into_bytes()))
+        .collect()
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_segments");
+    for &lines in &[10usize, 100, 1000] {
+        let identical: Vec<Vec<Segment>> =
+            (0..3).map(|_| segments(lines, "same")).collect();
+        group.bench_with_input(
+            BenchmarkId::new("unanimous_3way", lines),
+            &identical,
+            |b, segs| {
+                b.iter(|| {
+                    diff_segments(
+                        std::hint::black_box(segs),
+                        &NoiseMask::none(),
+                        &VarianceRules::new(),
+                    )
+                })
+            },
+        );
+        let mut divergent = identical.clone();
+        divergent[2][lines / 2] = Segment::new("line", b"LEAKED ROW".to_vec());
+        group.bench_with_input(
+            BenchmarkId::new("divergent_3way", lines),
+            &divergent,
+            |b, segs| {
+                b.iter(|| {
+                    diff_segments(
+                        std::hint::black_box(segs),
+                        &NoiseMask::none(),
+                        &VarianceRules::new(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_denoise(c: &mut Criterion) {
+    let a = segments(100, "sid=aaaa1111");
+    let b = segments(100, "sid=bbbb2222");
+    c.bench_function("noise_mask_from_filter_pair_100_lines", |bench| {
+        bench.iter(|| NoiseMask::from_filter_pair(std::hint::black_box(&a), &b))
+    });
+}
+
+fn bench_variance(c: &mut Criterion) {
+    let mut rules = VarianceRules::new();
+    rules.push(VarianceRule::new("http:header:server", "*").unwrap());
+    rules.push(VarianceRule::any_label("*nginx/1.13.*").unwrap());
+    let segs: Vec<Vec<Segment>> = (0..3).map(|_| segments(100, "x")).collect();
+    c.bench_function("diff_with_variance_rules_100_lines", |b| {
+        b.iter(|| diff_segments(std::hint::black_box(&segs), &NoiseMask::none(), &rules))
+    });
+}
+
+fn bench_ephemeral(c: &mut Criterion) {
+    let pages: Vec<Vec<u8>> = [b'A', b'B', b'C']
+        .iter()
+        .map(|c| {
+            let token: String = (0..12).map(|_| *c as char).collect();
+            format!("<input name='csrf' value='{token}'>").into_bytes()
+        })
+        .collect();
+    c.bench_function("ephemeral_scan_position", |b| {
+        b.iter(|| {
+            let mut store = EphemeralStore::new();
+            let views: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+            store.scan_position(std::hint::black_box(&views))
+        })
+    });
+    c.bench_function("ephemeral_substitute", |b| {
+        let mut store = EphemeralStore::new();
+        let views: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+        store.scan_position(&views).expect("token captured");
+        let request = b"POST /f token=AAAAAAAAAAAA rest-of-request";
+        b.iter(|| store.substitute(std::hint::black_box(request), 2))
+    });
+}
+
+fn bench_engine_n_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_exchange_vs_n");
+    for n in 2..=6usize {
+        let responses: Vec<Vec<u8>> =
+            (0..n).map(|_| b"alpha\nbravo\ncharlie\n".to_vec()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &responses, |b, resp| {
+            let mut engine = NVersionEngine::new(
+                EngineConfig::builder(n).build().unwrap(),
+                LineProtocol::new(),
+            );
+            b.iter(|| engine.evaluate_responses(std::hint::black_box(resp)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_throttle(c: &mut Criterion) {
+    let mut throttle = SignatureThrottle::new(0);
+    throttle.record(b"known-bad-input");
+    c.bench_function("signature_throttle_lookup", |b| {
+        b.iter(|| throttle.should_refuse(std::hint::black_box(b"candidate-request")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_denoise,
+    bench_variance,
+    bench_ephemeral,
+    bench_engine_n_sweep,
+    bench_throttle
+);
+criterion_main!(benches);

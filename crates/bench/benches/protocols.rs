@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the protocol modules (§IV-B1): framing
+//! and tokenization throughput for HTTP, PostgreSQL wire, and JSON.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rddr_core::{Direction, Frame, Protocol};
+use rddr_protocols::pg::PgMessage;
+use rddr_protocols::{parse_json, HttpProtocol, JsonProtocol, PgProtocol};
+
+fn http_response(body_lines: usize) -> Vec<u8> {
+    let body: String = (0..body_lines)
+        .map(|i| format!("row {i}: some data payload\n"))
+        .collect();
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nX-Trace: abc\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn bench_http(c: &mut Criterion) {
+    let p = HttpProtocol::new();
+    let mut group = c.benchmark_group("http");
+    for &lines in &[10usize, 100, 1000] {
+        let wire = http_response(lines);
+        group.bench_with_input(BenchmarkId::new("split_frames", lines), &wire, |b, w| {
+            b.iter(|| {
+                let mut buf = BytesMut::from(&w[..]);
+                p.split_frames(std::hint::black_box(&mut buf), Direction::Response)
+                    .unwrap()
+            })
+        });
+        let frame = Frame::new("http:response", wire.clone());
+        group.bench_with_input(BenchmarkId::new("tokenize", lines), &frame, |b, f| {
+            b.iter(|| p.tokenize(std::hint::black_box(f)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pg(c: &mut Criterion) {
+    let p = PgProtocol::new();
+    let mut wire = Vec::new();
+    wire.extend(PgMessage { tag: b'T', payload: "col_a\u{1f}col_b".as_bytes().to_vec() }.encode());
+    for i in 0..100 {
+        wire.extend(
+            PgMessage { tag: b'D', payload: format!("{i}\u{1f}value-{i}").into_bytes() }
+                .encode(),
+        );
+    }
+    wire.extend(PgMessage { tag: b'C', payload: b"SELECT 100".to_vec() }.encode());
+    wire.extend(PgMessage { tag: b'Z', payload: b"I".to_vec() }.encode());
+    c.bench_function("pg_split_frames_100_rows", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&wire[..]);
+            p.split_frames(std::hint::black_box(&mut buf), Direction::Response).unwrap()
+        })
+    });
+}
+
+fn bench_json(c: &mut Criterion) {
+    let doc = r#"{"user":{"id":42,"name":"ada","roles":["admin","dev"],
+        "profile":{"bio":"pioneer","links":[{"url":"https://a"},{"url":"https://b"}]}},
+        "balance":1234.56,"active":true,"tags":null}"#;
+    c.bench_function("json_parse_nested", |b| {
+        b.iter(|| parse_json(std::hint::black_box(doc)).unwrap())
+    });
+    let p = JsonProtocol::new();
+    let frame = Frame::new("json:document", format!("{}\n", doc.replace('\n', " ")));
+    c.bench_function("json_tokenize_structural", |b| {
+        b.iter(|| p.tokenize(std::hint::black_box(&frame)))
+    });
+}
+
+criterion_group!(benches, bench_http, bench_pg, bench_json);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Regenerates **Figure 4**: TPC-H performance of the 3-versioned RDDR
+//! deployment normalized to a single-instance baseline, for 1–16 concurrent
+//! clients.
+//!
+//! The paper reports, per client count, box statistics over the per-query
+//! normalized values: execution time (top), CPU (middle), and memory
+//! (bottom). Expected shapes: memory ≈ 3×; CPU ≈ 3× at one client,
+//! dropping as the baseline too saturates the cores; time overhead
+//! approaching a constant.
+//!
+//! ```text
+//! cargo run --release -p rddr-bench --bin fig4_tpch
+//!   RDDR_TPCH_SF=0.1        # scale factor (default 0.1)
+//!   RDDR_VCPUS=32           # node size (default 32, the paper's m5a.8xlarge)
+//!   RDDR_TPCH_ROUNDS=1      # measured repetitions after warmup
+//! ```
+
+use rddr_bench::deploy::{deploy_pg_baseline, deploy_pg_rddr, PgDeployment};
+use rddr_bench::driver::run_tpch;
+use rddr_bench::{env_f64, env_usize, Summary};
+use rddr_pgsim::{tpch, Database, PgServerConfig};
+use std::time::Duration;
+
+/// Runs warmup + measured rounds, returning per-query best-of-rounds times
+/// (min filters host-scheduling noise — this harness also runs on small
+/// machines, unlike the paper's 32-core testbed) and the peak vCPU
+/// utilization observed during the measured window (the paper's "CPU max").
+fn measure(
+    deployment: &PgDeployment,
+    clients: usize,
+    rounds: usize,
+) -> (Vec<(u32, f64)>, f64) {
+    run_tpch(deployment, clients); // warmup: caches, thread pools, memory
+    let governor = deployment.cluster.governor();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler_stop = std::sync::Arc::clone(&stop);
+    let sampler_gov = governor.clone();
+    let sampler = std::thread::spawn(move || {
+        let mut peak = 0.0f64;
+        while !sampler_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            peak = peak.max(sampler_gov.utilization());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        peak
+    });
+    let mut acc: Vec<(u32, f64)> = Vec::new();
+    for _ in 0..rounds {
+        let times = run_tpch(deployment, clients);
+        if acc.is_empty() {
+            acc = times;
+        } else {
+            for (slot, (q, t)) in acc.iter_mut().zip(times) {
+                assert_eq!(slot.0, q);
+                slot.1 = slot.1.min(t);
+            }
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let peak_utilization = sampler.join().expect("sampler thread");
+    (acc, peak_utilization)
+}
+
+fn main() {
+    let sf = env_f64("RDDR_TPCH_SF", 0.1);
+    let vcpus = env_usize("RDDR_VCPUS", 32);
+    // Simulated cost dominates real execution so the figure's shape does
+    // not depend on the host's core count (the paper used 32 real cores).
+    let time_scale = env_f64("RDDR_TIME_SCALE", 1.0);
+    let rounds = env_usize("RDDR_TPCH_ROUNDS", 1);
+    let cost = PgServerConfig {
+        base_cost: Duration::from_millis(2),
+        cost_per_row: Duration::from_micros(10),
+    };
+    let seed = move |db: &mut Database| tpch::load(db, sf).expect("tpch loads");
+
+    println!("RDDR reproduction — Figure 4: TPC-H, 3-version RDDR vs 1x Postgres");
+    println!("scale factor {sf}, {vcpus} vCPUs, 21 queries, {rounds} measured rounds\n");
+    println!(
+        "{:>7}  {:<46}  {:>8}  {:>8}",
+        "clients", "normalized time (box over 21 queries)", "CPU util", "peak mem"
+    );
+
+    for clients in [1usize, 2, 4, 8, 16] {
+        // Fresh deployments per client count so meters start clean.
+        let baseline = deploy_pg_baseline(&seed, cost, vcpus, time_scale);
+        let rddr = deploy_pg_rddr(&seed, cost, vcpus, time_scale);
+
+        let (base_times, base_util) = measure(&baseline, clients, rounds);
+        let (rddr_times, rddr_util) = measure(&rddr, clients, rounds);
+        let base_usage = baseline.usage();
+        let rddr_usage = rddr.usage();
+
+        let normalized: Vec<f64> = base_times
+            .iter()
+            .zip(&rddr_times)
+            .map(|((qa, base), (qb, ours))| {
+                assert_eq!(qa, qb);
+                ours / base.max(1e-9)
+            })
+            .collect();
+        let time_summary = Summary::of(&normalized);
+        let cpu_ratio = rddr_util / base_util.max(1e-9);
+        let mem_ratio =
+            rddr_usage.mem_peak_bytes as f64 / base_usage.mem_peak_bytes.max(1) as f64;
+        println!("{clients:>7}  {time_summary:<46}  {cpu_ratio:>7.2}x  {mem_ratio:>7.2}x");
+        if let Some(stats) = rddr.proxy_stats() {
+            assert_eq!(
+                stats.divergences, 0,
+                "identical instances must not diverge under TPC-H"
+            );
+        }
+    }
+    println!(
+        "\nshape check: memory ~3x throughout; CPU ~3x at 1 client dropping \
+         toward 1x as the baseline saturates too; time overhead approaches \
+         a constant rather than growing with clients."
+    );
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 5**: pgbench throughput and latency for RDDR vs
+//! "1x Postgres + Envoy" vs "1x Postgres", for 1–256 clients (powers of
+//! two).
+//!
+//! Expected shapes (on a 32-vCPU node): RDDR within ~10–15% of the Envoy
+//! baseline up to ~8–16 clients, then tapering off as its three instances
+//! exhaust the node's parallelism ~3× sooner than the baselines.
+//!
+//! ```text
+//! cargo run --release -p rddr-bench --bin fig5_pgbench
+//!   RDDR_PGBENCH_SCALE=2    # branches (default 2 => 2000 accounts)
+//!   RDDR_PGBENCH_TXNS=100   # transactions per client (paper: 10,000)
+//!   RDDR_VCPUS=32
+//! ```
+
+use rddr_bench::deploy::{
+    deploy_pg_baseline, deploy_pg_envoy, deploy_pg_rddr, PgDeployment, PG_COST_MODEL,
+};
+use rddr_bench::driver::run_pgbench;
+use rddr_bench::{env_f64, env_usize};
+use rddr_pgsim::{pgbench, Database};
+
+fn main() {
+    let scale = env_usize("RDDR_PGBENCH_SCALE", 2);
+    let txns = env_usize("RDDR_PGBENCH_TXNS", 100);
+    let vcpus = env_usize("RDDR_VCPUS", 32);
+    let time_scale = env_f64("RDDR_TIME_SCALE", 1.0);
+    let accounts = scale * pgbench::ACCOUNTS_PER_BRANCH;
+    let seed = move |db: &mut Database| {
+        pgbench::load(db, scale).expect("pgbench loads");
+    };
+
+    println!("RDDR reproduction — Figure 5: pgbench SELECT-only");
+    println!("scale {scale} ({accounts} accounts), {txns} transactions/client, {vcpus} vCPUs\n");
+    println!(
+        "{:>7}  {:>14} {:>14} {:>14}    {:>12} {:>12} {:>12}",
+        "clients", "rddr tps", "envoy tps", "bare tps", "rddr ms", "envoy ms", "bare ms"
+    );
+
+    let clients_series = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    for clients in clients_series {
+        let deployments: Vec<PgDeployment> = vec![
+            deploy_pg_rddr(&seed, PG_COST_MODEL, vcpus, time_scale),
+            deploy_pg_envoy(&seed, PG_COST_MODEL, vcpus, time_scale),
+            deploy_pg_baseline(&seed, PG_COST_MODEL, vcpus, time_scale),
+        ];
+        let mut tps = Vec::new();
+        let mut lat = Vec::new();
+        for d in &deployments {
+            let outcome = run_pgbench(d, accounts, clients, txns);
+            assert_eq!(
+                outcome.transactions as usize,
+                clients * txns,
+                "{} deployment dropped transactions at {clients} clients",
+                d.label
+            );
+            tps.push(outcome.throughput());
+            lat.push(outcome.mean_latency_ms());
+        }
+        println!(
+            "{clients:>7}  {:>14.0} {:>14.0} {:>14.0}    {:>12.2} {:>12.2} {:>12.2}",
+            tps[0], tps[1], tps[2], lat[0], lat[1], lat[2]
+        );
+    }
+    println!(
+        "\nshape check: rddr tracks the baselines at low client counts and \
+         flattens ~3x earlier once the {vcpus} vCPUs are exhausted."
+    );
+}

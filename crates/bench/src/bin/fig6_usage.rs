@@ -1,0 +1,146 @@
+//! Regenerates **Figure 6**: CPU-utilization and memory time series for the
+//! three deployments while serving 16 and 128 simultaneous clients.
+//!
+//! Clients include a small think time, modelling the paper's separate
+//! client machine and its network round trip; without it every deployment
+//! pins the vCPUs instantly and the 16-client contrast disappears.
+//!
+//! Expected shapes: memory flat at ≈3× for RDDR throughout; at 16 clients
+//! RDDR's CPU ≈3× the baselines; at 128 clients RDDR is pinned near 100%
+//! while the baselines sit lower.
+//!
+//! ```text
+//! cargo run --release -p rddr-bench --bin fig6_usage
+//!   RDDR_PGBENCH_SCALE=2  RDDR_PGBENCH_TXNS=150  RDDR_VCPUS=32  RDDR_THINK_MS=10
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rddr_bench::deploy::{
+    deploy_pg_baseline, deploy_pg_envoy, deploy_pg_rddr, PgDeployment, PG_COST_MODEL,
+};
+use rddr_bench::driver::run_pgbench_think;
+use rddr_bench::{env_f64, env_usize};
+use rddr_pgsim::{pgbench, Database};
+
+struct Series {
+    label: &'static str,
+    /// `(t seconds, cpu utilization 0..1, memory MB)` samples.
+    samples: Vec<(f64, f64, f64)>,
+}
+
+fn sample_run(
+    deployment: PgDeployment,
+    accounts: usize,
+    clients: usize,
+    txns: usize,
+    think: Duration,
+    vcpus: usize,
+) -> Series {
+    let label = deployment.label;
+    let done = Arc::new(AtomicBool::new(false));
+    let sampler_done = Arc::clone(&done);
+    let governor = deployment.cluster.governor();
+    let usage_cluster = &deployment.cluster;
+    let mut samples = Vec::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let driver = scope.spawn(|| {
+            run_pgbench_think(&deployment, accounts, clients, txns, think);
+            sampler_done.store(true, Ordering::Relaxed);
+        });
+        let interval = Duration::from_millis(100);
+        let mut busy_prev = governor.busy_micros();
+        let mut t_prev = t0;
+        while !done.load(Ordering::Relaxed) {
+            std::thread::sleep(interval);
+            let now = Instant::now();
+            let busy_now = governor.busy_micros();
+            let dt = now.duration_since(t_prev).as_secs_f64();
+            // Duty-cycle utilization over the sample interval.
+            let cpu = ((busy_now - busy_prev) as f64 / 1e6) / (dt * vcpus as f64);
+            let usage = usage_cluster.usage("");
+            samples.push((
+                t0.elapsed().as_secs_f64(),
+                cpu.min(1.0),
+                usage.mem_bytes as f64 / (1024.0 * 1024.0),
+            ));
+            busy_prev = busy_now;
+            t_prev = now;
+        }
+        driver.join().expect("driver thread");
+    });
+    Series { label, samples }
+}
+
+fn main() {
+    let scale = env_usize("RDDR_PGBENCH_SCALE", 2);
+    let txns = env_usize("RDDR_PGBENCH_TXNS", 150);
+    let vcpus = env_usize("RDDR_VCPUS", 32);
+    let think = Duration::from_millis(env_usize("RDDR_THINK_MS", 10) as u64);
+    let time_scale = env_f64("RDDR_TIME_SCALE", 1.0);
+    let accounts = scale * pgbench::ACCOUNTS_PER_BRANCH;
+    let seed = move |db: &mut Database| {
+        pgbench::load(db, scale).expect("pgbench loads");
+    };
+
+    println!("RDDR reproduction — Figure 6: CPU and memory usage over time");
+    println!(
+        "scale {scale}, {txns} txns/client, think {think:?}, {vcpus} vCPUs\n"
+    );
+    for clients in [16usize, 128] {
+        println!("=== {clients} clients ===");
+        println!("{:<8} {:>8} {:>10} {:>12}", "deploy", "t(s)", "cpu(%)", "mem(MB)");
+        let mut peaks: Vec<(&'static str, f64, f64)> = Vec::new();
+        for series in [
+            sample_run(
+                deploy_pg_rddr(&seed, PG_COST_MODEL, vcpus, time_scale),
+                accounts,
+                clients,
+                txns,
+                think,
+                vcpus,
+            ),
+            sample_run(
+                deploy_pg_envoy(&seed, PG_COST_MODEL, vcpus, time_scale),
+                accounts,
+                clients,
+                txns,
+                think,
+                vcpus,
+            ),
+            sample_run(
+                deploy_pg_baseline(&seed, PG_COST_MODEL, vcpus, time_scale),
+                accounts,
+                clients,
+                txns,
+                think,
+                vcpus,
+            ),
+        ] {
+            for (t, cpu, mem) in &series.samples {
+                println!(
+                    "{:<8} {:>8.1} {:>10.1} {:>12.2}",
+                    series.label,
+                    t,
+                    cpu * 100.0,
+                    mem
+                );
+            }
+            let peak_cpu = series.samples.iter().map(|(_, c, _)| *c).fold(0.0, f64::max);
+            let peak_mem = series.samples.iter().map(|(_, _, m)| *m).fold(0.0, f64::max);
+            peaks.push((series.label, peak_cpu, peak_mem));
+        }
+        println!("--- summary ({clients} clients) ---");
+        for (label, cpu, mem) in &peaks {
+            println!("{label:<8} peak cpu {:>5.1}%  peak mem {mem:.2} MB", cpu * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "shape check: rddr memory ~3x the baselines and flat; rddr CPU ~3x the \
+         baselines at 16 clients and pinned near 100% at 128 clients."
+    );
+}

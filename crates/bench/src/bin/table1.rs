@@ -1,0 +1,59 @@
+//! Regenerates **Table I**: the ten vulnerability-mitigation scenarios.
+//!
+//! ```text
+//! cargo run -p rddr-bench --bin table1 [--only <substring>] [--verbose]
+//! ```
+
+use rddr_vulns::{render_table, MitigationReport, TableRow, TABLE_I};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let verbose = args.iter().any(|a| a == "--verbose");
+
+    let rows: Vec<&TableRow> = TABLE_I
+        .iter()
+        .filter(|r| {
+            only.as_deref().is_none_or(|needle| {
+                r.cve.to_ascii_lowercase().contains(&needle.to_ascii_lowercase())
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        eprintln!("no Table I row matches {only:?}");
+        std::process::exit(2);
+    }
+
+    println!("RDDR reproduction — Table I: vulnerability mitigations\n");
+    let mut results: Vec<(&TableRow, MitigationReport)> = Vec::new();
+    for row in rows {
+        eprint!("running {:<16} ... ", row.cve);
+        let t0 = std::time::Instant::now();
+        let report = (row.run)();
+        eprintln!(
+            "{} ({:.2}s)",
+            if report.mitigated() { "mitigated" } else { "NOT MITIGATED" },
+            t0.elapsed().as_secs_f64()
+        );
+        results.push((row, report));
+    }
+    println!("{}", render_table(&results));
+    if verbose {
+        for (_, report) in &results {
+            println!("{report}");
+        }
+    }
+    let failures = results.iter().filter(|(_, r)| !r.mitigated()).count();
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) NOT mitigated");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} scenarios mitigated; benign traffic unaffected in every case",
+        results.len()
+    );
+}

@@ -1,0 +1,195 @@
+//! Client drivers: spawn N concurrent clients against a deployment and
+//! collect throughput/latency, pgbench-style.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rddr_net::Network;
+use rddr_pgsim::{pgbench::SelectWorkload, PgClient};
+
+use crate::deploy::PgDeployment;
+
+/// The outcome of one multi-client run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Total transactions completed.
+    pub transactions: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-transaction latencies (seconds), all clients pooled.
+    pub latencies: Vec<f64>,
+}
+
+impl RunOutcome {
+    /// Transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.transactions as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64 * 1000.0
+    }
+}
+
+/// Runs the pgbench SELECT-only script: `clients` threads, each issuing
+/// `transactions_per_client` point queries over `accounts` rows
+/// ("each client is executed in a separate thread and makes "10,000" SELECT
+/// transactions against each deployment", §V-G2).
+pub fn run_pgbench(
+    deployment: &PgDeployment,
+    accounts: usize,
+    clients: usize,
+    transactions_per_client: usize,
+) -> RunOutcome {
+    run_pgbench_think(deployment, accounts, clients, transactions_per_client, Duration::ZERO)
+}
+
+/// Like [`run_pgbench`] with per-transaction client think time, modelling
+/// the paper's separate client machine and its network round trip (used by
+/// the Figure 6 harness to reproduce sub-saturation utilization levels).
+pub fn run_pgbench_think(
+    deployment: &PgDeployment,
+    accounts: usize,
+    clients: usize,
+    transactions_per_client: usize,
+    think: Duration,
+) -> RunOutcome {
+    let net = Arc::new(deployment.cluster.net());
+    let addr = deployment.addr.clone();
+    let t0 = Instant::now();
+    let mut threads = Vec::with_capacity(clients);
+    for client_id in 0..clients {
+        let net = Arc::clone(&net);
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(transactions_per_client);
+            let Ok(conn) = net.dial(&addr) else {
+                return (0u64, latencies);
+            };
+            let Ok(mut client) = PgClient::connect(conn, "app") else {
+                return (0u64, latencies);
+            };
+            let mut workload = SelectWorkload::new(accounts, client_id as u64);
+            let mut done = 0u64;
+            for _ in 0..transactions_per_client {
+                let sql = workload.next_query();
+                let q0 = Instant::now();
+                match client.query(&sql) {
+                    Ok(resp) if resp.error.is_none() => {
+                        latencies.push(q0.elapsed().as_secs_f64());
+                        done += 1;
+                    }
+                    _ => break,
+                }
+                if !think.is_zero() {
+                    std::thread::sleep(think);
+                }
+            }
+            (done, latencies)
+        }));
+    }
+    let mut transactions = 0;
+    let mut latencies = Vec::new();
+    for t in threads {
+        let (done, lats) = t.join().expect("client thread");
+        transactions += done;
+        latencies.extend(lats);
+    }
+    RunOutcome { transactions, elapsed: t0.elapsed(), latencies }
+}
+
+/// Runs the TPC-H query stream on `clients` concurrent connections; every
+/// client executes the full 21-query set. Returns per-query mean wall time
+/// (seconds) indexed by query number.
+pub fn run_tpch(
+    deployment: &PgDeployment,
+    clients: usize,
+) -> Vec<(u32, f64)> {
+    use rddr_pgsim::tpch::{benchmark_query_numbers, QUERIES};
+    let numbers = benchmark_query_numbers();
+    let net = Arc::new(deployment.cluster.net());
+    let addr = deployment.addr.clone();
+    let mut threads = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let net = Arc::clone(&net);
+        let addr = addr.clone();
+        let numbers = numbers.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut times = vec![0.0f64; numbers.len()];
+            let Ok(conn) = net.dial(&addr) else {
+                return times;
+            };
+            let Ok(mut client) = PgClient::connect(conn, "app") else {
+                return times;
+            };
+            for (i, number) in numbers.iter().enumerate() {
+                let query = QUERIES
+                    .iter()
+                    .find(|q| q.number == *number)
+                    .expect("benchmark set is a subset of QUERIES");
+                let q0 = Instant::now();
+                let result = client.query(query.sql);
+                assert!(
+                    matches!(&result, Ok(r) if r.error.is_none()),
+                    "Q{number} failed: {result:?}"
+                );
+                times[i] = q0.elapsed().as_secs_f64();
+            }
+            times
+        }));
+    }
+    let per_client: Vec<Vec<f64>> =
+        threads.into_iter().map(|t| t.join().expect("tpch client")).collect();
+    numbers
+        .iter()
+        .enumerate()
+        .map(|(i, number)| {
+            let mean =
+                per_client.iter().map(|c| c[i]).sum::<f64>() / per_client.len() as f64;
+            (*number, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::{deploy_pg_baseline, deploy_pg_rddr};
+    use rddr_pgsim::{pgbench, Database, PgServerConfig};
+    use std::time::Duration;
+
+    fn seed(db: &mut Database) {
+        pgbench::load(db, 1).unwrap();
+    }
+
+    fn quick() -> PgServerConfig {
+        PgServerConfig {
+            base_cost: Duration::from_micros(20),
+            cost_per_row: Duration::from_micros(1),
+        }
+    }
+
+    #[test]
+    fn pgbench_driver_completes_all_transactions() {
+        let d = deploy_pg_baseline(&seed, quick(), 8, 0.01);
+        let outcome = run_pgbench(&d, 1000, 4, 25);
+        assert_eq!(outcome.transactions, 100);
+        assert_eq!(outcome.latencies.len(), 100);
+        assert!(outcome.throughput() > 0.0);
+        assert!(outcome.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn pgbench_through_rddr_matches_baseline_results() {
+        let d = deploy_pg_rddr(&seed, quick(), 8, 0.01);
+        let outcome = run_pgbench(&d, 1000, 2, 20);
+        assert_eq!(outcome.transactions, 40, "no divergences on identical instances");
+        if let Some(stats) = d.proxy_stats() {
+            assert_eq!(stats.divergences, 0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Summary statistics for the figure harnesses (the paper's Figure 4 boxes
+//! span the 5th–95th percentile with mean and median marked).
+
+/// The `q`-th percentile (0–100) of a sample, by linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (q / 100.0) * (sorted.len() as f64 - 1.0);
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let frac = rank - low as f64;
+        sorted[low] * (1.0 - frac) + sorted[high] * frac
+    }
+}
+
+/// A five-number-ish summary of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Summary {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Summary {
+            mean,
+            median: percentile(values, 50.0),
+            p5: percentile(values, 5.0),
+            p95: percentile(values, 95.0),
+            n: values.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean={:.2} median={:.2} p5={:.2} p95={:.2} (n={})",
+            self.mean, self.median, self.p5, self.p95, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert!((percentile(&xs, 25.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[2.0, 4.0, 6.0, 8.0]);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.median - 5.0).abs() < 1e-9);
+        assert_eq!(s.n, 4);
+        assert!(s.p5 >= 2.0 && s.p95 <= 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
+    }
+}

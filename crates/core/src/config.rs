@@ -1,0 +1,217 @@
+use std::time::Duration;
+
+use crate::{RddrError, ResponsePolicy, Result, VarianceRules};
+
+/// Configuration for one [`crate::NVersionEngine`] (one protected
+/// microservice).
+///
+/// Built with [`EngineConfig::builder`]; validated on
+/// [`EngineConfigBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use rddr_core::{EngineConfig, ResponsePolicy};
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), rddr_core::RddrError> {
+/// let config = EngineConfig::builder(3)
+///     .filter_pair(0, 1)
+///     .policy(ResponsePolicy::Block)
+///     .response_deadline(Duration::from_secs(5))
+///     .build()?;
+/// assert_eq!(config.instances(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    instances: usize,
+    filter_pair: Option<(usize, usize)>,
+    policy: ResponsePolicy,
+    variance: VarianceRules,
+    response_deadline: Duration,
+    throttle_budget: Option<u32>,
+}
+
+impl EngineConfig {
+    /// Starts building a configuration for `instances` protected instances.
+    pub fn builder(instances: usize) -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            instances,
+            filter_pair: None,
+            policy: ResponsePolicy::default(),
+            variance: VarianceRules::new(),
+            response_deadline: Duration::from_secs(10),
+            throttle_budget: None,
+        }
+    }
+
+    /// Number of protected instances (N).
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// The filter pair's instance indices, if nondeterminism filtering is on.
+    pub fn filter_pair(&self) -> Option<(usize, usize)> {
+        self.filter_pair
+    }
+
+    /// The response policy.
+    pub fn policy(&self) -> ResponsePolicy {
+        self.policy
+    }
+
+    /// Known-variance rules.
+    pub fn variance(&self) -> &VarianceRules {
+        &self.variance
+    }
+
+    /// How long the proxy waits for all instances to answer before treating
+    /// the laggards as divergent (the paper's suggested DoS timeout, §IV-D).
+    pub fn response_deadline(&self) -> Duration {
+        self.response_deadline
+    }
+
+    /// Divergence-signature throttle budget, if enabled.
+    pub fn throttle_budget(&self) -> Option<u32> {
+        self.throttle_budget
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    instances: usize,
+    filter_pair: Option<(usize, usize)>,
+    policy: ResponsePolicy,
+    variance: VarianceRules,
+    response_deadline: Duration,
+    throttle_budget: Option<u32>,
+}
+
+impl EngineConfigBuilder {
+    /// Designates two instances as the identical *filter pair* used for
+    /// nondeterminism filtering (§IV-B2).
+    pub fn filter_pair(mut self, a: usize, b: usize) -> Self {
+        self.filter_pair = Some((a, b));
+        self
+    }
+
+    /// Sets the response policy (default: [`ResponsePolicy::Block`]).
+    pub fn policy(mut self, policy: ResponsePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the known-variance rule set.
+    pub fn variance(mut self, rules: VarianceRules) -> Self {
+        self.variance = rules;
+        self
+    }
+
+    /// Sets the all-instances response deadline (default: 10 s).
+    pub fn response_deadline(mut self, deadline: Duration) -> Self {
+        self.response_deadline = deadline;
+        self
+    }
+
+    /// Enables divergence-signature throttling with the given repeat budget.
+    pub fn throttle(mut self, budget: u32) -> Self {
+        self.throttle_budget = Some(budget);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RddrError::InvalidConfig`] if `instances < 2`, a filter-pair
+    /// index is out of range, the pair indices are equal, or the deadline is
+    /// zero.
+    pub fn build(self) -> Result<EngineConfig> {
+        if self.instances < 2 {
+            return Err(RddrError::InvalidConfig(format!(
+                "n-versioning needs at least 2 instances, got {}",
+                self.instances
+            )));
+        }
+        if let Some((a, b)) = self.filter_pair {
+            if a == b {
+                return Err(RddrError::InvalidConfig(
+                    "filter pair must be two distinct instances".into(),
+                ));
+            }
+            if a >= self.instances || b >= self.instances {
+                return Err(RddrError::InvalidConfig(format!(
+                    "filter pair ({a}, {b}) out of range for {} instances",
+                    self.instances
+                )));
+            }
+        }
+        if self.response_deadline.is_zero() {
+            return Err(RddrError::InvalidConfig(
+                "response deadline must be non-zero".into(),
+            ));
+        }
+        Ok(EngineConfig {
+            instances: self.instances,
+            filter_pair: self.filter_pair,
+            policy: self.policy,
+            variance: self.variance,
+            response_deadline: self.response_deadline,
+            throttle_budget: self.throttle_budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_config_builds() {
+        let c = EngineConfig::builder(2).build().unwrap();
+        assert_eq!(c.instances(), 2);
+        assert_eq!(c.filter_pair(), None);
+        assert_eq!(c.policy(), ResponsePolicy::Block);
+    }
+
+    #[test]
+    fn single_instance_is_rejected() {
+        assert!(EngineConfig::builder(1).build().is_err());
+    }
+
+    #[test]
+    fn filter_pair_out_of_range_is_rejected() {
+        assert!(EngineConfig::builder(3).filter_pair(0, 3).build().is_err());
+    }
+
+    #[test]
+    fn filter_pair_must_be_distinct() {
+        assert!(EngineConfig::builder(3).filter_pair(1, 1).build().is_err());
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected() {
+        assert!(EngineConfig::builder(2)
+            .response_deadline(Duration::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn full_builder_round_trip() {
+        let c = EngineConfig::builder(4)
+            .filter_pair(2, 3)
+            .policy(ResponsePolicy::MajorityVote)
+            .response_deadline(Duration::from_millis(500))
+            .throttle(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.filter_pair(), Some((2, 3)));
+        assert_eq!(c.policy(), ResponsePolicy::MajorityVote);
+        assert_eq!(c.response_deadline(), Duration::from_millis(500));
+        assert_eq!(c.throttle_budget(), Some(2));
+    }
+}

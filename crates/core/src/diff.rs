@@ -1,0 +1,211 @@
+//! The Diff phase: position-wise comparison of N tokenized outputs after
+//! noise masking and known-variance exclusion.
+
+use crate::report::excerpt;
+use crate::{DivergenceDetail, DivergenceReport, NoiseMask, Segment, VarianceRules};
+
+/// The result of diffing, bundling the report with the canonicalized
+/// (post-mask) segment forms used for majority grouping.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// The divergence report.
+    pub report: DivergenceReport,
+    /// For each instance, the canonical byte form of its diffable output
+    /// (used by the majority-vote policy to group agreeing instances).
+    pub canonical_forms: Vec<Vec<u8>>,
+}
+
+impl DiffOutcome {
+    /// Groups instances by identical canonical form, largest group first.
+    pub fn agreement_groups(&self) -> Vec<Vec<usize>> {
+        let mut groups: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
+        for (idx, form) in self.canonical_forms.iter().enumerate() {
+            match groups.iter_mut().find(|(f, _)| f == form) {
+                Some((_, members)) => members.push(idx),
+                None => groups.push((form.clone(), vec![idx])),
+            }
+        }
+        groups.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.1[0].cmp(&b.1[0])));
+        groups.into_iter().map(|(_, members)| members).collect()
+    }
+}
+
+/// Diffs the tokenized output of N instances.
+///
+/// `segments[i]` is instance *i*'s segment list for the frame being compared.
+/// `mask` carries the filter pair's noise ranges; `rules` the operator's
+/// known-variance exclusions. Instance 0 serves as the reference: with
+/// unanimity required, "all equal" is equivalent to "all equal to the first".
+///
+/// # Panics
+///
+/// Panics if `segments` is empty.
+pub fn diff_segments(
+    segments: &[Vec<Segment>],
+    mask: &NoiseMask,
+    rules: &VarianceRules,
+) -> DiffOutcome {
+    assert!(!segments.is_empty(), "diff requires at least one instance");
+    let mut report = DivergenceReport {
+        noise_masked: mask.len(),
+        ..DivergenceReport::default()
+    };
+    let reference = &segments[0];
+
+    // Canonicalize every instance's segments once.
+    let mut canon: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(segments.len());
+    for list in segments {
+        let mut c = Vec::with_capacity(list.len());
+        for (pos, seg) in list.iter().enumerate() {
+            if rules.excludes(seg) {
+                c.push(None);
+            } else {
+                c.push(Some(mask.apply(pos, &seg.payload)));
+            }
+        }
+        canon.push(c);
+    }
+    report.variance_excluded = canon
+        .iter()
+        .map(|c| c.iter().filter(|s| s.is_none()).count())
+        .sum();
+
+    let canonical_forms: Vec<Vec<u8>> = canon
+        .iter()
+        .map(|c| {
+            let mut flat = Vec::new();
+            for s in c.iter().flatten() {
+                flat.extend_from_slice(s);
+                flat.push(0x1e); // record separator
+            }
+            flat
+        })
+        .collect();
+
+    for (inst, list) in canon.iter().enumerate().skip(1) {
+        let compared = reference.len().min(list.len());
+        for pos in 0..compared {
+            let (Some(ref_c), Some(inst_c)) = (&canon[0][pos], &list[pos]) else {
+                continue;
+            };
+            if ref_c != inst_c {
+                report.details.push(DivergenceDetail {
+                    segment_index: pos,
+                    label: segments[inst][pos].label.clone(),
+                    instance: inst,
+                    reference_excerpt: excerpt(ref_c),
+                    instance_excerpt: excerpt(inst_c),
+                });
+            }
+        }
+        // Structural mismatch: differing diffable segment counts, unless the
+        // surplus positions are wholly masked.
+        if reference.len() != list.len() {
+            let longer = reference.len().max(list.len());
+            let surplus_masked = (compared..longer)
+                .all(|pos| mask.mask_for(pos).is_some_and(|m| m.whole));
+            if !surplus_masked {
+                report.structural.push(inst);
+            }
+        }
+    }
+
+    DiffOutcome { report, canonical_forms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarianceRule;
+
+    fn lines(ls: &[&str]) -> Vec<Segment> {
+        ls.iter().map(|l| Segment::new("line", l.as_bytes().to_vec())).collect()
+    }
+
+    #[test]
+    fn unanimous_outputs_do_not_diverge() {
+        let s = vec![lines(&["a", "b"]), lines(&["a", "b"]), lines(&["a", "b"])];
+        let out = diff_segments(&s, &NoiseMask::none(), &VarianceRules::new());
+        assert!(!out.report.diverged());
+        assert_eq!(out.agreement_groups(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn content_difference_diverges() {
+        let s = vec![lines(&["a", "b"]), lines(&["a", "LEAK"])];
+        let out = diff_segments(&s, &NoiseMask::none(), &VarianceRules::new());
+        assert!(out.report.diverged());
+        assert_eq!(out.report.details.len(), 1);
+        assert_eq!(out.report.details[0].segment_index, 1);
+        assert_eq!(out.report.details[0].instance, 1);
+    }
+
+    #[test]
+    fn extra_segments_are_structural_divergence() {
+        let s = vec![lines(&["a"]), lines(&["a", "EXTRA ROW"])];
+        let out = diff_segments(&s, &NoiseMask::none(), &VarianceRules::new());
+        assert!(out.report.diverged());
+        assert_eq!(out.report.structural, vec![1]);
+    }
+
+    #[test]
+    fn masked_noise_does_not_diverge() {
+        let pair_a = lines(&["sid=AAAA ok"]);
+        let pair_b = lines(&["sid=BBBB ok"]);
+        let mask = NoiseMask::from_filter_pair(&pair_a, &pair_b);
+        let s = vec![pair_a.clone(), pair_b.clone(), lines(&["sid=CCCC ok"])];
+        let out = diff_segments(&s, &mask, &VarianceRules::new());
+        assert!(!out.report.diverged(), "{}", out.report);
+        assert_eq!(out.report.noise_masked, 1);
+    }
+
+    #[test]
+    fn divergence_outside_masked_range_is_still_caught() {
+        let pair_a = lines(&["sid=AAAA ok"]);
+        let pair_b = lines(&["sid=BBBB ok"]);
+        let mask = NoiseMask::from_filter_pair(&pair_a, &pair_b);
+        let s = vec![pair_a, pair_b, lines(&["sid=CCCC PWNED"])];
+        let out = diff_segments(&s, &mask, &VarianceRules::new());
+        assert!(out.report.diverged());
+        assert_eq!(out.report.implicated_instances(), vec![2]);
+    }
+
+    #[test]
+    fn variance_rule_excludes_version_banner() {
+        let mut rules = VarianceRules::new();
+        rules.push(VarianceRule::any_label("Server: nginx/*").unwrap());
+        let s = vec![
+            lines(&["Server: nginx/1.13.2", "body"]),
+            lines(&["Server: nginx/1.13.4", "body"]),
+        ];
+        let out = diff_segments(&s, &NoiseMask::none(), &rules);
+        assert!(!out.report.diverged());
+        assert_eq!(out.report.variance_excluded, 2);
+    }
+
+    #[test]
+    fn majority_grouping_orders_largest_first() {
+        let s = vec![lines(&["x"]), lines(&["y"]), lines(&["x"])];
+        let out = diff_segments(&s, &NoiseMask::none(), &VarianceRules::new());
+        let groups = out.agreement_groups();
+        assert_eq!(groups[0], vec![0, 2]);
+        assert_eq!(groups[1], vec![1]);
+    }
+
+    #[test]
+    fn wholly_masked_surplus_is_not_structural() {
+        // Filter pair itself had different segment counts => whole-masked tail.
+        let pair_a = lines(&["a", "noise1"]);
+        let pair_b = lines(&["a"]);
+        let mask = NoiseMask::from_filter_pair(&pair_a, &pair_b);
+        let s = vec![pair_a, pair_b];
+        let out = diff_segments(&s, &mask, &VarianceRules::new());
+        assert!(!out.report.diverged(), "{}", out.report);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_input_panics() {
+        diff_segments(&[], &NoiseMask::none(), &VarianceRules::new());
+    }
+}

@@ -1,0 +1,470 @@
+//! The N-versioning engine: one instance per protected microservice
+//! connection, orchestrating Replicate → De-noise → Diff → Respond.
+
+use bytes::BytesMut;
+
+use crate::denoise::{common_prefix, common_suffix};
+use crate::{
+    diff_segments, Direction, DivergenceReport, EngineConfig, EngineMetrics, EphemeralStore,
+    Frame, NoiseMask, PolicyDecision, Protocol, RddrError, Result, Segment, SegmentMask,
+    SignatureThrottle,
+};
+
+/// Per-connection mutable state: live ephemeral tokens and the divergence
+/// signature throttle.
+#[derive(Debug, Default)]
+pub struct SessionState {
+    /// Captured ephemeral (CSRF-like) tokens awaiting substitution.
+    pub ephemeral: EphemeralStore,
+    /// Divergence-signature throttle, when configured.
+    pub throttle: Option<SignatureThrottle>,
+}
+
+/// The verdict for one exchange.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// All instances agreed (after de-noising); the payload is the response
+    /// to forward — the first instance's bytes, per the paper.
+    Unanimous(Vec<u8>),
+    /// Instances disagreed; the report describes how.
+    Divergent(DivergenceReport),
+}
+
+/// Everything the proxy needs to act on one completed exchange.
+#[derive(Debug, Clone)]
+pub struct ExchangeOutcome {
+    /// The divergence report (empty details when unanimous).
+    pub report: DivergenceReport,
+    /// What the response policy decided.
+    pub decision: PolicyDecision,
+    /// Bytes to forward to the client, when the decision is `Forward`.
+    pub forward: Option<Vec<u8>>,
+}
+
+impl ExchangeOutcome {
+    /// Whether the connection should be severed.
+    pub fn severed(&self) -> bool {
+        matches!(self.decision, PolicyDecision::Sever { .. })
+    }
+}
+
+/// The RDDR engine for one protected microservice connection.
+///
+/// The engine is synchronous and transport-free: the proxy feeds it request
+/// bytes and per-instance response bytes; the engine renders verdicts. See
+/// the crate-level docs for the phase pipeline.
+pub struct NVersionEngine {
+    config: EngineConfig,
+    protocol: Box<dyn Protocol>,
+    state: SessionState,
+    metrics: EngineMetrics,
+    response_bufs: Vec<BytesMut>,
+    pending_frames: Vec<Vec<Frame>>,
+    last_request: Vec<u8>,
+    direction: Direction,
+}
+
+impl std::fmt::Debug for NVersionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NVersionEngine")
+            .field("instances", &self.config.instances())
+            .field("protocol", &self.protocol.name())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl NVersionEngine {
+    /// Creates an engine from a validated configuration and protocol module.
+    pub fn new(config: EngineConfig, protocol: impl Protocol + 'static) -> Self {
+        Self::from_boxed(config, Box::new(protocol))
+    }
+
+    /// Like [`NVersionEngine::new`] but accepting an already-boxed protocol
+    /// (the proxies build protocols from runtime configuration).
+    pub fn from_boxed(config: EngineConfig, protocol: Box<dyn Protocol>) -> Self {
+        let n = config.instances();
+        let throttle = config.throttle_budget().map(SignatureThrottle::new);
+        Self {
+            config,
+            protocol,
+            state: SessionState { ephemeral: EphemeralStore::new(), throttle },
+            metrics: EngineMetrics::new(),
+            response_bufs: (0..n).map(|_| BytesMut::new()).collect(),
+            pending_frames: (0..n).map(|_| Vec::new()).collect(),
+            last_request: Vec::new(),
+            direction: Direction::Response,
+        }
+    }
+
+    /// Configures which traffic direction this engine diffs. The incoming
+    /// proxy diffs instance *responses* (the default); the outgoing proxy
+    /// diffs instance *requests* to a shared backend (§IV-B).
+    pub fn diff_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// The per-connection session state (ephemeral tokens, throttle).
+    pub fn session(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// **Replicate**: produces the per-instance request copies, applying
+    /// ephemeral-token substitution (§IV-B3) and the divergence-signature
+    /// throttle (§IV-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RddrError::Throttled`] if the request matches a recorded
+    /// divergence signature beyond its budget.
+    pub fn replicate_request(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>> {
+        if let Some(throttle) = &self.state.throttle {
+            if throttle.should_refuse(request) {
+                self.metrics.throttled += 1;
+                return Err(RddrError::Throttled);
+            }
+        }
+        self.last_request = request.to_vec();
+        let n = self.config.instances();
+        let copies = if self.protocol.supports_ephemeral() && !self.state.ephemeral.is_empty()
+        {
+            let out: Vec<Vec<u8>> = (0..n)
+                .map(|i| self.state.ephemeral.substitute(request, i))
+                .collect();
+            self.state.ephemeral.purge_consumed();
+            self.metrics.tokens_substituted = self.state.ephemeral.substituted_total();
+            out
+        } else {
+            (0..n).map(|_| request.to_vec()).collect()
+        };
+        Ok(copies)
+    }
+
+    /// Feeds raw response bytes from one instance, splitting complete frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RddrError::InstanceCountMismatch`] for an out-of-range
+    /// instance index, or a protocol error on malformed traffic.
+    pub fn push_response(&mut self, instance: usize, bytes: &[u8]) -> Result<()> {
+        let n = self.config.instances();
+        if instance >= n {
+            return Err(RddrError::InstanceCountMismatch { expected: n, got: instance + 1 });
+        }
+        self.response_bufs[instance].extend_from_slice(bytes);
+        let frames = self
+            .protocol
+            .split_frames(&mut self.response_bufs[instance], self.direction)?;
+        self.pending_frames[instance].extend(frames);
+        Ok(())
+    }
+
+    /// Whether every instance has produced one complete exchange unit.
+    pub fn exchange_ready(&self) -> bool {
+        self.pending_frames
+            .iter()
+            .all(|frames| self.protocol.exchange_complete(frames, self.direction))
+    }
+
+    /// Marks an instance as failed (timed out or disconnected). The instance
+    /// contributes an empty output, which registers as structural divergence
+    /// unless every instance failed identically.
+    pub fn mark_failed(&mut self, instance: usize) {
+        if instance < self.pending_frames.len() {
+            self.pending_frames[instance].clear();
+            self.pending_frames[instance].push(Frame::new("failed", Vec::new()));
+        }
+    }
+
+    /// **De-noise + Diff + Respond**: evaluates the buffered exchange.
+    ///
+    /// Consumes the pending frames and returns the outcome. On divergence,
+    /// the triggering request's signature is recorded for throttling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RddrError::Protocol`] if called before any instance
+    /// produced a complete exchange (`exchange_ready` is false and no frames
+    /// are buffered at all).
+    pub fn finish_exchange(&mut self) -> Result<ExchangeOutcome> {
+        if self.pending_frames.iter().all(Vec::is_empty) {
+            return Err(RddrError::Protocol("no frames buffered for any instance".into()));
+        }
+        let frames: Vec<Vec<Frame>> = self
+            .pending_frames
+            .iter_mut()
+            .map(std::mem::take)
+            .collect();
+
+        // Tokenize critical frames into one aligned segment list per instance.
+        let mut segments: Vec<Vec<Segment>> = Vec::with_capacity(frames.len());
+        for instance_frames in &frames {
+            let mut segs = Vec::new();
+            for frame in instance_frames.iter().filter(|f| f.critical) {
+                segs.extend(self.protocol.tokenize(frame));
+            }
+            segments.push(segs);
+        }
+
+        // Ephemeral-state capture (§IV-B3), HTTP-style protocols only.
+        let mut token_masks: Vec<SegmentMask> = Vec::new();
+        let mut tokens_captured = 0;
+        if self.protocol.supports_ephemeral() {
+            let min_len = segments.iter().map(Vec::len).min().unwrap_or(0);
+            for pos in 0..min_len {
+                let payloads: Vec<&[u8]> =
+                    segments.iter().map(|s| s[pos].payload.as_slice()).collect();
+                if self.state.ephemeral.scan_position(&payloads).is_some() {
+                    let mut prefix = usize::MAX;
+                    let mut suffix = usize::MAX;
+                    for p in &payloads[1..] {
+                        prefix = prefix.min(common_prefix(payloads[0], p));
+                        suffix = suffix.min(common_suffix(payloads[0], p));
+                    }
+                    token_masks.push(SegmentMask { index: pos, prefix, suffix, whole: false });
+                    tokens_captured += 1;
+                }
+            }
+            self.metrics.tokens_captured = self.state.ephemeral.captured_total();
+        }
+
+        // De-noise (§IV-B2): mask byte ranges on which the filter pair differs.
+        let mut mask = match self.config.filter_pair() {
+            Some((a, b)) if a < segments.len() && b < segments.len() => {
+                NoiseMask::from_filter_pair(&segments[a], &segments[b])
+            }
+            _ => NoiseMask::none(),
+        };
+        for m in token_masks {
+            if mask.mask_for(m.index).is_none() {
+                mask.add(m);
+            }
+        }
+
+        // Diff.
+        let mut outcome = diff_segments(&segments, &mask, self.config.variance());
+        outcome.report.tokens_captured = tokens_captured;
+        self.metrics.exchanges += 1;
+        self.metrics.noise_masked += outcome.report.noise_masked as u64;
+        self.metrics.variance_excluded += outcome.report.variance_excluded as u64;
+
+        // Respond.
+        let decision = self.config.policy().decide(&outcome);
+        if outcome.report.diverged() {
+            self.metrics.divergences += 1;
+            if let Some(throttle) = &mut self.state.throttle {
+                throttle.record(&self.last_request);
+            }
+        }
+        let forward = match &decision {
+            PolicyDecision::Forward { instance } => Some(concat_frames(&frames[*instance])),
+            PolicyDecision::Sever { .. } => None,
+        };
+        Ok(ExchangeOutcome { report: outcome.report, decision, forward })
+    }
+
+    /// Convenience: evaluates one complete response per instance in a single
+    /// call (used by tests and non-streaming callers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RddrError::InstanceCountMismatch`] if `responses.len()`
+    /// differs from N, or a protocol error on malformed traffic.
+    pub fn evaluate_responses(&mut self, responses: &[Vec<u8>]) -> Result<Verdict> {
+        let n = self.config.instances();
+        if responses.len() != n {
+            return Err(RddrError::InstanceCountMismatch { expected: n, got: responses.len() });
+        }
+        for (i, bytes) in responses.iter().enumerate() {
+            self.push_response(i, bytes)?;
+        }
+        let outcome = self.finish_exchange()?;
+        Ok(match outcome.forward {
+            Some(bytes) if !outcome.report.diverged() => Verdict::Unanimous(bytes),
+            Some(bytes) => {
+                // Majority vote forwarded despite divergence; still report it.
+                let _ = bytes;
+                Verdict::Divergent(outcome.report)
+            }
+            None => Verdict::Divergent(outcome.report),
+        })
+    }
+}
+
+fn concat_frames(frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frames.iter().map(Frame::len).sum());
+    for f in frames {
+        out.extend_from_slice(&f.bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LineProtocol;
+    use crate::{EngineConfig, ResponsePolicy, VarianceRule, VarianceRules};
+
+    fn engine(n: usize) -> NVersionEngine {
+        NVersionEngine::new(EngineConfig::builder(n).build().unwrap(), LineProtocol::new())
+    }
+
+    #[test]
+    fn unanimous_exchange_forwards_first_instance() {
+        let mut e = engine(3);
+        let v = e
+            .evaluate_responses(&[b"ok\n".to_vec(), b"ok\n".to_vec(), b"ok\n".to_vec()])
+            .unwrap();
+        match v {
+            Verdict::Unanimous(bytes) => assert_eq!(bytes, b"ok\n"),
+            Verdict::Divergent(r) => panic!("unexpected divergence: {r}"),
+        }
+        assert_eq!(e.metrics().exchanges, 1);
+        assert_eq!(e.metrics().divergences, 0);
+    }
+
+    #[test]
+    fn leaking_instance_diverges() {
+        let mut e = engine(2);
+        let v = e
+            .evaluate_responses(&[b"row\n".to_vec(), b"row\nSECRET\n".to_vec()])
+            .unwrap();
+        assert!(matches!(v, Verdict::Divergent(_)));
+        assert_eq!(e.metrics().divergences, 1);
+    }
+
+    #[test]
+    fn filter_pair_masks_nondeterminism() {
+        let config = EngineConfig::builder(3).filter_pair(0, 1).build().unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        let v = e
+            .evaluate_responses(&[
+                b"session=abc123 welcome\n".to_vec(),
+                b"session=xyz789 welcome\n".to_vec(),
+                b"session=qqq555 welcome\n".to_vec(),
+            ])
+            .unwrap();
+        assert!(matches!(v, Verdict::Unanimous(_)), "noise must be filtered");
+    }
+
+    #[test]
+    fn divergence_beyond_noise_is_caught() {
+        let config = EngineConfig::builder(3).filter_pair(0, 1).build().unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        let v = e
+            .evaluate_responses(&[
+                b"session=abc123 welcome\n".to_vec(),
+                b"session=xyz789 welcome\n".to_vec(),
+                b"session=qqq555 LEAKED-PTR\n".to_vec(),
+            ])
+            .unwrap();
+        assert!(matches!(v, Verdict::Divergent(_)));
+    }
+
+    #[test]
+    fn variance_rules_suppress_known_differences() {
+        let mut rules = VarianceRules::new();
+        rules.push(VarianceRule::any_label("version *").unwrap());
+        let config = EngineConfig::builder(2).variance(rules).build().unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        let v = e
+            .evaluate_responses(&[b"version 10.7\n".to_vec(), b"version 10.9\n".to_vec()])
+            .unwrap();
+        assert!(matches!(v, Verdict::Unanimous(_)));
+    }
+
+    #[test]
+    fn throttle_refuses_repeated_diverging_request() {
+        let config = EngineConfig::builder(2).throttle(0).build().unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        let req = b"GET /exploit\n";
+        let copies = e.replicate_request(req).unwrap();
+        assert_eq!(copies.len(), 2);
+        e.evaluate_responses(&[b"a\n".to_vec(), b"b\n".to_vec()]).unwrap();
+        assert!(matches!(e.replicate_request(req), Err(RddrError::Throttled)));
+        assert!(e.replicate_request(b"GET /fine\n").is_ok());
+        assert_eq!(e.metrics().throttled, 1);
+    }
+
+    #[test]
+    fn replication_count_matches_n() {
+        let mut e = engine(5);
+        assert_eq!(e.replicate_request(b"hi\n").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn streaming_exchange_via_push_response() {
+        let mut e = engine(2);
+        e.push_response(0, b"par").unwrap();
+        assert!(!e.exchange_ready());
+        e.push_response(0, b"tial\n").unwrap();
+        assert!(!e.exchange_ready(), "instance 1 still pending");
+        e.push_response(1, b"partial\n").unwrap();
+        assert!(e.exchange_ready());
+        let outcome = e.finish_exchange().unwrap();
+        assert!(!outcome.severed());
+        assert_eq!(outcome.forward.unwrap(), b"partial\n");
+    }
+
+    #[test]
+    fn mark_failed_instance_causes_divergence() {
+        let mut e = engine(2);
+        e.push_response(0, b"data\n").unwrap();
+        e.mark_failed(1);
+        let outcome = e.finish_exchange().unwrap();
+        assert!(outcome.severed());
+    }
+
+    #[test]
+    fn majority_vote_forwards_winning_group() {
+        let config = EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            .build()
+            .unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        e.push_response(0, b"good\n").unwrap();
+        e.push_response(1, b"evil\n").unwrap();
+        e.push_response(2, b"good\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(!outcome.severed());
+        assert_eq!(outcome.forward.unwrap(), b"good\n");
+        assert!(outcome.report.diverged(), "divergence still reported");
+    }
+
+    #[test]
+    fn wrong_response_count_is_rejected() {
+        let mut e = engine(3);
+        let err = e.evaluate_responses(&[b"a\n".to_vec()]).unwrap_err();
+        assert!(matches!(err, RddrError::InstanceCountMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn finish_without_frames_errors() {
+        let mut e = engine(2);
+        assert!(e.finish_exchange().is_err());
+    }
+
+    #[test]
+    fn metrics_accumulate_across_exchanges() {
+        let mut e = engine(2);
+        for _ in 0..3 {
+            e.evaluate_responses(&[b"x\n".to_vec(), b"x\n".to_vec()]).unwrap();
+        }
+        e.evaluate_responses(&[b"x\n".to_vec(), b"y\n".to_vec()]).unwrap();
+        let m = e.metrics();
+        assert_eq!(m.exchanges, 4);
+        assert_eq!(m.divergences, 1);
+        assert!((m.divergence_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Ephemeral-state handling (§IV-B3): CSRF tokens and similar server-minted
+//! secrets that clients must echo back.
+//!
+//! Each instance mints its *own* token, so the N responses differ — but the
+//! difference is not noise to be ignored: when the client later submits the
+//! token, each instance must receive the token *it* minted or it will reject
+//! the request. RDDR therefore (1) detects candidate tokens in responses —
+//! "lines that differ across all instances" whose differing character range
+//! is "alphanumeric and at least ten characters long" (criteria the authors
+//! determined empirically), (2) forwards the first instance's token to the
+//! client, (3) substitutes the matching per-instance token into subsequent
+//! requests, and (4) deletes the mapping after use (tokens are ephemeral).
+
+use std::collections::HashMap;
+
+use crate::denoise::{common_prefix, common_suffix};
+use crate::Segment;
+
+/// Minimum length of a differing alphanumeric run for it to be treated as an
+/// ephemeral token (the paper's empirically chosen threshold).
+pub const MIN_TOKEN_LEN: usize = 10;
+
+/// One captured ephemeral token: the canonical value sent to the client and
+/// the per-instance values to substitute on the way back in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EphemeralToken {
+    /// The value the client saw (instance 0's token).
+    pub canonical: Vec<u8>,
+    /// One value per instance, indexed by instance id.
+    pub per_instance: Vec<Vec<u8>>,
+}
+
+impl EphemeralToken {
+    /// The token each instance expects to receive.
+    pub fn token_for(&self, instance: usize) -> &[u8] {
+        &self.per_instance[instance]
+    }
+}
+
+/// The per-session store of live ephemeral tokens.
+///
+/// Keys are the canonical token bytes (what the client echoes back).
+#[derive(Debug, Clone, Default)]
+pub struct EphemeralStore {
+    tokens: HashMap<Vec<u8>, EphemeralToken>,
+    pending_consumed: Vec<Vec<u8>>,
+    captured_total: u64,
+    substituted_total: u64,
+}
+
+impl EphemeralStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (captured, not yet consumed) tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether no tokens are live.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Total tokens ever captured in this session.
+    pub fn captured_total(&self) -> u64 {
+        self.captured_total
+    }
+
+    /// Total substitutions ever performed in this session.
+    pub fn substituted_total(&self) -> u64 {
+        self.substituted_total
+    }
+
+    /// Scans aligned segments (one per instance, same position in the frame)
+    /// for an ephemeral token and captures it if found.
+    ///
+    /// Returns the captured token when the paper's criteria hold: all
+    /// instances' payloads mutually differ in a range that is alphanumeric
+    /// and at least [`MIN_TOKEN_LEN`] bytes long in every instance.
+    pub fn scan_position(&mut self, payloads: &[&[u8]]) -> Option<EphemeralToken> {
+        if payloads.len() < 2 {
+            return None;
+        }
+        // "Lines that differ across all instances": every pair must differ.
+        for i in 0..payloads.len() {
+            for j in (i + 1)..payloads.len() {
+                if payloads[i] == payloads[j] {
+                    return None;
+                }
+            }
+        }
+        // The differing character range: common prefix/suffix over all.
+        let mut prefix = common_prefix(payloads[0], payloads[1]);
+        let mut suffix = common_suffix(payloads[0], payloads[1]);
+        for p in &payloads[2..] {
+            prefix = prefix.min(common_prefix(payloads[0], p));
+            suffix = suffix.min(common_suffix(payloads[0], p));
+        }
+        let mut candidates = Vec::with_capacity(payloads.len());
+        for p in payloads {
+            if prefix + suffix > p.len() {
+                return None;
+            }
+            let middle = &p[prefix..p.len() - suffix];
+            if middle.len() < MIN_TOKEN_LEN
+                || !middle.iter().all(|b| b.is_ascii_alphanumeric())
+            {
+                return None;
+            }
+            candidates.push(middle.to_vec());
+        }
+        let token = EphemeralToken {
+            canonical: candidates[0].clone(),
+            per_instance: candidates,
+        };
+        self.captured_total += 1;
+        self.tokens.insert(token.canonical.clone(), token.clone());
+        Some(token)
+    }
+
+    /// Scans a whole frame's worth of aligned segment lists, capturing every
+    /// token position. Returns how many tokens were captured.
+    pub fn scan_segments(&mut self, instance_segments: &[Vec<Segment>]) -> usize {
+        if instance_segments.is_empty() {
+            return 0;
+        }
+        let min_len = instance_segments.iter().map(Vec::len).min().unwrap_or(0);
+        let mut captured = 0;
+        for pos in 0..min_len {
+            let payloads: Vec<&[u8]> = instance_segments
+                .iter()
+                .map(|segs| segs[pos].payload.as_slice())
+                .collect();
+            if self.scan_position(&payloads).is_some() {
+                captured += 1;
+            }
+        }
+        captured
+    }
+
+    /// Rewrites a client request for one instance, substituting each live
+    /// canonical token with that instance's own token. Consumed tokens are
+    /// recorded; call [`EphemeralStore::purge_consumed`] once the request has
+    /// been rewritten for *all* instances.
+    pub fn substitute(&mut self, request: &[u8], instance: usize) -> Vec<u8> {
+        let mut out = request.to_vec();
+        let mut consumed = Vec::new();
+        for (canonical, token) in &self.tokens {
+            if instance >= token.per_instance.len() {
+                continue;
+            }
+            let replacement = token.token_for(instance);
+            let rewritten = replace_all(&out, canonical, replacement);
+            if rewritten.1 > 0 {
+                out = rewritten.0;
+                self.substituted_total += rewritten.1;
+                consumed.push(canonical.clone());
+            }
+        }
+        self.pending_consumed.extend(consumed);
+        out
+    }
+
+    /// Deletes tokens consumed by the preceding round of
+    /// [`EphemeralStore::substitute`] calls ("because they are ephemeral,
+    /// tokens are deleted after forwarding").
+    pub fn purge_consumed(&mut self) {
+        let pending = std::mem::take(&mut self.pending_consumed);
+        for key in pending {
+            self.tokens.remove(&key);
+        }
+    }
+
+    /// Looks up a live token by its canonical bytes.
+    pub fn get(&self, canonical: &[u8]) -> Option<&EphemeralToken> {
+        self.tokens.get(canonical)
+    }
+}
+
+/// Replaces all occurrences of `needle` in `haystack`, returning the result
+/// and the number of replacements.
+fn replace_all(haystack: &[u8], needle: &[u8], replacement: &[u8]) -> (Vec<u8>, u64) {
+    if needle.is_empty() {
+        return (haystack.to_vec(), 0);
+    }
+    let mut out = Vec::with_capacity(haystack.len());
+    let mut i = 0;
+    let mut count = 0;
+    while i < haystack.len() {
+        if haystack[i..].starts_with(needle) {
+            out.extend_from_slice(replacement);
+            i += needle.len();
+            count += 1;
+        } else {
+            out.push(haystack[i]);
+            i += 1;
+        }
+    }
+    (out, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_csrf_like_token() {
+        let mut store = EphemeralStore::new();
+        let a = b"<input name='csrf' value='AAAAAAAAAA'>".as_slice();
+        let b = b"<input name='csrf' value='BBBBBBBBBB'>".as_slice();
+        let c = b"<input name='csrf' value='CCCCCCCCCC'>".as_slice();
+        let token = store.scan_position(&[a, b, c]).expect("token captured");
+        assert_eq!(token.canonical, b"AAAAAAAAAA");
+        assert_eq!(token.token_for(2), b"CCCCCCCCCC");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn short_tokens_are_not_captured() {
+        let mut store = EphemeralStore::new();
+        let a = b"id=AAAA".as_slice();
+        let b = b"id=BBBB".as_slice();
+        assert!(store.scan_position(&[a, b]).is_none());
+    }
+
+    #[test]
+    fn non_alphanumeric_ranges_are_not_captured() {
+        let mut store = EphemeralStore::new();
+        let a = b"x=AAAA-AAAA-AAAA".as_slice();
+        let b = b"x=BBBB-BBBB-BBBB".as_slice();
+        assert!(store.scan_position(&[a, b]).is_none());
+    }
+
+    #[test]
+    fn identical_pair_blocks_capture() {
+        // "Lines that differ across ALL instances" — if any two agree, no token.
+        let mut store = EphemeralStore::new();
+        let a = b"tok=AAAAAAAAAA".as_slice();
+        let b = b"tok=AAAAAAAAAA".as_slice();
+        let c = b"tok=CCCCCCCCCC".as_slice();
+        assert!(store.scan_position(&[a, b, c]).is_none());
+    }
+
+    #[test]
+    fn substitution_rewrites_per_instance_then_purges() {
+        let mut store = EphemeralStore::new();
+        store.scan_position(&[
+            b"v=ALPHAALPHA1".as_slice(),
+            b"v=BRAVOBRAVO2".as_slice(),
+            b"v=CHARLIECHA3".as_slice(),
+        ]);
+        let req = b"POST /submit csrf=ALPHAALPHA1 end";
+        assert_eq!(store.substitute(req, 0), b"POST /submit csrf=ALPHAALPHA1 end");
+        assert_eq!(store.substitute(req, 1), b"POST /submit csrf=BRAVOBRAVO2 end");
+        assert_eq!(store.substitute(req, 2), b"POST /submit csrf=CHARLIECHA3 end");
+        assert_eq!(store.substituted_total(), 3);
+        store.purge_consumed();
+        assert!(store.is_empty(), "tokens are deleted after forwarding");
+    }
+
+    #[test]
+    fn untouched_tokens_survive_purge() {
+        let mut store = EphemeralStore::new();
+        store.scan_position(&[b"v=ALPHAALPHA1".as_slice(), b"v=BRAVOBRAVO2".as_slice()]);
+        let _ = store.substitute(b"GET / no token here", 0);
+        store.purge_consumed();
+        assert_eq!(store.len(), 1, "unused token remains live");
+    }
+
+    #[test]
+    fn scan_segments_captures_multiple_positions() {
+        let mut store = EphemeralStore::new();
+        let mk = |t1: &str, t2: &str| {
+            vec![
+                Segment::new("line", format!("a={t1}").into_bytes()),
+                Segment::new("line", b"static".to_vec()),
+                Segment::new("line", format!("b={t2}").into_bytes()),
+            ]
+        };
+        let captured = store.scan_segments(&[
+            mk("AAAAAAAAAA", "XXXXXXXXXX"),
+            mk("BBBBBBBBBB", "YYYYYYYYYY"),
+        ]);
+        assert_eq!(captured, 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn variable_length_tokens_capture() {
+        let mut store = EphemeralStore::new();
+        let a = b"t=AAAAAAAAAAAAAA;".as_slice(); // 14 chars
+        let b = b"t=BBBBBBBBBB;".as_slice(); // 10 chars
+        let token = store.scan_position(&[a, b]).expect("captured");
+        assert_eq!(token.per_instance[0].len(), 14);
+        assert_eq!(token.per_instance[1].len(), 10);
+    }
+
+    #[test]
+    fn replace_all_handles_adjacent_matches() {
+        let (out, n) = replace_all(b"abab", b"ab", b"X");
+        assert_eq!(out, b"XX");
+        assert_eq!(n, 2);
+    }
+}

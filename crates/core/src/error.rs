@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced by the RDDR engine.
+#[derive(Debug)]
+pub enum RddrError {
+    /// An [`crate::EngineConfig`] was inconsistent (e.g. filter-pair index out
+    /// of range, or fewer than two instances).
+    InvalidConfig(String),
+    /// The number of responses handed to the engine does not match N.
+    InstanceCountMismatch {
+        /// Configured number of instances.
+        expected: usize,
+        /// Number of responses actually provided.
+        got: usize,
+    },
+    /// A protocol module failed to parse traffic.
+    Protocol(String),
+    /// A request matched a known divergence signature and was refused
+    /// (DoS throttling, paper §IV-D).
+    Throttled,
+}
+
+impl fmt::Display for RddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RddrError::InvalidConfig(s) => write!(f, "invalid engine configuration: {s}"),
+            RddrError::InstanceCountMismatch { expected, got } => {
+                write!(f, "expected {expected} instance responses, got {got}")
+            }
+            RddrError::Protocol(s) => write!(f, "protocol error: {s}"),
+            RddrError::Throttled => write!(f, "request matches a known divergence signature"),
+        }
+    }
+}
+
+impl std::error::Error for RddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<RddrError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase() {
+        for e in [
+            RddrError::InvalidConfig("x".into()),
+            RddrError::InstanceCountMismatch { expected: 3, got: 2 },
+            RddrError::Protocol("y".into()),
+            RddrError::Throttled,
+        ] {
+            let s = e.to_string();
+            assert!(s.starts_with(char::is_lowercase), "{s}");
+        }
+    }
+}

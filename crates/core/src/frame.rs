@@ -1,0 +1,116 @@
+use std::fmt;
+
+/// Direction of traffic relative to the protected microservice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → protected instances (a request being replicated).
+    Request,
+    /// Protected instances → client (responses being diffed).
+    Response,
+}
+
+/// One complete application-layer message, as delimited by a protocol module.
+///
+/// The incoming proxy accumulates raw bytes per instance and asks the
+/// protocol module to split them into frames; the engine then diffs frames
+/// position-by-position across instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-assigned label (e.g. `"http:response"`, `"pg:DataRow"`).
+    pub label: String,
+    /// The raw frame bytes, exactly as they appeared on the wire.
+    pub bytes: Vec<u8>,
+    /// Whether this frame participates in divergence detection. Protocol
+    /// modules mark e.g. PostgreSQL `ParameterStatus` frames non-critical.
+    pub critical: bool,
+}
+
+impl Frame {
+    /// Creates a critical frame with the given label.
+    pub fn new(label: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
+        Self { label: label.into(), bytes: bytes.into(), critical: true }
+    }
+
+    /// Creates a frame excluded from diffing.
+    pub fn non_critical(label: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
+        Self { label: label.into(), bytes: bytes.into(), critical: false }
+    }
+
+    /// Frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the frame carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} bytes)", self.label, self.bytes.len())
+    }
+}
+
+/// A diffable unit inside a frame, produced by a protocol module's tokenizer.
+///
+/// For HTTP this is a line (the paper's HTTP module "tokenizes at the newline
+/// boundary and compares lines", §IV-B1); for PostgreSQL a wire message; for
+/// JSON a path/value pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Tokenizer-assigned label (e.g. `"line"`, `"json:/user/name"`).
+    pub label: String,
+    /// The segment payload compared across instances.
+    pub payload: Vec<u8>,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(label: impl Into<String>, payload: impl Into<Vec<u8>>) -> Self {
+        Self { label: label.into(), payload: payload.into() }
+    }
+
+    /// The payload interpreted as lossy UTF-8, for reports.
+    pub fn payload_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.label, self.payload_lossy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_constructors_set_criticality() {
+        assert!(Frame::new("a", b"x".to_vec()).critical);
+        assert!(!Frame::non_critical("a", b"x".to_vec()).critical);
+    }
+
+    #[test]
+    fn frame_len_and_empty() {
+        let f = Frame::new("a", Vec::new());
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(Frame::new("a", b"abc".to_vec()).len(), 3);
+    }
+
+    #[test]
+    fn segment_display_includes_label_and_payload() {
+        let s = Segment::new("line", b"hello".to_vec());
+        assert_eq!(s.to_string(), "[line] hello");
+    }
+
+    #[test]
+    fn lossy_payload_handles_invalid_utf8() {
+        let s = Segment::new("raw", vec![0xff, 0xfe]);
+        assert!(!s.payload_lossy().is_empty());
+    }
+}

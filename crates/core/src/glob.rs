@@ -1,0 +1,173 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::RddrError;
+
+/// A minimal glob pattern: `*` matches any run of bytes (including empty),
+/// `?` matches exactly one byte, everything else matches literally.
+///
+/// Used by known-variance rules (§IV-B4) to describe application-specific
+/// benign divergence, e.g. `server_version*` for differing Postgres version
+/// strings. A hand-rolled matcher keeps the dependency set to the sanctioned
+/// offline crates (no `regex`).
+///
+/// # Examples
+///
+/// ```
+/// use rddr_core::GlobPattern;
+///
+/// let g: GlobPattern = "server_version*".parse().unwrap();
+/// assert!(g.matches(b"server_version 10.7"));
+/// assert!(!g.matches(b"client_version 10.7"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GlobPattern {
+    source: String,
+    parts: Vec<Part>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Part {
+    Literal(Vec<u8>),
+    AnyRun,
+    AnyOne,
+}
+
+impl GlobPattern {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RddrError::InvalidConfig`] for an empty pattern.
+    pub fn new(pattern: &str) -> Result<Self, RddrError> {
+        if pattern.is_empty() {
+            return Err(RddrError::InvalidConfig("empty glob pattern".into()));
+        }
+        let mut parts = Vec::new();
+        let mut literal = Vec::new();
+        for &b in pattern.as_bytes() {
+            match b {
+                b'*' => {
+                    if !literal.is_empty() {
+                        parts.push(Part::Literal(std::mem::take(&mut literal)));
+                    }
+                    // Collapse consecutive stars.
+                    if parts.last() != Some(&Part::AnyRun) {
+                        parts.push(Part::AnyRun);
+                    }
+                }
+                b'?' => {
+                    if !literal.is_empty() {
+                        parts.push(Part::Literal(std::mem::take(&mut literal)));
+                    }
+                    parts.push(Part::AnyOne);
+                }
+                other => literal.push(other),
+            }
+        }
+        if !literal.is_empty() {
+            parts.push(Part::Literal(literal));
+        }
+        Ok(Self { source: pattern.to_string(), parts })
+    }
+
+    /// The pattern text this glob was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Tests whether `input` matches the whole pattern.
+    pub fn matches(&self, input: &[u8]) -> bool {
+        Self::match_parts(&self.parts, input)
+    }
+
+    fn match_parts(parts: &[Part], input: &[u8]) -> bool {
+        match parts.first() {
+            None => input.is_empty(),
+            Some(Part::Literal(lit)) => input
+                .strip_prefix(lit.as_slice())
+                .is_some_and(|rest| Self::match_parts(&parts[1..], rest)),
+            Some(Part::AnyOne) => {
+                !input.is_empty() && Self::match_parts(&parts[1..], &input[1..])
+            }
+            Some(Part::AnyRun) => (0..=input.len())
+                .any(|skip| Self::match_parts(&parts[1..], &input[skip..])),
+        }
+    }
+}
+
+impl fmt::Display for GlobPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl FromStr for GlobPattern {
+    type Err = RddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, input: &str) -> bool {
+        GlobPattern::new(pat).unwrap().matches(input.as_bytes())
+    }
+
+    #[test]
+    fn literal_exact_match() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abcd"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        assert!(m("a*c", "ac"));
+        assert!(m("a*c", "abbbc"));
+        assert!(!m("a*c", "ab"));
+    }
+
+    #[test]
+    fn leading_and_trailing_star() {
+        assert!(m("*version*", "server_version 10.7"));
+        assert!(m("*", ""));
+        assert!(m("*", "anything"));
+    }
+
+    #[test]
+    fn question_matches_exactly_one() {
+        assert!(m("a?c", "abc"));
+        assert!(!m("a?c", "ac"));
+        assert!(!m("a?c", "abbc"));
+    }
+
+    #[test]
+    fn consecutive_stars_collapse() {
+        let g = GlobPattern::new("a**b").unwrap();
+        assert_eq!(g.parts.len(), 3);
+        assert!(g.matches(b"ab"));
+        assert!(g.matches(b"axyzb"));
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        assert!(GlobPattern::new("").is_err());
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        assert!(m("*a*b*", "xxaxxbxx"));
+        assert!(!m("*a*b*", "xxbxxaxx"));
+    }
+
+    #[test]
+    fn non_utf8_input_is_fine() {
+        let g = GlobPattern::new("x*y").unwrap();
+        assert!(g.matches(&[b'x', 0xff, 0xfe, b'y']));
+    }
+}

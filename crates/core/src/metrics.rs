@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Counters accumulated by an [`crate::NVersionEngine`] over its lifetime.
+///
+/// Exposed so deployments can export RDDR health (exchange volume, how often
+/// the de-noiser fires, how many connections were severed); serializable
+/// for metrics pipelines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineMetrics {
+    /// Request/response exchanges evaluated.
+    pub exchanges: u64,
+    /// Exchanges that ended in a divergence verdict.
+    pub divergences: u64,
+    /// Segment positions masked as filter-pair noise, cumulative.
+    pub noise_masked: u64,
+    /// Segments excluded by known-variance rules, cumulative.
+    pub variance_excluded: u64,
+    /// Ephemeral tokens captured, cumulative.
+    pub tokens_captured: u64,
+    /// Ephemeral token substitutions applied to requests, cumulative.
+    pub tokens_substituted: u64,
+    /// Requests refused because they matched a known divergence signature.
+    pub throttled: u64,
+}
+
+impl EngineMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of exchanges that diverged (0 when no exchanges yet).
+    pub fn divergence_rate(&self) -> f64 {
+        if self.exchanges == 0 {
+            0.0
+        } else {
+            self.divergences as f64 / self.exchanges as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exchanges={} divergences={} noise_masked={} variance_excluded={} \
+             tokens_captured={} tokens_substituted={} throttled={}",
+            self.exchanges,
+            self.divergences,
+            self.noise_masked,
+            self.variance_excluded,
+            self.tokens_captured,
+            self.tokens_substituted,
+            self.throttled,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_rate_handles_zero() {
+        assert_eq!(EngineMetrics::new().divergence_rate(), 0.0);
+    }
+
+    #[test]
+    fn divergence_rate_computes_fraction() {
+        let m = EngineMetrics { exchanges: 4, divergences: 1, ..EngineMetrics::new() };
+        assert!((m.divergence_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_counters() {
+        let s = EngineMetrics::new().to_string();
+        for key in ["exchanges", "divergences", "noise_masked", "throttled"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+}

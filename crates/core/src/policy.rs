@@ -1,0 +1,143 @@
+//! The Respond phase: what to do with a verdict.
+
+use crate::DiffOutcome;
+
+/// How RDDR answers the client after diffing.
+///
+/// The paper's deployment always uses [`ResponsePolicy::Block`]: "the proxy
+/// closes the connection to the client and halts communication". Classic
+/// N-version systems instead vote; [`ResponsePolicy::MajorityVote`] is
+/// provided as an ablation (see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponsePolicy {
+    /// Sever the connection on any divergence (the paper's behaviour).
+    #[default]
+    Block,
+    /// Forward the response of the largest agreeing group if it reaches a
+    /// strict majority; block otherwise.
+    MajorityVote,
+}
+
+/// The action the proxy should take for one exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyDecision {
+    /// Forward this instance's response to the client.
+    Forward {
+        /// Index of the instance whose bytes are forwarded.
+        instance: usize,
+    },
+    /// Sever the connection, optionally after sending an intervention notice.
+    Sever {
+        /// Instances implicated in the divergence.
+        implicated: Vec<usize>,
+    },
+}
+
+impl ResponsePolicy {
+    /// Decides the action for a diffed exchange.
+    ///
+    /// When unanimous, all policies forward instance 0's response (the paper
+    /// forwards "the page sent by the first instance").
+    pub fn decide(&self, outcome: &DiffOutcome) -> PolicyDecision {
+        if !outcome.report.diverged() {
+            return PolicyDecision::Forward { instance: 0 };
+        }
+        match self {
+            ResponsePolicy::Block => PolicyDecision::Sever {
+                implicated: outcome.report.implicated_instances(),
+            },
+            ResponsePolicy::MajorityVote => {
+                let groups = outcome.agreement_groups();
+                let total: usize = groups.iter().map(Vec::len).sum();
+                let winner = &groups[0];
+                if winner.len() * 2 > total {
+                    PolicyDecision::Forward { instance: winner[0] }
+                } else {
+                    PolicyDecision::Sever {
+                        implicated: outcome.report.implicated_instances(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The HTML intervention page returned to HTTP clients when RDDR severs a
+/// connection ("a web page indicating that RDDR intervened", §IV-B).
+pub const INTERVENTION_PAGE: &str = "HTTP/1.1 403 Forbidden\r\n\
+Content-Type: text/html\r\n\
+Connection: close\r\n\
+Content-Length: 114\r\n\
+\r\n\
+<html><body><h1>RDDR intervened</h1><p>Divergent instance behaviour detected; \
+connection closed.</p></body></html>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{diff_segments, NoiseMask, Segment, VarianceRules};
+
+    fn outcome(payloads: &[&str]) -> DiffOutcome {
+        let segs: Vec<Vec<Segment>> = payloads
+            .iter()
+            .map(|p| vec![Segment::new("line", p.as_bytes().to_vec())])
+            .collect();
+        diff_segments(&segs, &NoiseMask::none(), &VarianceRules::new())
+    }
+
+    #[test]
+    fn unanimous_forwards_first_instance() {
+        let o = outcome(&["same", "same", "same"]);
+        assert_eq!(
+            ResponsePolicy::Block.decide(&o),
+            PolicyDecision::Forward { instance: 0 }
+        );
+        assert_eq!(
+            ResponsePolicy::MajorityVote.decide(&o),
+            PolicyDecision::Forward { instance: 0 }
+        );
+    }
+
+    #[test]
+    fn block_severs_on_any_divergence() {
+        let o = outcome(&["good", "good", "evil"]);
+        assert_eq!(
+            ResponsePolicy::Block.decide(&o),
+            PolicyDecision::Sever { implicated: vec![2] }
+        );
+    }
+
+    #[test]
+    fn majority_vote_forwards_winner() {
+        let o = outcome(&["good", "evil", "good"]);
+        assert_eq!(
+            ResponsePolicy::MajorityVote.decide(&o),
+            PolicyDecision::Forward { instance: 0 }
+        );
+    }
+
+    #[test]
+    fn majority_vote_severs_on_tie() {
+        let o = outcome(&["a", "b"]);
+        assert!(matches!(
+            ResponsePolicy::MajorityVote.decide(&o),
+            PolicyDecision::Sever { .. }
+        ));
+    }
+
+    #[test]
+    fn majority_winner_may_not_be_instance_zero() {
+        let o = outcome(&["evil", "good", "good"]);
+        assert_eq!(
+            ResponsePolicy::MajorityVote.decide(&o),
+            PolicyDecision::Forward { instance: 1 }
+        );
+    }
+
+    #[test]
+    fn intervention_page_is_valid_http() {
+        assert!(INTERVENTION_PAGE.starts_with("HTTP/1.1 403"));
+        let body = INTERVENTION_PAGE.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body.len(), 114, "Content-Length header must match body");
+    }
+}

@@ -1,0 +1,136 @@
+use std::fmt;
+
+/// Why two instances' outputs were considered divergent at one position.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DivergenceDetail {
+    /// Position of the differing segment within the frame.
+    pub segment_index: usize,
+    /// Tokenizer label of the segment (e.g. `"line"`, `"pg:DataRow"`).
+    pub label: String,
+    /// The instance that disagreed with the reference instance.
+    pub instance: usize,
+    /// Canonicalized (post-mask) payload of the reference instance, truncated.
+    pub reference_excerpt: String,
+    /// Canonicalized payload of the disagreeing instance, truncated.
+    pub instance_excerpt: String,
+}
+
+/// The outcome of diffing one frame across N instances — serializable so
+/// deployments can ship divergence events to their alerting pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DivergenceReport {
+    /// Every detected disagreement (empty when unanimous).
+    pub details: Vec<DivergenceDetail>,
+    /// Positions excluded by the filter pair's noise mask.
+    pub noise_masked: usize,
+    /// Segments excluded by known-variance rules.
+    pub variance_excluded: usize,
+    /// Ephemeral tokens captured while scanning this frame.
+    pub tokens_captured: usize,
+    /// Instances whose output structurally disagreed (different segment
+    /// count than the reference after masking).
+    pub structural: Vec<usize>,
+}
+
+impl DivergenceReport {
+    /// Whether the frame diverged.
+    pub fn diverged(&self) -> bool {
+        !self.details.is_empty() || !self.structural.is_empty()
+    }
+
+    /// The distinct instances implicated in the divergence.
+    pub fn implicated_instances(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .details
+            .iter()
+            .map(|d| d.instance)
+            .chain(self.structural.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.diverged() {
+            return write!(
+                f,
+                "unanimous ({} noise-masked, {} variance-excluded)",
+                self.noise_masked, self.variance_excluded
+            );
+        }
+        writeln!(
+            f,
+            "DIVERGENCE: {} detail(s), instances {:?}",
+            self.details.len(),
+            self.implicated_instances()
+        )?;
+        for d in &self.details {
+            writeln!(
+                f,
+                "  [{}#{}] instance {}: {:?} != reference {:?}",
+                d.label, d.segment_index, d.instance, d.instance_excerpt, d.reference_excerpt
+            )?;
+        }
+        for s in &self.structural {
+            writeln!(f, "  instance {s}: structural mismatch")?;
+        }
+        Ok(())
+    }
+}
+
+/// Truncates a canonicalized payload for inclusion in a report.
+pub(crate) fn excerpt(payload: &[u8]) -> String {
+    const MAX: usize = 120;
+    let s = String::from_utf8_lossy(payload);
+    if s.len() <= MAX {
+        s.into_owned()
+    } else {
+        let cut: String = s.chars().take(MAX).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_unanimous() {
+        let r = DivergenceReport::default();
+        assert!(!r.diverged());
+        assert!(r.to_string().contains("unanimous"));
+    }
+
+    #[test]
+    fn implicated_instances_dedup_and_sort() {
+        let mut r = DivergenceReport::default();
+        r.structural.push(2);
+        r.details.push(DivergenceDetail {
+            segment_index: 0,
+            label: "line".into(),
+            instance: 2,
+            reference_excerpt: "a".into(),
+            instance_excerpt: "b".into(),
+        });
+        r.details.push(DivergenceDetail {
+            segment_index: 1,
+            label: "line".into(),
+            instance: 1,
+            reference_excerpt: "a".into(),
+            instance_excerpt: "c".into(),
+        });
+        assert!(r.diverged());
+        assert_eq!(r.implicated_instances(), vec![1, 2]);
+    }
+
+    #[test]
+    fn excerpt_truncates_long_payloads() {
+        let long = vec![b'x'; 500];
+        let e = excerpt(&long);
+        assert!(e.ends_with('…'));
+        assert!(e.chars().count() <= 121);
+    }
+}

@@ -1,0 +1,130 @@
+//! Divergence-signature throttling.
+//!
+//! The paper's §IV-D notes that "an attacker who repetitively triggers
+//! divergence by entering the diverging input repeatedly" can mount a DoS,
+//! and suggests automated signature generation to defeat it. This module
+//! implements that extension: the engine records a signature (a stable hash)
+//! of each request that caused a divergence; repeats beyond a budget are
+//! refused before being replicated at all.
+
+use std::collections::HashMap;
+
+/// Tracks requests that previously caused divergence and refuses repeats.
+///
+/// # Examples
+///
+/// ```
+/// use rddr_core::SignatureThrottle;
+///
+/// let mut throttle = SignatureThrottle::new(0);
+/// throttle.record(b"' OR 1=1 --");
+/// assert!(throttle.should_refuse(b"' OR 1=1 --"));
+/// assert!(!throttle.should_refuse(b"SELECT name FROM users WHERE id = 7"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignatureThrottle {
+    counts: HashMap<u64, u32>,
+    budget: u32,
+}
+
+impl SignatureThrottle {
+    /// Creates a throttle that allows each diverging request `budget` more
+    /// appearances before refusing it. A budget of 0 refuses immediately on
+    /// the second appearance.
+    pub fn new(budget: u32) -> Self {
+        Self { counts: HashMap::new(), budget }
+    }
+
+    /// Stable FNV-1a hash of request bytes — the divergence signature.
+    pub fn signature(request: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in request {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Records that `request` caused a divergence.
+    pub fn record(&mut self, request: &[u8]) {
+        *self.counts.entry(Self::signature(request)).or_insert(0) += 1;
+    }
+
+    /// Whether `request` should be refused without replication.
+    pub fn should_refuse(&self, request: &[u8]) -> bool {
+        self.counts
+            .get(&Self::signature(request))
+            .is_some_and(|&n| n > self.budget)
+    }
+
+    /// Number of distinct divergence signatures recorded.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no signatures have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Clears all recorded signatures.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+impl Default for SignatureThrottle {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_request_is_not_refused() {
+        let t = SignatureThrottle::new(0);
+        assert!(!t.should_refuse(b"GET / HTTP/1.1"));
+    }
+
+    #[test]
+    fn recorded_request_is_refused_after_budget() {
+        let mut t = SignatureThrottle::new(1);
+        let req = b"' OR 1=1 --";
+        t.record(req);
+        assert!(!t.should_refuse(req), "first repeat allowed under budget 1");
+        t.record(req);
+        assert!(t.should_refuse(req), "second repeat refused");
+    }
+
+    #[test]
+    fn zero_budget_refuses_immediately() {
+        let mut t = SignatureThrottle::new(0);
+        t.record(b"evil");
+        assert!(t.should_refuse(b"evil"));
+        assert!(!t.should_refuse(b"evil2"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = SignatureThrottle::new(0);
+        t.record(b"evil");
+        t.clear();
+        assert!(!t.should_refuse(b"evil"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn signature_is_stable_and_discriminating() {
+        assert_eq!(
+            SignatureThrottle::signature(b"abc"),
+            SignatureThrottle::signature(b"abc")
+        );
+        assert_ne!(
+            SignatureThrottle::signature(b"abc"),
+            SignatureThrottle::signature(b"abd")
+        );
+    }
+}

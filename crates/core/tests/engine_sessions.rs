@@ -1,0 +1,156 @@
+//! Session-level engine tests: multi-exchange sequences, ephemeral-token
+//! lifecycles across exchanges, metric accumulation, and the interaction of
+//! masking layers — the stateful behaviour unit tests don't reach.
+
+use rddr_core::protocol::LineProtocol;
+use rddr_core::{
+    EngineConfig, NVersionEngine, ResponsePolicy, VarianceRule, VarianceRules, Verdict,
+};
+use rddr_protocols::HttpProtocol;
+
+fn http_page(token: &str, body: &str) -> Vec<u8> {
+    let content = format!("<form token=\"{token}\">\n{body}\n</form>");
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: {}\r\n\r\n{content}",
+        content.len()
+    )
+    .into_bytes()
+}
+
+#[test]
+fn ephemeral_lifecycle_across_exchanges() {
+    let mut engine = NVersionEngine::new(
+        EngineConfig::builder(3).build().unwrap(),
+        HttpProtocol::new(),
+    );
+
+    // Exchange 1: each instance mints a token; capture keeps it unanimous.
+    let verdict = engine
+        .evaluate_responses(&[
+            http_page("AAAAAAAAAAA1", "welcome"),
+            http_page("BBBBBBBBBBB2", "welcome"),
+            http_page("CCCCCCCCCCC3", "welcome"),
+        ])
+        .unwrap();
+    match verdict {
+        Verdict::Unanimous(bytes) => {
+            let text = String::from_utf8_lossy(&bytes);
+            assert!(text.contains("AAAAAAAAAAA1"), "client sees instance 0's token");
+        }
+        Verdict::Divergent(r) => panic!("token minting must not diverge: {r}"),
+    }
+    assert_eq!(engine.session().ephemeral.len(), 1);
+
+    // Exchange 2 (request): the echo of the canonical token is rewritten
+    // per instance, then deleted.
+    let copies = engine
+        .replicate_request(b"POST /submit?token=AAAAAAAAAAA1 HTTP/1.1\r\n\r\n")
+        .unwrap();
+    assert!(String::from_utf8_lossy(&copies[0]).contains("AAAAAAAAAAA1"));
+    assert!(String::from_utf8_lossy(&copies[1]).contains("BBBBBBBBBBB2"));
+    assert!(String::from_utf8_lossy(&copies[2]).contains("CCCCCCCCCCC3"));
+    assert!(engine.session().ephemeral.is_empty(), "consumed tokens die");
+
+    // Exchange 2 (responses): identical accepts are unanimous.
+    let ok = http_page("na", "accepted");
+    let verdict = engine
+        .evaluate_responses(&[ok.clone(), ok.clone(), ok])
+        .unwrap();
+    assert!(matches!(verdict, Verdict::Unanimous(_)));
+    assert_eq!(engine.metrics().tokens_captured, 1);
+    assert_eq!(engine.metrics().tokens_substituted, 3);
+}
+
+#[test]
+fn variance_and_filter_pair_layers_compose() {
+    // Filter pair masks a session id; a variance rule covers a version
+    // banner; a real divergence elsewhere must still be caught.
+    let mut rules = VarianceRules::new();
+    rules.push(VarianceRule::new("line", "version *").unwrap());
+    let config = EngineConfig::builder(3)
+        .filter_pair(0, 1)
+        .variance(rules)
+        .build()
+        .unwrap();
+    let mut engine = NVersionEngine::new(config, LineProtocol::new());
+
+    let page = |sid: &str, version: &str, row: &str| {
+        format!("sid={sid}\nversion {version}\n{row}\n").into_bytes()
+    };
+    // Benign: session ids noisy (pair differs), versions differ (variance),
+    // data row identical.
+    let verdict = engine
+        .evaluate_responses(&[
+            page("aaa111", "1.0", "row=42"),
+            page("bbb222", "1.0", "row=42"),
+            page("ccc333", "2.0", "row=42"),
+        ])
+        .unwrap();
+    assert!(matches!(verdict, Verdict::Unanimous(_)), "{verdict:?}");
+
+    // Malicious: the data row diverges on the diverse instance.
+    let verdict = engine
+        .evaluate_responses(&[
+            page("ddd444", "1.0", "row=42"),
+            page("eee555", "1.0", "row=42"),
+            page("fff666", "2.0", "row=42 LEAKED-COLUMN"),
+        ])
+        .unwrap();
+    match verdict {
+        Verdict::Divergent(report) => {
+            assert_eq!(report.implicated_instances(), vec![2]);
+        }
+        Verdict::Unanimous(_) => panic!("masking layers must not hide real leaks"),
+    }
+}
+
+#[test]
+fn long_session_metrics_are_exact() {
+    let mut engine = NVersionEngine::new(
+        EngineConfig::builder(2).build().unwrap(),
+        LineProtocol::new(),
+    );
+    let mut expected_divergences = 0;
+    for i in 0..200 {
+        let a = format!("value {i}\n").into_bytes();
+        let b = if i % 7 == 0 {
+            expected_divergences += 1;
+            format!("value {i} tampered\n").into_bytes()
+        } else {
+            a.clone()
+        };
+        engine.evaluate_responses(&[a, b]).unwrap();
+    }
+    let m = engine.metrics();
+    assert_eq!(m.exchanges, 200);
+    assert_eq!(m.divergences, expected_divergences);
+}
+
+#[test]
+fn majority_vote_keeps_sessions_alive_through_faults() {
+    let mut engine = NVersionEngine::new(
+        EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            .build()
+            .unwrap(),
+        LineProtocol::new(),
+    );
+    // Instance 1 garbles every response; the majority still answers, and
+    // the forwarded bytes always come from the agreeing group.
+    for i in 0..50 {
+        let good = format!("ok {i}\n").into_bytes();
+        for (idx, response) in [
+            good.clone(),
+            format!("GARBAGE {i}\n").into_bytes(),
+            good.clone(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            engine.push_response(idx, response).unwrap();
+        }
+        let outcome = engine.finish_exchange().unwrap();
+        assert_eq!(outcome.forward.as_deref(), Some(good.as_slice()));
+    }
+    assert_eq!(engine.metrics().divergences, 50);
+}

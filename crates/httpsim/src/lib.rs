@@ -1,0 +1,33 @@
+//! Simulated HTTP microservices for the RDDR evaluation.
+//!
+//! Everything the paper's HTTP-facing case studies need, rebuilt on the
+//! in-process cluster:
+//!
+//! * [`framework`] — a tiny routing HTTP/1.1 server ([`HttpService`]) and
+//!   client ([`HttpClient`]), both strict about framing.
+//! * [`NginxSim`] — static server + reverse proxy with the version-gated
+//!   range-filter integer overflow of CVE-2017-7529 (§V-D) and strict
+//!   request parsing (no smuggling).
+//! * [`HaproxySim`] — reverse proxy (v1.5.3) with the Transfer-Encoding
+//!   request-smuggling flaw of CVE-2019-18277 (§V-C1).
+//! * [`EnvoySim`] — a plain passthrough front proxy, the Figure 5 baseline.
+//! * [`DvwaSim`] — the Damn Vulnerable Web App stand-in: login with CSRF
+//!   tokens and an SQL-injection page at configurable security levels,
+//!   backed by an external MiniPg database (§V-B).
+//! * [`gitlab`] — the GitLab composite deployment of §V-F (Figure 3).
+//! * [`rest`] — flask-like REST wrappers for the `rddr-libsim` pairs, plus
+//!   the ASLR'd echo service of §V-E.
+
+pub mod dvwa;
+pub mod envoy;
+pub mod framework;
+pub mod gitlab;
+pub mod haproxy;
+pub mod nginx;
+pub mod rest;
+
+pub use dvwa::{DvwaSim, SecurityLevel};
+pub use envoy::EnvoySim;
+pub use framework::{HttpClient, HttpRequest, HttpResponse, HttpService};
+pub use haproxy::HaproxySim;
+pub use nginx::{NginxSim, NginxVersion};

@@ -1,0 +1,306 @@
+//! NginxSim: a static file server / reverse proxy with version-gated bugs.
+//!
+//! * **CVE-2017-7529** (§V-D): versions ≤ 1.13.2 mishandle crafted `Range`
+//!   headers — "nginx fails to check its bounds which leads to an integer
+//!   overflow when calculating the size of the payload to return, causing
+//!   it to return data past the end of the requested document". The
+//!   simulator keeps per-file "cache metadata" adjacent to the file body;
+//!   a negative-overflow range returns the document *plus* that adjacent
+//!   memory. 1.13.3+ validates the range and answers `416`.
+//! * As a **reverse proxy** (§V-C1), nginx parses requests strictly: a
+//!   malformed `Transfer-Encoding` is rejected with `400`, which is what
+//!   makes it a diverse partner against HAProxy's smuggling bug.
+
+use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use rddr_net::{BoxStream, ServiceAddr, Stream};
+use rddr_orchestra::{Service, ServiceCtx};
+
+use crate::framework::{read_request, HttpRequest, HttpResponse};
+use crate::haproxy::{forward_request, is_denied, normalize_header_value};
+
+/// An nginx release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NginxVersion {
+    /// Major (1).
+    pub major: u32,
+    /// Minor (13).
+    pub minor: u32,
+    /// Patch (2).
+    pub patch: u32,
+}
+
+impl NginxVersion {
+    /// Parses `"1.13.2"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed version strings (versions are compiled in).
+    pub fn parse(s: &str) -> Self {
+        let mut it = s.split('.').map(|p| p.parse().expect("numeric version part"));
+        Self {
+            major: it.next().expect("major"),
+            minor: it.next().unwrap_or(0),
+            patch: it.next().unwrap_or(0),
+        }
+    }
+
+    /// CVE-2017-7529 gate: range-filter integer overflow, fixed in 1.13.3
+    /// (and backported to 1.12.1).
+    pub fn leaks_range_memory(&self) -> bool {
+        (self.major, self.minor, self.patch) < (1, 13, 3)
+            && !((self.major, self.minor) == (1, 12) && self.patch >= 1)
+    }
+}
+
+impl std::fmt::Display for NginxVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+/// One served document plus the cache metadata stored adjacent to it in the
+/// simulated cache memory (the bytes CVE-2017-7529 leaks).
+#[derive(Debug, Clone)]
+struct CachedFile {
+    body: Vec<u8>,
+    adjacent_memory: Vec<u8>,
+}
+
+/// The nginx simulator.
+///
+/// Serves a static doc-root and, when an upstream is configured, proxies
+/// everything under `/` to it (denying `/internal` routes, per the paper's
+/// §V-C1 configuration).
+pub struct NginxSim {
+    version: NginxVersion,
+    files: Mutex<BTreeMap<String, CachedFile>>,
+    upstream: Option<ServiceAddr>,
+}
+
+impl std::fmt::Debug for NginxSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NginxSim")
+            .field("version", &self.version)
+            .field("upstream", &self.upstream)
+            .finish()
+    }
+}
+
+impl NginxSim {
+    /// A static file server at the given version.
+    pub fn file_server(version: NginxVersion) -> Self {
+        Self { version, files: Mutex::new(BTreeMap::new()), upstream: None }
+    }
+
+    /// A reverse proxy at the given version.
+    pub fn reverse_proxy(version: NginxVersion, upstream: ServiceAddr) -> Self {
+        Self { version, files: Mutex::new(BTreeMap::new()), upstream: Some(upstream) }
+    }
+
+    /// Publishes a document at `path`, with `adjacent` bytes placed next to
+    /// it in cache memory (e.g. another client's cached response).
+    pub fn publish(&self, path: &str, body: impl Into<Vec<u8>>, adjacent: impl Into<Vec<u8>>) {
+        self.files.lock().insert(
+            path.to_string(),
+            CachedFile { body: body.into(), adjacent_memory: adjacent.into() },
+        );
+    }
+
+    /// The version banner, as sent in the `Server` header.
+    pub fn banner(&self) -> String {
+        format!("nginx/{}", self.version)
+    }
+
+    fn serve_static(&self, req: &HttpRequest) -> HttpResponse {
+        let files = self.files.lock();
+        let Some(file) = files.get(&req.path) else {
+            return self.tag(HttpResponse::status(404, "404 Not Found"));
+        };
+        if let Some(range) = req.header("range") {
+            return self.tag(self.serve_range(file, range));
+        }
+        self.tag(HttpResponse::ok(file.body.clone()))
+    }
+
+    /// The CVE-2017-7529 logic. The exploit sends a huge negative suffix
+    /// range (`bytes=-<2^63-ish>`); the buggy size arithmetic wraps and the
+    /// module serves bytes past the end of the document.
+    fn serve_range(&self, file: &CachedFile, range: &str) -> HttpResponse {
+        let Some(spec) = range.trim().strip_prefix("bytes=") else {
+            return HttpResponse::status(416, "invalid range unit");
+        };
+        // Suffix form: "-N" (last N bytes).
+        if let Some(suffix) = spec.trim().strip_prefix('-') {
+            let Ok(n) = suffix.trim().parse::<u64>() else {
+                return HttpResponse::status(416, "unparseable range");
+            };
+            if n as usize <= file.body.len() {
+                let start = file.body.len() - n as usize;
+                return HttpResponse::status(206, file.body[start..].to_vec());
+            }
+            if self.version.leaks_range_memory() {
+                // Buggy bounds check: the wrapped start offset reads from
+                // the start of the cache entry through the adjacent memory.
+                let mut leaked = file.body.clone();
+                leaked.extend_from_slice(&file.adjacent_memory);
+                return HttpResponse::status(206, leaked);
+            }
+            return HttpResponse::status(416, "range out of bounds");
+        }
+        // Plain form: "A-B".
+        let Some((a, b)) = spec.split_once('-') else {
+            return HttpResponse::status(416, "unparseable range");
+        };
+        let (Ok(a), Ok(b)) = (a.trim().parse::<usize>(), b.trim().parse::<usize>()) else {
+            return HttpResponse::status(416, "unparseable range");
+        };
+        if a > b || b >= file.body.len() {
+            return HttpResponse::status(416, "range out of bounds");
+        }
+        HttpResponse::status(206, file.body[a..=b].to_vec())
+    }
+
+    fn tag(&self, resp: HttpResponse) -> HttpResponse {
+        resp.header("Server", &self.banner())
+    }
+
+    /// Reverse-proxy path: strict parsing, then forward.
+    fn proxy(&self, req: &HttpRequest, raw: &[u8], ctx: &ServiceCtx) -> HttpResponse {
+        // Strict Transfer-Encoding validation: nginx rejects obfuscated
+        // values outright — this is what defeats the smuggling payload.
+        if let Some(te) = req.header("transfer-encoding") {
+            if normalize_header_value(te) != te || !te.eq_ignore_ascii_case("chunked") {
+                return self.tag(HttpResponse::status(400, "400 Bad Request"));
+            }
+        }
+        if is_denied(&req.path) {
+            return self.tag(HttpResponse::status(403, "403 Forbidden"));
+        }
+        // Nginx forwards exactly one well-formed request; any trailing
+        // bytes in `raw` beyond the parsed frame were never read here
+        // (framework framing is strict).
+        let upstream = self.upstream.as_ref().expect("proxy mode");
+        match forward_request(ctx, upstream, raw) {
+            Some(resp) => self.tag(resp),
+            None => self.tag(HttpResponse::status(500, "upstream unavailable")),
+        }
+    }
+}
+
+impl Service for NginxSim {
+    fn name(&self) -> &str {
+        "nginx"
+    }
+
+    fn handle(&self, mut conn: BoxStream, ctx: &ServiceCtx) {
+        let mut buf = Vec::new();
+        loop {
+            match read_request(&mut conn, &mut buf) {
+                Ok(Some((req, raw))) => {
+                    let response = if self.upstream.is_some() {
+                        self.proxy(&req, &raw, ctx)
+                    } else {
+                        self.serve_static(&req)
+                    };
+                    if conn.write_all(&response.to_bytes()).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_req(path: &str, range: Option<&str>) -> HttpRequest {
+        let mut headers = Vec::new();
+        if let Some(r) = range {
+            headers.push(("range".to_string(), r.to_string()));
+        }
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            headers,
+            ..HttpRequest::default()
+        }
+    }
+
+    fn server(version: &str) -> NginxSim {
+        let s = NginxSim::file_server(NginxVersion::parse(version));
+        s.publish("/index.html", b"public document".to_vec(), b"SECRET-CACHE-KEY".to_vec());
+        s
+    }
+
+    #[test]
+    fn version_gate() {
+        assert!(NginxVersion::parse("1.13.2").leaks_range_memory());
+        assert!(!NginxVersion::parse("1.13.3").leaks_range_memory());
+        assert!(!NginxVersion::parse("1.13.4").leaks_range_memory());
+        assert!(!NginxVersion::parse("1.12.1").leaks_range_memory());
+    }
+
+    #[test]
+    fn plain_get_is_identical_across_versions() {
+        let old = server("1.13.2");
+        let new = server("1.13.4");
+        let req = file_req("/index.html", None);
+        let a = old.serve_static(&req);
+        let b = new.serve_static(&req);
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.status, b.status);
+    }
+
+    #[test]
+    fn valid_ranges_agree() {
+        let old = server("1.13.2");
+        let new = server("1.13.4");
+        for range in ["bytes=0-5", "bytes=-6"] {
+            let req = file_req("/index.html", Some(range));
+            let a = old.serve_static(&req);
+            let b = new.serve_static(&req);
+            assert_eq!(a.status, 206);
+            assert_eq!(a.body, b.body, "range {range}");
+        }
+    }
+
+    #[test]
+    fn cve_2017_7529_overflow_range_diverges() {
+        let old = server("1.13.2");
+        let new = server("1.13.4");
+        let req = file_req("/index.html", Some("bytes=-9223372036854775608"));
+        let leaked = old.serve_static(&req);
+        let safe = new.serve_static(&req);
+        assert_eq!(leaked.status, 206);
+        assert!(
+            leaked.body_text().contains("SECRET-CACHE-KEY"),
+            "1.13.2 must return adjacent cache memory"
+        );
+        assert_eq!(safe.status, 416, "1.13.4 must refuse the range");
+        assert!(!safe.body_text().contains("SECRET"));
+    }
+
+    #[test]
+    fn suffix_range_larger_than_file_but_parseable_is_leak_shaped() {
+        // Even a modest overflow (file+1) triggers the buggy path.
+        let old = server("1.13.2");
+        let req = file_req("/index.html", Some("bytes=-100"));
+        let r = old.serve_static(&req);
+        assert!(r.body_text().contains("SECRET-CACHE-KEY"));
+    }
+
+    #[test]
+    fn missing_file_is_404() {
+        let s = server("1.13.4");
+        assert_eq!(s.serve_static(&file_req("/nope", None)).status, 404);
+    }
+
+    #[test]
+    fn banner_carries_version() {
+        assert_eq!(server("1.13.2").banner(), "nginx/1.13.2");
+    }
+}

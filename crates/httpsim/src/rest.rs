@@ -1,0 +1,309 @@
+//! Flask-like RESTful wrappers for the `rddr-libsim` pairs (§V-A), plus the
+//! ASLR'd echo service (§V-E).
+//!
+//! "To create RESTful servers with access to Python libraries, the function
+//! calls were accessed using flask servers." Each wrapper exposes one
+//! library function behind a fixed route; deploying the wrapper twice with
+//! the two diverse library implementations yields the paper's N-versioned
+//! RESTful microservice.
+
+use std::sync::Arc;
+
+use rddr_libsim::{
+    AslrEcho, HtmlSanitizer, MarkdownRenderer, RsaDecryptor, RsaKeyPair, SvgRasterizer,
+    VirtualFs,
+};
+use rddr_net::{BoxStream, Stream};
+use rddr_orchestra::{Service, ServiceCtx};
+
+use crate::framework::{HttpResponse, HttpService};
+
+/// Hex-encodes bytes.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Hex-decodes a string.
+pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    let text = text.trim();
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// `POST /decrypt` — body is the ciphertext as a decimal `u64`; responds
+/// with the plaintext hex or `400` on padding errors (CVE-2020-13757 pair).
+pub fn decrypt_service(
+    decryptor: Arc<dyn RsaDecryptor>,
+    key: RsaKeyPair,
+) -> HttpService {
+    HttpService::new("rsa-decrypt").route("POST", "/decrypt", move |req, _ctx| {
+        let Ok(ciphertext) = req.body_text().trim().parse::<u64>() else {
+            return HttpResponse::status(400, "bad ciphertext encoding");
+        };
+        match decryptor.decrypt(&key, ciphertext) {
+            Ok(plaintext) => HttpResponse::ok(hex_encode(&plaintext)),
+            Err(e) => HttpResponse::status(400, format!("decryption failed: {e}")),
+        }
+    })
+}
+
+/// `POST /render` — body is markdown; responds with safe-mode HTML
+/// (CVE-2020-11888 pair).
+pub fn render_service(renderer: Arc<dyn MarkdownRenderer>) -> HttpService {
+    HttpService::new("markdown-render").route("POST", "/render", move |req, _ctx| {
+        HttpResponse::html(renderer.render(&req.body_text()))
+    })
+}
+
+/// `POST /convert` — body is an SVG document; responds with the PNG bytes
+/// hex-encoded, or `400` on rejection (CVE-2020-10799 pair).
+pub fn svg_service(rasterizer: Arc<dyn SvgRasterizer>, fs: VirtualFs) -> HttpService {
+    HttpService::new("svg2png").route("POST", "/convert", move |req, _ctx| {
+        match rasterizer.rasterize(&req.body_text(), &fs) {
+            Ok(png) => HttpResponse::ok(hex_encode(&png)),
+            Err(e) => HttpResponse::status(400, format!("conversion failed: {e}")),
+        }
+    })
+}
+
+/// `POST /sanitize` — body is an HTML fragment; responds with the cleaned
+/// fragment (CVE-2014-3146 pair).
+pub fn sanitize_service(sanitizer: Arc<dyn HtmlSanitizer>) -> HttpService {
+    HttpService::new("html-sanitize").route("POST", "/sanitize", move |req, _ctx| {
+        HttpResponse::html(sanitizer.sanitize(&req.body_text()))
+    })
+}
+
+/// The ASLR'd echo server: a raw line-oriented TCP service (§V-E). Each
+/// request line is echoed back, with the overflow leak of
+/// [`rddr_libsim::AslrEcho`] when the line exceeds the buffer.
+pub struct AslrEchoService {
+    process: AslrEcho,
+}
+
+impl std::fmt::Debug for AslrEchoService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AslrEchoService").finish()
+    }
+}
+
+impl AslrEchoService {
+    /// "Launches" the process with the given ASLR entropy seed (one per
+    /// container instance).
+    pub fn launch(seed: u64) -> Self {
+        Self { process: AslrEcho::launch(seed) }
+    }
+}
+
+impl Service for AslrEchoService {
+    fn name(&self) -> &str {
+        "aslr-echo"
+    }
+
+    fn handle(&self, mut conn: BoxStream, _ctx: &ServiceCtx) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = buf.drain(..=pos).collect();
+                let mut reply = self.process.echo(&line[..line.len() - 1]);
+                reply.push(b'\n');
+                if conn.write_all(&reply).is_err() {
+                    return;
+                }
+            }
+            match conn.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::HttpClient;
+    use rddr_libsim::{
+        craft_forged_ciphertext, CairoSvg, CryptoLib, LxmlClean, Markdown2, MarkdownSafe,
+        RsaLib, SanitizeHtml, SvgLib,
+    };
+    use rddr_net::{Network, ServiceAddr};
+    use rddr_orchestra::{Cluster, Image};
+
+    fn deploy(cluster: &Cluster, name: &str, port: u16, svc: Arc<dyn Service>) -> ServiceAddr {
+        let addr = ServiceAddr::new(name, port);
+        let handle = cluster
+            .run_container(format!("{name}-{port}"), Image::new(name, "v1"), &addr, svc)
+            .unwrap();
+        std::mem::forget(handle); // keep serving for the test duration
+        addr
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data = vec![0u8, 15, 255, 128];
+        assert_eq!(hex_decode(&hex_encode(&data)), Some(data));
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode("abc"), None);
+    }
+
+    #[test]
+    fn decrypt_services_agree_on_benign_and_diverge_on_forged() {
+        let cluster = Cluster::new(2);
+        let key = RsaKeyPair::demo();
+        let a = deploy(
+            &cluster,
+            "rsa",
+            8000,
+            Arc::new(decrypt_service(Arc::new(RsaLib::new()), key)),
+        );
+        let b = deploy(
+            &cluster,
+            "rsa",
+            8001,
+            Arc::new(decrypt_service(Arc::new(CryptoLib::new()), key)),
+        );
+        let net = cluster.net();
+        let benign = key.encrypt(b"ok!").unwrap().to_string();
+        let forged = craft_forged_ciphertext(&key).to_string();
+        let mut ca = HttpClient::connect(&net, &a).unwrap();
+        let mut cb = HttpClient::connect(&net, &b).unwrap();
+
+        let ra = ca.post("/decrypt", &benign).unwrap();
+        let rb = cb.post("/decrypt", &benign).unwrap();
+        assert_eq!(ra.status, 200);
+        assert_eq!(ra.body, rb.body, "benign ciphertext must agree");
+
+        let ra = ca.post("/decrypt", &forged).unwrap();
+        let rb = cb.post("/decrypt", &forged).unwrap();
+        assert_eq!(ra.status, 200, "vulnerable library accepts the forgery");
+        assert_eq!(rb.status, 400, "strict library rejects it");
+    }
+
+    #[test]
+    fn render_services_diverge_only_under_exploit() {
+        let cluster = Cluster::new(2);
+        let a = deploy(
+            &cluster,
+            "md",
+            8000,
+            Arc::new(render_service(Arc::new(Markdown2::new()))),
+        );
+        let b = deploy(
+            &cluster,
+            "md",
+            8001,
+            Arc::new(render_service(Arc::new(MarkdownSafe::new()))),
+        );
+        let net = cluster.net();
+        let mut ca = HttpClient::connect(&net, &a).unwrap();
+        let mut cb = HttpClient::connect(&net, &b).unwrap();
+        let benign = "# Hi\n\n**bold** [link](https://ok.example)";
+        assert_eq!(
+            ca.post("/render", benign).unwrap().body,
+            cb.post("/render", benign).unwrap().body
+        );
+        let exploit = "[x](java\tscript:alert(1))";
+        assert_ne!(
+            ca.post("/render", exploit).unwrap().body,
+            cb.post("/render", exploit).unwrap().body
+        );
+    }
+
+    #[test]
+    fn svg_services_xxe_divergence() {
+        let cluster = Cluster::new(2);
+        let a = deploy(
+            &cluster,
+            "svg",
+            8000,
+            Arc::new(svg_service(Arc::new(SvgLib::new()), VirtualFs::with_defaults())),
+        );
+        let b = deploy(
+            &cluster,
+            "svg",
+            8001,
+            Arc::new(svg_service(Arc::new(CairoSvg::new()), VirtualFs::with_defaults())),
+        );
+        let net = cluster.net();
+        let mut ca = HttpClient::connect(&net, &a).unwrap();
+        let mut cb = HttpClient::connect(&net, &b).unwrap();
+        let benign = r#"<svg><rect x="1" y="1" width="4" height="4"/></svg>"#;
+        assert_eq!(
+            ca.post("/convert", benign).unwrap().body,
+            cb.post("/convert", benign).unwrap().body
+        );
+        let xxe = "<!DOCTYPE svg [<!ENTITY x SYSTEM \"file:///etc/passwd\">]>\
+                   <svg><text>&x;</text></svg>";
+        let ra = ca.post("/convert", xxe).unwrap();
+        let rb = cb.post("/convert", xxe).unwrap();
+        assert_eq!(ra.status, 200);
+        assert_eq!(rb.status, 400);
+    }
+
+    #[test]
+    fn sanitize_services_control_char_divergence() {
+        let cluster = Cluster::new(2);
+        let a = deploy(
+            &cluster,
+            "san",
+            8000,
+            Arc::new(sanitize_service(Arc::new(LxmlClean::new()))),
+        );
+        let b = deploy(
+            &cluster,
+            "san",
+            8001,
+            Arc::new(sanitize_service(Arc::new(SanitizeHtml::new()))),
+        );
+        let net = cluster.net();
+        let mut ca = HttpClient::connect(&net, &a).unwrap();
+        let mut cb = HttpClient::connect(&net, &b).unwrap();
+        let benign = "<p>hello <b>world</b></p>";
+        assert_eq!(
+            ca.post("/sanitize", benign).unwrap().body,
+            cb.post("/sanitize", benign).unwrap().body
+        );
+        let exploit = "<a href=\"java\tscript:alert(1)\">x</a>";
+        assert_ne!(
+            ca.post("/sanitize", exploit).unwrap().body,
+            cb.post("/sanitize", exploit).unwrap().body
+        );
+    }
+
+    #[test]
+    fn aslr_echo_instances_diverge_on_overflow() {
+        let cluster = Cluster::new(2);
+        let a = deploy(&cluster, "echo", 7000, Arc::new(AslrEchoService::launch(11)));
+        let b = deploy(&cluster, "echo", 7001, Arc::new(AslrEchoService::launch(22)));
+        let net = cluster.net();
+        let mut conn_a = net.dial(&a).unwrap();
+        let mut conn_b = net.dial(&b).unwrap();
+        let read_line = |conn: &mut rddr_net::BoxStream| -> Vec<u8> {
+            let mut out = Vec::new();
+            let mut byte = [0u8; 1];
+            while conn.read(&mut byte).map(|n| n > 0).unwrap_or(false) {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                out.push(byte[0]);
+            }
+            out
+        };
+        conn_a.write_all(b"benign\n").unwrap();
+        conn_b.write_all(b"benign\n").unwrap();
+        assert_eq!(read_line(&mut conn_a), read_line(&mut conn_b));
+        let overflow = vec![b'A'; rddr_libsim::aslr::BUFFER_SIZE + 8];
+        conn_a.write_all(&overflow).unwrap();
+        conn_a.write_all(b"\n").unwrap();
+        conn_b.write_all(&overflow).unwrap();
+        conn_b.write_all(b"\n").unwrap();
+        assert_ne!(read_line(&mut conn_a), read_line(&mut conn_b));
+    }
+}

@@ -1,0 +1,121 @@
+//! Reverse-proxy behaviour of the nginx and HAProxy simulators, exercised
+//! directly on a cluster (without RDDR): the per-proxy behaviours whose
+//! *difference* the CVE-2019-18277 scenario exploits.
+
+use std::sync::Arc;
+
+use rddr_httpsim::haproxy::{smuggling_payload, smuggling_target_service};
+use rddr_httpsim::{HaproxySim, HttpClient, NginxSim, NginxVersion};
+use rddr_net::ServiceAddr;
+use rddr_orchestra::{Cluster, Image};
+
+fn deploy() -> (Cluster, ServiceAddr, ServiceAddr) {
+    let cluster = Cluster::new(4);
+    for i in 0..2u16 {
+        let h = cluster
+            .run_container(
+                format!("s1-{i}"),
+                Image::new("s1", "v1"),
+                &ServiceAddr::new("s1", 9100 + i),
+                Arc::new(smuggling_target_service()),
+            )
+            .unwrap();
+        std::mem::forget(h);
+    }
+    let haproxy = ServiceAddr::new("haproxy", 8080);
+    let nginx = ServiceAddr::new("nginx", 8081);
+    std::mem::forget(
+        cluster
+            .run_container(
+                "haproxy-0",
+                Image::new("haproxy", "1.5.3"),
+                &haproxy,
+                Arc::new(HaproxySim::new(ServiceAddr::new("s1", 9100))),
+            )
+            .unwrap(),
+    );
+    std::mem::forget(
+        cluster
+            .run_container(
+                "nginx-0",
+                Image::new("nginx", "1.13.4"),
+                &nginx,
+                Arc::new(NginxSim::reverse_proxy(
+                    NginxVersion::parse("1.13.4"),
+                    ServiceAddr::new("s1", 9101),
+                )),
+            )
+            .unwrap(),
+    );
+    (cluster, haproxy, nginx)
+}
+
+#[test]
+fn both_proxies_forward_benign_requests() {
+    let (cluster, haproxy, nginx) = deploy();
+    let net = cluster.net();
+    for addr in [&haproxy, &nginx] {
+        let mut client = HttpClient::connect(&net, addr).unwrap();
+        let resp = client.get("/public").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_text(), "public ok");
+    }
+}
+
+#[test]
+fn both_proxies_enforce_the_acl_on_direct_requests() {
+    let (cluster, haproxy, nginx) = deploy();
+    let net = cluster.net();
+    for addr in [&haproxy, &nginx] {
+        let mut client = HttpClient::connect(&net, addr).unwrap();
+        let resp = client.get("/internal/flush").unwrap();
+        assert_eq!(resp.status, 403, "direct /internal must be denied");
+        assert!(!resp.body_text().contains("INTERNAL"));
+    }
+}
+
+#[test]
+fn haproxy_passes_the_smuggled_request_but_nginx_rejects_it() {
+    let (cluster, haproxy, nginx) = deploy();
+    let net = cluster.net();
+
+    // HAProxy 1.5.3: the outer request is answered normally AND the
+    // smuggled inner request reaches the denied route.
+    let mut attacker = HttpClient::connect(&net, &haproxy).unwrap();
+    attacker.send_raw(&smuggling_payload()).unwrap();
+    let first = attacker.read_response().unwrap();
+    assert_eq!(first.status, 200);
+    let second = attacker.read_response().unwrap();
+    assert!(
+        second.body_text().contains("INTERNAL"),
+        "the smuggled response must surface on the vulnerable proxy: {}",
+        second.body_text()
+    );
+
+    // nginx: the obfuscated Transfer-Encoding is rejected wholesale.
+    let mut attacker = HttpClient::connect(&net, &nginx).unwrap();
+    attacker.send_raw(&smuggling_payload()).unwrap();
+    let resp = attacker.read_response().unwrap();
+    assert_eq!(resp.status, 400, "strict parsing must refuse the payload");
+    // And no second response ever arrives.
+    attacker.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    assert!(attacker.read_response().is_err());
+}
+
+#[test]
+fn proxies_annotate_responses_with_their_banner() {
+    let (cluster, haproxy, nginx) = deploy();
+    let net = cluster.net();
+    let mut via_haproxy = HttpClient::connect(&net, &haproxy).unwrap();
+    let ha = via_haproxy.get("/public").unwrap();
+    assert!(ha
+        .headers
+        .iter()
+        .any(|(n, v)| n == "server" && v.contains("haproxy")));
+    let mut via_nginx = HttpClient::connect(&net, &nginx).unwrap();
+    let ng = via_nginx.get("/public").unwrap();
+    assert!(ng
+        .headers
+        .iter()
+        .any(|(n, v)| n == "server" && v.contains("nginx")));
+}

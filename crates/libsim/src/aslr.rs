@@ -1,0 +1,117 @@
+//! The ASLR proof-of-concept echo server (§V-E).
+//!
+//! The paper demonstrates RDDR defeating pointer leaks with "a simple echo
+//! server that stores the requester's message in a buffer and returns it
+//! without checking for overflow. If the requester overwrites the null
+//! terminator at the end of the buffer, the program leaks a pointer
+//! adjacent to the buffer in the stack."
+//!
+//! This module simulates the process: each instance gets its own randomized
+//! stack base (the OS's ASLR), a 64-byte buffer, and a saved pointer
+//! adjacent to it. Overlong inputs run past the terminator and the "read"
+//! returns the pointer bytes — a different value in every instance, which
+//! is precisely the divergence RDDR's filter-pair logic cannot mistake for
+//! agreement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size of the stack buffer the echo server copies requests into.
+pub const BUFFER_SIZE: usize = 64;
+
+/// A simulated process with an ASLR-randomized address space.
+#[derive(Debug, Clone)]
+pub struct AslrEcho {
+    stack_base: u64,
+}
+
+impl AslrEcho {
+    /// "Launches" the process: the OS assigns a randomized stack base.
+    ///
+    /// The seed models the kernel's entropy source — distinct per instance
+    /// in a real deployment, controllable in tests.
+    pub fn launch(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Canonical user-space stack region with 28 bits of entropy,
+        // 16-byte aligned — the shape of Linux mmap ASLR.
+        let slide: u64 = rng.gen_range(0..(1u64 << 28)) << 4;
+        Self { stack_base: 0x7ffc_0000_0000 + slide }
+    }
+
+    /// The address the buffer lives at (base + frame offset).
+    pub fn buffer_address(&self) -> u64 {
+        self.stack_base + 0x100
+    }
+
+    /// The saved pointer adjacent to the buffer — the leak target. In the
+    /// paper's exploit this lets the attacker compute a gadget address.
+    pub fn adjacent_pointer(&self) -> u64 {
+        self.stack_base + 0x1f8
+    }
+
+    /// Handles one echo request.
+    ///
+    /// Requests up to [`BUFFER_SIZE`] bytes echo cleanly. Longer requests
+    /// overflow: the response contains the first `BUFFER_SIZE` bytes and
+    /// then "reads past the terminator", leaking the adjacent pointer as
+    /// eight raw bytes (rendered hex for transport).
+    pub fn echo(&self, request: &[u8]) -> Vec<u8> {
+        if request.len() <= BUFFER_SIZE {
+            return request.to_vec();
+        }
+        let mut out = request[..BUFFER_SIZE].to_vec();
+        out.extend_from_slice(format!("{:016x}", self.adjacent_pointer()).as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_requests_echo_exactly() {
+        let p = AslrEcho::launch(1);
+        assert_eq!(p.echo(b"hello"), b"hello");
+        let full = vec![b'x'; BUFFER_SIZE];
+        assert_eq!(p.echo(&full), full);
+    }
+
+    #[test]
+    fn overflow_leaks_a_pointer() {
+        let p = AslrEcho::launch(1);
+        let overlong = vec![b'A'; BUFFER_SIZE + 1];
+        let out = p.echo(&overlong);
+        assert_eq!(out.len(), BUFFER_SIZE + 16);
+        let leaked = std::str::from_utf8(&out[BUFFER_SIZE..]).unwrap();
+        assert_eq!(leaked, format!("{:016x}", p.adjacent_pointer()));
+    }
+
+    #[test]
+    fn distinct_instances_leak_distinct_pointers() {
+        let a = AslrEcho::launch(1);
+        let b = AslrEcho::launch(2);
+        assert_ne!(a.adjacent_pointer(), b.adjacent_pointer());
+        let overlong = vec![b'A'; BUFFER_SIZE + 8];
+        assert_ne!(a.echo(&overlong), b.echo(&overlong), "divergence under attack");
+        assert_eq!(a.echo(b"benign"), b.echo(b"benign"), "agreement when benign");
+    }
+
+    #[test]
+    fn addresses_are_aligned_and_canonical() {
+        for seed in 0..50 {
+            let p = AslrEcho::launch(seed);
+            assert_eq!(p.buffer_address() % 16, 0);
+            assert!(p.buffer_address() >= 0x7ffc_0000_0000);
+            assert!(p.adjacent_pointer() > p.buffer_address());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_layout() {
+        assert_eq!(
+            AslrEcho::launch(7).adjacent_pointer(),
+            AslrEcho::launch(7).adjacent_pointer()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Diverse mini-library pairs for the RDDR evaluation (§V-A, §V-E).
+//!
+//! The paper's RESTful case studies pair a vulnerable library with "a
+//! library with similar functionality but a different code base" and show
+//! that RDDR detects the divergence when an exploit fires:
+//!
+//! | CVE | paper's pair | this crate's pair |
+//! |---|---|---|
+//! | CVE-2020-13757 | `rsa` / `Crypto` | [`rsa::RsaLib`] / [`rsa::CryptoLib`] |
+//! | CVE-2020-11888 | `markdown2` / `markdown` | [`markdown::Markdown2`] / [`markdown::MarkdownSafe`] |
+//! | CVE-2020-10799 | `svglib` / `cairosvg` | [`svg::SvgLib`] / [`svg::CairoSvg`] |
+//! | CVE-2014-3146 | `lxml` / `sanitize-html` | [`sanitizer::LxmlClean`] / [`sanitizer::SanitizeHtml`] |
+//!
+//! Each pair implements one shared trait so the HTTP wrappers in
+//! `rddr-httpsim` can expose them behind identical REST APIs. The
+//! vulnerable member reproduces its CVE's *observable* behaviour — the
+//! output divergence RDDR diffs — not the original memory-level bug (see
+//! `DESIGN.md`, substitution ledger).
+//!
+//! The crate also provides the substrates these need: a mini XML parser
+//! with optional DTD entity expansion ([`xml`]), a virtual filesystem for
+//! XXE targets ([`vfs`]), and the ASLR'd echo server of §V-E ([`aslr`]).
+
+pub mod aslr;
+pub mod markdown;
+pub mod rsa;
+pub mod sanitizer;
+pub mod svg;
+pub mod vfs;
+pub mod xml;
+
+pub use aslr::AslrEcho;
+pub use markdown::{Markdown2, MarkdownRenderer, MarkdownSafe};
+pub use rsa::{craft_forged_ciphertext, CryptoLib, RsaDecryptor, RsaKeyPair, RsaLib};
+pub use sanitizer::{HtmlSanitizer, LxmlClean, SanitizeHtml};
+pub use svg::{CairoSvg, SvgLib, SvgRasterizer};
+pub use vfs::VirtualFs;

@@ -1,0 +1,265 @@
+//! Two independently written markdown-to-HTML renderers.
+//!
+//! Reproduces the CVE-2020-11888 pair (§V-A): Python's `markdown2` in
+//! safe mode could still emit attacker-controlled markup through crafted
+//! link syntax, while `markdown` escaped it. Both renderers here support
+//! the same dialect — paragraphs, `#` headings, `**bold**`, `*emphasis*`,
+//! `` `code` `` and `[text](url)` links — and both claim to be "safe mode";
+//! they differ in one validation detail:
+//!
+//! * [`MarkdownSafe`] normalizes link URLs *before* checking the scheme, so
+//!   `java\tscript:alert(1)` is recognized as `javascript:` and refused.
+//! * [`Markdown2`] checks the raw URL prefix only — whitespace/control
+//!   characters smuggle a script URL through, mirroring the CVE class.
+
+/// A markdown renderer exposing the shared REST-facing API.
+pub trait MarkdownRenderer: Send + Sync {
+    /// Renders markdown to HTML in "safe mode".
+    fn render(&self, markdown: &str) -> String;
+
+    /// Implementation name, for diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// Escapes HTML metacharacters.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders inline spans; `strict_urls` selects the safe URL check.
+fn render_inline(text: &str, strict_urls: bool) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // **bold**
+        if chars[i] == '*' && chars.get(i + 1) == Some(&'*') {
+            if let Some(close) = find_seq(&chars, i + 2, &['*', '*']).filter(|&c| c > i + 2) {
+                let inner: String = chars[i + 2..close].iter().collect();
+                out.push_str("<strong>");
+                out.push_str(&render_inline(&inner, strict_urls));
+                out.push_str("</strong>");
+                i = close + 2;
+                continue;
+            }
+        }
+        // *em*
+        if chars[i] == '*' {
+            if let Some(close) = find_seq(&chars, i + 1, &['*']).filter(|&c| c > i + 1) {
+                let inner: String = chars[i + 1..close].iter().collect();
+                out.push_str("<em>");
+                out.push_str(&render_inline(&inner, strict_urls));
+                out.push_str("</em>");
+                i = close + 1;
+                continue;
+            }
+        }
+        // `code`
+        if chars[i] == '`' {
+            if let Some(close) = find_seq(&chars, i + 1, &['`']).filter(|&c| c > i + 1) {
+                let inner: String = chars[i + 1..close].iter().collect();
+                out.push_str("<code>");
+                out.push_str(&escape(&inner));
+                out.push_str("</code>");
+                i = close + 1;
+                continue;
+            }
+        }
+        // [text](url)
+        if chars[i] == '[' {
+            if let Some(close_bracket) = find_seq(&chars, i + 1, &[']']) {
+                if chars.get(close_bracket + 1) == Some(&'(') {
+                    if let Some(close_paren) = find_seq(&chars, close_bracket + 2, &[')']) {
+                        let label: String = chars[i + 1..close_bracket].iter().collect();
+                        let url: String =
+                            chars[close_bracket + 2..close_paren].iter().collect();
+                        out.push_str(&render_link(&label, &url, strict_urls));
+                        i = close_paren + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push_str(&escape(&chars[i].to_string()));
+        i += 1;
+    }
+    out
+}
+
+fn find_seq(chars: &[char], from: usize, needle: &[char]) -> Option<usize> {
+    (from..chars.len().saturating_sub(needle.len() - 1))
+        .find(|&k| &chars[k..k + needle.len()] == needle)
+}
+
+fn render_link(label: &str, url: &str, strict: bool) -> String {
+    let dangerous = if strict {
+        // Normalize first: strip whitespace/control characters, lowercase.
+        let normalized: String = url
+            .chars()
+            .filter(|c| !c.is_whitespace() && !c.is_control())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        normalized.starts_with("javascript:")
+            || normalized.starts_with("data:")
+            || normalized.starts_with("vbscript:")
+    } else {
+        // The markdown2-style check: raw prefix only — bypassable with
+        // embedded whitespace (the CVE-2020-11888 class).
+        let lowered = url.to_ascii_lowercase();
+        lowered.starts_with("javascript:")
+            || lowered.starts_with("data:")
+            || lowered.starts_with("vbscript:")
+    };
+    if dangerous {
+        format!("<a href=\"#\" rel=\"nofollow\">{}</a>", escape(label))
+    } else {
+        format!("<a href=\"{}\">{}</a>", escape(url), escape(label))
+    }
+}
+
+fn render_blocks(markdown: &str, strict_urls: bool) -> String {
+    let mut out = String::new();
+    for block in markdown.split("\n\n") {
+        let block = block.trim();
+        if block.is_empty() {
+            continue;
+        }
+        if let Some(heading) = block.strip_prefix("# ") {
+            out.push_str("<h1>");
+            out.push_str(&render_inline(heading, strict_urls));
+            out.push_str("</h1>\n");
+        } else if let Some(heading) = block.strip_prefix("## ") {
+            out.push_str("<h2>");
+            out.push_str(&render_inline(heading, strict_urls));
+            out.push_str("</h2>\n");
+        } else {
+            out.push_str("<p>");
+            out.push_str(&render_inline(block, strict_urls));
+            out.push_str("</p>\n");
+        }
+    }
+    out
+}
+
+/// The safe renderer (the paper's `markdown` library stand-in).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarkdownSafe;
+
+impl MarkdownSafe {
+    /// Creates the renderer.
+    pub fn new() -> Self {
+        MarkdownSafe
+    }
+}
+
+impl MarkdownRenderer for MarkdownSafe {
+    fn render(&self, markdown: &str) -> String {
+        render_blocks(markdown, true)
+    }
+
+    fn name(&self) -> &str {
+        "markdown-safe"
+    }
+}
+
+/// The vulnerable renderer (the paper's `markdown2`, CVE-2020-11888).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Markdown2;
+
+impl Markdown2 {
+    /// Creates the renderer.
+    pub fn new() -> Self {
+        Markdown2
+    }
+}
+
+impl MarkdownRenderer for Markdown2 {
+    fn render(&self, markdown: &str) -> String {
+        render_blocks(markdown, false)
+    }
+
+    fn name(&self) -> &str {
+        "markdown2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(md: &str) -> (String, String) {
+        (MarkdownSafe::new().render(md), Markdown2::new().render(md))
+    }
+
+    #[test]
+    fn benign_markdown_renders_identically() {
+        for md in [
+            "# Title\n\nHello **world** with *style* and `code`.",
+            "[site](https://example.com) is fine",
+            "plain paragraph",
+            "## h2\n\nsecond block",
+        ] {
+            let (a, b) = both(md);
+            assert_eq!(a, b, "benign input must not diverge: {md:?}");
+        }
+    }
+
+    #[test]
+    fn raw_html_is_escaped_by_both() {
+        let (a, b) = both("<script>alert(1)</script>");
+        assert!(!a.contains("<script>"));
+        assert!(!b.contains("<script>"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plain_javascript_url_blocked_by_both() {
+        let (a, b) = both("[x](javascript:alert(1))");
+        assert!(a.contains("href=\"#\""));
+        assert!(b.contains("href=\"#\""));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cve_2020_11888_whitespace_bypass_diverges() {
+        // Tab smuggled into the scheme: markdown2's raw prefix check misses
+        // it; the safe renderer normalizes first.
+        let exploit = "[click me](java\tscript:alert(document.cookie))";
+        let (safe, vulnerable) = both(exploit);
+        assert!(safe.contains("href=\"#\""), "safe renderer must neutralize: {safe}");
+        assert!(
+            vulnerable.contains("javascript:") || vulnerable.contains("java\tscript:"),
+            "vulnerable renderer must let the payload through: {vulnerable}"
+        );
+        assert_ne!(safe, vulnerable, "this is the divergence RDDR detects");
+    }
+
+    #[test]
+    fn bold_and_em_render() {
+        let html = MarkdownSafe::new().render("**bold** and *em*");
+        assert!(html.contains("<strong>bold</strong>"));
+        assert!(html.contains("<em>em</em>"));
+    }
+
+    #[test]
+    fn code_spans_escape_content() {
+        let html = MarkdownSafe::new().render("`<b>`");
+        assert!(html.contains("<code>&lt;b&gt;</code>"));
+    }
+
+    #[test]
+    fn unterminated_markers_fall_through_as_text() {
+        let html = MarkdownSafe::new().render("a ** b");
+        assert_eq!(html, "<p>a ** b</p>\n");
+    }
+}

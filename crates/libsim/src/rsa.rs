@@ -1,0 +1,277 @@
+//! Two RSA decryption implementations over small (64-bit) moduli.
+//!
+//! Reproduces the CVE-2020-13757 pair (§V-A): `python-rsa` accepted
+//! ciphertexts whose decryption had leading null bytes stripped, letting an
+//! attacker craft ciphertexts that decrypt "successfully" to content the
+//! strict implementation rejects as malformed padding.
+//!
+//! Both implementations share keys and textbook RSA math; they differ in
+//! padding validation:
+//!
+//! * [`CryptoLib`] (strict, the `Crypto` stand-in) requires the full
+//!   PKCS#1-style frame `00 02 ‖ nonzero-padding ‖ 00 ‖ message` at the
+//!   exact modulus width and errors otherwise.
+//! * [`RsaLib`] (vulnerable) skips leading zero bytes, then accepts *any*
+//!   `02 … 00`-delimited frame it can find — crafted ciphertexts yield
+//!   attacker-influenced plaintext instead of an error.
+//!
+//! The keys are toy-sized (32-bit primes). This is a behavioural testbed
+//! for N-version divergence, **not** cryptography.
+
+/// RSA decryption error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaError(pub String);
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rsa error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// A toy RSA key pair (64-bit modulus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsaKeyPair {
+    /// Modulus `n = p·q`.
+    pub n: u64,
+    /// Public exponent.
+    pub e: u64,
+    /// Private exponent.
+    pub d: u64,
+}
+
+impl RsaKeyPair {
+    /// The fixed demo key pair used by the evaluation services (both
+    /// instances must share keys so benign traffic agrees).
+    pub fn demo() -> Self {
+        // p, q are 32-bit primes; e = 65537.
+        let p: u64 = 4_294_967_291; // 2^32 - 5
+        let q: u64 = 4_294_967_279; // 2^32 - 17
+        let n = p * q;
+        let phi = (p - 1) * (q - 1);
+        let e = 65_537;
+        let d = mod_inverse(e, phi).expect("e is coprime to phi");
+        Self { n, e, d }
+    }
+
+    /// Encrypts a 4-byte message block with the padding frame
+    /// `00 02 pp pp 00 m0 m1 m2` (8 bytes = modulus width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError`] if the message exceeds 3 bytes.
+    pub fn encrypt(&self, message: &[u8]) -> Result<u64, RsaError> {
+        if message.len() > 3 {
+            return Err(RsaError("message too long for toy modulus".into()));
+        }
+        let mut frame = [0u8; 8];
+        frame[0] = 0x00;
+        frame[1] = 0x02;
+        // Fixed nonzero padding keeps the N instances in agreement.
+        let start = 8 - message.len();
+        const PAD: [u8; 4] = [0xa7, 0x3b, 0x5d, 0x91];
+        for i in 2..start - 1 {
+            frame[i] = PAD[(i - 2) % PAD.len()];
+        }
+        frame[start - 1] = 0x00;
+        frame[start..].copy_from_slice(message);
+        let m = u64::from_be_bytes(frame);
+        Ok(mod_pow(m % self.n, self.e, self.n))
+    }
+
+    /// Raw RSA: `c^d mod n`, returned as the 8-byte frame.
+    pub fn decrypt_raw(&self, ciphertext: u64) -> [u8; 8] {
+        mod_pow(ciphertext % self.n, self.d, self.n).to_be_bytes()
+    }
+}
+
+/// Modular exponentiation via 128-bit intermediates.
+fn mod_pow(base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut result: u128 = 1;
+    let m = modulus as u128;
+    let mut b = base as u128 % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    result as u64
+}
+
+/// Extended Euclid modular inverse.
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(m as i128) as u64)
+}
+
+/// The REST-facing decryption API both implementations share.
+pub trait RsaDecryptor: Send + Sync {
+    /// Decrypts and unpads, returning the message bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError`] on malformed padding (strictness varies —
+    /// that's the point).
+    fn decrypt(&self, key: &RsaKeyPair, ciphertext: u64) -> Result<Vec<u8>, RsaError>;
+
+    /// Implementation name, for diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// The strict implementation (`Crypto` stand-in).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CryptoLib;
+
+impl CryptoLib {
+    /// Creates the decryptor.
+    pub fn new() -> Self {
+        CryptoLib
+    }
+}
+
+impl RsaDecryptor for CryptoLib {
+    fn decrypt(&self, key: &RsaKeyPair, ciphertext: u64) -> Result<Vec<u8>, RsaError> {
+        let frame = key.decrypt_raw(ciphertext);
+        if frame[0] != 0x00 || frame[1] != 0x02 {
+            return Err(RsaError("invalid padding header".into()));
+        }
+        // Padding must be nonzero until a 0x00 delimiter.
+        let delim = frame[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| RsaError("missing padding delimiter".into()))?;
+        if delim == 0 {
+            return Err(RsaError("empty padding".into()));
+        }
+        Ok(frame[2 + delim + 1..].to_vec())
+    }
+
+    fn name(&self) -> &str {
+        "crypto-lib"
+    }
+}
+
+/// The vulnerable implementation (`python-rsa` stand-in, CVE-2020-13757).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RsaLib;
+
+impl RsaLib {
+    /// Creates the decryptor.
+    pub fn new() -> Self {
+        RsaLib
+    }
+}
+
+impl RsaDecryptor for RsaLib {
+    fn decrypt(&self, key: &RsaKeyPair, ciphertext: u64) -> Result<Vec<u8>, RsaError> {
+        let frame = key.decrypt_raw(ciphertext);
+        // CVE behaviour: strip leading zeros instead of checking position,
+        // then accept any 0x02 … 0x00 frame that remains.
+        let stripped: Vec<u8> = frame.iter().copied().skip_while(|&b| b == 0).collect();
+        if stripped.first() != Some(&0x02) {
+            return Err(RsaError("invalid padding header".into()));
+        }
+        let delim = stripped[1..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| RsaError("missing padding delimiter".into()))?;
+        Ok(stripped[1 + delim + 1..].to_vec())
+    }
+
+    fn name(&self) -> &str {
+        "rsa-lib"
+    }
+}
+
+/// Crafts a ciphertext that the vulnerable decryptor accepts but the strict
+/// one rejects: its decryption starts `00 00 02 …` (an extra zero byte), so
+/// zero-stripping "finds" a frame while position checking fails.
+pub fn craft_forged_ciphertext(key: &RsaKeyPair) -> u64 {
+    // Search deterministically for a plaintext of the malformed shape and
+    // encrypt it with the public exponent.
+    for candidate in 1u64..50_000 {
+        let frame = [0x00, 0x00, 0x02, 0x41, 0x00, b'p', b'w', (candidate % 251) as u8 + 1];
+        let m = u64::from_be_bytes(frame);
+        if m < key.n {
+            let c = mod_pow(m, key.e, key.n);
+            if key.decrypt_raw(c) == frame {
+                return c;
+            }
+        }
+    }
+    unreachable!("a forgeable frame always exists under the toy modulus");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_agrees_across_implementations() {
+        let key = RsaKeyPair::demo();
+        let c = key.encrypt(b"abc").unwrap();
+        let strict = CryptoLib::new().decrypt(&key, c).unwrap();
+        let lax = RsaLib::new().decrypt(&key, c).unwrap();
+        assert_eq!(strict, b"abc");
+        assert_eq!(strict, lax, "benign ciphertexts must agree");
+    }
+
+    #[test]
+    fn short_messages_round_trip() {
+        let key = RsaKeyPair::demo();
+        for msg in [&b"a"[..], b"xy"] {
+            let c = key.encrypt(msg).unwrap();
+            assert_eq!(CryptoLib::new().decrypt(&key, c).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let key = RsaKeyPair::demo();
+        assert!(key.encrypt(b"toolong").is_err());
+    }
+
+    #[test]
+    fn cve_2020_13757_forged_ciphertext_diverges() {
+        let key = RsaKeyPair::demo();
+        let forged = craft_forged_ciphertext(&key);
+        let strict = CryptoLib::new().decrypt(&key, forged);
+        let lax = RsaLib::new().decrypt(&key, forged);
+        assert!(strict.is_err(), "strict implementation must reject the forgery");
+        assert!(lax.is_ok(), "vulnerable implementation must accept it");
+        assert!(lax.unwrap().starts_with(b"pw"), "attacker-influenced plaintext");
+    }
+
+    #[test]
+    fn mod_inverse_sanity() {
+        assert_eq!(mod_inverse(3, 11), Some(4));
+        assert_eq!(mod_inverse(4, 8), None, "non-coprime has no inverse");
+    }
+
+    #[test]
+    fn mod_pow_sanity() {
+        assert_eq!(mod_pow(4, 13, 497), 445);
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+    }
+
+    #[test]
+    fn demo_key_is_consistent() {
+        let k = RsaKeyPair::demo();
+        // e·d ≡ 1 (mod phi) implies m^(ed) = m for any m < n.
+        let m = 123_456_789u64;
+        let c = mod_pow(m, k.e, k.n);
+        assert_eq!(mod_pow(c, k.d, k.n), m);
+    }
+}

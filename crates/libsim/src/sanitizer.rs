@@ -1,0 +1,216 @@
+//! Two HTML sanitizers written against different codebases (and, in the
+//! paper, different *languages*: Python `lxml` vs Node.js `sanitize-html`).
+//!
+//! Reproduces the CVE-2014-3146 pair (§V-A): `lxml.html.clean` failed to
+//! strip `javascript:` URLs containing embedded control characters, because
+//! it checked the raw attribute text while browsers strip those characters
+//! before interpreting the scheme. [`SanitizeHtml`] normalizes first;
+//! [`LxmlClean`] does not — crafted input sails through it (CWE "Other" /
+//! cross-site scripting).
+
+use crate::vfs::VirtualFs;
+use crate::xml::{parse, EntityPolicy, XmlNode};
+
+/// Elements allowed through both sanitizers.
+const ALLOWED_TAGS: &[&str] = &["a", "b", "i", "em", "strong", "p", "div", "span", "ul", "li"];
+/// Attributes allowed through both sanitizers.
+const ALLOWED_ATTRS: &[&str] = &["href", "title", "class"];
+
+/// The REST-facing sanitizer API both implementations share.
+pub trait HtmlSanitizer: Send + Sync {
+    /// Removes unsafe markup from an HTML fragment.
+    fn sanitize(&self, html: &str) -> String;
+
+    /// Implementation name, for diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// Scheme check. `normalize` selects the safe behaviour.
+fn is_dangerous_url(url: &str, normalize: bool) -> bool {
+    let checked: String = if normalize {
+        url.chars()
+            .filter(|c| !c.is_control() && !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_lowercase()
+    } else {
+        url.trim().to_ascii_lowercase()
+    };
+    checked.starts_with("javascript:")
+        || checked.starts_with("vbscript:")
+        || checked.starts_with("data:")
+}
+
+fn escape_text(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn sanitize_node(node: &XmlNode, normalize_urls: bool, out: &mut String) {
+    match node {
+        XmlNode::Text(t) => out.push_str(&escape_text(t)),
+        XmlNode::Element { name, attrs, children } => {
+            let tag = name.to_ascii_lowercase();
+            if !ALLOWED_TAGS.contains(&tag.as_str()) {
+                // Disallowed element: drop the tag, keep sanitized children
+                // (both real libraries behave this way for unknown tags).
+                for child in children {
+                    sanitize_node(child, normalize_urls, out);
+                }
+                return;
+            }
+            out.push('<');
+            out.push_str(&tag);
+            for (k, v) in attrs {
+                let key = k.to_ascii_lowercase();
+                if !ALLOWED_ATTRS.contains(&key.as_str()) {
+                    continue;
+                }
+                if key == "href" && is_dangerous_url(v, normalize_urls) {
+                    continue;
+                }
+                out.push_str(&format!(" {key}=\"{}\"", v.replace('"', "&quot;")));
+            }
+            out.push('>');
+            for child in children {
+                sanitize_node(child, normalize_urls, out);
+            }
+            out.push_str(&format!("</{tag}>"));
+        }
+    }
+}
+
+fn sanitize_fragment(html: &str, normalize_urls: bool) -> String {
+    // Wrap so fragments with multiple roots parse; reject DTDs outright.
+    let wrapped = format!("<root>{html}</root>");
+    let fs = VirtualFs::new();
+    match parse(&wrapped, EntityPolicy::RejectDtd, &fs) {
+        Ok(root) => {
+            let mut out = String::new();
+            for child in root.children() {
+                sanitize_node(child, normalize_urls, &mut out);
+            }
+            out
+        }
+        // Unparseable input: escape it wholesale (fail closed).
+        Err(_) => escape_text(html),
+    }
+}
+
+/// The vulnerable sanitizer (`lxml.html.clean` stand-in, CVE-2014-3146).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LxmlClean;
+
+impl LxmlClean {
+    /// Creates the sanitizer.
+    pub fn new() -> Self {
+        LxmlClean
+    }
+}
+
+impl HtmlSanitizer for LxmlClean {
+    fn sanitize(&self, html: &str) -> String {
+        sanitize_fragment(html, false)
+    }
+
+    fn name(&self) -> &str {
+        "lxml-clean"
+    }
+}
+
+/// The safe sanitizer (`sanitize-html` stand-in, "library in a different
+/// language" in Table I).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SanitizeHtml;
+
+impl SanitizeHtml {
+    /// Creates the sanitizer.
+    pub fn new() -> Self {
+        SanitizeHtml
+    }
+}
+
+impl HtmlSanitizer for SanitizeHtml {
+    fn sanitize(&self, html: &str) -> String {
+        sanitize_fragment(html, true)
+    }
+
+    fn name(&self) -> &str {
+        "sanitize-html"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(html: &str) -> (String, String) {
+        (LxmlClean::new().sanitize(html), SanitizeHtml::new().sanitize(html))
+    }
+
+    #[test]
+    fn benign_markup_is_preserved_identically() {
+        for html in [
+            r#"<p>hello <b>world</b></p>"#,
+            r#"<a href="https://example.com" title="x">link</a>"#,
+            r#"<ul><li>one</li><li>two</li></ul>"#,
+            "plain text only",
+        ] {
+            let (a, b) = both(html);
+            assert_eq!(a, b, "benign input must not diverge: {html:?}");
+        }
+    }
+
+    #[test]
+    fn script_tags_are_stripped_by_both() {
+        let (a, b) = both("<p>x</p><script>alert(1)</script>");
+        assert!(!a.contains("<script"));
+        assert!(!b.contains("<script"));
+        assert_eq!(a, b, "script bodies degrade to escaped text in both");
+    }
+
+    #[test]
+    fn plain_javascript_href_is_stripped_by_both() {
+        let (a, b) = both(r#"<a href="javascript:alert(1)">x</a>"#);
+        assert!(!a.contains("javascript:"));
+        assert!(!b.contains("javascript:"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cve_2014_3146_control_char_bypass_diverges() {
+        // A TAB inside the scheme: browsers strip it; lxml's raw check
+        // does not see "javascript:".
+        let exploit = "<a href=\"java\tscript:alert(document.cookie)\">pwn</a>";
+        let (lxml, safe) = both(exploit);
+        assert!(
+            lxml.contains("script:alert"),
+            "lxml-clean must pass the payload through: {lxml}"
+        );
+        assert!(
+            !safe.contains("script:alert"),
+            "sanitize-html must strip it: {safe}"
+        );
+        assert_ne!(lxml, safe, "this is the divergence RDDR detects");
+    }
+
+    #[test]
+    fn event_handler_attributes_dropped() {
+        let (a, b) = both(r#"<p class="ok" onclick="evil()">x</p>"#);
+        assert!(!a.contains("onclick"));
+        assert!(!b.contains("onclick"));
+        assert!(a.contains("class=\"ok\""));
+    }
+
+    #[test]
+    fn unparseable_input_fails_closed() {
+        let (a, b) = both("<a href='unterminated");
+        assert!(!a.contains('<'));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_disallowed_tags_keep_text() {
+        let (a, _) = both("<div><blink>hello</blink></div>");
+        assert!(a.contains("hello"));
+        assert!(!a.contains("blink"));
+    }
+}

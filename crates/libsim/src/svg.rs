@@ -1,0 +1,245 @@
+//! Two SVG → PNG rasterizers over the mini XML parser.
+//!
+//! Reproduces the CVE-2020-10799 pair (§V-A): `svglib` resolved XML
+//! external entities while converting SVG to PNG, allowing file disclosure
+//! (CWE-611); `cairosvg` refused DTDs. The rasterizer here is a tiny
+//! deterministic renderer — `rect`, `circle` and `text` elements painted
+//! onto a monochrome grid and serialized as a PNG-like byte blob — enough
+//! for two implementations' outputs to be byte-comparable by RDDR.
+
+use crate::vfs::VirtualFs;
+use crate::xml::{parse, EntityPolicy, XmlError, XmlNode};
+
+/// Rasterization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SvgError(pub String);
+
+impl std::fmt::Display for SvgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "svg error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SvgError {}
+
+impl From<XmlError> for SvgError {
+    fn from(e: XmlError) -> Self {
+        SvgError(e.to_string())
+    }
+}
+
+/// The REST-facing rasterizer API both implementations share.
+pub trait SvgRasterizer: Send + Sync {
+    /// Converts an SVG document to PNG-like bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvgError`] on malformed SVG (and, for the safe
+    /// implementation, on any document with a DTD).
+    fn rasterize(&self, svg: &str, fs: &VirtualFs) -> Result<Vec<u8>, SvgError>;
+
+    /// Implementation name, for diagnostics.
+    fn name(&self) -> &str;
+}
+
+const GRID: usize = 24;
+
+/// Renders the parsed document onto a monochrome grid and serializes it.
+///
+/// Deterministic across implementations: both rasterizers share this
+/// painter, so agreement/divergence is decided purely by entity policy.
+fn paint(root: &XmlNode) -> Result<Vec<u8>, SvgError> {
+    if root.name() != Some("svg") {
+        return Err(SvgError(format!(
+            "root element must be <svg>, found <{}>",
+            root.name().unwrap_or("?")
+        )));
+    }
+    let mut grid = [[0u8; GRID]; GRID];
+    paint_children(root, &mut grid)?;
+    // "PNG": magic + dimensions + packed rows + text payload checksum.
+    let mut out = b"\x89PNGSIM\x00".to_vec();
+    out.push(GRID as u8);
+    out.push(GRID as u8);
+    for row in &grid {
+        let mut packed = 0u32;
+        for (i, &cell) in row.iter().enumerate() {
+            if cell != 0 {
+                packed |= 1 << i;
+            }
+        }
+        out.extend_from_slice(&packed.to_be_bytes());
+    }
+    // Text content participates byte-for-byte (this is the leak channel:
+    // an expanded external entity lands here).
+    let text = collect_text(root);
+    out.extend_from_slice(&(text.len() as u32).to_be_bytes());
+    out.extend_from_slice(text.as_bytes());
+    Ok(out)
+}
+
+fn paint_children(node: &XmlNode, grid: &mut [[u8; GRID]; GRID]) -> Result<(), SvgError> {
+    for child in node.children() {
+        match child.name() {
+            Some("rect") => {
+                let x = attr_num(child, "x")?;
+                let y = attr_num(child, "y")?;
+                let w = attr_num(child, "width")?;
+                let h = attr_num(child, "height")?;
+                for row in grid.iter_mut().take((y + h).min(GRID)).skip(y) {
+                    for cell in row.iter_mut().take((x + w).min(GRID)).skip(x) {
+                        *cell = 1;
+                    }
+                }
+            }
+            Some("circle") => {
+                let cx = attr_num(child, "cx")? as i64;
+                let cy = attr_num(child, "cy")? as i64;
+                let r = attr_num(child, "r")? as i64;
+                for (yy, row) in grid.iter_mut().enumerate() {
+                    for (xx, cell) in row.iter_mut().enumerate() {
+                        let (dx, dy) = (xx as i64 - cx, yy as i64 - cy);
+                        if dx.pow(2) + dy.pow(2) <= r.pow(2) {
+                            *cell = 1;
+                        }
+                    }
+                }
+            }
+            Some("text") | Some("g") | Some("tspan") => paint_children(child, grid)?,
+            Some(other) => {
+                return Err(SvgError(format!("unsupported element <{other}>")));
+            }
+            None => {}
+        }
+    }
+    Ok(())
+}
+
+fn collect_text(node: &XmlNode) -> String {
+    node.text_content()
+}
+
+fn attr_num(node: &XmlNode, key: &str) -> Result<usize, SvgError> {
+    let raw = node
+        .attr(key)
+        .ok_or_else(|| SvgError(format!("missing attribute {key}")))?;
+    raw.trim()
+        .parse::<usize>()
+        .map(|v| v.min(GRID))
+        .map_err(|_| SvgError(format!("non-numeric {key}: {raw:?}")))
+}
+
+/// The vulnerable rasterizer (`svglib` stand-in): resolves external
+/// entities against the virtual filesystem (CVE-2020-10799, CWE-611).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SvgLib;
+
+impl SvgLib {
+    /// Creates the rasterizer.
+    pub fn new() -> Self {
+        SvgLib
+    }
+}
+
+impl SvgRasterizer for SvgLib {
+    fn rasterize(&self, svg: &str, fs: &VirtualFs) -> Result<Vec<u8>, SvgError> {
+        let root = parse(svg, EntityPolicy::ResolveExternal, fs)?;
+        paint(&root)
+    }
+
+    fn name(&self) -> &str {
+        "svglib"
+    }
+}
+
+/// The safe rasterizer (`cairosvg` stand-in): refuses any document with a
+/// document type definition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CairoSvg;
+
+impl CairoSvg {
+    /// Creates the rasterizer.
+    pub fn new() -> Self {
+        CairoSvg
+    }
+}
+
+impl SvgRasterizer for CairoSvg {
+    fn rasterize(&self, svg: &str, fs: &VirtualFs) -> Result<Vec<u8>, SvgError> {
+        let root = parse(svg, EntityPolicy::RejectDtd, fs)?;
+        paint(&root)
+    }
+
+    fn name(&self) -> &str {
+        "cairosvg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENIGN: &str = r#"<svg width="24" height="24">
+        <rect x="2" y="2" width="5" height="5"/>
+        <circle cx="12" cy="12" r="4"/>
+        <text>logo</text>
+    </svg>"#;
+
+    const XXE: &str = r#"<!DOCTYPE svg [<!ENTITY xxe SYSTEM "file:///app/secrets.env">]>
+<svg width="24" height="24"><text>&xxe;</text></svg>"#;
+
+    #[test]
+    fn benign_svg_renders_identically() {
+        let fs = VirtualFs::with_defaults();
+        let a = SvgLib::new().rasterize(BENIGN, &fs).unwrap();
+        let b = CairoSvg::new().rasterize(BENIGN, &fs).unwrap();
+        assert_eq!(a, b, "benign documents must not diverge");
+        assert!(a.starts_with(b"\x89PNGSIM"));
+    }
+
+    #[test]
+    fn cve_2020_10799_xxe_diverges() {
+        let fs = VirtualFs::with_defaults();
+        let vulnerable = SvgLib::new().rasterize(XXE, &fs).unwrap();
+        let safe = CairoSvg::new().rasterize(XXE, &fs);
+        assert!(
+            String::from_utf8_lossy(&vulnerable).contains("hunter2"),
+            "svglib must disclose the file contents"
+        );
+        assert!(safe.is_err(), "cairosvg must refuse the DTD");
+    }
+
+    #[test]
+    fn rect_pixels_are_painted() {
+        let fs = VirtualFs::new();
+        let png = CairoSvg::new()
+            .rasterize(r#"<svg><rect x="0" y="0" width="2" height="1"/></svg>"#, &fs)
+            .unwrap();
+        // First packed row (after 10-byte header) must have bits 0 and 1 set.
+        let row0 = u32::from_be_bytes(png[10..14].try_into().unwrap());
+        assert_eq!(row0 & 0b11, 0b11);
+    }
+
+    #[test]
+    fn unsupported_elements_error_in_both() {
+        let fs = VirtualFs::new();
+        let doc = r#"<svg><script>alert(1)</script></svg>"#;
+        assert!(SvgLib::new().rasterize(doc, &fs).is_err());
+        assert!(CairoSvg::new().rasterize(doc, &fs).is_err());
+    }
+
+    #[test]
+    fn non_svg_root_is_rejected() {
+        let fs = VirtualFs::new();
+        assert!(CairoSvg::new().rasterize("<html/>", &fs).is_err());
+    }
+
+    #[test]
+    fn oversized_coordinates_clamp() {
+        let fs = VirtualFs::new();
+        let png = CairoSvg::new()
+            .rasterize(r#"<svg><rect x="9999" y="9999" width="9999" height="9999"/></svg>"#, &fs)
+            .unwrap();
+        assert!(png.starts_with(b"\x89PNGSIM"));
+    }
+}

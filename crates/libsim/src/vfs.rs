@@ -1,0 +1,90 @@
+use std::collections::BTreeMap;
+
+/// A virtual filesystem: the target of simulated XXE file disclosure.
+///
+/// The paper's CVE-2020-10799 exploit uses an XML external entity to read
+/// host files through `svglib`. Real file access is out of scope for a
+/// simulator, so the vulnerable rasterizer resolves `file://` entities
+/// against this in-memory tree instead (see `DESIGN.md`).
+///
+/// # Examples
+///
+/// ```
+/// use rddr_libsim::VirtualFs;
+///
+/// let fs = VirtualFs::with_defaults();
+/// assert!(fs.read("/etc/passwd").unwrap().contains("root"));
+/// assert!(fs.read("/nonexistent").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualFs {
+    files: BTreeMap<String, String>,
+}
+
+impl VirtualFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A filesystem pre-populated with the classic XXE targets.
+    pub fn with_defaults() -> Self {
+        let mut fs = Self::new();
+        fs.write(
+            "/etc/passwd",
+            "root:x:0:0:root:/root:/bin/bash\napp:x:1000:1000::/home/app:/bin/sh\n",
+        );
+        fs.write("/etc/hostname", "svc-render-0\n");
+        fs.write("/app/secrets.env", "DB_PASSWORD=hunter2\nAPI_KEY=sk-verysecret\n");
+        fs
+    }
+
+    /// Creates or replaces a file.
+    pub fn write(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(path.into(), contents.into());
+    }
+
+    /// Reads a file, if present.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the filesystem is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut fs = VirtualFs::new();
+        fs.write("/tmp/x", "data");
+        assert_eq!(fs.read("/tmp/x"), Some("data"));
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn defaults_include_xxe_targets() {
+        let fs = VirtualFs::with_defaults();
+        assert!(fs.read("/etc/passwd").is_some());
+        assert!(fs.read("/app/secrets.env").unwrap().contains("hunter2"));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut fs = VirtualFs::new();
+        fs.write("/a", "1");
+        fs.write("/a", "2");
+        assert_eq!(fs.read("/a"), Some("2"));
+        assert_eq!(fs.len(), 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! A mini XML parser with optional DTD entity expansion.
+//!
+//! Supports the subset the SVG rasterizers and HTML sanitizers need:
+//! elements with attributes, text, comments, XML declarations, and —
+//! crucially for CVE-2020-10799 — `<!DOCTYPE … [<!ENTITY …>]>` internal
+//! subsets with both internal and `SYSTEM "file://…"` external entities.
+//! Whether external entities are *resolved* is the caller's choice; that
+//! policy difference is exactly the diversity the paper exploits.
+
+use std::collections::HashMap;
+
+use crate::vfs::VirtualFs;
+
+/// An XML node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// An element with attributes and children.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes.
+        children: Vec<XmlNode>,
+    },
+    /// Character data (entities already expanded).
+    Text(String),
+}
+
+impl XmlNode {
+    /// The element name, if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            XmlNode::Element { name, .. } => Some(name),
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// Attribute lookup for elements.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        match self {
+            XmlNode::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(key))
+                .map(|(_, v)| v.as_str()),
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// Concatenated text content of this subtree.
+    pub fn text_content(&self) -> String {
+        match self {
+            XmlNode::Text(t) => t.clone(),
+            XmlNode::Element { children, .. } => {
+                children.iter().map(XmlNode::text_content).collect()
+            }
+        }
+    }
+
+    /// Children, for elements (empty for text).
+    pub fn children(&self) -> &[XmlNode] {
+        match self {
+            XmlNode::Element { children, .. } => children,
+            XmlNode::Text(_) => &[],
+        }
+    }
+}
+
+/// How the parser treats DTD-declared external entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityPolicy {
+    /// Refuse documents that declare a DTD at all (cairosvg-like).
+    RejectDtd,
+    /// Parse the DTD but expand external entities to the empty string.
+    IgnoreExternal,
+    /// Resolve `SYSTEM "file://…"` entities against a [`VirtualFs`] —
+    /// the vulnerable behaviour (svglib-like, CVE-2020-10799).
+    ResolveExternal,
+}
+
+/// XML parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError(pub String);
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xml error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document under the given entity policy.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed markup, or (under
+/// [`EntityPolicy::RejectDtd`]) on any document containing a DOCTYPE.
+pub fn parse(input: &str, policy: EntityPolicy, fs: &VirtualFs) -> Result<XmlNode, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        entities: HashMap::new(),
+        policy,
+        fs,
+    };
+    p.skip_ws();
+    p.skip_prolog()?;
+    p.skip_ws();
+    if p.starts_with("<!DOCTYPE") {
+        if policy == EntityPolicy::RejectDtd {
+            return Err(XmlError("document type definitions are not allowed".into()));
+        }
+        p.parse_doctype()?;
+        p.skip_ws();
+    }
+    let root = p.element()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(XmlError(format!("trailing content at offset {}", p.pos)));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    entities: HashMap<String, String>,
+    policy: EntityPolicy,
+    fs: &'a VirtualFs,
+}
+
+impl<'a> Parser<'a> {
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        if self.starts_with("<?xml") {
+            let end = self.find("?>")?;
+            self.pos = end + 2;
+        }
+        Ok(())
+    }
+
+    fn find(&self, needle: &str) -> Result<usize, XmlError> {
+        self.bytes[self.pos..]
+            .windows(needle.len())
+            .position(|w| w == needle.as_bytes())
+            .map(|i| self.pos + i)
+            .ok_or_else(|| XmlError(format!("expected {needle:?}")))
+    }
+
+    fn parse_doctype(&mut self) -> Result<(), XmlError> {
+        // <!DOCTYPE name [ internal subset ]>
+        self.pos += "<!DOCTYPE".len();
+        let close = self.find(">")?;
+        let bracket = self.bytes[self.pos..close].iter().position(|&b| b == b'[');
+        if let Some(open_rel) = bracket {
+            let open = self.pos + open_rel + 1;
+            let close_bracket = self.bytes[open..]
+                .iter()
+                .position(|&b| b == b']')
+                .map(|i| open + i)
+                .ok_or_else(|| XmlError("unterminated internal subset".into()))?;
+            let subset = std::str::from_utf8(&self.bytes[open..close_bracket])
+                .map_err(|_| XmlError("non-utf8 dtd".into()))?
+                .to_string();
+            self.parse_entities(&subset)?;
+            let real_close = self.bytes[close_bracket..]
+                .iter()
+                .position(|&b| b == b'>')
+                .map(|i| close_bracket + i)
+                .ok_or_else(|| XmlError("unterminated DOCTYPE".into()))?;
+            self.pos = real_close + 1;
+        } else {
+            self.pos = close + 1;
+        }
+        Ok(())
+    }
+
+    fn parse_entities(&mut self, subset: &str) -> Result<(), XmlError> {
+        let mut rest = subset;
+        while let Some(start) = rest.find("<!ENTITY") {
+            let after = &rest[start + "<!ENTITY".len()..];
+            let end = after
+                .find('>')
+                .ok_or_else(|| XmlError("unterminated <!ENTITY".into()))?;
+            let decl = after[..end].trim();
+            self.parse_entity_decl(decl)?;
+            rest = &after[end + 1..];
+        }
+        Ok(())
+    }
+
+    fn parse_entity_decl(&mut self, decl: &str) -> Result<(), XmlError> {
+        let mut parts = decl.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| XmlError("entity needs a name".into()))?
+            .to_string();
+        let rest = decl[name.len()..].trim();
+        if let Some(system) = rest.strip_prefix("SYSTEM") {
+            let url = system.trim().trim_matches(|c| c == '"' || c == '\'');
+            let value = match self.policy {
+                EntityPolicy::ResolveExternal => {
+                    let path = url.strip_prefix("file://").unwrap_or(url);
+                    self.fs.read(path).unwrap_or("").to_string()
+                }
+                _ => String::new(),
+            };
+            self.entities.insert(name, value);
+        } else {
+            let value = rest.trim_matches(|c| c == '"' || c == '\'').to_string();
+            self.entities.insert(name, value);
+        }
+        Ok(())
+    }
+
+    fn element(&mut self) -> Result<XmlNode, XmlError> {
+        if !self.starts_with("<") {
+            return Err(XmlError(format!("expected element at offset {}", self.pos)));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.starts_with("/>") {
+                self.pos += 2;
+                return Ok(XmlNode::Element { name, attrs, children: Vec::new() });
+            }
+            if self.starts_with(">") {
+                self.pos += 1;
+                break;
+            }
+            let key = self.name()?;
+            self.skip_ws();
+            if !self.starts_with("=") {
+                return Err(XmlError(format!("attribute {key} needs a value")));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = *self
+                .bytes
+                .get(self.pos)
+                .filter(|&&b| b == b'"' || b == b'\'')
+                .ok_or_else(|| XmlError("attribute value must be quoted".into()))?;
+            self.pos += 1;
+            let end = self.bytes[self.pos..]
+                .iter()
+                .position(|&b| b == quote)
+                .map(|i| self.pos + i)
+                .ok_or_else(|| XmlError("unterminated attribute value".into()))?;
+            let raw = std::str::from_utf8(&self.bytes[self.pos..end])
+                .map_err(|_| XmlError("non-utf8 attribute".into()))?;
+            attrs.push((key, self.expand_entities(raw)));
+            self.pos = end + 1;
+        }
+        // Children until matching close tag.
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("<!--") {
+                let end = self.find("-->")?;
+                self.pos = end + 3;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return Err(XmlError(format!("mismatched </{close}> for <{name}>")));
+                }
+                self.skip_ws();
+                if !self.starts_with(">") {
+                    return Err(XmlError("malformed close tag".into()));
+                }
+                self.pos += 1;
+                return Ok(XmlNode::Element { name, attrs, children });
+            }
+            if self.starts_with("<") {
+                children.push(self.element()?);
+                continue;
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(XmlError(format!("unterminated <{name}>")));
+            }
+            let end = self.bytes[self.pos..]
+                .iter()
+                .position(|&b| b == b'<')
+                .map(|i| self.pos + i)
+                .unwrap_or(self.bytes.len());
+            let raw = std::str::from_utf8(&self.bytes[self.pos..end])
+                .map_err(|_| XmlError("non-utf8 text".into()))?;
+            let text = self.expand_entities(raw);
+            if !text.trim().is_empty() {
+                children.push(XmlNode::Text(text));
+            }
+            self.pos = end;
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.')
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError(format!("expected a name at offset {}", self.pos)));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expand_entities(&self, raw: &str) -> String {
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            let after = &rest[amp + 1..];
+            match after.find(';') {
+                Some(semi) => {
+                    let name = &after[..semi];
+                    match name {
+                        "lt" => out.push('<'),
+                        "gt" => out.push('>'),
+                        "amp" => out.push('&'),
+                        "quot" => out.push('"'),
+                        "apos" => out.push('\''),
+                        custom => match self.entities.get(custom) {
+                            Some(value) => out.push_str(value),
+                            None => {
+                                out.push('&');
+                                out.push_str(custom);
+                                out.push(';');
+                            }
+                        },
+                    }
+                    rest = &after[semi + 1..];
+                }
+                None => {
+                    out.push('&');
+                    rest = after;
+                }
+            }
+        }
+        out.push_str(rest);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> VirtualFs {
+        VirtualFs::with_defaults()
+    }
+
+    #[test]
+    fn parses_nested_elements_and_attrs() {
+        let doc = r#"<svg width="10"><rect x="1" y="2"/><text>hi</text></svg>"#;
+        let root = parse(doc, EntityPolicy::RejectDtd, &fs()).unwrap();
+        assert_eq!(root.name(), Some("svg"));
+        assert_eq!(root.attr("width"), Some("10"));
+        assert_eq!(root.children().len(), 2);
+        assert_eq!(root.children()[1].text_content(), "hi");
+    }
+
+    #[test]
+    fn builtin_entities_expand() {
+        let doc = "<t>a &lt;b&gt; &amp; c</t>";
+        let root = parse(doc, EntityPolicy::RejectDtd, &fs()).unwrap();
+        assert_eq!(root.text_content(), "a <b> & c");
+    }
+
+    #[test]
+    fn internal_dtd_entity_expands() {
+        let doc = r#"<!DOCTYPE t [<!ENTITY who "world">]><t>hello &who;</t>"#;
+        let root = parse(doc, EntityPolicy::IgnoreExternal, &fs()).unwrap();
+        assert_eq!(root.text_content(), "hello world");
+    }
+
+    #[test]
+    fn reject_dtd_policy_refuses_doctype() {
+        let doc = r#"<!DOCTYPE t [<!ENTITY x "1">]><t>&x;</t>"#;
+        assert!(parse(doc, EntityPolicy::RejectDtd, &fs()).is_err());
+    }
+
+    #[test]
+    fn external_entity_resolves_only_under_vulnerable_policy() {
+        let doc = r#"<!DOCTYPE t [<!ENTITY xxe SYSTEM "file:///etc/passwd">]><t>&xxe;</t>"#;
+        let leaked = parse(doc, EntityPolicy::ResolveExternal, &fs()).unwrap();
+        assert!(leaked.text_content().contains("root:x:0:0"));
+        let safe = parse(doc, EntityPolicy::IgnoreExternal, &fs()).unwrap();
+        assert_eq!(safe.text_content().trim(), "");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse("<a><b></a></b>", EntityPolicy::RejectDtd, &fs()).is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let root =
+            parse("<t><!-- hidden --><u/></t>", EntityPolicy::RejectDtd, &fs()).unwrap();
+        assert_eq!(root.children().len(), 1);
+    }
+
+    #[test]
+    fn xml_prolog_is_accepted() {
+        let root = parse(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><t/>",
+            EntityPolicy::RejectDtd,
+            &fs(),
+        )
+        .unwrap();
+        assert_eq!(root.name(), Some("t"));
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let root = parse(r#"<rect width="5" height="3"/>"#, EntityPolicy::RejectDtd, &fs())
+            .unwrap();
+        assert_eq!(root.attr("height"), Some("3"));
+    }
+
+    #[test]
+    fn attribute_entities_expand() {
+        let doc = r#"<!DOCTYPE t [<!ENTITY u "http://x">]><t href="&u;/p"/>"#;
+        let root = parse(doc, EntityPolicy::IgnoreExternal, &fs()).unwrap();
+        assert_eq!(root.attr("href"), Some("http://x/p"));
+    }
+}

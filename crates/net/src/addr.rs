@@ -1,0 +1,110 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::NetError;
+
+/// A named network endpoint: a service name plus a port.
+///
+/// In the simulated network, names play the role that DNS plays inside a
+/// Kubernetes cluster: containers dial `postgres:5432` rather than an IP.
+/// When running over [`crate::TcpNet`], the name must resolve via the host
+/// resolver (use `"127.0.0.1"` for local tests).
+///
+/// # Examples
+///
+/// ```
+/// use rddr_net::ServiceAddr;
+///
+/// let addr = ServiceAddr::new("postgres", 5432);
+/// assert_eq!(addr.to_string(), "postgres:5432");
+/// let parsed: ServiceAddr = "postgres:5432".parse().unwrap();
+/// assert_eq!(parsed, addr);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceAddr {
+    host: String,
+    port: u16,
+}
+
+impl ServiceAddr {
+    /// Creates an address from a host name and port.
+    pub fn new(host: impl Into<String>, port: u16) -> Self {
+        Self { host: host.into(), port }
+    }
+
+    /// The host (service) name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The port number.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Returns a copy of this address with a different port.
+    ///
+    /// Useful when a deployment exposes several related endpoints (the RDDR
+    /// incoming proxy binds "one or more ports").
+    pub fn with_port(&self, port: u16) -> Self {
+        Self { host: self.host.clone(), port }
+    }
+}
+
+impl fmt::Display for ServiceAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+impl FromStr for ServiceAddr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (host, port) = s
+            .rsplit_once(':')
+            .ok_or_else(|| NetError::BadAddress(s.to_string()))?;
+        if host.is_empty() {
+            return Err(NetError::BadAddress(s.to_string()));
+        }
+        let port = port
+            .parse::<u16>()
+            .map_err(|_| NetError::BadAddress(s.to_string()))?;
+        Ok(Self::new(host, port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let a = ServiceAddr::new("gitlab-postgres", 5432);
+        let b: ServiceAddr = a.to_string().parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_missing_port() {
+        assert!("nginx".parse::<ServiceAddr>().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_host() {
+        assert!(":80".parse::<ServiceAddr>().is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_port() {
+        assert!("svc:http".parse::<ServiceAddr>().is_err());
+    }
+
+    #[test]
+    fn with_port_keeps_host() {
+        let a = ServiceAddr::new("db", 5432);
+        let b = a.with_port(5433);
+        assert_eq!(b.host(), "db");
+        assert_eq!(b.port(), 5433);
+    }
+}

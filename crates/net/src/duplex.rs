@@ -1,0 +1,264 @@
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{NetError, Result, Stream};
+
+/// Shared state for one direction of a duplex pipe.
+struct Pipe {
+    buf: Mutex<PipeBuf>,
+    readable: Condvar,
+}
+
+struct PipeBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            buf: Mutex::new(PipeBuf { data: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn write(&self, bytes: &[u8]) -> Result<()> {
+        let mut guard = self.buf.lock();
+        if guard.closed {
+            return Err(NetError::Closed);
+        }
+        guard.data.extend(bytes);
+        drop(guard);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn read(&self, out: &mut [u8], timeout: Option<Duration>) -> Result<usize> {
+        let mut guard = self.buf.lock();
+        loop {
+            if !guard.data.is_empty() {
+                let n = out.len().min(guard.data.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = guard.data.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if guard.closed {
+                return Ok(0);
+            }
+            match timeout {
+                Some(t) => {
+                    if self.readable.wait_for(&mut guard, t).timed_out()
+                        && guard.data.is_empty()
+                        && !guard.closed
+                    {
+                        return Err(NetError::TimedOut);
+                    }
+                }
+                None => self.readable.wait(&mut guard),
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.buf.lock().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-memory duplex byte stream.
+///
+/// Created in pairs by [`duplex_pair`]; data written to one end is readable
+/// from the other. This is the connection type used by [`crate::SimNet`].
+pub struct DuplexStream {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    peer: String,
+    read_timeout: Option<Duration>,
+    bytes_tx: Arc<AtomicU64>,
+    close_on_drop: bool,
+}
+
+impl std::fmt::Debug for DuplexStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DuplexStream").field("peer", &self.peer).finish()
+    }
+}
+
+/// Creates a connected pair of in-memory streams.
+///
+/// `a_name` and `b_name` label the two endpoints: the first returned stream
+/// reports `b_name` as its peer and vice versa.
+///
+/// # Examples
+///
+/// ```
+/// use rddr_net::{duplex_pair, Stream};
+///
+/// let (mut client, mut server) = duplex_pair("client", "server");
+/// client.write_all(b"ping").unwrap();
+/// let mut buf = [0u8; 4];
+/// server.read_exact(&mut buf).unwrap();
+/// assert_eq!(&buf, b"ping");
+/// assert_eq!(client.peer(), "server");
+/// ```
+pub fn duplex_pair(a_name: &str, b_name: &str) -> (DuplexStream, DuplexStream) {
+    duplex_pair_counted(a_name, b_name, Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)))
+}
+
+/// Like [`duplex_pair`] but accounting traffic into shared byte counters
+/// (used by [`crate::SimNet`] for its [`crate::NetStats`]).
+pub(crate) fn duplex_pair_counted(
+    a_name: &str,
+    b_name: &str,
+    a_to_b: Arc<AtomicU64>,
+    b_to_a: Arc<AtomicU64>,
+) -> (DuplexStream, DuplexStream) {
+    let ab = Pipe::new();
+    let ba = Pipe::new();
+    let a = DuplexStream {
+        rx: Arc::clone(&ba),
+        tx: Arc::clone(&ab),
+        peer: b_name.to_string(),
+        read_timeout: None,
+        bytes_tx: Arc::clone(&a_to_b),
+        close_on_drop: true,
+    };
+    let b = DuplexStream {
+        rx: ab,
+        tx: ba,
+        peer: a_name.to_string(),
+        read_timeout: None,
+        bytes_tx: b_to_a,
+        close_on_drop: true,
+    };
+    (a, b)
+}
+
+impl Stream for DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.rx.read(buf, self.read_timeout)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.tx.write(buf)?;
+        self.bytes_tx.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+
+    fn try_clone(&self) -> Result<crate::BoxStream> {
+        Ok(Box::new(DuplexStream {
+            rx: Arc::clone(&self.rx),
+            tx: Arc::clone(&self.tx),
+            peer: self.peer.clone(),
+            read_timeout: self.read_timeout,
+            bytes_tx: Arc::clone(&self.bytes_tx),
+            close_on_drop: false,
+        }))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        if self.close_on_drop {
+            self.tx.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_both_directions() {
+        let (mut a, mut b) = duplex_pair("a", "b");
+        a.write_all(b"to-b").unwrap();
+        b.write_all(b"to-a").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"to-b");
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"to-a");
+    }
+
+    #[test]
+    fn drop_signals_eof_to_peer() {
+        let (a, mut b) = duplex_pair("a", "b");
+        drop(a);
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_after_shutdown_drains_then_eof() {
+        let (mut a, mut b) = duplex_pair("a", "b");
+        a.write_all(b"xy").unwrap();
+        a.shutdown();
+        let mut buf = [0u8; 2];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"xy");
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_timeout_fires() {
+        let (_a, mut b) = duplex_pair("a", "b");
+        b.set_read_timeout(Some(Duration::from_millis(10)));
+        let mut buf = [0u8; 1];
+        assert!(matches!(b.read(&mut buf), Err(NetError::TimedOut)));
+    }
+
+    #[test]
+    fn write_to_closed_peer_fails() {
+        let (mut a, mut b) = duplex_pair("a", "b");
+        b.shutdown();
+        assert!(matches!(a.write_all(b"x"), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn large_transfer_is_intact() {
+        let (mut a, mut b) = duplex_pair("a", "b");
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let expected = payload.clone();
+        let writer = std::thread::spawn(move || {
+            for chunk in payload.chunks(4096) {
+                a.write_all(chunk).unwrap();
+            }
+        });
+        let mut got = vec![0u8; expected.len()];
+        b.read_exact(&mut got).unwrap();
+        writer.join().unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn concurrent_reader_wakes_on_write() {
+        let (mut a, mut b) = duplex_pair("a", "b");
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        a.write_all(b"abc").unwrap();
+        assert_eq!(&reader.join().unwrap(), b"abc");
+    }
+}

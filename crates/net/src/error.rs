@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors produced by the transport layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// The address string could not be parsed as `host:port`.
+    BadAddress(String),
+    /// No listener is registered for the dialed address.
+    ConnectionRefused(String),
+    /// The peer closed the connection (EOF where data was required).
+    Closed,
+    /// A blocking read exceeded the configured deadline.
+    TimedOut,
+    /// The address is already bound by another listener.
+    AddressInUse(String),
+    /// An underlying OS socket error (TCP backend only).
+    Io(std::io::Error),
+    /// Secure-channel handshake or integrity failure.
+    Secure(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadAddress(s) => write!(f, "invalid address syntax: {s:?}"),
+            NetError::ConnectionRefused(s) => write!(f, "connection refused: {s}"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::TimedOut => write!(f, "read timed out"),
+            NetError::AddressInUse(s) => write!(f, "address already in use: {s}"),
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Secure(s) => write!(f, "secure channel failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::TimedOut,
+            std::io::ErrorKind::UnexpectedEof => NetError::Closed,
+            std::io::ErrorKind::ConnectionRefused => {
+                NetError::ConnectionRefused(e.to_string())
+            }
+            std::io::ErrorKind::AddrInUse => NetError::AddressInUse(e.to_string()),
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+
+    #[test]
+    fn io_timeout_maps_to_timed_out() {
+        let e: NetError =
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
+        assert!(matches!(e, NetError::TimedOut));
+    }
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let s = NetError::Closed.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+}

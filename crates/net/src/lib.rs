@@ -1,0 +1,58 @@
+//! Transport substrate for the RDDR reproduction.
+//!
+//! The paper's proxies "operate at the transport/socket layer, bind to an IP
+//! and one or more ports to await incoming connections" (§IV-B). This crate
+//! provides that layer twice behind one set of traits:
+//!
+//! * [`SimNet`] — an in-memory network with named endpoints, deterministic
+//!   optional latency, and per-network byte counters. All evaluation harnesses
+//!   run on it so results are reproducible on any machine.
+//! * [`TcpNet`] — a thin adapter over `std::net` for running the same
+//!   deployments over real sockets.
+//!
+//! A toy authenticated keystream channel ([`secure::SecureStream`]) stands in
+//! for the paper's SSL/TLS support (see `DESIGN.md`, substitution ledger).
+//!
+//! # Examples
+//!
+//! ```
+//! use rddr_net::{Network, SimNet, ServiceAddr};
+//!
+//! # fn main() -> Result<(), rddr_net::NetError> {
+//! let net = SimNet::new();
+//! let addr = ServiceAddr::new("echo", 7);
+//! let mut listener = net.listen(&addr)?;
+//! let handle = std::thread::spawn(move || {
+//!     let mut conn = listener.accept().unwrap();
+//!     let mut buf = [0u8; 5];
+//!     conn.read_exact(&mut buf).unwrap();
+//!     conn.write_all(&buf).unwrap();
+//! });
+//! let mut client = net.dial(&addr)?;
+//! client.write_all(b"hello")?;
+//! let mut buf = [0u8; 5];
+//! client.read_exact(&mut buf)?;
+//! assert_eq!(&buf, b"hello");
+//! handle.join().unwrap();
+//! # Ok(())
+//! # }
+//! ```
+
+mod addr;
+mod duplex;
+mod error;
+pub mod secure;
+mod sim;
+mod stream;
+mod tcp;
+
+pub use addr::ServiceAddr;
+pub use duplex::{duplex_pair, DuplexStream};
+pub use error::NetError;
+pub use secure::{PresharedKey, SecureListener, SecureNet, SecureStream};
+pub use sim::{LatencyModel, NetStats, SimNet};
+pub use stream::{BoxListener, BoxStream, Listener, Network, Stream};
+pub use tcp::TcpNet;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetError>;

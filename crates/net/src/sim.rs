@@ -1,0 +1,295 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::duplex::duplex_pair_counted;
+use crate::{
+    BoxListener, BoxStream, DuplexStream, Listener, NetError, Network, Result, ServiceAddr,
+};
+
+/// Connection-establishment latency injected by [`SimNet`].
+///
+/// Latency is applied once per `dial`, modelling in-cluster connection setup.
+/// Jitter is drawn from a seeded RNG so runs are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum LatencyModel {
+    /// No injected latency (the default).
+    #[default]
+    None,
+    /// A fixed delay per connection.
+    Fixed(Duration),
+    /// A fixed delay plus uniform jitter in `[0, jitter]`.
+    Jittered {
+        /// Base delay applied to every connection.
+        base: Duration,
+        /// Maximum additional random delay.
+        jitter: Duration,
+    },
+}
+
+
+/// Aggregate traffic counters for a [`SimNet`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total connections successfully established.
+    pub connections: u64,
+    /// Total bytes carried (both directions summed).
+    pub bytes: u64,
+    /// Dials that failed because nothing was listening.
+    pub refused: u64,
+}
+
+struct Registry {
+    listeners: HashMap<ServiceAddr, Sender<BoxStream>>,
+    latency: LatencyModel,
+    rng: StdRng,
+}
+
+/// An in-memory network fabric with named endpoints.
+///
+/// `SimNet` plays the role of the cluster network: services bind listeners
+/// under `name:port` addresses and clients dial them by name, exactly as
+/// containers resolve Kubernetes service names. All traffic stays in-process,
+/// which makes the evaluation harnesses deterministic and portable.
+///
+/// Cloning is cheap; clones share the same fabric.
+#[derive(Clone)]
+pub struct SimNet {
+    registry: Arc<Mutex<Registry>>,
+    connections: Arc<AtomicU64>,
+    bytes_a: Arc<AtomicU64>,
+    bytes_b: Arc<AtomicU64>,
+    refused: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet").field("stats", &self.stats()).finish()
+    }
+}
+
+impl Default for SimNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNet {
+    /// Creates an empty fabric with no injected latency.
+    pub fn new() -> Self {
+        Self::with_latency(LatencyModel::None)
+    }
+
+    /// Creates a fabric that injects the given connection latency.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        Self {
+            registry: Arc::new(Mutex::new(Registry {
+                listeners: HashMap::new(),
+                latency,
+                rng: StdRng::seed_from_u64(0x5eed_cafe),
+            })),
+            connections: Arc::new(AtomicU64::new(0)),
+            bytes_a: Arc::new(AtomicU64::new(0)),
+            bytes_b: Arc::new(AtomicU64::new(0)),
+            refused: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Snapshot of the fabric-wide traffic counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            bytes: self.bytes_a.load(Ordering::Relaxed) + self.bytes_b.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Removes the listener bound at `addr`, if any. Pending `accept`s see EOF.
+    pub fn unbind(&self, addr: &ServiceAddr) {
+        self.registry.lock().listeners.remove(addr);
+    }
+
+    fn latency_delay(&self) -> Option<Duration> {
+        let mut reg = self.registry.lock();
+        match reg.latency {
+            LatencyModel::None => None,
+            LatencyModel::Fixed(d) => Some(d),
+            LatencyModel::Jittered { base, jitter } => {
+                let extra = if jitter.is_zero() {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos(reg.rng.gen_range(0..=jitter.as_nanos() as u64))
+                };
+                Some(base + extra)
+            }
+        }
+    }
+}
+
+struct SimListener {
+    addr: ServiceAddr,
+    incoming: Receiver<BoxStream>,
+}
+
+impl Listener for SimListener {
+    fn accept(&mut self) -> Result<BoxStream> {
+        self.incoming.recv().map_err(|_| NetError::Closed)
+    }
+
+    fn local_addr(&self) -> ServiceAddr {
+        self.addr.clone()
+    }
+}
+
+impl Network for SimNet {
+    fn listen(&self, addr: &ServiceAddr) -> Result<BoxListener> {
+        let (tx, rx) = unbounded();
+        let mut reg = self.registry.lock();
+        if reg.listeners.contains_key(addr) {
+            return Err(NetError::AddressInUse(addr.to_string()));
+        }
+        reg.listeners.insert(addr.clone(), tx);
+        Ok(Box::new(SimListener { addr: addr.clone(), incoming: rx }))
+    }
+
+    fn dial(&self, addr: &ServiceAddr) -> Result<BoxStream> {
+        let sender = {
+            let reg = self.registry.lock();
+            reg.listeners.get(addr).cloned()
+        };
+        let Some(sender) = sender else {
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::ConnectionRefused(addr.to_string()));
+        };
+        if let Some(delay) = self.latency_delay() {
+            std::thread::sleep(delay);
+        }
+        let (client, server): (DuplexStream, DuplexStream) = duplex_pair_counted(
+            "client",
+            &addr.to_string(),
+            Arc::clone(&self.bytes_a),
+            Arc::clone(&self.bytes_b),
+        );
+        sender
+            .send(Box::new(server))
+            .map_err(|_| NetError::ConnectionRefused(addr.to_string()))?;
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        Ok(Box::new(client))
+    }
+
+    fn unbind_addr(&self, addr: &ServiceAddr) {
+        self.unbind(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(name: &str) -> ServiceAddr {
+        ServiceAddr::new(name, 80)
+    }
+
+    #[test]
+    fn dial_unbound_is_refused() {
+        let net = SimNet::new();
+        assert!(matches!(
+            net.dial(&addr("ghost")),
+            Err(NetError::ConnectionRefused(_))
+        ));
+        assert_eq!(net.stats().refused, 1);
+    }
+
+    #[test]
+    fn double_bind_is_rejected() {
+        let net = SimNet::new();
+        let _l = net.listen(&addr("svc")).unwrap();
+        assert!(matches!(
+            net.listen(&addr("svc")),
+            Err(NetError::AddressInUse(_))
+        ));
+    }
+
+    #[test]
+    fn same_host_different_ports_coexist() {
+        let net = SimNet::new();
+        let _a = net.listen(&ServiceAddr::new("svc", 80)).unwrap();
+        let _b = net.listen(&ServiceAddr::new("svc", 81)).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_echo_counts_bytes() {
+        let net = SimNet::new();
+        let mut listener = net.listen(&addr("echo")).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut buf = [0u8; 4];
+            conn.read_exact(&mut buf).unwrap();
+            conn.write_all(&buf).unwrap();
+        });
+        let mut client = net.dial(&addr("echo")).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        client.read_exact(&mut buf).unwrap();
+        server.join().unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.bytes, 8);
+    }
+
+    #[test]
+    fn unbind_refuses_future_dials() {
+        let net = SimNet::new();
+        let _l = net.listen(&addr("svc")).unwrap();
+        net.unbind(&addr("svc"));
+        assert!(net.dial(&addr("svc")).is_err());
+    }
+
+    #[test]
+    fn fixed_latency_slows_dial() {
+        let net = SimNet::with_latency(LatencyModel::Fixed(Duration::from_millis(20)));
+        let _l = net.listen(&addr("svc")).unwrap();
+        let t0 = std::time::Instant::now();
+        let _c = net.dial(&addr("svc")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn many_concurrent_clients() {
+        let net = SimNet::new();
+        let mut listener = net.listen(&addr("svc")).unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..16 {
+                let mut conn = listener.accept().unwrap();
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1];
+                    conn.read_exact(&mut buf).unwrap();
+                    conn.write_all(&[buf[0] + 1]).unwrap();
+                });
+            }
+        });
+        let mut handles = Vec::new();
+        for i in 0..16u8 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = net.dial(&addr("svc")).unwrap();
+                c.write_all(&[i]).unwrap();
+                let mut buf = [0u8; 1];
+                c.read_exact(&mut buf).unwrap();
+                assert_eq!(buf[0], i + 1);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.join().unwrap();
+        assert_eq!(net.stats().connections, 16);
+    }
+}

@@ -1,0 +1,147 @@
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::{BoxListener, BoxStream, Listener, Network, Result, ServiceAddr, Stream};
+
+/// A [`Network`] backed by the operating system's TCP stack.
+///
+/// Deployments written against [`Network`] run unchanged over real sockets;
+/// this is the backend a production RDDR deployment would use (one proxy
+/// container per protected service, as in the paper's Kubernetes setup).
+///
+/// # Examples
+///
+/// ```
+/// use rddr_net::{Network, TcpNet, ServiceAddr};
+///
+/// # fn main() -> Result<(), rddr_net::NetError> {
+/// let net = TcpNet::new();
+/// let mut listener = net.listen(&ServiceAddr::new("127.0.0.1", 0))?;
+/// let bound = listener.local_addr();
+/// let handle = std::thread::spawn(move || {
+///     let mut conn = listener.accept().unwrap();
+///     let mut buf = [0u8; 2];
+///     conn.read_exact(&mut buf).unwrap();
+///     conn.write_all(&buf).unwrap();
+/// });
+/// let mut client = net.dial(&bound)?;
+/// client.write_all(b"ok")?;
+/// let mut buf = [0u8; 2];
+/// client.read_exact(&mut buf)?;
+/// handle.join().unwrap();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpNet;
+
+impl TcpNet {
+    /// Creates the TCP backend.
+    pub fn new() -> Self {
+        TcpNet
+    }
+}
+
+struct TcpConn {
+    inner: TcpStream,
+    peer: String,
+}
+
+impl Stream for TcpConn {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        Ok(self.inner.read(buf)?)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        Ok(self.inner.write_all(buf)?)
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.inner.shutdown(Shutdown::Both);
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        let _ = self.inner.set_read_timeout(timeout);
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+
+    fn try_clone(&self) -> Result<crate::BoxStream> {
+        let inner = self.inner.try_clone()?;
+        Ok(Box::new(TcpConn { inner, peer: self.peer.clone() }))
+    }
+}
+
+struct TcpAcceptor {
+    inner: TcpListener,
+    addr: ServiceAddr,
+}
+
+impl Listener for TcpAcceptor {
+    fn accept(&mut self) -> Result<BoxStream> {
+        let (stream, peer) = self.inner.accept()?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(TcpConn { inner: stream, peer: peer.to_string() }))
+    }
+
+    fn local_addr(&self) -> ServiceAddr {
+        self.addr.clone()
+    }
+}
+
+impl Network for TcpNet {
+    fn listen(&self, addr: &ServiceAddr) -> Result<BoxListener> {
+        let listener = TcpListener::bind((addr.host(), addr.port()))?;
+        let local = listener.local_addr()?;
+        Ok(Box::new(TcpAcceptor {
+            inner: listener,
+            addr: ServiceAddr::new(addr.host(), local.port()),
+        }))
+    }
+
+    fn dial(&self, addr: &ServiceAddr) -> Result<BoxStream> {
+        let stream = TcpStream::connect((addr.host(), addr.port()))?;
+        stream.set_nodelay(true).ok();
+        let peer = addr.to_string();
+        Ok(Box::new(TcpConn { inner: stream, peer }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trip() {
+        let net = TcpNet::new();
+        let mut listener = net.listen(&ServiceAddr::new("127.0.0.1", 0)).unwrap();
+        let bound = listener.local_addr();
+        assert_ne!(bound.port(), 0, "ephemeral port must be resolved");
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            conn.read_exact(&mut buf).unwrap();
+            conn.write_all(b"world").unwrap();
+        });
+        let mut client = net.dial(&bound).unwrap();
+        client.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn dial_refused_port_errors() {
+        let net = TcpNet::new();
+        // Bind then immediately drop to find a very likely free port.
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = l.local_addr().unwrap().port();
+        drop(l);
+        let err = net.dial(&ServiceAddr::new("127.0.0.1", port));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,125 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rddr_net::{BoxListener, ServiceAddr};
+
+use crate::{Image, ResourceMeter, Service, ServiceCtx};
+
+/// A running container: an accept loop serving one [`Service`] on one
+/// address, with its own [`ResourceMeter`].
+///
+/// Dropping the handle (or calling [`ContainerHandle::stop`]) unbinds the
+/// address and winds the accept loop down.
+pub struct ContainerHandle {
+    name: String,
+    image: Image,
+    addr: ServiceAddr,
+    meter: ResourceMeter,
+    stop: Arc<AtomicBool>,
+    unbind: Box<dyn Fn() + Send + Sync>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ContainerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContainerHandle")
+            .field("name", &self.name)
+            .field("image", &self.image)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ContainerHandle {
+    pub(crate) fn spawn(
+        name: String,
+        image: Image,
+        addr: ServiceAddr,
+        mut listener: BoxListener,
+        service: Arc<dyn Service>,
+        ctx: ServiceCtx,
+        unbind: Box<dyn Fn() + Send + Sync>,
+    ) -> Self {
+        let meter = ctx.meter.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let conn_count = Arc::clone(&connections);
+        let thread_name = name.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("container-{thread_name}"))
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let Ok(conn) = listener.accept() else {
+                        break; // network torn down
+                    };
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    conn_count.fetch_add(1, Ordering::Relaxed);
+                    let service = Arc::clone(&service);
+                    let ctx = ctx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("{thread_name}-conn"))
+                        .spawn(move || service.handle(conn, &ctx))
+                        .expect("spawn connection handler");
+                }
+            })
+            .expect("spawn container accept loop");
+        Self {
+            name,
+            image,
+            addr,
+            meter,
+            stop,
+            unbind,
+            accept_thread: Some(accept_thread),
+            connections,
+        }
+    }
+
+    /// The container name (e.g. `"postgres-1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The image this container was started from.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// The address the container serves on.
+    pub fn addr(&self) -> &ServiceAddr {
+        &self.addr
+    }
+
+    /// This container's resource meter.
+    pub fn meter(&self) -> &ResourceMeter {
+        &self.meter
+    }
+
+    /// Total connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and unbinds the address. Connections already
+    /// handed to worker threads run to completion.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::Relaxed) {
+            (self.unbind)();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            // The accept loop exits once its listener sees the unbind.
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ContainerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

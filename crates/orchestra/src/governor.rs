@@ -1,0 +1,187 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ResourceMeter;
+
+/// Admission control over a node's virtual CPUs.
+///
+/// Simulated work acquires a vCPU slot for its duration; when all slots are
+/// busy, further work queues. This reproduces the resource-exhaustion shape
+/// of the paper's §V-G2: the 3-version deployment saturates the 32-vCPU
+/// server machine ~3× sooner than the single-instance baselines, so RDDR's
+/// throughput "tapers off above 16 simultaneous clients".
+///
+/// Work is modelled by *sleeping* while holding the slot, so simulated CPU
+/// seconds do not burn host CPU; contention and queueing delays are still
+/// realistic because the slot count is finite.
+#[derive(Clone)]
+pub struct CpuGovernor {
+    inner: Arc<GovernorInner>,
+}
+
+struct GovernorInner {
+    capacity: usize,
+    in_use: Mutex<usize>,
+    freed: Condvar,
+    busy_micros: AtomicU64,
+    time_scale_permille: u64,
+}
+
+impl std::fmt::Debug for CpuGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuGovernor")
+            .field("capacity", &self.inner.capacity)
+            .field("in_use", &*self.inner.in_use.lock())
+            .finish()
+    }
+}
+
+impl CpuGovernor {
+    /// Creates a governor with `vcpus` slots running work at real-time scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus` is zero.
+    pub fn new(vcpus: usize) -> Self {
+        Self::with_time_scale(vcpus, 1.0)
+    }
+
+    /// Creates a governor whose simulated work runs at `scale` × real time
+    /// (e.g. `0.1` makes 1 ms of simulated CPU cost 0.1 ms of wall time,
+    /// keeping benchmark harnesses fast while preserving contention shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus` is zero or `scale` is not finite and positive.
+    pub fn with_time_scale(vcpus: usize, scale: f64) -> Self {
+        assert!(vcpus > 0, "a node needs at least one vCPU");
+        assert!(scale.is_finite() && scale > 0.0, "time scale must be positive");
+        Self {
+            inner: Arc::new(GovernorInner {
+                capacity: vcpus,
+                in_use: Mutex::new(0),
+                freed: Condvar::new(),
+                busy_micros: AtomicU64::new(0),
+                time_scale_permille: (scale * 1000.0).round().max(1.0) as u64,
+            }),
+        }
+    }
+
+    /// Number of vCPU slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Slots currently held (instantaneous utilization numerator).
+    pub fn in_use(&self) -> usize {
+        *self.inner.in_use.lock()
+    }
+
+    /// Instantaneous utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.in_use() as f64 / self.inner.capacity as f64
+    }
+
+    /// Total simulated-busy CPU time across all slots, in microseconds.
+    /// Divide by elapsed wall time × capacity for average utilization.
+    pub fn busy_micros(&self) -> u64 {
+        self.inner.busy_micros.load(Ordering::Relaxed)
+    }
+
+    /// Executes `cpu_cost` of simulated work on behalf of `meter`: waits for
+    /// a free vCPU slot, holds it for the (scaled) duration, and charges the
+    /// meter the full unscaled cost.
+    pub fn consume(&self, meter: &ResourceMeter, cpu_cost: Duration) {
+        let micros = cpu_cost.as_micros() as u64;
+        if micros == 0 {
+            return;
+        }
+        {
+            let mut in_use = self.inner.in_use.lock();
+            while *in_use >= self.inner.capacity {
+                self.inner.freed.wait(&mut in_use);
+            }
+            *in_use += 1;
+        }
+        let scaled = Duration::from_micros(micros * self.inner.time_scale_permille / 1000);
+        if !scaled.is_zero() {
+            std::thread::sleep(scaled);
+        }
+        {
+            let mut in_use = self.inner.in_use.lock();
+            *in_use -= 1;
+        }
+        self.inner.freed.notify_one();
+        self.inner.busy_micros.fetch_add(micros, Ordering::Relaxed);
+        meter.add_cpu_micros(micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn consume_charges_meter_unscaled() {
+        let g = CpuGovernor::with_time_scale(2, 0.01);
+        let m = ResourceMeter::new();
+        g.consume(&m, Duration::from_millis(5));
+        assert_eq!(m.sample().cpu_micros, 5_000);
+        assert_eq!(g.busy_micros(), 5_000);
+    }
+
+    #[test]
+    fn zero_cost_is_free() {
+        let g = CpuGovernor::new(1);
+        let m = ResourceMeter::new();
+        g.consume(&m, Duration::ZERO);
+        assert_eq!(m.sample().cpu_micros, 0);
+    }
+
+    #[test]
+    fn saturation_serializes_work() {
+        // 1 vCPU, two 20 ms jobs => >= 40 ms wall; 2 vCPUs => ~20 ms.
+        let serial = CpuGovernor::new(1);
+        let parallel = CpuGovernor::new(2);
+        let elapsed = |g: &CpuGovernor| {
+            let m = ResourceMeter::new();
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let g = g.clone();
+                    let m = m.clone();
+                    s.spawn(move || g.consume(&m, Duration::from_millis(20)));
+                }
+            });
+            t0.elapsed()
+        };
+        let t_serial = elapsed(&serial);
+        let t_parallel = elapsed(&parallel);
+        assert!(t_serial >= Duration::from_millis(38), "serial: {t_serial:?}");
+        assert!(t_parallel < t_serial, "parallel {t_parallel:?} vs serial {t_serial:?}");
+    }
+
+    #[test]
+    fn utilization_reports_held_slots() {
+        let g = CpuGovernor::new(4);
+        assert_eq!(g.utilization(), 0.0);
+        let g2 = g.clone();
+        let m = ResourceMeter::new();
+        let t = std::thread::spawn(move || g2.consume(&m, Duration::from_millis(50)));
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(g.in_use(), 1);
+        assert!((g.utilization() - 0.25).abs() < 1e-9);
+        t.join().unwrap();
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vCPU")]
+    fn zero_vcpus_panics() {
+        let _ = CpuGovernor::new(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! An in-process container-orchestration substrate.
+//!
+//! The paper deploys RDDR on Kubernetes: every microservice runs in a
+//! container, replicas are stamped out from a base image (with version
+//! diversity expressed as image *tags*, §V-D), services discover one another
+//! by name, and the evaluation measures per-deployment CPU and memory
+//! (Figs 4–6). This crate reproduces exactly the slice of that machinery
+//! RDDR's evaluation touches:
+//!
+//! * [`Cluster`] — one or more nodes with fixed virtual CPUs and a
+//!   [`rddr_net::SimNet`] fabric for service discovery.
+//! * [`Image`]/container-style deployment via [`Cluster::run_container`],
+//!   returning a [`ContainerHandle`] that owns the accept loop.
+//! * [`ResourceMeter`] — per-container CPU and memory accounting, the data
+//!   source for the paper's Figure 4 and Figure 6 measurements.
+//! * [`CpuGovernor`] — admission control over the node's virtual CPUs.
+//!   Simulated work (`ServiceCtx::compute`) holds a vCPU slot for its
+//!   duration, so a 3-version deployment exhausts a node's parallelism
+//!   roughly 3× sooner than a single instance — the saturation knee the
+//!   paper observes past 16 pgbench clients (§V-G2).
+//!
+//! See `DESIGN.md` for the substitution ledger entry mapping this crate to
+//! Kubernetes.
+
+mod cluster;
+mod container;
+mod governor;
+mod meter;
+mod service;
+
+pub use cluster::{Cluster, ClusterError};
+pub use container::ContainerHandle;
+pub use governor::CpuGovernor;
+pub use meter::{ResourceMeter, ResourceSample};
+pub use service::{FnService, Image, Service, ServiceCtx};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,160 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time resource reading for one container or an aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceSample {
+    /// Total simulated CPU time consumed, in microseconds.
+    pub cpu_micros: u64,
+    /// Currently allocated memory, in bytes.
+    pub mem_bytes: u64,
+    /// High-water memory mark, in bytes.
+    pub mem_peak_bytes: u64,
+}
+
+impl ResourceSample {
+    /// Element-wise sum of two samples (peaks are summed too, matching how
+    /// the paper aggregates "the process tree that comprises each
+    /// deployment").
+    pub fn merge(self, other: ResourceSample) -> ResourceSample {
+        ResourceSample {
+            cpu_micros: self.cpu_micros + other.cpu_micros,
+            mem_bytes: self.mem_bytes + other.mem_bytes,
+            mem_peak_bytes: self.mem_peak_bytes + other.mem_peak_bytes,
+        }
+    }
+}
+
+/// Shared CPU/memory accounting for one container.
+///
+/// Cheap to clone (an `Arc` underneath); services charge work to the meter
+/// through [`crate::ServiceCtx`], and the evaluation harnesses read it to
+/// regenerate the paper's CPU/memory plots.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceMeter {
+    inner: Arc<MeterInner>,
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    cpu_micros: AtomicU64,
+    mem_bytes: AtomicU64,
+    mem_peak: AtomicU64,
+}
+
+impl ResourceMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges simulated CPU time.
+    pub fn add_cpu_micros(&self, micros: u64) {
+        self.inner.cpu_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records a memory allocation.
+    pub fn alloc(&self, bytes: u64) {
+        let now = self.inner.mem_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.mem_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records a memory release.
+    ///
+    /// Saturates at zero rather than underflowing, so a double-free in a
+    /// simulated service cannot corrupt the accounting.
+    pub fn free(&self, bytes: u64) {
+        let mut current = self.inner.mem_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.inner.mem_bytes.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Reads the current counters.
+    pub fn sample(&self) -> ResourceSample {
+        ResourceSample {
+            cpu_micros: self.inner.cpu_micros.load(Ordering::Relaxed),
+            mem_bytes: self.inner.mem_bytes.load(Ordering::Relaxed),
+            mem_peak_bytes: self.inner.mem_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_accumulates() {
+        let m = ResourceMeter::new();
+        m.add_cpu_micros(100);
+        m.add_cpu_micros(50);
+        assert_eq!(m.sample().cpu_micros, 150);
+    }
+
+    #[test]
+    fn memory_tracks_current_and_peak() {
+        let m = ResourceMeter::new();
+        m.alloc(1000);
+        m.alloc(500);
+        m.free(1200);
+        let s = m.sample();
+        assert_eq!(s.mem_bytes, 300);
+        assert_eq!(s.mem_peak_bytes, 1500);
+    }
+
+    #[test]
+    fn free_saturates_at_zero() {
+        let m = ResourceMeter::new();
+        m.alloc(10);
+        m.free(100);
+        assert_eq!(m.sample().mem_bytes, 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = ResourceMeter::new();
+        let m2 = m.clone();
+        m2.add_cpu_micros(7);
+        assert_eq!(m.sample().cpu_micros, 7);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = ResourceSample { cpu_micros: 1, mem_bytes: 2, mem_peak_bytes: 3 };
+        let b = ResourceSample { cpu_micros: 10, mem_bytes: 20, mem_peak_bytes: 30 };
+        let c = a.merge(b);
+        assert_eq!(c, ResourceSample { cpu_micros: 11, mem_bytes: 22, mem_peak_bytes: 33 });
+    }
+
+    #[test]
+    fn concurrent_allocs_never_lose_peak() {
+        let m = ResourceMeter::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.alloc(3);
+                        m.free(3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.sample();
+        assert_eq!(s.mem_bytes, 0);
+        assert!(s.mem_peak_bytes >= 3);
+    }
+}

@@ -1,0 +1,180 @@
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_net::{BoxStream, Network};
+
+use crate::{CpuGovernor, ResourceMeter};
+
+/// A container image reference: name plus tag.
+///
+/// Version diversity (§V-D of the paper) is expressed exactly as it is on
+/// Docker/Kubernetes — "the deployed version can be changed by simply
+/// changing the specified version tag".
+///
+/// # Examples
+///
+/// ```
+/// use rddr_orchestra::Image;
+///
+/// let img = Image::new("nginx", "1.13.2");
+/// assert_eq!(img.to_string(), "nginx:1.13.2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Image {
+    name: String,
+    tag: String,
+}
+
+impl Image {
+    /// Creates an image reference.
+    pub fn new(name: impl Into<String>, tag: impl Into<String>) -> Self {
+        Self { name: name.into(), tag: tag.into() }
+    }
+
+    /// The image name (e.g. `"nginx"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The image tag (e.g. `"1.13.2"`).
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.tag)
+    }
+}
+
+/// Everything a running service can touch: its resource meter, the node's
+/// CPU governor, and the cluster network (for calls to other services).
+#[derive(Clone)]
+pub struct ServiceCtx {
+    /// This container's resource meter.
+    pub meter: ResourceMeter,
+    /// The node's vCPU governor.
+    pub governor: CpuGovernor,
+    /// The cluster network fabric.
+    pub net: Arc<dyn Network>,
+}
+
+impl fmt::Debug for ServiceCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceCtx").field("governor", &self.governor).finish()
+    }
+}
+
+impl ServiceCtx {
+    /// Performs `cost` of simulated CPU work: waits for a vCPU slot, holds
+    /// it for the governor-scaled duration, and charges this container.
+    pub fn compute(&self, cost: Duration) {
+        self.governor.consume(&self.meter, cost);
+    }
+
+    /// Records a memory allocation against this container.
+    pub fn alloc(&self, bytes: u64) {
+        self.meter.alloc(bytes);
+    }
+
+    /// Records a memory release.
+    pub fn free(&self, bytes: u64) {
+        self.meter.free(bytes);
+    }
+}
+
+/// A microservice: handles one accepted connection at a time (the container
+/// runtime spawns a thread per connection).
+pub trait Service: Send + Sync + 'static {
+    /// Handles one client connection until it closes.
+    fn handle(&self, conn: BoxStream, ctx: &ServiceCtx);
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "service"
+    }
+}
+
+/// Adapts a closure into a [`Service`].
+///
+/// # Examples
+///
+/// ```
+/// use rddr_orchestra::FnService;
+/// use rddr_net::Stream;
+///
+/// let echo = FnService::new("echo", |mut conn, _ctx| {
+///     let mut buf = [0u8; 256];
+///     while let Ok(n) = conn.read(&mut buf) {
+///         if n == 0 || conn.write_all(&buf[..n]).is_err() {
+///             break;
+///         }
+///     }
+/// });
+/// ```
+pub struct FnService<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnService<F>
+where
+    F: Fn(BoxStream, &ServiceCtx) + Send + Sync + 'static,
+{
+    /// Wraps a handler closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+}
+
+impl<F> fmt::Debug for FnService<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnService").field("name", &self.name).finish()
+    }
+}
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(BoxStream, &ServiceCtx) + Send + Sync + 'static,
+{
+    fn handle(&self, conn: BoxStream, ctx: &ServiceCtx) {
+        (self.f)(conn, ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_display_is_docker_style() {
+        assert_eq!(Image::new("postgres", "10.7").to_string(), "postgres:10.7");
+    }
+
+    #[test]
+    fn image_accessors() {
+        let i = Image::new("haproxy", "1.5.3");
+        assert_eq!(i.name(), "haproxy");
+        assert_eq!(i.tag(), "1.5.3");
+    }
+
+    #[test]
+    fn ctx_compute_charges_this_container() {
+        let ctx = ServiceCtx {
+            meter: ResourceMeter::new(),
+            governor: CpuGovernor::with_time_scale(1, 0.001),
+            net: Arc::new(rddr_net::SimNet::new()),
+        };
+        ctx.compute(Duration::from_millis(2));
+        ctx.alloc(64);
+        let s = ctx.meter.sample();
+        assert_eq!(s.cpu_micros, 2_000);
+        assert_eq!(s.mem_bytes, 64);
+    }
+}

@@ -1,0 +1,1148 @@
+//! The database catalog and statement executor.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::{ColumnDef, Expr, Select, Statement};
+use crate::eval::{eval, Env, ExecCtx};
+use crate::exec::run_select;
+use crate::parser::parse_statement;
+use crate::value::{SqlType, Value};
+use crate::version::PgVersion;
+
+/// Errors produced by the SQL engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Syntax error.
+    Parse(String),
+    /// Runtime/semantic error.
+    Exec(String),
+    /// Privilege violation.
+    PermissionDenied(String),
+    /// Feature not implemented by this flavor (CockroachDB rejects
+    /// user-defined functions and operators, §V-C2 of the paper).
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(s) => write!(f, "syntax error: {s}"),
+            SqlError::Exec(s) => write!(f, "error: {s}"),
+            SqlError::PermissionDenied(s) => write!(f, "permission denied for {s}"),
+            SqlError::Unsupported(s) => write!(f, "unimplemented: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Which database product this engine is impersonating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbFlavor {
+    /// MiniPg — PostgreSQL-shaped, with version-gated CVE behaviour.
+    Postgres,
+    /// MiniCockroach — same wire protocol and SQL core, different
+    /// capabilities (see [`CockroachFlavor`]).
+    Cockroach(CockroachFlavor),
+}
+
+/// CockroachDB-specific behaviour switches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CockroachFlavor {
+    /// The version banner, e.g. `CockroachDB CCL v19.1.0`.
+    pub version_banner: String,
+    /// When `true`, rows of un-`ORDER BY`ed scans come back in reverse
+    /// insertion order — the "unspecified row order" pitfall the paper had
+    /// to configure around (§V-C2). Off by default so benign traffic
+    /// matches Postgres.
+    pub scramble_row_order: bool,
+}
+
+impl Default for CockroachFlavor {
+    fn default() -> Self {
+        Self { version_banner: "CockroachDB CCL v19.1.0".into(), scramble_row_order: false }
+    }
+}
+
+/// A user-defined (plpgsql-lite) function: the subset the CVE exploit
+/// listings use — an optional `RAISE NOTICE` followed by `RETURN $1 <op> $2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlFunction {
+    name: String,
+    arg_count: usize,
+    /// `RAISE NOTICE 'template', $a, $b` — template plus argument indices.
+    notice: Option<(String, Vec<usize>)>,
+    /// `RETURN $1 <op> $2` comparison operator, if any.
+    return_op: Option<String>,
+}
+
+/// A user-defined operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Operator {
+    procedure: String,
+    restrict: Option<String>,
+}
+
+/// One table.
+#[derive(Debug, Clone)]
+struct Table {
+    columns: Vec<ColumnDef>,
+    rows: Vec<Vec<Value>>,
+    owner: String,
+    rls_enabled: bool,
+    policies: Vec<Expr>,
+    select_grants: HashSet<String>,
+    /// Hash index on the first column (the conventional primary key),
+    /// built lazily for large tables and invalidated by UPDATE/DELETE.
+    /// Models the index scan pgbench's `WHERE aid = ?` point queries hit.
+    pkey_index: Option<HashMap<String, Vec<usize>>>,
+}
+
+/// A client session: the authenticated user plus session settings.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Authenticated user (upper-cased, like identifiers).
+    pub user: String,
+    settings: HashMap<String, String>,
+}
+
+impl Session {
+    /// Reads a session setting.
+    pub fn setting(&self, key: &str) -> Option<&str> {
+        self.settings.get(&key.to_ascii_uppercase()).map(String::as_str)
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Output column names (empty for non-`SELECT`).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// `NOTICE` messages raised during execution — the leak channel of
+    /// CVE-2017-7484 and CVE-2019-10130.
+    pub notices: Vec<String>,
+    /// Command tag (`SELECT 3`, `INSERT 0 2`, …).
+    pub tag: String,
+    /// Rows scanned, for simulated CPU accounting.
+    pub scanned: u64,
+}
+
+/// An in-memory SQL database.
+pub struct Database {
+    version: PgVersion,
+    flavor: DbFlavor,
+    tables: BTreeMap<String, Table>,
+    functions: HashMap<String, PlFunction>,
+    operators: HashMap<String, Operator>,
+    users: HashSet<String>,
+    /// Total bytes of simulated row storage (for memory metering).
+    storage_bytes: u64,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("version", &self.version)
+            .field("flavor", &self.flavor)
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+/// The bootstrap superuser that owns initial schema.
+pub const SUPERUSER: &str = "APP";
+
+impl Database {
+    /// Creates a MiniPg database at the given version.
+    pub fn new(version: PgVersion) -> Self {
+        Self::with_flavor(version, DbFlavor::Postgres)
+    }
+
+    /// Creates a database with an explicit flavor.
+    pub fn with_flavor(version: PgVersion, flavor: DbFlavor) -> Self {
+        let mut users = HashSet::new();
+        users.insert(SUPERUSER.to_string());
+        Self {
+            version,
+            flavor,
+            tables: BTreeMap::new(),
+            functions: HashMap::new(),
+            operators: HashMap::new(),
+            users,
+            storage_bytes: 0,
+        }
+    }
+
+    /// The server version banner, as reported in `ParameterStatus` and
+    /// `SHOW server_version`.
+    pub fn version_banner(&self) -> String {
+        match &self.flavor {
+            DbFlavor::Postgres => self.version.to_string(),
+            DbFlavor::Cockroach(c) => c.version_banner.clone(),
+        }
+    }
+
+    /// The engine's version.
+    pub fn version(&self) -> &PgVersion {
+        &self.version
+    }
+
+    /// Total bytes of simulated row storage.
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage_bytes
+    }
+
+    /// Opens a session as `user` (created implicitly if unknown — the wire
+    /// server authenticates upstream).
+    pub fn session(&mut self, user: &str) -> Session {
+        let user = user.to_ascii_uppercase();
+        self.users.insert(user.clone());
+        Session { user, settings: HashMap::new() }
+    }
+
+    pub(crate) fn function(&self, name: &str) -> Option<PlFunction> {
+        self.functions.get(name).cloned()
+    }
+
+    pub(crate) fn operator_function(&self, symbol: &str) -> Option<PlFunction> {
+        let op = self.operators.get(symbol)?;
+        self.functions.get(&op.procedure).cloned()
+    }
+
+    /// Executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError`] for syntax errors, privilege violations,
+    /// unsupported features (flavor-dependent), and runtime errors.
+    pub fn execute(&mut self, session: &mut Session, sql: &str) -> Result<QueryResult, SqlError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(session, stmt)
+    }
+
+    /// Executes a `;`-separated script, returning the last statement's
+    /// result (like `psql -c` with multiple statements).
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first failing statement's error.
+    pub fn execute_script(
+        &mut self,
+        session: &mut Session,
+        sql: &str,
+    ) -> Result<QueryResult, SqlError> {
+        let statements = crate::parser::parse_script(sql)?;
+        let mut last = QueryResult::default();
+        for stmt in statements {
+            last = self.execute_statement(session, stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Executes an already-parsed statement.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::execute`].
+    pub fn execute_statement(
+        &mut self,
+        session: &mut Session,
+        stmt: Statement,
+    ) -> Result<QueryResult, SqlError> {
+        match stmt {
+            Statement::Select(select) => {
+                if let Some(plan) = self.point_query_plan(session, &select) {
+                    self.ensure_pkey_index(&plan.table);
+                    return self.run_point_query(session, &select, &plan);
+                }
+                self.run_query(session, &select, false)
+            }
+            Statement::Explain(select) => self.run_query(session, &select, true),
+            Statement::CreateTable { name, columns } => {
+                if self.tables.contains_key(&name) {
+                    return Err(SqlError::Exec(format!(
+                        "relation \"{}\" already exists",
+                        name.to_lowercase()
+                    )));
+                }
+                self.tables.insert(
+                    name,
+                    Table {
+                        columns,
+                        rows: Vec::new(),
+                        owner: session.user.clone(),
+                        rls_enabled: false,
+                        policies: Vec::new(),
+                        select_grants: HashSet::new(),
+                        pkey_index: None,
+                    },
+                );
+                Ok(tag("CREATE TABLE"))
+            }
+            Statement::DropTable { name } => {
+                let table = self
+                    .tables
+                    .get(&name)
+                    .ok_or_else(|| not_found(&name))?;
+                if table.owner != session.user && session.user != SUPERUSER {
+                    return Err(SqlError::PermissionDenied(format!(
+                        "table {}",
+                        name.to_lowercase()
+                    )));
+                }
+                self.storage_bytes = self
+                    .storage_bytes
+                    .saturating_sub(table_bytes(&self.tables[&name]));
+                self.tables.remove(&name);
+                Ok(tag("DROP TABLE"))
+            }
+            Statement::Insert { table, columns, rows } => {
+                self.insert(session, &table, &columns, &rows)
+            }
+            Statement::Update { table, sets, where_clause } => {
+                self.update(session, &table, &sets, where_clause.as_ref())
+            }
+            Statement::Delete { table, where_clause } => {
+                self.delete(session, &table, where_clause.as_ref())
+            }
+            Statement::CreateFunction { name, arg_count, body } => {
+                if let DbFlavor::Cockroach(_) = self.flavor {
+                    return Err(SqlError::Unsupported(
+                        "user-defined functions are not supported".into(),
+                    ));
+                }
+                let f = parse_pl_body(&name, arg_count, &body)?;
+                self.functions.insert(name, f);
+                Ok(tag("CREATE FUNCTION"))
+            }
+            Statement::CreateOperator { symbol, procedure, restrict } => {
+                if let DbFlavor::Cockroach(_) = self.flavor {
+                    return Err(SqlError::Unsupported(
+                        "user-defined operators are not supported".into(),
+                    ));
+                }
+                if !self.functions.contains_key(&procedure) {
+                    return Err(SqlError::Exec(format!(
+                        "function {} does not exist",
+                        procedure.to_lowercase()
+                    )));
+                }
+                self.operators.insert(symbol, Operator { procedure, restrict });
+                Ok(tag("CREATE OPERATOR"))
+            }
+            Statement::CreateUser { name } => {
+                self.users.insert(name);
+                Ok(tag("CREATE ROLE"))
+            }
+            Statement::Grant { table, user } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| not_found(&table))?;
+                t.select_grants.insert(user);
+                Ok(tag("GRANT"))
+            }
+            Statement::EnableRls { table } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| not_found(&table))?;
+                t.rls_enabled = true;
+                Ok(tag("ALTER TABLE"))
+            }
+            Statement::CreatePolicy { table, using, .. } => {
+                if let DbFlavor::Cockroach(_) = self.flavor {
+                    return Err(SqlError::Unsupported("policies are not supported".into()));
+                }
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| not_found(&table))?;
+                t.policies.push(using);
+                Ok(tag("CREATE POLICY"))
+            }
+            Statement::Set { key, value } => {
+                if key == "DEFAULT_TRANSACTION_ISOLATION" {
+                    if let DbFlavor::Cockroach(_) = self.flavor {
+                        if !value.eq_ignore_ascii_case("serializable") {
+                            return Err(SqlError::Unsupported(format!(
+                                "isolation level {value} is not supported; only serializable"
+                            )));
+                        }
+                    }
+                }
+                session.settings.insert(key, value);
+                Ok(tag("SET"))
+            }
+            Statement::Show { key } => {
+                let value = if key == "SERVER_VERSION" {
+                    self.version_banner()
+                } else {
+                    session.settings.get(&key).cloned().unwrap_or_default()
+                };
+                Ok(QueryResult {
+                    columns: vec![key.to_ascii_lowercase()],
+                    rows: vec![vec![Value::Text(value)]],
+                    notices: Vec::new(),
+                    tag: "SHOW".into(),
+                    scanned: 0,
+                })
+            }
+            Statement::Transaction { verb } => Ok(tag(&verb)),
+        }
+    }
+
+    /// Builds the lazily-maintained primary-key index for `table`.
+    fn ensure_pkey_index(&mut self, table: &str) {
+        if let Some(t) = self.tables.get_mut(table) {
+            if t.pkey_index.is_none() {
+                let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+                for (ri, row) in t.rows.iter().enumerate() {
+                    index.entry(row[0].group_key()).or_default().push(ri);
+                }
+                t.pkey_index = Some(index);
+            }
+        }
+    }
+
+    /// Recognizes the indexable point-query shape:
+    /// `SELECT cols FROM t WHERE pkey = literal [AND simple-conjuncts]` on a
+    /// sizeable table without row security.
+    fn point_query_plan(&self, session: &Session, select: &Select) -> Option<PointPlan> {
+        const INDEX_THRESHOLD: usize = 128;
+        if select.from.len() != 1
+            || select.distinct
+            || !select.group_by.is_empty()
+            || select.having.is_some()
+            || !select.order_by.is_empty()
+        {
+            return None;
+        }
+        let tref = &select.from[0];
+        if tref.subquery.is_some() || tref.left_join_on.is_some() {
+            return None;
+        }
+        let t = self.tables.get(&tref.name)?;
+        if t.rows.len() < INDEX_THRESHOLD
+            || (t.rls_enabled && t.owner != session.user && session.user != SUPERUSER)
+        {
+            return None;
+        }
+        if !self.can_select(&session.user, &tref.name) {
+            return None; // let the slow path produce the proper error
+        }
+        if select
+            .items
+            .iter()
+            .any(|i| i.expr.as_ref().is_some_and(crate::exec::contains_aggregate))
+        {
+            return None;
+        }
+        let pkey = &t.columns.first()?.name;
+        let conjuncts = flatten_and(select.where_clause.as_ref()?);
+        for c in &conjuncts {
+            if let Expr::Binary { op, left, right } = c {
+                if op == "=" {
+                    for (a, b) in [(left, right), (right, left)] {
+                        if let (Expr::Column(col), Expr::Literal(v)) = (a.as_ref(), b.as_ref())
+                        {
+                            if &col.column == pkey
+                                && col.table.as_ref().is_none_or(|q| q == &tref.alias)
+                            {
+                                return Some(PointPlan {
+                                    table: tref.name.clone(),
+                                    alias: tref.alias.clone(),
+                                    key: v.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn run_point_query(
+        &self,
+        session: &Session,
+        select: &Select,
+        plan: &PointPlan,
+    ) -> Result<QueryResult, SqlError> {
+        let ctx = ExecCtx::new(self, session);
+        let t = self.tables.get(&plan.table).expect("plan checked table");
+        let index = t.pkey_index.as_ref().expect("ensure_pkey_index ran");
+        let schema: Vec<(String, String)> = t
+            .columns
+            .iter()
+            .map(|c| (plan.alias.clone(), c.name.clone()))
+            .collect();
+        let empty = Vec::new();
+        let candidates = index.get(&plan.key.group_key()).unwrap_or(&empty);
+        ctx.charge_scan(candidates.len() as u64 + 1); // index probe + matches
+        let conjuncts = flatten_and(select.where_clause.as_ref().expect("plan has WHERE"));
+        let mut rows = Vec::new();
+        for &ri in candidates {
+            let row = &t.rows[ri];
+            let env = Env { schema: &schema, row, parent: None };
+            let mut keep = true;
+            for c in &conjuncts {
+                if !eval(&ctx, c, &env)?.is_truthy() {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                rows.push(row.clone());
+            }
+        }
+        // Project through the ordinary item machinery for identical output.
+        let mut columns = Vec::new();
+        let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let env = Env { schema: &schema, row, parent: None };
+            let mut out = Vec::new();
+            for item in &select.items {
+                match &item.expr {
+                    None => {
+                        for (i, col) in t.columns.iter().enumerate() {
+                            out.push(row[i].clone());
+                            if out_rows.is_empty() {
+                                columns.push(col.name.to_ascii_lowercase());
+                            }
+                        }
+                    }
+                    Some(e) => {
+                        out.push(eval(&ctx, e, &env)?);
+                        if out_rows.is_empty() {
+                            columns.push(item.alias.as_ref().map_or_else(
+                                || match e {
+                                    Expr::Column(c) => c.column.to_ascii_lowercase(),
+                                    _ => "?column?".to_string(),
+                                },
+                                |a| a.to_ascii_lowercase(),
+                            ));
+                        }
+                    }
+                }
+            }
+            out_rows.push(out);
+        }
+        if out_rows.is_empty() {
+            // Column names even for empty results.
+            for item in &select.items {
+                match &item.expr {
+                    None => {
+                        for col in &t.columns {
+                            columns.push(col.name.to_ascii_lowercase());
+                        }
+                    }
+                    Some(Expr::Column(c)) => columns.push(
+                        item.alias
+                            .clone()
+                            .unwrap_or_else(|| c.column.clone())
+                            .to_ascii_lowercase(),
+                    ),
+                    Some(_) => columns.push(
+                        item.alias
+                            .clone()
+                            .unwrap_or_else(|| "?column?".into())
+                            .to_ascii_lowercase(),
+                    ),
+                }
+            }
+        }
+        let mut limited = out_rows;
+        if let Some(limit) = select.limit {
+            limited.truncate(limit as usize);
+        }
+        let n = limited.len();
+        Ok(QueryResult {
+            columns,
+            rows: limited,
+            notices: ctx.notices.into_inner(),
+            tag: format!("SELECT {n}"),
+            scanned: ctx.scanned.get(),
+        })
+    }
+
+    fn run_query(
+        &self,
+        session: &Session,
+        select: &Select,
+        explain: bool,
+    ) -> Result<QueryResult, SqlError> {
+        let ctx = ExecCtx::new(self, session);
+        if explain {
+            return self.explain(&ctx, select);
+        }
+        let result = run_select(&ctx, select, None)?;
+        let row_count = result.rows.len();
+        Ok(QueryResult {
+            columns: result.columns,
+            rows: result.rows,
+            notices: ctx.notices.into_inner(),
+            tag: format!("SELECT {row_count}"),
+            scanned: ctx.scanned.get(),
+        })
+    }
+
+    /// `EXPLAIN`: renders a deterministic plan sketch. On vulnerable
+    /// versions, planning user-defined operators with a `restrict=`
+    /// selectivity estimator evaluates the operator's function over the
+    /// table's rows *without a privilege check* — the CVE-2017-7484 leak.
+    fn explain(&self, ctx: &ExecCtx<'_>, select: &Select) -> Result<QueryResult, SqlError> {
+        let mut plan = Vec::new();
+        for (i, tref) in select.from.iter().enumerate() {
+            let name = tref.name.to_lowercase();
+            if i == 0 {
+                plan.push(format!("Seq Scan on {name}"));
+            } else {
+                plan.push(format!("Nested Loop Join on {name}"));
+            }
+        }
+        if let Some(w) = &select.where_clause {
+            plan.push(format!("  Filter: {}", render_expr(w)));
+            // Selectivity estimation: the leak path.
+            for tref in &select.from {
+                if tref.subquery.is_none() {
+                    self.planner_estimate(ctx, &tref.name, &tref.alias, w)?;
+                }
+            }
+        }
+        if plan.is_empty() {
+            plan.push("Result".to_string());
+        }
+        Ok(QueryResult {
+            columns: vec!["QUERY PLAN".into()],
+            rows: plan.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+            notices: ctx.notices.borrow().clone(),
+            tag: "EXPLAIN".into(),
+            scanned: ctx.scanned.get(),
+        })
+    }
+
+    /// Planner selectivity estimation for user-defined operators.
+    ///
+    /// Vulnerable versions (CVE-2017-7484) run the estimator's procedure on
+    /// every stored row of the referenced table — *including tables the
+    /// caller has no `SELECT` privilege on* — leaking values through
+    /// `RAISE NOTICE`. Fixed versions check privileges first.
+    fn planner_estimate(
+        &self,
+        ctx: &ExecCtx<'_>,
+        table: &str,
+        alias: &str,
+        where_clause: &Expr,
+    ) -> Result<(), SqlError> {
+        let Some(t) = self.tables.get(table) else {
+            return Ok(()); // scan error surfaces later
+        };
+        let custom_conjuncts = custom_operator_conjuncts(self, where_clause, alias, &t.columns);
+        if custom_conjuncts.is_empty() {
+            return Ok(());
+        }
+        let readable = self.can_select(&ctx.session.user, table);
+        if !self.version.leaks_planner_stats() && !readable {
+            return Err(SqlError::PermissionDenied(format!(
+                "table {}",
+                table.to_lowercase()
+            )));
+        }
+        // Evaluate the operator over stored rows ("statistics") — the leak.
+        let schema: Vec<(String, String)> = t
+            .columns
+            .iter()
+            .map(|c| (alias.to_string(), c.name.clone()))
+            .collect();
+        for row in &t.rows {
+            let env = Env { schema: &schema, row, parent: None };
+            for c in &custom_conjuncts {
+                let _ = eval(ctx, c, &env)?;
+            }
+        }
+        ctx.charge_scan(t.rows.len() as u64);
+        Ok(())
+    }
+
+    /// The RLS-pushdown leak probe (CVE-2019-10130): on vulnerable versions,
+    /// a `WHERE` containing a user-defined operator is evaluated over *all*
+    /// rows — row-security filtering happens above the scan — so the
+    /// operator's `RAISE NOTICE` leaks protected rows.
+    pub(crate) fn leak_probe(
+        &self,
+        ctx: &ExecCtx<'_>,
+        table: &str,
+        alias: &str,
+        where_clause: &Expr,
+    ) -> Result<(), SqlError> {
+        if !self.version.leaks_rls_rows() {
+            return Ok(());
+        }
+        let Some(t) = self.tables.get(table) else {
+            return Ok(());
+        };
+        if !t.rls_enabled || t.owner == ctx.session.user || ctx.session.user == SUPERUSER {
+            return Ok(()); // nothing hidden to leak
+        }
+        let custom = custom_operator_conjuncts(self, where_clause, alias, &t.columns);
+        if custom.is_empty() {
+            return Ok(());
+        }
+        let schema: Vec<(String, String)> = t
+            .columns
+            .iter()
+            .map(|c| (alias.to_string(), c.name.clone()))
+            .collect();
+        // Only the *hidden* rows constitute the leak; visible rows are
+        // evaluated by the ordinary filter anyway.
+        for row in &t.rows {
+            let env = Env { schema: &schema, row, parent: None };
+            let visible = self.row_visible(ctx, t, row)?;
+            if !visible {
+                for c in &custom {
+                    let _ = eval(ctx, c, &env)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn row_visible(
+        &self,
+        ctx: &ExecCtx<'_>,
+        table: &Table,
+        row: &[Value],
+    ) -> Result<bool, SqlError> {
+        let schema: Vec<(String, String)> = table
+            .columns
+            .iter()
+            .map(|c| (String::new(), c.name.clone()))
+            .collect();
+        let env = Env { schema: &schema, row, parent: None };
+        for p in &table.policies {
+            if eval(ctx, p, &env)?.is_truthy() {
+                return Ok(true);
+            }
+        }
+        Ok(table.policies.is_empty())
+    }
+
+    fn can_select(&self, user: &str, table: &str) -> bool {
+        let Some(t) = self.tables.get(table) else {
+            return false;
+        };
+        user == SUPERUSER || t.owner == user || t.select_grants.contains(user)
+    }
+
+    /// Rows visible to the session: privilege check plus row-level security.
+    pub(crate) fn visible_rows(
+        &self,
+        ctx: &ExecCtx<'_>,
+        table: &str,
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>), SqlError> {
+        let t = self.tables.get(table).ok_or_else(|| not_found(table))?;
+        if !self.can_select(&ctx.session.user, table) {
+            return Err(SqlError::PermissionDenied(format!(
+                "table {}",
+                table.to_lowercase()
+            )));
+        }
+        let cols: Vec<String> = t.columns.iter().map(|c| c.name.clone()).collect();
+        let exempt = t.owner == ctx.session.user || ctx.session.user == SUPERUSER;
+        let mut rows = Vec::with_capacity(t.rows.len());
+        for row in &t.rows {
+            if !t.rls_enabled || exempt || self.row_visible(ctx, t, row)? {
+                rows.push(row.clone());
+            }
+        }
+        if let DbFlavor::Cockroach(c) = &self.flavor {
+            if c.scramble_row_order {
+                rows.reverse();
+            }
+        }
+        Ok((cols, rows))
+    }
+
+    fn insert(
+        &mut self,
+        session: &Session,
+        table: &str,
+        columns: &[String],
+        rows: &[Vec<Expr>],
+    ) -> Result<QueryResult, SqlError> {
+        let ctx = ExecCtx::new(self, session);
+        let t = self.tables.get(table).ok_or_else(|| not_found(table))?;
+        let positions: Vec<usize> = if columns.is_empty() {
+            (0..t.columns.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    t.columns.iter().position(|cd| &cd.name == c).ok_or_else(|| {
+                        SqlError::Exec(format!("column {} does not exist", c.to_lowercase()))
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let mut new_rows = Vec::with_capacity(rows.len());
+        for exprs in rows {
+            if exprs.len() != positions.len() {
+                return Err(SqlError::Exec(format!(
+                    "INSERT has {} expressions but {} target columns",
+                    exprs.len(),
+                    positions.len()
+                )));
+            }
+            let mut row = vec![Value::Null; t.columns.len()];
+            for (expr, &pos) in exprs.iter().zip(&positions) {
+                let env = Env { schema: &[], row: &[], parent: None };
+                let v = eval(&ctx, expr, &env)?;
+                row[pos] = coerce(v, t.columns[pos].ty)?;
+            }
+            new_rows.push(row);
+        }
+        drop(ctx);
+        let added: u64 = new_rows.iter().map(|r| row_bytes(r)).sum();
+        let count = new_rows.len();
+        let t = self.tables.get_mut(table).expect("checked above");
+        if let Some(index) = &mut t.pkey_index {
+            for (offset, row) in new_rows.iter().enumerate() {
+                index
+                    .entry(row[0].group_key())
+                    .or_default()
+                    .push(t.rows.len() + offset);
+            }
+        }
+        t.rows.extend(new_rows);
+        self.storage_bytes += added;
+        Ok(tag(&format!("INSERT 0 {count}")))
+    }
+
+    fn update(
+        &mut self,
+        session: &Session,
+        table: &str,
+        sets: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<QueryResult, SqlError> {
+        let t = self.tables.get(table).ok_or_else(|| not_found(table))?;
+        let schema: Vec<(String, String)> = t
+            .columns
+            .iter()
+            .map(|c| (table.to_string(), c.name.clone()))
+            .collect();
+        let set_positions: Vec<(usize, &Expr)> = sets
+            .iter()
+            .map(|(c, e)| {
+                t.columns
+                    .iter()
+                    .position(|cd| &cd.name == c)
+                    .map(|p| (p, e))
+                    .ok_or_else(|| {
+                        SqlError::Exec(format!("column {} does not exist", c.to_lowercase()))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        let ctx = ExecCtx::new(self, session);
+        let mut updates: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
+        for (ri, row) in t.rows.iter().enumerate() {
+            let env = Env { schema: &schema, row, parent: None };
+            let hit = match where_clause {
+                Some(w) => eval(&ctx, w, &env)?.is_truthy(),
+                None => true,
+            };
+            if hit {
+                let mut assignments = Vec::with_capacity(set_positions.len());
+                for (pos, expr) in &set_positions {
+                    let v = eval(&ctx, expr, &env)?;
+                    assignments.push((*pos, coerce(v, t.columns[*pos].ty)?));
+                }
+                updates.push((ri, assignments));
+            }
+        }
+        ctx.charge_scan(t.rows.len() as u64);
+        let scanned = ctx.scanned.get();
+        drop(ctx);
+        let count = updates.len();
+        let t = self.tables.get_mut(table).expect("checked above");
+        t.pkey_index = None;
+        for (ri, assignments) in updates {
+            for (pos, v) in assignments {
+                t.rows[ri][pos] = v;
+            }
+        }
+        Ok(QueryResult { tag: format!("UPDATE {count}"), scanned, ..QueryResult::default() })
+    }
+
+    fn delete(
+        &mut self,
+        session: &Session,
+        table: &str,
+        where_clause: Option<&Expr>,
+    ) -> Result<QueryResult, SqlError> {
+        let t = self.tables.get(table).ok_or_else(|| not_found(table))?;
+        let schema: Vec<(String, String)> = t
+            .columns
+            .iter()
+            .map(|c| (table.to_string(), c.name.clone()))
+            .collect();
+        let ctx = ExecCtx::new(self, session);
+        let mut keep = Vec::with_capacity(t.rows.len());
+        let mut removed_bytes = 0u64;
+        let mut removed = 0usize;
+        for row in &t.rows {
+            let env = Env { schema: &schema, row, parent: None };
+            let hit = match where_clause {
+                Some(w) => eval(&ctx, w, &env)?.is_truthy(),
+                None => true,
+            };
+            if hit {
+                removed += 1;
+                removed_bytes += row_bytes(row);
+            } else {
+                keep.push(row.clone());
+            }
+        }
+        let scanned = ctx.scanned.get() + keep.len() as u64 + removed as u64;
+        drop(ctx);
+        let t = self.tables.get_mut(table).expect("checked above");
+        t.pkey_index = None;
+        t.rows = keep;
+        self.storage_bytes = self.storage_bytes.saturating_sub(removed_bytes);
+        Ok(QueryResult { tag: format!("DELETE {removed}"), scanned, ..QueryResult::default() })
+    }
+}
+
+/// Invokes a plpgsql-lite function: raises its notice (if any) with `%`
+/// placeholders substituted, then evaluates its `RETURN` comparison.
+pub(crate) fn call_pl_function(
+    ctx: &ExecCtx<'_>,
+    f: &PlFunction,
+    args: &[Value],
+) -> Result<Value, SqlError> {
+    if args.len() != f.arg_count {
+        return Err(SqlError::Exec(format!(
+            "function {} expects {} arguments, got {}",
+            f.name.to_lowercase(),
+            f.arg_count,
+            args.len()
+        )));
+    }
+    if let Some((template, indices)) = &f.notice {
+        let mut text = String::new();
+        let mut arg_iter = indices.iter();
+        for ch in template.chars() {
+            if ch == '%' {
+                match arg_iter.next() {
+                    Some(&i) => text.push_str(
+                        &args.get(i - 1).cloned().unwrap_or(Value::Null).to_string(),
+                    ),
+                    None => text.push('%'),
+                }
+            } else {
+                text.push(ch);
+            }
+        }
+        ctx.notice(format!("NOTICE: {text}"));
+    }
+    match &f.return_op {
+        Some(op) => {
+            let l = args.first().cloned().unwrap_or(Value::Null);
+            let r = args.get(1).cloned().unwrap_or(Value::Null);
+            match op.as_str() {
+                ">" => Ok(cmp_bool(&l, &r, std::cmp::Ordering::Greater)),
+                "<" => Ok(cmp_bool(&l, &r, std::cmp::Ordering::Less)),
+                "=" => Ok(match l.sql_eq(&r) {
+                    Some(b) => Value::Bool(b),
+                    None => Value::Null,
+                }),
+                ">=" => Ok(match l.sql_cmp(&r) {
+                    Some(o) => Value::Bool(o != std::cmp::Ordering::Less),
+                    None => Value::Null,
+                }),
+                "<=" => Ok(match l.sql_cmp(&r) {
+                    Some(o) => Value::Bool(o != std::cmp::Ordering::Greater),
+                    None => Value::Null,
+                }),
+                other => Err(SqlError::Exec(format!("unsupported return op {other}"))),
+            }
+        }
+        None => Ok(Value::Bool(true)),
+    }
+}
+
+fn cmp_bool(l: &Value, r: &Value, want: std::cmp::Ordering) -> Value {
+    match l.sql_cmp(r) {
+        Some(o) => Value::Bool(o == want),
+        None => Value::Null,
+    }
+}
+
+/// Parses the plpgsql-lite body subset used by the exploit listings.
+fn parse_pl_body(name: &str, arg_count: usize, body: &str) -> Result<PlFunction, SqlError> {
+    let mut notice = None;
+    if let Some(idx) = body.to_ascii_uppercase().find("RAISE NOTICE") {
+        let rest = &body[idx + "RAISE NOTICE".len()..];
+        let open = rest
+            .find('\'')
+            .ok_or_else(|| SqlError::Parse("RAISE NOTICE needs a string".into()))?;
+        // The template string (with '' escapes).
+        let mut template = String::new();
+        let bytes: Vec<char> = rest[open + 1..].chars().collect();
+        let mut i = 0;
+        loop {
+            if i >= bytes.len() {
+                return Err(SqlError::Parse("unterminated notice template".into()));
+            }
+            if bytes[i] == '\'' {
+                if bytes.get(i + 1) == Some(&'\'') {
+                    template.push('\'');
+                    i += 2;
+                } else {
+                    i += 1;
+                    break;
+                }
+            } else {
+                template.push(bytes[i]);
+                i += 1;
+            }
+        }
+        // Argument list: `, $1, $2`.
+        let tail: String = bytes[i..].iter().collect();
+        let tail = tail.split(';').next().unwrap_or("");
+        let mut indices = Vec::new();
+        for part in tail.split(',') {
+            let part = part.trim();
+            if let Some(num) = part.strip_prefix('$') {
+                if let Ok(n) = num.parse::<usize>() {
+                    indices.push(n);
+                }
+            }
+        }
+        notice = Some((template, indices));
+    }
+    let mut return_op = None;
+    if let Some(idx) = body.to_ascii_uppercase().find("RETURN ") {
+        let rest = &body[idx + "RETURN ".len()..];
+        let clause = rest.split(';').next().unwrap_or("").trim();
+        // Pattern: $1 <op> $2
+        let parts: Vec<&str> = clause.split_whitespace().collect();
+        if parts.len() == 3 && parts[0].starts_with('$') && parts[2].starts_with('$') {
+            return_op = Some(parts[1].to_string());
+        }
+    }
+    Ok(PlFunction { name: name.to_string(), arg_count, notice, return_op })
+}
+
+/// Collects WHERE conjuncts that use a user-defined operator and reference
+/// only columns of the given table.
+fn custom_operator_conjuncts(
+    db: &Database,
+    where_clause: &Expr,
+    alias: &str,
+    columns: &[ColumnDef],
+) -> Vec<Expr> {
+    fn walk(db: &Database, e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Binary { op, left, right } => {
+                if db.operators.contains_key(op) {
+                    out.push(e.clone());
+                } else {
+                    walk(db, left, out);
+                    walk(db, right, out);
+                }
+            }
+            Expr::Unary { expr, .. } => walk(db, expr, out),
+            _ => {}
+        }
+    }
+    let mut found = Vec::new();
+    walk(db, where_clause, &mut found);
+    found.retain(|e| {
+        let mut refs = Vec::new();
+        crate::exec::column_refs(e, &mut refs);
+        refs.iter().all(|r| {
+            columns.iter().any(|c| c.name == r.column)
+                && r.table.as_ref().is_none_or(|t| t == alias)
+        })
+    });
+    found
+}
+
+fn coerce(v: Value, ty: SqlType) -> Result<Value, SqlError> {
+    Ok(match (v, ty) {
+        (Value::Null, _) => Value::Null,
+        (Value::Int(i), SqlType::Float) => Value::Float(i as f64),
+        (Value::Float(f), SqlType::Int) if f.fract() == 0.0 => Value::Int(f as i64),
+        (Value::Int(i), SqlType::Text) => Value::Text(i.to_string()),
+        (v @ Value::Int(_), SqlType::Int) => v,
+        (v @ Value::Float(_), SqlType::Float) => v,
+        (v @ Value::Text(_), SqlType::Text) => v,
+        (v @ Value::Bool(_), SqlType::Bool) => v,
+        (v, ty) => {
+            return Err(SqlError::Exec(format!("cannot store {v} in {ty} column")));
+        }
+    })
+}
+
+fn row_bytes(row: &[Value]) -> u64 {
+    row.iter()
+        .map(|v| match v {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Text(t) => 16 + t.len() as u64,
+        })
+        .sum::<u64>()
+        + 24 // per-row header
+}
+
+fn table_bytes(t: &Table) -> u64 {
+    t.rows.iter().map(|r| row_bytes(r)).sum()
+}
+
+fn tag(t: &str) -> QueryResult {
+    QueryResult { tag: t.to_string(), ..QueryResult::default() }
+}
+
+fn not_found(table: &str) -> SqlError {
+    SqlError::Exec(format!("relation \"{}\" does not exist", table.to_lowercase()))
+}
+
+/// The recognized point-query pattern.
+struct PointPlan {
+    table: String,
+    alias: String,
+    key: Value,
+}
+
+fn flatten_and(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary { op, left, right } if op == "AND" => {
+            let mut out = flatten_and(left);
+            out.extend(flatten_and(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(v) => v.to_string(),
+        Expr::Column(c) => match &c.table {
+            Some(t) => format!("{}.{}", t.to_lowercase(), c.column.to_lowercase()),
+            None => c.column.to_lowercase(),
+        },
+        Expr::Binary { op, left, right } => {
+            format!("({} {} {})", render_expr(left), op, render_expr(right))
+        }
+        Expr::Unary { op, expr } => format!("{op} {}", render_expr(expr)),
+        _ => "…".to_string(),
+    }
+}

@@ -1,0 +1,285 @@
+use std::fmt;
+
+use crate::db::SqlError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (unquoted identifiers are upper-cased for
+    /// case-insensitive matching, mirroring SQL folding).
+    Word(String),
+    /// A quoted string literal (single quotes, `''` escaping).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// An operator or punctuation symbol (e.g. `=`, `<=`, `>>>`, `(`).
+    Sym(String),
+}
+
+impl Token {
+    /// The word payload if this is a `Word`.
+    pub fn word(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// Whether this token is the given symbol.
+    pub fn is_sym(&self, sym: &str) -> bool {
+        matches!(self, Token::Sym(s) if s == sym)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => f.write_str(w),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Sym(s) => f.write_str(s),
+        }
+    }
+}
+
+const OPERATOR_CHARS: &[u8] = b"+-*/<>=~!@#%^&|`?";
+
+/// Tokenizes a SQL string.
+///
+/// Supports `--` line comments, `/* */` block comments, dollar-quoted
+/// strings (`$$ ... $$`, used by the CVE exploit listings for function
+/// bodies), and multi-character user-defined operators such as `>>>`.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Parse`] on unterminated strings/comments or stray
+/// bytes.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let close = sql[i + 2..]
+                    .find("*/")
+                    .ok_or_else(|| SqlError::Parse("unterminated block comment".into()))?;
+                i += close + 4;
+            }
+            b'\'' => {
+                let (text, consumed) = read_quoted(&sql[i..])?;
+                tokens.push(Token::Str(text));
+                i += consumed;
+            }
+            b'$' if bytes.get(i + 1) == Some(&b'$') => {
+                let close = sql[i + 2..]
+                    .find("$$")
+                    .ok_or_else(|| SqlError::Parse("unterminated $$ string".into()))?;
+                tokens.push(Token::Str(sql[i + 2..i + 2 + close].to_string()));
+                i += close + 4;
+            }
+            b'"' => {
+                // Quoted identifier: preserved case, no folding.
+                let close = sql[i + 1..]
+                    .find('"')
+                    .ok_or_else(|| SqlError::Parse("unterminated quoted identifier".into()))?;
+                tokens.push(Token::Word(sql[i + 1..i + 1 + close].to_string()));
+                i += close + 2;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !is_float
+                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) =>
+                        {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| {
+                        SqlError::Parse(format!("bad float literal {text:?}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| {
+                        SqlError::Parse(format!("bad integer literal {text:?}"))
+                    })?));
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(sql[start..i].to_ascii_uppercase()));
+            }
+            b'(' | b')' | b',' | b';' | b'.' => {
+                tokens.push(Token::Sym((b as char).to_string()));
+                i += 1;
+            }
+            _ if OPERATOR_CHARS.contains(&b) => {
+                let start = i;
+                while i < bytes.len() && OPERATOR_CHARS.contains(&bytes[i]) {
+                    // Stop a run before "--" or "/*" so trailing comments lex.
+                    if i > start
+                        && (bytes[i - 1] == b'-' && bytes[i] == b'-'
+                            || bytes[i - 1] == b'/' && bytes[i] == b'*')
+                    {
+                        i -= 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token::Sym(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "unexpected byte {:?} at offset {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn read_quoted(s: &str) -> Result<(String, usize), SqlError> {
+    debug_assert!(s.starts_with('\''));
+    let bytes = s.as_bytes();
+    let mut out = String::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(SqlError::Parse("unterminated string literal".into()))
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql).unwrap()
+    }
+
+    #[test]
+    fn words_fold_to_uppercase() {
+        assert_eq!(toks("select Name"), vec![
+            Token::Word("SELECT".into()),
+            Token::Word("NAME".into()),
+        ]);
+    }
+
+    #[test]
+    fn strings_preserve_case_and_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(toks("42 3.14"), vec![Token::Int(42), Token::Float(3.14)]);
+    }
+
+    #[test]
+    fn custom_operator_lexes_as_one_symbol() {
+        let t = toks("col_to_leak >>> 0");
+        assert_eq!(t[1], Token::Sym(">>>".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT 1 -- trailing\n+ 2 /* block */ ;"),
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Sym("+".into()),
+                Token::Int(2),
+                Token::Sym(";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_quoted_function_body() {
+        let t = toks("AS $$BEGIN RAISE NOTICE 'leak % %', $1, $2; END$$ LANGUAGE plpgsql");
+        assert_eq!(t[0], Token::Word("AS".into()));
+        assert!(matches!(&t[1], Token::Str(s) if s.contains("RAISE NOTICE")));
+        assert_eq!(t[2], Token::Word("LANGUAGE".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn qualified_names_lex_with_dot() {
+        let t = toks("lineitem.l_qty");
+        assert_eq!(t.len(), 3);
+        assert!(t[1].is_sym("."));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = toks("a <= b <> c != d");
+        assert_eq!(t[1], Token::Sym("<=".into()));
+        assert_eq!(t[3], Token::Sym("<>".into()));
+        assert_eq!(t[5], Token::Sym("!=".into()));
+    }
+
+    #[test]
+    fn operator_run_stops_before_line_comment() {
+        let t = toks("1+--c\n2");
+        assert_eq!(t, vec![Token::Int(1), Token::Sym("+".into()), Token::Int(2)]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'héllo'"), vec![Token::Str("héllo".into())]);
+    }
+}

@@ -1,0 +1,159 @@
+//! pgbench workload for the paper's Figures 5 and 6.
+//!
+//! "Each deployment was initialized with a database of scale factor 100 …
+//! Each client is executed in a separate thread and makes 10,000 SELECT
+//! transactions against each deployment" (§V-G2). The SELECT-only script is
+//! pgbench's built-in:
+//!
+//! ```sql
+//! SELECT abalance FROM pgbench_accounts WHERE aid = :aid;
+//! ```
+//!
+//! The generator keeps pgbench's table proportions (1 branch : 10 tellers :
+//! 100 000 accounts) at a configurable accounts-per-branch so the simulated
+//! dataset stays laptop-sized; the engine's primary-key index gives the
+//! point query its real-world O(1) cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::db::{Database, SqlError};
+
+/// Accounts generated per branch (pgbench uses 100 000; the simulator
+/// defaults to 1 000 to stay in memory-friendly territory).
+pub const ACCOUNTS_PER_BRANCH: usize = 1_000;
+
+/// The pgbench DDL.
+pub const SCHEMA: &[&str] = &[
+    "CREATE TABLE pgbench_branches (bid INT, bbalance INT, filler TEXT)",
+    "CREATE TABLE pgbench_tellers (tid INT, bid INT, tbalance INT, filler TEXT)",
+    "CREATE TABLE pgbench_accounts (aid INT, bid INT, abalance INT, filler TEXT)",
+    "CREATE TABLE pgbench_history (tid INT, bid INT, aid INT, delta INT, mtime TEXT)",
+];
+
+/// Populates `db` with a pgbench dataset at the given scale (number of
+/// branches). Returns the number of account rows created.
+///
+/// # Errors
+///
+/// Returns [`SqlError`] if DDL or inserts fail.
+pub fn load(db: &mut Database, scale: usize) -> Result<usize, SqlError> {
+    let mut session = db.session("app");
+    for ddl in SCHEMA {
+        db.execute(&mut session, ddl)?;
+    }
+    let mut rng = StdRng::seed_from_u64(0x9b3_0002);
+    let branches: Vec<String> = (1..=scale).map(|b| format!("({b}, 0, 'b')")).collect();
+    db.execute(
+        &mut session,
+        &format!("INSERT INTO pgbench_branches VALUES {}", branches.join(", ")),
+    )?;
+    let tellers: Vec<String> = (1..=scale * 10)
+        .map(|t| format!("({t}, {}, 0, 't')", (t - 1) / 10 + 1))
+        .collect();
+    for chunk in tellers.chunks(500) {
+        db.execute(
+            &mut session,
+            &format!("INSERT INTO pgbench_tellers VALUES {}", chunk.join(", ")),
+        )?;
+    }
+    let total_accounts = scale * ACCOUNTS_PER_BRANCH;
+    let mut batch = Vec::with_capacity(500);
+    for aid in 1..=total_accounts {
+        let bid = (aid - 1) / ACCOUNTS_PER_BRANCH + 1;
+        let balance: i32 = rng.gen_range(-5000..5000);
+        batch.push(format!("({aid}, {bid}, {balance}, 'a')"));
+        if batch.len() == 500 {
+            db.execute(
+                &mut session,
+                &format!("INSERT INTO pgbench_accounts VALUES {}", batch.join(", ")),
+            )?;
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        db.execute(
+            &mut session,
+            &format!("INSERT INTO pgbench_accounts VALUES {}", batch.join(", ")),
+        )?;
+    }
+    Ok(total_accounts)
+}
+
+/// A deterministic stream of SELECT-only pgbench transactions.
+#[derive(Debug, Clone)]
+pub struct SelectWorkload {
+    rng: StdRng,
+    accounts: usize,
+}
+
+impl SelectWorkload {
+    /// Creates a workload over `accounts` rows, seeded per client id so
+    /// concurrent clients draw different but reproducible account streams.
+    pub fn new(accounts: usize, client_id: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(0xbe7c_1000 ^ client_id), accounts }
+    }
+
+    /// The next transaction's SQL text.
+    pub fn next_query(&mut self) -> String {
+        let aid = self.rng.gen_range(1..=self.accounts);
+        format!("SELECT abalance FROM pgbench_accounts WHERE aid = {aid}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PgVersion;
+
+    #[test]
+    fn load_creates_proportional_tables() {
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        let accounts = load(&mut db, 2).unwrap();
+        assert_eq!(accounts, 2 * ACCOUNTS_PER_BRANCH);
+        let mut s = db.session("app");
+        let r = db.execute(&mut s, "SELECT COUNT(*) FROM pgbench_tellers").unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "20");
+        let r = db.execute(&mut s, "SELECT COUNT(*) FROM pgbench_branches").unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "2");
+    }
+
+    #[test]
+    fn point_query_uses_index_fast_path() {
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        load(&mut db, 1).unwrap();
+        let mut s = db.session("app");
+        let r = db
+            .execute(&mut s, "SELECT abalance FROM pgbench_accounts WHERE aid = 500")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(
+            r.scanned < 10,
+            "point query must hit the index, scanned {}",
+            r.scanned
+        );
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_client() {
+        let mut a = SelectWorkload::new(1000, 7);
+        let mut b = SelectWorkload::new(1000, 7);
+        let mut c = SelectWorkload::new(1000, 8);
+        assert_eq!(a.next_query(), b.next_query());
+        // Different clients draw different streams (overwhelmingly likely
+        // to differ on the first draw; deterministic given fixed seeds).
+        assert_ne!(a.next_query(), c.next_query());
+    }
+
+    #[test]
+    fn workload_queries_return_one_row() {
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        let accounts = load(&mut db, 1).unwrap();
+        let mut s = db.session("app");
+        let mut w = SelectWorkload::new(accounts, 0);
+        for _ in 0..20 {
+            let r = db.execute(&mut s, &w.next_query()).unwrap();
+            assert_eq!(r.rows.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column types supported by the SQL subset.
+///
+/// Dates are stored as ISO-8601 text (`YYYY-MM-DD`), which compares
+/// correctly lexicographically — see `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// 64-bit integer (`INT`, `INTEGER`, `BIGINT`, `SMALLINT`).
+    Int,
+    /// Double-precision float (`FLOAT`, `DOUBLE`, `NUMERIC`, `DECIMAL`).
+    Float,
+    /// UTF-8 text (`TEXT`, `VARCHAR`, `CHAR`, `DATE`).
+    Text,
+    /// Boolean (`BOOLEAN`, `BOOL`).
+    Bool,
+}
+
+impl SqlType {
+    /// Parses a type name as it appears in DDL.
+    pub fn parse(name: &str) -> Option<SqlType> {
+        let base = name.to_ascii_uppercase();
+        let base = base.split('(').next().unwrap_or("").trim();
+        match base {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "SERIAL" => Some(SqlType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" | "NUMERIC" | "DECIMAL" => Some(SqlType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "DATE" | "STRING" => Some(SqlType::Text),
+            "BOOLEAN" | "BOOL" => Some(SqlType::Bool),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SqlType::Int => "integer",
+            SqlType::Float => "numeric",
+            SqlType::Text => "text",
+            SqlType::Bool => "boolean",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL `NULL`.
+    Null,
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A text string (also used for dates).
+    Text(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Whether this is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for non-integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `WHERE` evaluation: only `TRUE` passes; `NULL` and
+    /// `FALSE` do not (three-valued logic collapses at the filter).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// SQL equality (`=`): `NULL` compares as unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL ordering comparison; `None` when either side is `NULL` or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Total ordering for `ORDER BY` and grouping: `NULL` sorts last, and
+    /// mixed numeric types compare numerically.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Greater,
+            (_, Value::Null) => Ordering::Less,
+            _ => self.sql_cmp(other).unwrap_or_else(|| {
+                // Incomparable types: order by type tag for determinism.
+                self.type_tag().cmp(&other.type_tag())
+            }),
+        }
+    }
+
+    /// A stable grouping key (used for `GROUP BY` and `DISTINCT`).
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Int(i) => format!("i{i}"),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("i{}", *f as i64) // 2 and 2.0 group together
+                } else {
+                    format!("f{f}")
+                }
+            }
+            Value::Text(t) => format!("t{t}"),
+            Value::Bool(b) => format!("b{b}"),
+        }
+    }
+
+    fn type_tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Text(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal && self.is_null() == other.is_null()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                // Fixed 4-decimal rendering keeps aggregates deterministic
+                // across instances (floats are wire-rendered as text).
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v:.4}")
+                }
+            }
+            Value::Text(t) => f.write_str(t),
+            Value::Bool(b) => f.write_str(if *b { "t" } else { "f" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parse_covers_aliases() {
+        assert_eq!(SqlType::parse("VARCHAR(25)"), Some(SqlType::Text));
+        assert_eq!(SqlType::parse("bigint"), Some(SqlType::Int));
+        assert_eq!(SqlType::parse("NUMERIC"), Some(SqlType::Float));
+        assert_eq!(SqlType::parse("date"), Some(SqlType::Text));
+        assert_eq!(SqlType::parse("blob"), None);
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn iso_dates_compare_lexicographically() {
+        let a = Value::Text("1995-03-15".into());
+        let b = Value::Text("1996-01-01".into());
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn total_cmp_sorts_nulls_last() {
+        let mut vals = [Value::Null, Value::Int(2), Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Int(1));
+        assert!(vals[2].is_null());
+    }
+
+    #[test]
+    fn group_key_merges_equal_numerics() {
+        assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
+        assert_ne!(Value::Int(2).group_key(), Value::Text("2".into()).group_key());
+    }
+
+    #[test]
+    fn display_matches_postgres_text_format() {
+        assert_eq!(Value::Bool(true).to_string(), "t");
+        assert_eq!(Value::Float(2.0).to_string(), "2");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5000");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+}

@@ -1,0 +1,140 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::db::SqlError;
+
+/// A PostgreSQL-style version number with CVE gates.
+///
+/// Version diversity (§V-D of the paper) hinges on specific fixes:
+///
+/// * **CVE-2017-7484** — selectivity estimators ran user-defined operator
+///   functions without privilege checks. Fixed in 9.2.21 / 9.3.17 / 9.4.12 /
+///   9.5.7 / 9.6.3 and all 10+ releases.
+/// * **CVE-2019-10130** — the planner pushed non-leakproof user-defined
+///   operators below row-level-security filters. Affects 9.5.0–9.5.17,
+///   9.6.0–9.6.13, 10.0–10.8, 11.0–11.3; the paper deploys 10.7 (buggy)
+///   next to 10.9 (fixed).
+///
+/// # Examples
+///
+/// ```
+/// use rddr_pgsim::PgVersion;
+///
+/// let buggy = PgVersion::parse("10.7").unwrap();
+/// let fixed = PgVersion::parse("10.9").unwrap();
+/// assert!(buggy.leaks_rls_rows());
+/// assert!(!fixed.leaks_rls_rows());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PgVersion {
+    /// Major version (9, 10, 11, …).
+    pub major: u32,
+    /// Minor version. For the 9.x series this is the second component
+    /// (9.2), with `patch` holding the third.
+    pub minor: u32,
+    /// Patch level (9.2.**20**); zero for two-component versions.
+    pub patch: u32,
+}
+
+impl PgVersion {
+    /// Parses `"10.7"` or `"9.2.20"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError::Parse`] on malformed version strings.
+    pub fn parse(s: &str) -> Result<Self, SqlError> {
+        let mut parts = s.split('.');
+        let mut next = |name: &str| -> Result<u32, SqlError> {
+            parts
+                .next()
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| SqlError::Parse(format!("bad version {name} in {s:?}")))
+        };
+        let major = next("major")?;
+        let minor = next("minor")?;
+        let patch = next("patch")?;
+        Ok(Self { major, minor, patch })
+    }
+
+    /// CVE-2017-7484 gate: whether the planner leaks table contents through
+    /// selectivity estimation without privilege checks.
+    pub fn leaks_planner_stats(&self) -> bool {
+        match (self.major, self.minor) {
+            (9, 2) => self.patch < 21,
+            (9, 3) => self.patch < 17,
+            (9, 4) => self.patch < 12,
+            (9, 5) => self.patch < 7,
+            (9, 6) => self.patch < 3,
+            _ => false,
+        }
+    }
+
+    /// CVE-2019-10130 gate: whether non-leakproof user-defined operators are
+    /// pushed below row-level-security filters.
+    pub fn leaks_rls_rows(&self) -> bool {
+        match self.major {
+            9 => matches!(self.minor, 5 | 6) && self.patch < if self.minor == 5 { 18 } else { 14 },
+            10 => self.minor < 9,
+            11 => self.minor < 4,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PgVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.major >= 10 {
+            write!(f, "{}.{}", self.major, self.minor)
+        } else {
+            write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+        }
+    }
+}
+
+impl FromStr for PgVersion {
+    type Err = SqlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        assert_eq!(PgVersion::parse("10.7").unwrap().to_string(), "10.7");
+        assert_eq!(PgVersion::parse("9.2.20").unwrap().to_string(), "9.2.20");
+    }
+
+    #[test]
+    fn cve_7484_gate() {
+        assert!(PgVersion::parse("9.2.20").unwrap().leaks_planner_stats());
+        assert!(!PgVersion::parse("9.2.21").unwrap().leaks_planner_stats());
+        assert!(!PgVersion::parse("10.7").unwrap().leaks_planner_stats());
+    }
+
+    #[test]
+    fn cve_10130_gate() {
+        assert!(PgVersion::parse("10.7").unwrap().leaks_rls_rows());
+        assert!(PgVersion::parse("10.8").unwrap().leaks_rls_rows());
+        assert!(!PgVersion::parse("10.9").unwrap().leaks_rls_rows());
+        assert!(PgVersion::parse("11.3").unwrap().leaks_rls_rows());
+        assert!(!PgVersion::parse("11.4").unwrap().leaks_rls_rows());
+        assert!(!PgVersion::parse("12.0").unwrap().leaks_rls_rows());
+    }
+
+    #[test]
+    fn malformed_versions_error() {
+        assert!(PgVersion::parse("ten").is_err());
+        assert!(PgVersion::parse("10.x").is_err());
+    }
+
+    #[test]
+    fn versions_order() {
+        assert!(PgVersion::parse("10.7").unwrap() < PgVersion::parse("10.9").unwrap());
+    }
+}

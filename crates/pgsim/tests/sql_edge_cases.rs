@@ -1,0 +1,286 @@
+//! Edge-case coverage for the SQL engine: the corners TPC-H and the CVE
+//! scenarios don't exercise.
+
+use rddr_pgsim::{Database, PgVersion, SqlError, Value};
+
+fn db() -> Database {
+    Database::new(PgVersion::parse("10.7").unwrap())
+}
+
+fn run(db: &mut Database, sql: &str) -> rddr_pgsim::QueryResult {
+    let mut s = db.session("app");
+    db.execute(&mut s, sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+}
+
+fn texts(r: &rddr_pgsim::QueryResult) -> Vec<Vec<String>> {
+    r.rows.iter().map(|row| row.iter().map(Value::to_string).collect()).collect()
+}
+
+#[test]
+fn aggregates_over_empty_table() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    let r = run(&mut db, "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t");
+    assert_eq!(texts(&r), vec![vec!["0", "", "", "", ""]]);
+}
+
+#[test]
+fn group_by_over_empty_table_yields_no_groups() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT, g TEXT)");
+    let r = run(&mut db, "SELECT g, COUNT(*) FROM t GROUP BY g");
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn having_without_group_by() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1), (2), (3)");
+    let r = run(&mut db, "SELECT SUM(x) FROM t HAVING SUM(x) > 5");
+    assert_eq!(texts(&r), vec![vec!["6"]]);
+    let r = run(&mut db, "SELECT SUM(x) FROM t HAVING SUM(x) > 100");
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn distinct_on_multiple_columns() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (a INT, b TEXT)");
+    run(&mut db, "INSERT INTO t VALUES (1,'x'), (1,'x'), (1,'y'), (2,'x')");
+    let r = run(&mut db, "SELECT DISTINCT a, b FROM t ORDER BY a, b");
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn group_by_expression() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+    let r = run(&mut db, "SELECT x % 2, COUNT(*) FROM t GROUP BY x % 2 ORDER BY 1");
+    assert_eq!(texts(&r), vec![vec!["0", "2"], vec!["1", "3"]]);
+}
+
+#[test]
+fn case_without_else_yields_null() {
+    let mut db = db();
+    let r = run(&mut db, "SELECT CASE WHEN FALSE THEN 1 END");
+    assert!(r.rows[0][0].is_null());
+}
+
+#[test]
+fn count_ignores_nulls_but_star_does_not() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1), (NULL), (3), (NULL)");
+    let r = run(&mut db, "SELECT COUNT(x), COUNT(*), SUM(x) FROM t");
+    assert_eq!(texts(&r), vec![vec!["2", "4", "4"]]);
+}
+
+#[test]
+fn limit_zero_and_limit_beyond() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1), (2)");
+    assert!(run(&mut db, "SELECT x FROM t LIMIT 0").rows.is_empty());
+    assert_eq!(run(&mut db, "SELECT x FROM t LIMIT 99").rows.len(), 2);
+}
+
+#[test]
+fn cross_join_cardinality() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE a (x INT)");
+    run(&mut db, "CREATE TABLE b (y INT)");
+    run(&mut db, "INSERT INTO a VALUES (1), (2), (3)");
+    run(&mut db, "INSERT INTO b VALUES (10), (20)");
+    let r = run(&mut db, "SELECT a.x, b.y FROM a, b");
+    assert_eq!(r.rows.len(), 6);
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE e (id INT, manager INT, name TEXT)");
+    run(
+        &mut db,
+        "INSERT INTO e VALUES (1, NULL, 'ceo'), (2, 1, 'cto'), (3, 2, 'dev')",
+    );
+    let r = run(
+        &mut db,
+        "SELECT w.name, m.name FROM e w, e m WHERE w.manager = m.id ORDER BY w.id",
+    );
+    assert_eq!(texts(&r), vec![vec!["cto", "ceo"], vec!["dev", "cto"]]);
+}
+
+#[test]
+fn nested_uncorrelated_subqueries() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1), (2), (3), (4)");
+    let r = run(
+        &mut db,
+        "SELECT COUNT(*) FROM t WHERE x > (SELECT AVG(x) FROM t WHERE x IN \
+         (SELECT x FROM t WHERE x < 4))",
+    );
+    assert_eq!(texts(&r), vec![vec!["2"]]);
+}
+
+#[test]
+fn in_with_empty_subquery_result() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1)");
+    let r = run(&mut db, "SELECT x FROM t WHERE x IN (SELECT x FROM t WHERE x > 99)");
+    assert!(r.rows.is_empty());
+    let r = run(
+        &mut db,
+        "SELECT x FROM t WHERE x NOT IN (SELECT x FROM t WHERE x > 99)",
+    );
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn update_uses_row_values() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (a INT, b INT)");
+    run(&mut db, "INSERT INTO t VALUES (1, 10), (2, 20)");
+    run(&mut db, "UPDATE t SET a = a + b, b = a");
+    // `b = a` sees the OLD value of `a` (assignments evaluate against the
+    // pre-update row, like Postgres).
+    let r = run(&mut db, "SELECT a, b FROM t ORDER BY b");
+    assert_eq!(texts(&r), vec![vec!["11", "1"], vec!["22", "2"]]);
+}
+
+#[test]
+fn delete_without_where_empties_table() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1), (2), (3)");
+    let r = run(&mut db, "DELETE FROM t");
+    assert_eq!(r.tag, "DELETE 3");
+    assert_eq!(texts(&run(&mut db, "SELECT COUNT(*) FROM t")), vec![vec!["0"]]);
+}
+
+#[test]
+fn type_coercion_on_insert() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (f FLOAT, s TEXT)");
+    run(&mut db, "INSERT INTO t VALUES (1, 42)"); // int→float, int→text
+    let r = run(&mut db, "SELECT f, s FROM t");
+    assert_eq!(texts(&r), vec![vec!["1", "42"]]);
+    // Incompatible coercion errors.
+    let mut s = db.session("app");
+    assert!(matches!(
+        db.execute(&mut s, "INSERT INTO t VALUES ('nope', 'x')"),
+        Err(SqlError::Exec(_))
+    ));
+}
+
+#[test]
+fn unknown_column_and_table_errors() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    let mut s = db.session("app");
+    assert!(matches!(
+        db.execute(&mut s, "SELECT nope FROM t"),
+        Err(SqlError::Exec(_))
+    ));
+    assert!(matches!(
+        db.execute(&mut s, "SELECT x FROM ghost"),
+        Err(SqlError::Exec(_))
+    ));
+}
+
+#[test]
+fn duplicate_table_creation_errors() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    let mut s = db.session("app");
+    assert!(db.execute(&mut s, "CREATE TABLE t (y INT)").is_err());
+}
+
+#[test]
+fn explain_renders_plan_rows() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    let r = run(&mut db, "EXPLAIN (COSTS OFF) SELECT x FROM t WHERE x > 1");
+    assert_eq!(r.columns, vec!["QUERY PLAN"]);
+    let plan = texts(&r);
+    assert!(plan[0][0].contains("Seq Scan on t"), "{plan:?}");
+    assert!(plan[1][0].contains("Filter"), "{plan:?}");
+}
+
+#[test]
+fn pkey_index_survives_inserts_and_invalidation() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE big (id INT, v TEXT)");
+    let rows: Vec<String> = (0..300).map(|i| format!("({i}, 'v{i}')")).collect();
+    run(&mut db, &format!("INSERT INTO big VALUES {}", rows.join(", ")));
+    // Point query builds the index.
+    let r = run(&mut db, "SELECT v FROM big WHERE id = 250");
+    assert_eq!(texts(&r), vec![vec!["v250"]]);
+    assert!(r.scanned < 10);
+    // Incremental insert keeps the index correct.
+    run(&mut db, "INSERT INTO big VALUES (1000, 'fresh')");
+    let r = run(&mut db, "SELECT v FROM big WHERE id = 1000");
+    assert_eq!(texts(&r), vec![vec!["fresh"]]);
+    // UPDATE invalidates; results stay correct after rebuild.
+    run(&mut db, "UPDATE big SET id = 2000 WHERE id = 250");
+    let r = run(&mut db, "SELECT v FROM big WHERE id = 2000");
+    assert_eq!(texts(&r), vec![vec!["v250"]]);
+    let r = run(&mut db, "SELECT v FROM big WHERE id = 250");
+    assert!(r.rows.is_empty());
+    // DELETE invalidates too.
+    run(&mut db, "DELETE FROM big WHERE id = 2000");
+    assert!(run(&mut db, "SELECT v FROM big WHERE id = 2000").rows.is_empty());
+}
+
+#[test]
+fn like_patterns_with_literal_percent_semantics() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (s TEXT)");
+    run(&mut db, "INSERT INTO t VALUES ('100% done'), ('done'), ('10x done')");
+    // '%' is a wildcard, so '100% done' also matches '10%_done'-ish shapes;
+    // we exercise the common prefix/suffix usage.
+    let r = run(&mut db, "SELECT COUNT(*) FROM t WHERE s LIKE '%done'");
+    assert_eq!(texts(&r), vec![vec!["3"]]);
+    let r = run(&mut db, "SELECT COUNT(*) FROM t WHERE s LIKE '10_%'");
+    assert_eq!(texts(&r), vec![vec!["2"]]);
+}
+
+#[test]
+fn string_concat_and_functions_compose() {
+    let mut db = db();
+    let r = run(
+        &mut db,
+        "SELECT UPPER(SUBSTRING('hello world' FROM 7)) || '!' AS shout",
+    );
+    assert_eq!(r.columns, vec!["shout"]);
+    assert_eq!(texts(&r), vec![vec!["WORLD!"]]);
+}
+
+#[test]
+fn order_by_mixed_directions_and_nulls_last() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (a INT, b INT)");
+    run(&mut db, "INSERT INTO t VALUES (1, 5), (1, NULL), (2, 1), (2, 9)");
+    let r = run(&mut db, "SELECT a, b FROM t ORDER BY a DESC, b");
+    assert_eq!(
+        texts(&r),
+        vec![
+            vec!["2", "1"],
+            vec!["2", "9"],
+            vec!["1", "5"],
+            vec!["1", ""], // NULL sorts last within its group
+        ]
+    );
+}
+
+#[test]
+fn scalar_subquery_with_no_rows_is_null() {
+    let mut db = db();
+    run(&mut db, "CREATE TABLE t (x INT)");
+    run(&mut db, "INSERT INTO t VALUES (1)");
+    let r = run(&mut db, "SELECT (SELECT x FROM t WHERE x > 99) IS NULL");
+    assert_eq!(texts(&r), vec![vec!["t"]]);
+}

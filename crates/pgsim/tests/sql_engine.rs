@@ -1,0 +1,457 @@
+//! SQL-semantics and CVE-behaviour tests for MiniPg / MiniCockroach.
+
+use rddr_pgsim::{CockroachFlavor, Database, DbFlavor, PgVersion, SqlError, Value};
+
+fn pg(version: &str) -> Database {
+    Database::new(PgVersion::parse(version).unwrap())
+}
+
+fn run(db: &mut Database, user: &str, sql: &str) -> rddr_pgsim::QueryResult {
+    let mut s = db.session(user);
+    db.execute(&mut s, sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+}
+
+fn run_err(db: &mut Database, user: &str, sql: &str) -> SqlError {
+    let mut s = db.session(user);
+    db.execute(&mut s, sql).expect_err(&format!("{sql} should fail"))
+}
+
+fn texts(result: &rddr_pgsim::QueryResult) -> Vec<Vec<String>> {
+    result.rows.iter().map(|r| r.iter().map(Value::to_string).collect()).collect()
+}
+
+fn seed_people(db: &mut Database) {
+    run(db, "app", "CREATE TABLE people (id INT, name TEXT, age INT, city TEXT)");
+    run(
+        db,
+        "app",
+        "INSERT INTO people VALUES \
+         (1, 'ada', 36, 'london'), (2, 'grace', 45, 'nyc'), \
+         (3, 'alan', 41, 'london'), (4, 'edsger', 72, 'austin'), \
+         (5, 'barbara', 55, 'nyc')",
+    );
+}
+
+#[test]
+fn select_where_order_limit() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT name FROM people WHERE age > 40 ORDER BY age DESC LIMIT 2",
+    );
+    assert_eq!(texts(&r), vec![vec!["edsger"], vec!["barbara"]]);
+    assert_eq!(r.tag, "SELECT 2");
+}
+
+#[test]
+fn arithmetic_and_aliases() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(&mut db, "app", "SELECT name, age * 2 AS double_age FROM people WHERE id = 1");
+    assert_eq!(r.columns, vec!["name", "double_age"]);
+    assert_eq!(texts(&r), vec![vec!["ada", "72"]]);
+}
+
+#[test]
+fn aggregates_with_group_by_and_having() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT city, COUNT(*) AS n, AVG(age) FROM people \
+         GROUP BY city HAVING COUNT(*) > 1 ORDER BY city",
+    );
+    assert_eq!(
+        texts(&r),
+        vec![vec!["london", "2", "38.5000"], vec!["nyc", "2", "50"]]
+    );
+}
+
+#[test]
+fn count_distinct_and_min_max() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT COUNT(DISTINCT city), MIN(age), MAX(name) FROM people",
+    );
+    assert_eq!(texts(&r), vec![vec!["3", "36", "grace"]]);
+}
+
+#[test]
+fn joins_with_hash_lookup() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    run(&mut db, "app", "CREATE TABLE orders (id INT, person_id INT, total FLOAT)");
+    run(
+        &mut db,
+        "app",
+        "INSERT INTO orders VALUES (100, 1, 9.5), (101, 1, 20.0), (102, 3, 7.25)",
+    );
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT p.name, SUM(o.total) AS spent FROM people p, orders o \
+         WHERE p.id = o.person_id GROUP BY p.name ORDER BY spent DESC",
+    );
+    assert_eq!(texts(&r), vec![vec!["ada", "29.5000"], vec!["alan", "7.2500"]]);
+}
+
+#[test]
+fn explicit_join_syntax() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    run(&mut db, "app", "CREATE TABLE badges (person_id INT, badge TEXT)");
+    run(&mut db, "app", "INSERT INTO badges VALUES (1, 'turing'), (2, 'hopper')");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT p.name, b.badge FROM people p JOIN badges b ON p.id = b.person_id \
+         ORDER BY p.name",
+    );
+    assert_eq!(texts(&r), vec![vec!["ada", "turing"], vec!["grace", "hopper"]]);
+}
+
+#[test]
+fn left_join_pads_nulls() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    run(&mut db, "app", "CREATE TABLE badges (person_id INT, badge TEXT)");
+    run(&mut db, "app", "INSERT INTO badges VALUES (1, 'turing')");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT p.name, b.badge FROM people p LEFT JOIN badges b ON p.id = b.person_id \
+         WHERE p.id <= 2 ORDER BY p.id",
+    );
+    assert_eq!(texts(&r), vec![vec!["ada", "turing"], vec!["grace", ""]]);
+}
+
+#[test]
+fn subqueries_scalar_in_exists() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT name FROM people WHERE age > (SELECT AVG(age) FROM people) ORDER BY name",
+    );
+    assert_eq!(texts(&r), vec![vec!["barbara"], vec!["edsger"]]);
+
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT name FROM people WHERE city IN (SELECT city FROM people WHERE age > 70)",
+    );
+    assert_eq!(texts(&r), vec![vec!["edsger"]]);
+}
+
+#[test]
+fn correlated_exists() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    run(&mut db, "app", "CREATE TABLE orders (id INT, person_id INT, total FLOAT)");
+    run(&mut db, "app", "INSERT INTO orders VALUES (100, 1, 9.5), (102, 3, 7.25)");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT name FROM people p WHERE EXISTS \
+         (SELECT 1 FROM orders o WHERE o.person_id = p.id) ORDER BY name",
+    );
+    assert_eq!(texts(&r), vec![vec!["ada"], vec!["alan"]]);
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT COUNT(*) FROM people p WHERE NOT EXISTS \
+         (SELECT 1 FROM orders o WHERE o.person_id = p.id)",
+    );
+    assert_eq!(texts(&r), vec![vec!["3"]]);
+}
+
+#[test]
+fn case_like_between_distinct() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT DISTINCT CASE WHEN age BETWEEN 40 AND 60 THEN 'mid' ELSE 'other' END AS band \
+         FROM people WHERE name LIKE '%a%' ORDER BY band",
+    );
+    assert_eq!(texts(&r), vec![vec!["mid"], vec!["other"]]);
+}
+
+#[test]
+fn update_and_delete() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(&mut db, "app", "UPDATE people SET age = age + 1 WHERE city = 'nyc'");
+    assert_eq!(r.tag, "UPDATE 2");
+    let r = run(&mut db, "app", "SELECT age FROM people WHERE name = 'grace'");
+    assert_eq!(texts(&r), vec![vec!["46"]]);
+    let r = run(&mut db, "app", "DELETE FROM people WHERE age > 70");
+    assert_eq!(r.tag, "DELETE 1");
+    let r = run(&mut db, "app", "SELECT COUNT(*) FROM people");
+    assert_eq!(texts(&r), vec![vec!["4"]]);
+}
+
+#[test]
+fn nulls_three_valued_logic() {
+    let mut db = pg("10.7");
+    run(&mut db, "app", "CREATE TABLE t (a INT, b INT)");
+    run(&mut db, "app", "INSERT INTO t VALUES (1, NULL), (2, 5)");
+    let r = run(&mut db, "app", "SELECT a FROM t WHERE b > 1");
+    assert_eq!(texts(&r), vec![vec!["2"]]);
+    let r = run(&mut db, "app", "SELECT a FROM t WHERE b IS NULL");
+    assert_eq!(texts(&r), vec![vec!["1"]]);
+    let r = run(&mut db, "app", "SELECT COUNT(b), COUNT(*) FROM t");
+    assert_eq!(texts(&r), vec![vec!["1", "2"]]);
+}
+
+#[test]
+fn permission_denied_without_grant() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let err = run_err(&mut db, "mallory", "SELECT * FROM people");
+    assert!(matches!(err, SqlError::PermissionDenied(_)));
+    run(&mut db, "app", "GRANT SELECT ON people TO MALLORY");
+    let r = run(&mut db, "mallory", "SELECT COUNT(*) FROM people");
+    assert_eq!(texts(&r), vec![vec!["5"]]);
+}
+
+#[test]
+fn row_level_security_filters_rows() {
+    let mut db = pg("10.9");
+    run(&mut db, "app", "CREATE TABLE secrets (id INT, owner TEXT, data TEXT)");
+    run(
+        &mut db,
+        "app",
+        "INSERT INTO secrets VALUES (1, 'mallory', 'public-ish'), (2, 'root', 'nuclear codes')",
+    );
+    run(&mut db, "app", "ALTER TABLE secrets ENABLE ROW LEVEL SECURITY");
+    run(&mut db, "app", "CREATE POLICY p ON secrets USING (owner = 'mallory')");
+    run(&mut db, "app", "GRANT SELECT ON secrets TO MALLORY");
+    let r = run(&mut db, "mallory", "SELECT data FROM secrets");
+    assert_eq!(texts(&r), vec![vec!["public-ish"]], "RLS must hide row 2");
+    // The owner is exempt.
+    let r = run(&mut db, "app", "SELECT COUNT(*) FROM secrets");
+    assert_eq!(texts(&r), vec![vec!["2"]]);
+}
+
+/// CVE-2019-10130: on 10.7 the user-defined operator is evaluated below the
+/// RLS filter, leaking protected rows through NOTICE; 10.9 is fixed.
+#[test]
+fn cve_2019_10130_leaks_on_10_7_not_10_9() {
+    let exploit_setup = [
+        "CREATE FUNCTION op_leak(int, int) RETURNS bool \
+         AS 'BEGIN RAISE NOTICE ''leak %, %'', $1, $2; RETURN $1 < $2; END' \
+         LANGUAGE plpgsql",
+        "CREATE OPERATOR <<< (procedure=op_leak, leftarg=int, rightarg=int, \
+         restrict=scalarltsel)",
+    ];
+    let mut results = Vec::new();
+    for version in ["10.7", "10.9"] {
+        let mut db = pg(version);
+        run(&mut db, "app", "CREATE TABLE some_table (col_to_leak INT, owner TEXT)");
+        run(
+            &mut db,
+            "app",
+            "INSERT INTO some_table VALUES (42, 'mallory'), (777, 'root'), (900, 'root')",
+        );
+        run(&mut db, "app", "ALTER TABLE some_table ENABLE ROW LEVEL SECURITY");
+        run(&mut db, "app", "CREATE POLICY p ON some_table USING (owner = 'mallory')");
+        run(&mut db, "app", "GRANT SELECT ON some_table TO MALLORY");
+        for sql in exploit_setup {
+            run(&mut db, "mallory", sql);
+        }
+        let r = run(
+            &mut db,
+            "mallory",
+            "SELECT * FROM some_table WHERE col_to_leak <<< 1000",
+        );
+        results.push(r);
+    }
+    let (buggy, fixed) = (&results[0], &results[1]);
+    // Both versions return only the RLS-visible result rows.
+    assert_eq!(texts(buggy), texts(fixed));
+    // But the buggy version leaks the protected values via NOTICE.
+    let leaked: Vec<&String> =
+        buggy.notices.iter().filter(|n| n.contains("777") || n.contains("900")).collect();
+    assert_eq!(leaked.len(), 2, "10.7 must leak both protected rows: {:?}", buggy.notices);
+    assert!(
+        fixed.notices.iter().all(|n| !n.contains("777") && !n.contains("900")),
+        "10.9 must not leak: {:?}",
+        fixed.notices
+    );
+    // This notice asymmetry is exactly the divergence RDDR detects.
+    assert_ne!(buggy.notices, fixed.notices);
+}
+
+/// CVE-2017-7484: EXPLAIN selectivity estimation runs the operator over a
+/// table the caller cannot read. 9.2.20 leaks; 9.2.21 raises permission
+/// denied instead.
+#[test]
+fn cve_2017_7484_explain_leak() {
+    let setup = [
+        "CREATE FUNCTION leak2(integer,integer) RETURNS boolean \
+         AS $$BEGIN RAISE NOTICE 'leak % %', $1, $2; RETURN $1 > $2; END$$ \
+         LANGUAGE plpgsql immutable",
+        "CREATE OPERATOR >>> (procedure=leak2, leftarg=integer, rightarg=integer, \
+         restrict=scalargtsel)",
+    ];
+    // Vulnerable version: notices leak the protected column.
+    let mut db = pg("9.2.20");
+    run(&mut db, "app", "CREATE TABLE some_table (x INT, col_to_leak INT)");
+    run(&mut db, "app", "INSERT INTO some_table VALUES (1, 1111), (2, 2222)");
+    for sql in setup {
+        run(&mut db, "mallory", sql);
+    }
+    let r = run(
+        &mut db,
+        "mallory",
+        "EXPLAIN (COSTS OFF) SELECT x FROM some_table WHERE col_to_leak >>> 0",
+    );
+    assert!(
+        r.notices.iter().any(|n| n.contains("1111")),
+        "9.2.20 must leak during planning: {:?}",
+        r.notices
+    );
+
+    // Fixed version: permission denied, no leak.
+    let mut db = pg("9.2.21");
+    run(&mut db, "app", "CREATE TABLE some_table (x INT, col_to_leak INT)");
+    run(&mut db, "app", "INSERT INTO some_table VALUES (1, 1111), (2, 2222)");
+    for sql in setup {
+        run(&mut db, "mallory", sql);
+    }
+    let err = run_err(
+        &mut db,
+        "mallory",
+        "EXPLAIN (COSTS OFF) SELECT x FROM some_table WHERE col_to_leak >>> 0",
+    );
+    assert!(matches!(err, SqlError::PermissionDenied(_)));
+}
+
+#[test]
+fn cockroach_rejects_udf_and_udo() {
+    let mut db = Database::with_flavor(
+        PgVersion::parse("10.7").unwrap(),
+        DbFlavor::Cockroach(CockroachFlavor::default()),
+    );
+    let err = run_err(
+        &mut db,
+        "mallory",
+        "CREATE FUNCTION leak2(integer,integer) RETURNS boolean AS $$x$$ LANGUAGE plpgsql",
+    );
+    assert!(matches!(err, SqlError::Unsupported(_)));
+    assert_eq!(db.version_banner(), "CockroachDB CCL v19.1.0");
+}
+
+#[test]
+fn cockroach_benign_queries_match_postgres() {
+    let mut a = pg("10.7");
+    let mut b = Database::with_flavor(
+        PgVersion::parse("10.7").unwrap(),
+        DbFlavor::Cockroach(CockroachFlavor::default()),
+    );
+    for db in [&mut a, &mut b] {
+        seed_people(db);
+    }
+    let sql = "SELECT city, COUNT(*) FROM people GROUP BY city ORDER BY city";
+    let ra = run(&mut a, "app", sql);
+    let rb = run(&mut b, "app", sql);
+    assert_eq!(texts(&ra), texts(&rb), "benign traffic must be identical");
+}
+
+#[test]
+fn cockroach_serializable_isolation_enforced() {
+    let mut db = Database::with_flavor(
+        PgVersion::parse("10.7").unwrap(),
+        DbFlavor::Cockroach(CockroachFlavor::default()),
+    );
+    let err = run_err(
+        &mut db,
+        "app",
+        "SET default_transaction_isolation TO 'read committed'",
+    );
+    assert!(matches!(err, SqlError::Unsupported(_)));
+    run(&mut db, "app", "SET default_transaction_isolation TO 'serializable'");
+    // MiniPg accepts anything (the paper configured PG to match Cockroach).
+    let mut pgdb = pg("10.7");
+    run(&mut pgdb, "app", "SET default_transaction_isolation TO 'read committed'");
+}
+
+#[test]
+fn row_order_scramble_reproduces_paper_caveat() {
+    let mut db = Database::with_flavor(
+        PgVersion::parse("10.7").unwrap(),
+        DbFlavor::Cockroach(CockroachFlavor { scramble_row_order: true, ..Default::default() }),
+    );
+    seed_people(&mut db);
+    let unordered = run(&mut db, "app", "SELECT name FROM people");
+    assert_eq!(unordered.rows[0][0].to_string(), "barbara", "reverse insertion order");
+    // ORDER BY restores agreement with Postgres.
+    let ordered = run(&mut db, "app", "SELECT name FROM people ORDER BY name LIMIT 1");
+    assert_eq!(texts(&ordered), vec![vec!["ada"]]);
+}
+
+#[test]
+fn show_server_version_and_transactions() {
+    let mut db = pg("10.7");
+    let r = run(&mut db, "app", "SHOW server_version");
+    assert_eq!(texts(&r), vec![vec!["10.7"]]);
+    assert_eq!(run(&mut db, "app", "BEGIN").tag, "BEGIN");
+    assert_eq!(run(&mut db, "app", "COMMIT").tag, "COMMIT");
+}
+
+#[test]
+fn storage_accounting_tracks_inserts_and_deletes() {
+    let mut db = pg("10.7");
+    assert_eq!(db.storage_bytes(), 0);
+    seed_people(&mut db);
+    let after_insert = db.storage_bytes();
+    assert!(after_insert > 0);
+    run(&mut db, "app", "DELETE FROM people");
+    assert!(db.storage_bytes() < after_insert);
+}
+
+#[test]
+fn scanned_rows_reported_for_cost_model() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(&mut db, "app", "SELECT COUNT(*) FROM people");
+    assert_eq!(r.scanned, 5);
+}
+
+#[test]
+fn division_by_zero_is_an_error() {
+    let mut db = pg("10.7");
+    let err = run_err(&mut db, "app", "SELECT 1 / 0");
+    assert!(matches!(err, SqlError::Exec(_)));
+}
+
+#[test]
+fn order_by_ordinal_and_expression() {
+    let mut db = pg("10.7");
+    seed_people(&mut db);
+    let r = run(&mut db, "app", "SELECT name, age FROM people ORDER BY 2 DESC LIMIT 1");
+    assert_eq!(texts(&r), vec![vec!["edsger", "72"]]);
+    let r = run(&mut db, "app", "SELECT name FROM people ORDER BY age % 10, name LIMIT 2");
+    assert_eq!(texts(&r), vec![vec!["alan"], vec!["edsger"]]);
+}
+
+#[test]
+fn string_functions() {
+    let mut db = pg("10.7");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT UPPER('abc'), LENGTH('hello'), SUBSTRING('abcdef' FROM 2 FOR 3), \
+         COALESCE(NULL, 'fallback'), EXTRACT(YEAR FROM date '1998-09-02')",
+    );
+    assert_eq!(texts(&r), vec![vec!["ABC", "5", "bcd", "fallback", "1998"]]);
+}

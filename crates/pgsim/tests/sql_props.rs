@@ -1,0 +1,119 @@
+//! Property-based tests on SQL semantics: aggregate identities, filter
+//! complementarity, and update/delete conservation — the invariants that
+//! keep N identical MiniPg instances answering identically.
+
+use proptest::prelude::*;
+use rddr_pgsim::{Database, PgVersion, Value};
+
+fn fresh(rows: &[(i64, i64)]) -> Database {
+    let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+    let mut s = db.session("app");
+    db.execute(&mut s, "CREATE TABLE t (k INT, v INT)").unwrap();
+    if !rows.is_empty() {
+        let values: Vec<String> =
+            rows.iter().map(|(k, v)| format!("({k}, {v})")).collect();
+        db.execute(&mut s, &format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    db
+}
+
+fn scalar(db: &mut Database, sql: &str) -> i64 {
+    let mut s = db.session("app");
+    let r = db.execute(&mut s, sql).unwrap();
+    match &r.rows[0][0] {
+        Value::Null => 0,
+        v => v.to_string().parse().unwrap_or_else(|_| panic!("{sql}: {v}")),
+    }
+}
+
+proptest! {
+    /// SUM over a table equals the sum of SUMs over a partition by predicate.
+    #[test]
+    fn sum_partitions(rows in proptest::collection::vec((0i64..100, -50i64..50), 0..40),
+                      pivot in 0i64..100) {
+        let mut db = fresh(&rows);
+        let total = scalar(&mut db, "SELECT SUM(v) FROM t");
+        let below = scalar(&mut db, &format!("SELECT SUM(v) FROM t WHERE k < {pivot}"));
+        let above = scalar(&mut db, &format!("SELECT SUM(v) FROM t WHERE k >= {pivot}"));
+        prop_assert_eq!(total, below + above);
+    }
+
+    /// COUNT(*) with a predicate and its negation partition the table.
+    #[test]
+    fn count_complement(rows in proptest::collection::vec((0i64..100, -50i64..50), 0..40),
+                        pivot in -50i64..50) {
+        let mut db = fresh(&rows);
+        let all = scalar(&mut db, "SELECT COUNT(*) FROM t");
+        let hit = scalar(&mut db, &format!("SELECT COUNT(*) FROM t WHERE v > {pivot}"));
+        let miss = scalar(&mut db, &format!("SELECT COUNT(*) FROM t WHERE NOT v > {pivot}"));
+        prop_assert_eq!(all, hit + miss);
+    }
+
+    /// GROUP BY sums add up to the global sum.
+    #[test]
+    fn group_by_sums_to_total(rows in proptest::collection::vec((0i64..5, -50i64..50), 1..40)) {
+        let mut db = fresh(&rows);
+        let total = scalar(&mut db, "SELECT SUM(v) FROM t");
+        let mut s = db.session("app");
+        let groups = db.execute(&mut s, "SELECT k, SUM(v) FROM t GROUP BY k").unwrap();
+        let group_total: i64 = groups
+            .rows
+            .iter()
+            .map(|row| row[1].to_string().parse::<i64>().unwrap())
+            .sum();
+        prop_assert_eq!(total, group_total);
+        // And there are as many groups as distinct keys.
+        let distinct = scalar(&mut db, "SELECT COUNT(DISTINCT k) FROM t");
+        prop_assert_eq!(groups.rows.len() as i64, distinct);
+    }
+
+    /// DELETE + COUNT conservation.
+    #[test]
+    fn delete_conserves_rows(rows in proptest::collection::vec((0i64..100, -50i64..50), 0..40),
+                             pivot in 0i64..100) {
+        let mut db = fresh(&rows);
+        let before = scalar(&mut db, "SELECT COUNT(*) FROM t");
+        let doomed = scalar(&mut db, &format!("SELECT COUNT(*) FROM t WHERE k < {pivot}"));
+        let mut s = db.session("app");
+        let r = db.execute(&mut s, &format!("DELETE FROM t WHERE k < {pivot}")).unwrap();
+        prop_assert_eq!(r.tag, format!("DELETE {doomed}"));
+        let after = scalar(&mut db, "SELECT COUNT(*) FROM t");
+        prop_assert_eq!(after, before - doomed);
+    }
+
+    /// UPDATE preserves row count and applies uniformly.
+    #[test]
+    fn update_is_uniform(rows in proptest::collection::vec((0i64..100, -50i64..50), 1..40),
+                         delta in -10i64..10) {
+        let mut db = fresh(&rows);
+        let before_sum = scalar(&mut db, "SELECT SUM(v) FROM t");
+        let count = scalar(&mut db, "SELECT COUNT(*) FROM t");
+        let mut s = db.session("app");
+        db.execute(&mut s, &format!("UPDATE t SET v = v + {delta}")).unwrap();
+        let after_sum = scalar(&mut db, "SELECT SUM(v) FROM t");
+        prop_assert_eq!(after_sum, before_sum + delta * count);
+    }
+
+    /// Two freshly seeded engines always agree — the N-versioning premise
+    /// for identical instances.
+    #[test]
+    fn identical_engines_answer_identically(
+        rows in proptest::collection::vec((0i64..20, -50i64..50), 0..30),
+        pivot in 0i64..20,
+    ) {
+        let mut a = fresh(&rows);
+        let mut b = fresh(&rows);
+        for sql in [
+            format!("SELECT k, SUM(v) FROM t WHERE k < {pivot} GROUP BY k ORDER BY k"),
+            "SELECT COUNT(*), MIN(v), MAX(v) FROM t".to_string(),
+            "SELECT v FROM t ORDER BY v, k LIMIT 5".to_string(),
+        ] {
+            let mut sa = a.session("app");
+            let mut sb = b.session("app");
+            let ra = a.execute(&mut sa, &sql).unwrap();
+            let rb = b.execute(&mut sb, &sql).unwrap();
+            prop_assert_eq!(ra.rows, rb.rows, "{}", sql);
+        }
+    }
+}

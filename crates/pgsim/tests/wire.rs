@@ -1,0 +1,190 @@
+//! PostgreSQL wire-server tests: the handshake, query cycles, notices,
+//! errors, and protocol edge cases — straight against one `PgServer`
+//! container, no RDDR in between.
+
+use std::sync::Arc;
+
+use rddr_net::{Network, ServiceAddr, Stream};
+use rddr_orchestra::{Cluster, Image};
+use rddr_pgsim::{
+    query_message, startup_message, Database, PgClient, PgServer, PgVersion,
+};
+use rddr_protocols::pg::PgMessage;
+
+fn server_cluster() -> (Cluster, ServiceAddr) {
+    let cluster = Cluster::new(2);
+    let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+    let mut s = db.session("app");
+    db.execute(&mut s, "CREATE TABLE kv (k INT, v TEXT)").unwrap();
+    db.execute(&mut s, "INSERT INTO kv VALUES (1, 'one'), (2, 'two')").unwrap();
+    let addr = ServiceAddr::new("pg", 5432);
+    let handle = cluster
+        .run_container("pg-0", Image::new("postgres", "10.7"), &addr, Arc::new(PgServer::new(db)))
+        .unwrap();
+    std::mem::forget(handle);
+    (cluster, addr)
+}
+
+#[test]
+fn handshake_reports_version_and_ready() {
+    let (cluster, addr) = server_cluster();
+    let mut conn = cluster.net().dial(&addr).unwrap();
+    conn.write_all(&startup_message("app")).unwrap();
+    // Collect messages until ReadyForQuery.
+    let mut buf = Vec::new();
+    let mut tags = Vec::new();
+    let mut params = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'outer: loop {
+        let n = conn.read(&mut chunk).unwrap();
+        assert!(n > 0, "server must greet");
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some((msg, used)) = PgMessage::decode(&buf, false).unwrap() {
+            buf.drain(..used);
+            tags.push(msg.tag);
+            if msg.tag == b'S' {
+                params.push(String::from_utf8_lossy(&msg.payload).into_owned());
+            }
+            if msg.tag == b'Z' {
+                break 'outer;
+            }
+        }
+    }
+    assert_eq!(tags, vec![b'R', b'S', b'K', b'Z']);
+    assert!(params[0].contains("server_version"));
+    assert!(params[0].contains("10.7"));
+}
+
+#[test]
+fn query_cycle_and_errors() {
+    let (cluster, addr) = server_cluster();
+    let mut client = PgClient::connect(cluster.net().dial(&addr).unwrap(), "app").unwrap();
+    let ok = client.query("SELECT v FROM kv ORDER BY k").unwrap();
+    assert_eq!(ok.columns, vec!["v"]);
+    assert_eq!(ok.rows, vec![vec!["one".to_string()], vec!["two".to_string()]]);
+    assert_eq!(ok.tag, "SELECT 2");
+
+    let err = client.query("SELECT broken syntax here FROM").unwrap();
+    assert!(err.error.is_some());
+    // The connection stays usable after an error (ReadyForQuery resyncs).
+    let again = client.query("SELECT COUNT(*) FROM kv").unwrap();
+    assert_eq!(again.rows, vec![vec!["2".to_string()]]);
+}
+
+#[test]
+fn notices_are_delivered() {
+    let (cluster, addr) = server_cluster();
+    let mut client = PgClient::connect(cluster.net().dial(&addr).unwrap(), "app").unwrap();
+    client
+        .query(
+            "CREATE FUNCTION noisy(int, int) RETURNS bool \
+             AS 'BEGIN RAISE NOTICE ''seen % and %'', $1, $2; RETURN $1 < $2; END' \
+             LANGUAGE plpgsql",
+        )
+        .unwrap();
+    client
+        .query("CREATE OPERATOR <^> (procedure=noisy, leftarg=int, rightarg=int)")
+        .unwrap();
+    let r = client.query("SELECT k FROM kv WHERE k <^> 10 ORDER BY k").unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.notices.len(), 2, "{:?}", r.notices);
+    assert!(r.notices[0].contains("seen 1 and 10"));
+}
+
+#[test]
+fn permission_denied_maps_to_sqlstate() {
+    let (cluster, addr) = server_cluster();
+    let mut client =
+        PgClient::connect(cluster.net().dial(&addr).unwrap(), "mallory").unwrap();
+    let r = client.query("SELECT * FROM kv").unwrap();
+    let err = r.error.expect("permission denied");
+    assert!(err.contains("42501"), "{err}");
+}
+
+#[test]
+fn extended_protocol_is_gracefully_rejected() {
+    let (cluster, addr) = server_cluster();
+    let mut conn = cluster.net().dial(&addr).unwrap();
+    conn.write_all(&startup_message("app")).unwrap();
+    // Drain the greeting.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'greet: loop {
+        let n = conn.read(&mut chunk).unwrap();
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some((msg, used)) = PgMessage::decode(&buf, false).unwrap() {
+            buf.drain(..used);
+            if msg.tag == b'Z' {
+                break 'greet;
+            }
+        }
+    }
+    // Send a Parse ('P') message: the simple-query-only server answers with
+    // an error and stays in sync.
+    conn.write_all(&PgMessage { tag: b'P', payload: b"stmt\0SELECT 1\0".to_vec() }.encode())
+        .unwrap();
+    let mut saw_error = false;
+    'resp: loop {
+        let n = conn.read(&mut chunk).unwrap();
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some((msg, used)) = PgMessage::decode(&buf, false).unwrap() {
+            buf.drain(..used);
+            if msg.tag == b'E' {
+                saw_error = true;
+            }
+            if msg.tag == b'Z' {
+                break 'resp;
+            }
+        }
+    }
+    assert!(saw_error);
+    // Plain queries still work on the same connection.
+    conn.write_all(&query_message("SELECT 1")).unwrap();
+    let mut got_row = false;
+    'q: loop {
+        let n = conn.read(&mut chunk).unwrap();
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some((msg, used)) = PgMessage::decode(&buf, false).unwrap() {
+            buf.drain(..used);
+            if msg.tag == b'D' {
+                got_row = true;
+            }
+            if msg.tag == b'Z' {
+                break 'q;
+            }
+        }
+    }
+    assert!(got_row);
+}
+
+#[test]
+fn terminate_closes_cleanly() {
+    let (cluster, addr) = server_cluster();
+    let mut conn = cluster.net().dial(&addr).unwrap();
+    conn.write_all(&startup_message("app")).unwrap();
+    let mut chunk = [0u8; 4096];
+    let _ = conn.read(&mut chunk).unwrap(); // greeting
+    conn.write_all(&PgMessage { tag: b'X', payload: Vec::new() }.encode()).unwrap();
+    // Server closes: next read returns EOF (possibly after draining).
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+#[test]
+fn sessions_are_isolated_but_data_is_shared() {
+    let (cluster, addr) = server_cluster();
+    let net = cluster.net();
+    let mut a = PgClient::connect(net.dial(&addr).unwrap(), "app").unwrap();
+    let mut b = PgClient::connect(net.dial(&addr).unwrap(), "app").unwrap();
+    a.query("INSERT INTO kv VALUES (3, 'three')").unwrap();
+    let r = b.query("SELECT COUNT(*) FROM kv").unwrap();
+    assert_eq!(r.rows, vec![vec!["3".to_string()]], "writes are visible across sessions");
+    // Session settings are NOT shared.
+    a.query("SET client_min_messages TO 'notice'").unwrap();
+    let r = b.query("SHOW client_min_messages").unwrap();
+    assert_eq!(r.rows, vec![vec![String::new()]]);
+}

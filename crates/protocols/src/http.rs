@@ -1,0 +1,467 @@
+//! The HTTP protocol module.
+//!
+//! Mirrors the paper's description (§IV-B1): "the HTTP module tokenizes at
+//! the newline boundary and compares lines. If necessary, it also interprets
+//! the HTTP header and decompresses the message before differencing, and it
+//! saves CSRF tokens."
+//!
+//! Framing supports `Content-Length` and `Transfer-Encoding: chunked`
+//! bodies for both requests and responses. Before tokenization, chunked
+//! bodies are de-chunked and the toy `rle` content encoding (this repo's
+//! stand-in for gzip — see `DESIGN.md`) is decoded, so instances that chose
+//! different transfer framings still compare equal when their payloads agree.
+
+use bytes::BytesMut;
+use rddr_core::{Direction, Frame, Protocol, RddrError, Result, Segment};
+
+/// The HTTP/1.1 protocol module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HttpProtocol;
+
+impl HttpProtocol {
+    /// Creates the HTTP module.
+    pub fn new() -> Self {
+        HttpProtocol
+    }
+}
+
+/// A parsed HTTP message head: start line plus headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// The request line or status line, without line terminator.
+    pub start_line: String,
+    /// Header `(name, value)` pairs in order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Byte length of the head including the blank line.
+    pub len: usize,
+}
+
+impl Head {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a message head if the buffer holds a complete one.
+    pub fn parse(buf: &[u8]) -> Option<Head> {
+        let head_end = find_head_end(buf)?;
+        let head_text = String::from_utf8_lossy(&buf[..head_end.body_start]);
+        let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+        let start_line = lines.next()?.to_string();
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        Some(Head { start_line, headers, len: head_end.body_start })
+    }
+}
+
+struct HeadEnd {
+    body_start: usize,
+}
+
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    // Take whichever blank line comes first, so an LF-only head followed by
+    // a body that happens to contain CRLFCRLF is not mis-framed.
+    let crlf = window_find(buf, b"\r\n\r\n");
+    let lf = window_find(buf, b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l < c => Some(HeadEnd { body_start: l + 2 }),
+        (Some(c), _) => Some(HeadEnd { body_start: c + 4 }),
+        (None, Some(l)) => Some(HeadEnd { body_start: l + 2 }),
+        (None, None) => None,
+    }
+}
+
+fn window_find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+/// Returns the total frame length if the buffer holds one complete message.
+fn message_len(buf: &[u8], direction: Direction) -> Result<Option<usize>> {
+    let Some(head) = Head::parse(buf) else {
+        return Ok(None);
+    };
+    if head
+        .header("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+    {
+        return Ok(chunked_end(&buf[head.len..])?.map(|n| head.len + n));
+    }
+    if let Some(cl) = head.header("content-length") {
+        let cl: usize = cl
+            .trim()
+            .parse()
+            .map_err(|_| RddrError::Protocol(format!("bad content-length: {cl:?}")))?;
+        if buf.len() >= head.len + cl {
+            return Ok(Some(head.len + cl));
+        }
+        return Ok(None);
+    }
+    // No body indicators: responses to HEAD, 204/304, or bare GET requests.
+    let _ = direction;
+    Ok(Some(head.len))
+}
+
+/// Returns the byte length of a complete chunked body (through the final
+/// `0\r\n\r\n`), or `None` if incomplete.
+fn chunked_end(body: &[u8]) -> Result<Option<usize>> {
+    let mut pos = 0;
+    loop {
+        let Some(line_end) = body[pos..].iter().position(|&b| b == b'\n') else {
+            return Ok(None);
+        };
+        let size_line = &body[pos..pos + line_end];
+        let size_text = std::str::from_utf8(size_line)
+            .map_err(|_| RddrError::Protocol("non-utf8 chunk size".into()))?
+            .trim_end_matches('\r')
+            .trim();
+        let size = usize::from_str_radix(size_text.split(';').next().unwrap_or(""), 16)
+            .map_err(|_| RddrError::Protocol(format!("bad chunk size: {size_text:?}")))?;
+        pos += line_end + 1;
+        if body.len() < pos + size {
+            return Ok(None);
+        }
+        pos += size;
+        // Chunk data is followed by CRLF (or LF).
+        if body[pos..].starts_with(b"\r\n") {
+            pos += 2;
+        } else if body[pos..].starts_with(b"\n") {
+            pos += 1;
+        } else if size != 0 || !body[pos..].is_empty() {
+            if body.len() <= pos {
+                return Ok(None);
+            }
+            return Err(RddrError::Protocol("missing chunk terminator".into()));
+        }
+        if size == 0 {
+            return Ok(Some(pos));
+        }
+    }
+}
+
+/// Decodes a complete chunked body into its payload bytes.
+pub fn dechunk(body: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    loop {
+        let line_end = body[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| RddrError::Protocol("truncated chunked body".into()))?;
+        let size_text = std::str::from_utf8(&body[pos..pos + line_end])
+            .map_err(|_| RddrError::Protocol("non-utf8 chunk size".into()))?
+            .trim_end_matches('\r')
+            .trim();
+        let size = usize::from_str_radix(size_text.split(';').next().unwrap_or(""), 16)
+            .map_err(|_| RddrError::Protocol(format!("bad chunk size: {size_text:?}")))?;
+        pos += line_end + 1;
+        if size == 0 {
+            return Ok(out);
+        }
+        if body.len() < pos + size {
+            return Err(RddrError::Protocol("truncated chunk".into()));
+        }
+        out.extend_from_slice(&body[pos..pos + size]);
+        pos += size;
+        if body[pos..].starts_with(b"\r\n") {
+            pos += 2;
+        } else if body[pos..].starts_with(b"\n") {
+            pos += 1;
+        }
+    }
+}
+
+/// Encodes bytes with the toy run-length `rle` content coding: a sequence of
+/// `(count, byte)` pairs. This repo's stand-in for gzip (see `DESIGN.md`).
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while run < 255 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    out
+}
+
+/// Decodes the toy `rle` content coding.
+///
+/// # Errors
+///
+/// Returns [`RddrError::Protocol`] on odd-length input.
+pub fn rle_decode(data: &[u8]) -> Result<Vec<u8>> {
+    if !data.len().is_multiple_of(2) {
+        return Err(RddrError::Protocol("rle payload has odd length".into()));
+    }
+    let mut out = Vec::new();
+    for pair in data.chunks_exact(2) {
+        out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
+    }
+    Ok(out)
+}
+
+impl Protocol for HttpProtocol {
+    fn name(&self) -> &str {
+        "http"
+    }
+
+    fn split_frames(&self, buf: &mut BytesMut, direction: Direction) -> Result<Vec<Frame>> {
+        let mut frames = Vec::new();
+        while let Some(len) = message_len(buf, direction)? {
+            let bytes = buf.split_to(len).to_vec();
+            let label = match direction {
+                Direction::Request => "http:request",
+                Direction::Response => "http:response",
+            };
+            frames.push(Frame::new(label, bytes));
+        }
+        Ok(frames)
+    }
+
+    fn tokenize(&self, frame: &Frame) -> Vec<Segment> {
+        let Some(head) = Head::parse(&frame.bytes) else {
+            return vec![Segment::new("http:malformed", frame.bytes.clone())];
+        };
+        let mut segments = Vec::new();
+        let start_label = if frame.label == "http:request" {
+            "http:request-line"
+        } else {
+            "http:status"
+        };
+        segments.push(Segment::new(start_label, head.start_line.as_bytes().to_vec()));
+        for (name, value) in &head.headers {
+            // Transfer framing headers are normalized away by decoding below.
+            if name == "transfer-encoding" || name == "content-length" || name == "content-encoding"
+            {
+                continue;
+            }
+            segments.push(Segment::new(
+                format!("http:header:{name}"),
+                format!("{name}: {value}").into_bytes(),
+            ));
+        }
+
+        // Interpret the header and decode the body before differencing.
+        let mut body: Vec<u8> = frame.bytes[head.len..].to_vec();
+        if head
+            .header("transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+        {
+            if let Ok(decoded) = dechunk(&body) {
+                body = decoded;
+            }
+        }
+        if head
+            .header("content-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("rle"))
+        {
+            if let Ok(decoded) = rle_decode(&body) {
+                body = decoded;
+            }
+        }
+        for line in split_lines(&body) {
+            segments.push(Segment::new("http:body", line));
+        }
+        segments
+    }
+
+    fn supports_ephemeral(&self) -> bool {
+        true
+    }
+}
+
+/// Splits a body at newline boundaries (the paper's tokenization unit),
+/// dropping line terminators; a trailing fragment without a newline is kept.
+fn split_lines(body: &[u8]) -> Vec<Vec<u8>> {
+    let mut lines = Vec::new();
+    let mut start = 0;
+    for (i, &b) in body.iter().enumerate() {
+        if b == b'\n' {
+            let mut end = i;
+            if end > start && body[end - 1] == b'\r' {
+                end -= 1;
+            }
+            lines.push(body[start..end].to_vec());
+            start = i + 1;
+        }
+    }
+    if start < body.len() {
+        lines.push(body[start..].to_vec());
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(body: &str, extra_headers: &str) -> Vec<u8> {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n{extra_headers}\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn frames_complete_response_only() {
+        let p = HttpProtocol::new();
+        let full = response("hello", "");
+        let mut buf = BytesMut::from(&full[..full.len() - 2]);
+        assert!(p.split_frames(&mut buf, Direction::Response).unwrap().is_empty());
+        buf.extend_from_slice(&full[full.len() - 2..]);
+        let frames = p.split_frames(&mut buf, Direction::Response).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].bytes, full);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn frames_pipelined_messages() {
+        let p = HttpProtocol::new();
+        let mut wire = response("one", "");
+        wire.extend(response("two", ""));
+        let mut buf = BytesMut::from(&wire[..]);
+        let frames = p.split_frames(&mut buf, Direction::Response).unwrap();
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn get_request_without_body_is_complete_at_head() {
+        let p = HttpProtocol::new();
+        let mut buf = BytesMut::from(&b"GET /path HTTP/1.1\r\nHost: svc\r\n\r\n"[..]);
+        let frames = p.split_frames(&mut buf, Direction::Request).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].label, "http:request");
+    }
+
+    #[test]
+    fn post_request_waits_for_body() {
+        let p = HttpProtocol::new();
+        let mut buf =
+            BytesMut::from(&b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"[..]);
+        assert!(p.split_frames(&mut buf, Direction::Request).unwrap().is_empty());
+        buf.extend_from_slice(b"cde");
+        assert_eq!(p.split_frames(&mut buf, Direction::Request).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tokenize_splits_status_headers_and_body_lines() {
+        let p = HttpProtocol::new();
+        let frame = Frame::new("http:response", response("line1\nline2", "X-Id: 7\r\n"));
+        let segs = p.tokenize(&frame);
+        let labels: Vec<&str> = segs.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["http:status", "http:header:x-id", "http:body", "http:body"]
+        );
+        assert_eq!(segs[2].payload, b"line1");
+        assert_eq!(segs[3].payload, b"line2");
+    }
+
+    #[test]
+    fn chunked_and_content_length_tokenize_identically() {
+        let p = HttpProtocol::new();
+        let plain = Frame::new("http:response", response("hello world", ""));
+        let chunked = Frame::new(
+            "http:response",
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"
+                .to_vec(),
+        );
+        let a: Vec<_> = p.tokenize(&plain).into_iter().filter(|s| s.label == "http:body").collect();
+        let b: Vec<_> = p.tokenize(&chunked).into_iter().filter(|s| s.label == "http:body").collect();
+        assert_eq!(a, b, "framing must not affect diffing");
+    }
+
+    #[test]
+    fn chunked_framing_waits_for_terminal_chunk() {
+        let p = HttpProtocol::new();
+        let mut buf = BytesMut::from(
+            &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n"[..],
+        );
+        assert!(p.split_frames(&mut buf, Direction::Response).unwrap().is_empty());
+        buf.extend_from_slice(b"0\r\n\r\n");
+        assert_eq!(p.split_frames(&mut buf, Direction::Response).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rle_round_trip() {
+        let data = b"aaabbbbbbcccd".to_vec();
+        let encoded = rle_encode(&data);
+        assert!(encoded.len() < data.len() + 2);
+        assert_eq!(rle_decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_rejects_odd_length() {
+        assert!(rle_decode(&[3]).is_err());
+    }
+
+    #[test]
+    fn rle_encoded_body_is_decoded_before_diffing() {
+        let p = HttpProtocol::new();
+        let body = rle_encode(b"secret-data");
+        let mut wire = format!(
+            "HTTP/1.1 200 OK\r\nContent-Encoding: rle\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend(&body);
+        let segs = p.tokenize(&Frame::new("http:response", wire));
+        let body_segs: Vec<_> = segs.iter().filter(|s| s.label == "http:body").collect();
+        assert_eq!(body_segs.len(), 1);
+        assert_eq!(body_segs[0].payload, b"secret-data");
+    }
+
+    #[test]
+    fn bad_content_length_is_a_protocol_error() {
+        let p = HttpProtocol::new();
+        let mut buf = BytesMut::from(
+            &b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n"[..],
+        );
+        assert!(p.split_frames(&mut buf, Direction::Response).is_err());
+    }
+
+    #[test]
+    fn supports_ephemeral_per_paper() {
+        assert!(HttpProtocol::new().supports_ephemeral());
+    }
+
+    #[test]
+    fn head_parse_lowercases_names() {
+        let head = Head::parse(b"GET / HTTP/1.1\r\nX-FOO: Bar\r\n\r\n").unwrap();
+        assert_eq!(head.header("x-foo"), Some("Bar"));
+        assert_eq!(head.header("X-FOO"), None, "lookup is by lower-case name");
+    }
+
+    #[test]
+    fn lf_only_messages_are_accepted() {
+        let p = HttpProtocol::new();
+        let mut buf = BytesMut::from(&b"HTTP/1.1 200 OK\nContent-Length: 2\n\nhi"[..]);
+        let frames = p.split_frames(&mut buf, Direction::Response).unwrap();
+        assert_eq!(frames.len(), 1);
+    }
+
+    #[test]
+    fn split_lines_keeps_trailing_fragment() {
+        assert_eq!(split_lines(b"a\nb"), vec![b"a".to_vec(), b"b".to_vec()]);
+        assert_eq!(split_lines(b"a\r\nb\r\n"), vec![b"a".to_vec(), b"b".to_vec()]);
+        assert!(split_lines(b"").is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Application-layer protocol modules for RDDR (§IV-B1 of the paper).
+//!
+//! "RDDR supports multiple transport and application layer protocols. …
+//! Support for application layer protocols is implemented by modules that
+//! comply with a standard interface, allowing developers to extend RDDR to
+//! support other protocols."
+//!
+//! This crate provides the three rich modules the paper describes, each
+//! implementing [`rddr_core::Protocol`]:
+//!
+//! * [`HttpProtocol`] — HTTP/1.1 framing (Content-Length and chunked),
+//!   newline tokenization, header interpretation, transfer decoding before
+//!   diffing, and CSRF ephemeral-state support.
+//! * [`PgProtocol`] — PostgreSQL v3 wire-format framing; messages are
+//!   tokenized by type, `ParameterStatus`/`BackendKeyData` are treated as
+//!   known variance, and an exchange completes at `ReadyForQuery`.
+//! * [`JsonProtocol`] — newline-delimited JSON documents diffed structurally
+//!   (path/value segments), via a hand-written parser (no `serde_json`;
+//!   see `DESIGN.md` dependency ledger).
+//!
+//! The simpler `line` and `raw` modules live in `rddr_core::protocol`.
+
+pub mod http;
+pub mod json;
+pub mod pg;
+
+pub use http::HttpProtocol;
+pub use json::{parse_json, JsonProtocol, JsonValue};
+pub use pg::{PgMessage, PgProtocol};

@@ -1,0 +1,179 @@
+//! Property-based framing tests: however the transport fragments the byte
+//! stream, the protocol modules must produce identical frames — the proxies
+//! feed them arbitrary chunk boundaries.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use rddr_core::{Direction, Frame, Protocol};
+use rddr_protocols::pg::PgMessage;
+use rddr_protocols::{HttpProtocol, JsonProtocol, PgProtocol};
+
+/// Splits `wire` at the given fractional points and feeds the pieces through
+/// `split_frames`, collecting every produced frame.
+fn frames_chunked(
+    protocol: &dyn Protocol,
+    wire: &[u8],
+    cuts: &[usize],
+    direction: Direction,
+) -> Vec<Frame> {
+    let mut positions: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+    positions.push(0);
+    positions.push(wire.len());
+    positions.sort_unstable();
+    positions.dedup();
+    let mut buf = BytesMut::new();
+    let mut frames = Vec::new();
+    for window in positions.windows(2) {
+        buf.extend_from_slice(&wire[window[0]..window[1]]);
+        frames.extend(protocol.split_frames(&mut buf, direction).unwrap());
+    }
+    assert!(buf.is_empty(), "complete input must be fully consumed");
+    frames
+}
+
+fn http_wire(bodies: &[String]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for body in bodies {
+        wire.extend(
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes(),
+        );
+    }
+    wire
+}
+
+proptest! {
+    /// HTTP framing is chunking-invariant.
+    #[test]
+    fn http_framing_is_chunking_invariant(
+        bodies in proptest::collection::vec("[ -~]{0,64}", 1..4),
+        cuts in proptest::collection::vec(0usize..4096, 0..12),
+    ) {
+        let p = HttpProtocol::new();
+        let wire = http_wire(&bodies);
+        let whole = frames_chunked(&p, &wire, &[], Direction::Response);
+        let pieces = frames_chunked(&p, &wire, &cuts, Direction::Response);
+        prop_assert_eq!(whole.len(), bodies.len());
+        prop_assert_eq!(whole, pieces);
+    }
+
+    /// PostgreSQL wire framing is chunking-invariant.
+    #[test]
+    fn pg_framing_is_chunking_invariant(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+        cuts in proptest::collection::vec(0usize..4096, 0..12),
+    ) {
+        let p = PgProtocol::new();
+        let mut wire = Vec::new();
+        for payload in &payloads {
+            wire.extend(PgMessage { tag: b'D', payload: payload.clone() }.encode());
+        }
+        wire.extend(PgMessage { tag: b'Z', payload: b"I".to_vec() }.encode());
+        let whole = frames_chunked(&p, &wire, &[], Direction::Response);
+        let pieces = frames_chunked(&p, &wire, &cuts, Direction::Response);
+        prop_assert_eq!(whole.len(), payloads.len() + 1);
+        prop_assert_eq!(whole, pieces);
+    }
+
+    /// JSON line framing is chunking-invariant.
+    #[test]
+    fn json_framing_is_chunking_invariant(
+        values in proptest::collection::vec(-1000i64..1000, 1..6),
+        cuts in proptest::collection::vec(0usize..512, 0..8),
+    ) {
+        let p = JsonProtocol::new();
+        let wire: Vec<u8> = values
+            .iter()
+            .map(|v| format!("{{\"v\": {v}}}\n"))
+            .collect::<String>()
+            .into_bytes();
+        let whole = frames_chunked(&p, &wire, &[], Direction::Response);
+        let pieces = frames_chunked(&p, &wire, &cuts, Direction::Response);
+        prop_assert_eq!(whole.len(), values.len());
+        prop_assert_eq!(whole, pieces);
+    }
+
+    /// HTTP tokenization is insensitive to how the body was transfer-framed:
+    /// a content-length body and the equivalent single-chunk chunked body
+    /// tokenize identically.
+    #[test]
+    fn http_tokenize_ignores_transfer_framing(body in "[ -~]{1,64}") {
+        let p = HttpProtocol::new();
+        let plain = Frame::new(
+            "http:response",
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes(),
+        );
+        let chunked = Frame::new(
+            "http:response",
+            format!(
+                "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n{body}\r\n0\r\n\r\n",
+                body.len()
+            )
+            .into_bytes(),
+        );
+        let body_of = |f: &Frame| -> Vec<Vec<u8>> {
+            p.tokenize(f)
+                .into_iter()
+                .filter(|s| s.label == "http:body")
+                .map(|s| s.payload)
+                .collect()
+        };
+        prop_assert_eq!(body_of(&plain), body_of(&chunked));
+    }
+
+    /// The engine renders the same verdict whatever chunking the transport
+    /// delivered — the end-to-end version of the properties above.
+    #[test]
+    fn engine_verdict_is_chunking_invariant(
+        lines in proptest::collection::vec("[a-z]{1,16}", 1..6),
+        corrupt in any::<bool>(),
+        cuts in proptest::collection::vec(0usize..512, 0..6),
+    ) {
+        use rddr_core::{EngineConfig, NVersionEngine, Verdict};
+        use rddr_core::protocol::LineProtocol;
+        let mut a: Vec<u8> = lines.join("\n").into_bytes();
+        a.push(b'\n');
+        let mut b = a.clone();
+        if corrupt {
+            b.extend_from_slice(b"EXTRA\n");
+        }
+        let whole = {
+            let mut e = NVersionEngine::new(
+                EngineConfig::builder(2).build().unwrap(),
+                LineProtocol::new(),
+            );
+            matches!(
+                e.evaluate_responses(&[a.clone(), b.clone()]).unwrap(),
+                Verdict::Divergent(_)
+            )
+        };
+        let pieces = {
+            let mut e = NVersionEngine::new(
+                EngineConfig::builder(2).build().unwrap(),
+                LineProtocol::new(),
+            );
+            // Feed instance 1's bytes in arbitrary pieces.
+            e.push_response(0, &a).unwrap();
+            let mut positions: Vec<usize> =
+                cuts.iter().map(|&c| c % (b.len() + 1)).collect();
+            positions.push(0);
+            positions.push(b.len());
+            positions.sort_unstable();
+            positions.dedup();
+            for w in positions.windows(2) {
+                e.push_response(1, &b[w[0]..w[1]]).unwrap();
+            }
+            e.finish_exchange().unwrap().report.diverged()
+        };
+        prop_assert_eq!(whole, pieces);
+        prop_assert_eq!(whole, corrupt);
+    }
+}

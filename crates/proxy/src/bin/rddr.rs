@@ -1,0 +1,117 @@
+//! The `rddr` command-line proxy — the deployable artifact shape of the
+//! paper's open-source release: one container image, configured by file,
+//! speaking real TCP.
+//!
+//! ```text
+//! rddr incoming --config rddr.conf --listen 0.0.0.0:8080 \
+//!      --instances 10.0.0.1:8080,10.0.0.2:8080,10.0.0.3:8080
+//!
+//! rddr outgoing --config rddr.conf --listen 0.0.0.0:5432 \
+//!      --backend 10.0.0.9:5432
+//! ```
+//!
+//! The config file format is documented on [`rddr_core::ConfigFile`]; the
+//! `instances` count in the file must match the `--instances` list.
+
+use std::sync::Arc;
+
+use rddr_core::ConfigFile;
+use rddr_net::{ServiceAddr, TcpNet};
+use rddr_proxy::{protocol_factory, IncomingProxy, OutgoingProxy};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  rddr incoming --config <file> --listen <host:port> --instances <a:p,b:p,…>\n  rddr outgoing --config <file> --listen <host:port> --backend <host:port>"
+    );
+    std::process::exit(2);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_addr(text: &str) -> ServiceAddr {
+    text.parse().unwrap_or_else(|e| {
+        eprintln!("bad address {text:?}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().cloned() else {
+        usage();
+    };
+    let Some(config_path) = arg_value(&args, "--config") else {
+        usage();
+    };
+    let Some(listen) = arg_value(&args, "--listen") else {
+        usage();
+    };
+    let config_text = std::fs::read_to_string(&config_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {config_path}: {e}");
+        std::process::exit(2);
+    });
+    let config = ConfigFile::parse(&config_text).unwrap_or_else(|e| {
+        eprintln!("bad config {config_path}: {e}");
+        std::process::exit(2);
+    });
+    let Some(protocol) = protocol_factory(&config.protocol) else {
+        eprintln!("unknown protocol module {:?}", config.protocol);
+        std::process::exit(2);
+    };
+    let listen = parse_addr(&listen);
+    let net = Arc::new(TcpNet::new());
+
+    match mode.as_str() {
+        "incoming" => {
+            let Some(instances) = arg_value(&args, "--instances") else {
+                usage();
+            };
+            let instances: Vec<ServiceAddr> =
+                instances.split(',').map(|a| parse_addr(a.trim())).collect();
+            let proxy = IncomingProxy::start(net, &listen, instances, config.engine, protocol)
+                .unwrap_or_else(|e| {
+                    eprintln!("failed to start incoming proxy: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!(
+                "rddr incoming proxy listening on {} ({} protocol)",
+                proxy.listen_addr(),
+                config.protocol
+            );
+            report_loop(|| format!("{:?}", proxy.stats()));
+        }
+        "outgoing" => {
+            let Some(backend) = arg_value(&args, "--backend") else {
+                usage();
+            };
+            let proxy = OutgoingProxy::start(
+                net,
+                &listen,
+                parse_addr(&backend),
+                config.engine,
+                protocol,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("failed to start outgoing proxy: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "rddr outgoing proxy listening on {} ({} protocol)",
+                proxy.listen_addr(),
+                config.protocol
+            );
+            report_loop(|| format!("{:?}", proxy.stats()));
+        }
+        _ => usage(),
+    }
+}
+
+/// Blocks forever, logging proxy stats once a minute.
+fn report_loop(stats: impl Fn() -> String) -> ! {
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        eprintln!("rddr: {}", stats());
+    }
+}

@@ -1,0 +1,237 @@
+//! One-call N-versioning of a service on a cluster: start the N diverse
+//! instances and splice an [`IncomingProxy`] in front of them — the
+//! "straightforward implementation path for N-versioned systems" the paper
+//! promises for container-orchestration platforms.
+
+use std::sync::Arc;
+
+use rddr_core::EngineConfig;
+use rddr_net::ServiceAddr;
+use rddr_orchestra::{Cluster, ContainerHandle, Image, Service};
+
+use crate::{IncomingProxy, ProtocolFactory, ProxyError, Result};
+
+/// One diverse variant of the protected microservice.
+pub struct Variant {
+    /// Image reference (the tag is how version diversity is expressed).
+    pub image: Image,
+    /// The service implementation this variant runs.
+    pub service: Arc<dyn Service>,
+}
+
+impl std::fmt::Debug for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Variant").field("image", &self.image).finish()
+    }
+}
+
+impl Variant {
+    /// Creates a variant.
+    pub fn new(image: Image, service: Arc<dyn Service>) -> Self {
+        Self { image, service }
+    }
+}
+
+/// A running N-versioned service: the instances plus their proxy.
+///
+/// Dropping the handle stops the proxy and all instances.
+pub struct NVersionedService {
+    /// The address clients connect to (the proxy's listen address).
+    pub addr: ServiceAddr,
+    /// The instance containers.
+    pub containers: Vec<ContainerHandle>,
+    /// The RDDR incoming proxy.
+    pub proxy: IncomingProxy,
+}
+
+impl std::fmt::Debug for NVersionedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NVersionedService")
+            .field("addr", &self.addr)
+            .field("instances", &self.containers.len())
+            .finish()
+    }
+}
+
+/// Deploys `variants` as an N-versioned service on `cluster`.
+///
+/// Instances are named `{name}-{i}` and bound on `entry.port() + 1 + i`;
+/// the proxy listens at `entry` itself, so existing clients keep their
+/// address — the paper's "minimal code changes" property.
+///
+/// # Errors
+///
+/// Returns [`ProxyError::Config`] if the config's N differs from the number
+/// of variants, or a bind/start error from the orchestration layer.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rddr_core::EngineConfig;
+/// use rddr_net::{Network, ServiceAddr};
+/// use rddr_orchestra::{Cluster, Image};
+/// use rddr_proxy::deploy::{n_version, Variant};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster = Cluster::new(4);
+/// let echo = |tag: &str| {
+///     Variant::new(
+///         Image::new("echo", tag),
+///         Arc::new(rddr_orchestra::FnService::new("echo", |mut conn, _ctx| {
+///             use rddr_net::Stream;
+///             let mut buf = [0u8; 64];
+///             while let Ok(n) = conn.read(&mut buf) {
+///                 if n == 0 || conn.write_all(&buf[..n]).is_err() { break; }
+///             }
+///         })),
+///     )
+/// };
+/// let service = n_version(
+///     &cluster,
+///     "echo",
+///     &ServiceAddr::new("echo", 7),
+///     vec![echo("v1"), echo("v2")],
+///     EngineConfig::builder(2).build()?,
+///     Arc::new(|| Box::new(rddr_core::protocol::LineProtocol::new())),
+/// )?;
+/// use rddr_net::Stream;
+/// let mut conn = cluster.net().dial(&service.addr)?;
+/// conn.write_all(b"ping\n")?;
+/// let mut reply = [0u8; 5];
+/// conn.read_exact(&mut reply)?;
+/// assert_eq!(&reply, b"ping\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn n_version(
+    cluster: &Cluster,
+    name: &str,
+    entry: &ServiceAddr,
+    variants: Vec<Variant>,
+    config: EngineConfig,
+    protocol: ProtocolFactory,
+) -> Result<NVersionedService> {
+    if variants.len() != config.instances() {
+        return Err(ProxyError::Config(format!(
+            "config expects {} instances but {} variants were given",
+            config.instances(),
+            variants.len()
+        )));
+    }
+    let mut containers = Vec::with_capacity(variants.len());
+    let mut instance_addrs = Vec::with_capacity(variants.len());
+    for (i, variant) in variants.into_iter().enumerate() {
+        let addr = entry.with_port(entry.port() + 1 + i as u16);
+        containers.push(
+            cluster
+                .run_container(format!("{name}-{i}"), variant.image, &addr, variant.service)
+                .map_err(|e| ProxyError::Config(format!("instance {i} failed: {e}")))?,
+        );
+        instance_addrs.push(addr);
+    }
+    let proxy = IncomingProxy::start(
+        Arc::new(cluster.net()),
+        entry,
+        instance_addrs,
+        config,
+        protocol,
+    )?;
+    Ok(NVersionedService { addr: entry.clone(), containers, proxy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rddr_core::protocol::LineProtocol;
+    use rddr_net::{Network, Stream};
+    use rddr_orchestra::FnService;
+
+    fn suffix_echo(suffix: &'static str) -> Arc<dyn Service> {
+        Arc::new(FnService::new("echo", move |mut conn, _ctx| {
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 256];
+            loop {
+                match conn.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                }
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let mut reply = line[..line.len() - 1].to_vec();
+                    reply.extend_from_slice(suffix.as_bytes());
+                    reply.push(b'\n');
+                    if conn.write_all(&reply).is_err() {
+                        return;
+                    }
+                }
+            }
+        }))
+    }
+
+    fn line() -> ProtocolFactory {
+        Arc::new(|| Box::new(LineProtocol::new()))
+    }
+
+    #[test]
+    fn n_version_deploys_and_serves() {
+        let cluster = Cluster::new(4);
+        let service = n_version(
+            &cluster,
+            "search",
+            &ServiceAddr::new("search", 8080),
+            vec![
+                Variant::new(Image::new("search", "v1"), suffix_echo("")),
+                Variant::new(Image::new("search", "v2"), suffix_echo("")),
+                Variant::new(Image::new("search", "v3"), suffix_echo("")),
+            ],
+            EngineConfig::builder(3).build().unwrap(),
+            line(),
+        )
+        .unwrap();
+        assert_eq!(service.containers.len(), 3);
+        assert_eq!(service.containers[1].name(), "search-1");
+        let mut conn = cluster.net().dial(&service.addr).unwrap();
+        conn.write_all(b"query\n").unwrap();
+        let mut reply = [0u8; 6];
+        conn.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"query\n");
+    }
+
+    #[test]
+    fn n_version_detects_divergent_variant() {
+        let cluster = Cluster::new(4);
+        let service = n_version(
+            &cluster,
+            "svc",
+            &ServiceAddr::new("svc", 9000),
+            vec![
+                Variant::new(Image::new("svc", "good"), suffix_echo("")),
+                Variant::new(Image::new("svc", "evil"), suffix_echo(" LEAK")),
+            ],
+            EngineConfig::builder(2).build().unwrap(),
+            line(),
+        )
+        .unwrap();
+        let mut conn = cluster.net().dial(&service.addr).unwrap();
+        conn.write_all(b"x\n").unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(conn.read(&mut buf).unwrap(), 0, "divergence must sever");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(service.proxy.stats().divergences, 1);
+    }
+
+    #[test]
+    fn variant_count_must_match_config() {
+        let cluster = Cluster::new(2);
+        let err = n_version(
+            &cluster,
+            "svc",
+            &ServiceAddr::new("svc", 9100),
+            vec![Variant::new(Image::new("svc", "v1"), suffix_echo(""))],
+            EngineConfig::builder(2).build().unwrap(),
+            line(),
+        );
+        assert!(err.is_err());
+    }
+}

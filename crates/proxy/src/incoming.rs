@@ -1,0 +1,279 @@
+//! The RDDR Incoming Request Proxy.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::BytesMut;
+use crossbeam::channel::unbounded;
+use rddr_core::{
+    Direction, EngineConfig, NVersionEngine, RddrError, INTERVENTION_PAGE,
+};
+use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
+
+use crate::plumbing::{spawn_reader, InstanceEvent};
+use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
+
+/// The incoming request proxy: clients connect here instead of to the
+/// protected microservice; every request is replicated to the N instances
+/// and their responses are diffed (Figure 2, top half).
+///
+/// Start with [`IncomingProxy::start`]; the returned handle owns the accept
+/// loop and stops it on drop.
+pub struct IncomingProxy {
+    listen_addr: ServiceAddr,
+    stats: Arc<ProxyStats>,
+    stop: Arc<AtomicBool>,
+    unbind: Box<dyn Fn() + Send + Sync>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for IncomingProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncomingProxy")
+            .field("listen", &self.listen_addr)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+impl IncomingProxy {
+    /// Binds `listen` and starts proxying to `instances`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Config`] if the instance list length differs
+    /// from the configured N, or [`ProxyError::Bind`] if the listen address
+    /// is taken.
+    pub fn start(
+        net: Arc<dyn Network>,
+        listen: &ServiceAddr,
+        instances: Vec<ServiceAddr>,
+        config: EngineConfig,
+        protocol: ProtocolFactory,
+    ) -> Result<IncomingProxy> {
+        if instances.len() != config.instances() {
+            return Err(ProxyError::Config(format!(
+                "config expects {} instances but {} addresses were given",
+                config.instances(),
+                instances.len()
+            )));
+        }
+        let mut listener = net.listen(listen).map_err(ProxyError::Bind)?;
+        // Report the resolved address (TCP port 0 binds to an ephemeral port).
+        let bound = listener.local_addr();
+        let stats = Arc::new(ProxyStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let session_stats = Arc::clone(&stats);
+        let session_stop = Arc::clone(&stop);
+        let session_net = Arc::clone(&net);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("rddr-in-{listen}"))
+            .spawn(move || {
+                while !session_stop.load(Ordering::Relaxed) {
+                    let Ok(client) = listener.accept() else {
+                        break;
+                    };
+                    if session_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    session_stats.sessions.fetch_add(1, Ordering::Relaxed);
+                    let net = Arc::clone(&session_net);
+                    let instances = instances.clone();
+                    let config = config.clone();
+                    let protocol = Arc::clone(&protocol);
+                    let stats = Arc::clone(&session_stats);
+                    std::thread::Builder::new()
+                        .name("rddr-in-session".into())
+                        .spawn(move || {
+                            run_session(client, net, &instances, config, protocol, stats)
+                        })
+                        .expect("spawn incoming session");
+                }
+            })
+            .expect("spawn incoming accept loop");
+
+        let unbind_net = net;
+        let unbind_addr = bound.clone();
+        Ok(IncomingProxy {
+            listen_addr: bound,
+            stats,
+            stop,
+            unbind: Box::new(move || {
+                unbind_net.unbind_addr(&unbind_addr);
+                // Fabrics whose unbind is a no-op (plain TCP) need the
+                // accept loop woken so it can observe the stop flag.
+                if let Ok(mut conn) = unbind_net.dial(&unbind_addr) {
+                    conn.shutdown();
+                }
+            }),
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn listen_addr(&self) -> &ServiceAddr {
+        &self.listen_addr
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting new sessions and unbinds the listen address.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::Relaxed) {
+            (self.unbind)();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for IncomingProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn run_session(
+    mut client: BoxStream,
+    net: Arc<dyn Network>,
+    instances: &[ServiceAddr],
+    config: EngineConfig,
+    protocol: ProtocolFactory,
+    stats: Arc<ProxyStats>,
+) {
+    let deadline = config.response_deadline();
+    let mut engine = NVersionEngine::from_boxed(config, protocol());
+    let request_protocol = protocol();
+    let is_http = request_protocol.name() == "http";
+
+    // Dial every instance; abort the session if any is unreachable.
+    let mut writers: Vec<BoxStream> = Vec::with_capacity(instances.len());
+    let (events_tx, events_rx) = unbounded();
+    for (i, addr) in instances.iter().enumerate() {
+        match net.dial(addr) {
+            Ok(conn) => {
+                match conn.try_clone() {
+                    Ok(reader) => spawn_reader(i, reader, events_tx.clone(), "in"),
+                    Err(_) => {
+                        client.shutdown();
+                        return;
+                    }
+                }
+                writers.push(conn);
+            }
+            Err(_) => {
+                client.shutdown();
+                return;
+            }
+        }
+    }
+
+    let mut request_buf = BytesMut::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'session: loop {
+        // Read from the client until at least one complete request frame.
+        let request_frames = loop {
+            match request_protocol.split_frames(&mut request_buf, Direction::Request) {
+                Ok(frames) if !frames.is_empty() => break frames,
+                Ok(_) => {}
+                Err(_) => break 'session,
+            }
+            match client.read(&mut chunk) {
+                Ok(0) | Err(_) => break 'session,
+                Ok(n) => request_buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+
+        for frame in request_frames {
+            // Replicate.
+            let copies = match engine.replicate_request(&frame.bytes) {
+                Ok(copies) => copies,
+                Err(RddrError::Throttled) => {
+                    stats.throttled.fetch_add(1, Ordering::Relaxed);
+                    sever(&mut client, &mut writers, is_http);
+                    break 'session;
+                }
+                Err(_) => break 'session,
+            };
+            for (writer, copy) in writers.iter_mut().zip(&copies) {
+                if writer.write_all(copy).is_err() {
+                    sever(&mut client, &mut writers, is_http);
+                    break 'session;
+                }
+            }
+
+            // Collect responses until every instance completes or the
+            // deadline passes (the paper's DoS timeout, §IV-D).
+            let t0 = Instant::now();
+            let mut failed = vec![false; writers.len()];
+            while !engine.exchange_ready() {
+                let remaining = deadline.saturating_sub(t0.elapsed());
+                if remaining.is_zero() {
+                    break;
+                }
+                match events_rx.recv_timeout(remaining) {
+                    Ok(InstanceEvent::Data(i, data)) => {
+                        if engine.push_response(i, &data).is_err() {
+                            failed[i] = true;
+                            engine.mark_failed(i);
+                        }
+                    }
+                    Ok(InstanceEvent::Closed(i)) => {
+                        failed[i] = true;
+                        engine.mark_failed(i);
+                        if failed.iter().all(|&f| f) {
+                            break;
+                        }
+                    }
+                    Err(_) => break, // deadline
+                }
+            }
+            // De-noise + Diff + Respond.
+            let outcome = match engine.finish_exchange() {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    sever(&mut client, &mut writers, is_http);
+                    break 'session;
+                }
+            };
+            stats.exchanges.fetch_add(1, Ordering::Relaxed);
+            if outcome.report.diverged() {
+                stats.divergences.fetch_add(1, Ordering::Relaxed);
+            }
+            match outcome.forward {
+                Some(bytes) => {
+                    if client.write_all(&bytes).is_err() {
+                        break 'session;
+                    }
+                }
+                None => {
+                    stats.severed.fetch_add(1, Ordering::Relaxed);
+                    sever(&mut client, &mut writers, is_http);
+                    break 'session;
+                }
+            }
+        }
+    }
+    client.shutdown();
+    for w in &mut writers {
+        w.shutdown();
+    }
+}
+
+/// Severs the session: optionally sends the HTTP intervention page, then
+/// closes the client and all instance connections.
+fn sever(client: &mut BoxStream, writers: &mut [BoxStream], is_http: bool) {
+    if is_http {
+        let _ = client.write_all(INTERVENTION_PAGE.as_bytes());
+    }
+    client.shutdown();
+    for w in writers.iter_mut() {
+        w.shutdown();
+    }
+}

@@ -1,0 +1,78 @@
+//! The RDDR proxies (§IV-B, Figure 2 of the paper).
+//!
+//! "Architecturally, RDDR can be visualized as a set of proxies which sit on
+//! either side of the N instances of the protected microservice. Both
+//! proxies operate at the transport/socket layer."
+//!
+//! * [`IncomingProxy`] — "handles request traffic sent to the protected
+//!   microservices": replicates each client request to all N instances,
+//!   diffs their responses through an [`rddr_core::NVersionEngine`], and
+//!   either forwards the unanimous answer or severs the connection.
+//! * [`OutgoingProxy`] — "a dual of the Incoming Request Proxy": accepts the
+//!   N instances' connections to a downstream microservice, verifies their
+//!   requests agree, forwards a single merged copy to the real backend, and
+//!   replicates the backend's answer to every instance. One outgoing proxy
+//!   is deployed per distinct downstream service.
+//!
+//! Both proxies are thread-per-connection (mirroring the paper's Python
+//! implementation) and transport-agnostic: they run over the in-memory
+//! [`rddr_net::SimNet`] or real TCP unchanged.
+//!
+//! # Examples
+//!
+//! Protecting a 2-version echo service:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rddr_core::EngineConfig;
+//! use rddr_net::{Network, SimNet, ServiceAddr, Stream};
+//! use rddr_proxy::{IncomingProxy, ProtocolFactory};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = SimNet::new();
+//! // Two diverse "instances" that happen to agree.
+//! for port in [9000, 9001] {
+//!     let mut l = net.listen(&ServiceAddr::new("echo", port))?;
+//!     std::thread::spawn(move || {
+//!         while let Ok(mut conn) = l.accept() {
+//!             std::thread::spawn(move || {
+//!                 let mut buf = [0u8; 64];
+//!                 while let Ok(n) = conn.read(&mut buf) {
+//!                     if n == 0 { break; }
+//!                     if conn.write_all(&buf[..n]).is_err() { break; }
+//!                 }
+//!             });
+//!         }
+//!     });
+//! }
+//! let protocol: ProtocolFactory =
+//!     Arc::new(|| Box::new(rddr_core::protocol::LineProtocol::new()));
+//! let proxy = IncomingProxy::start(
+//!     Arc::new(net.clone()),
+//!     &ServiceAddr::new("rddr", 80),
+//!     vec![ServiceAddr::new("echo", 9000), ServiceAddr::new("echo", 9001)],
+//!     EngineConfig::builder(2).build()?,
+//!     protocol,
+//! )?;
+//! let mut client = net.dial(&ServiceAddr::new("rddr", 80))?;
+//! client.write_all(b"ping\n")?;
+//! let mut buf = [0u8; 5];
+//! client.read_exact(&mut buf)?;
+//! assert_eq!(&buf, b"ping\n");
+//! drop(proxy);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod deploy;
+mod incoming;
+mod outgoing;
+mod plumbing;
+
+pub use deploy::{n_version, NVersionedService, Variant};
+pub use incoming::IncomingProxy;
+pub use outgoing::OutgoingProxy;
+pub use plumbing::{protocol_factory, ProtocolFactory, ProxyError, ProxyStats, StatsSnapshot};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ProxyError>;

@@ -1,0 +1,282 @@
+//! The RDDR Outgoing Request Proxy.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::BytesMut;
+use crossbeam::channel::unbounded;
+use rddr_core::{Direction, EngineConfig, NVersionEngine, PolicyDecision};
+use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
+
+use crate::plumbing::{spawn_reader, InstanceEvent};
+use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
+
+/// The outgoing request proxy: the N protected instances connect *here*
+/// instead of to a downstream microservice. The proxy verifies that all N
+/// issue consistent requests, forwards a single merged copy to the real
+/// backend, and replicates the backend's response to every instance
+/// (Figure 2, bottom half; "one proxy assigned for each distinct
+/// microservice" the protected service talks to).
+///
+/// The proxy groups instance connections into sessions of N in arrival
+/// order: Diffy replicates traffic but "does not merge requests to
+/// downstream microservices — RDDR addresses this issue with an outgoing
+/// proxy to merge traffic streams" (§III-A).
+///
+/// **Grouping assumption**: the N instances' connections for one logical
+/// client flow arrive as a contiguous batch. This holds when the incoming
+/// proxy serializes exchanges per client session (instances dial the
+/// backend while handling the same replicated request) — the deployments
+/// of the paper's evaluation. Highly concurrent frontends should instead
+/// hold one persistent backend connection per instance, which pins the
+/// grouping for the connection's lifetime.
+pub struct OutgoingProxy {
+    listen_addr: ServiceAddr,
+    stats: Arc<ProxyStats>,
+    stop: Arc<AtomicBool>,
+    unbind: Box<dyn Fn() + Send + Sync>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for OutgoingProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutgoingProxy")
+            .field("listen", &self.listen_addr)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+impl OutgoingProxy {
+    /// Binds `listen` for the N instances and forwards merged traffic to
+    /// `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Bind`] if the listen address is taken.
+    pub fn start(
+        net: Arc<dyn Network>,
+        listen: &ServiceAddr,
+        backend: ServiceAddr,
+        config: EngineConfig,
+        protocol: ProtocolFactory,
+    ) -> Result<OutgoingProxy> {
+        let mut listener = net.listen(listen).map_err(ProxyError::Bind)?;
+        // Report the resolved address (TCP port 0 binds to an ephemeral port).
+        let bound = listener.local_addr();
+        let stats = Arc::new(ProxyStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let n = config.instances();
+
+        let session_stats = Arc::clone(&stats);
+        let session_stop = Arc::clone(&stop);
+        let session_net = Arc::clone(&net);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("rddr-out-{listen}"))
+            .spawn(move || {
+                loop {
+                    // Group the next N connections into one session.
+                    let mut members = Vec::with_capacity(n);
+                    while members.len() < n {
+                        let Ok(conn) = listener.accept() else {
+                            return;
+                        };
+                        if session_stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        members.push(conn);
+                    }
+                    session_stats.sessions.fetch_add(1, Ordering::Relaxed);
+                    let net = Arc::clone(&session_net);
+                    let backend = backend.clone();
+                    let config = config.clone();
+                    let protocol = Arc::clone(&protocol);
+                    let stats = Arc::clone(&session_stats);
+                    std::thread::Builder::new()
+                        .name("rddr-out-session".into())
+                        .spawn(move || {
+                            run_session(members, net, backend, config, protocol, stats)
+                        })
+                        .expect("spawn outgoing session");
+                }
+            })
+            .expect("spawn outgoing accept loop");
+
+        let unbind_net = net;
+        let unbind_addr = bound.clone();
+        Ok(OutgoingProxy {
+            listen_addr: bound,
+            stats,
+            stop,
+            unbind: Box::new(move || {
+                unbind_net.unbind_addr(&unbind_addr);
+                // Fabrics whose unbind is a no-op (plain TCP) need the
+                // accept loop woken so it can observe the stop flag.
+                if let Ok(mut conn) = unbind_net.dial(&unbind_addr) {
+                    conn.shutdown();
+                }
+            }),
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the protected instances connect to.
+    pub fn listen_addr(&self) -> &ServiceAddr {
+        &self.listen_addr
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting new sessions and unbinds the listen address.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::Relaxed) {
+            (self.unbind)();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for OutgoingProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn run_session(
+    members: Vec<BoxStream>,
+    net: Arc<dyn Network>,
+    backend: ServiceAddr,
+    config: EngineConfig,
+    protocol: ProtocolFactory,
+    stats: Arc<ProxyStats>,
+) {
+    let deadline = config.response_deadline();
+    // The outgoing proxy diffs the instances' *requests*.
+    let mut engine =
+        NVersionEngine::from_boxed(config, protocol()).diff_direction(Direction::Request);
+    let response_protocol = protocol();
+
+    let mut writers: Vec<BoxStream> = Vec::with_capacity(members.len());
+    let (events_tx, events_rx) = unbounded();
+    for (i, conn) in members.into_iter().enumerate() {
+        match conn.try_clone() {
+            Ok(reader) => spawn_reader(i, reader, events_tx.clone(), "out"),
+            Err(_) => return,
+        }
+        writers.push(conn);
+    }
+    let Ok(mut backend_conn) = net.dial(&backend) else {
+        for w in &mut writers {
+            w.shutdown();
+        }
+        return;
+    };
+
+    let mut backend_buf = BytesMut::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'session: loop {
+        // Collect one complete request from every instance.
+        let t0 = Instant::now();
+        let mut closed = vec![false; writers.len()];
+        while !engine.exchange_ready() {
+            let remaining = deadline.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            match events_rx.recv_timeout(remaining) {
+                Ok(InstanceEvent::Data(i, data)) => {
+                    if engine.push_response(i, &data).is_err() {
+                        engine.mark_failed(i);
+                    }
+                }
+                Ok(InstanceEvent::Closed(i)) => {
+                    closed[i] = true;
+                    if closed.iter().all(|&c| c) {
+                        break 'session; // all instances done: clean end
+                    }
+                    engine.mark_failed(i);
+                }
+                Err(_) => break, // deadline
+            }
+        }
+
+        // Verify consistency of the merged request.
+        let outcome = match engine.finish_exchange() {
+            Ok(outcome) => outcome,
+            Err(_) => break 'session, // nothing buffered (e.g. idle EOF race)
+        };
+        stats.exchanges.fetch_add(1, Ordering::Relaxed);
+        if outcome.report.diverged() {
+            stats.divergences.fetch_add(1, Ordering::Relaxed);
+        }
+        let merged = match (&outcome.decision, outcome.forward) {
+            (PolicyDecision::Forward { .. }, Some(bytes)) => bytes,
+            _ => {
+                stats.severed.fetch_add(1, Ordering::Relaxed);
+                break 'session;
+            }
+        };
+
+        // Forward the single merged request to the real backend.
+        if backend_conn.write_all(&merged).is_err() {
+            break 'session;
+        }
+
+        // Read one complete backend response and replicate it to all
+        // instances.
+        let response = loop {
+            match response_protocol.split_frames(&mut backend_buf, Direction::Response) {
+                Ok(frames) if !frames.is_empty() => {
+                    let mut bytes = Vec::new();
+                    let mut collected = frames;
+                    // Keep reading until the response exchange completes
+                    // (e.g. PostgreSQL: through ReadyForQuery).
+                    while !response_protocol.exchange_complete(&collected, Direction::Response)
+                    {
+                        match backend_conn.read(&mut chunk) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                backend_buf.extend_from_slice(&chunk[..n]);
+                                if let Ok(more) = response_protocol
+                                    .split_frames(&mut backend_buf, Direction::Response)
+                                {
+                                    collected.extend(more);
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    for f in &collected {
+                        bytes.extend_from_slice(&f.bytes);
+                    }
+                    break Some(bytes);
+                }
+                Ok(_) => {}
+                Err(_) => break None,
+            }
+            match backend_conn.read(&mut chunk) {
+                Ok(0) | Err(_) => break None,
+                Ok(n) => backend_buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let Some(response) = response else {
+            break 'session;
+        };
+        for w in writers.iter_mut() {
+            if w.write_all(&response).is_err() {
+                break 'session;
+            }
+        }
+    }
+    backend_conn.shutdown();
+    for w in &mut writers {
+        w.shutdown();
+    }
+}

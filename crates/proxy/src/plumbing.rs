@@ -1,0 +1,187 @@
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use rddr_core::Protocol;
+use rddr_net::{BoxStream, NetError, Stream};
+
+/// Builds a fresh protocol module per proxied connection.
+///
+/// Protocol modules are stateless, but each engine owns its module boxed,
+/// so the proxy is configured with a factory rather than a shared instance.
+pub type ProtocolFactory = Arc<dyn Fn() -> Box<dyn Protocol> + Send + Sync>;
+
+/// Resolves a protocol-module name from an RDDR configuration file
+/// ([`rddr_core::ConfigFile`]) to its factory.
+///
+/// Known names: `http`, `postgres` (alias `pg`), `json`, `line`, `raw`.
+pub fn protocol_factory(name: &str) -> Option<ProtocolFactory> {
+    match name.to_ascii_lowercase().as_str() {
+        "http" => Some(Arc::new(|| Box::new(rddr_protocols::HttpProtocol::new()))),
+        "postgres" | "pg" => Some(Arc::new(|| Box::new(rddr_protocols::PgProtocol::new()))),
+        "json" => Some(Arc::new(|| Box::new(rddr_protocols::JsonProtocol::new()))),
+        "line" => Some(Arc::new(|| {
+            Box::new(rddr_core::protocol::LineProtocol::new())
+        })),
+        "raw" => Some(Arc::new(|| Box::new(rddr_core::protocol::RawProtocol::new()))),
+        _ => None,
+    }
+}
+
+/// Errors produced while starting or running a proxy.
+#[derive(Debug)]
+pub enum ProxyError {
+    /// The proxy could not bind its listen address.
+    Bind(NetError),
+    /// An instance address could not be dialed at session start.
+    InstanceUnreachable {
+        /// Index of the unreachable instance.
+        instance: usize,
+        /// The underlying network error.
+        source: NetError,
+    },
+    /// The engine configuration was inconsistent with the instance list.
+    Config(String),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Bind(e) => write!(f, "proxy failed to bind: {e}"),
+            ProxyError::InstanceUnreachable { instance, source } => {
+                write!(f, "instance {instance} unreachable: {source}")
+            }
+            ProxyError::Config(s) => write!(f, "proxy misconfigured: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProxyError::Bind(e) => Some(e),
+            ProxyError::InstanceUnreachable { source, .. } => Some(source),
+            ProxyError::Config(_) => None,
+        }
+    }
+}
+
+/// Live counters shared by all sessions of one proxy.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    pub(crate) sessions: AtomicU64,
+    pub(crate) exchanges: AtomicU64,
+    pub(crate) divergences: AtomicU64,
+    pub(crate) severed: AtomicU64,
+    pub(crate) throttled: AtomicU64,
+}
+
+/// A point-in-time copy of a proxy's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Client sessions accepted.
+    pub sessions: u64,
+    /// Exchanges evaluated across all sessions.
+    pub exchanges: u64,
+    /// Exchanges that diverged.
+    pub divergences: u64,
+    /// Connections severed by the Respond phase.
+    pub severed: u64,
+    /// Requests refused by the divergence-signature throttle.
+    pub throttled: u64,
+}
+
+impl ProxyStats {
+    /// Reads the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            exchanges: self.exchanges.load(Ordering::Relaxed),
+            divergences: self.divergences.load(Ordering::Relaxed),
+            severed: self.severed.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An event from one instance-connection reader thread.
+#[derive(Debug)]
+pub(crate) enum InstanceEvent {
+    /// Bytes arrived from the instance.
+    Data(usize, Vec<u8>),
+    /// The instance closed its connection (or errored).
+    Closed(usize),
+}
+
+/// Spawns a reader thread pumping `conn` into `events`.
+///
+/// The thread exits on EOF, error, or when the receiver is dropped.
+pub(crate) fn spawn_reader(
+    index: usize,
+    mut conn: BoxStream,
+    events: Sender<InstanceEvent>,
+    label: &str,
+) {
+    let name = format!("rddr-reader-{label}-{index}");
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => {
+                        let _ = events.send(InstanceEvent::Closed(index));
+                        return;
+                    }
+                    Ok(n) => {
+                        if events.send(InstanceEvent::Data(index, buf[..n].to_vec())).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn proxy reader thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use rddr_net::duplex_pair;
+
+    #[test]
+    fn stats_snapshot_reads_counters() {
+        let stats = ProxyStats::default();
+        stats.sessions.store(2, Ordering::Relaxed);
+        stats.divergences.store(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.sessions, 2);
+        assert_eq!(snap.divergences, 1);
+        assert_eq!(snap.exchanges, 0);
+    }
+
+    #[test]
+    fn reader_pumps_data_then_close() {
+        let (mut tx_side, rx_side) = duplex_pair("writer", "reader");
+        let (events_tx, events_rx) = unbounded();
+        spawn_reader(3, Box::new(rx_side), events_tx, "test");
+        tx_side.write_all(b"abc").unwrap();
+        match events_rx.recv().unwrap() {
+            InstanceEvent::Data(3, data) => assert_eq!(data, b"abc"),
+            other => panic!("unexpected event: {other:?}"),
+        }
+        tx_side.shutdown();
+        assert!(matches!(events_rx.recv().unwrap(), InstanceEvent::Closed(3)));
+    }
+
+    #[test]
+    fn proxy_error_display() {
+        let e = ProxyError::InstanceUnreachable {
+            instance: 1,
+            source: NetError::ConnectionRefused("pg:5432".into()),
+        };
+        assert!(e.to_string().contains("instance 1"));
+    }
+}

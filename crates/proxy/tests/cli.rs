@@ -1,0 +1,133 @@
+//! Smoke tests for the `rddr` CLI binary: argument handling, config-file
+//! loading, and an end-to-end run over real TCP.
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Command, Stdio};
+
+fn rddr_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rddr")
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = Command::new(rddr_bin()).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn bad_config_is_reported() {
+    let dir = std::env::temp_dir().join("rddr-cli-test-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = dir.join("bad.conf");
+    std::fs::write(&config, "instances = banana").unwrap();
+    let out = Command::new(rddr_bin())
+        .args([
+            "incoming",
+            "--config",
+            config.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--instances",
+            "127.0.0.1:1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad config"));
+}
+
+/// Starts a real TCP line-echo server, returning its port.
+fn spawn_echo(transform: &'static str) -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = listener.local_addr().unwrap().port();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(conn) = conn else { return };
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(conn.try_clone().unwrap());
+                let mut conn = conn;
+                let mut line = String::new();
+                while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                    let reply = format!("{transform}:{}", line.trim_end());
+                    if conn.write_all(format!("{reply}\n").as_bytes()).is_err() {
+                        return;
+                    }
+                    line.clear();
+                }
+            });
+        }
+    });
+    port
+}
+
+#[test]
+fn incoming_proxy_runs_end_to_end_over_tcp() {
+    let port_a = spawn_echo("echo");
+    let port_b = spawn_echo("echo");
+
+    let dir = std::env::temp_dir().join("rddr-cli-test-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = dir.join("rddr.conf");
+    std::fs::write(&config, "instances = 2\nprotocol = line\nresponse_deadline_ms = 3000\n")
+        .unwrap();
+
+    let mut child = Command::new(rddr_bin())
+        .args([
+            "incoming",
+            "--config",
+            config.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--instances",
+            &format!("127.0.0.1:{port_a},127.0.0.1:{port_b}"),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("proxy starts");
+
+    // The proxy announces its resolved address on stderr.
+    let mut stderr = BufReaderLine::new(child.stderr.take().unwrap());
+    let announce = stderr.next_line();
+    let port: u16 = announce
+        .split("127.0.0.1:")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("no port in announcement: {announce}"));
+
+    let mut conn = TcpStream::connect(("127.0.0.1", port)).expect("dial proxy");
+    conn.write_all(b"ping\n").unwrap();
+    let mut reply = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = conn.read(&mut byte).unwrap();
+        assert!(n > 0, "proxy closed unexpectedly");
+        if byte[0] == b'\n' {
+            break;
+        }
+        reply.push(byte[0]);
+    }
+    assert_eq!(reply, b"echo:ping");
+
+    child.kill().unwrap();
+    let _ = child.wait();
+}
+
+/// Line-reader over a child's stderr.
+struct BufReaderLine<R> {
+    inner: BufReader<R>,
+}
+
+impl<R: std::io::Read> BufReaderLine<R> {
+    fn new(r: R) -> Self {
+        Self { inner: BufReader::new(r) }
+    }
+
+    fn next_line(&mut self) -> String {
+        let mut line = String::new();
+        self.inner.read_line(&mut line).expect("stderr line");
+        line
+    }
+}

@@ -1,0 +1,177 @@
+use std::fmt;
+
+use crate::report::MitigationReport;
+
+/// An OWASP Top-10 (2021) category number with its name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwaspCategory(pub u8, pub &'static str);
+
+impl fmt::Display for OwaspCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{:02}", self.0)
+    }
+}
+
+/// OWASP A01: Broken Access Control.
+pub const A01_BROKEN_ACCESS: OwaspCategory = OwaspCategory(1, "Broken Access Control");
+/// OWASP A02: Cryptographic Failures.
+pub const A02_CRYPTO: OwaspCategory = OwaspCategory(2, "Cryptographic Failures");
+/// OWASP A03: Injection.
+pub const A03_INJECTION: OwaspCategory = OwaspCategory(3, "Injection");
+/// OWASP A04: Insecure Design.
+pub const A04_INSECURE_DESIGN: OwaspCategory = OwaspCategory(4, "Insecure Design");
+/// OWASP A05: Security Misconfiguration.
+pub const A05_MISCONFIG: OwaspCategory = OwaspCategory(5, "Security Misconfiguration");
+
+/// The diversity source a scenario exercises (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiversitySource {
+    /// Independent implementations of the same interface (e.g. Postgres +
+    /// CockroachDB, HAProxy + nginx).
+    IndependentImplementations,
+    /// Different versions of the same codebase (e.g. 10.7 vs 10.9).
+    VersionNumbers,
+    /// Compatible libraries behind identical APIs.
+    CompatibleLibraries,
+    /// A library written in a different language.
+    LibraryInDifferentLanguage,
+    /// OS-generated diversity (ASLR).
+    RandomMemoryLayout,
+    /// Mixed application configurations (the DVWA security levels).
+    MultiProgramming,
+}
+
+impl DiversitySource {
+    /// Table I's wording for this source.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            DiversitySource::IndependentImplementations => "Identical API, different program",
+            DiversitySource::VersionNumbers => "Version number",
+            DiversitySource::CompatibleLibraries => "Compatible libraries",
+            DiversitySource::LibraryInDifferentLanguage => "Library in different language",
+            DiversitySource::RandomMemoryLayout => "Random memory layout",
+            DiversitySource::MultiProgramming => "Multi-programming",
+        }
+    }
+}
+
+/// One row of Table I: the metadata plus the runnable scenario.
+pub struct TableRow {
+    /// CVE identifier, or an unofficial name for the last two rows.
+    pub cve: &'static str,
+    /// The protected microservice/program.
+    pub target: &'static str,
+    /// The exploit description from the paper.
+    pub exploit: &'static str,
+    /// CWE number(s) as printed in the table.
+    pub cwe: &'static str,
+    /// OWASP category (`None` for the table's "N/A" rows).
+    pub owasp: Option<OwaspCategory>,
+    /// Diversity source.
+    pub diversity: DiversitySource,
+    /// Runs the deployment + benign probe + exploit.
+    pub run: fn() -> MitigationReport,
+}
+
+impl fmt::Debug for TableRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TableRow")
+            .field("cve", &self.cve)
+            .field("target", &self.target)
+            .finish()
+    }
+}
+
+/// The ten rows of Table I, in the paper's order.
+pub static TABLE_I: &[TableRow] = &[
+    TableRow {
+        cve: "CVE-2017-7484",
+        target: "PostgreSQL",
+        exploit: "Exposure of sensitive information to an unauthorized actor",
+        cwe: "200,285",
+        owasp: Some(A01_BROKEN_ACCESS),
+        diversity: DiversitySource::IndependentImplementations,
+        run: crate::scenarios::pg_7484::run,
+    },
+    TableRow {
+        cve: "CVE-2017-7529",
+        target: "Nginx",
+        exploit: "Integer overflow",
+        cwe: "190",
+        owasp: None,
+        diversity: DiversitySource::VersionNumbers,
+        run: crate::scenarios::nginx_7529::run,
+    },
+    TableRow {
+        cve: "CVE-2019-10130",
+        target: "PostgreSQL",
+        exploit: "Improper access control",
+        cwe: "284",
+        owasp: Some(A01_BROKEN_ACCESS),
+        diversity: DiversitySource::VersionNumbers,
+        run: crate::scenarios::pg_10130::run,
+    },
+    TableRow {
+        cve: "CVE-2019-18277",
+        target: "HAProxy",
+        exploit: "HTTP Request Smuggling",
+        cwe: "444",
+        owasp: Some(A04_INSECURE_DESIGN),
+        diversity: DiversitySource::IndependentImplementations,
+        run: crate::scenarios::haproxy_18277::run,
+    },
+    TableRow {
+        cve: "CVE-2014-3146",
+        target: "lxml lib/RESTful",
+        exploit: "Cross site scripting",
+        cwe: "Other",
+        owasp: Some(A03_INJECTION),
+        diversity: DiversitySource::LibraryInDifferentLanguage,
+        run: crate::scenarios::lxml_3146::run,
+    },
+    TableRow {
+        cve: "CVE-2020-10799",
+        target: "svglib lib/RESTful",
+        exploit: "Improper restriction of XML external entity reference",
+        cwe: "611",
+        owasp: Some(A05_MISCONFIG),
+        diversity: DiversitySource::CompatibleLibraries,
+        run: crate::scenarios::svg_10799::run,
+    },
+    TableRow {
+        cve: "CVE-2020-13757",
+        target: "rsa lib/RESTful",
+        exploit: "Use of risky crypto",
+        cwe: "327",
+        owasp: Some(A02_CRYPTO),
+        diversity: DiversitySource::CompatibleLibraries,
+        run: crate::scenarios::rsa_13757::run,
+    },
+    TableRow {
+        cve: "CVE-2020-11888",
+        target: "markdown2 lib/RESTful",
+        exploit: "Cross site scripting",
+        cwe: "79",
+        owasp: Some(A03_INJECTION),
+        diversity: DiversitySource::CompatibleLibraries,
+        run: crate::scenarios::markdown_11888::run,
+    },
+    TableRow {
+        cve: "DVWA-SQLI",
+        target: "DVWA",
+        exploit: "SQL injection",
+        cwe: "89*",
+        owasp: Some(A03_INJECTION),
+        diversity: DiversitySource::MultiProgramming,
+        run: crate::scenarios::dvwa_sqli::run,
+    },
+    TableRow {
+        cve: "ASLR-POC",
+        target: "ASLR POC",
+        exploit: "Heap overflow",
+        cwe: "122*",
+        owasp: None,
+        diversity: DiversitySource::RandomMemoryLayout,
+        run: crate::scenarios::aslr_poc::run,
+    },
+];

@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// The measured outcome of one Table I scenario.
+///
+/// The paper's mitigation criterion (§IV-A): "a vulnerability is considered
+/// mitigated if the information leak is detected and blocked" — while benign
+/// traffic continues to flow.
+#[derive(Debug, Clone, Default)]
+pub struct MitigationReport {
+    /// Scenario identifier (the CVE or unofficial name).
+    pub id: String,
+    /// Benign traffic passed through RDDR unmodified.
+    pub benign_ok: bool,
+    /// The exploit's effect was detected (connection severed or the
+    /// divergent response suppressed).
+    pub exploit_blocked: bool,
+    /// Whether any leaked secret bytes reached the attacking client.
+    pub leak_reached_client: bool,
+    /// Free-form observations (what diverged, which phase caught it).
+    pub notes: Vec<String>,
+}
+
+impl MitigationReport {
+    /// Creates an empty report for a scenario.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self { id: id.into(), ..Self::default() }
+    }
+
+    /// The paper's verdict: mitigated iff the leak was blocked and benign
+    /// traffic still works.
+    pub fn mitigated(&self) -> bool {
+        self.benign_ok && self.exploit_blocked && !self.leak_reached_client
+    }
+
+    /// Records an observation.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+impl fmt::Display for MitigationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: benign={} blocked={} leaked={} => {}",
+            self.id,
+            self.benign_ok,
+            self.exploit_blocked,
+            self.leak_reached_client,
+            if self.mitigated() { "MITIGATED" } else { "NOT MITIGATED" }
+        )?;
+        for n in &self.notes {
+            writeln!(f, "  - {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mitigated_requires_all_three_conditions() {
+        let mut r = MitigationReport::new("x");
+        assert!(!r.mitigated());
+        r.benign_ok = true;
+        r.exploit_blocked = true;
+        assert!(r.mitigated());
+        r.leak_reached_client = true;
+        assert!(!r.mitigated());
+    }
+
+    #[test]
+    fn display_contains_verdict() {
+        let mut r = MitigationReport::new("cve-x");
+        r.benign_ok = true;
+        r.exploit_blocked = true;
+        r.note("divergence at response diff");
+        let text = r.to_string();
+        assert!(text.contains("MITIGATED"));
+        assert!(text.contains("divergence at response diff"));
+    }
+}

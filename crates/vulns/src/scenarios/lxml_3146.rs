@@ -1,0 +1,34 @@
+//! Table I row 5 — CVE-2014-3146: XSS through `lxml.html.clean`, mitigated
+//! by pairing it with Node.js `sanitize-html` — "a library in a different
+//! language" (§V-A).
+
+use std::sync::Arc;
+
+use rddr_httpsim::rest::sanitize_service;
+use rddr_libsim::{LxmlClean, SanitizeHtml};
+
+use crate::report::MitigationReport;
+use crate::scenarios::restful::run_rest_pair;
+
+/// Runs the scenario.
+pub fn run() -> MitigationReport {
+    run_rest_pair(
+        "CVE-2014-3146",
+        [
+            ("lxml", Arc::new(sanitize_service(Arc::new(LxmlClean::new())))),
+            ("sanitize-html", Arc::new(sanitize_service(Arc::new(SanitizeHtml::new())))),
+        ],
+        ("/sanitize", "<p>user <b>content</b> with a <a href=\"https://x\">link</a></p>"),
+        ("/sanitize", "<a href=\"java\tscript:alert(document.cookie)\">pwn</a>"),
+        &["script:alert"],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cve_2014_3146_is_mitigated() {
+        let report = super::run();
+        assert!(report.mitigated(), "{report}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Table I row 8 — CVE-2020-11888: XSS through `markdown2`, mitigated by
+//! pairing it with the `markdown` renderer (§V-A).
+
+use std::sync::Arc;
+
+use rddr_httpsim::rest::render_service;
+use rddr_libsim::{Markdown2, MarkdownSafe};
+
+use crate::report::MitigationReport;
+use crate::scenarios::restful::run_rest_pair;
+
+/// Runs the scenario.
+pub fn run() -> MitigationReport {
+    run_rest_pair(
+        "CVE-2020-11888",
+        [
+            ("markdown2", Arc::new(render_service(Arc::new(Markdown2::new())))),
+            ("markdown", Arc::new(render_service(Arc::new(MarkdownSafe::new())))),
+        ],
+        ("/render", "# Post\n\nA **benign** [link](https://example.com)."),
+        ("/render", "[click me](java\tscript:alert(document.cookie))"),
+        &["script:alert"],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cve_2020_11888_is_mitigated() {
+        let report = super::run();
+        assert!(report.mitigated(), "{report}");
+    }
+}

@@ -1,0 +1,59 @@
+//! One module per Table I row, plus shared deployment helpers.
+
+pub mod aslr_poc;
+pub mod dvwa_sqli;
+pub mod haproxy_18277;
+pub mod lxml_3146;
+pub mod markdown_11888;
+pub mod nginx_7529;
+pub mod pg_10130;
+pub mod pg_7484;
+pub(crate) mod restful;
+pub mod rsa_13757;
+pub mod svg_10799;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_core::protocol::LineProtocol;
+use rddr_core::{EngineConfig, VarianceRule, VarianceRules};
+use rddr_orchestra::{Cluster, CpuGovernor};
+use rddr_proxy::ProtocolFactory;
+use rddr_protocols::{HttpProtocol, PgProtocol};
+
+/// A small, fast cluster for scenario runs (simulated work at 1% speed).
+pub(crate) fn scenario_cluster() -> Cluster {
+    Cluster::with_governor(
+        rddr_net::SimNet::new(),
+        CpuGovernor::with_time_scale(8, 0.01),
+    )
+}
+
+/// Protocol factories.
+pub(crate) fn http() -> ProtocolFactory {
+    Arc::new(|| Box::new(HttpProtocol::new()))
+}
+
+pub(crate) fn pg() -> ProtocolFactory {
+    Arc::new(|| Box::new(PgProtocol::new()))
+}
+
+pub(crate) fn line() -> ProtocolFactory {
+    Arc::new(|| Box::new(LineProtocol::new()))
+}
+
+/// A base engine config with a scenario-friendly response deadline.
+pub(crate) fn config(n: usize) -> rddr_core::EngineConfigBuilder {
+    EngineConfig::builder(n).response_deadline(Duration::from_millis(1500))
+}
+
+/// The standard variance rule set for HTTP deployments that mix software
+/// versions: ignore `Server:` banners (§IV-B4's "manual configuration …
+/// to ignore application-specific benign divergence").
+pub(crate) fn server_banner_variance() -> VarianceRules {
+    let mut rules = VarianceRules::new();
+    rules.push(
+        VarianceRule::new("http:header:server", "*").expect("static patterns are valid"),
+    );
+    rules
+}

@@ -1,0 +1,40 @@
+//! Table I row 7 — CVE-2020-13757: risky RSA decryption in `python-rsa`,
+//! mitigated by pairing it with a strict `Crypto` implementation (§V-A).
+
+use std::sync::Arc;
+
+use rddr_httpsim::rest::{decrypt_service, hex_encode};
+use rddr_libsim::{craft_forged_ciphertext, CryptoLib, RsaKeyPair, RsaLib};
+
+use crate::report::MitigationReport;
+use crate::scenarios::restful::run_rest_pair;
+
+/// Runs the scenario.
+pub fn run() -> MitigationReport {
+    let key = RsaKeyPair::demo();
+    let benign_ct = key.encrypt(b"ok!").expect("fits the toy modulus").to_string();
+    let forged_ct = craft_forged_ciphertext(&key).to_string();
+    let forged_plain_hex = hex_encode(b"pw");
+    let benign_ct: &'static str = Box::leak(benign_ct.into_boxed_str());
+    let forged_ct: &'static str = Box::leak(forged_ct.into_boxed_str());
+    let forged_plain_hex: &'static str = Box::leak(forged_plain_hex.into_boxed_str());
+    run_rest_pair(
+        "CVE-2020-13757",
+        [
+            ("rsa-lib", Arc::new(decrypt_service(Arc::new(RsaLib::new()), key))),
+            ("crypto-lib", Arc::new(decrypt_service(Arc::new(CryptoLib::new()), key))),
+        ],
+        ("/decrypt", benign_ct),
+        ("/decrypt", forged_ct),
+        &[forged_plain_hex],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cve_2020_13757_is_mitigated() {
+        let report = super::run();
+        assert!(report.mitigated(), "{report}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Table I row 6 — CVE-2020-10799: XXE file disclosure through `svglib`,
+//! mitigated by pairing it with `cairosvg` (§V-A).
+
+use std::sync::Arc;
+
+use rddr_httpsim::rest::{hex_encode, svg_service};
+use rddr_libsim::{CairoSvg, SvgLib, VirtualFs};
+
+use crate::report::MitigationReport;
+use crate::scenarios::restful::run_rest_pair;
+
+/// Runs the scenario.
+pub fn run() -> MitigationReport {
+    // Leak markers: the secret both raw and as it would appear hex-encoded
+    // inside the PNG byte dump.
+    let hex_marker: &'static str = Box::leak(hex_encode(b"hunter2").into_boxed_str());
+    run_rest_pair(
+        "CVE-2020-10799",
+        [
+            (
+                "svglib",
+                Arc::new(svg_service(Arc::new(SvgLib::new()), VirtualFs::with_defaults())),
+            ),
+            (
+                "cairosvg",
+                Arc::new(svg_service(Arc::new(CairoSvg::new()), VirtualFs::with_defaults())),
+            ),
+        ],
+        (
+            "/convert",
+            r#"<svg width="24" height="24"><rect x="2" y="2" width="8" height="8"/></svg>"#,
+        ),
+        (
+            "/convert",
+            "<!DOCTYPE svg [<!ENTITY xxe SYSTEM \"file:///app/secrets.env\">]>\
+             <svg><text>&xxe;</text></svg>",
+        ),
+        &["hunter2", hex_marker],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cve_2020_10799_is_mitigated() {
+        let report = super::run();
+        assert!(report.mitigated(), "{report}");
+    }
+}

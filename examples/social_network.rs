@@ -1,0 +1,112 @@
+//! The paper's motivating deployment (Figure 1): a DeathStarBench-style
+//! social network where only the two most exposed services — Search and
+//! Compose Post — are 3-versioned behind RDDR, keeping the overhead at a
+//! fraction of whole-deployment N-versioning (§II).
+//!
+//! ```text
+//! cargo run --example social_network
+//! ```
+
+use rddr_repro::httpsim::HttpClient;
+use rddr_repro::orchestra::Cluster;
+
+// The deployment builders live in the benchmark harness crate's `social`
+// module; this example re-creates them inline against the public API so it
+// stands alone.
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::EngineConfig;
+use rddr_repro::httpsim::{HttpResponse, HttpService};
+use rddr_repro::net::ServiceAddr;
+use rddr_repro::orchestra::Image;
+use rddr_repro::protocols::HttpProtocol;
+use rddr_repro::proxy::IncomingProxy;
+
+const SERVICES: &[&str] = &[
+    "frontend-logic",
+    "compose-post",
+    "search",
+    "user-service",
+    "home-timeline",
+    "social-graph",
+    "url-shorten",
+    "media",
+    "user-storage",
+    "post-storage",
+    "home-timeline-storage",
+    "social-graph-storage",
+];
+const PROTECTED: &[&str] = &["search", "compose-post"];
+
+fn stub(name: &'static str) -> Arc<HttpService> {
+    Arc::new(HttpService::new(name).route("GET", "/", move |req, _ctx| {
+        HttpResponse::ok(format!("{name}: {}", req.path))
+    }))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::new(8);
+    let n = 3;
+    let mut containers = Vec::new();
+    let mut proxies = Vec::new();
+    let mut entrypoints = Vec::new();
+
+    for (i, name) in SERVICES.iter().enumerate() {
+        let base_port = 8000 + (i as u16) * 10;
+        if PROTECTED.contains(name) {
+            // N diverse instances + an RDDR incoming proxy.
+            for k in 0..n as u16 {
+                containers.push(cluster.run_container(
+                    format!("{name}-{k}"),
+                    Image::new(*name, format!("v{}", k + 1)),
+                    &ServiceAddr::new(*name, base_port + 1 + k),
+                    stub(name),
+                )?);
+            }
+            let entry = ServiceAddr::new(*name, base_port);
+            proxies.push(IncomingProxy::start(
+                Arc::new(cluster.net()),
+                &entry,
+                (0..n as u16)
+                    .map(|k| ServiceAddr::new(*name, base_port + 1 + k))
+                    .collect(),
+                EngineConfig::builder(n)
+                    .response_deadline(Duration::from_secs(2))
+                    .build()?,
+                Arc::new(|| Box::new(HttpProtocol::new())),
+            )?);
+            entrypoints.push((*name, entry));
+        } else {
+            let entry = ServiceAddr::new(*name, base_port);
+            containers.push(cluster.run_container(
+                format!("{name}-0"),
+                Image::new(*name, "v1"),
+                &entry,
+                stub(name),
+            )?);
+            entrypoints.push((*name, entry));
+        }
+    }
+
+    let plain_count = SERVICES.len();
+    let extra = containers.len() - plain_count;
+    println!("social network: {} logical services", SERVICES.len());
+    println!("containers: {} (plain would be {plain_count}, +{extra} for RDDR)", containers.len());
+    println!(
+        "overhead: {:.0}% for micro-versioning {:?} vs {:.0}% for whole-deployment {n}-versioning",
+        100.0 * extra as f64 / plain_count as f64,
+        PROTECTED,
+        100.0 * (n as f64 - 1.0) * plain_count as f64 / plain_count as f64,
+    );
+
+    // Every entry point answers; protected ones flow through RDDR.
+    let net = cluster.net();
+    for (name, addr) in &entrypoints {
+        let mut client = HttpClient::connect(&net, addr)?;
+        let resp = client.get("/")?;
+        let via = if PROTECTED.contains(name) { " (via RDDR)" } else { "" };
+        println!("  {name:<22} -> {}{via}", resp.status);
+    }
+    Ok(())
+}

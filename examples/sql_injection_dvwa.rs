@@ -1,0 +1,119 @@
+//! The paper's §V-B case study: hardening DVWA against SQL injection with
+//! three frontends at mixed sanitization levels, one shared backend
+//! database behind RDDR's **outgoing** request proxy, and CSRF tokens kept
+//! working by RDDR's ephemeral-state handling (§IV-B3).
+//!
+//! ```text
+//! cargo run --example sql_injection_dvwa
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::EngineConfig;
+use rddr_repro::httpsim::dvwa::{seed_dvwa_schema, SQLI_PAYLOAD};
+use rddr_repro::httpsim::framework::url_encode;
+use rddr_repro::httpsim::{DvwaSim, HttpClient, SecurityLevel};
+use rddr_repro::net::ServiceAddr;
+use rddr_repro::orchestra::{Cluster, Image};
+use rddr_repro::pgsim::{Database, PgServer, PgVersion};
+use rddr_repro::protocols::{HttpProtocol, PgProtocol};
+use rddr_repro::proxy::{IncomingProxy, OutgoingProxy};
+
+fn token_from(html: &str) -> String {
+    html.split("name=\"user_token\" value=\"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .expect("CSRF token in page")
+        .to_string()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::new(8);
+
+    // One shared backend database.
+    let mut db = Database::new(PgVersion::parse("10.9")?);
+    seed_dvwa_schema(&mut db)?;
+    let _db = cluster.run_container(
+        "dvwa-db-0",
+        Image::new("postgres", "10.9"),
+        &ServiceAddr::new("db", 5432),
+        Arc::new(PgServer::new(db)),
+    )?;
+
+    // The outgoing proxy merges and verifies the 3 frontends' queries.
+    let outgoing_addr = ServiceAddr::new("rddr-out", 5432);
+    let outgoing = OutgoingProxy::start(
+        Arc::new(cluster.net()),
+        &outgoing_addr,
+        ServiceAddr::new("db", 5432),
+        EngineConfig::builder(3)
+            .response_deadline(Duration::from_secs(2))
+            .build()?,
+        Arc::new(|| Box::new(PgProtocol::new())),
+    )?;
+
+    // Three frontends: filter pair unsanitized, third at High sanitization.
+    let mut frontends = Vec::new();
+    for (i, (level, seed)) in [
+        (SecurityLevel::Low, 1u64),
+        (SecurityLevel::Low, 2),
+        (SecurityLevel::High, 3),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        frontends.push(cluster.run_container(
+            format!("dvwa-{i}"),
+            Image::new("dvwa", "v1"),
+            &ServiceAddr::new("dvwa", 8000 + i as u16),
+            Arc::new(DvwaSim::new(level, outgoing_addr.clone(), seed)),
+        )?);
+    }
+
+    // And the incoming proxy in front (CSRF capture + response diffing).
+    let incoming = IncomingProxy::start(
+        Arc::new(cluster.net()),
+        &ServiceAddr::new("rddr-dvwa", 80),
+        (0..3).map(|i| ServiceAddr::new("dvwa", 8000 + i)).collect(),
+        EngineConfig::builder(3)
+            .filter_pair(0, 1)
+            .response_deadline(Duration::from_secs(2))
+            .build()?,
+        Arc::new(|| Box::new(HttpProtocol::new())),
+    )?;
+
+    let net = cluster.net();
+
+    // --- benign flow ---------------------------------------------------------
+    let mut user = HttpClient::connect(&net, &ServiceAddr::new("rddr-dvwa", 80))?;
+    let page = user.get("/vuln/sqli")?;
+    let token = token_from(&page.body_text());
+    println!("got SQLi demo page; RDDR captured the per-instance CSRF tokens");
+    println!("client sees one token: {token}");
+    let result = user.get(&format!("/vuln/sqli/run?id=3&user_token={token}"))?;
+    println!("benign lookup (id=3): status {}\n{}", result.status, result.body_text());
+
+    // --- exploit ---------------------------------------------------------------
+    println!("launching injection: id={SQLI_PAYLOAD:?}");
+    let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("rddr-dvwa", 80))?;
+    let page = attacker.get("/vuln/sqli")?;
+    let token = token_from(&page.body_text());
+    match attacker.get(&format!(
+        "/vuln/sqli/run?id={}&user_token={token}",
+        url_encode(SQLI_PAYLOAD)
+    )) {
+        Err(_) => println!("connection severed — injection blocked"),
+        Ok(resp) => {
+            let text = resp.body_text();
+            assert!(
+                !text.contains("Pablo"),
+                "the full table dump must never reach the attacker"
+            );
+            println!("injection answered with status {} and no row dump", resp.status);
+        }
+    }
+    println!("\noutgoing proxy stats: {:?}", outgoing.stats());
+    println!("incoming proxy stats: {:?}", incoming.stats());
+    Ok(())
+}

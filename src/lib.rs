@@ -1,0 +1,14 @@
+//! Umbrella crate for the RDDR reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `README.md` and `DESIGN.md` at the repository root.
+
+pub use rddr_core as core;
+pub use rddr_httpsim as httpsim;
+pub use rddr_libsim as libsim;
+pub use rddr_net as net;
+pub use rddr_orchestra as orchestra;
+pub use rddr_pgsim as pgsim;
+pub use rddr_protocols as protocols;
+pub use rddr_proxy as proxy;
+pub use rddr_vulns as vulns;

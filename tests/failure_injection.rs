@@ -1,0 +1,233 @@
+//! Failure-injection tests: instances crashing mid-session, unreachable
+//! backends, hung instances, and the DoS-throttling extension.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::protocol::LineProtocol;
+use rddr_repro::core::EngineConfig;
+use rddr_repro::httpsim::{HttpResponse, HttpService};
+use rddr_repro::net::{BoxStream, Network, ServiceAddr, SimNet, Stream};
+use rddr_repro::orchestra::{Cluster, Image};
+use rddr_repro::proxy::{IncomingProxy, OutgoingProxy, ProtocolFactory};
+
+fn line() -> ProtocolFactory {
+    Arc::new(|| Box::new(LineProtocol::new()))
+}
+
+fn read_line(conn: &mut BoxStream) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut b = [0u8; 1];
+    loop {
+        match conn.read(&mut b) {
+            Ok(0) | Err(_) => return (!out.is_empty()).then_some(out),
+            Ok(_) if b[0] == b'\n' => return Some(out),
+            Ok(_) => out.push(b[0]),
+        }
+    }
+}
+
+fn echo_cluster(n: u16) -> (Cluster, Vec<rddr_repro::orchestra::ContainerHandle>) {
+    let cluster = Cluster::new(4);
+    let mut handles = Vec::new();
+    for i in 0..n {
+        handles.push(
+            cluster
+                .run_container(
+                    format!("echo-{i}"),
+                    Image::new("echo", "v1"),
+                    &ServiceAddr::new("echo", 9000 + i),
+                    Arc::new(
+                        HttpService::new("unused")
+                            .route("GET", "/", |_r, _c| HttpResponse::ok("")),
+                    ),
+                )
+                .unwrap(),
+        );
+    }
+    (cluster, handles)
+}
+
+/// Line-echo servers managed manually so we can kill one mid-session.
+fn spawn_echo(net: &SimNet, addr: ServiceAddr) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+    let alive = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let flag = std::sync::Arc::clone(&alive);
+    let mut listener = net.listen(&addr).unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            let flag = std::sync::Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 512];
+                loop {
+                    if !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        conn.shutdown();
+                        return;
+                    }
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        if !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                            conn.shutdown();
+                            return;
+                        }
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        if conn.write_all(&line).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    alive
+}
+
+#[test]
+fn instance_crash_mid_session_severs_cleanly() {
+    let net = SimNet::new();
+    let _a = spawn_echo(&net, ServiceAddr::new("svc", 9000));
+    let b_alive = spawn_echo(&net, ServiceAddr::new("svc", 9001));
+    let _proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr", 80),
+        vec![ServiceAddr::new("svc", 9000), ServiceAddr::new("svc", 9001)],
+        EngineConfig::builder(2)
+            .response_deadline(Duration::from_millis(400))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+
+    let mut client = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
+    client.write_all(b"first\n").unwrap();
+    assert_eq!(read_line(&mut client).unwrap(), b"first");
+
+    // Kill instance B, then issue another request: the proxy must sever
+    // rather than silently serving from the surviving instance.
+    b_alive.store(false, std::sync::atomic::Ordering::Relaxed);
+    client.write_all(b"second\n").unwrap();
+    let reply = read_line(&mut client);
+    assert!(
+        reply.is_none(),
+        "single-survivor output must not be forwarded: {reply:?}"
+    );
+}
+
+#[test]
+fn unreachable_instance_at_session_start_closes_client() {
+    let net = SimNet::new();
+    let _a = spawn_echo(&net, ServiceAddr::new("svc", 9000));
+    // Instance 9001 is never started.
+    let _proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr", 80),
+        vec![ServiceAddr::new("svc", 9000), ServiceAddr::new("svc", 9001)],
+        EngineConfig::builder(2).build().unwrap(),
+        line(),
+    )
+    .unwrap();
+    let mut client = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
+    client.write_all(b"hello\n").unwrap();
+    assert!(read_line(&mut client).is_none(), "session must be refused");
+}
+
+#[test]
+fn outgoing_proxy_with_dead_backend_severs_instances() {
+    let net = SimNet::new();
+    let _proxy = OutgoingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr-out", 5432),
+        ServiceAddr::new("ghost-db", 5432),
+        EngineConfig::builder(2)
+            .response_deadline(Duration::from_millis(300))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+    let mut a = net.dial(&ServiceAddr::new("rddr-out", 5432)).unwrap();
+    let mut b = net.dial(&ServiceAddr::new("rddr-out", 5432)).unwrap();
+    a.write_all(b"query\n").unwrap();
+    b.write_all(b"query\n").unwrap();
+    assert!(read_line(&mut a).is_none());
+    assert!(read_line(&mut b).is_none());
+}
+
+#[test]
+fn cluster_container_stop_is_observed_by_proxy() {
+    let (cluster, mut handles) = echo_cluster(2);
+    let net = cluster.net();
+    let _proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr", 80),
+        vec![ServiceAddr::new("echo", 9000), ServiceAddr::new("echo", 9001)],
+        EngineConfig::builder(2)
+            .response_deadline(Duration::from_millis(300))
+            .build()
+            .unwrap(),
+        Arc::new(|| Box::new(rddr_repro::protocols::HttpProtocol::new())),
+    )
+    .unwrap();
+    // Stop one container: new sessions cannot dial it, so clients are cut.
+    handles[1].stop();
+    let mut client =
+        rddr_repro::httpsim::HttpClient::connect(&net, &ServiceAddr::new("rddr", 80)).unwrap();
+    assert!(client.get("/").is_err(), "session with a stopped instance must fail");
+}
+
+#[test]
+fn throttled_attacker_cannot_grind_instances() {
+    let net = SimNet::new();
+    let _a = spawn_echo(&net, ServiceAddr::new("svc", 9000));
+    // A "diverse" instance that appends junk to one specific input.
+    let mut listener = net.listen(&ServiceAddr::new("svc", 9001)).unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 512];
+                loop {
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        let reply = if line.starts_with(b"evil") {
+                            b"evil DIVERGENT\n".to_vec()
+                        } else {
+                            line
+                        };
+                        if conn.write_all(&reply).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr", 80),
+        vec![ServiceAddr::new("svc", 9000), ServiceAddr::new("svc", 9001)],
+        EngineConfig::builder(2)
+            .throttle(0)
+            .response_deadline(Duration::from_millis(500))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+
+    // First exploit in a session: replicated, detected, severed.
+    let mut c = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
+    c.write_all(b"evil\n").unwrap();
+    assert!(read_line(&mut c).is_none());
+    std::thread::sleep(Duration::from_millis(50));
+    let s = proxy.stats();
+    assert!(s.divergences >= 1, "{s:?}");
+}

@@ -1,0 +1,134 @@
+//! The JSON protocol module end to end: newline-delimited JSON services
+//! behind RDDR, structural comparison tolerating key order and whitespace,
+//! and value-level divergence detection.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::EngineConfig;
+use rddr_repro::net::{BoxStream, Network, ServiceAddr, SimNet, Stream};
+use rddr_repro::protocols::JsonProtocol;
+use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
+
+fn json() -> ProtocolFactory {
+    Arc::new(|| Box::new(JsonProtocol::new()))
+}
+
+/// A service answering each request line with a JSON document produced by
+/// `render(request, counter)`.
+fn spawn_json_service(
+    net: &SimNet,
+    addr: ServiceAddr,
+    render: impl Fn(&str) -> String + Send + Sync + Clone + 'static,
+) {
+    let mut listener = net.listen(&addr).unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            let render = render.clone();
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        let request = String::from_utf8_lossy(&line).trim().to_string();
+                        let reply = format!("{}\n", render(&request));
+                        if conn.write_all(reply.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn read_line(conn: &mut BoxStream) -> Option<String> {
+    let mut out = Vec::new();
+    let mut b = [0u8; 1];
+    loop {
+        match conn.read(&mut b) {
+            Ok(0) | Err(_) => {
+                return (!out.is_empty()).then(|| String::from_utf8_lossy(&out).into_owned())
+            }
+            Ok(_) if b[0] == b'\n' => {
+                return Some(String::from_utf8_lossy(&out).into_owned())
+            }
+            Ok(_) => out.push(b[0]),
+        }
+    }
+}
+
+fn proxy_over(net: &SimNet, n: usize) -> ServiceAddr {
+    let addr = ServiceAddr::new("rddr-json", 80);
+    let proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &addr,
+        (0..n as u16).map(|i| ServiceAddr::new("api", 9000 + i)).collect(),
+        EngineConfig::builder(n)
+            .response_deadline(Duration::from_secs(2))
+            .build()
+            .unwrap(),
+        json(),
+    )
+    .unwrap();
+    std::mem::forget(proxy); // lives for the test process
+    addr
+}
+
+#[test]
+fn key_order_and_whitespace_do_not_diverge() {
+    let net = SimNet::new();
+    // Two "implementations" serializing the same object differently.
+    spawn_json_service(&net, ServiceAddr::new("api", 9000), |req| {
+        format!("{{\"user\": \"{req}\", \"balance\": 42, \"roles\": [\"a\", \"b\"]}}")
+    });
+    spawn_json_service(&net, ServiceAddr::new("api", 9001), |req| {
+        format!(
+            "{{ \"roles\" : [ \"a\" , \"b\" ] , \"balance\" : 42 , \"user\" : \"{req}\" }}"
+        )
+    });
+    let addr = proxy_over(&net, 2);
+    let mut conn = net.dial(&addr).unwrap();
+    conn.write_all(b"ada\n").unwrap();
+    let reply = read_line(&mut conn).expect("structural equality must forward");
+    // Instance 0's literal serialization is forwarded.
+    assert!(reply.contains("\"user\": \"ada\""), "{reply}");
+}
+
+#[test]
+fn value_divergence_is_detected() {
+    let net = SimNet::new();
+    spawn_json_service(&net, ServiceAddr::new("api", 9000), |req| {
+        format!("{{\"user\": \"{req}\", \"balance\": 42}}")
+    });
+    spawn_json_service(&net, ServiceAddr::new("api", 9001), |req| {
+        format!("{{\"user\": \"{req}\", \"balance\": 999999}}")
+    });
+    let addr = proxy_over(&net, 2);
+    let mut conn = net.dial(&addr).unwrap();
+    conn.write_all(b"ada\n").unwrap();
+    assert!(read_line(&mut conn).is_none(), "differing values must sever");
+}
+
+#[test]
+fn structural_divergence_is_detected() {
+    let net = SimNet::new();
+    spawn_json_service(&net, ServiceAddr::new("api", 9000), |req| {
+        format!("{{\"user\": \"{req}\"}}")
+    });
+    spawn_json_service(&net, ServiceAddr::new("api", 9001), |req| {
+        format!("{{\"user\": \"{req}\", \"debug_internal\": \"s3cr3t-dsn\"}}")
+    });
+    let addr = proxy_over(&net, 2);
+    let mut conn = net.dial(&addr).unwrap();
+    conn.write_all(b"ada\n").unwrap();
+    assert!(
+        read_line(&mut conn).is_none(),
+        "an extra leaked field must sever"
+    );
+}

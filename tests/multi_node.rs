@@ -1,0 +1,129 @@
+//! The §VI discussion, demonstrated: "Such degradation can be mitigated by
+//! upgrading to servers with more cores, or deploying each instance of the
+//! N-versioned set on a different machine; RDDR can easily be reconfigured
+//! to run distributed across multiple hosts."
+//!
+//! We saturate a 3-version set on one small node, then place each instance
+//! on its own node and watch throughput recover toward the single-instance
+//! baseline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rddr_repro::core::EngineConfig;
+use rddr_repro::net::{Network, ServiceAddr};
+use rddr_repro::orchestra::{Cluster, ContainerHandle, Image};
+use rddr_repro::pgsim::{pgbench, Database, PgClient, PgServer, PgServerConfig, PgVersion};
+use rddr_repro::protocols::PgProtocol;
+use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
+
+const VCPUS_PER_NODE: usize = 4;
+const CLIENTS: usize = 8;
+const TXNS: usize = 30;
+
+fn pg() -> ProtocolFactory {
+    Arc::new(|| Box::new(PgProtocol::new()))
+}
+
+fn cost() -> PgServerConfig {
+    PgServerConfig {
+        base_cost: Duration::from_millis(2),
+        cost_per_row: Duration::from_micros(10),
+    }
+}
+
+fn fresh_db() -> Database {
+    let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+    pgbench::load(&mut db, 1).unwrap();
+    db
+}
+
+/// Deploys 3 instances + proxy, placing instance *i* on `placement(i)`.
+fn deploy(
+    cluster: &Cluster,
+    placement: impl Fn(usize) -> usize,
+) -> (Vec<ContainerHandle>, IncomingProxy, ServiceAddr) {
+    let mut handles = Vec::new();
+    for i in 0..3usize {
+        handles.push(
+            cluster
+                .run_container_on(
+                    placement(i),
+                    format!("pg-{i}"),
+                    Image::new("postgres", "10.7"),
+                    &ServiceAddr::new("pg", 5432 + i as u16),
+                    Arc::new(PgServer::with_config(fresh_db(), cost())),
+                )
+                .unwrap(),
+        );
+    }
+    let addr = ServiceAddr::new("rddr", 5432);
+    let proxy = IncomingProxy::start(
+        Arc::new(cluster.net()),
+        &addr,
+        (0..3).map(|i| ServiceAddr::new("pg", 5432 + i)).collect(),
+        EngineConfig::builder(3)
+            .filter_pair(0, 1)
+            .response_deadline(Duration::from_secs(20))
+            .build()
+            .unwrap(),
+        pg(),
+    )
+    .unwrap();
+    (handles, proxy, addr)
+}
+
+fn measure_throughput(cluster: &Cluster, addr: &ServiceAddr) -> f64 {
+    let t0 = Instant::now();
+    let accounts = pgbench::ACCOUNTS_PER_BRANCH;
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let net = cluster.net();
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let conn = net.dial(&addr).unwrap();
+                let mut client = PgClient::connect(conn, "app").unwrap();
+                let mut workload =
+                    pgbench::SelectWorkload::new(accounts, client_id as u64);
+                for _ in 0..TXNS {
+                    let r = client.query(&workload.next_query()).unwrap();
+                    assert!(r.error.is_none());
+                }
+            });
+        }
+    });
+    (CLIENTS * TXNS) as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[test]
+fn spreading_instances_across_nodes_recovers_throughput() {
+    // Co-located: all three instances compete for one 4-vCPU node.
+    let colocated = Cluster::multi_node(1, VCPUS_PER_NODE, 1.0);
+    let (_h1, _p1, addr1) = deploy(&colocated, |_| 0);
+    let tps_colocated = measure_throughput(&colocated, &addr1);
+
+    // Distributed: one instance per node, three 4-vCPU nodes.
+    let distributed = Cluster::multi_node(3, VCPUS_PER_NODE, 1.0);
+    let (_h2, _p2, addr2) = deploy(&distributed, |i| i);
+    let tps_distributed = measure_throughput(&distributed, &addr2);
+
+    // Demand: 8 clients x 3 instances x 2ms = 48 ms-of-work per wall-ms,
+    // against 4 slots co-located (12x oversubscribed) vs 4 per node
+    // distributed (4x oversubscribed per node). Expect a solid speedup.
+    assert!(
+        tps_distributed > tps_colocated * 1.8,
+        "distribution must relieve the saturation: {tps_colocated:.0} -> {tps_distributed:.0} tps"
+    );
+}
+
+#[test]
+fn node_governors_are_independent() {
+    let cluster = Cluster::multi_node(2, 2, 1.0);
+    assert_eq!(cluster.node_count(), 2);
+    let g0 = cluster.node_governor(0);
+    let g1 = cluster.node_governor(1);
+    let meter = rddr_repro::orchestra::ResourceMeter::new();
+    g0.consume(&meter, Duration::from_millis(1));
+    assert!(g0.busy_micros() >= 1000);
+    assert_eq!(g1.busy_micros(), 0, "work on node 0 must not touch node 1");
+}

@@ -1,0 +1,115 @@
+//! The flip side of N-versioning (§II, citing Knight & Leveson): with **no
+//! diversity** — every instance sharing the same bug — the instances leak
+//! *identically*, RDDR sees unanimity, and the attack succeeds. "The attack
+//! surface of the system is the intersection of the attack surfaces of all
+//! instances." This test pins that honest negative behaviour.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::EngineConfig;
+use rddr_repro::httpsim::{HttpClient, NginxSim, NginxVersion};
+use rddr_repro::net::ServiceAddr;
+use rddr_repro::orchestra::{Cluster, Image};
+use rddr_repro::protocols::HttpProtocol;
+use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
+
+fn http() -> ProtocolFactory {
+    Arc::new(|| Box::new(HttpProtocol::new()))
+}
+
+#[test]
+fn identical_vulnerable_instances_leak_in_unison() {
+    let cluster = Cluster::new(4);
+    let mut handles = Vec::new();
+    // Both instances run the SAME vulnerable version with the SAME adjacent
+    // cache contents — zero diversity.
+    for i in 0..2u16 {
+        let server = NginxSim::file_server(NginxVersion::parse("1.13.2"));
+        server.publish("/f", b"doc".to_vec(), b"SHARED-SECRET".to_vec());
+        handles.push(
+            cluster
+                .run_container(
+                    format!("nginx-{i}"),
+                    Image::new("nginx", "1.13.2"),
+                    &ServiceAddr::new("nginx", 8000 + i),
+                    Arc::new(server),
+                )
+                .unwrap(),
+        );
+    }
+    let proxy = IncomingProxy::start(
+        Arc::new(cluster.net()),
+        &ServiceAddr::new("rddr", 80),
+        vec![ServiceAddr::new("nginx", 8000), ServiceAddr::new("nginx", 8001)],
+        EngineConfig::builder(2)
+            .response_deadline(Duration::from_secs(2))
+            .build()
+            .unwrap(),
+        http(),
+    )
+    .unwrap();
+
+    let net = cluster.net();
+    let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("rddr", 80)).unwrap();
+    attacker
+        .send_raw(b"GET /f HTTP/1.1\r\nHost: n\r\nRange: bytes=-9223372036854775608\r\n\r\n")
+        .unwrap();
+    let resp = attacker.read_response().unwrap();
+    // Unanimous leak: RDDR forwards it — N-versioning is only as strong as
+    // the diversity behind it.
+    assert_eq!(resp.status, 206);
+    assert!(
+        resp.body_text().contains("SHARED-SECRET"),
+        "a common-mode bug must pass RDDR undetected (by design)"
+    );
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(proxy.stats().divergences, 0);
+}
+
+#[test]
+fn adding_one_patched_instance_restores_the_defence() {
+    // Same deployment plus a third, patched instance: the intersection of
+    // attack surfaces shrinks and the leak is caught again.
+    let cluster = Cluster::new(4);
+    let mut handles = Vec::new();
+    for (i, version) in ["1.13.2", "1.13.2", "1.13.4"].iter().enumerate() {
+        let server = NginxSim::file_server(NginxVersion::parse(version));
+        server.publish("/f", b"doc".to_vec(), b"SHARED-SECRET".to_vec());
+        handles.push(
+            cluster
+                .run_container(
+                    format!("nginx-{i}"),
+                    Image::new("nginx", *version),
+                    &ServiceAddr::new("nginx", 8000 + i as u16),
+                    Arc::new(server),
+                )
+                .unwrap(),
+        );
+    }
+    let proxy = IncomingProxy::start(
+        Arc::new(cluster.net()),
+        &ServiceAddr::new("rddr", 80),
+        (0..3).map(|i| ServiceAddr::new("nginx", 8000 + i)).collect(),
+        EngineConfig::builder(3)
+            .filter_pair(0, 1)
+            .response_deadline(Duration::from_secs(2))
+            .build()
+            .unwrap(),
+        http(),
+    )
+    .unwrap();
+
+    let net = cluster.net();
+    let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("rddr", 80)).unwrap();
+    attacker
+        .send_raw(b"GET /f HTTP/1.1\r\nHost: n\r\nRange: bytes=-9223372036854775608\r\n\r\n")
+        .unwrap();
+    let blocked = match attacker.read_response() {
+        Err(_) => true,
+        Ok(resp) => resp.status == 403 && !resp.body_text().contains("SHARED-SECRET"),
+    };
+    assert!(blocked, "one diverse instance is enough to catch the leak");
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(proxy.stats().divergences, 1);
+}

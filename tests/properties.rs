@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: the de-noise mask, ephemeral tokens, glob matching, LIKE,
+//! the toy `rle` coding, JSON parsing, SQL round trips, and value ordering.
+
+use proptest::prelude::*;
+
+use rddr_repro::core::{
+    diff_segments, EphemeralStore, GlobPattern, NoiseMask, Segment, SignatureThrottle,
+    VarianceRules,
+};
+use rddr_repro::pgsim::{Database, PgVersion, Value};
+use rddr_repro::protocols::http::{rle_decode, rle_encode};
+use rddr_repro::protocols::parse_json;
+
+fn segs(lines: &[String]) -> Vec<Segment> {
+    lines.iter().map(|l| Segment::new("line", l.as_bytes().to_vec())).collect()
+}
+
+proptest! {
+    /// Identical outputs never diverge, whatever they contain.
+    #[test]
+    fn identical_outputs_never_diverge(lines in proptest::collection::vec(".{0,40}", 0..20)) {
+        let instances: Vec<Vec<Segment>> = (0..3).map(|_| segs(&lines)).collect();
+        let out = diff_segments(&instances, &NoiseMask::none(), &VarianceRules::new());
+        prop_assert!(!out.report.diverged());
+    }
+
+    /// Any single-segment payload change on a non-reference instance is
+    /// detected when no masking applies.
+    #[test]
+    fn payload_change_is_detected(
+        lines in proptest::collection::vec("[a-z]{1,20}", 1..10),
+        idx in 0usize..10,
+        suffix in "[A-Z]{1,8}",
+    ) {
+        let idx = idx % lines.len();
+        let mut mutated = lines.clone();
+        mutated[idx] = format!("{}{}", mutated[idx], suffix);
+        let instances = vec![segs(&lines), segs(&mutated)];
+        let out = diff_segments(&instances, &NoiseMask::none(), &VarianceRules::new());
+        prop_assert!(out.report.diverged());
+    }
+
+    /// The filter-pair mask makes the pair itself always compare equal —
+    /// the core soundness property of the de-noiser.
+    #[test]
+    fn filter_pair_canonicalizes_itself_equal(
+        common_prefix in "[a-z]{0,10}",
+        noise_a in "[0-9a-f]{1,12}",
+        noise_b in "[0-9a-f]{1,12}",
+        common_suffix in "[a-z]{0,10}",
+    ) {
+        let a = segs(&[format!("{common_prefix}{noise_a}{common_suffix}")]);
+        let b = segs(&[format!("{common_prefix}{noise_b}{common_suffix}")]);
+        let mask = NoiseMask::from_filter_pair(&a, &b);
+        let canon_a = mask.apply(0, &a[0].payload);
+        let canon_b = mask.apply(0, &b[0].payload);
+        prop_assert_eq!(canon_a, canon_b);
+    }
+
+    /// A captured ephemeral token substitutes round-trip: instance i always
+    /// receives exactly its own token.
+    #[test]
+    fn ephemeral_substitution_round_trips(
+        t0 in "[a-zA-Z0-9]{10,20}",
+        t1 in "[a-zA-Z0-9]{10,20}",
+        t2 in "[a-zA-Z0-9]{10,20}",
+    ) {
+        prop_assume!(t0 != t1 && t1 != t2 && t0 != t2);
+        let mut store = EphemeralStore::new();
+        let pages: Vec<Vec<u8>> = [&t0, &t1, &t2]
+            .iter()
+            .map(|t| format!("<input value=\"{t}\">").into_bytes())
+            .collect();
+        let views: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+        let token = store.scan_position(&views);
+        prop_assume!(token.is_some()); // prefixes may overlap pathologically
+        let request = format!("POST /x token={t0} end");
+        for (i, expected) in [&t0, &t1, &t2].iter().enumerate() {
+            let rewritten = store.substitute(request.as_bytes(), i);
+            let text = String::from_utf8_lossy(&rewritten).into_owned();
+            prop_assert!(text.contains(expected.as_str()), "{i}: {text}");
+        }
+    }
+
+    /// Glob: a pattern built by wildcard-ing a string always matches it.
+    #[test]
+    fn glob_self_match(s in "[a-zA-Z0-9 ]{1,30}", cut in 0usize..30) {
+        let cut = cut % s.len();
+        let pattern = format!("{}*{}", &s[..cut], &s[cut..]);
+        let g = GlobPattern::new(&pattern).unwrap();
+        prop_assert!(g.matches(s.as_bytes()));
+    }
+
+    /// Glob: a literal pattern matches exactly itself.
+    #[test]
+    fn glob_literal_exactness(s in "[a-zA-Z0-9]{1,20}", other in "[a-zA-Z0-9]{1,20}") {
+        let g = GlobPattern::new(&s).unwrap();
+        prop_assert!(g.matches(s.as_bytes()));
+        prop_assert_eq!(g.matches(other.as_bytes()), s == other);
+    }
+
+    /// rle: decode(encode(x)) == x for arbitrary bytes.
+    #[test]
+    fn rle_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = rle_encode(&data);
+        prop_assert_eq!(rle_decode(&encoded).unwrap(), data);
+    }
+
+    /// Signature throttle: recording a request makes exactly that request
+    /// refusable; others stay unaffected.
+    #[test]
+    fn throttle_is_precise(bad in proptest::collection::vec(any::<u8>(), 1..64),
+                           good in proptest::collection::vec(any::<u8>(), 1..64)) {
+        prop_assume!(bad != good);
+        let mut t = SignatureThrottle::new(0);
+        t.record(&bad);
+        prop_assert!(t.should_refuse(&bad));
+        prop_assert!(!t.should_refuse(&good));
+    }
+
+    /// JSON: integers round-trip through render + reparse.
+    #[test]
+    fn json_number_round_trip(n in -1_000_000_000i64..1_000_000_000) {
+        let doc = format!("{{\"v\": {n}}}");
+        let parsed = parse_json(&doc).unwrap();
+        let rendered = parsed.to_string();
+        let reparsed = parse_json(&rendered).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// JSON: escaped strings round-trip.
+    #[test]
+    fn json_string_round_trip(s in "[a-zA-Z0-9 \\\\\"\n\t]{0,40}") {
+        let escaped = s
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+            .replace('\t', "\\t");
+        let doc = format!("\"{escaped}\"");
+        let parsed = parse_json(&doc).unwrap();
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    /// SQL: inserted rows are retrievable by key and COUNT agrees.
+    #[test]
+    fn sql_insert_select_round_trip(rows in proptest::collection::btree_map(
+        0i64..1000, "[a-zA-Z0-9]{0,12}", 1..20)) {
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        let mut session = db.session("app");
+        db.execute(&mut session, "CREATE TABLE t (id INT, name TEXT)").unwrap();
+        let values: Vec<String> =
+            rows.iter().map(|(k, v)| format!("({k}, '{v}')")).collect();
+        db.execute(&mut session, &format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+        let count = db.execute(&mut session, "SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(count.rows[0][0].to_string(), rows.len().to_string());
+        for (k, v) in rows.iter().take(5) {
+            let r = db
+                .execute(&mut session, &format!("SELECT name FROM t WHERE id = {k}"))
+                .unwrap();
+            prop_assert_eq!(r.rows.len(), 1);
+            prop_assert_eq!(r.rows[0][0].to_string(), v.clone());
+        }
+    }
+
+    /// Value::total_cmp is antisymmetric and transitive on a sample triple.
+    #[test]
+    fn value_total_cmp_is_consistent(a in -100i64..100, b in -100i64..100, c in -100i64..100) {
+        let (va, vb, vc) = (Value::Int(a), Value::Float(b as f64), Value::Int(c));
+        let ab = va.total_cmp(&vb);
+        let ba = vb.total_cmp(&va);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab != std::cmp::Ordering::Greater && vb.total_cmp(&vc) != std::cmp::Ordering::Greater {
+            prop_assert_ne!(va.total_cmp(&vc), std::cmp::Ordering::Greater);
+        }
+    }
+
+    /// ORDER BY sorts whatever we throw at it.
+    #[test]
+    fn sql_order_by_sorts(mut xs in proptest::collection::vec(-1000i64..1000, 1..30)) {
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        let mut session = db.session("app");
+        db.execute(&mut session, "CREATE TABLE t (x INT)").unwrap();
+        let values: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+        db.execute(&mut session, &format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+        let r = db.execute(&mut session, "SELECT x FROM t ORDER BY x").unwrap();
+        xs.sort_unstable();
+        let got: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| row[0].to_string().parse().unwrap())
+            .collect();
+        prop_assert_eq!(got, xs);
+    }
+}

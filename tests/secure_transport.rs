@@ -1,0 +1,165 @@
+//! The encrypted-transport path (§IV-B1): the paper's RDDR supports
+//! "encrypted SSL/TLS … at the transport layer". Here a whole N-versioned
+//! deployment runs over the toy keystream channel (`SecureNet`, this
+//! repository's documented TLS stand-in): client↔proxy and proxy↔instance
+//! links are all encrypted, and the proxies still replicate, diff and sever
+//! on the decrypted plaintext.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::protocol::LineProtocol;
+use rddr_repro::core::EngineConfig;
+use rddr_repro::net::{
+    BoxStream, Network, PresharedKey, SecureNet, ServiceAddr, SimNet, Stream,
+};
+use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
+
+fn line() -> ProtocolFactory {
+    Arc::new(|| Box::new(LineProtocol::new()))
+}
+
+fn key() -> PresharedKey {
+    PresharedKey::new("cluster-psk").unwrap()
+}
+
+/// Starts a line-echo server on `net` that appends `suffix` to each line.
+fn spawn_secure_echo(net: Arc<dyn Network>, addr: ServiceAddr, suffix: &'static str) {
+    let mut listener = net.listen(&addr).unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 512];
+                loop {
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        let mut reply = line[..line.len() - 1].to_vec();
+                        reply.extend_from_slice(suffix.as_bytes());
+                        reply.push(b'\n');
+                        if conn.write_all(&reply).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn read_line(conn: &mut BoxStream) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut b = [0u8; 1];
+    loop {
+        match conn.read(&mut b) {
+            Ok(0) | Err(_) => return (!out.is_empty()).then_some(out),
+            Ok(_) if b[0] == b'\n' => return Some(out),
+            Ok(_) => out.push(b[0]),
+        }
+    }
+}
+
+#[test]
+fn whole_deployment_runs_encrypted() {
+    let fabric = SimNet::new();
+    let secure: Arc<dyn Network> = Arc::new(SecureNet::new(fabric.clone(), key()));
+
+    spawn_secure_echo(Arc::clone(&secure), ServiceAddr::new("svc", 9000), "");
+    spawn_secure_echo(Arc::clone(&secure), ServiceAddr::new("svc", 9001), "");
+    let _proxy = IncomingProxy::start(
+        Arc::clone(&secure),
+        &ServiceAddr::new("rddr", 443),
+        vec![ServiceAddr::new("svc", 9000), ServiceAddr::new("svc", 9001)],
+        EngineConfig::builder(2)
+            .response_deadline(Duration::from_secs(2))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+
+    let mut client = secure.dial(&ServiceAddr::new("rddr", 443)).unwrap();
+    client.write_all(b"confidential query\n").unwrap();
+    assert_eq!(read_line(&mut client).unwrap(), b"confidential query");
+    // Several exchanges keep the shared keystreams in sequence.
+    for i in 0..5 {
+        let msg = format!("msg {i}\n");
+        client.write_all(msg.as_bytes()).unwrap();
+        assert_eq!(read_line(&mut client).unwrap(), msg.trim_end().as_bytes());
+    }
+}
+
+#[test]
+fn divergence_is_detected_on_decrypted_plaintext() {
+    let fabric = SimNet::new();
+    let secure: Arc<dyn Network> = Arc::new(SecureNet::new(fabric.clone(), key()));
+    spawn_secure_echo(Arc::clone(&secure), ServiceAddr::new("svc", 9000), "");
+    spawn_secure_echo(Arc::clone(&secure), ServiceAddr::new("svc", 9001), " LEAK");
+    let _proxy = IncomingProxy::start(
+        Arc::clone(&secure),
+        &ServiceAddr::new("rddr", 443),
+        vec![ServiceAddr::new("svc", 9000), ServiceAddr::new("svc", 9001)],
+        EngineConfig::builder(2)
+            .response_deadline(Duration::from_secs(2))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+    let mut client = secure.dial(&ServiceAddr::new("rddr", 443)).unwrap();
+    client.write_all(b"probe\n").unwrap();
+    assert!(
+        read_line(&mut client).is_none(),
+        "divergence must sever even under encryption"
+    );
+}
+
+#[test]
+fn plaintext_never_crosses_the_fabric() {
+    // Tap the raw fabric under the secure overlay: the bytes on the wire
+    // must not contain the plaintext.
+    let fabric = SimNet::new();
+    let secure = SecureNet::new(fabric.clone(), key());
+    let mut listener = secure.listen(&ServiceAddr::new("svc", 1)).unwrap();
+    let server = std::thread::spawn(move || {
+        let mut conn = listener.accept().unwrap();
+        let mut buf = [0u8; 11];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"SUPERSECRET");
+        conn.write_all(b"GOTIT").unwrap();
+    });
+
+    // A raw man-in-the-middle reading the fabric sees only ciphertext: we
+    // verify indirectly by dialing the *raw* fabric — the handshake bytes
+    // it sends are not the plaintext, and a raw peer cannot complete the
+    // key confirmation.
+    let mut client = secure.dial(&ServiceAddr::new("svc", 1)).unwrap();
+    client.write_all(b"SUPERSECRET").unwrap();
+    let mut reply = [0u8; 5];
+    client.read_exact(&mut reply).unwrap();
+    assert_eq!(&reply, b"GOTIT");
+    server.join().unwrap();
+
+    // Raw (non-handshaking) client is rejected by the secure listener.
+    let mut second = secure.listen(&ServiceAddr::new("svc", 2)).unwrap();
+    let reject = std::thread::spawn(move || second.accept().is_err());
+    let mut raw = fabric.dial(&ServiceAddr::new("svc", 2)).unwrap();
+    raw.write_all(b"not a handshake at all, definitely").unwrap();
+    raw.shutdown();
+    assert!(reject.join().unwrap(), "secure listener must reject raw peers");
+}
+
+#[test]
+fn wrong_key_client_cannot_connect() {
+    let fabric = SimNet::new();
+    let secure = SecureNet::new(fabric.clone(), key());
+    let mut listener = secure.listen(&ServiceAddr::new("svc", 3)).unwrap();
+    let acceptor = std::thread::spawn(move || listener.accept().is_err());
+    let imposter = SecureNet::new(fabric, PresharedKey::new("wrong").unwrap());
+    assert!(imposter.dial(&ServiceAddr::new("svc", 3)).is_err());
+    assert!(acceptor.join().unwrap());
+}

@@ -1,0 +1,110 @@
+//! The same RDDR deployment over real TCP sockets ([`TcpNet`]): the
+//! production transport the paper's Kubernetes deployment would use.
+//! Deployments written against `rddr_net::Network` run unchanged.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::protocol::LineProtocol;
+use rddr_repro::core::EngineConfig;
+use rddr_repro::net::{BoxStream, Network, ServiceAddr, Stream, TcpNet};
+use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
+
+fn line() -> ProtocolFactory {
+    Arc::new(|| Box::new(LineProtocol::new()))
+}
+
+/// Starts a TCP line server on an ephemeral port, returning its address.
+/// `transform` maps each request line to the reply line.
+fn spawn_tcp_line_server(
+    transform: impl Fn(&str) -> String + Send + Sync + Clone + 'static,
+) -> ServiceAddr {
+    let net = TcpNet::new();
+    let mut listener = net.listen(&ServiceAddr::new("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            let transform = transform.clone();
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let raw: Vec<u8> = buf.drain(..=pos).collect();
+                        let text = String::from_utf8_lossy(&raw[..raw.len() - 1]).into_owned();
+                        let reply = format!("{}\n", transform(&text));
+                        if conn.write_all(reply.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn read_line(conn: &mut BoxStream) -> Option<String> {
+    let mut out = Vec::new();
+    let mut b = [0u8; 1];
+    loop {
+        match conn.read(&mut b) {
+            Ok(0) | Err(_) => {
+                return (!out.is_empty()).then(|| String::from_utf8_lossy(&out).into_owned())
+            }
+            Ok(_) if b[0] == b'\n' => {
+                return Some(String::from_utf8_lossy(&out).into_owned())
+            }
+            Ok(_) => out.push(b[0]),
+        }
+    }
+}
+
+#[test]
+fn rddr_over_real_tcp_forwards_and_severs() {
+    let instance_a = spawn_tcp_line_server(|req| format!("resp:{req}"));
+    let instance_b = spawn_tcp_line_server(|req| {
+        if req.contains("exploit") {
+            format!("resp:{req} PLUS-A-LEAK")
+        } else {
+            format!("resp:{req}")
+        }
+    });
+
+    let proxy = IncomingProxy::start(
+        Arc::new(TcpNet::new()),
+        &ServiceAddr::new("127.0.0.1", 0),
+        vec![instance_a, instance_b],
+        EngineConfig::builder(2)
+            .response_deadline(Duration::from_secs(3))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+    let proxy_addr = proxy.listen_addr().clone();
+    assert_ne!(proxy_addr.port(), 0, "ephemeral port must be resolved");
+
+    let net = TcpNet::new();
+    // Benign traffic flows over real sockets.
+    let mut client = net.dial(&proxy_addr).unwrap();
+    client.write_all(b"hello\n").unwrap();
+    assert_eq!(read_line(&mut client).as_deref(), Some("resp:hello"));
+    client.write_all(b"again\n").unwrap();
+    assert_eq!(read_line(&mut client).as_deref(), Some("resp:again"));
+
+    // The divergent exploit is severed.
+    let mut attacker = net.dial(&proxy_addr).unwrap();
+    attacker.write_all(b"exploit\n").unwrap();
+    let reply = read_line(&mut attacker);
+    assert!(
+        reply.as_deref().is_none_or(|r| !r.contains("LEAK")),
+        "leak must not cross real TCP either: {reply:?}"
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(proxy.stats().divergences, 1);
+}

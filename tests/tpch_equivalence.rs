@@ -1,0 +1,82 @@
+//! TPC-H through the full wire stack: the 3-versioned RDDR deployment must
+//! return byte-identical results to the single-instance baseline for the
+//! whole 21-query benchmark set — the invariant behind Figure 4's "we are
+//! not expected to diverge under benign load".
+
+use std::time::Duration;
+
+use rddr_bench::deploy::{deploy_pg_baseline, deploy_pg_rddr};
+use rddr_repro::net::Network;
+use rddr_repro::pgsim::{tpch, Database, PgClient, PgServerConfig};
+
+fn quick() -> PgServerConfig {
+    PgServerConfig {
+        base_cost: Duration::from_micros(5),
+        cost_per_row: Duration::from_nanos(100),
+    }
+}
+
+#[test]
+fn rddr_and_baseline_answer_identically_on_all_benchmark_queries() {
+    let sf = 0.05;
+    let seed = move |db: &mut Database| tpch::load(db, sf).expect("tpch loads");
+    let baseline = deploy_pg_baseline(&seed, quick(), 8, 0.001);
+    let rddr = deploy_pg_rddr(&seed, quick(), 8, 0.001);
+
+    let mut base_client = PgClient::connect(
+        baseline.cluster.net().dial(&baseline.addr).unwrap(),
+        "app",
+    )
+    .unwrap();
+    let mut rddr_client =
+        PgClient::connect(rddr.cluster.net().dial(&rddr.addr).unwrap(), "app").unwrap();
+
+    for number in tpch::benchmark_query_numbers() {
+        let query = tpch::QUERIES.iter().find(|q| q.number == number).unwrap();
+        let a = base_client.query(query.sql).unwrap();
+        let b = rddr_client.query(query.sql).unwrap();
+        assert!(a.error.is_none(), "Q{number} baseline error: {:?}", a.error);
+        assert!(b.error.is_none(), "Q{number} rddr error: {:?}", b.error);
+        assert_eq!(a.columns, b.columns, "Q{number} column names");
+        assert_eq!(a.rows, b.rows, "Q{number} result rows");
+    }
+    if let Some(stats) = rddr.proxy_stats() {
+        assert_eq!(stats.divergences, 0, "benign TPC-H must never diverge");
+    }
+}
+
+#[test]
+fn tpch_loader_is_identical_across_instances() {
+    // The 3 instances of the RDDR deployment must hold byte-identical data,
+    // otherwise every query would be a false positive.
+    let sf = 0.05;
+    let mut dbs: Vec<Database> = (0..3)
+        .map(|_| {
+            let mut db =
+                Database::new(rddr_repro::pgsim::PgVersion::parse("10.7").unwrap());
+            tpch::load(&mut db, sf).unwrap();
+            db
+        })
+        .collect();
+    let checks = [
+        "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem",
+        "SELECT COUNT(*), SUM(o_totalprice) FROM orders",
+        "SELECT COUNT(*) FROM partsupp",
+    ];
+    for sql in checks {
+        let mut reference: Option<Vec<Vec<String>>> = None;
+        for db in dbs.iter_mut() {
+            let mut s = db.session("app");
+            let r = db.execute(&mut s, sql).unwrap();
+            let rows: Vec<Vec<String>> = r
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|v| v.to_string()).collect())
+                .collect();
+            match &reference {
+                None => reference = Some(rows),
+                Some(expected) => assert_eq!(&rows, expected, "{sql}"),
+            }
+        }
+    }
+}
