@@ -18,8 +18,7 @@ fn segments(lines: usize, salt: &str) -> Vec<Segment> {
 fn bench_diff(c: &mut Criterion) {
     let mut group = c.benchmark_group("diff_segments");
     for &lines in &[10usize, 100, 1000] {
-        let identical: Vec<Vec<Segment>> =
-            (0..3).map(|_| segments(lines, "same")).collect();
+        let identical: Vec<Vec<Segment>> = (0..3).map(|_| segments(lines, "same")).collect();
         group.bench_with_input(
             BenchmarkId::new("unanimous_3way", lines),
             &identical,
@@ -97,14 +96,19 @@ fn bench_ephemeral(c: &mut Criterion) {
 fn bench_engine_n_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_exchange_vs_n");
     for n in 2..=6usize {
-        let responses: Vec<Vec<u8>> =
-            (0..n).map(|_| b"alpha\nbravo\ncharlie\n".to_vec()).collect();
+        let responses: Vec<Vec<u8>> = (0..n)
+            .map(|_| b"alpha\nbravo\ncharlie\n".to_vec())
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &responses, |b, resp| {
             let mut engine = NVersionEngine::new(
                 EngineConfig::builder(n).build().unwrap(),
                 LineProtocol::new(),
             );
-            b.iter(|| engine.evaluate_responses(std::hint::black_box(resp)).unwrap())
+            b.iter(|| {
+                engine
+                    .evaluate_responses(std::hint::black_box(resp))
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -42,19 +42,41 @@ fn bench_http(c: &mut Criterion) {
 fn bench_pg(c: &mut Criterion) {
     let p = PgProtocol::new();
     let mut wire = Vec::new();
-    wire.extend(PgMessage { tag: b'T', payload: "col_a\u{1f}col_b".as_bytes().to_vec() }.encode());
+    wire.extend(
+        PgMessage {
+            tag: b'T',
+            payload: "col_a\u{1f}col_b".as_bytes().to_vec(),
+        }
+        .encode(),
+    );
     for i in 0..100 {
         wire.extend(
-            PgMessage { tag: b'D', payload: format!("{i}\u{1f}value-{i}").into_bytes() }
-                .encode(),
+            PgMessage {
+                tag: b'D',
+                payload: format!("{i}\u{1f}value-{i}").into_bytes(),
+            }
+            .encode(),
         );
     }
-    wire.extend(PgMessage { tag: b'C', payload: b"SELECT 100".to_vec() }.encode());
-    wire.extend(PgMessage { tag: b'Z', payload: b"I".to_vec() }.encode());
+    wire.extend(
+        PgMessage {
+            tag: b'C',
+            payload: b"SELECT 100".to_vec(),
+        }
+        .encode(),
+    );
+    wire.extend(
+        PgMessage {
+            tag: b'Z',
+            payload: b"I".to_vec(),
+        }
+        .encode(),
+    );
     c.bench_function("pg_split_frames_100_rows", |b| {
         b.iter(|| {
             let mut buf = BytesMut::from(&wire[..]);
-            p.split_frames(std::hint::black_box(&mut buf), Direction::Response).unwrap()
+            p.split_frames(std::hint::black_box(&mut buf), Direction::Response)
+                .unwrap()
         })
     });
 }

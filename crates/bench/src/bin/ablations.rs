@@ -17,8 +17,11 @@ use rddr_core::{EngineConfig, NVersionEngine, RddrError, ResponsePolicy, Verdict
 fn session_page(instance: usize, request: usize) -> Vec<u8> {
     // A service that embeds a per-instance random session id: the classic
     // nondeterminism RDDR's filter pair exists to absorb (§IV-B2).
-    format!("page {request} sid={instance:04x}{:08x}\n", instance * 2654435761 % 997)
-        .into_bytes()
+    format!(
+        "page {request} sid={instance:04x}{:08x}\n",
+        instance * 2654435761 % 997
+    )
+    .into_bytes()
 }
 
 fn ablation_denoise() {
@@ -32,8 +35,7 @@ fn ablation_denoise() {
         let mut engine = NVersionEngine::new(builder.build().unwrap(), LineProtocol::new());
         let mut false_positives = 0;
         for request in 0..100 {
-            let responses: Vec<Vec<u8>> =
-                (0..3).map(|i| session_page(i, request)).collect();
+            let responses: Vec<Vec<u8>> = (0..3).map(|i| session_page(i, request)).collect();
             match engine.evaluate_responses(&responses).unwrap() {
                 Verdict::Unanimous(_) => {}
                 Verdict::Divergent(_) => false_positives += 1,
@@ -76,9 +78,7 @@ fn ablation_policy() {
                 answered += 1;
             }
         }
-        println!(
-            "  {policy:?}: answered {answered}/100, divergences detected {detected}/100"
-        );
+        println!("  {policy:?}: answered {answered}/100, divergences detected {detected}/100");
     }
     println!(
         "  => Block trades availability for certainty (the paper's choice for \
@@ -122,8 +122,10 @@ fn ablation_n_sweep() {
         .map(|_| b"line one\nline two\nline three\n".to_vec())
         .collect();
     for n in 2..=6 {
-        let mut engine =
-            NVersionEngine::new(EngineConfig::builder(n).build().unwrap(), LineProtocol::new());
+        let mut engine = NVersionEngine::new(
+            EngineConfig::builder(n).build().unwrap(),
+            LineProtocol::new(),
+        );
         let t0 = std::time::Instant::now();
         let rounds = 2_000;
         for _ in 0..rounds {

@@ -9,7 +9,7 @@
 //! approaching a constant.
 //!
 //! ```text
-//! cargo run --release -p rddr-bench --bin fig4_tpch
+//! cargo run --release -p rddr-bench --bin fig4_tpch [-- --json BENCH_fig4.json]
 //!   RDDR_TPCH_SF=0.1        # scale factor (default 0.1)
 //!   RDDR_VCPUS=32           # node size (default 32, the paper's m5a.8xlarge)
 //!   RDDR_TPCH_ROUNDS=1      # measured repetitions after warmup
@@ -17,19 +17,17 @@
 
 use rddr_bench::deploy::{deploy_pg_baseline, deploy_pg_rddr, PgDeployment};
 use rddr_bench::driver::run_tpch;
+use rddr_bench::report::{json_path_from_args, num, obj, summary_json, write_report};
 use rddr_bench::{env_f64, env_usize, Summary};
 use rddr_pgsim::{tpch, Database, PgServerConfig};
+use rddr_protocols::JsonValue;
 use std::time::Duration;
 
 /// Runs warmup + measured rounds, returning per-query best-of-rounds times
 /// (min filters host-scheduling noise — this harness also runs on small
 /// machines, unlike the paper's 32-core testbed) and the peak vCPU
 /// utilization observed during the measured window (the paper's "CPU max").
-fn measure(
-    deployment: &PgDeployment,
-    clients: usize,
-    rounds: usize,
-) -> (Vec<(u32, f64)>, f64) {
+fn measure(deployment: &PgDeployment, clients: usize, rounds: usize) -> (Vec<(u32, f64)>, f64) {
     run_tpch(deployment, clients); // warmup: caches, thread pools, memory
     let governor = deployment.cluster.governor();
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -67,6 +65,8 @@ fn main() {
     // not depend on the host's core count (the paper used 32 real cores).
     let time_scale = env_f64("RDDR_TIME_SCALE", 1.0);
     let rounds = env_usize("RDDR_TPCH_ROUNDS", 1);
+    let json_path = json_path_from_args();
+    let mut rows: Vec<JsonValue> = Vec::new();
     let cost = PgServerConfig {
         base_cost: Duration::from_millis(2),
         cost_per_row: Duration::from_micros(10),
@@ -100,9 +100,24 @@ fn main() {
             .collect();
         let time_summary = Summary::of(&normalized);
         let cpu_ratio = rddr_util / base_util.max(1e-9);
-        let mem_ratio =
-            rddr_usage.mem_peak_bytes as f64 / base_usage.mem_peak_bytes.max(1) as f64;
+        let mem_ratio = rddr_usage.mem_peak_bytes as f64 / base_usage.mem_peak_bytes.max(1) as f64;
         println!("{clients:>7}  {time_summary:<46}  {cpu_ratio:>7.2}x  {mem_ratio:>7.2}x");
+        rows.push(obj([
+            ("clients", num(clients as f64)),
+            ("normalized_time", summary_json(&time_summary)),
+            ("cpu_ratio", num(cpu_ratio)),
+            ("mem_ratio", num(mem_ratio)),
+            (
+                "per_query_normalized",
+                JsonValue::Array(
+                    base_times
+                        .iter()
+                        .zip(&normalized)
+                        .map(|((q, _), n)| obj([("query", num(*q as f64)), ("ratio", num(*n))]))
+                        .collect(),
+                ),
+            ),
+        ]));
         if let Some(stats) = rddr.proxy_stats() {
             assert_eq!(
                 stats.divergences, 0,
@@ -115,4 +130,14 @@ fn main() {
          toward 1x as the baseline saturates too; time overhead approaches \
          a constant rather than growing with clients."
     );
+    if let Some(path) = json_path {
+        let params = obj([
+            ("scale_factor", num(sf)),
+            ("vcpus", num(vcpus as f64)),
+            ("rounds", num(rounds as f64)),
+            ("time_scale", num(time_scale)),
+        ]);
+        write_report(&path, "fig4_tpch", params, rows).expect("write --json report");
+        println!("wrote {}", path.display());
+    }
 }

@@ -7,7 +7,7 @@
 //! exhaust the node's parallelism ~3× sooner than the baselines.
 //!
 //! ```text
-//! cargo run --release -p rddr-bench --bin fig5_pgbench
+//! cargo run --release -p rddr-bench --bin fig5_pgbench [-- --json BENCH_fig5.json]
 //!   RDDR_PGBENCH_SCALE=2    # branches (default 2 => 2000 accounts)
 //!   RDDR_PGBENCH_TXNS=100   # transactions per client (paper: 10,000)
 //!   RDDR_VCPUS=32
@@ -17,14 +17,17 @@ use rddr_bench::deploy::{
     deploy_pg_baseline, deploy_pg_envoy, deploy_pg_rddr, PgDeployment, PG_COST_MODEL,
 };
 use rddr_bench::driver::run_pgbench;
+use rddr_bench::report::{json_path_from_args, latency_json, num, obj, write_report};
 use rddr_bench::{env_f64, env_usize};
 use rddr_pgsim::{pgbench, Database};
+use rddr_protocols::JsonValue;
 
 fn main() {
     let scale = env_usize("RDDR_PGBENCH_SCALE", 2);
     let txns = env_usize("RDDR_PGBENCH_TXNS", 100);
     let vcpus = env_usize("RDDR_VCPUS", 32);
     let time_scale = env_f64("RDDR_TIME_SCALE", 1.0);
+    let json_path = json_path_from_args();
     let accounts = scale * pgbench::ACCOUNTS_PER_BRANCH;
     let seed = move |db: &mut Database| {
         pgbench::load(db, scale).expect("pgbench loads");
@@ -37,6 +40,7 @@ fn main() {
         "clients", "rddr tps", "envoy tps", "bare tps", "rddr ms", "envoy ms", "bare ms"
     );
 
+    let mut rows: Vec<JsonValue> = Vec::new();
     let clients_series = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
     for clients in clients_series {
         let deployments: Vec<PgDeployment> = vec![
@@ -46,6 +50,7 @@ fn main() {
         ];
         let mut tps = Vec::new();
         let mut lat = Vec::new();
+        let mut row = vec![("clients", num(clients as f64))];
         for d in &deployments {
             let outcome = run_pgbench(d, accounts, clients, txns);
             assert_eq!(
@@ -56,7 +61,15 @@ fn main() {
             );
             tps.push(outcome.throughput());
             lat.push(outcome.mean_latency_ms());
+            row.push((
+                d.label,
+                obj([
+                    ("tps", num(outcome.throughput())),
+                    ("latency", latency_json(&outcome.latency_us)),
+                ]),
+            ));
         }
+        rows.push(obj(row));
         println!(
             "{clients:>7}  {:>14.0} {:>14.0} {:>14.0}    {:>12.2} {:>12.2} {:>12.2}",
             tps[0], tps[1], tps[2], lat[0], lat[1], lat[2]
@@ -66,4 +79,15 @@ fn main() {
         "\nshape check: rddr tracks the baselines at low client counts and \
          flattens ~3x earlier once the {vcpus} vCPUs are exhausted."
     );
+    if let Some(path) = json_path {
+        let params = obj([
+            ("scale", num(scale as f64)),
+            ("accounts", num(accounts as f64)),
+            ("txns_per_client", num(txns as f64)),
+            ("vcpus", num(vcpus as f64)),
+            ("time_scale", num(time_scale)),
+        ]);
+        write_report(&path, "fig5_pgbench", params, rows).expect("write --json report");
+        println!("wrote {}", path.display());
+    }
 }

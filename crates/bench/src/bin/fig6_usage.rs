@@ -10,7 +10,7 @@
 //! while the baselines sit lower.
 //!
 //! ```text
-//! cargo run --release -p rddr-bench --bin fig6_usage
+//! cargo run --release -p rddr-bench --bin fig6_usage [-- --json BENCH_fig6.json]
 //!   RDDR_PGBENCH_SCALE=2  RDDR_PGBENCH_TXNS=150  RDDR_VCPUS=32  RDDR_THINK_MS=10
 //! ```
 
@@ -22,8 +22,10 @@ use rddr_bench::deploy::{
     deploy_pg_baseline, deploy_pg_envoy, deploy_pg_rddr, PgDeployment, PG_COST_MODEL,
 };
 use rddr_bench::driver::run_pgbench_think;
+use rddr_bench::report::{json_path_from_args, num, obj, s, write_report};
 use rddr_bench::{env_f64, env_usize};
 use rddr_pgsim::{pgbench, Database};
+use rddr_protocols::JsonValue;
 
 struct Series {
     label: &'static str,
@@ -87,12 +89,15 @@ fn main() {
     };
 
     println!("RDDR reproduction — Figure 6: CPU and memory usage over time");
-    println!(
-        "scale {scale}, {txns} txns/client, think {think:?}, {vcpus} vCPUs\n"
-    );
+    println!("scale {scale}, {txns} txns/client, think {think:?}, {vcpus} vCPUs\n");
+    let json_path = json_path_from_args();
+    let mut rows: Vec<JsonValue> = Vec::new();
     for clients in [16usize, 128] {
         println!("=== {clients} clients ===");
-        println!("{:<8} {:>8} {:>10} {:>12}", "deploy", "t(s)", "cpu(%)", "mem(MB)");
+        println!(
+            "{:<8} {:>8} {:>10} {:>12}",
+            "deploy", "t(s)", "cpu(%)", "mem(MB)"
+        );
         let mut peaks: Vec<(&'static str, f64, f64)> = Vec::new();
         for series in [
             sample_run(
@@ -129,13 +134,42 @@ fn main() {
                     mem
                 );
             }
-            let peak_cpu = series.samples.iter().map(|(_, c, _)| *c).fold(0.0, f64::max);
-            let peak_mem = series.samples.iter().map(|(_, _, m)| *m).fold(0.0, f64::max);
+            let peak_cpu = series
+                .samples
+                .iter()
+                .map(|(_, c, _)| *c)
+                .fold(0.0, f64::max);
+            let peak_mem = series
+                .samples
+                .iter()
+                .map(|(_, _, m)| *m)
+                .fold(0.0, f64::max);
+            rows.push(obj([
+                ("clients", num(clients as f64)),
+                ("deploy", s(series.label)),
+                ("peak_cpu", num(peak_cpu)),
+                ("peak_mem_mb", num(peak_mem)),
+                (
+                    "samples",
+                    JsonValue::Array(
+                        series
+                            .samples
+                            .iter()
+                            .map(|(t, cpu, mem)| {
+                                obj([("t_s", num(*t)), ("cpu", num(*cpu)), ("mem_mb", num(*mem))])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]));
             peaks.push((series.label, peak_cpu, peak_mem));
         }
         println!("--- summary ({clients} clients) ---");
         for (label, cpu, mem) in &peaks {
-            println!("{label:<8} peak cpu {:>5.1}%  peak mem {mem:.2} MB", cpu * 100.0);
+            println!(
+                "{label:<8} peak cpu {:>5.1}%  peak mem {mem:.2} MB",
+                cpu * 100.0
+            );
         }
         println!();
     }
@@ -143,4 +177,15 @@ fn main() {
         "shape check: rddr memory ~3x the baselines and flat; rddr CPU ~3x the \
          baselines at 16 clients and pinned near 100% at 128 clients."
     );
+    if let Some(path) = json_path {
+        let params = obj([
+            ("scale", num(scale as f64)),
+            ("txns_per_client", num(txns as f64)),
+            ("vcpus", num(vcpus as f64)),
+            ("think_ms", num(think.as_millis() as f64)),
+            ("time_scale", num(time_scale)),
+        ]);
+        write_report(&path, "fig6_usage", params, rows).expect("write --json report");
+        println!("wrote {}", path.display());
+    }
 }

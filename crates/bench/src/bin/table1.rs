@@ -19,7 +19,9 @@ fn main() {
         .iter()
         .filter(|r| {
             only.as_deref().is_none_or(|needle| {
-                r.cve.to_ascii_lowercase().contains(&needle.to_ascii_lowercase())
+                r.cve
+                    .to_ascii_lowercase()
+                    .contains(&needle.to_ascii_lowercase())
             })
         })
         .collect();
@@ -36,7 +38,11 @@ fn main() {
         let report = (row.run)();
         eprintln!(
             "{} ({:.2}s)",
-            if report.mitigated() { "mitigated" } else { "NOT MITIGATED" },
+            if report.mitigated() {
+                "mitigated"
+            } else {
+                "NOT MITIGATED"
+            },
             t0.elapsed().as_secs_f64()
         );
         results.push((row, report));

@@ -63,7 +63,10 @@ impl PgDeployment {
 }
 
 fn cluster(vcpus: usize, time_scale: f64) -> Cluster {
-    Cluster::with_governor(SimNet::new(), CpuGovernor::with_time_scale(vcpus, time_scale))
+    Cluster::with_governor(
+        SimNet::new(),
+        CpuGovernor::with_time_scale(vcpus, time_scale),
+    )
 }
 
 fn pg_protocol() -> ProtocolFactory {
@@ -92,7 +95,13 @@ pub fn deploy_pg_baseline(
             Arc::new(PgServer::with_config(db, cost)),
         )
         .expect("baseline deploys");
-    PgDeployment { label: "bare", addr, cluster, handles: vec![handle], proxy: None }
+    PgDeployment {
+        label: "bare",
+        addr,
+        cluster,
+        handles: vec![handle],
+        proxy: None,
+    }
 }
 
 /// One MiniPg instance behind an Envoy front proxy (Figure 5's
@@ -126,7 +135,13 @@ pub fn deploy_pg_envoy(
             )
             .expect("envoy deploys"),
     );
-    PgDeployment { label: "envoy", addr: envoy_addr, cluster, handles, proxy: None }
+    PgDeployment {
+        label: "envoy",
+        addr: envoy_addr,
+        cluster,
+        handles,
+        proxy: None,
+    }
 }
 
 /// Three identical MiniPg instances behind RDDR (Figures 4–6's "RDDR"
@@ -166,7 +181,13 @@ pub fn deploy_pg_rddr(
         pg_protocol(),
     )
     .expect("proxy starts");
-    PgDeployment { label: "rddr", addr, cluster, handles, proxy: Some(proxy) }
+    PgDeployment {
+        label: "rddr",
+        addr,
+        cluster,
+        handles,
+        proxy: Some(proxy),
+    }
 }
 
 #[cfg(test)]
@@ -177,8 +198,10 @@ mod tests {
 
     fn tiny_seed(db: &mut Database) {
         let mut s = db.session("app");
-        db.execute(&mut s, "CREATE TABLE kv (k INT, v TEXT)").unwrap();
-        db.execute(&mut s, "INSERT INTO kv VALUES (1, 'one'), (2, 'two')").unwrap();
+        db.execute(&mut s, "CREATE TABLE kv (k INT, v TEXT)")
+            .unwrap();
+        db.execute(&mut s, "INSERT INTO kv VALUES (1, 'one'), (2, 'two')")
+            .unwrap();
     }
 
     fn quick_cost() -> PgServerConfig {

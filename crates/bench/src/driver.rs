@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use rddr_net::Network;
 use rddr_pgsim::{pgbench::SelectWorkload, PgClient};
+use rddr_telemetry::Histogram;
 
 use crate::deploy::PgDeployment;
 
@@ -16,8 +17,9 @@ pub struct RunOutcome {
     pub transactions: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// Per-transaction latencies (seconds), all clients pooled.
-    pub latencies: Vec<f64>,
+    /// Per-transaction latencies in microseconds, all clients pooled into
+    /// one shared [`Histogram`] (the same type the proxies report with).
+    pub latency_us: Arc<Histogram>,
 }
 
 impl RunOutcome {
@@ -28,10 +30,12 @@ impl RunOutcome {
 
     /// Mean latency in milliseconds.
     pub fn mean_latency_ms(&self) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64 * 1000.0
+        self.latency_us.mean() / 1000.0
+    }
+
+    /// The `q`-quantile (0–1) latency in milliseconds, from the histogram.
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        self.latency_us.quantile(q) as f64 / 1000.0
     }
 }
 
@@ -45,7 +49,13 @@ pub fn run_pgbench(
     clients: usize,
     transactions_per_client: usize,
 ) -> RunOutcome {
-    run_pgbench_think(deployment, accounts, clients, transactions_per_client, Duration::ZERO)
+    run_pgbench_think(
+        deployment,
+        accounts,
+        clients,
+        transactions_per_client,
+        Duration::ZERO,
+    )
 }
 
 /// Like [`run_pgbench`] with per-transaction client think time, modelling
@@ -60,18 +70,19 @@ pub fn run_pgbench_think(
 ) -> RunOutcome {
     let net = Arc::new(deployment.cluster.net());
     let addr = deployment.addr.clone();
+    let latency_us = Arc::new(Histogram::new());
     let t0 = Instant::now();
     let mut threads = Vec::with_capacity(clients);
     for client_id in 0..clients {
         let net = Arc::clone(&net);
         let addr = addr.clone();
+        let latency_us = Arc::clone(&latency_us);
         threads.push(std::thread::spawn(move || {
-            let mut latencies = Vec::with_capacity(transactions_per_client);
             let Ok(conn) = net.dial(&addr) else {
-                return (0u64, latencies);
+                return 0u64;
             };
             let Ok(mut client) = PgClient::connect(conn, "app") else {
-                return (0u64, latencies);
+                return 0u64;
             };
             let mut workload = SelectWorkload::new(accounts, client_id as u64);
             let mut done = 0u64;
@@ -80,7 +91,7 @@ pub fn run_pgbench_think(
                 let q0 = Instant::now();
                 match client.query(&sql) {
                     Ok(resp) if resp.error.is_none() => {
-                        latencies.push(q0.elapsed().as_secs_f64());
+                        latency_us.record_duration(q0.elapsed());
                         done += 1;
                     }
                     _ => break,
@@ -89,26 +100,24 @@ pub fn run_pgbench_think(
                     std::thread::sleep(think);
                 }
             }
-            (done, latencies)
+            done
         }));
     }
     let mut transactions = 0;
-    let mut latencies = Vec::new();
     for t in threads {
-        let (done, lats) = t.join().expect("client thread");
-        transactions += done;
-        latencies.extend(lats);
+        transactions += t.join().expect("client thread");
     }
-    RunOutcome { transactions, elapsed: t0.elapsed(), latencies }
+    RunOutcome {
+        transactions,
+        elapsed: t0.elapsed(),
+        latency_us,
+    }
 }
 
 /// Runs the TPC-H query stream on `clients` concurrent connections; every
 /// client executes the full 21-query set. Returns per-query mean wall time
 /// (seconds) indexed by query number.
-pub fn run_tpch(
-    deployment: &PgDeployment,
-    clients: usize,
-) -> Vec<(u32, f64)> {
+pub fn run_tpch(deployment: &PgDeployment, clients: usize) -> Vec<(u32, f64)> {
     use rddr_pgsim::tpch::{benchmark_query_numbers, QUERIES};
     let numbers = benchmark_query_numbers();
     let net = Arc::new(deployment.cluster.net());
@@ -142,14 +151,15 @@ pub fn run_tpch(
             times
         }));
     }
-    let per_client: Vec<Vec<f64>> =
-        threads.into_iter().map(|t| t.join().expect("tpch client")).collect();
+    let per_client: Vec<Vec<f64>> = threads
+        .into_iter()
+        .map(|t| t.join().expect("tpch client"))
+        .collect();
     numbers
         .iter()
         .enumerate()
         .map(|(i, number)| {
-            let mean =
-                per_client.iter().map(|c| c[i]).sum::<f64>() / per_client.len() as f64;
+            let mean = per_client.iter().map(|c| c[i]).sum::<f64>() / per_client.len() as f64;
             (*number, mean)
         })
         .collect()
@@ -178,16 +188,20 @@ mod tests {
         let d = deploy_pg_baseline(&seed, quick(), 8, 0.01);
         let outcome = run_pgbench(&d, 1000, 4, 25);
         assert_eq!(outcome.transactions, 100);
-        assert_eq!(outcome.latencies.len(), 100);
+        assert_eq!(outcome.latency_us.count(), 100);
         assert!(outcome.throughput() > 0.0);
         assert!(outcome.mean_latency_ms() > 0.0);
+        assert!(outcome.latency_quantile_ms(0.95) >= outcome.latency_quantile_ms(0.5));
     }
 
     #[test]
     fn pgbench_through_rddr_matches_baseline_results() {
         let d = deploy_pg_rddr(&seed, quick(), 8, 0.01);
         let outcome = run_pgbench(&d, 1000, 2, 20);
-        assert_eq!(outcome.transactions, 40, "no divergences on identical instances");
+        assert_eq!(
+            outcome.transactions, 40,
+            "no divergences on identical instances"
+        );
         if let Some(stats) = d.proxy_stats() {
             assert_eq!(stats.divergences, 0);
         }

@@ -6,6 +6,7 @@
 
 pub mod deploy;
 pub mod driver;
+pub mod report;
 pub mod social;
 pub mod stats;
 
@@ -13,15 +14,22 @@ pub use deploy::{
     deploy_pg_baseline, deploy_pg_envoy, deploy_pg_rddr, PgDeployment, PG_COST_MODEL,
 };
 pub use driver::{run_pgbench, run_tpch, RunOutcome};
+pub use report::{json_path_from_args, write_report};
 pub use stats::{percentile, Summary};
 
 /// Reads a `f64` parameter from the environment with a default, so the
 /// figure binaries can be scaled up/down without recompiling.
 pub fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Reads a `usize` parameter from the environment with a default.
 pub fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }

@@ -1,0 +1,120 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every figure harness accepts `--json <path>` and writes a `BENCH_*.json`
+//! document there (serialized with the in-tree [`rddr_protocols::JsonValue`]
+//! writer), so the repo's performance trajectory can be tracked run over
+//! run without scraping the human-readable tables.
+
+use std::collections::BTreeMap;
+
+use rddr_protocols::JsonValue;
+use rddr_telemetry::Histogram;
+
+use crate::Summary;
+
+/// Returns the path following a `--json` flag in the process arguments,
+/// if any. Figure harnesses call this once at startup.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Builds a JSON object from `(key, value)` pairs.
+pub fn obj(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// A JSON number.
+pub fn num(value: f64) -> JsonValue {
+    JsonValue::Number(value)
+}
+
+/// A JSON string.
+pub fn s(value: impl Into<String>) -> JsonValue {
+    JsonValue::String(value.into())
+}
+
+/// Renders a [`Summary`] as `{mean, median, p5, p95, n}`.
+pub fn summary_json(summary: &Summary) -> JsonValue {
+    obj([
+        ("mean", num(summary.mean)),
+        ("median", num(summary.median)),
+        ("p5", num(summary.p5)),
+        ("p95", num(summary.p95)),
+        ("n", num(summary.n as f64)),
+    ])
+}
+
+/// Renders a latency [`Histogram`] (recorded in µs) as milliseconds:
+/// `{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`.
+pub fn latency_json(hist: &Histogram) -> JsonValue {
+    let ms = |us: u64| num(us as f64 / 1000.0);
+    obj([
+        ("count", num(hist.count() as f64)),
+        ("mean_ms", num(hist.mean() / 1000.0)),
+        ("p50_ms", ms(hist.quantile(0.50))),
+        ("p95_ms", ms(hist.quantile(0.95))),
+        ("p99_ms", ms(hist.quantile(0.99))),
+        ("max_ms", ms(hist.max())),
+    ])
+}
+
+/// Writes the report document for `figure` (e.g. `"fig5_pgbench"`):
+/// `{"figure": ..., "params": {...}, "rows": [...]}`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_report(
+    path: &std::path::Path,
+    figure: &str,
+    params: JsonValue,
+    rows: Vec<JsonValue>,
+) -> std::io::Result<()> {
+    let doc = JsonValue::Object(BTreeMap::from([
+        ("figure".to_string(), s(figure)),
+        ("params".to_string(), params),
+        ("rows".to_string(), JsonValue::Array(rows)),
+    ]));
+    std::fs::write(path, format!("{doc}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let dir = std::env::temp_dir().join("rddr-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let rows = vec![obj([("clients", num(4.0)), ("tps", num(123.5))])];
+        write_report(&path, "fig_test", obj([("scale", num(2.0))]), rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = rddr_protocols::parse_json(&text).unwrap();
+        assert_eq!(
+            doc.get("figure").and_then(JsonValue::as_str),
+            Some("fig_test")
+        );
+        let row = doc.get("rows").and_then(|r| r.index(0)).unwrap();
+        assert_eq!(row.get("tps").and_then(JsonValue::as_f64), Some(123.5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn latency_json_uses_histogram_quantiles() {
+        let hist = Histogram::new();
+        for us in [1000, 2000, 3000, 4000] {
+            hist.record(us);
+        }
+        let j = latency_json(&hist);
+        assert_eq!(j.get("count").and_then(JsonValue::as_f64), Some(4.0));
+        let p50 = j.get("p50_ms").and_then(JsonValue::as_f64).unwrap();
+        assert!((1.9..=2.2).contains(&p50), "p50_ms = {p50}");
+    }
+}

@@ -34,11 +34,9 @@ pub const SERVICES: &[&str] = &[
 pub const PROTECTED: &[&str] = &["search", "compose-post"];
 
 fn stub_service(name: &'static str) -> Arc<HttpService> {
-    Arc::new(
-        HttpService::new(name).route("GET", "/", move |req, _ctx| {
-            HttpResponse::ok(format!("{name}: handled {}", req.path))
-        }),
-    )
+    Arc::new(HttpService::new(name).route("GET", "/", move |req, _ctx| {
+        HttpResponse::ok(format!("{name}: handled {}", req.path))
+    }))
 }
 
 /// A deployed social network, possibly with RDDR protecting a subset.
@@ -88,7 +86,12 @@ pub fn deploy_plain(cluster: Cluster) -> SocialNetwork {
         );
         entrypoints.push((name.to_string(), addr));
     }
-    SocialNetwork { cluster, containers, proxies: Vec::new(), entrypoints }
+    SocialNetwork {
+        cluster,
+        containers,
+        proxies: Vec::new(),
+        entrypoints,
+    }
 }
 
 /// Deploys the micro-versioned network: every service once, except the
@@ -145,7 +148,12 @@ pub fn deploy_microversioned(cluster: Cluster, n: usize) -> SocialNetwork {
             entrypoints.push((name.to_string(), addr));
         }
     }
-    SocialNetwork { cluster, containers, proxies, entrypoints }
+    SocialNetwork {
+        cluster,
+        containers,
+        proxies,
+        entrypoints,
+    }
 }
 
 #[cfg(test)]

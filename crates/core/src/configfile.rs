@@ -82,22 +82,17 @@ impl ConfigFile {
                 )));
             }
             if in_variance {
-                let (label, payload) = line.split_once(char::is_whitespace).ok_or_else(
-                    || {
-                        RddrError::InvalidConfig(format!(
-                            "variance rule needs `label-glob payload-glob` on line {}",
-                            lineno + 1
-                        ))
-                    },
-                )?;
+                let (label, payload) = line.split_once(char::is_whitespace).ok_or_else(|| {
+                    RddrError::InvalidConfig(format!(
+                        "variance rule needs `label-glob payload-glob` on line {}",
+                        lineno + 1
+                    ))
+                })?;
                 variance.push(VarianceRule::new(label.trim(), payload.trim())?);
                 continue;
             }
             let (key, value) = line.split_once('=').ok_or_else(|| {
-                RddrError::InvalidConfig(format!(
-                    "expected `key = value` on line {}",
-                    lineno + 1
-                ))
+                RddrError::InvalidConfig(format!("expected `key = value` on line {}", lineno + 1))
             })?;
             let key = key.trim().to_ascii_lowercase();
             let value = value.trim();
@@ -138,10 +133,11 @@ impl ConfigFile {
             }
         }
 
-        let instances = instances.ok_or_else(|| {
-            RddrError::InvalidConfig("missing required key `instances`".into())
-        })?;
-        let mut builder = EngineConfig::builder(instances).policy(policy).variance(variance);
+        let instances = instances
+            .ok_or_else(|| RddrError::InvalidConfig("missing required key `instances`".into()))?;
+        let mut builder = EngineConfig::builder(instances)
+            .policy(policy)
+            .variance(variance);
         if let Some((a, b)) = filter_pair {
             builder = builder.filter_pair(a, b);
         }
@@ -151,7 +147,10 @@ impl ConfigFile {
         if let Some(budget) = throttle {
             builder = builder.throttle(budget);
         }
-        Ok(ConfigFile { engine: builder.build()?, protocol })
+        Ok(ConfigFile {
+            engine: builder.build()?,
+            protocol,
+        })
     }
 }
 
@@ -236,8 +235,7 @@ mod tests {
 
     #[test]
     fn variance_rules_apply() {
-        let cfg =
-            ConfigFile::parse("instances = 2\n[variance]\nline sid=*").unwrap();
+        let cfg = ConfigFile::parse("instances = 2\n[variance]\nline sid=*").unwrap();
         let seg = crate::Segment::new("line", b"sid=abc".to_vec());
         assert!(cfg.engine.variance().excludes(&seg));
     }

@@ -68,10 +68,20 @@ impl NoiseMask {
             }
             let prefix = common_prefix(pa, pb);
             let suffix = common_suffix(&pa[prefix..], &pb[prefix..]);
-            masks.push(SegmentMask { index: i, prefix, suffix, whole: false });
+            masks.push(SegmentMask {
+                index: i,
+                prefix,
+                suffix,
+                whole: false,
+            });
         }
         for i in common..a.len().max(b.len()) {
-            masks.push(SegmentMask { index: i, prefix: 0, suffix: 0, whole: true });
+            masks.push(SegmentMask {
+                index: i,
+                prefix: 0,
+                suffix: 0,
+                whole: true,
+            });
         }
         Self { masks }
     }
@@ -135,7 +145,11 @@ pub(crate) fn common_prefix(a: &[u8], b: &[u8]) -> usize {
 
 /// Length of the common suffix of two byte slices.
 pub(crate) fn common_suffix(a: &[u8], b: &[u8]) -> usize {
-    a.iter().rev().zip(b.iter().rev()).take_while(|(x, y)| x == y).count()
+    a.iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
 }
 
 #[cfg(test)]
@@ -143,7 +157,10 @@ mod tests {
     use super::*;
 
     fn segs(lines: &[&str]) -> Vec<Segment> {
-        lines.iter().map(|l| Segment::new("line", l.as_bytes().to_vec())).collect()
+        lines
+            .iter()
+            .map(|l| Segment::new("line", l.as_bytes().to_vec()))
+            .collect()
     }
 
     #[test]

@@ -102,15 +102,18 @@ pub fn diff_segments(
         // surplus positions are wholly masked.
         if reference.len() != list.len() {
             let longer = reference.len().max(list.len());
-            let surplus_masked = (compared..longer)
-                .all(|pos| mask.mask_for(pos).is_some_and(|m| m.whole));
+            let surplus_masked =
+                (compared..longer).all(|pos| mask.mask_for(pos).is_some_and(|m| m.whole));
             if !surplus_masked {
                 report.structural.push(inst);
             }
         }
     }
 
-    DiffOutcome { report, canonical_forms }
+    DiffOutcome {
+        report,
+        canonical_forms,
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +122,9 @@ mod tests {
     use crate::VarianceRule;
 
     fn lines(ls: &[&str]) -> Vec<Segment> {
-        ls.iter().map(|l| Segment::new("line", l.as_bytes().to_vec())).collect()
+        ls.iter()
+            .map(|l| Segment::new("line", l.as_bytes().to_vec()))
+            .collect()
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! The N-versioning engine: one instance per protected microservice
 //! connection, orchestrating Replicate → De-noise → Diff → Respond.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use bytes::BytesMut;
+use rddr_telemetry::{AuditLog, DivergenceRecord, Registry, Span};
 
 use crate::denoise::{common_prefix, common_suffix};
+use crate::metrics::EngineCounters;
 use crate::{
-    diff_segments, Direction, DivergenceReport, EngineConfig, EngineMetrics, EphemeralStore,
-    Frame, NoiseMask, PolicyDecision, Protocol, RddrError, Result, Segment, SegmentMask,
+    diff_segments, Direction, DivergenceReport, EngineConfig, EngineMetrics, EphemeralStore, Frame,
+    NoiseMask, PolicyDecision, Protocol, RddrError, Result, Segment, SegmentMask,
     SignatureThrottle,
 };
 
@@ -57,7 +62,14 @@ pub struct NVersionEngine {
     config: EngineConfig,
     protocol: Box<dyn Protocol>,
     state: SessionState,
-    metrics: EngineMetrics,
+    counters: EngineCounters,
+    audit: Option<Arc<AuditLog>>,
+    service: String,
+    span: Option<Arc<Span>>,
+    // Token totals already folded into the (possibly shared) counters; the
+    // ephemeral store reports running totals, so deltas are added.
+    tokens_captured_reported: u64,
+    tokens_substituted_reported: u64,
     response_bufs: Vec<BytesMut>,
     pending_frames: Vec<Vec<Frame>>,
     last_request: Vec<u8>,
@@ -69,7 +81,7 @@ impl std::fmt::Debug for NVersionEngine {
         f.debug_struct("NVersionEngine")
             .field("instances", &self.config.instances())
             .field("protocol", &self.protocol.name())
-            .field("metrics", &self.metrics)
+            .field("metrics", &self.counters.snapshot())
             .finish()
     }
 }
@@ -88,13 +100,52 @@ impl NVersionEngine {
         Self {
             config,
             protocol,
-            state: SessionState { ephemeral: EphemeralStore::new(), throttle },
-            metrics: EngineMetrics::new(),
+            state: SessionState {
+                ephemeral: EphemeralStore::new(),
+                throttle,
+            },
+            counters: EngineCounters::private(),
+            audit: None,
+            service: String::new(),
+            span: None,
+            tokens_captured_reported: 0,
+            tokens_substituted_reported: 0,
             response_bufs: (0..n).map(|_| BytesMut::new()).collect(),
             pending_frames: (0..n).map(|_| Vec::new()).collect(),
             last_request: Vec::new(),
             direction: Direction::Response,
         }
+    }
+
+    /// Attaches this engine to a shared telemetry surface: its counters move
+    /// onto `registry` under `prefix` (so every session of a service feeds
+    /// one set of series, scraped via the admin endpoint) and divergences are
+    /// appended to `audit` when provided.
+    ///
+    /// Call before the first exchange — counts accumulated on the private
+    /// registry are not carried over.
+    pub fn with_telemetry(
+        mut self,
+        registry: Arc<Registry>,
+        prefix: &str,
+        audit: Option<Arc<AuditLog>>,
+    ) -> Self {
+        self.counters = EngineCounters::on(registry, prefix);
+        self.service = prefix.to_string();
+        self.audit = audit;
+        self
+    }
+
+    /// Associates the current exchange with a span; the engine records
+    /// `replicate`/`diff`/`respond:*` events on it and attaches its timeline
+    /// to any divergence audit record.
+    pub fn set_span(&mut self, span: Arc<Span>) {
+        self.span = Some(span);
+    }
+
+    /// Detaches and returns the current span, if any.
+    pub fn take_span(&mut self) -> Option<Arc<Span>> {
+        self.span.take()
     }
 
     /// Configures which traffic direction this engine diffs. The incoming
@@ -110,9 +161,16 @@ impl NVersionEngine {
         &self.config
     }
 
-    /// Accumulated metrics.
+    /// Accumulated metrics — a snapshot of the engine's registry counters.
+    /// With shared telemetry attached, values cover every engine on the same
+    /// registry prefix, not just this one.
     pub fn metrics(&self) -> EngineMetrics {
-        self.metrics
+        self.counters.snapshot()
+    }
+
+    /// The registry-backed counter handles (shared with `/metrics`).
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
     }
 
     /// The per-connection session state (ephemeral tokens, throttle).
@@ -131,19 +189,28 @@ impl NVersionEngine {
     pub fn replicate_request(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>> {
         if let Some(throttle) = &self.state.throttle {
             if throttle.should_refuse(request) {
-                self.metrics.throttled += 1;
+                self.counters.throttled.inc();
+                if let Some(span) = &self.span {
+                    span.event("throttle:refused");
+                }
                 return Err(RddrError::Throttled);
             }
         }
+        if let Some(span) = &self.span {
+            span.event("replicate");
+        }
         self.last_request = request.to_vec();
         let n = self.config.instances();
-        let copies = if self.protocol.supports_ephemeral() && !self.state.ephemeral.is_empty()
-        {
+        let copies = if self.protocol.supports_ephemeral() && !self.state.ephemeral.is_empty() {
             let out: Vec<Vec<u8>> = (0..n)
                 .map(|i| self.state.ephemeral.substitute(request, i))
                 .collect();
             self.state.ephemeral.purge_consumed();
-            self.metrics.tokens_substituted = self.state.ephemeral.substituted_total();
+            let total = self.state.ephemeral.substituted_total();
+            self.counters
+                .tokens_substituted
+                .add(total - self.tokens_substituted_reported);
+            self.tokens_substituted_reported = total;
             out
         } else {
             (0..n).map(|_| request.to_vec()).collect()
@@ -160,7 +227,10 @@ impl NVersionEngine {
     pub fn push_response(&mut self, instance: usize, bytes: &[u8]) -> Result<()> {
         let n = self.config.instances();
         if instance >= n {
-            return Err(RddrError::InstanceCountMismatch { expected: n, got: instance + 1 });
+            return Err(RddrError::InstanceCountMismatch {
+                expected: n,
+                got: instance + 1,
+            });
         }
         self.response_bufs[instance].extend_from_slice(bytes);
         let frames = self
@@ -199,13 +269,15 @@ impl NVersionEngine {
     /// are buffered at all).
     pub fn finish_exchange(&mut self) -> Result<ExchangeOutcome> {
         if self.pending_frames.iter().all(Vec::is_empty) {
-            return Err(RddrError::Protocol("no frames buffered for any instance".into()));
+            return Err(RddrError::Protocol(
+                "no frames buffered for any instance".into(),
+            ));
         }
-        let frames: Vec<Vec<Frame>> = self
-            .pending_frames
-            .iter_mut()
-            .map(std::mem::take)
-            .collect();
+        let eval_start = Instant::now();
+        if let Some(span) = &self.span {
+            span.event("diff");
+        }
+        let frames: Vec<Vec<Frame>> = self.pending_frames.iter_mut().map(std::mem::take).collect();
 
         // Tokenize critical frames into one aligned segment list per instance.
         let mut segments: Vec<Vec<Segment>> = Vec::with_capacity(frames.len());
@@ -232,11 +304,20 @@ impl NVersionEngine {
                         prefix = prefix.min(common_prefix(payloads[0], p));
                         suffix = suffix.min(common_suffix(payloads[0], p));
                     }
-                    token_masks.push(SegmentMask { index: pos, prefix, suffix, whole: false });
+                    token_masks.push(SegmentMask {
+                        index: pos,
+                        prefix,
+                        suffix,
+                        whole: false,
+                    });
                     tokens_captured += 1;
                 }
             }
-            self.metrics.tokens_captured = self.state.ephemeral.captured_total();
+            let total = self.state.ephemeral.captured_total();
+            self.counters
+                .tokens_captured
+                .add(total - self.tokens_captured_reported);
+            self.tokens_captured_reported = total;
         }
 
         // De-noise (§IV-B2): mask byte ranges on which the filter pair differs.
@@ -255,23 +336,70 @@ impl NVersionEngine {
         // Diff.
         let mut outcome = diff_segments(&segments, &mask, self.config.variance());
         outcome.report.tokens_captured = tokens_captured;
-        self.metrics.exchanges += 1;
-        self.metrics.noise_masked += outcome.report.noise_masked as u64;
-        self.metrics.variance_excluded += outcome.report.variance_excluded as u64;
+        self.counters.exchanges.inc();
+        self.counters
+            .noise_masked
+            .add(outcome.report.noise_masked as u64);
+        self.counters
+            .variance_excluded
+            .add(outcome.report.variance_excluded as u64);
 
         // Respond.
         let decision = self.config.policy().decide(&outcome);
         if outcome.report.diverged() {
-            self.metrics.divergences += 1;
+            self.counters.divergences.inc();
             if let Some(throttle) = &mut self.state.throttle {
                 throttle.record(&self.last_request);
             }
         }
+        if let Some(span) = &self.span {
+            span.event(match &decision {
+                PolicyDecision::Forward { instance } => format!("respond:forward:{instance}"),
+                PolicyDecision::Sever { .. } => "respond:sever".to_string(),
+            });
+        }
+        if outcome.report.diverged() {
+            if let Some(audit) = &self.audit {
+                audit.record(self.divergence_record(&outcome.report));
+            }
+        }
+        self.counters
+            .eval_latency_us
+            .record_duration(eval_start.elapsed());
         let forward = match &decision {
             PolicyDecision::Forward { instance } => Some(concat_frames(&frames[*instance])),
             PolicyDecision::Sever { .. } => None,
         };
-        Ok(ExchangeOutcome { report: outcome.report, decision, forward })
+        Ok(ExchangeOutcome {
+            report: outcome.report,
+            decision,
+            forward,
+        })
+    }
+
+    /// Builds the audit-log record for a diverged exchange.
+    fn divergence_record(&self, report: &DivergenceReport) -> DivergenceRecord {
+        let implicated = report.implicated_instances();
+        let detail = report
+            .details
+            .first()
+            .map(|d| {
+                format!(
+                    "[{}#{}] instance {}: {:?} != reference {:?}",
+                    d.label, d.segment_index, d.instance, d.instance_excerpt, d.reference_excerpt
+                )
+            })
+            .unwrap_or_else(|| format!("structural mismatch: instances {:?}", report.structural));
+        DivergenceRecord {
+            exchange_id: self.span.as_ref().map_or(0, |s| s.id()),
+            service: self.service.clone(),
+            offending_instance: (implicated.len() == 1).then(|| implicated[0]),
+            signature: crate::report::excerpt(&self.last_request),
+            diff_positions: report.details.iter().map(|d| d.segment_index).collect(),
+            detail,
+            structural: !report.structural.is_empty(),
+            timeline: self.span.as_ref().map(|s| s.timeline()).unwrap_or_default(),
+        }
     }
 
     /// Convenience: evaluates one complete response per instance in a single
@@ -284,7 +412,10 @@ impl NVersionEngine {
     pub fn evaluate_responses(&mut self, responses: &[Vec<u8>]) -> Result<Verdict> {
         let n = self.config.instances();
         if responses.len() != n {
-            return Err(RddrError::InstanceCountMismatch { expected: n, got: responses.len() });
+            return Err(RddrError::InstanceCountMismatch {
+                expected: n,
+                got: responses.len(),
+            });
         }
         for (i, bytes) in responses.iter().enumerate() {
             self.push_response(i, bytes)?;
@@ -317,7 +448,10 @@ mod tests {
     use crate::{EngineConfig, ResponsePolicy, VarianceRule, VarianceRules};
 
     fn engine(n: usize) -> NVersionEngine {
-        NVersionEngine::new(EngineConfig::builder(n).build().unwrap(), LineProtocol::new())
+        NVersionEngine::new(
+            EngineConfig::builder(n).build().unwrap(),
+            LineProtocol::new(),
+        )
     }
 
     #[test]
@@ -391,8 +525,12 @@ mod tests {
         let req = b"GET /exploit\n";
         let copies = e.replicate_request(req).unwrap();
         assert_eq!(copies.len(), 2);
-        e.evaluate_responses(&[b"a\n".to_vec(), b"b\n".to_vec()]).unwrap();
-        assert!(matches!(e.replicate_request(req), Err(RddrError::Throttled)));
+        e.evaluate_responses(&[b"a\n".to_vec(), b"b\n".to_vec()])
+            .unwrap();
+        assert!(matches!(
+            e.replicate_request(req),
+            Err(RddrError::Throttled)
+        ));
         assert!(e.replicate_request(b"GET /fine\n").is_ok());
         assert_eq!(e.metrics().throttled, 1);
     }
@@ -446,7 +584,13 @@ mod tests {
     fn wrong_response_count_is_rejected() {
         let mut e = engine(3);
         let err = e.evaluate_responses(&[b"a\n".to_vec()]).unwrap_err();
-        assert!(matches!(err, RddrError::InstanceCountMismatch { expected: 3, got: 1 }));
+        assert!(matches!(
+            err,
+            RddrError::InstanceCountMismatch {
+                expected: 3,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -456,12 +600,57 @@ mod tests {
     }
 
     #[test]
+    fn shared_telemetry_feeds_registry_and_audit() {
+        let registry = Arc::new(rddr_telemetry::Registry::new());
+        let audit = Arc::new(AuditLog::new(8));
+        let mut e = engine(2).with_telemetry(registry.clone(), "rddr_test", Some(audit.clone()));
+        let span = Arc::new(Span::start("exchange"));
+        e.set_span(span.clone());
+        e.replicate_request(b"GET /secret\n").unwrap();
+        e.evaluate_responses(&[b"row\n".to_vec(), b"row\nLEAK\n".to_vec()])
+            .unwrap();
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("rddr_test_exchanges_total 1"), "{text}");
+        assert!(text.contains("rddr_test_divergences_total 1"), "{text}");
+        assert!(
+            text.contains("rddr_test_exchange_eval_latency_us_count 1"),
+            "{text}"
+        );
+
+        let records = audit.recent();
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        assert_eq!(rec.exchange_id, span.id());
+        assert_eq!(rec.service, "rddr_test");
+        assert_eq!(rec.offending_instance, Some(1));
+        assert!(rec.signature.contains("GET /secret"));
+        assert!(
+            rec.timeline.iter().any(|ev| ev.label == "replicate"),
+            "span timeline attached: {:?}",
+            rec.timeline
+        );
+    }
+
+    #[test]
+    fn unanimous_exchanges_leave_audit_empty() {
+        let registry = Arc::new(rddr_telemetry::Registry::new());
+        let audit = Arc::new(AuditLog::new(8));
+        let mut e = engine(2).with_telemetry(registry, "rddr_quiet", Some(audit.clone()));
+        e.evaluate_responses(&[b"ok\n".to_vec(), b"ok\n".to_vec()])
+            .unwrap();
+        assert!(audit.is_empty());
+    }
+
+    #[test]
     fn metrics_accumulate_across_exchanges() {
         let mut e = engine(2);
         for _ in 0..3 {
-            e.evaluate_responses(&[b"x\n".to_vec(), b"x\n".to_vec()]).unwrap();
+            e.evaluate_responses(&[b"x\n".to_vec(), b"x\n".to_vec()])
+                .unwrap();
         }
-        e.evaluate_responses(&[b"x\n".to_vec(), b"y\n".to_vec()]).unwrap();
+        e.evaluate_responses(&[b"x\n".to_vec(), b"y\n".to_vec()])
+            .unwrap();
         let m = e.metrics();
         assert_eq!(m.exchanges, 4);
         assert_eq!(m.divergences, 1);

@@ -105,9 +105,7 @@ impl EphemeralStore {
                 return None;
             }
             let middle = &p[prefix..p.len() - suffix];
-            if middle.len() < MIN_TOKEN_LEN
-                || !middle.iter().all(|b| b.is_ascii_alphanumeric())
-            {
+            if middle.len() < MIN_TOKEN_LEN || !middle.iter().all(|b| b.is_ascii_alphanumeric()) {
                 return None;
             }
             candidates.push(middle.to_vec());
@@ -253,9 +251,18 @@ mod tests {
             b"v=CHARLIECHA3".as_slice(),
         ]);
         let req = b"POST /submit csrf=ALPHAALPHA1 end";
-        assert_eq!(store.substitute(req, 0), b"POST /submit csrf=ALPHAALPHA1 end");
-        assert_eq!(store.substitute(req, 1), b"POST /submit csrf=BRAVOBRAVO2 end");
-        assert_eq!(store.substitute(req, 2), b"POST /submit csrf=CHARLIECHA3 end");
+        assert_eq!(
+            store.substitute(req, 0),
+            b"POST /submit csrf=ALPHAALPHA1 end"
+        );
+        assert_eq!(
+            store.substitute(req, 1),
+            b"POST /submit csrf=BRAVOBRAVO2 end"
+        );
+        assert_eq!(
+            store.substitute(req, 2),
+            b"POST /submit csrf=CHARLIECHA3 end"
+        );
         assert_eq!(store.substituted_total(), 3);
         store.purge_consumed();
         assert!(store.is_empty(), "tokens are deleted after forwarding");

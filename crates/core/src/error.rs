@@ -49,7 +49,10 @@ mod tests {
     fn display_messages_are_lowercase() {
         for e in [
             RddrError::InvalidConfig("x".into()),
-            RddrError::InstanceCountMismatch { expected: 3, got: 2 },
+            RddrError::InstanceCountMismatch {
+                expected: 3,
+                got: 2,
+            },
             RddrError::Protocol("y".into()),
             RddrError::Throttled,
         ] {

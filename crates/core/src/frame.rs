@@ -28,12 +28,20 @@ pub struct Frame {
 impl Frame {
     /// Creates a critical frame with the given label.
     pub fn new(label: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
-        Self { label: label.into(), bytes: bytes.into(), critical: true }
+        Self {
+            label: label.into(),
+            bytes: bytes.into(),
+            critical: true,
+        }
     }
 
     /// Creates a frame excluded from diffing.
     pub fn non_critical(label: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
-        Self { label: label.into(), bytes: bytes.into(), critical: false }
+        Self {
+            label: label.into(),
+            bytes: bytes.into(),
+            critical: false,
+        }
     }
 
     /// Frame length in bytes.
@@ -69,7 +77,10 @@ pub struct Segment {
 impl Segment {
     /// Creates a segment.
     pub fn new(label: impl Into<String>, payload: impl Into<Vec<u8>>) -> Self {
-        Self { label: label.into(), payload: payload.into() }
+        Self {
+            label: label.into(),
+            payload: payload.into(),
+        }
     }
 
     /// The payload interpreted as lossy UTF-8, for reports.

@@ -68,7 +68,10 @@ impl GlobPattern {
         if !literal.is_empty() {
             parts.push(Part::Literal(literal));
         }
-        Ok(Self { source: pattern.to_string(), parts })
+        Ok(Self {
+            source: pattern.to_string(),
+            parts,
+        })
     }
 
     /// The pattern text this glob was compiled from.
@@ -87,11 +90,10 @@ impl GlobPattern {
             Some(Part::Literal(lit)) => input
                 .strip_prefix(lit.as_slice())
                 .is_some_and(|rest| Self::match_parts(&parts[1..], rest)),
-            Some(Part::AnyOne) => {
-                !input.is_empty() && Self::match_parts(&parts[1..], &input[1..])
+            Some(Part::AnyOne) => !input.is_empty() && Self::match_parts(&parts[1..], &input[1..]),
+            Some(Part::AnyRun) => {
+                (0..=input.len()).any(|skip| Self::match_parts(&parts[1..], &input[skip..]))
             }
-            Some(Part::AnyRun) => (0..=input.len())
-                .any(|skip| Self::match_parts(&parts[1..], &input[skip..])),
         }
     }
 }

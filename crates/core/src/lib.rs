@@ -73,7 +73,7 @@ pub use ephemeral::{EphemeralStore, EphemeralToken, MIN_TOKEN_LEN};
 pub use error::RddrError;
 pub use frame::{Direction, Frame, Segment};
 pub use glob::GlobPattern;
-pub use metrics::EngineMetrics;
+pub use metrics::{EngineCounters, EngineMetrics};
 pub use policy::{PolicyDecision, ResponsePolicy, INTERVENTION_PAGE};
 pub use protocol::Protocol;
 pub use report::{DivergenceDetail, DivergenceReport};

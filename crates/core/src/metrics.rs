@@ -1,11 +1,15 @@
 use std::fmt;
+use std::sync::Arc;
+
+use rddr_telemetry::{Counter, Histogram, Registry};
 
 /// Counters accumulated by an [`crate::NVersionEngine`] over its lifetime.
 ///
-/// Exposed so deployments can export RDDR health (exchange volume, how often
-/// the de-noiser fires, how many connections were severed); serializable
-/// for metrics pipelines.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// Since the telemetry subsystem landed this is a *snapshot view*: the live
+/// values are registry-backed counters (see [`EngineCounters`]) shared with
+/// the `/metrics` admin endpoint, and [`crate::NVersionEngine::metrics`]
+/// reads them into this plain struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineMetrics {
     /// Request/response exchanges evaluated.
     pub exchanges: u64,
@@ -56,6 +60,69 @@ impl fmt::Display for EngineMetrics {
     }
 }
 
+/// Registry-backed handles behind an engine's [`EngineMetrics`].
+///
+/// Every engine owns one. By default the handles live in a private
+/// [`Registry`], preserving per-engine counts; a deployment that wants one
+/// scrape surface for a whole service builds the counters on a shared
+/// registry ([`EngineCounters::on`]) so every session's engine increments
+/// the same series.
+#[derive(Debug, Clone)]
+pub struct EngineCounters {
+    registry: Arc<Registry>,
+    pub(crate) exchanges: Arc<Counter>,
+    pub(crate) divergences: Arc<Counter>,
+    pub(crate) noise_masked: Arc<Counter>,
+    pub(crate) variance_excluded: Arc<Counter>,
+    pub(crate) tokens_captured: Arc<Counter>,
+    pub(crate) tokens_substituted: Arc<Counter>,
+    pub(crate) throttled: Arc<Counter>,
+    /// Wall-clock cost of de-noise + diff + respond, microseconds.
+    pub(crate) eval_latency_us: Arc<Histogram>,
+}
+
+impl EngineCounters {
+    /// Counters on a fresh private registry (per-engine semantics).
+    pub fn private() -> Self {
+        Self::on(Arc::new(Registry::new()), "rddr")
+    }
+
+    /// Counters registered on `registry` under `prefix` (e.g. a prefix of
+    /// `"rddr_pg"` yields `rddr_pg_exchanges_total`).
+    pub fn on(registry: Arc<Registry>, prefix: &str) -> Self {
+        let name = |suffix: &str| format!("{prefix}_{suffix}");
+        EngineCounters {
+            exchanges: registry.counter(&name("exchanges_total")),
+            divergences: registry.counter(&name("divergences_total")),
+            noise_masked: registry.counter(&name("noise_masked_total")),
+            variance_excluded: registry.counter(&name("variance_excluded_total")),
+            tokens_captured: registry.counter(&name("tokens_captured_total")),
+            tokens_substituted: registry.counter(&name("tokens_substituted_total")),
+            throttled: registry.counter(&name("throttled_total")),
+            eval_latency_us: registry.histogram(&name("exchange_eval_latency_us")),
+            registry,
+        }
+    }
+
+    /// The registry the counters live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Reads the current counter values into a plain [`EngineMetrics`].
+    pub fn snapshot(&self) -> EngineMetrics {
+        EngineMetrics {
+            exchanges: self.exchanges.get(),
+            divergences: self.divergences.get(),
+            noise_masked: self.noise_masked.get(),
+            variance_excluded: self.variance_excluded.get(),
+            tokens_captured: self.tokens_captured.get(),
+            tokens_substituted: self.tokens_substituted.get(),
+            throttled: self.throttled.get(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,7 +134,11 @@ mod tests {
 
     #[test]
     fn divergence_rate_computes_fraction() {
-        let m = EngineMetrics { exchanges: 4, divergences: 1, ..EngineMetrics::new() };
+        let m = EngineMetrics {
+            exchanges: 4,
+            divergences: 1,
+            ..EngineMetrics::new()
+        };
         assert!((m.divergence_rate() - 0.25).abs() < 1e-12);
     }
 
@@ -77,5 +148,29 @@ mod tests {
         for key in ["exchanges", "divergences", "noise_masked", "throttled"] {
             assert!(s.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn counters_snapshot_into_metrics() {
+        let counters = EngineCounters::private();
+        counters.exchanges.add(4);
+        counters.divergences.inc();
+        let m = counters.snapshot();
+        assert_eq!(m.exchanges, 4);
+        assert_eq!(m.divergences, 1);
+        assert!((m.divergence_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_registry_sums_across_engines() {
+        let registry = Arc::new(Registry::new());
+        let a = EngineCounters::on(registry.clone(), "rddr_pg");
+        let b = EngineCounters::on(registry.clone(), "rddr_pg");
+        a.exchanges.inc();
+        b.exchanges.inc();
+        assert_eq!(a.snapshot().exchanges, 2, "sessions share service counters");
+        assert!(registry
+            .render_prometheus()
+            .contains("rddr_pg_exchanges_total 2"));
     }
 }

@@ -51,7 +51,9 @@ impl ResponsePolicy {
                 let total: usize = groups.iter().map(Vec::len).sum();
                 let winner = &groups[0];
                 if winner.len() * 2 > total {
-                    PolicyDecision::Forward { instance: winner[0] }
+                    PolicyDecision::Forward {
+                        instance: winner[0],
+                    }
                 } else {
                     PolicyDecision::Sever {
                         implicated: outcome.report.implicated_instances(),
@@ -103,7 +105,9 @@ mod tests {
         let o = outcome(&["good", "good", "evil"]);
         assert_eq!(
             ResponsePolicy::Block.decide(&o),
-            PolicyDecision::Sever { implicated: vec![2] }
+            PolicyDecision::Sever {
+                implicated: vec![2]
+            }
         );
     }
 

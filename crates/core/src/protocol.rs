@@ -157,7 +157,10 @@ mod tests {
     fn raw_protocol_empty_buffer_yields_no_frames() {
         let p = RawProtocol::new();
         let mut buf = BytesMut::new();
-        assert!(p.split_frames(&mut buf, Direction::Request).unwrap().is_empty());
+        assert!(p
+            .split_frames(&mut buf, Direction::Request)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

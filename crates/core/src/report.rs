@@ -1,7 +1,7 @@
 use std::fmt;
 
 /// Why two instances' outputs were considered divergent at one position.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DivergenceDetail {
     /// Position of the differing segment within the frame.
     pub segment_index: usize,
@@ -17,7 +17,7 @@ pub struct DivergenceDetail {
 
 /// The outcome of diffing one frame across N instances — serializable so
 /// deployments can ship divergence events to their alerting pipeline.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DivergenceReport {
     /// Every detected disagreement (empty when unanimous).
     pub details: Vec<DivergenceDetail>,

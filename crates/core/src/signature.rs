@@ -32,7 +32,10 @@ impl SignatureThrottle {
     /// appearances before refusing it. A budget of 0 refuses immediately on
     /// the second appearance.
     pub fn new(budget: u32) -> Self {
-        Self { counts: HashMap::new(), budget }
+        Self {
+            counts: HashMap::new(),
+            budget,
+        }
     }
 
     /// Stable FNV-1a hash of request bytes — the divergence signature.

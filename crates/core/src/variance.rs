@@ -82,7 +82,9 @@ impl VarianceRules {
 
 impl FromIterator<VarianceRule> for VarianceRules {
     fn from_iter<T: IntoIterator<Item = VarianceRule>>(iter: T) -> Self {
-        Self { rules: iter.into_iter().collect() }
+        Self {
+            rules: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -124,8 +126,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut rules: VarianceRules =
-            [VarianceRule::any_label("a*").unwrap()].into_iter().collect();
+        let mut rules: VarianceRules = [VarianceRule::any_label("a*").unwrap()]
+            .into_iter()
+            .collect();
         rules.extend([VarianceRule::any_label("b*").unwrap()]);
         assert_eq!(rules.len(), 2);
         assert!(rules.excludes(&seg("x", "alpha")));

@@ -35,7 +35,10 @@ fn ephemeral_lifecycle_across_exchanges() {
     match verdict {
         Verdict::Unanimous(bytes) => {
             let text = String::from_utf8_lossy(&bytes);
-            assert!(text.contains("AAAAAAAAAAA1"), "client sees instance 0's token");
+            assert!(
+                text.contains("AAAAAAAAAAA1"),
+                "client sees instance 0's token"
+            );
         }
         Verdict::Divergent(r) => panic!("token minting must not diverge: {r}"),
     }

@@ -68,7 +68,12 @@ impl DvwaSim {
     /// "a cryptographically-secure source of randomness"; a distinct seed
     /// per instance models that.
     pub fn new(level: SecurityLevel, backend: ServiceAddr, seed: u64) -> Self {
-        Self { level, backend, state: Mutex::new(DvwaState::default()), seed }
+        Self {
+            level,
+            backend,
+            state: Mutex::new(DvwaState::default()),
+            seed,
+        }
     }
 
     fn mint_token(&self) -> String {
@@ -106,8 +111,10 @@ impl DvwaSim {
                 ))
             }
             SecurityLevel::High => {
-                let sanitized: String =
-                    id.chars().filter(|c| *c != '\'' && *c != '"' && *c != ';').collect();
+                let sanitized: String = id
+                    .chars()
+                    .filter(|c| *c != '\'' && *c != '"' && *c != ';')
+                    .collect();
                 Ok(format!(
                     "SELECT first_name, last_name FROM users WHERE user_id = '{sanitized}'"
                 ))
@@ -239,7 +246,9 @@ mod tests {
 
     #[test]
     fn medium_level_doubles_quotes() {
-        let q = sim(SecurityLevel::Medium).build_query(SQLI_PAYLOAD).unwrap();
+        let q = sim(SecurityLevel::Medium)
+            .build_query(SQLI_PAYLOAD)
+            .unwrap();
         assert!(q.contains("1'' OR ''1''=''1"));
     }
 
@@ -250,7 +259,10 @@ mod tests {
             q,
             "SELECT first_name, last_name FROM users WHERE user_id = '1 OR 1=1'"
         );
-        assert_ne!(q, sim(SecurityLevel::Low).build_query(SQLI_PAYLOAD).unwrap());
+        assert_ne!(
+            q,
+            sim(SecurityLevel::Low).build_query(SQLI_PAYLOAD).unwrap()
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub struct EnvoySim {
 
 impl std::fmt::Debug for EnvoySim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EnvoySim").field("upstream", &self.upstream).finish()
+        f.debug_struct("EnvoySim")
+            .field("upstream", &self.upstream)
+            .finish()
     }
 }
 
@@ -38,8 +40,7 @@ impl Service for EnvoySim {
             return;
         };
         // Two pump threads: client→upstream here needs a second handle.
-        let (Ok(mut client_rx), Ok(mut upstream_rx)) =
-            (client.try_clone(), upstream.try_clone())
+        let (Ok(mut client_rx), Ok(mut upstream_rx)) = (client.try_clone(), upstream.try_clone())
         else {
             client.shutdown();
             return;
@@ -80,12 +81,17 @@ mod tests {
     #[test]
     fn envoy_forwards_transparently() {
         let cluster = Cluster::new(2);
-        let backend = HttpService::new("api")
-            .route("GET", "/ping", |_r, _c| HttpResponse::ok("pong"));
+        let backend =
+            HttpService::new("api").route("GET", "/ping", |_r, _c| HttpResponse::ok("pong"));
         let api_addr = ServiceAddr::new("api", 80);
         let envoy_addr = ServiceAddr::new("envoy", 80);
         let _b = cluster
-            .run_container("api-0", Image::new("api", "v1"), &api_addr, Arc::new(backend))
+            .run_container(
+                "api-0",
+                Image::new("api", "v1"),
+                &api_addr,
+                Arc::new(backend),
+            )
             .unwrap();
         let _e = cluster
             .run_container(

@@ -24,7 +24,10 @@ pub struct HttpRequest {
 impl HttpRequest {
     /// First header value by lower-case name.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// A query parameter.
@@ -57,7 +60,11 @@ pub struct HttpResponse {
 impl HttpResponse {
     /// A 200 response with a text body.
     pub fn ok(body: impl Into<Vec<u8>>) -> Self {
-        Self { status: 200, headers: Vec::new(), body: body.into() }
+        Self {
+            status: 200,
+            headers: Vec::new(),
+            body: body.into(),
+        }
     }
 
     /// An HTML 200 response.
@@ -67,7 +74,11 @@ impl HttpResponse {
 
     /// An arbitrary-status response with a text body.
     pub fn status(status: u16, body: impl Into<Vec<u8>>) -> Self {
-        Self { status, headers: Vec::new(), body: body.into() }
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
     }
 
     /// Adds a header (builder-style).
@@ -112,9 +123,9 @@ pub fn url_decode(input: &str) -> String {
     while i < bytes.len() {
         match bytes[i] {
             b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
-                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
-                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
-                });
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
                 match hex {
                     Some(b) => {
                         out.push(b);
@@ -191,9 +202,9 @@ pub fn read_request(
 
 /// Attempts to parse one complete request from the front of `buf`.
 pub(crate) fn try_parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
-    let head_end = find(buf, b"\r\n\r\n").map(|p| p + 4).or_else(|| {
-        find(buf, b"\n\n").map(|p| p + 2)
-    })?;
+    let head_end = find(buf, b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| find(buf, b"\n\n").map(|p| p + 2))?;
     let head = String::from_utf8_lossy(&buf[..head_end]);
     let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
     let request_line = lines.next()?;
@@ -226,7 +237,13 @@ pub(crate) fn try_parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
         None => (target, HashMap::new()),
     };
     Some((
-        HttpRequest { method, path, query, headers, body },
+        HttpRequest {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        },
         head_end + content_length,
     ))
 }
@@ -268,7 +285,10 @@ impl std::fmt::Debug for HttpService {
 impl HttpService {
     /// Creates an empty service.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), routes: Vec::new() }
+        Self {
+            name: name.into(),
+            routes: Vec::new(),
+        }
     }
 
     /// Registers a handler for `method` and a path prefix.
@@ -278,8 +298,11 @@ impl HttpService {
         path_prefix: &str,
         handler: impl Fn(&HttpRequest, &ServiceCtx) -> HttpResponse + Send + Sync + 'static,
     ) -> Self {
-        self.routes
-            .push((method.to_string(), path_prefix.to_string(), Arc::new(handler)));
+        self.routes.push((
+            method.to_string(),
+            path_prefix.to_string(),
+            Arc::new(handler),
+        ));
         self
     }
 
@@ -292,10 +315,12 @@ impl HttpService {
     pub fn dispatch(&self, req: &HttpRequest, ctx: &ServiceCtx) -> HttpResponse {
         let mut best: Option<&(String, String, Handler)> = None;
         for route in &self.routes {
-            if route.0 == req.method && req.path.starts_with(&route.1)
-                && best.is_none_or(|b| route.1.len() > b.1.len()) {
-                    best = Some(route);
-                }
+            if route.0 == req.method
+                && req.path.starts_with(&route.1)
+                && best.is_none_or(|b| route.1.len() > b.1.len())
+            {
+                best = Some(route);
+            }
         }
         match best {
             Some((_, _, handler)) => handler(req, ctx),
@@ -344,7 +369,10 @@ impl HttpClient {
     ///
     /// Returns [`NetError::ConnectionRefused`] if nothing is listening.
     pub fn connect(net: &dyn Network, addr: &ServiceAddr) -> Result<Self, NetError> {
-        Ok(Self { conn: net.dial(addr)?, buf: Vec::new() })
+        Ok(Self {
+            conn: net.dial(addr)?,
+            buf: Vec::new(),
+        })
     }
 
     /// Sends a GET and reads the response.
@@ -354,9 +382,7 @@ impl HttpClient {
     /// Returns [`NetError::Closed`] if the connection is severed mid-cycle
     /// (which is how an RDDR intervention looks from here).
     pub fn get(&mut self, path: &str) -> Result<HttpResponse, NetError> {
-        self.send_raw(
-            format!("GET {path} HTTP/1.1\r\nHost: svc\r\n\r\n").as_bytes(),
-        )?;
+        self.send_raw(format!("GET {path} HTTP/1.1\r\nHost: svc\r\n\r\n").as_bytes())?;
         self.read_response()
     }
 
@@ -433,7 +459,14 @@ pub(crate) fn try_parse_response(buf: &[u8]) -> Option<(HttpResponse, usize)> {
         return None;
     }
     let body = buf[head_end..head_end + content_length].to_vec();
-    Some((HttpResponse { status, headers, body }, head_end + content_length))
+    Some((
+        HttpResponse {
+            status,
+            headers,
+            body,
+        },
+        head_end + content_length,
+    ))
 }
 
 #[cfg(test)]

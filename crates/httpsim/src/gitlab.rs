@@ -52,7 +52,9 @@ pub struct PumaService {
 
 impl std::fmt::Debug for PumaService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PumaService").field("db", &self.db_addr).finish()
+        f.debug_struct("PumaService")
+            .field("db", &self.db_addr)
+            .finish()
     }
 }
 
@@ -60,7 +62,11 @@ impl PumaService {
     /// Creates the Rails app pointing at the database (in an RDDR
     /// deployment: the incoming proxy fronting the N Postgres instances).
     pub fn new(db_addr: ServiceAddr, seed: u64) -> Self {
-        Self { db_addr, tokens: Mutex::new((None, Default::default())), seed }
+        Self {
+            db_addr,
+            tokens: Mutex::new((None, Default::default())),
+            seed,
+        }
     }
 
     fn mint_token(&self) -> String {
@@ -133,15 +139,14 @@ impl PumaService {
             ("POST", "/projects") => {
                 let form = req.form();
                 let name = form.get("name").cloned().unwrap_or_default();
-                if name.is_empty() || !name.bytes().all(|b| {
-                    b.is_ascii_alphanumeric() || b == b'-' || b == b'_'
-                }) {
+                if name.is_empty()
+                    || !name
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+                {
                     return HttpResponse::status(400, "invalid project name");
                 }
-                match self.query(
-                    ctx,
-                    &format!("INSERT INTO projects VALUES ('{name}', 0)"),
-                ) {
+                match self.query(ctx, &format!("INSERT INTO projects VALUES ('{name}', 0)")) {
                     Ok(_) => HttpResponse::status(201, "created"),
                     Err(e) => HttpResponse::status(500, format!("database error: {e}")),
                 }
@@ -154,8 +159,7 @@ impl PumaService {
                 let raw = req.param("q").map(url_decode).unwrap_or_default();
                 match self.query(ctx, &raw) {
                     Ok(rows) => {
-                        let lines: Vec<String> =
-                            rows.into_iter().map(|r| r.join("|")).collect();
+                        let lines: Vec<String> = rows.into_iter().map(|r| r.join("|")).collect();
                         HttpResponse::ok(lines.join("\n"))
                     }
                     Err(e) => HttpResponse::status(500, format!("database error: {e}")),
@@ -282,7 +286,9 @@ pub fn deploy_gitlab(
         "gitlab-workhorse-0",
         Image::new("gitlab-workhorse", "13.0"),
         &addrs.workhorse,
-        Arc::new(WorkhorseService { puma: addrs.puma.clone() }),
+        Arc::new(WorkhorseService {
+            puma: addrs.puma.clone(),
+        }),
     )?);
     containers.push(cluster.run_container(
         "gitlab-shell-0",
@@ -290,15 +296,17 @@ pub fn deploy_gitlab(
         &addrs.shell,
         Arc::new(ShellService),
     )?);
-    containers.push(cluster.run_container(
-        "gitlab-pages-0",
-        Image::new("gitlab-pages", "13.0"),
-        &addrs.pages,
-        Arc::new(
-            crate::framework::HttpService::new("pages")
-                .route("GET", "/", |_r, _c| HttpResponse::html("<h1>Pages</h1>")),
-        ),
-    )?);
+    containers.push(
+        cluster.run_container(
+            "gitlab-pages-0",
+            Image::new("gitlab-pages", "13.0"),
+            &addrs.pages,
+            Arc::new(
+                crate::framework::HttpService::new("pages")
+                    .route("GET", "/", |_r, _c| HttpResponse::html("<h1>Pages</h1>")),
+            ),
+        )?,
+    );
     Ok(GitlabDeployment { addrs, containers })
 }
 
@@ -327,7 +335,10 @@ pub fn seed_gitlab_schema(db: &mut rddr_pgsim::Database) -> Result<(), rddr_pgsi
         "INSERT INTO user_secrets VALUES (1, 'gitlab', 'glpat-public-ci'), \
          (900, 'root', 'glpat-ROOT-ADMIN-TOKEN'), (901, 'root', 'aws-key-AKIA99')",
     )?;
-    db.execute(&mut session, "ALTER TABLE user_secrets ENABLE ROW LEVEL SECURITY")?;
+    db.execute(
+        &mut session,
+        "ALTER TABLE user_secrets ENABLE ROW LEVEL SECURITY",
+    )?;
     db.execute(
         &mut session,
         "CREATE POLICY visible ON user_secrets USING (owner = 'gitlab')",
@@ -379,7 +390,10 @@ mod tests {
         // Project list and creation.
         let list = client.get("/projects").unwrap();
         assert!(list.body_text().contains("gitlab-ce"));
-        assert_eq!(client.post("/projects", "name=new-repo").unwrap().status, 201);
+        assert_eq!(
+            client.post("/projects", "name=new-repo").unwrap().status,
+            201
+        );
         let list = client.get("/projects").unwrap();
         assert!(list.body_text().contains("new-repo"));
 
@@ -415,7 +429,9 @@ mod tests {
         let mut db = Database::new(PgVersion::parse("10.9").unwrap());
         seed_gitlab_schema(&mut db).unwrap();
         let mut session = db.session("gitlab");
-        let r = db.execute(&mut session, "SELECT token FROM user_secrets").unwrap();
+        let r = db
+            .execute(&mut session, "SELECT token FROM user_secrets")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0].to_string(), "glpat-public-ci");
     }

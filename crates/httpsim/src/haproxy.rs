@@ -75,7 +75,9 @@ pub struct HaproxySim {
 
 impl std::fmt::Debug for HaproxySim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HaproxySim").field("upstream", &self.upstream).finish()
+        f.debug_struct("HaproxySim")
+            .field("upstream", &self.upstream)
+            .finish()
     }
 }
 
@@ -105,8 +107,8 @@ impl Service for HaproxySim {
             };
             // ACL on the request HAProxy *parsed*.
             if is_denied(&req.path) {
-                let resp = HttpResponse::status(403, "403 Forbidden")
-                    .header("Server", &self.banner());
+                let resp =
+                    HttpResponse::status(403, "403 Forbidden").header("Server", &self.banner());
                 if conn.write_all(&resp.to_bytes()).is_err() {
                     return;
                 }
@@ -117,9 +119,9 @@ impl Service for HaproxySim {
             // been consumed into `req.body` by our framing, and HAProxy
             // re-interprets those body bytes as a following request —
             // forwarding it upstream without the ACL check.
-            let obfuscated_te = req.header("transfer-encoding").is_some_and(|te| {
-                normalize_header_value(te) == "chunked" && te != "chunked"
-            });
+            let obfuscated_te = req
+                .header("transfer-encoding")
+                .is_some_and(|te| normalize_header_value(te) == "chunked" && te != "chunked");
             let response = match forward_request(ctx, &self.upstream, &raw) {
                 Some(r) => r.header("Server", &self.banner()),
                 None => HttpResponse::status(500, "upstream unavailable"),

@@ -11,10 +11,10 @@
 //!   malformed `Transfer-Encoding` is rejected with `400`, which is what
 //!   makes it a diverse partner against HAProxy's smuggling bug.
 
-use std::collections::BTreeMap;
 use parking_lot::Mutex;
 use rddr_net::{BoxStream, ServiceAddr, Stream};
 use rddr_orchestra::{Service, ServiceCtx};
+use std::collections::BTreeMap;
 
 use crate::framework::{read_request, HttpRequest, HttpResponse};
 use crate::haproxy::{forward_request, is_denied, normalize_header_value};
@@ -37,7 +37,9 @@ impl NginxVersion {
     ///
     /// Panics on malformed version strings (versions are compiled in).
     pub fn parse(s: &str) -> Self {
-        let mut it = s.split('.').map(|p| p.parse().expect("numeric version part"));
+        let mut it = s
+            .split('.')
+            .map(|p| p.parse().expect("numeric version part"));
         Self {
             major: it.next().expect("major"),
             minor: it.next().unwrap_or(0),
@@ -90,12 +92,20 @@ impl std::fmt::Debug for NginxSim {
 impl NginxSim {
     /// A static file server at the given version.
     pub fn file_server(version: NginxVersion) -> Self {
-        Self { version, files: Mutex::new(BTreeMap::new()), upstream: None }
+        Self {
+            version,
+            files: Mutex::new(BTreeMap::new()),
+            upstream: None,
+        }
     }
 
     /// A reverse proxy at the given version.
     pub fn reverse_proxy(version: NginxVersion, upstream: ServiceAddr) -> Self {
-        Self { version, files: Mutex::new(BTreeMap::new()), upstream: Some(upstream) }
+        Self {
+            version,
+            files: Mutex::new(BTreeMap::new()),
+            upstream: Some(upstream),
+        }
     }
 
     /// Publishes a document at `path`, with `adjacent` bytes placed next to
@@ -103,7 +113,10 @@ impl NginxSim {
     pub fn publish(&self, path: &str, body: impl Into<Vec<u8>>, adjacent: impl Into<Vec<u8>>) {
         self.files.lock().insert(
             path.to_string(),
-            CachedFile { body: body.into(), adjacent_memory: adjacent.into() },
+            CachedFile {
+                body: body.into(),
+                adjacent_memory: adjacent.into(),
+            },
         );
     }
 
@@ -232,7 +245,11 @@ mod tests {
 
     fn server(version: &str) -> NginxSim {
         let s = NginxSim::file_server(NginxVersion::parse(version));
-        s.publish("/index.html", b"public document".to_vec(), b"SECRET-CACHE-KEY".to_vec());
+        s.publish(
+            "/index.html",
+            b"public document".to_vec(),
+            b"SECRET-CACHE-KEY".to_vec(),
+        );
         s
     }
 

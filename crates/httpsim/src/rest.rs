@@ -10,8 +10,7 @@
 use std::sync::Arc;
 
 use rddr_libsim::{
-    AslrEcho, HtmlSanitizer, MarkdownRenderer, RsaDecryptor, RsaKeyPair, SvgRasterizer,
-    VirtualFs,
+    AslrEcho, HtmlSanitizer, MarkdownRenderer, RsaDecryptor, RsaKeyPair, SvgRasterizer, VirtualFs,
 };
 use rddr_net::{BoxStream, Stream};
 use rddr_orchestra::{Service, ServiceCtx};
@@ -37,10 +36,7 @@ pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
 
 /// `POST /decrypt` — body is the ciphertext as a decimal `u64`; responds
 /// with the plaintext hex or `400` on padding errors (CVE-2020-13757 pair).
-pub fn decrypt_service(
-    decryptor: Arc<dyn RsaDecryptor>,
-    key: RsaKeyPair,
-) -> HttpService {
+pub fn decrypt_service(decryptor: Arc<dyn RsaDecryptor>, key: RsaKeyPair) -> HttpService {
     HttpService::new("rsa-decrypt").route("POST", "/decrypt", move |req, _ctx| {
         let Ok(ciphertext) = req.body_text().trim().parse::<u64>() else {
             return HttpResponse::status(400, "bad ciphertext encoding");
@@ -96,7 +92,9 @@ impl AslrEchoService {
     /// "Launches" the process with the given ASLR entropy seed (one per
     /// container instance).
     pub fn launch(seed: u64) -> Self {
-        Self { process: AslrEcho::launch(seed) }
+        Self {
+            process: AslrEcho::launch(seed),
+        }
     }
 }
 
@@ -130,8 +128,8 @@ mod tests {
     use super::*;
     use crate::framework::HttpClient;
     use rddr_libsim::{
-        craft_forged_ciphertext, CairoSvg, CryptoLib, LxmlClean, Markdown2, MarkdownSafe,
-        RsaLib, SanitizeHtml, SvgLib,
+        craft_forged_ciphertext, CairoSvg, CryptoLib, LxmlClean, Markdown2, MarkdownSafe, RsaLib,
+        SanitizeHtml, SvgLib,
     };
     use rddr_net::{Network, ServiceAddr};
     use rddr_orchestra::{Cluster, Image};
@@ -223,13 +221,19 @@ mod tests {
             &cluster,
             "svg",
             8000,
-            Arc::new(svg_service(Arc::new(SvgLib::new()), VirtualFs::with_defaults())),
+            Arc::new(svg_service(
+                Arc::new(SvgLib::new()),
+                VirtualFs::with_defaults(),
+            )),
         );
         let b = deploy(
             &cluster,
             "svg",
             8001,
-            Arc::new(svg_service(Arc::new(CairoSvg::new()), VirtualFs::with_defaults())),
+            Arc::new(svg_service(
+                Arc::new(CairoSvg::new()),
+                VirtualFs::with_defaults(),
+            )),
         );
         let net = cluster.net();
         let mut ca = HttpClient::connect(&net, &a).unwrap();
@@ -280,8 +284,18 @@ mod tests {
     #[test]
     fn aslr_echo_instances_diverge_on_overflow() {
         let cluster = Cluster::new(2);
-        let a = deploy(&cluster, "echo", 7000, Arc::new(AslrEchoService::launch(11)));
-        let b = deploy(&cluster, "echo", 7001, Arc::new(AslrEchoService::launch(22)));
+        let a = deploy(
+            &cluster,
+            "echo",
+            7000,
+            Arc::new(AslrEchoService::launch(11)),
+        );
+        let b = deploy(
+            &cluster,
+            "echo",
+            7001,
+            Arc::new(AslrEchoService::launch(22)),
+        );
         let net = cluster.net();
         let mut conn_a = net.dial(&a).unwrap();
         let mut conn_b = net.dial(&b).unwrap();

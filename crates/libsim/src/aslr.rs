@@ -35,7 +35,9 @@ impl AslrEcho {
         // Canonical user-space stack region with 28 bits of entropy,
         // 16-byte aligned — the shape of Linux mmap ASLR.
         let slide: u64 = rng.gen_range(0..(1u64 << 28)) << 4;
-        Self { stack_base: 0x7ffc_0000_0000 + slide }
+        Self {
+            stack_base: 0x7ffc_0000_0000 + slide,
+        }
     }
 
     /// The address the buffer lives at (base + frame offset).
@@ -93,8 +95,16 @@ mod tests {
         let b = AslrEcho::launch(2);
         assert_ne!(a.adjacent_pointer(), b.adjacent_pointer());
         let overlong = vec![b'A'; BUFFER_SIZE + 8];
-        assert_ne!(a.echo(&overlong), b.echo(&overlong), "divergence under attack");
-        assert_eq!(a.echo(b"benign"), b.echo(b"benign"), "agreement when benign");
+        assert_ne!(
+            a.echo(&overlong),
+            b.echo(&overlong),
+            "divergence under attack"
+        );
+        assert_eq!(
+            a.echo(b"benign"),
+            b.echo(b"benign"),
+            "agreement when benign"
+        );
     }
 
     #[test]

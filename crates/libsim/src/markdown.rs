@@ -81,8 +81,7 @@ fn render_inline(text: &str, strict_urls: bool) -> String {
                 if chars.get(close_bracket + 1) == Some(&'(') {
                     if let Some(close_paren) = find_seq(&chars, close_bracket + 2, &[')']) {
                         let label: String = chars[i + 1..close_bracket].iter().collect();
-                        let url: String =
-                            chars[close_bracket + 2..close_paren].iter().collect();
+                        let url: String = chars[close_bracket + 2..close_paren].iter().collect();
                         out.push_str(&render_link(&label, &url, strict_urls));
                         i = close_paren + 1;
                         continue;
@@ -236,7 +235,10 @@ mod tests {
         // it; the safe renderer normalizes first.
         let exploit = "[click me](java\tscript:alert(document.cookie))";
         let (safe, vulnerable) = both(exploit);
-        assert!(safe.contains("href=\"#\""), "safe renderer must neutralize: {safe}");
+        assert!(
+            safe.contains("href=\"#\""),
+            "safe renderer must neutralize: {safe}"
+        );
         assert!(
             vulnerable.contains("javascript:") || vulnerable.contains("java\tscript:"),
             "vulnerable renderer must let the payload through: {vulnerable}"

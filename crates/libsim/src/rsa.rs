@@ -202,7 +202,16 @@ pub fn craft_forged_ciphertext(key: &RsaKeyPair) -> u64 {
     // Search deterministically for a plaintext of the malformed shape and
     // encrypt it with the public exponent.
     for candidate in 1u64..50_000 {
-        let frame = [0x00, 0x00, 0x02, 0x41, 0x00, b'p', b'w', (candidate % 251) as u8 + 1];
+        let frame = [
+            0x00,
+            0x00,
+            0x02,
+            0x41,
+            0x00,
+            b'p',
+            b'w',
+            (candidate % 251) as u8 + 1,
+        ];
         let m = u64::from_be_bytes(frame);
         if m < key.n {
             let c = mod_pow(m, key.e, key.n);
@@ -249,9 +258,15 @@ mod tests {
         let forged = craft_forged_ciphertext(&key);
         let strict = CryptoLib::new().decrypt(&key, forged);
         let lax = RsaLib::new().decrypt(&key, forged);
-        assert!(strict.is_err(), "strict implementation must reject the forgery");
+        assert!(
+            strict.is_err(),
+            "strict implementation must reject the forgery"
+        );
         assert!(lax.is_ok(), "vulnerable implementation must accept it");
-        assert!(lax.unwrap().starts_with(b"pw"), "attacker-influenced plaintext");
+        assert!(
+            lax.unwrap().starts_with(b"pw"),
+            "attacker-influenced plaintext"
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::vfs::VirtualFs;
 use crate::xml::{parse, EntityPolicy, XmlNode};
 
 /// Elements allowed through both sanitizers.
-const ALLOWED_TAGS: &[&str] = &["a", "b", "i", "em", "strong", "p", "div", "span", "ul", "li"];
+const ALLOWED_TAGS: &[&str] = &[
+    "a", "b", "i", "em", "strong", "p", "div", "span", "ul", "li",
+];
 /// Attributes allowed through both sanitizers.
 const ALLOWED_ATTRS: &[&str] = &["href", "title", "class"];
 
@@ -41,13 +43,19 @@ fn is_dangerous_url(url: &str, normalize: bool) -> bool {
 }
 
 fn escape_text(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn sanitize_node(node: &XmlNode, normalize_urls: bool, out: &mut String) {
     match node {
         XmlNode::Text(t) => out.push_str(&escape_text(t)),
-        XmlNode::Element { name, attrs, children } => {
+        XmlNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let tag = name.to_ascii_lowercase();
             if !ALLOWED_TAGS.contains(&tag.as_str()) {
                 // Disallowed element: drop the tag, keep sanitized children
@@ -143,7 +151,10 @@ mod tests {
     use super::*;
 
     fn both(html: &str) -> (String, String) {
-        (LxmlClean::new().sanitize(html), SanitizeHtml::new().sanitize(html))
+        (
+            LxmlClean::new().sanitize(html),
+            SanitizeHtml::new().sanitize(html),
+        )
     }
 
     #[test]

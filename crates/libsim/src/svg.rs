@@ -213,7 +213,10 @@ mod tests {
     fn rect_pixels_are_painted() {
         let fs = VirtualFs::new();
         let png = CairoSvg::new()
-            .rasterize(r#"<svg><rect x="0" y="0" width="2" height="1"/></svg>"#, &fs)
+            .rasterize(
+                r#"<svg><rect x="0" y="0" width="2" height="1"/></svg>"#,
+                &fs,
+            )
             .unwrap();
         // First packed row (after 10-byte header) must have bits 0 and 1 set.
         let row0 = u32::from_be_bytes(png[10..14].try_into().unwrap());
@@ -238,7 +241,10 @@ mod tests {
     fn oversized_coordinates_clamp() {
         let fs = VirtualFs::new();
         let png = CairoSvg::new()
-            .rasterize(r#"<svg><rect x="9999" y="9999" width="9999" height="9999"/></svg>"#, &fs)
+            .rasterize(
+                r#"<svg><rect x="9999" y="9999" width="9999" height="9999"/></svg>"#,
+                &fs,
+            )
             .unwrap();
         assert!(png.starts_with(b"\x89PNGSIM"));
     }

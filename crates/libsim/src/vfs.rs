@@ -35,7 +35,10 @@ impl VirtualFs {
             "root:x:0:0:root:/root:/bin/bash\napp:x:1000:1000::/home/app:/bin/sh\n",
         );
         fs.write("/etc/hostname", "svc-render-0\n");
-        fs.write("/app/secrets.env", "DB_PASSWORD=hunter2\nAPI_KEY=sk-verysecret\n");
+        fs.write(
+            "/app/secrets.env",
+            "DB_PASSWORD=hunter2\nAPI_KEY=sk-verysecret\n",
+        );
         fs
     }
 

@@ -238,7 +238,11 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             if self.starts_with("/>") {
                 self.pos += 2;
-                return Ok(XmlNode::Element { name, attrs, children: Vec::new() });
+                return Ok(XmlNode::Element {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                });
             }
             if self.starts_with(">") {
                 self.pos += 1;
@@ -286,7 +290,11 @@ impl<'a> Parser<'a> {
                     return Err(XmlError("malformed close tag".into()));
                 }
                 self.pos += 1;
-                return Ok(XmlNode::Element { name, attrs, children });
+                return Ok(XmlNode::Element {
+                    name,
+                    attrs,
+                    children,
+                });
             }
             if self.starts_with("<") {
                 children.push(self.element()?);
@@ -312,9 +320,11 @@ impl<'a> Parser<'a> {
 
     fn name(&mut self) -> Result<String, XmlError> {
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| {
-            b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.')
-        }) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.'))
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -414,8 +424,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let root =
-            parse("<t><!-- hidden --><u/></t>", EntityPolicy::RejectDtd, &fs()).unwrap();
+        let root = parse("<t><!-- hidden --><u/></t>", EntityPolicy::RejectDtd, &fs()).unwrap();
         assert_eq!(root.children().len(), 1);
     }
 
@@ -432,8 +441,12 @@ mod tests {
 
     #[test]
     fn self_closing_with_attrs() {
-        let root = parse(r#"<rect width="5" height="3"/>"#, EntityPolicy::RejectDtd, &fs())
-            .unwrap();
+        let root = parse(
+            r#"<rect width="5" height="3"/>"#,
+            EntityPolicy::RejectDtd,
+            &fs(),
+        )
+        .unwrap();
         assert_eq!(root.attr("height"), Some("3"));
     }
 

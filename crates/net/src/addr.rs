@@ -29,7 +29,10 @@ pub struct ServiceAddr {
 impl ServiceAddr {
     /// Creates an address from a host name and port.
     pub fn new(host: impl Into<String>, port: u16) -> Self {
-        Self { host: host.into(), port }
+        Self {
+            host: host.into(),
+            port,
+        }
     }
 
     /// The host (service) name.
@@ -47,7 +50,10 @@ impl ServiceAddr {
     /// Useful when a deployment exposes several related endpoints (the RDDR
     /// incoming proxy binds "one or more ports").
     pub fn with_port(&self, port: u16) -> Self {
-        Self { host: self.host.clone(), port }
+        Self {
+            host: self.host.clone(),
+            port,
+        }
     }
 }
 

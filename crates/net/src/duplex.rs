@@ -21,7 +21,10 @@ struct PipeBuf {
 impl Pipe {
     fn new() -> Arc<Self> {
         Arc::new(Self {
-            buf: Mutex::new(PipeBuf { data: VecDeque::new(), closed: false }),
+            buf: Mutex::new(PipeBuf {
+                data: VecDeque::new(),
+                closed: false,
+            }),
             readable: Condvar::new(),
         })
     }
@@ -85,7 +88,9 @@ pub struct DuplexStream {
 
 impl std::fmt::Debug for DuplexStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DuplexStream").field("peer", &self.peer).finish()
+        f.debug_struct("DuplexStream")
+            .field("peer", &self.peer)
+            .finish()
     }
 }
 
@@ -107,7 +112,12 @@ impl std::fmt::Debug for DuplexStream {
 /// assert_eq!(client.peer(), "server");
 /// ```
 pub fn duplex_pair(a_name: &str, b_name: &str) -> (DuplexStream, DuplexStream) {
-    duplex_pair_counted(a_name, b_name, Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)))
+    duplex_pair_counted(
+        a_name,
+        b_name,
+        Arc::new(AtomicU64::new(0)),
+        Arc::new(AtomicU64::new(0)),
+    )
 }
 
 /// Like [`duplex_pair`] but accounting traffic into shared byte counters

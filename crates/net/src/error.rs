@@ -47,9 +47,7 @@ impl From<std::io::Error> for NetError {
         match e.kind() {
             std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::TimedOut,
             std::io::ErrorKind::UnexpectedEof => NetError::Closed,
-            std::io::ErrorKind::ConnectionRefused => {
-                NetError::ConnectionRefused(e.to_string())
-            }
+            std::io::ErrorKind::ConnectionRefused => NetError::ConnectionRefused(e.to_string()),
             std::io::ErrorKind::AddrInUse => NetError::AddressInUse(e.to_string()),
             _ => NetError::Io(e),
         }
@@ -68,8 +66,7 @@ mod tests {
 
     #[test]
     fn io_timeout_maps_to_timed_out() {
-        let e: NetError =
-            std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
+        let e: NetError = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
         assert!(matches!(e, NetError::TimedOut));
     }
 

@@ -46,9 +46,15 @@ impl Keystream {
     fn new(key: &[u8], nonce: u64) -> Self {
         let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ nonce;
         for &b in key {
-            state = state.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
+            state = state
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(u64::from(b));
         }
-        Self { state, buf: [0; 8], used: 8 }
+        Self {
+            state,
+            buf: [0; 8],
+            used: 8,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -92,7 +98,9 @@ pub struct SecureStream<S> {
 
 impl<S: std::fmt::Debug> std::fmt::Debug for SecureStream<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SecureStream").field("inner", &self.inner).finish()
+        f.debug_struct("SecureStream")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -115,9 +123,7 @@ impl<S: Stream> SecureStream<S> {
         let mut s = Self {
             inner,
             tx: std::sync::Arc::new(parking_lot::Mutex::new(Keystream::new(&key.0, nonce))),
-            rx: std::sync::Arc::new(parking_lot::Mutex::new(Keystream::new(
-                &key.0, peer_nonce,
-            ))),
+            rx: std::sync::Arc::new(parking_lot::Mutex::new(Keystream::new(&key.0, peer_nonce))),
         };
         s.verify(key, nonce, peer_nonce)?;
         Ok(s)
@@ -140,9 +146,7 @@ impl<S: Stream> SecureStream<S> {
         let mut s = Self {
             inner,
             tx: std::sync::Arc::new(parking_lot::Mutex::new(Keystream::new(&key.0, nonce))),
-            rx: std::sync::Arc::new(parking_lot::Mutex::new(Keystream::new(
-                &key.0, peer_nonce,
-            ))),
+            rx: std::sync::Arc::new(parking_lot::Mutex::new(Keystream::new(&key.0, peer_nonce))),
         };
         s.verify(key, nonce, peer_nonce)?;
         Ok(s)
@@ -230,14 +234,20 @@ pub struct SecureListener {
 
 impl std::fmt::Debug for SecureListener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SecureListener").field("addr", &self.inner.local_addr()).finish()
+        f.debug_struct("SecureListener")
+            .field("addr", &self.inner.local_addr())
+            .finish()
     }
 }
 
 impl SecureListener {
     /// Wraps a listener; every accepted connection is handshaked with `key`.
     pub fn new(inner: crate::BoxListener, key: PresharedKey) -> Self {
-        Self { inner, key, nonce_counter: std::sync::atomic::AtomicU64::new(1) }
+        Self {
+            inner,
+            key,
+            nonce_counter: std::sync::atomic::AtomicU64::new(1),
+        }
     }
 }
 
@@ -269,14 +279,20 @@ pub struct SecureNet<N> {
 
 impl<N: std::fmt::Debug> std::fmt::Debug for SecureNet<N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SecureNet").field("inner", &self.inner).finish()
+        f.debug_struct("SecureNet")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
 impl<N: crate::Network> SecureNet<N> {
     /// Secures `inner` with `key`.
     pub fn new(inner: N, key: PresharedKey) -> Self {
-        Self { inner, key, nonce_counter: std::sync::atomic::AtomicU64::new(0x1000_0001) }
+        Self {
+            inner,
+            key,
+            nonce_counter: std::sync::atomic::AtomicU64::new(0x1000_0001),
+        }
     }
 }
 

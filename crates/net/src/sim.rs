@@ -17,8 +17,7 @@ use crate::{
 ///
 /// Latency is applied once per `dial`, modelling in-cluster connection setup.
 /// Jitter is drawn from a seeded RNG so runs are reproducible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LatencyModel {
     /// No injected latency (the default).
     #[default]
@@ -33,7 +32,6 @@ pub enum LatencyModel {
         jitter: Duration,
     },
 }
-
 
 /// Aggregate traffic counters for a [`SimNet`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,7 +69,9 @@ pub struct SimNet {
 
 impl std::fmt::Debug for SimNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimNet").field("stats", &self.stats()).finish()
+        f.debug_struct("SimNet")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -156,7 +156,10 @@ impl Network for SimNet {
             return Err(NetError::AddressInUse(addr.to_string()));
         }
         reg.listeners.insert(addr.clone(), tx);
-        Ok(Box::new(SimListener { addr: addr.clone(), incoming: rx }))
+        Ok(Box::new(SimListener {
+            addr: addr.clone(),
+            incoming: rx,
+        }))
     }
 
     fn dial(&self, addr: &ServiceAddr) -> Result<BoxStream> {

@@ -71,7 +71,10 @@ impl Stream for TcpConn {
 
     fn try_clone(&self) -> Result<crate::BoxStream> {
         let inner = self.inner.try_clone()?;
-        Ok(Box::new(TcpConn { inner, peer: self.peer.clone() }))
+        Ok(Box::new(TcpConn {
+            inner,
+            peer: self.peer.clone(),
+        }))
     }
 }
 
@@ -84,7 +87,10 @@ impl Listener for TcpAcceptor {
     fn accept(&mut self) -> Result<BoxStream> {
         let (stream, peer) = self.inner.accept()?;
         stream.set_nodelay(true).ok();
-        Ok(Box::new(TcpConn { inner: stream, peer: peer.to_string() }))
+        Ok(Box::new(TcpConn {
+            inner: stream,
+            peer: peer.to_string(),
+        }))
     }
 
     fn local_addr(&self) -> ServiceAddr {
@@ -106,7 +112,10 @@ impl Network for TcpNet {
         let stream = TcpStream::connect((addr.host(), addr.port()))?;
         stream.set_nodelay(true).ok();
         let peer = addr.to_string();
-        Ok(Box::new(TcpConn { inner: stream, peer }))
+        Ok(Box::new(TcpConn {
+            inner: stream,
+            peer,
+        }))
     }
 }
 

@@ -88,7 +88,11 @@ impl Cluster {
     /// Creates a cluster from explicit parts (e.g. a time-scaled governor
     /// for fast benchmark harnesses, or a latency-injecting fabric).
     pub fn with_governor(net: SimNet, governor: CpuGovernor) -> Self {
-        Self { net, nodes: vec![governor], containers: Mutex::new(Vec::new()) }
+        Self {
+            net,
+            nodes: vec![governor],
+            containers: Mutex::new(Vec::new()),
+        }
     }
 
     /// Creates a cluster of `nodes` machines, each with its own governor of
@@ -174,9 +178,10 @@ impl Cluster {
             governor: self.nodes[node].clone(),
             net: Arc::new(self.net.clone()),
         };
-        self.containers
-            .lock()
-            .push(ContainerInfo { name: name.clone(), meter });
+        self.containers.lock().push(ContainerInfo {
+            name: name.clone(),
+            meter,
+        });
         let net = self.net.clone();
         let unbind_addr = addr.clone();
         let handle = ContainerHandle::spawn(
@@ -255,10 +260,7 @@ mod tests {
 
     #[test]
     fn container_serves_and_meters() {
-        let cluster = Cluster::with_governor(
-            SimNet::new(),
-            CpuGovernor::with_time_scale(4, 0.01),
-        );
+        let cluster = Cluster::with_governor(SimNet::new(), CpuGovernor::with_time_scale(4, 0.01));
         let addr = ServiceAddr::new("echo", 7);
         let _c = cluster
             .run_container("echo-0", Image::new("echo", "v1"), &addr, echo_service())
@@ -276,7 +278,10 @@ mod tests {
             if usage.cpu_micros >= 100 && usage.mem_bytes >= 2 {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "metering never arrived");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "metering never arrived"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
     }
@@ -332,15 +337,22 @@ mod tests {
 
     #[test]
     fn usage_filters_by_prefix() {
-        let cluster = Cluster::with_governor(
-            SimNet::new(),
-            CpuGovernor::with_time_scale(4, 0.001),
-        );
+        let cluster = Cluster::with_governor(SimNet::new(), CpuGovernor::with_time_scale(4, 0.001));
         let _a = cluster
-            .run_container("pg-0", Image::new("x", "1"), &ServiceAddr::new("a", 1), echo_service())
+            .run_container(
+                "pg-0",
+                Image::new("x", "1"),
+                &ServiceAddr::new("a", 1),
+                echo_service(),
+            )
             .unwrap();
         let _b = cluster
-            .run_container("web-0", Image::new("x", "1"), &ServiceAddr::new("b", 1), echo_service())
+            .run_container(
+                "web-0",
+                Image::new("x", "1"),
+                &ServiceAddr::new("b", 1),
+                echo_service(),
+            )
             .unwrap();
         let mut conn = cluster.net().dial(&ServiceAddr::new("a", 1)).unwrap();
         conn.write_all(b"x").unwrap();

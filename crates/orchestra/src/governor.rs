@@ -58,7 +58,10 @@ impl CpuGovernor {
     /// Panics if `vcpus` is zero or `scale` is not finite and positive.
     pub fn with_time_scale(vcpus: usize, scale: f64) -> Self {
         assert!(vcpus > 0, "a node needs at least one vCPU");
-        assert!(scale.is_finite() && scale > 0.0, "time scale must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be positive"
+        );
         Self {
             inner: Arc::new(GovernorInner {
                 capacity: vcpus,
@@ -161,8 +164,14 @@ mod tests {
         };
         let t_serial = elapsed(&serial);
         let t_parallel = elapsed(&parallel);
-        assert!(t_serial >= Duration::from_millis(38), "serial: {t_serial:?}");
-        assert!(t_parallel < t_serial, "parallel {t_parallel:?} vs serial {t_serial:?}");
+        assert!(
+            t_serial >= Duration::from_millis(38),
+            "serial: {t_serial:?}"
+        );
+        assert!(
+            t_parallel < t_serial,
+            "parallel {t_parallel:?} vs serial {t_serial:?}"
+        );
     }
 
     #[test]

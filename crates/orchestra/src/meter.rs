@@ -87,6 +87,26 @@ impl ResourceMeter {
             mem_peak_bytes: self.inner.mem_peak.load(Ordering::Relaxed),
         }
     }
+
+    /// Publishes the current sample as gauges in `registry`:
+    /// `{prefix}_cpu_micros`, `{prefix}_mem_bytes`, `{prefix}_mem_peak_bytes`.
+    ///
+    /// Call it from whatever cadence scrapes the deployment (a sampler
+    /// thread, or right before an admin `/metrics` render). Values above
+    /// `i64::MAX` saturate, matching the gauge's range.
+    pub fn export_gauges(&self, registry: &rddr_telemetry::Registry, prefix: &str) {
+        let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        let s = self.sample();
+        registry
+            .gauge(&format!("{prefix}_cpu_micros"))
+            .set(clamp(s.cpu_micros));
+        registry
+            .gauge(&format!("{prefix}_mem_bytes"))
+            .set(clamp(s.mem_bytes));
+        registry
+            .gauge(&format!("{prefix}_mem_peak_bytes"))
+            .set(clamp(s.mem_peak_bytes));
+    }
 }
 
 #[cfg(test)]
@@ -129,11 +149,44 @@ mod tests {
     }
 
     #[test]
+    fn export_gauges_publishes_sample() {
+        let m = ResourceMeter::new();
+        m.add_cpu_micros(42);
+        m.alloc(1000);
+        m.free(400);
+        let registry = rddr_telemetry::Registry::new();
+        m.export_gauges(&registry, "c0");
+        let page = registry.render_prometheus();
+        assert!(page.contains("c0_cpu_micros 42"), "metrics:\n{page}");
+        assert!(page.contains("c0_mem_bytes 600"), "metrics:\n{page}");
+        assert!(page.contains("c0_mem_peak_bytes 1000"), "metrics:\n{page}");
+        // Re-export overwrites rather than accumulating.
+        m.free(600);
+        m.export_gauges(&registry, "c0");
+        assert!(registry.render_prometheus().contains("c0_mem_bytes 0"));
+    }
+
+    #[test]
     fn merge_sums_fields() {
-        let a = ResourceSample { cpu_micros: 1, mem_bytes: 2, mem_peak_bytes: 3 };
-        let b = ResourceSample { cpu_micros: 10, mem_bytes: 20, mem_peak_bytes: 30 };
+        let a = ResourceSample {
+            cpu_micros: 1,
+            mem_bytes: 2,
+            mem_peak_bytes: 3,
+        };
+        let b = ResourceSample {
+            cpu_micros: 10,
+            mem_bytes: 20,
+            mem_peak_bytes: 30,
+        };
         let c = a.merge(b);
-        assert_eq!(c, ResourceSample { cpu_micros: 11, mem_bytes: 22, mem_peak_bytes: 33 });
+        assert_eq!(
+            c,
+            ResourceSample {
+                cpu_micros: 11,
+                mem_bytes: 22,
+                mem_peak_bytes: 33
+            }
+        );
     }
 
     #[test]

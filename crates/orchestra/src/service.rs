@@ -29,7 +29,10 @@ pub struct Image {
 impl Image {
     /// Creates an image reference.
     pub fn new(name: impl Into<String>, tag: impl Into<String>) -> Self {
-        Self { name: name.into(), tag: tag.into() }
+        Self {
+            name: name.into(),
+            tag: tag.into(),
+        }
     }
 
     /// The image name (e.g. `"nginx"`).
@@ -63,7 +66,9 @@ pub struct ServiceCtx {
 
 impl fmt::Debug for ServiceCtx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ServiceCtx").field("governor", &self.governor).finish()
+        f.debug_struct("ServiceCtx")
+            .field("governor", &self.governor)
+            .finish()
     }
 }
 
@@ -125,13 +130,18 @@ where
 {
     /// Wraps a handler closure.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f }
+        Self {
+            name: name.into(),
+            f,
+        }
     }
 }
 
 impl<F> fmt::Debug for FnService<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnService").field("name", &self.name).finish()
+        f.debug_struct("FnService")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -61,7 +61,10 @@ pub struct CockroachFlavor {
 
 impl Default for CockroachFlavor {
     fn default() -> Self {
-        Self { version_banner: "CockroachDB CCL v19.1.0".into(), scramble_row_order: false }
+        Self {
+            version_banner: "CockroachDB CCL v19.1.0".into(),
+            scramble_row_order: false,
+        }
     }
 }
 
@@ -110,7 +113,9 @@ pub struct Session {
 impl Session {
     /// Reads a session setting.
     pub fn setting(&self, key: &str) -> Option<&str> {
-        self.settings.get(&key.to_ascii_uppercase()).map(String::as_str)
+        self.settings
+            .get(&key.to_ascii_uppercase())
+            .map(String::as_str)
     }
 }
 
@@ -200,7 +205,10 @@ impl Database {
     pub fn session(&mut self, user: &str) -> Session {
         let user = user.to_ascii_uppercase();
         self.users.insert(user.clone());
-        Session { user, settings: HashMap::new() }
+        Session {
+            user,
+            settings: HashMap::new(),
+        }
     }
 
     pub(crate) fn function(&self, name: &str) -> Option<PlFunction> {
@@ -283,10 +291,7 @@ impl Database {
                 Ok(tag("CREATE TABLE"))
             }
             Statement::DropTable { name } => {
-                let table = self
-                    .tables
-                    .get(&name)
-                    .ok_or_else(|| not_found(&name))?;
+                let table = self.tables.get(&name).ok_or_else(|| not_found(&name))?;
                 if table.owner != session.user && session.user != SUPERUSER {
                     return Err(SqlError::PermissionDenied(format!(
                         "table {}",
@@ -299,16 +304,25 @@ impl Database {
                 self.tables.remove(&name);
                 Ok(tag("DROP TABLE"))
             }
-            Statement::Insert { table, columns, rows } => {
-                self.insert(session, &table, &columns, &rows)
-            }
-            Statement::Update { table, sets, where_clause } => {
-                self.update(session, &table, &sets, where_clause.as_ref())
-            }
-            Statement::Delete { table, where_clause } => {
-                self.delete(session, &table, where_clause.as_ref())
-            }
-            Statement::CreateFunction { name, arg_count, body } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.insert(session, &table, &columns, &rows),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.update(session, &table, &sets, where_clause.as_ref()),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.delete(session, &table, where_clause.as_ref()),
+            Statement::CreateFunction {
+                name,
+                arg_count,
+                body,
+            } => {
                 if let DbFlavor::Cockroach(_) = self.flavor {
                     return Err(SqlError::Unsupported(
                         "user-defined functions are not supported".into(),
@@ -318,7 +332,11 @@ impl Database {
                 self.functions.insert(name, f);
                 Ok(tag("CREATE FUNCTION"))
             }
-            Statement::CreateOperator { symbol, procedure, restrict } => {
+            Statement::CreateOperator {
+                symbol,
+                procedure,
+                restrict,
+            } => {
                 if let DbFlavor::Cockroach(_) = self.flavor {
                     return Err(SqlError::Unsupported(
                         "user-defined operators are not supported".into(),
@@ -330,7 +348,13 @@ impl Database {
                         procedure.to_lowercase()
                     )));
                 }
-                self.operators.insert(symbol, Operator { procedure, restrict });
+                self.operators.insert(
+                    symbol,
+                    Operator {
+                        procedure,
+                        restrict,
+                    },
+                );
                 Ok(tag("CREATE OPERATOR"))
             }
             Statement::CreateUser { name } => {
@@ -447,8 +471,7 @@ impl Database {
             if let Expr::Binary { op, left, right } = c {
                 if op == "=" {
                     for (a, b) in [(left, right), (right, left)] {
-                        if let (Expr::Column(col), Expr::Literal(v)) = (a.as_ref(), b.as_ref())
-                        {
+                        if let (Expr::Column(col), Expr::Literal(v)) = (a.as_ref(), b.as_ref()) {
                             if &col.column == pkey
                                 && col.table.as_ref().is_none_or(|q| q == &tref.alias)
                             {
@@ -487,7 +510,11 @@ impl Database {
         let mut rows = Vec::new();
         for &ri in candidates {
             let row = &t.rows[ri];
-            let env = Env { schema: &schema, row, parent: None };
+            let env = Env {
+                schema: &schema,
+                row,
+                parent: None,
+            };
             let mut keep = true;
             for c in &conjuncts {
                 if !eval(&ctx, c, &env)?.is_truthy() {
@@ -503,7 +530,11 @@ impl Database {
         let mut columns = Vec::new();
         let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
         for row in &rows {
-            let env = Env { schema: &schema, row, parent: None };
+            let env = Env {
+                schema: &schema,
+                row,
+                parent: None,
+            };
             let mut out = Vec::new();
             for item in &select.items {
                 match &item.expr {
@@ -659,7 +690,11 @@ impl Database {
             .map(|c| (alias.to_string(), c.name.clone()))
             .collect();
         for row in &t.rows {
-            let env = Env { schema: &schema, row, parent: None };
+            let env = Env {
+                schema: &schema,
+                row,
+                parent: None,
+            };
             for c in &custom_conjuncts {
                 let _ = eval(ctx, c, &env)?;
             }
@@ -700,7 +735,11 @@ impl Database {
         // Only the *hidden* rows constitute the leak; visible rows are
         // evaluated by the ordinary filter anyway.
         for row in &t.rows {
-            let env = Env { schema: &schema, row, parent: None };
+            let env = Env {
+                schema: &schema,
+                row,
+                parent: None,
+            };
             let visible = self.row_visible(ctx, t, row)?;
             if !visible {
                 for c in &custom {
@@ -722,7 +761,11 @@ impl Database {
             .iter()
             .map(|c| (String::new(), c.name.clone()))
             .collect();
-        let env = Env { schema: &schema, row, parent: None };
+        let env = Env {
+            schema: &schema,
+            row,
+            parent: None,
+        };
         for p in &table.policies {
             if eval(ctx, p, &env)?.is_truthy() {
                 return Ok(true);
@@ -782,9 +825,12 @@ impl Database {
             columns
                 .iter()
                 .map(|c| {
-                    t.columns.iter().position(|cd| &cd.name == c).ok_or_else(|| {
-                        SqlError::Exec(format!("column {} does not exist", c.to_lowercase()))
-                    })
+                    t.columns
+                        .iter()
+                        .position(|cd| &cd.name == c)
+                        .ok_or_else(|| {
+                            SqlError::Exec(format!("column {} does not exist", c.to_lowercase()))
+                        })
                 })
                 .collect::<Result<_, _>>()?
         };
@@ -799,7 +845,11 @@ impl Database {
             }
             let mut row = vec![Value::Null; t.columns.len()];
             for (expr, &pos) in exprs.iter().zip(&positions) {
-                let env = Env { schema: &[], row: &[], parent: None };
+                let env = Env {
+                    schema: &[],
+                    row: &[],
+                    parent: None,
+                };
                 let v = eval(&ctx, expr, &env)?;
                 row[pos] = coerce(v, t.columns[pos].ty)?;
             }
@@ -850,7 +900,11 @@ impl Database {
         let ctx = ExecCtx::new(self, session);
         let mut updates: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
         for (ri, row) in t.rows.iter().enumerate() {
-            let env = Env { schema: &schema, row, parent: None };
+            let env = Env {
+                schema: &schema,
+                row,
+                parent: None,
+            };
             let hit = match where_clause {
                 Some(w) => eval(&ctx, w, &env)?.is_truthy(),
                 None => true,
@@ -875,7 +929,11 @@ impl Database {
                 t.rows[ri][pos] = v;
             }
         }
-        Ok(QueryResult { tag: format!("UPDATE {count}"), scanned, ..QueryResult::default() })
+        Ok(QueryResult {
+            tag: format!("UPDATE {count}"),
+            scanned,
+            ..QueryResult::default()
+        })
     }
 
     fn delete(
@@ -895,7 +953,11 @@ impl Database {
         let mut removed_bytes = 0u64;
         let mut removed = 0usize;
         for row in &t.rows {
-            let env = Env { schema: &schema, row, parent: None };
+            let env = Env {
+                schema: &schema,
+                row,
+                parent: None,
+            };
             let hit = match where_clause {
                 Some(w) => eval(&ctx, w, &env)?.is_truthy(),
                 None => true,
@@ -913,7 +975,11 @@ impl Database {
         t.pkey_index = None;
         t.rows = keep;
         self.storage_bytes = self.storage_bytes.saturating_sub(removed_bytes);
-        Ok(QueryResult { tag: format!("DELETE {removed}"), scanned, ..QueryResult::default() })
+        Ok(QueryResult {
+            tag: format!("DELETE {removed}"),
+            scanned,
+            ..QueryResult::default()
+        })
     }
 }
 
@@ -938,9 +1004,9 @@ pub(crate) fn call_pl_function(
         for ch in template.chars() {
             if ch == '%' {
                 match arg_iter.next() {
-                    Some(&i) => text.push_str(
-                        &args.get(i - 1).cloned().unwrap_or(Value::Null).to_string(),
-                    ),
+                    Some(&i) => {
+                        text.push_str(&args.get(i - 1).cloned().unwrap_or(Value::Null).to_string())
+                    }
                     None => text.push('%'),
                 }
             } else {
@@ -1035,7 +1101,12 @@ fn parse_pl_body(name: &str, arg_count: usize, body: &str) -> Result<PlFunction,
             return_op = Some(parts[1].to_string());
         }
     }
-    Ok(PlFunction { name: name.to_string(), arg_count, notice, return_op })
+    Ok(PlFunction {
+        name: name.to_string(),
+        arg_count,
+        notice,
+        return_op,
+    })
 }
 
 /// Collects WHERE conjuncts that use a user-defined operator and reference
@@ -1107,11 +1178,17 @@ fn table_bytes(t: &Table) -> u64 {
 }
 
 fn tag(t: &str) -> QueryResult {
-    QueryResult { tag: t.to_string(), ..QueryResult::default() }
+    QueryResult {
+        tag: t.to_string(),
+        ..QueryResult::default()
+    }
 }
 
 fn not_found(table: &str) -> SqlError {
-    SqlError::Exec(format!("relation \"{}\" does not exist", table.to_lowercase()))
+    SqlError::Exec(format!(
+        "relation \"{}\" does not exist",
+        table.to_lowercase()
+    ))
 }
 
 /// The recognized point-query pattern.

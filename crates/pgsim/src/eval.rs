@@ -18,9 +18,7 @@ pub(crate) struct Env<'a> {
 impl<'a> Env<'a> {
     pub fn lookup(&self, col: &ColumnRef) -> Option<Value> {
         for (i, (alias, name)) in self.schema.iter().enumerate() {
-            if name == &col.column
-                && col.table.as_ref().is_none_or(|t| t == alias)
-            {
+            if name == &col.column && col.table.as_ref().is_none_or(|t| t == alias) {
                 return Some(self.row[i].clone());
             }
         }
@@ -38,7 +36,12 @@ pub(crate) struct ExecCtx<'a> {
 
 impl<'a> ExecCtx<'a> {
     pub fn new(db: &'a Database, session: &'a Session) -> Self {
-        Self { db, session, notices: RefCell::new(Vec::new()), scanned: Cell::new(0) }
+        Self {
+            db,
+            session,
+            notices: RefCell::new(Vec::new()),
+            scanned: Cell::new(0),
+        }
     }
 
     pub fn notice(&self, text: String) {
@@ -51,11 +54,7 @@ impl<'a> ExecCtx<'a> {
 }
 
 /// Evaluates a scalar expression against a row environment.
-pub(crate) fn eval(
-    ctx: &ExecCtx<'_>,
-    expr: &Expr,
-    env: &Env<'_>,
-) -> Result<Value, SqlError> {
+pub(crate) fn eval(ctx: &ExecCtx<'_>, expr: &Expr, env: &Env<'_>) -> Result<Value, SqlError> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(c) => env.lookup(c).map_or_else(
@@ -137,14 +136,18 @@ pub(crate) fn eval(
             let lo = eval(ctx, low, env)?;
             let hi = eval(ctx, high, env)?;
             match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
-                (Some(a), Some(b)) => {
-                    Ok(Value::Bool(a != std::cmp::Ordering::Less
-                        && b != std::cmp::Ordering::Greater))
-                }
+                (Some(a), Some(b)) => Ok(Value::Bool(
+                    a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater,
+                )),
                 _ => Ok(Value::Null),
             }
         }
-        Expr::In { expr, list, subquery, negated } => {
+        Expr::In {
+            expr,
+            list,
+            subquery,
+            negated,
+        } => {
             let v = eval(ctx, expr, env)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -232,9 +235,10 @@ fn eval_binary(ctx: &ExecCtx<'_>, op: &str, l: Value, r: Value) -> Result<Value,
         }
         custom => {
             // User-defined operator: resolve to its implementing function.
-            let f = ctx.db.operator_function(custom).ok_or_else(|| {
-                SqlError::Exec(format!("operator does not exist: {custom}"))
-            })?;
+            let f = ctx
+                .db
+                .operator_function(custom)
+                .ok_or_else(|| SqlError::Exec(format!("operator does not exist: {custom}")))?;
             crate::db::call_pl_function(ctx, &f, &[l, r])
         }
     }
@@ -274,8 +278,10 @@ fn arith(op: &str, l: Value, r: Value) -> Result<Value, SqlError> {
         };
     }
     let (a, b) = (
-        l.as_f64().ok_or_else(|| SqlError::Exec(format!("non-numeric operand {l}")))?,
-        r.as_f64().ok_or_else(|| SqlError::Exec(format!("non-numeric operand {r}")))?,
+        l.as_f64()
+            .ok_or_else(|| SqlError::Exec(format!("non-numeric operand {l}")))?,
+        r.as_f64()
+            .ok_or_else(|| SqlError::Exec(format!("non-numeric operand {r}")))?,
     );
     match op {
         "+" => Ok(Value::Float(a + b)),
@@ -309,10 +315,15 @@ fn eval_call(
     args: &[Expr],
     env: &Env<'_>,
 ) -> Result<Value, SqlError> {
-    let vals: Vec<Value> =
-        args.iter().map(|a| eval(ctx, a, env)).collect::<Result<_, _>>()?;
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|a| eval(ctx, a, env))
+        .collect::<Result<_, _>>()?;
     match name {
-        "COALESCE" => Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
+        "COALESCE" => Ok(vals
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
         "LENGTH" => match vals.first() {
             Some(Value::Text(s)) => Ok(Value::Int(s.chars().count() as i64)),
             Some(Value::Null) | None => Ok(Value::Null),

@@ -40,7 +40,8 @@ pub(crate) fn run_select(
     if let Some(where_clause) = &select.where_clause {
         for tref in &select.from {
             if tref.subquery.is_none() {
-                ctx.db.leak_probe(ctx, &tref.name, &tref.alias, where_clause)?;
+                ctx.db
+                    .leak_probe(ctx, &tref.name, &tref.alias, where_clause)?;
             }
         }
     }
@@ -56,13 +57,25 @@ pub(crate) fn run_select(
     let mut schema: Vec<(String, String)> = Vec::new();
     let mut rows: Vec<Vec<Value>> = vec![Vec::new()]; // one empty binding
     for source in &sources {
-        rows = join_step(ctx, &mut schema, rows, source, &conjuncts, &mut applied, outer)?;
+        rows = join_step(
+            ctx,
+            &mut schema,
+            rows,
+            source,
+            &conjuncts,
+            &mut applied,
+            outer,
+        )?;
     }
 
     // ---- residual filter (subquery conjuncts and anything unapplied) ------
     let mut filtered = Vec::with_capacity(rows.len());
     for row in rows {
-        let env = Env { schema: &schema, row: &row, parent: outer };
+        let env = Env {
+            schema: &schema,
+            row: &row,
+            parent: outer,
+        };
         let mut keep = true;
         for (i, c) in conjuncts.iter().enumerate() {
             if applied[i] {
@@ -85,7 +98,10 @@ pub(crate) fn run_select(
     // columns (Postgres errors at plan time).
     for item in &items {
         let mut refs = Vec::new();
-        column_refs(item.expr.as_ref().expect("expanded items are exprs"), &mut refs);
+        column_refs(
+            item.expr.as_ref().expect("expanded items are exprs"),
+            &mut refs,
+        );
         for r in &refs {
             if !resolvable(r, &schema, outer) {
                 return Err(SqlError::Exec(format!(
@@ -100,7 +116,9 @@ pub(crate) fn run_select(
     }
     let columns: Vec<String> = items.iter().map(output_name).collect();
     let grouped = !select.group_by.is_empty()
-        || items.iter().any(|i| contains_aggregate(i.expr.as_ref().unwrap()))
+        || items
+            .iter()
+            .any(|i| contains_aggregate(i.expr.as_ref().unwrap()))
         || select.having.as_ref().is_some_and(contains_aggregate);
 
     // Each output row keeps the context rows needed to evaluate ORDER BY.
@@ -109,7 +127,11 @@ pub(crate) fn run_select(
         let mut groups: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
         let mut index: HashMap<String, usize> = HashMap::new();
         for row in rows {
-            let env = Env { schema: &schema, row: &row, parent: outer };
+            let env = Env {
+                schema: &schema,
+                row: &row,
+                parent: outer,
+            };
             let mut key = String::new();
             for g in &select.group_by {
                 key.push_str(&eval(ctx, g, &env)?.group_key());
@@ -147,7 +169,11 @@ pub(crate) fn run_select(
         }
     } else {
         for row in rows {
-            let env = Env { schema: &schema, row: &row, parent: outer };
+            let env = Env {
+                schema: &schema,
+                row: &row,
+                parent: outer,
+            };
             let mut out = Vec::with_capacity(items.len());
             for item in &items {
                 out.push(eval(ctx, item.expr.as_ref().unwrap(), &env)?);
@@ -197,7 +223,10 @@ pub(crate) fn run_select(
         output.truncate(limit as usize);
     }
 
-    Ok(SelectResult { columns, rows: output.into_iter().map(|(o, _)| o).collect() })
+    Ok(SelectResult {
+        columns,
+        rows: output.into_iter().map(|(o, _)| o).collect(),
+    })
 }
 
 fn materialize(
@@ -209,14 +238,23 @@ fn materialize(
         let result = run_select(ctx, sub, outer)?;
         return Ok(Source {
             alias: tref.alias.clone(),
-            cols: result.columns.iter().map(|c| c.to_ascii_uppercase()).collect(),
+            cols: result
+                .columns
+                .iter()
+                .map(|c| c.to_ascii_uppercase())
+                .collect(),
             rows: result.rows,
             left_join_on: tref.left_join_on.clone(),
         });
     }
     let (cols, rows) = ctx.db.visible_rows(ctx, &tref.name)?;
     ctx.charge_scan(rows.len() as u64);
-    Ok(Source { alias: tref.alias.clone(), cols, rows, left_join_on: tref.left_join_on.clone() })
+    Ok(Source {
+        alias: tref.alias.clone(),
+        cols,
+        rows,
+        left_join_on: tref.left_join_on.clone(),
+    })
 }
 
 fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
@@ -278,18 +316,20 @@ pub(crate) fn column_refs(expr: &Expr, out: &mut Vec<ColumnRef>) {
 fn contains_subquery(expr: &Expr) -> bool {
     match expr {
         Expr::Subquery(_) | Expr::Exists { .. } => true,
-        Expr::In { subquery, list, expr, .. } => {
-            subquery.is_some()
-                || contains_subquery(expr)
-                || list.iter().any(contains_subquery)
-        }
+        Expr::In {
+            subquery,
+            list,
+            expr,
+            ..
+        } => subquery.is_some() || contains_subquery(expr) || list.iter().any(contains_subquery),
         Expr::Binary { left, right, .. } => contains_subquery(left) || contains_subquery(right),
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => contains_subquery(expr),
         Expr::Between { expr, low, high } => {
             contains_subquery(expr) || contains_subquery(low) || contains_subquery(high)
         }
         Expr::Case { arms, otherwise } => {
-            arms.iter().any(|(c, r)| contains_subquery(c) || contains_subquery(r))
+            arms.iter()
+                .any(|(c, r)| contains_subquery(c) || contains_subquery(r))
                 || otherwise.as_deref().is_some_and(contains_subquery)
         }
         Expr::Call { args, .. } => args.iter().any(contains_subquery),
@@ -300,15 +340,14 @@ fn contains_subquery(expr: &Expr) -> bool {
 pub(crate) fn contains_aggregate(expr: &Expr) -> bool {
     match expr {
         Expr::Aggregate { .. } => true,
-        Expr::Binary { left, right, .. } => {
-            contains_aggregate(left) || contains_aggregate(right)
-        }
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => contains_aggregate(expr),
         Expr::Between { expr, low, high } => {
             contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
         }
         Expr::Case { arms, otherwise } => {
-            arms.iter().any(|(c, r)| contains_aggregate(c) || contains_aggregate(r))
+            arms.iter()
+                .any(|(c, r)| contains_aggregate(c) || contains_aggregate(r))
                 || otherwise.as_deref().is_some_and(contains_aggregate)
         }
         Expr::Call { args, .. } => args.iter().any(contains_aggregate),
@@ -320,9 +359,9 @@ pub(crate) fn contains_aggregate(expr: &Expr) -> bool {
 }
 
 fn resolvable(col: &ColumnRef, schema: &[(String, String)], outer: Option<&Env<'_>>) -> bool {
-    let here = schema.iter().any(|(alias, name)| {
-        name == &col.column && col.table.as_ref().is_none_or(|t| t == alias)
-    });
+    let here = schema
+        .iter()
+        .any(|(alias, name)| name == &col.column && col.table.as_ref().is_none_or(|t| t == alias));
     if here {
         return true;
     }
@@ -380,7 +419,11 @@ fn join_step(
             for srow in &source.rows {
                 let mut combined = row.clone();
                 combined.extend(srow.iter().cloned());
-                let env = Env { schema, row: &combined, parent: outer };
+                let env = Env {
+                    schema,
+                    row: &combined,
+                    parent: outer,
+                };
                 if eval(ctx, on, &env)?.is_truthy() {
                     matched = true;
                     out.push(combined);
@@ -395,7 +438,11 @@ fn join_step(
         // Newly-bound conjuncts still apply (they filter the padded rows too).
         let mut filtered = Vec::with_capacity(out.len());
         for row in out {
-            let env = Env { schema, row: &row, parent: outer };
+            let env = Env {
+                schema,
+                row: &row,
+                parent: outer,
+            };
             let mut keep = true;
             for &i in &newly {
                 if !eval(ctx, &conjuncts[i], &env)?.is_truthy() {
@@ -421,13 +468,11 @@ fn join_step(
                 for (a, b) in [(left, right), (right, left)] {
                     if let Expr::Column(c) = a.as_ref() {
                         let source_col = source.cols.iter().position(|col| {
-                            col == &c.column
-                                && c.table.as_ref().is_none_or(|t| t == &source.alias)
+                            col == &c.column && c.table.as_ref().is_none_or(|t| t == &source.alias)
                         });
                         let mut brefs = Vec::new();
                         column_refs(b, &mut brefs);
-                        let b_bound =
-                            brefs.iter().all(|r| resolvable(r, &old_schema, outer));
+                        let b_bound = brefs.iter().all(|r| resolvable(r, &old_schema, outer));
                         if let (Some(idx), true) = (source_col, b_bound) {
                             hash_key = Some((idx, (**b).clone()));
                             break;
@@ -448,7 +493,11 @@ fn join_step(
             index.entry(srow[col_idx].group_key()).or_default().push(ri);
         }
         for row in &bound_rows {
-            let env = Env { schema: &old_schema, row, parent: outer };
+            let env = Env {
+                schema: &old_schema,
+                row,
+                parent: outer,
+            };
             let key = eval(ctx, &bound_expr, &env)?;
             if key.is_null() {
                 continue;
@@ -457,7 +506,11 @@ fn join_step(
                 for &ri in candidates {
                     let mut combined = row.clone();
                     combined.extend(source.rows[ri].iter().cloned());
-                    let env = Env { schema, row: &combined, parent: outer };
+                    let env = Env {
+                        schema,
+                        row: &combined,
+                        parent: outer,
+                    };
                     let mut keep = true;
                     for &i in &newly {
                         if !eval(ctx, &conjuncts[i], &env)?.is_truthy() {
@@ -476,7 +529,11 @@ fn join_step(
             for srow in &source.rows {
                 let mut combined = row.clone();
                 combined.extend(srow.iter().cloned());
-                let env = Env { schema, row: &combined, parent: outer };
+                let env = Env {
+                    schema,
+                    row: &combined,
+                    parent: outer,
+                };
                 let mut keep = true;
                 for &i in &newly {
                     if !eval(ctx, &conjuncts[i], &env)?.is_truthy() {
@@ -541,7 +598,11 @@ fn eval_grouped(
     let rewritten = rewrite_aggregates(ctx, expr, schema, group_rows, outer)?;
     let empty: Vec<Value> = Vec::new();
     let first = group_rows.first().map(Vec::as_slice).unwrap_or(&empty);
-    let env = Env { schema, row: first, parent: outer };
+    let env = Env {
+        schema,
+        row: first,
+        parent: outer,
+    };
     eval(ctx, &rewritten, &env)
 }
 
@@ -553,9 +614,19 @@ fn rewrite_aggregates(
     outer: Option<&Env<'_>>,
 ) -> Result<Expr, SqlError> {
     Ok(match expr {
-        Expr::Aggregate { name, arg, distinct } => {
-            Expr::Literal(compute_aggregate(ctx, name, arg.as_deref(), *distinct, schema, rows, outer)?)
-        }
+        Expr::Aggregate {
+            name,
+            arg,
+            distinct,
+        } => Expr::Literal(compute_aggregate(
+            ctx,
+            name,
+            arg.as_deref(),
+            *distinct,
+            schema,
+            rows,
+            outer,
+        )?),
         Expr::Binary { op, left, right } => Expr::Binary {
             op: op.clone(),
             left: Box::new(rewrite_aggregates(ctx, left, schema, rows, outer)?),
@@ -607,7 +678,11 @@ fn compute_aggregate(
 ) -> Result<Value, SqlError> {
     let mut values = Vec::with_capacity(rows.len());
     for row in rows {
-        let env = Env { schema, row, parent: outer };
+        let env = Env {
+            schema,
+            row,
+            parent: outer,
+        };
         match arg {
             Some(a) => values.push(eval(ctx, a, &env)?),
             None => values.push(Value::Int(1)), // COUNT(*)
@@ -634,7 +709,10 @@ fn compute_aggregate(
             let sum: f64 = nums.iter().sum();
             if name == "SUM" {
                 // Keep integer sums integral.
-                if values.iter().all(|v| matches!(v, Value::Int(_) | Value::Null)) {
+                if values
+                    .iter()
+                    .all(|v| matches!(v, Value::Int(_) | Value::Null))
+                {
                     Ok(Value::Int(sum as i64))
                 } else {
                     Ok(Value::Float(sum))
@@ -708,5 +786,3 @@ fn order_key_value(
     }
     eval_grouped(ctx, &key.expr, schema, ctx_rows, outer)
 }
-
-

@@ -107,9 +107,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
                 while i < bytes.len() {
                     match bytes[i] {
                         b'0'..=b'9' => i += 1,
-                        b'.' if !is_float
-                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) =>
-                        {
+                        b'.' if !is_float && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
                             is_float = true;
                             i += 1;
                         }
@@ -129,9 +127,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Word(sql[start..i].to_ascii_uppercase()));
@@ -208,10 +204,10 @@ mod tests {
 
     #[test]
     fn words_fold_to_uppercase() {
-        assert_eq!(toks("select Name"), vec![
-            Token::Word("SELECT".into()),
-            Token::Word("NAME".into()),
-        ]);
+        assert_eq!(
+            toks("select Name"),
+            vec![Token::Word("SELECT".into()), Token::Word("NAME".into()),]
+        );
     }
 
     #[test]
@@ -221,7 +217,7 @@ mod tests {
 
     #[test]
     fn numbers_int_and_float() {
-        assert_eq!(toks("42 3.14"), vec![Token::Int(42), Token::Float(3.14)]);
+        assert_eq!(toks("42 2.75"), vec![Token::Int(42), Token::Float(2.75)]);
     }
 
     #[test]
@@ -275,7 +271,10 @@ mod tests {
     #[test]
     fn operator_run_stops_before_line_comment() {
         let t = toks("1+--c\n2");
-        assert_eq!(t, vec![Token::Int(1), Token::Sym("+".into()), Token::Int(2)]);
+        assert_eq!(
+            t,
+            vec![Token::Int(1), Token::Sym("+".into()), Token::Int(2)]
+        );
     }
 
     #[test]

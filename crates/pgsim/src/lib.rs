@@ -53,9 +53,7 @@ mod value;
 mod version;
 
 pub use db::{CockroachFlavor, Database, DbFlavor, QueryResult, Session, SqlError};
-pub use server::{
-    query_message, startup_message, PgClient, PgResponse, PgServer, PgServerConfig,
-};
+pub use server::{query_message, startup_message, PgClient, PgResponse, PgServer, PgServerConfig};
 pub use value::{SqlType, Value};
 pub use version::PgVersion;
 

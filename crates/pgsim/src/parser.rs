@@ -38,7 +38,10 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>, SqlError> {
         let at_sep = i == tokens.len() || tokens[i].is_sym(";");
         if at_sep {
             if i > start {
-                let mut p = Parser { tokens: tokens[start..i].to_vec(), pos: 0 };
+                let mut p = Parser {
+                    tokens: tokens[start..i].to_vec(),
+                    pos: 0,
+                };
                 statements.push(p.statement()?);
                 if !p.at_end() {
                     return Err(SqlError::Parse(format!(
@@ -73,7 +76,9 @@ impl Parser {
     }
 
     fn peek_text(&self) -> String {
-        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "<end>".into())
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -197,9 +202,7 @@ impl Parser {
                 self.bump();
                 let mut key = self.expect_word()?;
                 // Multi-word keys: SET client_min_messages, SET default_transaction_isolation
-                while self
-                    .peek()
-                    .is_some_and(|t| matches!(t, Token::Word(_)))
+                while self.peek().is_some_and(|t| matches!(t, Token::Word(_)))
                     && !self.peek().is_some_and(|t| t.is_kw("TO"))
                 {
                     key.push('_');
@@ -286,7 +289,11 @@ impl Parser {
             while self.peek().is_some_and(|t| matches!(t, Token::Word(_))) {
                 self.bump();
             }
-            return Ok(Statement::CreateFunction { name, arg_count, body });
+            return Ok(Statement::CreateFunction {
+                name,
+                arg_count,
+                body,
+            });
         }
         if self.eat_kw("OPERATOR") {
             let symbol = match self.bump() {
@@ -310,9 +317,13 @@ impl Parser {
                 }
             }
             self.expect_sym(")")?;
-            let procedure = procedure
-                .ok_or_else(|| SqlError::Parse("operator needs procedure=".into()))?;
-            return Ok(Statement::CreateOperator { symbol, procedure, restrict });
+            let procedure =
+                procedure.ok_or_else(|| SqlError::Parse("operator needs procedure=".into()))?;
+            return Ok(Statement::CreateOperator {
+                symbol,
+                procedure,
+                restrict,
+            });
         }
         if self.eat_kw("USER") || self.eat_kw("ROLE") {
             let name = self.expect_word()?;
@@ -368,7 +379,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn update(&mut self) -> Result<Statement, SqlError> {
@@ -384,26 +399,47 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.expect_word()?;
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Delete { table, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
     }
 
     // ---- SELECT ----------------------------------------------------------
 
     fn select(&mut self) -> Result<Select, SqlError> {
         self.expect_kw("SELECT")?;
-        let mut select = Select { distinct: self.eat_kw("DISTINCT"), ..Select::default() };
+        let mut select = Select {
+            distinct: self.eat_kw("DISTINCT"),
+            ..Select::default()
+        };
         loop {
             if self.eat_sym("*") {
-                select.items.push(SelectItem { expr: None, alias: None });
+                select.items.push(SelectItem {
+                    expr: None,
+                    alias: None,
+                });
             } else {
                 let expr = self.expr()?;
                 let alias = if self.eat_kw("AS") {
@@ -420,7 +456,10 @@ impl Parser {
                 } else {
                     None
                 };
-                select.items.push(SelectItem { expr: Some(expr), alias });
+                select.items.push(SelectItem {
+                    expr: Some(expr),
+                    alias,
+                });
             }
             if !self.eat_sym(",") {
                 break;
@@ -541,7 +580,12 @@ impl Parser {
             } else {
                 name.clone()
             };
-            TableRef { name, alias, left_join_on: None, subquery: None }
+            TableRef {
+                name,
+                alias,
+                left_join_on: None,
+                subquery: None,
+            }
         };
         if is_left_join {
             self.expect_kw("ON")?;
@@ -560,7 +604,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: "OR".into(), left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: "OR".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -569,8 +617,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left =
-                Expr::Binary { op: "AND".into(), left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: "AND".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -584,11 +635,17 @@ impl Parser {
             self.expect_sym("(")?;
             let sub = self.select()?;
             self.expect_sym(")")?;
-            return Ok(Expr::Exists { subquery: Box::new(sub), negated: true });
+            return Ok(Expr::Exists {
+                subquery: Box::new(sub),
+                negated: true,
+            });
         }
         if self.eat_kw("NOT") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: "NOT".into(), expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: "NOT".into(),
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -600,13 +657,17 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] BETWEEN / IN / LIKE
         let negated = if self.peek().is_some_and(|t| t.is_kw("NOT"))
-            && self.peek_at(1).is_some_and(|t| {
-                t.is_kw("BETWEEN") || t.is_kw("IN") || t.is_kw("LIKE")
-            }) {
+            && self
+                .peek_at(1)
+                .is_some_and(|t| t.is_kw("BETWEEN") || t.is_kw("IN") || t.is_kw("LIKE"))
+        {
             self.bump();
             true
         } else {
@@ -622,7 +683,10 @@ impl Parser {
                 high: Box::new(high),
             };
             return Ok(if negated {
-                Expr::Unary { op: "NOT".into(), expr: Box::new(between) }
+                Expr::Unary {
+                    op: "NOT".into(),
+                    expr: Box::new(between),
+                }
             } else {
                 between
             });
@@ -647,7 +711,12 @@ impl Parser {
                 }
             }
             self.expect_sym(")")?;
-            return Ok(Expr::In { expr: Box::new(left), list, subquery: None, negated });
+            return Ok(Expr::In {
+                expr: Box::new(left),
+                list,
+                subquery: None,
+                negated,
+            });
         }
         if self.eat_kw("LIKE") {
             let pattern = self.additive()?;
@@ -657,7 +726,10 @@ impl Parser {
                 right: Box::new(pattern),
             };
             return Ok(if negated {
-                Expr::Unary { op: "NOT".into(), expr: Box::new(like) }
+                Expr::Unary {
+                    op: "NOT".into(),
+                    expr: Box::new(like),
+                }
             } else {
                 like
             });
@@ -665,8 +737,10 @@ impl Parser {
         // Built-in comparison symbols and user-defined operators.
         if let Some(Token::Sym(s)) = self.peek() {
             let s = s.clone();
-            if !matches!(s.as_str(), "(" | ")" | "," | ";" | "." | "*" | "+" | "-" | "/" | "%")
-            {
+            if !matches!(
+                s.as_str(),
+                "(" | ")" | "," | ";" | "." | "*" | "+" | "-" | "/" | "%"
+            ) {
                 self.bump();
                 let right = self.additive()?;
                 return Ok(Expr::Binary {
@@ -726,7 +800,10 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr, SqlError> {
         if self.eat_sym("-") {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: "-".into(), expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: "-".into(),
+                expr: Box::new(inner),
+            });
         }
         self.primary()
     }
@@ -806,7 +883,10 @@ impl Parser {
                 self.expect_sym("(")?;
                 let sub = self.select()?;
                 self.expect_sym(")")?;
-                return Ok(Expr::Exists { subquery: Box::new(sub), negated: false });
+                return Ok(Expr::Exists {
+                    subquery: Box::new(sub),
+                    negated: false,
+                });
             }
             "EXTRACT" => {
                 self.bump();
@@ -815,7 +895,10 @@ impl Parser {
                 self.expect_kw("FROM")?;
                 let arg = self.expr()?;
                 self.expect_sym(")")?;
-                return Ok(Expr::Call { name: format!("EXTRACT_{field}"), args: vec![arg] });
+                return Ok(Expr::Call {
+                    name: format!("EXTRACT_{field}"),
+                    args: vec![arg],
+                });
             }
             "SUBSTRING" => {
                 self.bump();
@@ -833,7 +916,10 @@ impl Parser {
                     }
                 }
                 self.expect_sym(")")?;
-                return Ok(Expr::Call { name: "SUBSTRING".into(), args });
+                return Ok(Expr::Call {
+                    name: "SUBSTRING".into(),
+                    args,
+                });
             }
             _ => {}
         }
@@ -845,12 +931,20 @@ impl Parser {
             if matches!(w.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") {
                 if w == "COUNT" && self.eat_sym("*") {
                     self.expect_sym(")")?;
-                    return Ok(Expr::Aggregate { name: w, arg: None, distinct: false });
+                    return Ok(Expr::Aggregate {
+                        name: w,
+                        arg: None,
+                        distinct: false,
+                    });
                 }
                 let distinct = self.eat_kw("DISTINCT");
                 let arg = self.expr()?;
                 self.expect_sym(")")?;
-                return Ok(Expr::Aggregate { name: w, arg: Some(Box::new(arg)), distinct });
+                return Ok(Expr::Aggregate {
+                    name: w,
+                    arg: Some(Box::new(arg)),
+                    distinct,
+                });
             }
             let mut args = Vec::new();
             if !self.eat_sym(")") {
@@ -873,9 +967,15 @@ impl Parser {
         self.bump();
         if self.eat_sym(".") {
             let column = self.expect_word()?;
-            Ok(Expr::Column(ColumnRef { table: Some(w), column }))
+            Ok(Expr::Column(ColumnRef {
+                table: Some(w),
+                column,
+            }))
         } else {
-            Ok(Expr::Column(ColumnRef { table: None, column: w }))
+            Ok(Expr::Column(ColumnRef {
+                table: None,
+                column: w,
+            }))
         }
     }
 }
@@ -970,10 +1070,8 @@ mod tests {
 
     #[test]
     fn aggregates_and_group_by() {
-        let s = sel(
-            "SELECT l_returnflag, SUM(l_quantity) AS sum_qty, COUNT(*) \
-             FROM lineitem GROUP BY l_returnflag HAVING SUM(l_quantity) > 100",
-        );
+        let s = sel("SELECT l_returnflag, SUM(l_quantity) AS sum_qty, COUNT(*) \
+             FROM lineitem GROUP BY l_returnflag HAVING SUM(l_quantity) > 100");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert!(matches!(
@@ -1016,9 +1114,7 @@ mod tests {
 
     #[test]
     fn subqueries_in_in_and_exists() {
-        let s = sel(
-            "SELECT 1 FROM t WHERE a IN (SELECT b FROM u) AND EXISTS (SELECT 1 FROM v)",
-        );
+        let s = sel("SELECT 1 FROM t WHERE a IN (SELECT b FROM u) AND EXISTS (SELECT 1 FROM v)");
         let w = s.where_clause.unwrap();
         assert!(matches!(w, Expr::Binary { ref op, .. } if op == "AND"));
     }
@@ -1042,9 +1138,8 @@ mod tests {
 
     #[test]
     fn between_and_like_and_not() {
-        let s = sel(
-            "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND name LIKE 'A%' AND b NOT IN (1,2)",
-        );
+        let s =
+            sel("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND name LIKE 'A%' AND b NOT IN (1,2)");
         assert!(s.where_clause.is_some());
     }
 
@@ -1100,7 +1195,10 @@ mod tests {
         ";
         let stmts = parse_script(script).unwrap();
         assert_eq!(stmts.len(), 4);
-        assert!(matches!(stmts[0], Statement::CreateFunction { arg_count: 2, .. }));
+        assert!(matches!(
+            stmts[0],
+            Statement::CreateFunction { arg_count: 2, .. }
+        ));
         assert!(
             matches!(stmts[1], Statement::CreateOperator { ref symbol, ref restrict, .. }
                 if symbol == ">>>" && restrict.as_deref() == Some("SCALARGTSEL"))

@@ -46,7 +46,10 @@ pub fn load(db: &mut Database, scale: usize) -> Result<usize, SqlError> {
     let branches: Vec<String> = (1..=scale).map(|b| format!("({b}, 0, 'b')")).collect();
     db.execute(
         &mut session,
-        &format!("INSERT INTO pgbench_branches VALUES {}", branches.join(", ")),
+        &format!(
+            "INSERT INTO pgbench_branches VALUES {}",
+            branches.join(", ")
+        ),
     )?;
     let tellers: Vec<String> = (1..=scale * 10)
         .map(|t| format!("({t}, {}, 0, 't')", (t - 1) / 10 + 1))
@@ -91,7 +94,10 @@ impl SelectWorkload {
     /// Creates a workload over `accounts` rows, seeded per client id so
     /// concurrent clients draw different but reproducible account streams.
     pub fn new(accounts: usize, client_id: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(0xbe7c_1000 ^ client_id), accounts }
+        Self {
+            rng: StdRng::seed_from_u64(0xbe7c_1000 ^ client_id),
+            accounts,
+        }
     }
 
     /// The next transaction's SQL text.
@@ -112,9 +118,13 @@ mod tests {
         let accounts = load(&mut db, 2).unwrap();
         assert_eq!(accounts, 2 * ACCOUNTS_PER_BRANCH);
         let mut s = db.session("app");
-        let r = db.execute(&mut s, "SELECT COUNT(*) FROM pgbench_tellers").unwrap();
+        let r = db
+            .execute(&mut s, "SELECT COUNT(*) FROM pgbench_tellers")
+            .unwrap();
         assert_eq!(r.rows[0][0].to_string(), "20");
-        let r = db.execute(&mut s, "SELECT COUNT(*) FROM pgbench_branches").unwrap();
+        let r = db
+            .execute(&mut s, "SELECT COUNT(*) FROM pgbench_branches")
+            .unwrap();
         assert_eq!(r.rows[0][0].to_string(), "2");
     }
 
@@ -124,7 +134,10 @@ mod tests {
         load(&mut db, 1).unwrap();
         let mut s = db.session("app");
         let r = db
-            .execute(&mut s, "SELECT abalance FROM pgbench_accounts WHERE aid = 500")
+            .execute(
+                &mut s,
+                "SELECT abalance FROM pgbench_accounts WHERE aid = 500",
+            )
             .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert!(

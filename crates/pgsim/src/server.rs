@@ -25,7 +25,10 @@ pub struct PgServerConfig {
 
 impl Default for PgServerConfig {
     fn default() -> Self {
-        Self { base_cost: Duration::from_micros(50), cost_per_row: Duration::from_micros(2) }
+        Self {
+            base_cost: Duration::from_micros(50),
+            cost_per_row: Duration::from_micros(2),
+        }
     }
 }
 
@@ -46,7 +49,9 @@ pub struct PgServer {
 
 impl std::fmt::Debug for PgServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PgServer").field("config", &self.config).finish()
+        f.debug_struct("PgServer")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -174,8 +179,7 @@ impl Service for PgServer {
                     match result {
                         Ok(r) => {
                             ctx.compute(
-                                self.config.base_cost
-                                    + self.config.cost_per_row * r.scanned as u32,
+                                self.config.base_cost + self.config.cost_per_row * r.scanned as u32,
                             );
                             for notice in &r.notices {
                                 out.extend(msg(b'N', notice.clone().into_bytes()));
@@ -209,8 +213,10 @@ impl Service for PgServer {
                 }
                 b'X' => return,
                 _ => {
-                    let mut out =
-                        msg(b'E', b"ERROR: 0A000 extended protocol not supported".to_vec());
+                    let mut out = msg(
+                        b'E',
+                        b"ERROR: 0A000 extended protocol not supported".to_vec(),
+                    );
                     out.extend(msg(b'Z', b"I".to_vec()));
                     if conn.write_all(&out).is_err() {
                         return;
@@ -277,7 +283,10 @@ impl PgClient {
     pub fn connect(mut conn: BoxStream, user: &str) -> Result<Self, SqlError> {
         conn.write_all(&startup_message(user))
             .map_err(|e| SqlError::Exec(format!("startup write failed: {e}")))?;
-        let mut client = Self { conn, buf: BytesMut::new() };
+        let mut client = Self {
+            conn,
+            buf: BytesMut::new(),
+        };
         client.read_until_ready()?;
         Ok(client)
     }
@@ -299,16 +308,13 @@ impl PgClient {
         let mut response = PgResponse::default();
         let mut chunk = [0u8; 16 * 1024];
         loop {
-            match PgMessage::decode(&self.buf, false)
-                .map_err(|e| SqlError::Exec(e.to_string()))?
-            {
+            match PgMessage::decode(&self.buf, false).map_err(|e| SqlError::Exec(e.to_string()))? {
                 Some((m, used)) => {
                     let _ = self.buf.split_to(used);
                     let text = String::from_utf8_lossy(&m.payload).into_owned();
                     match m.tag {
                         b'T' => {
-                            response.columns =
-                                text.split('\u{1f}').map(str::to_string).collect()
+                            response.columns = text.split('\u{1f}').map(str::to_string).collect()
                         }
                         b'D' => response
                             .rows
@@ -321,9 +327,7 @@ impl PgClient {
                     }
                 }
                 None => match self.conn.read(&mut chunk) {
-                    Ok(0) | Err(_) => {
-                        return Err(SqlError::Exec("connection severed".into()))
-                    }
+                    Ok(0) | Err(_) => return Err(SqlError::Exec("connection severed".into())),
                     Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 },
             }

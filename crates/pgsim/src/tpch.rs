@@ -69,17 +69,46 @@ impl Sizes {
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [(&str, usize); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const TYPES: [&str; 6] = [
-    "ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "STANDARD POLISHED COPPER",
-    "SMALL PLATED BRASS", "MEDIUM BURNISHED TIN", "PROMO BRUSHED NICKEL",
+    "ECONOMY ANODIZED STEEL",
+    "LARGE BRUSHED BRASS",
+    "STANDARD POLISHED COPPER",
+    "SMALL PLATED BRASS",
+    "MEDIUM BURNISHED TIN",
+    "PROMO BRUSHED NICKEL",
 ];
 const CONTAINERS: [&str; 4] = ["SM CASE", "MED BOX", "LG CAN", "JUMBO JAR"];
 const MODES: [&str; 4] = ["MAIL", "SHIP", "AIR", "TRUCK"];
@@ -151,7 +180,11 @@ pub fn load(db: &mut Database, sf: f64) -> Result<(), SqlError> {
         .map(|i| {
             let nation = rng.gen_range(0..sizes.nation);
             let bal: f64 = rng.gen_range(-999.0..9999.0);
-            let complaint = if rng.gen_ratio(1, 10) { "Customer Complaints" } else { "quiet" };
+            let complaint = if rng.gen_ratio(1, 10) {
+                "Customer Complaints"
+            } else {
+                "quiet"
+            };
             format!(
                 "({i}, 'Supplier#{i:09}', 'addr{i}', {nation}, '{:02}-555-{i:04}', \
                  {bal:.2}, '{complaint}')",
@@ -208,7 +241,11 @@ pub fn load(db: &mut Database, sf: f64) -> Result<(), SqlError> {
         let cust = rng.gen_range(0..sizes.customer);
         let odate = date(&mut rng, 1992, 1998);
         let prio = PRIORITIES[rng.gen_range(0..PRIORITIES.len())];
-        let status = if odate.as_str() < "1995-06-17" { "F" } else { "O" };
+        let status = if odate.as_str() < "1995-06-17" {
+            "F"
+        } else {
+            "O"
+        };
         let lines = rng.gen_range(1..=7usize);
         let mut total = 0.0;
         for ln in 0..lines {
@@ -224,7 +261,11 @@ pub fn load(db: &mut Database, sf: f64) -> Result<(), SqlError> {
             let commit = date(&mut rng, 1992, 1998);
             let receipt = format!("{}-28", &ship[..7]);
             let mode = MODES[rng.gen_range(0..MODES.len())];
-            let comment = if rng.gen_ratio(1, 20) { "special requests sleep" } else { "fluffy" };
+            let comment = if rng.gen_ratio(1, 20) {
+                "special requests sleep"
+            } else {
+                "fluffy"
+            };
             line_rows.push(format!(
                 "({i}, {part}, {supp}, {ln}, {qty}, {price:.2}, {discount:.2}, {tax:.2}, \
                  '{rf}', '{ls}', '{ship}', '{commit}', '{receipt}', '{mode}', '{comment}')"
@@ -280,7 +321,11 @@ pub const QUERIES: [TpchQuery; 22] = [
 /// The query numbers the Figure 4 harness runs — 21 of 22, mirroring the
 /// paper ("all the queries except one").
 pub fn benchmark_query_numbers() -> Vec<u32> {
-    QUERIES.iter().map(|q| q.number).filter(|&n| n != 17).collect()
+    QUERIES
+        .iter()
+        .map(|q| q.number)
+        .filter(|&n| n != 17)
+        .collect()
 }
 
 #[cfg(test)]
@@ -332,7 +377,10 @@ mod tests {
         let r = db.execute(&mut session, QUERIES[0].sql).unwrap();
         assert_eq!(r.columns.len(), 10);
         assert!(!r.rows.is_empty());
-        assert!(r.rows.len() <= 6, "at most |returnflag| x |linestatus| groups");
+        assert!(
+            r.rows.len() <= 6,
+            "at most |returnflag| x |linestatus| groups"
+        );
     }
 
     #[test]

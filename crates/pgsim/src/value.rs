@@ -229,8 +229,14 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -251,7 +257,10 @@ mod tests {
     #[test]
     fn group_key_merges_equal_numerics() {
         assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
-        assert_ne!(Value::Int(2).group_key(), Value::Text("2".into()).group_key());
+        assert_ne!(
+            Value::Int(2).group_key(),
+            Value::Text("2".into()).group_key()
+        );
     }
 
     #[test]

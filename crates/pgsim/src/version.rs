@@ -54,7 +54,11 @@ impl PgVersion {
         let major = next("major")?;
         let minor = next("minor")?;
         let patch = next("patch")?;
-        Ok(Self { major, minor, patch })
+        Ok(Self {
+            major,
+            minor,
+            patch,
+        })
     }
 
     /// CVE-2017-7484 gate: whether the planner leaks table contents through

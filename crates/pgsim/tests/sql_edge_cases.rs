@@ -9,18 +9,25 @@ fn db() -> Database {
 
 fn run(db: &mut Database, sql: &str) -> rddr_pgsim::QueryResult {
     let mut s = db.session("app");
-    db.execute(&mut s, sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    db.execute(&mut s, sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
 }
 
 fn texts(r: &rddr_pgsim::QueryResult) -> Vec<Vec<String>> {
-    r.rows.iter().map(|row| row.iter().map(Value::to_string).collect()).collect()
+    r.rows
+        .iter()
+        .map(|row| row.iter().map(Value::to_string).collect())
+        .collect()
 }
 
 #[test]
 fn aggregates_over_empty_table() {
     let mut db = db();
     run(&mut db, "CREATE TABLE t (x INT)");
-    let r = run(&mut db, "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t");
+    let r = run(
+        &mut db,
+        "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t",
+    );
     assert_eq!(texts(&r), vec![vec!["0", "", "", "", ""]]);
 }
 
@@ -47,7 +54,10 @@ fn having_without_group_by() {
 fn distinct_on_multiple_columns() {
     let mut db = db();
     run(&mut db, "CREATE TABLE t (a INT, b TEXT)");
-    run(&mut db, "INSERT INTO t VALUES (1,'x'), (1,'x'), (1,'y'), (2,'x')");
+    run(
+        &mut db,
+        "INSERT INTO t VALUES (1,'x'), (1,'x'), (1,'y'), (2,'x')",
+    );
     let r = run(&mut db, "SELECT DISTINCT a, b FROM t ORDER BY a, b");
     assert_eq!(r.rows.len(), 3);
 }
@@ -57,7 +67,10 @@ fn group_by_expression() {
     let mut db = db();
     run(&mut db, "CREATE TABLE t (x INT)");
     run(&mut db, "INSERT INTO t VALUES (1), (2), (3), (4), (5)");
-    let r = run(&mut db, "SELECT x % 2, COUNT(*) FROM t GROUP BY x % 2 ORDER BY 1");
+    let r = run(
+        &mut db,
+        "SELECT x % 2, COUNT(*) FROM t GROUP BY x % 2 ORDER BY 1",
+    );
     assert_eq!(texts(&r), vec![vec!["0", "2"], vec!["1", "3"]]);
 }
 
@@ -130,7 +143,10 @@ fn in_with_empty_subquery_result() {
     let mut db = db();
     run(&mut db, "CREATE TABLE t (x INT)");
     run(&mut db, "INSERT INTO t VALUES (1)");
-    let r = run(&mut db, "SELECT x FROM t WHERE x IN (SELECT x FROM t WHERE x > 99)");
+    let r = run(
+        &mut db,
+        "SELECT x FROM t WHERE x IN (SELECT x FROM t WHERE x > 99)",
+    );
     assert!(r.rows.is_empty());
     let r = run(
         &mut db,
@@ -158,7 +174,10 @@ fn delete_without_where_empties_table() {
     run(&mut db, "INSERT INTO t VALUES (1), (2), (3)");
     let r = run(&mut db, "DELETE FROM t");
     assert_eq!(r.tag, "DELETE 3");
-    assert_eq!(texts(&run(&mut db, "SELECT COUNT(*) FROM t")), vec![vec!["0"]]);
+    assert_eq!(
+        texts(&run(&mut db, "SELECT COUNT(*) FROM t")),
+        vec![vec!["0"]]
+    );
 }
 
 #[test]
@@ -215,7 +234,10 @@ fn pkey_index_survives_inserts_and_invalidation() {
     let mut db = db();
     run(&mut db, "CREATE TABLE big (id INT, v TEXT)");
     let rows: Vec<String> = (0..300).map(|i| format!("({i}, 'v{i}')")).collect();
-    run(&mut db, &format!("INSERT INTO big VALUES {}", rows.join(", ")));
+    run(
+        &mut db,
+        &format!("INSERT INTO big VALUES {}", rows.join(", ")),
+    );
     // Point query builds the index.
     let r = run(&mut db, "SELECT v FROM big WHERE id = 250");
     assert_eq!(texts(&r), vec![vec!["v250"]]);
@@ -232,14 +254,19 @@ fn pkey_index_survives_inserts_and_invalidation() {
     assert!(r.rows.is_empty());
     // DELETE invalidates too.
     run(&mut db, "DELETE FROM big WHERE id = 2000");
-    assert!(run(&mut db, "SELECT v FROM big WHERE id = 2000").rows.is_empty());
+    assert!(run(&mut db, "SELECT v FROM big WHERE id = 2000")
+        .rows
+        .is_empty());
 }
 
 #[test]
 fn like_patterns_with_literal_percent_semantics() {
     let mut db = db();
     run(&mut db, "CREATE TABLE t (s TEXT)");
-    run(&mut db, "INSERT INTO t VALUES ('100% done'), ('done'), ('10x done')");
+    run(
+        &mut db,
+        "INSERT INTO t VALUES ('100% done'), ('done'), ('10x done')",
+    );
     // '%' is a wildcard, so '100% done' also matches '10%_done'-ish shapes;
     // we exercise the common prefix/suffix usage.
     let r = run(&mut db, "SELECT COUNT(*) FROM t WHERE s LIKE '%done'");
@@ -263,7 +290,10 @@ fn string_concat_and_functions_compose() {
 fn order_by_mixed_directions_and_nulls_last() {
     let mut db = db();
     run(&mut db, "CREATE TABLE t (a INT, b INT)");
-    run(&mut db, "INSERT INTO t VALUES (1, 5), (1, NULL), (2, 1), (2, 9)");
+    run(
+        &mut db,
+        "INSERT INTO t VALUES (1, 5), (1, NULL), (2, 1), (2, 9)",
+    );
     let r = run(&mut db, "SELECT a, b FROM t ORDER BY a DESC, b");
     assert_eq!(
         texts(&r),

@@ -8,20 +8,30 @@ fn pg(version: &str) -> Database {
 
 fn run(db: &mut Database, user: &str, sql: &str) -> rddr_pgsim::QueryResult {
     let mut s = db.session(user);
-    db.execute(&mut s, sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    db.execute(&mut s, sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
 }
 
 fn run_err(db: &mut Database, user: &str, sql: &str) -> SqlError {
     let mut s = db.session(user);
-    db.execute(&mut s, sql).expect_err(&format!("{sql} should fail"))
+    db.execute(&mut s, sql)
+        .expect_err(&format!("{sql} should fail"))
 }
 
 fn texts(result: &rddr_pgsim::QueryResult) -> Vec<Vec<String>> {
-    result.rows.iter().map(|r| r.iter().map(Value::to_string).collect()).collect()
+    result
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Value::to_string).collect())
+        .collect()
 }
 
 fn seed_people(db: &mut Database) {
-    run(db, "app", "CREATE TABLE people (id INT, name TEXT, age INT, city TEXT)");
+    run(
+        db,
+        "app",
+        "CREATE TABLE people (id INT, name TEXT, age INT, city TEXT)",
+    );
     run(
         db,
         "app",
@@ -49,7 +59,11 @@ fn select_where_order_limit() {
 fn arithmetic_and_aliases() {
     let mut db = pg("10.7");
     seed_people(&mut db);
-    let r = run(&mut db, "app", "SELECT name, age * 2 AS double_age FROM people WHERE id = 1");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT name, age * 2 AS double_age FROM people WHERE id = 1",
+    );
     assert_eq!(r.columns, vec!["name", "double_age"]);
     assert_eq!(texts(&r), vec![vec!["ada", "72"]]);
 }
@@ -86,7 +100,11 @@ fn count_distinct_and_min_max() {
 fn joins_with_hash_lookup() {
     let mut db = pg("10.7");
     seed_people(&mut db);
-    run(&mut db, "app", "CREATE TABLE orders (id INT, person_id INT, total FLOAT)");
+    run(
+        &mut db,
+        "app",
+        "CREATE TABLE orders (id INT, person_id INT, total FLOAT)",
+    );
     run(
         &mut db,
         "app",
@@ -98,29 +116,47 @@ fn joins_with_hash_lookup() {
         "SELECT p.name, SUM(o.total) AS spent FROM people p, orders o \
          WHERE p.id = o.person_id GROUP BY p.name ORDER BY spent DESC",
     );
-    assert_eq!(texts(&r), vec![vec!["ada", "29.5000"], vec!["alan", "7.2500"]]);
+    assert_eq!(
+        texts(&r),
+        vec![vec!["ada", "29.5000"], vec!["alan", "7.2500"]]
+    );
 }
 
 #[test]
 fn explicit_join_syntax() {
     let mut db = pg("10.7");
     seed_people(&mut db);
-    run(&mut db, "app", "CREATE TABLE badges (person_id INT, badge TEXT)");
-    run(&mut db, "app", "INSERT INTO badges VALUES (1, 'turing'), (2, 'hopper')");
+    run(
+        &mut db,
+        "app",
+        "CREATE TABLE badges (person_id INT, badge TEXT)",
+    );
+    run(
+        &mut db,
+        "app",
+        "INSERT INTO badges VALUES (1, 'turing'), (2, 'hopper')",
+    );
     let r = run(
         &mut db,
         "app",
         "SELECT p.name, b.badge FROM people p JOIN badges b ON p.id = b.person_id \
          ORDER BY p.name",
     );
-    assert_eq!(texts(&r), vec![vec!["ada", "turing"], vec!["grace", "hopper"]]);
+    assert_eq!(
+        texts(&r),
+        vec![vec!["ada", "turing"], vec!["grace", "hopper"]]
+    );
 }
 
 #[test]
 fn left_join_pads_nulls() {
     let mut db = pg("10.7");
     seed_people(&mut db);
-    run(&mut db, "app", "CREATE TABLE badges (person_id INT, badge TEXT)");
+    run(
+        &mut db,
+        "app",
+        "CREATE TABLE badges (person_id INT, badge TEXT)",
+    );
     run(&mut db, "app", "INSERT INTO badges VALUES (1, 'turing')");
     let r = run(
         &mut db,
@@ -154,8 +190,16 @@ fn subqueries_scalar_in_exists() {
 fn correlated_exists() {
     let mut db = pg("10.7");
     seed_people(&mut db);
-    run(&mut db, "app", "CREATE TABLE orders (id INT, person_id INT, total FLOAT)");
-    run(&mut db, "app", "INSERT INTO orders VALUES (100, 1, 9.5), (102, 3, 7.25)");
+    run(
+        &mut db,
+        "app",
+        "CREATE TABLE orders (id INT, person_id INT, total FLOAT)",
+    );
+    run(
+        &mut db,
+        "app",
+        "INSERT INTO orders VALUES (100, 1, 9.5), (102, 3, 7.25)",
+    );
     let r = run(
         &mut db,
         "app",
@@ -189,9 +233,17 @@ fn case_like_between_distinct() {
 fn update_and_delete() {
     let mut db = pg("10.7");
     seed_people(&mut db);
-    let r = run(&mut db, "app", "UPDATE people SET age = age + 1 WHERE city = 'nyc'");
+    let r = run(
+        &mut db,
+        "app",
+        "UPDATE people SET age = age + 1 WHERE city = 'nyc'",
+    );
     assert_eq!(r.tag, "UPDATE 2");
-    let r = run(&mut db, "app", "SELECT age FROM people WHERE name = 'grace'");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT age FROM people WHERE name = 'grace'",
+    );
     assert_eq!(texts(&r), vec![vec!["46"]]);
     let r = run(&mut db, "app", "DELETE FROM people WHERE age > 70");
     assert_eq!(r.tag, "DELETE 1");
@@ -226,14 +278,26 @@ fn permission_denied_without_grant() {
 #[test]
 fn row_level_security_filters_rows() {
     let mut db = pg("10.9");
-    run(&mut db, "app", "CREATE TABLE secrets (id INT, owner TEXT, data TEXT)");
+    run(
+        &mut db,
+        "app",
+        "CREATE TABLE secrets (id INT, owner TEXT, data TEXT)",
+    );
     run(
         &mut db,
         "app",
         "INSERT INTO secrets VALUES (1, 'mallory', 'public-ish'), (2, 'root', 'nuclear codes')",
     );
-    run(&mut db, "app", "ALTER TABLE secrets ENABLE ROW LEVEL SECURITY");
-    run(&mut db, "app", "CREATE POLICY p ON secrets USING (owner = 'mallory')");
+    run(
+        &mut db,
+        "app",
+        "ALTER TABLE secrets ENABLE ROW LEVEL SECURITY",
+    );
+    run(
+        &mut db,
+        "app",
+        "CREATE POLICY p ON secrets USING (owner = 'mallory')",
+    );
     run(&mut db, "app", "GRANT SELECT ON secrets TO MALLORY");
     let r = run(&mut db, "mallory", "SELECT data FROM secrets");
     assert_eq!(texts(&r), vec![vec!["public-ish"]], "RLS must hide row 2");
@@ -256,14 +320,26 @@ fn cve_2019_10130_leaks_on_10_7_not_10_9() {
     let mut results = Vec::new();
     for version in ["10.7", "10.9"] {
         let mut db = pg(version);
-        run(&mut db, "app", "CREATE TABLE some_table (col_to_leak INT, owner TEXT)");
+        run(
+            &mut db,
+            "app",
+            "CREATE TABLE some_table (col_to_leak INT, owner TEXT)",
+        );
         run(
             &mut db,
             "app",
             "INSERT INTO some_table VALUES (42, 'mallory'), (777, 'root'), (900, 'root')",
         );
-        run(&mut db, "app", "ALTER TABLE some_table ENABLE ROW LEVEL SECURITY");
-        run(&mut db, "app", "CREATE POLICY p ON some_table USING (owner = 'mallory')");
+        run(
+            &mut db,
+            "app",
+            "ALTER TABLE some_table ENABLE ROW LEVEL SECURITY",
+        );
+        run(
+            &mut db,
+            "app",
+            "CREATE POLICY p ON some_table USING (owner = 'mallory')",
+        );
         run(&mut db, "app", "GRANT SELECT ON some_table TO MALLORY");
         for sql in exploit_setup {
             run(&mut db, "mallory", sql);
@@ -279,11 +355,22 @@ fn cve_2019_10130_leaks_on_10_7_not_10_9() {
     // Both versions return only the RLS-visible result rows.
     assert_eq!(texts(buggy), texts(fixed));
     // But the buggy version leaks the protected values via NOTICE.
-    let leaked: Vec<&String> =
-        buggy.notices.iter().filter(|n| n.contains("777") || n.contains("900")).collect();
-    assert_eq!(leaked.len(), 2, "10.7 must leak both protected rows: {:?}", buggy.notices);
+    let leaked: Vec<&String> = buggy
+        .notices
+        .iter()
+        .filter(|n| n.contains("777") || n.contains("900"))
+        .collect();
+    assert_eq!(
+        leaked.len(),
+        2,
+        "10.7 must leak both protected rows: {:?}",
+        buggy.notices
+    );
     assert!(
-        fixed.notices.iter().all(|n| !n.contains("777") && !n.contains("900")),
+        fixed
+            .notices
+            .iter()
+            .all(|n| !n.contains("777") && !n.contains("900")),
         "10.9 must not leak: {:?}",
         fixed.notices
     );
@@ -305,8 +392,16 @@ fn cve_2017_7484_explain_leak() {
     ];
     // Vulnerable version: notices leak the protected column.
     let mut db = pg("9.2.20");
-    run(&mut db, "app", "CREATE TABLE some_table (x INT, col_to_leak INT)");
-    run(&mut db, "app", "INSERT INTO some_table VALUES (1, 1111), (2, 2222)");
+    run(
+        &mut db,
+        "app",
+        "CREATE TABLE some_table (x INT, col_to_leak INT)",
+    );
+    run(
+        &mut db,
+        "app",
+        "INSERT INTO some_table VALUES (1, 1111), (2, 2222)",
+    );
     for sql in setup {
         run(&mut db, "mallory", sql);
     }
@@ -323,8 +418,16 @@ fn cve_2017_7484_explain_leak() {
 
     // Fixed version: permission denied, no leak.
     let mut db = pg("9.2.21");
-    run(&mut db, "app", "CREATE TABLE some_table (x INT, col_to_leak INT)");
-    run(&mut db, "app", "INSERT INTO some_table VALUES (1, 1111), (2, 2222)");
+    run(
+        &mut db,
+        "app",
+        "CREATE TABLE some_table (x INT, col_to_leak INT)",
+    );
+    run(
+        &mut db,
+        "app",
+        "INSERT INTO some_table VALUES (1, 1111), (2, 2222)",
+    );
     for sql in setup {
         run(&mut db, "mallory", sql);
     }
@@ -379,23 +482,42 @@ fn cockroach_serializable_isolation_enforced() {
         "SET default_transaction_isolation TO 'read committed'",
     );
     assert!(matches!(err, SqlError::Unsupported(_)));
-    run(&mut db, "app", "SET default_transaction_isolation TO 'serializable'");
+    run(
+        &mut db,
+        "app",
+        "SET default_transaction_isolation TO 'serializable'",
+    );
     // MiniPg accepts anything (the paper configured PG to match Cockroach).
     let mut pgdb = pg("10.7");
-    run(&mut pgdb, "app", "SET default_transaction_isolation TO 'read committed'");
+    run(
+        &mut pgdb,
+        "app",
+        "SET default_transaction_isolation TO 'read committed'",
+    );
 }
 
 #[test]
 fn row_order_scramble_reproduces_paper_caveat() {
     let mut db = Database::with_flavor(
         PgVersion::parse("10.7").unwrap(),
-        DbFlavor::Cockroach(CockroachFlavor { scramble_row_order: true, ..Default::default() }),
+        DbFlavor::Cockroach(CockroachFlavor {
+            scramble_row_order: true,
+            ..Default::default()
+        }),
     );
     seed_people(&mut db);
     let unordered = run(&mut db, "app", "SELECT name FROM people");
-    assert_eq!(unordered.rows[0][0].to_string(), "barbara", "reverse insertion order");
+    assert_eq!(
+        unordered.rows[0][0].to_string(),
+        "barbara",
+        "reverse insertion order"
+    );
     // ORDER BY restores agreement with Postgres.
-    let ordered = run(&mut db, "app", "SELECT name FROM people ORDER BY name LIMIT 1");
+    let ordered = run(
+        &mut db,
+        "app",
+        "SELECT name FROM people ORDER BY name LIMIT 1",
+    );
     assert_eq!(texts(&ordered), vec![vec!["ada"]]);
 }
 
@@ -438,9 +560,17 @@ fn division_by_zero_is_an_error() {
 fn order_by_ordinal_and_expression() {
     let mut db = pg("10.7");
     seed_people(&mut db);
-    let r = run(&mut db, "app", "SELECT name, age FROM people ORDER BY 2 DESC LIMIT 1");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT name, age FROM people ORDER BY 2 DESC LIMIT 1",
+    );
     assert_eq!(texts(&r), vec![vec!["edsger", "72"]]);
-    let r = run(&mut db, "app", "SELECT name FROM people ORDER BY age % 10, name LIMIT 2");
+    let r = run(
+        &mut db,
+        "app",
+        "SELECT name FROM people ORDER BY age % 10, name LIMIT 2",
+    );
     assert_eq!(texts(&r), vec![vec!["alan"], vec!["edsger"]]);
 }
 

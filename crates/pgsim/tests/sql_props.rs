@@ -10,10 +10,12 @@ fn fresh(rows: &[(i64, i64)]) -> Database {
     let mut s = db.session("app");
     db.execute(&mut s, "CREATE TABLE t (k INT, v INT)").unwrap();
     if !rows.is_empty() {
-        let values: Vec<String> =
-            rows.iter().map(|(k, v)| format!("({k}, {v})")).collect();
-        db.execute(&mut s, &format!("INSERT INTO t VALUES {}", values.join(", ")))
-            .unwrap();
+        let values: Vec<String> = rows.iter().map(|(k, v)| format!("({k}, {v})")).collect();
+        db.execute(
+            &mut s,
+            &format!("INSERT INTO t VALUES {}", values.join(", ")),
+        )
+        .unwrap();
     }
     db
 }
@@ -23,7 +25,10 @@ fn scalar(db: &mut Database, sql: &str) -> i64 {
     let r = db.execute(&mut s, sql).unwrap();
     match &r.rows[0][0] {
         Value::Null => 0,
-        v => v.to_string().parse().unwrap_or_else(|_| panic!("{sql}: {v}")),
+        v => v
+            .to_string()
+            .parse()
+            .unwrap_or_else(|_| panic!("{sql}: {v}")),
     }
 }
 

@@ -6,20 +6,25 @@ use std::sync::Arc;
 
 use rddr_net::{Network, ServiceAddr, Stream};
 use rddr_orchestra::{Cluster, Image};
-use rddr_pgsim::{
-    query_message, startup_message, Database, PgClient, PgServer, PgVersion,
-};
+use rddr_pgsim::{query_message, startup_message, Database, PgClient, PgServer, PgVersion};
 use rddr_protocols::pg::PgMessage;
 
 fn server_cluster() -> (Cluster, ServiceAddr) {
     let cluster = Cluster::new(2);
     let mut db = Database::new(PgVersion::parse("10.7").unwrap());
     let mut s = db.session("app");
-    db.execute(&mut s, "CREATE TABLE kv (k INT, v TEXT)").unwrap();
-    db.execute(&mut s, "INSERT INTO kv VALUES (1, 'one'), (2, 'two')").unwrap();
+    db.execute(&mut s, "CREATE TABLE kv (k INT, v TEXT)")
+        .unwrap();
+    db.execute(&mut s, "INSERT INTO kv VALUES (1, 'one'), (2, 'two')")
+        .unwrap();
     let addr = ServiceAddr::new("pg", 5432);
     let handle = cluster
-        .run_container("pg-0", Image::new("postgres", "10.7"), &addr, Arc::new(PgServer::new(db)))
+        .run_container(
+            "pg-0",
+            Image::new("postgres", "10.7"),
+            &addr,
+            Arc::new(PgServer::new(db)),
+        )
         .unwrap();
     std::mem::forget(handle);
     (cluster, addr)
@@ -61,7 +66,10 @@ fn query_cycle_and_errors() {
     let mut client = PgClient::connect(cluster.net().dial(&addr).unwrap(), "app").unwrap();
     let ok = client.query("SELECT v FROM kv ORDER BY k").unwrap();
     assert_eq!(ok.columns, vec!["v"]);
-    assert_eq!(ok.rows, vec![vec!["one".to_string()], vec!["two".to_string()]]);
+    assert_eq!(
+        ok.rows,
+        vec![vec!["one".to_string()], vec!["two".to_string()]]
+    );
     assert_eq!(ok.tag, "SELECT 2");
 
     let err = client.query("SELECT broken syntax here FROM").unwrap();
@@ -85,7 +93,9 @@ fn notices_are_delivered() {
     client
         .query("CREATE OPERATOR <^> (procedure=noisy, leftarg=int, rightarg=int)")
         .unwrap();
-    let r = client.query("SELECT k FROM kv WHERE k <^> 10 ORDER BY k").unwrap();
+    let r = client
+        .query("SELECT k FROM kv WHERE k <^> 10 ORDER BY k")
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
     assert_eq!(r.notices.len(), 2, "{:?}", r.notices);
     assert!(r.notices[0].contains("seen 1 and 10"));
@@ -94,8 +104,7 @@ fn notices_are_delivered() {
 #[test]
 fn permission_denied_maps_to_sqlstate() {
     let (cluster, addr) = server_cluster();
-    let mut client =
-        PgClient::connect(cluster.net().dial(&addr).unwrap(), "mallory").unwrap();
+    let mut client = PgClient::connect(cluster.net().dial(&addr).unwrap(), "mallory").unwrap();
     let r = client.query("SELECT * FROM kv").unwrap();
     let err = r.error.expect("permission denied");
     assert!(err.contains("42501"), "{err}");
@@ -121,8 +130,14 @@ fn extended_protocol_is_gracefully_rejected() {
     }
     // Send a Parse ('P') message: the simple-query-only server answers with
     // an error and stays in sync.
-    conn.write_all(&PgMessage { tag: b'P', payload: b"stmt\0SELECT 1\0".to_vec() }.encode())
-        .unwrap();
+    conn.write_all(
+        &PgMessage {
+            tag: b'P',
+            payload: b"stmt\0SELECT 1\0".to_vec(),
+        }
+        .encode(),
+    )
+    .unwrap();
     let mut saw_error = false;
     'resp: loop {
         let n = conn.read(&mut chunk).unwrap();
@@ -164,7 +179,14 @@ fn terminate_closes_cleanly() {
     conn.write_all(&startup_message("app")).unwrap();
     let mut chunk = [0u8; 4096];
     let _ = conn.read(&mut chunk).unwrap(); // greeting
-    conn.write_all(&PgMessage { tag: b'X', payload: Vec::new() }.encode()).unwrap();
+    conn.write_all(
+        &PgMessage {
+            tag: b'X',
+            payload: Vec::new(),
+        }
+        .encode(),
+    )
+    .unwrap();
     // Server closes: next read returns EOF (possibly after draining).
     loop {
         match conn.read(&mut chunk) {
@@ -182,7 +204,11 @@ fn sessions_are_isolated_but_data_is_shared() {
     let mut b = PgClient::connect(net.dial(&addr).unwrap(), "app").unwrap();
     a.query("INSERT INTO kv VALUES (3, 'three')").unwrap();
     let r = b.query("SELECT COUNT(*) FROM kv").unwrap();
-    assert_eq!(r.rows, vec![vec!["3".to_string()]], "writes are visible across sessions");
+    assert_eq!(
+        r.rows,
+        vec![vec!["3".to_string()]],
+        "writes are visible across sessions"
+    );
     // Session settings are NOT shared.
     a.query("SET client_min_messages TO 'notice'").unwrap();
     let r = b.query("SHOW client_min_messages").unwrap();

@@ -60,7 +60,11 @@ impl Head {
                 headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
             }
         }
-        Some(Head { start_line, headers, len: head_end.body_start })
+        Some(Head {
+            start_line,
+            headers,
+            len: head_end.body_start,
+        })
     }
 }
 
@@ -82,9 +86,7 @@ fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
 }
 
 fn window_find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Returns the total frame length if the buffer holds one complete message.
@@ -244,7 +246,10 @@ impl Protocol for HttpProtocol {
         } else {
             "http:status"
         };
-        segments.push(Segment::new(start_label, head.start_line.as_bytes().to_vec()));
+        segments.push(Segment::new(
+            start_label,
+            head.start_line.as_bytes().to_vec(),
+        ));
         for (name, value) in &head.headers {
             // Transfer framing headers are normalized away by decoding below.
             if name == "transfer-encoding" || name == "content-length" || name == "content-encoding"
@@ -324,7 +329,10 @@ mod tests {
         let p = HttpProtocol::new();
         let full = response("hello", "");
         let mut buf = BytesMut::from(&full[..full.len() - 2]);
-        assert!(p.split_frames(&mut buf, Direction::Response).unwrap().is_empty());
+        assert!(p
+            .split_frames(&mut buf, Direction::Response)
+            .unwrap()
+            .is_empty());
         buf.extend_from_slice(&full[full.len() - 2..]);
         let frames = p.split_frames(&mut buf, Direction::Response).unwrap();
         assert_eq!(frames.len(), 1);
@@ -354,11 +362,16 @@ mod tests {
     #[test]
     fn post_request_waits_for_body() {
         let p = HttpProtocol::new();
-        let mut buf =
-            BytesMut::from(&b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"[..]);
-        assert!(p.split_frames(&mut buf, Direction::Request).unwrap().is_empty());
+        let mut buf = BytesMut::from(&b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"[..]);
+        assert!(p
+            .split_frames(&mut buf, Direction::Request)
+            .unwrap()
+            .is_empty());
         buf.extend_from_slice(b"cde");
-        assert_eq!(p.split_frames(&mut buf, Direction::Request).unwrap().len(), 1);
+        assert_eq!(
+            p.split_frames(&mut buf, Direction::Request).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -384,8 +397,16 @@ mod tests {
             b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"
                 .to_vec(),
         );
-        let a: Vec<_> = p.tokenize(&plain).into_iter().filter(|s| s.label == "http:body").collect();
-        let b: Vec<_> = p.tokenize(&chunked).into_iter().filter(|s| s.label == "http:body").collect();
+        let a: Vec<_> = p
+            .tokenize(&plain)
+            .into_iter()
+            .filter(|s| s.label == "http:body")
+            .collect();
+        let b: Vec<_> = p
+            .tokenize(&chunked)
+            .into_iter()
+            .filter(|s| s.label == "http:body")
+            .collect();
         assert_eq!(a, b, "framing must not affect diffing");
     }
 
@@ -395,9 +416,15 @@ mod tests {
         let mut buf = BytesMut::from(
             &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n"[..],
         );
-        assert!(p.split_frames(&mut buf, Direction::Response).unwrap().is_empty());
+        assert!(p
+            .split_frames(&mut buf, Direction::Response)
+            .unwrap()
+            .is_empty());
         buf.extend_from_slice(b"0\r\n\r\n");
-        assert_eq!(p.split_frames(&mut buf, Direction::Response).unwrap().len(), 1);
+        assert_eq!(
+            p.split_frames(&mut buf, Direction::Response).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -432,9 +459,7 @@ mod tests {
     #[test]
     fn bad_content_length_is_a_protocol_error() {
         let p = HttpProtocol::new();
-        let mut buf = BytesMut::from(
-            &b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n"[..],
-        );
+        let mut buf = BytesMut::from(&b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n"[..]);
         assert!(p.split_frames(&mut buf, Direction::Response).is_err());
     }
 
@@ -461,7 +486,10 @@ mod tests {
     #[test]
     fn split_lines_keeps_trailing_fragment() {
         assert_eq!(split_lines(b"a\nb"), vec![b"a".to_vec(), b"b".to_vec()]);
-        assert_eq!(split_lines(b"a\r\nb\r\n"), vec![b"a".to_vec(), b"b".to_vec()]);
+        assert_eq!(
+            split_lines(b"a\r\nb\r\n"),
+            vec![b"a".to_vec(), b"b".to_vec()]
+        );
         assert!(split_lines(b"").is_empty());
     }
 }

@@ -139,7 +139,10 @@ impl fmt::Display for JsonValue {
 ///
 /// Returns [`RddrError::Protocol`] on malformed input or trailing garbage.
 pub fn parse_json(input: &str) -> Result<JsonValue> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.value()?;
     parser.skip_ws();
@@ -216,32 +219,28 @@ impl<'a> Parser<'a> {
         loop {
             match self.bump().ok_or_else(|| self.err("unterminated string"))? {
                 b'"' => return Ok(out),
-                b'\\' => {
-                    match self.bump().ok_or_else(|| self.err("bad escape"))? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                b'\\' => match self.bump().ok_or_else(|| self.err("bad escape"))? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
                         }
-                        other => {
-                            return Err(self.err(&format!("bad escape \\{}", other as char)))
-                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
-                }
+                    other => return Err(self.err(&format!("bad escape \\{}", other as char))),
+                },
                 byte => {
                     // Re-assemble UTF-8 sequences byte-wise.
                     let mut chunk = vec![byte];
@@ -269,7 +268,10 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -354,9 +356,7 @@ impl Protocol for JsonProtocol {
             Ok(value) => value
                 .flatten()
                 .into_iter()
-                .map(|(path, rendered)| {
-                    Segment::new(format!("json:{path}"), rendered.into_bytes())
-                })
+                .map(|(path, rendered)| Segment::new(format!("json:{path}"), rendered.into_bytes()))
                 .collect(),
             Err(_) => vec![Segment::new("json:malformed", frame.bytes.clone())],
         }
@@ -381,9 +381,18 @@ mod tests {
     #[test]
     fn parses_nested_structures() {
         let v = parse_json(r#"{"user": {"name": "ada", "ids": [1, 2]}}"#).unwrap();
-        assert_eq!(v.get("user").unwrap().get("name").unwrap().as_str(), Some("ada"));
         assert_eq!(
-            v.get("user").unwrap().get("ids").unwrap().index(1).unwrap().as_f64(),
+            v.get("user").unwrap().get("name").unwrap().as_str(),
+            Some("ada")
+        );
+        assert_eq!(
+            v.get("user")
+                .unwrap()
+                .get("ids")
+                .unwrap()
+                .index(1)
+                .unwrap()
+                .as_f64(),
             Some(2.0)
         );
     }

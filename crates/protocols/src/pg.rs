@@ -65,7 +65,10 @@ impl PgMessage {
             return Ok(None);
         }
         Ok(Some((
-            PgMessage { tag, payload: buf[len_off + 4..total].to_vec() },
+            PgMessage {
+                tag,
+                payload: buf[len_off + 4..total].to_vec(),
+            },
             total,
         )))
     }
@@ -136,10 +139,9 @@ impl Protocol for PgProtocol {
 
     fn tokenize(&self, frame: &Frame) -> Vec<Segment> {
         match PgMessage::decode(&frame.bytes, frame.label == "pg:Startup") {
-            Ok(Some((msg, _))) => vec![Segment::new(
-                format!("pg:{}", msg.type_name()),
-                msg.payload,
-            )],
+            Ok(Some((msg, _))) => {
+                vec![Segment::new(format!("pg:{}", msg.type_name()), msg.payload)]
+            }
             _ => vec![Segment::new("pg:malformed", frame.bytes.clone())],
         }
     }
@@ -158,7 +160,11 @@ mod tests {
     use super::*;
 
     fn msg(tag: u8, payload: &[u8]) -> Vec<u8> {
-        PgMessage { tag, payload: payload.to_vec() }.encode()
+        PgMessage {
+            tag,
+            payload: payload.to_vec(),
+        }
+        .encode()
     }
 
     #[test]
@@ -175,7 +181,9 @@ mod tests {
     fn partial_message_yields_none() {
         let wire = msg(b'D', b"row");
         assert!(PgMessage::decode(&wire[..3], false).unwrap().is_none());
-        assert!(PgMessage::decode(&wire[..wire.len() - 1], false).unwrap().is_none());
+        assert!(PgMessage::decode(&wire[..wire.len() - 1], false)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -206,7 +214,12 @@ mod tests {
         let labels: Vec<&str> = frames.iter().map(|f| f.label.as_str()).collect();
         assert_eq!(
             labels,
-            vec!["pg:ParameterStatus", "pg:RowDescription", "pg:DataRow", "pg:ReadyForQuery"]
+            vec![
+                "pg:ParameterStatus",
+                "pg:RowDescription",
+                "pg:DataRow",
+                "pg:ReadyForQuery"
+            ]
         );
         assert!(!frames[0].critical, "ParameterStatus is session identity");
         assert!(frames[1].critical);
@@ -246,10 +259,8 @@ mod tests {
         leaking.extend(msg(b'Z', b"I"));
         let mut erroring = msg(b'E', b"ERROR: unsupported feature");
         erroring.extend(msg(b'Z', b"I"));
-        let mut engine = NVersionEngine::new(
-            EngineConfig::builder(2).build().unwrap(),
-            PgProtocol::new(),
-        );
+        let mut engine =
+            NVersionEngine::new(EngineConfig::builder(2).build().unwrap(), PgProtocol::new());
         let verdict = engine.evaluate_responses(&[leaking, erroring]).unwrap();
         assert!(matches!(verdict, Verdict::Divergent(_)));
     }
@@ -264,11 +275,11 @@ mod tests {
             wire.extend(msg(b'Z', b"I"));
             wire
         };
-        let mut engine = NVersionEngine::new(
-            EngineConfig::builder(2).build().unwrap(),
-            PgProtocol::new(),
-        );
-        let verdict = engine.evaluate_responses(&[mk("10.7"), mk("10.9")]).unwrap();
+        let mut engine =
+            NVersionEngine::new(EngineConfig::builder(2).build().unwrap(), PgProtocol::new());
+        let verdict = engine
+            .evaluate_responses(&[mk("10.7"), mk("10.9")])
+            .unwrap();
         assert!(
             matches!(verdict, Verdict::Unanimous(_)),
             "version banners must not trigger divergence"

@@ -27,7 +27,10 @@ fn usage() -> ! {
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_addr(text: &str) -> ServiceAddr {
@@ -86,17 +89,12 @@ fn main() {
             let Some(backend) = arg_value(&args, "--backend") else {
                 usage();
             };
-            let proxy = OutgoingProxy::start(
-                net,
-                &listen,
-                parse_addr(&backend),
-                config.engine,
-                protocol,
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("failed to start outgoing proxy: {e}");
-                std::process::exit(1);
-            });
+            let proxy =
+                OutgoingProxy::start(net, &listen, parse_addr(&backend), config.engine, protocol)
+                    .unwrap_or_else(|e| {
+                        eprintln!("failed to start outgoing proxy: {e}");
+                        std::process::exit(1);
+                    });
             eprintln!(
                 "rddr outgoing proxy listening on {} ({} protocol)",
                 proxy.listen_addr(),

@@ -9,7 +9,7 @@ use rddr_core::EngineConfig;
 use rddr_net::ServiceAddr;
 use rddr_orchestra::{Cluster, ContainerHandle, Image, Service};
 
-use crate::{IncomingProxy, ProtocolFactory, ProxyError, Result};
+use crate::{IncomingProxy, ProtocolFactory, ProxyError, ProxyTelemetry, Result};
 
 /// One diverse variant of the protected microservice.
 pub struct Variant {
@@ -21,7 +21,9 @@ pub struct Variant {
 
 impl std::fmt::Debug for Variant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Variant").field("image", &self.image).finish()
+        f.debug_struct("Variant")
+            .field("image", &self.image)
+            .finish()
     }
 }
 
@@ -112,6 +114,44 @@ pub fn n_version(
     config: EngineConfig,
     protocol: ProtocolFactory,
 ) -> Result<NVersionedService> {
+    deploy(cluster, name, entry, variants, config, protocol, None)
+}
+
+/// Like [`n_version`], but the deployment feeds the given observability
+/// bundle: every exchange updates counters and latency histograms in
+/// `telemetry.registry` (series prefixed `{prefix}_in_*`), and divergences
+/// are appended to `telemetry.audit`. Serve both with an
+/// [`rddr_telemetry::AdminServer`] to get live `/metrics` and
+/// `/divergences` endpoints for the protected service.
+pub fn n_version_with_telemetry(
+    cluster: &Cluster,
+    name: &str,
+    entry: &ServiceAddr,
+    variants: Vec<Variant>,
+    config: EngineConfig,
+    protocol: ProtocolFactory,
+    telemetry: ProxyTelemetry,
+) -> Result<NVersionedService> {
+    deploy(
+        cluster,
+        name,
+        entry,
+        variants,
+        config,
+        protocol,
+        Some(telemetry),
+    )
+}
+
+fn deploy(
+    cluster: &Cluster,
+    name: &str,
+    entry: &ServiceAddr,
+    variants: Vec<Variant>,
+    config: EngineConfig,
+    protocol: ProtocolFactory,
+    telemetry: Option<ProxyTelemetry>,
+) -> Result<NVersionedService> {
     if variants.len() != config.instances() {
         return Err(ProxyError::Config(format!(
             "config expects {} instances but {} variants were given",
@@ -130,14 +170,19 @@ pub fn n_version(
         );
         instance_addrs.push(addr);
     }
-    let proxy = IncomingProxy::start(
+    let proxy = IncomingProxy::start_with_telemetry(
         Arc::new(cluster.net()),
         entry,
         instance_addrs,
         config,
         protocol,
+        telemetry,
     )?;
-    Ok(NVersionedService { addr: entry.clone(), containers, proxy })
+    Ok(NVersionedService {
+        addr: entry.clone(),
+        containers,
+        proxy,
+    })
 }
 
 #[cfg(test)]
@@ -219,6 +264,50 @@ mod tests {
         assert_eq!(conn.read(&mut buf).unwrap(), 0, "divergence must sever");
         std::thread::sleep(std::time::Duration::from_millis(30));
         assert_eq!(service.proxy.stats().divergences, 1);
+    }
+
+    #[test]
+    fn telemetry_records_divergence_and_metrics() {
+        let cluster = Cluster::new(4);
+        let telemetry = ProxyTelemetry::new("svc");
+        let service = n_version_with_telemetry(
+            &cluster,
+            "svc",
+            &ServiceAddr::new("svc", 9050),
+            vec![
+                Variant::new(Image::new("svc", "good"), suffix_echo("")),
+                Variant::new(Image::new("svc", "evil"), suffix_echo(" LEAK")),
+            ],
+            EngineConfig::builder(2).build().unwrap(),
+            line(),
+            telemetry.clone(),
+        )
+        .unwrap();
+        let mut conn = cluster.net().dial(&service.addr).unwrap();
+        conn.write_all(b"x\n").unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(conn.read(&mut buf).unwrap(), 0, "divergence must sever");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let page = telemetry.registry.render_prometheus();
+        assert!(
+            page.contains("svc_in_exchanges_total 1"),
+            "metrics:\n{page}"
+        );
+        assert!(
+            page.contains("svc_in_divergences_total 1"),
+            "metrics:\n{page}"
+        );
+        assert!(
+            page.contains("svc_in_exchange_latency_us"),
+            "metrics:\n{page}"
+        );
+        assert_eq!(telemetry.audit.len(), 1);
+        let record = &telemetry.audit.recent()[0];
+        assert_eq!(record.service, "svc_in");
+        assert!(
+            !record.timeline.is_empty(),
+            "span timeline should be attached"
+        );
     }
 
     #[test]

@@ -6,13 +6,41 @@ use std::time::Instant;
 
 use bytes::BytesMut;
 use crossbeam::channel::unbounded;
-use rddr_core::{
-    Direction, EngineConfig, NVersionEngine, RddrError, INTERVENTION_PAGE,
-};
+use rddr_core::{Direction, EngineConfig, NVersionEngine, RddrError, INTERVENTION_PAGE};
 use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
+use rddr_telemetry::Span;
 
-use crate::plumbing::{spawn_reader, InstanceEvent};
+use crate::plumbing::{spawn_reader, InstanceEvent, ProxyTelemetry};
 use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
+
+/// Per-session handles to the shared telemetry bundle: the latency series
+/// the incoming proxy maintains on top of the engine's own counters.
+#[derive(Clone)]
+struct SessionTelemetry {
+    shared: ProxyTelemetry,
+    /// Client request accepted → response forwarded (or severed), µs.
+    exchange_us: std::sync::Arc<rddr_telemetry::Histogram>,
+    /// Writing the N replicated request copies, µs.
+    fanout_us: std::sync::Arc<rddr_telemetry::Histogram>,
+    /// Waiting for instance responses until the exchange is ready, µs.
+    merge_us: std::sync::Arc<rddr_telemetry::Histogram>,
+    /// Arrival lag of instance response data after fan-out, µs (all
+    /// instances pooled).
+    instance_us: std::sync::Arc<rddr_telemetry::Histogram>,
+}
+
+impl SessionTelemetry {
+    fn new(shared: ProxyTelemetry) -> Self {
+        let name = |s: &str| format!("{}_in_{s}", shared.prefix);
+        SessionTelemetry {
+            exchange_us: shared.registry.histogram(&name("exchange_latency_us")),
+            fanout_us: shared.registry.histogram(&name("fanout_latency_us")),
+            merge_us: shared.registry.histogram(&name("merge_latency_us")),
+            instance_us: shared.registry.histogram(&name("instance_response_us")),
+            shared,
+        }
+    }
+}
 
 /// The incoming request proxy: clients connect here instead of to the
 /// protected microservice; every request is replicated to the N instances
@@ -52,6 +80,21 @@ impl IncomingProxy {
         config: EngineConfig,
         protocol: ProtocolFactory,
     ) -> Result<IncomingProxy> {
+        Self::start_with_telemetry(net, listen, instances, config, protocol, None)
+    }
+
+    /// Like [`IncomingProxy::start`], but every session's engine feeds the
+    /// shared [`ProxyTelemetry`] bundle: exchange/divergence counters and
+    /// fan-out/merge latency histograms go to its registry (metric names
+    /// under `{prefix}_in_*`), divergence incidents to its audit log.
+    pub fn start_with_telemetry(
+        net: Arc<dyn Network>,
+        listen: &ServiceAddr,
+        instances: Vec<ServiceAddr>,
+        config: EngineConfig,
+        protocol: ProtocolFactory,
+        telemetry: Option<ProxyTelemetry>,
+    ) -> Result<IncomingProxy> {
         if instances.len() != config.instances() {
             return Err(ProxyError::Config(format!(
                 "config expects {} instances but {} addresses were given",
@@ -64,6 +107,7 @@ impl IncomingProxy {
         let bound = listener.local_addr();
         let stats = Arc::new(ProxyStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let session_telemetry = telemetry.map(SessionTelemetry::new);
 
         let session_stats = Arc::clone(&stats);
         let session_stop = Arc::clone(&stop);
@@ -84,10 +128,11 @@ impl IncomingProxy {
                     let config = config.clone();
                     let protocol = Arc::clone(&protocol);
                     let stats = Arc::clone(&session_stats);
+                    let telemetry = session_telemetry.clone();
                     std::thread::Builder::new()
                         .name("rddr-in-session".into())
                         .spawn(move || {
-                            run_session(client, net, &instances, config, protocol, stats)
+                            run_session(client, net, &instances, config, protocol, stats, telemetry)
                         })
                         .expect("spawn incoming session");
                 }
@@ -146,9 +191,17 @@ fn run_session(
     config: EngineConfig,
     protocol: ProtocolFactory,
     stats: Arc<ProxyStats>,
+    telemetry: Option<SessionTelemetry>,
 ) {
     let deadline = config.response_deadline();
     let mut engine = NVersionEngine::from_boxed(config, protocol());
+    if let Some(t) = &telemetry {
+        engine = engine.with_telemetry(
+            Arc::clone(&t.shared.registry),
+            &format!("{}_in", t.shared.prefix),
+            Some(Arc::clone(&t.shared.audit)),
+        );
+    }
     let request_protocol = protocol();
     let is_http = request_protocol.name() == "http";
 
@@ -191,6 +244,16 @@ fn run_session(
         };
 
         for frame in request_frames {
+            // One span per exchange: it travels into the engine, shows up in
+            // any divergence audit record, and times the proxy's own phases.
+            let exchange_start = Instant::now();
+            let span = telemetry
+                .as_ref()
+                .map(|_| Arc::new(Span::start("exchange")));
+            if let Some(span) = &span {
+                engine.set_span(Arc::clone(span));
+            }
+
             // Replicate.
             let copies = match engine.replicate_request(&frame.bytes) {
                 Ok(copies) => copies,
@@ -201,10 +264,17 @@ fn run_session(
                 }
                 Err(_) => break 'session,
             };
+            let fanout_start = Instant::now();
             for (writer, copy) in writers.iter_mut().zip(&copies) {
                 if writer.write_all(copy).is_err() {
                     sever(&mut client, &mut writers, is_http);
                     break 'session;
+                }
+            }
+            if let Some(t) = &telemetry {
+                t.fanout_us.record_duration(fanout_start.elapsed());
+                if let Some(span) = &span {
+                    span.event("fanout:done");
                 }
             }
 
@@ -219,12 +289,21 @@ fn run_session(
                 }
                 match events_rx.recv_timeout(remaining) {
                     Ok(InstanceEvent::Data(i, data)) => {
+                        if let Some(t) = &telemetry {
+                            t.instance_us.record_duration(t0.elapsed());
+                            if let Some(span) = &span {
+                                span.event(format!("instance:{i}:data"));
+                            }
+                        }
                         if engine.push_response(i, &data).is_err() {
                             failed[i] = true;
                             engine.mark_failed(i);
                         }
                     }
                     Ok(InstanceEvent::Closed(i)) => {
+                        if let Some(span) = &span {
+                            span.event(format!("instance:{i}:closed"));
+                        }
                         failed[i] = true;
                         engine.mark_failed(i);
                         if failed.iter().all(|&f| f) {
@@ -233,6 +312,9 @@ fn run_session(
                     }
                     Err(_) => break, // deadline
                 }
+            }
+            if let Some(t) = &telemetry {
+                t.merge_us.record_duration(t0.elapsed());
             }
             // De-noise + Diff + Respond.
             let outcome = match engine.finish_exchange() {
@@ -245,6 +327,9 @@ fn run_session(
             stats.exchanges.fetch_add(1, Ordering::Relaxed);
             if outcome.report.diverged() {
                 stats.divergences.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(t) = &telemetry {
+                t.exchange_us.record_duration(exchange_start.elapsed());
             }
             match outcome.forward {
                 Some(bytes) => {

@@ -69,10 +69,12 @@ mod incoming;
 mod outgoing;
 mod plumbing;
 
-pub use deploy::{n_version, NVersionedService, Variant};
+pub use deploy::{n_version, n_version_with_telemetry, NVersionedService, Variant};
 pub use incoming::IncomingProxy;
 pub use outgoing::OutgoingProxy;
-pub use plumbing::{protocol_factory, ProtocolFactory, ProxyError, ProxyStats, StatsSnapshot};
+pub use plumbing::{
+    protocol_factory, ProtocolFactory, ProxyError, ProxyStats, ProxyTelemetry, StatsSnapshot,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ProxyError>;

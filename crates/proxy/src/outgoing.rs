@@ -8,9 +8,32 @@ use bytes::BytesMut;
 use crossbeam::channel::unbounded;
 use rddr_core::{Direction, EngineConfig, NVersionEngine, PolicyDecision};
 use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
+use rddr_telemetry::Histogram;
 
-use crate::plumbing::{spawn_reader, InstanceEvent};
+use crate::plumbing::{spawn_reader, InstanceEvent, ProxyTelemetry};
 use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
+
+/// Latency series the outgoing proxy maintains on top of the engine's
+/// counters, under `{prefix}_out_*`.
+#[derive(Clone)]
+struct SessionTelemetry {
+    shared: ProxyTelemetry,
+    /// Waiting for all N instances' requests to agree, µs.
+    merge_us: Arc<Histogram>,
+    /// Merged request written → complete backend response read, µs.
+    backend_us: Arc<Histogram>,
+}
+
+impl SessionTelemetry {
+    fn new(shared: ProxyTelemetry) -> Self {
+        let name = |s: &str| format!("{}_out_{s}", shared.prefix);
+        SessionTelemetry {
+            merge_us: shared.registry.histogram(&name("merge_latency_us")),
+            backend_us: shared.registry.histogram(&name("backend_latency_us")),
+            shared,
+        }
+    }
+}
 
 /// The outgoing request proxy: the N protected instances connect *here*
 /// instead of to a downstream microservice. The proxy verifies that all N
@@ -62,12 +85,27 @@ impl OutgoingProxy {
         config: EngineConfig,
         protocol: ProtocolFactory,
     ) -> Result<OutgoingProxy> {
+        Self::start_with_telemetry(net, listen, backend, config, protocol, None)
+    }
+
+    /// Like [`OutgoingProxy::start`], but every session's engine feeds the
+    /// shared [`ProxyTelemetry`] bundle (metric names under
+    /// `{prefix}_out_*`, divergences to its audit log).
+    pub fn start_with_telemetry(
+        net: Arc<dyn Network>,
+        listen: &ServiceAddr,
+        backend: ServiceAddr,
+        config: EngineConfig,
+        protocol: ProtocolFactory,
+        telemetry: Option<ProxyTelemetry>,
+    ) -> Result<OutgoingProxy> {
         let mut listener = net.listen(listen).map_err(ProxyError::Bind)?;
         // Report the resolved address (TCP port 0 binds to an ephemeral port).
         let bound = listener.local_addr();
         let stats = Arc::new(ProxyStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let n = config.instances();
+        let session_telemetry = telemetry.map(SessionTelemetry::new);
 
         let session_stats = Arc::clone(&stats);
         let session_stop = Arc::clone(&stop);
@@ -93,10 +131,11 @@ impl OutgoingProxy {
                     let config = config.clone();
                     let protocol = Arc::clone(&protocol);
                     let stats = Arc::clone(&session_stats);
+                    let telemetry = session_telemetry.clone();
                     std::thread::Builder::new()
                         .name("rddr-out-session".into())
                         .spawn(move || {
-                            run_session(members, net, backend, config, protocol, stats)
+                            run_session(members, net, backend, config, protocol, stats, telemetry)
                         })
                         .expect("spawn outgoing session");
                 }
@@ -155,11 +194,19 @@ fn run_session(
     config: EngineConfig,
     protocol: ProtocolFactory,
     stats: Arc<ProxyStats>,
+    telemetry: Option<SessionTelemetry>,
 ) {
     let deadline = config.response_deadline();
     // The outgoing proxy diffs the instances' *requests*.
     let mut engine =
         NVersionEngine::from_boxed(config, protocol()).diff_direction(Direction::Request);
+    if let Some(t) = &telemetry {
+        engine = engine.with_telemetry(
+            Arc::clone(&t.shared.registry),
+            &format!("{}_out", t.shared.prefix),
+            Some(Arc::clone(&t.shared.audit)),
+        );
+    }
     let response_protocol = protocol();
 
     let mut writers: Vec<BoxStream> = Vec::with_capacity(members.len());
@@ -205,6 +252,9 @@ fn run_session(
                 Err(_) => break, // deadline
             }
         }
+        if let Some(t) = &telemetry {
+            t.merge_us.record_duration(t0.elapsed());
+        }
 
         // Verify consistency of the merged request.
         let outcome = match engine.finish_exchange() {
@@ -224,6 +274,7 @@ fn run_session(
         };
 
         // Forward the single merged request to the real backend.
+        let backend_start = Instant::now();
         if backend_conn.write_all(&merged).is_err() {
             break 'session;
         }
@@ -237,8 +288,7 @@ fn run_session(
                     let mut collected = frames;
                     // Keep reading until the response exchange completes
                     // (e.g. PostgreSQL: through ReadyForQuery).
-                    while !response_protocol.exchange_complete(&collected, Direction::Response)
-                    {
+                    while !response_protocol.exchange_complete(&collected, Direction::Response) {
                         match backend_conn.read(&mut chunk) {
                             Ok(0) | Err(_) => break,
                             Ok(n) => {
@@ -269,6 +319,9 @@ fn run_session(
         let Some(response) = response else {
             break 'session;
         };
+        if let Some(t) = &telemetry {
+            t.backend_us.record_duration(backend_start.elapsed());
+        }
         for w in writers.iter_mut() {
             if w.write_all(&response).is_err() {
                 break 'session;

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use crossbeam::channel::Sender;
 use rddr_core::Protocol;
 use rddr_net::{BoxStream, NetError, Stream};
+use rddr_telemetry::{AuditLog, Registry};
 
 /// Builds a fresh protocol module per proxied connection.
 ///
@@ -24,7 +25,9 @@ pub fn protocol_factory(name: &str) -> Option<ProtocolFactory> {
         "line" => Some(Arc::new(|| {
             Box::new(rddr_core::protocol::LineProtocol::new())
         })),
-        "raw" => Some(Arc::new(|| Box::new(rddr_core::protocol::RawProtocol::new()))),
+        "raw" => Some(Arc::new(|| {
+            Box::new(rddr_core::protocol::RawProtocol::new())
+        })),
         _ => None,
     }
 }
@@ -63,6 +66,56 @@ impl std::error::Error for ProxyError {
             ProxyError::Bind(e) => Some(e),
             ProxyError::InstanceUnreachable { source, .. } => Some(source),
             ProxyError::Config(_) => None,
+        }
+    }
+}
+
+/// Default audit-log depth when [`ProxyTelemetry::new`] builds one.
+const DEFAULT_AUDIT_CAPACITY: usize = 256;
+
+/// The shared observability surface for one protected service.
+///
+/// Hand the same bundle to the incoming proxy, the outgoing proxy, and an
+/// [`rddr_telemetry::AdminServer`]: every session's engine then feeds one
+/// registry (scraped at `/metrics`) and one divergence audit log (served at
+/// `/divergences`). Cloning shares the underlying registry and log.
+#[derive(Clone)]
+pub struct ProxyTelemetry {
+    /// Metric series for all sessions, keyed under [`ProxyTelemetry::prefix`].
+    pub registry: Arc<Registry>,
+    /// Ring of divergence incidents across all sessions.
+    pub audit: Arc<AuditLog>,
+    /// Metric-name prefix, typically the protected service's name.
+    pub prefix: String,
+}
+
+impl std::fmt::Debug for ProxyTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProxyTelemetry")
+            .field("prefix", &self.prefix)
+            .field("audited", &self.audit.len())
+            .finish()
+    }
+}
+
+impl ProxyTelemetry {
+    /// A fresh registry plus a default-sized audit log under `prefix`.
+    /// Prefixes should be valid Prometheus name stems (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub fn new(prefix: impl Into<String>) -> Self {
+        ProxyTelemetry {
+            registry: Arc::new(Registry::new()),
+            audit: Arc::new(AuditLog::new(DEFAULT_AUDIT_CAPACITY)),
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Wraps existing telemetry objects (e.g. one registry shared by several
+    /// services, each with its own prefix).
+    pub fn with(registry: Arc<Registry>, audit: Arc<AuditLog>, prefix: impl Into<String>) -> Self {
+        ProxyTelemetry {
+            registry,
+            audit,
+            prefix: prefix.into(),
         }
     }
 }
@@ -135,7 +188,10 @@ pub(crate) fn spawn_reader(
                         return;
                     }
                     Ok(n) => {
-                        if events.send(InstanceEvent::Data(index, buf[..n].to_vec())).is_err() {
+                        if events
+                            .send(InstanceEvent::Data(index, buf[..n].to_vec()))
+                            .is_err()
+                        {
                             return;
                         }
                     }
@@ -173,7 +229,10 @@ mod tests {
             other => panic!("unexpected event: {other:?}"),
         }
         tx_side.shutdown();
-        assert!(matches!(events_rx.recv().unwrap(), InstanceEvent::Closed(3)));
+        assert!(matches!(
+            events_rx.recv().unwrap(),
+            InstanceEvent::Closed(3)
+        ));
     }
 
     #[test]

@@ -70,8 +70,11 @@ fn incoming_proxy_runs_end_to_end_over_tcp() {
     let dir = std::env::temp_dir().join("rddr-cli-test-e2e");
     std::fs::create_dir_all(&dir).unwrap();
     let config = dir.join("rddr.conf");
-    std::fs::write(&config, "instances = 2\nprotocol = line\nresponse_deadline_ms = 3000\n")
-        .unwrap();
+    std::fs::write(
+        &config,
+        "instances = 2\nprotocol = line\nresponse_deadline_ms = 3000\n",
+    )
+    .unwrap();
 
     let mut child = Command::new(rddr_bin())
         .args([
@@ -122,7 +125,9 @@ struct BufReaderLine<R> {
 
 impl<R: std::io::Read> BufReaderLine<R> {
     fn new(r: R) -> Self {
-        Self { inner: BufReader::new(r) }
+        Self {
+            inner: BufReader::new(r),
+        }
     }
 
     fn next_line(&mut self) -> String {

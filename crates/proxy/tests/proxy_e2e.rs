@@ -51,7 +51,13 @@ fn read_line(conn: &mut BoxStream) -> Option<String> {
     let mut byte = [0u8; 1];
     loop {
         match conn.read(&mut byte) {
-            Ok(0) | Err(_) => return if out.is_empty() { None } else { Some(lossy(&out)) },
+            Ok(0) | Err(_) => {
+                return if out.is_empty() {
+                    None
+                } else {
+                    Some(lossy(&out))
+                }
+            }
             Ok(_) => {
                 if byte[0] == b'\n' {
                     return Some(lossy(&out));
@@ -86,14 +92,19 @@ fn incoming_proxy_forwards_unanimous_responses() {
     let mut client = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
     for i in 0..5 {
         client.write_all(format!("req{i}\n").as_bytes()).unwrap();
-        assert_eq!(read_line(&mut client).as_deref(), Some(format!("echo:req{i}").as_str()));
+        assert_eq!(
+            read_line(&mut client).as_deref(),
+            Some(format!("echo:req{i}").as_str())
+        );
     }
 }
 
 #[test]
 fn incoming_proxy_severs_on_divergence() {
     let net = SimNet::new();
-    spawn_line_server(&net, ServiceAddr::new("svc", 9000), |req| format!("ok:{req}"));
+    spawn_line_server(&net, ServiceAddr::new("svc", 9000), |req| {
+        format!("ok:{req}")
+    });
     spawn_line_server(&net, ServiceAddr::new("svc", 9001), |req| {
         if req.contains("exploit") {
             format!("ok:{req} AND-THE-WHOLE-USER-TABLE")
@@ -161,7 +172,9 @@ fn incoming_proxy_filter_pair_suppresses_noise() {
 #[test]
 fn incoming_proxy_times_out_hung_instance() {
     let net = SimNet::new();
-    spawn_line_server(&net, ServiceAddr::new("svc", 9000), |req| format!("ok:{req}"));
+    spawn_line_server(&net, ServiceAddr::new("svc", 9000), |req| {
+        format!("ok:{req}")
+    });
     // Instance 1 accepts but never answers (runaway CPU bug, §IV-D).
     let mut hung = net.listen(&ServiceAddr::new("svc", 9001)).unwrap();
     std::thread::spawn(move || {
@@ -195,7 +208,9 @@ fn incoming_proxy_times_out_hung_instance() {
 #[test]
 fn incoming_proxy_throttles_repeated_diverging_input() {
     let net = SimNet::new();
-    spawn_line_server(&net, ServiceAddr::new("svc", 9000), |req| format!("a:{req}"));
+    spawn_line_server(&net, ServiceAddr::new("svc", 9000), |req| {
+        format!("a:{req}")
+    });
     spawn_line_server(&net, ServiceAddr::new("svc", 9001), |req| {
         if req == "evil" {
             "DIVERGE".to_string()
@@ -293,9 +308,14 @@ fn outgoing_proxy_severs_on_request_divergence() {
     let mut b = net.dial(&ServiceAddr::new("rddr-out", 5432)).unwrap();
     // The sanitizing instance sends a clean query; the vulnerable one sends
     // the injected query (the paper's DVWA SQL-injection scenario §V-B).
-    a.write_all(b"SELECT name FROM users WHERE id='1'\n").unwrap();
-    b.write_all(b"SELECT name FROM users WHERE id='1' OR 1=1\n").unwrap();
-    assert!(read_line(&mut a).is_none(), "divergent query must be blocked");
+    a.write_all(b"SELECT name FROM users WHERE id='1'\n")
+        .unwrap();
+    b.write_all(b"SELECT name FROM users WHERE id='1' OR 1=1\n")
+        .unwrap();
+    assert!(
+        read_line(&mut a).is_none(),
+        "divergent query must be blocked"
+    );
     assert!(read_line(&mut b).is_none());
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
     while proxy.stats().severed < 1 {

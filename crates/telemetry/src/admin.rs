@@ -1,0 +1,213 @@
+//! Minimal admin/observability endpoint.
+//!
+//! Serves three HTTP/1.1 GET routes over any [`rddr_net::Network`] fabric —
+//! in-memory [`rddr_net::SimNet`], real [`rddr_net::TcpNet`], or the toy
+//! secure channel — because it only touches the `Listener`/`Stream` traits:
+//!
+//! * `/healthz` — liveness probe, plain `ok`.
+//! * `/metrics` — the registry in Prometheus text exposition format.
+//! * `/divergences` — the audit log as JSON.
+//!
+//! The server is deliberately tiny: one accept-loop thread, one short-lived
+//! handler thread per connection, `Connection: close` semantics. It is an
+//! operator surface, not a production HTTP stack.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rddr_net::{BoxStream, Network, Result, ServiceAddr, Stream};
+
+use crate::audit::AuditLog;
+use crate::registry::Registry;
+
+/// Handle to a running admin endpoint. Dropping it without calling
+/// [`AdminServer::shutdown`] leaves the accept thread running detached.
+pub struct AdminServer {
+    addr: ServiceAddr,
+    net: Arc<dyn Network>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` on `net` and starts serving `registry` and `audit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve(
+        net: Arc<dyn Network>,
+        addr: &ServiceAddr,
+        registry: Arc<Registry>,
+        audit: Arc<AuditLog>,
+    ) -> Result<AdminServer> {
+        let mut listener = net.listen(addr)?;
+        let bound = listener.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("rddr-admin-{bound}"))
+            .spawn(move || loop {
+                let conn = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(_) => return,
+                };
+                if accept_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let registry = registry.clone();
+                let audit = audit.clone();
+                std::thread::spawn(move || handle_connection(conn, &registry, &audit));
+            })
+            .expect("spawn admin accept thread");
+        Ok(AdminServer {
+            addr: bound,
+            net,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (port resolved if `addr` used port 0).
+    pub fn addr(&self) -> &ServiceAddr {
+        &self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unbind wakes SimNet accept loops; the self-dial wakes fabrics whose
+        // unbind is a no-op (plain TCP).
+        self.net.unbind_addr(&self.addr);
+        let _ = self.net.dial(&self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads one request head and answers one of the three routes.
+fn handle_connection(mut conn: BoxStream, registry: &Registry, audit: &AuditLog) {
+    conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let path = match read_request_path(&mut conn) {
+        Some(path) => path,
+        None => return,
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        "/divergences" => ("200 OK", "application/json", audit.to_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = conn.write_all(response.as_bytes());
+    conn.shutdown();
+}
+
+/// Reads up to the end of the request head and returns the GET path.
+fn read_request_path(conn: &mut BoxStream) -> Option<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            return None;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Ignore any query string; routes take no parameters.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rddr_net::SimNet;
+
+    fn get(net: &dyn Network, addr: &ServiceAddr, path: &str) -> String {
+        let mut conn = net.dial(addr).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+            }
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn serves_all_three_routes_over_simnet() {
+        let net: Arc<dyn Network> = Arc::new(SimNet::new());
+        let registry = Arc::new(Registry::new());
+        registry.counter("rddr_exchanges_total").add(3);
+        let audit = Arc::new(AuditLog::new(8));
+        let server = AdminServer::serve(
+            net.clone(),
+            &ServiceAddr::new("admin", 9100),
+            registry,
+            audit,
+        )
+        .unwrap();
+        let health = get(net.as_ref(), server.addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.ends_with("ok\n"));
+        let metrics = get(net.as_ref(), server.addr(), "/metrics");
+        assert!(metrics.contains("rddr_exchanges_total 3"), "{metrics}");
+        let div = get(net.as_ref(), server.addr(), "/divergences");
+        assert!(div.contains("\"divergences\":[]"), "{div}");
+        let missing = get(net.as_ref(), server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_the_address() {
+        let net: Arc<dyn Network> = Arc::new(SimNet::new());
+        let addr = ServiceAddr::new("admin", 9101);
+        let server = AdminServer::serve(
+            net.clone(),
+            &addr,
+            Arc::new(Registry::new()),
+            Arc::new(AuditLog::new(1)),
+        )
+        .unwrap();
+        server.shutdown();
+        // Address is free again: a second server can bind it.
+        let again = AdminServer::serve(
+            net.clone(),
+            &addr,
+            Arc::new(Registry::new()),
+            Arc::new(AuditLog::new(1)),
+        )
+        .unwrap();
+        again.shutdown();
+    }
+}

@@ -1,0 +1,209 @@
+//! Bounded divergence audit log.
+//!
+//! Every severed connection leaves a [`DivergenceRecord`]: which instance
+//! disagreed, where in the response, the throttle signature of the offending
+//! request, and the span timeline of the exchange. The log is a fixed-size
+//! ring — old incidents fall off the back — so a noisy deployment cannot grow
+//! memory without bound.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::span::SpanEvent;
+
+/// One audited divergence incident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceRecord {
+    /// The span/exchange id the incident happened in.
+    pub exchange_id: u64,
+    /// The protected service (incoming proxy listen address, typically).
+    pub service: String,
+    /// Index of the instance the majority voted against, when identifiable.
+    pub offending_instance: Option<usize>,
+    /// Human-readable throttle signature of the offending request.
+    pub signature: String,
+    /// Segment indices where responses differed.
+    pub diff_positions: Vec<usize>,
+    /// Short description (diff labels, excerpts).
+    pub detail: String,
+    /// Whether the divergence was structural (token shape) or content-level.
+    pub structural: bool,
+    /// The exchange's span timeline at the moment of severing.
+    pub timeline: Vec<SpanEvent>,
+}
+
+/// A thread-safe bounded ring of [`DivergenceRecord`]s.
+#[derive(Debug)]
+pub struct AuditLog {
+    capacity: usize,
+    dropped: Mutex<u64>,
+    entries: Mutex<VecDeque<DivergenceRecord>>,
+}
+
+impl AuditLog {
+    /// Creates a log retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> AuditLog {
+        assert!(capacity > 0, "audit log capacity must be positive");
+        AuditLog {
+            capacity,
+            dropped: Mutex::new(0),
+            entries: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn record(&self, record: DivergenceRecord) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() == self.capacity {
+            entries.pop_front();
+            *self.dropped.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        }
+        entries.push_back(record);
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many records have been evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copies the retained records, oldest first.
+    pub fn recent(&self) -> Vec<DivergenceRecord> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the retained records as a JSON document:
+    /// `{"dropped": n, "divergences": [...]}`.
+    ///
+    /// The writer is local to this crate: `rddr-protocols` sits above
+    /// `rddr-core` which depends on this crate, so reusing its `JsonValue`
+    /// would create a cycle.
+    pub fn to_json(&self) -> String {
+        let records = self.recent();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"dropped\":{},\"divergences\":[",
+            self.dropped()
+        ));
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"exchange_id\":{},\"service\":{},\"offending_instance\":{},\
+                 \"signature\":{},\"diff_positions\":[{}],\"detail\":{},\
+                 \"structural\":{},\"timeline\":[{}]}}",
+                r.exchange_id,
+                json_string(&r.service),
+                r.offending_instance
+                    .map_or_else(|| "null".to_string(), |i| i.to_string()),
+                json_string(&r.signature),
+                r.diff_positions
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                json_string(&r.detail),
+                r.structural,
+                r.timeline
+                    .iter()
+                    .map(|e| format!(
+                        "{{\"label\":{},\"offset_us\":{}}}",
+                        json_string(&e.label),
+                        e.offset.as_micros()
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample(id: u64) -> DivergenceRecord {
+        DivergenceRecord {
+            exchange_id: id,
+            service: "rddr:5432".into(),
+            offending_instance: Some(1),
+            signature: "SELECT \"x\"\n".into(),
+            diff_positions: vec![0, 3],
+            detail: "row count mismatch".into(),
+            structural: false,
+            timeline: vec![SpanEvent {
+                label: "diff".into(),
+                offset: Duration::from_micros(42),
+            }],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = AuditLog::new(2);
+        for id in 0..5 {
+            log.record(sample(id));
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].exchange_id, 3);
+        assert_eq!(recent[1].exchange_id, 4);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let log = AuditLog::new(4);
+        log.record(sample(7));
+        let json = log.to_json();
+        assert!(json.contains("\"exchange_id\":7"));
+        assert!(json.contains("\"offending_instance\":1"));
+        assert!(json.contains("\\\"x\\\"\\n"), "escape failure: {json}");
+        assert!(json.contains("\"diff_positions\":[0,3]"));
+        assert!(json.contains("\"offset_us\":42"));
+    }
+
+    #[test]
+    fn empty_log_is_valid_json_shape() {
+        let log = AuditLog::new(1);
+        assert!(log.is_empty());
+        assert_eq!(log.to_json(), "{\"dropped\":0,\"divergences\":[]}");
+    }
+}

@@ -1,0 +1,258 @@
+//! A lock-free log-bucketed histogram.
+//!
+//! Values are `u64` (the workspace records latencies in microseconds).
+//! Buckets are laid out HDR-style: values below [`SUB_BUCKETS`] get an exact
+//! bucket each; above that, each power-of-two octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, bounding the relative width of every
+//! bucket — and therefore the relative error of any quantile estimate — to
+//! `1 / SUB_BUCKETS` (6.25%).
+//!
+//! Recording is a single relaxed atomic increment, so one histogram can be
+//! shared across every proxy worker thread without contention; histograms
+//! from independent registries can be merged bucket-wise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave. Must be a power of two.
+pub const SUB_BUCKETS: usize = 16;
+const SUB_SHIFT: u32 = SUB_BUCKETS.trailing_zeros();
+/// Octaves above the exact region: msb 4..=63 inclusive.
+const OCTAVES: usize = 64 - SUB_SHIFT as usize;
+/// Total bucket count: the exact region plus the log region.
+pub const BUCKETS: usize = SUB_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// Maps a value to its bucket index.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = (msb - SUB_SHIFT) as usize;
+    let sub = ((value >> (msb - SUB_SHIFT)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + octave * SUB_BUCKETS + sub
+}
+
+/// Upper bound (inclusive) of the values that land in `index`.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let base = 1u64 << (octave + SUB_SHIFT);
+    let width = base >> SUB_SHIFT;
+    // Highest value of this sub-bucket: start of the next one, minus one.
+    // Subtract first: the top bucket's next-start is 2^64 and would overflow.
+    (base - 1) + (sub + 1) * width
+}
+
+/// A mergeable, thread-safe latency/size histogram with quantile queries.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (the workspace-wide unit).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) as the upper bound of the
+    /// bucket holding the rank-`ceil(q·n)` observation. The estimate is
+    /// exact for values below [`SUB_BUCKETS`] and within `1/SUB_BUCKETS`
+    /// relative error otherwise. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Never report beyond the observed maximum (the top bucket's
+                // upper bound can overshoot it).
+                return bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Resets all counts to zero.
+    pub fn reset(&self) {
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+    }
+
+    #[test]
+    fn bucket_index_round_trips_with_bounds() {
+        for &v in &[0u64, 1, 15, 16, 17, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            let hi = bucket_upper_bound(i);
+            assert!(v <= hi, "value {v} above upper bound {hi} of its bucket");
+            if i > 0 {
+                let prev_hi = bucket_upper_bound(i - 1);
+                assert!(v > prev_hi, "value {v} should be past bucket {}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_bounded_relative_error() {
+        let h = Histogram::new();
+        let mut values: Vec<u64> = (0..10_000).map(|i| i * 37 + 5).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for &q in &[0.5, 0.9, 0.95, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "estimate {est} below exact {exact} at q={q}");
+            let rel = (est - exact) as f64 / exact as f64;
+            assert!(
+                rel <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
+                "q={q}: rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile(0.99), 1_000_003);
+        assert_eq!(h.max(), 1_000_003);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        a.record(10);
+        b.record(1_000);
+        b.record(2_000);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 3_010);
+        assert_eq!(a.max(), 2_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+    }
+}

@@ -1,0 +1,57 @@
+//! Dependency-free observability for the RDDR reproduction.
+//!
+//! The paper's argument for N-versioning rests on measured overhead (Figs
+//! 4–6) and on the operator being able to see *why* a connection was severed.
+//! This crate provides both halves without any external dependency:
+//!
+//! * [`Registry`] — lock-sharded named [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed [`Histogram`]s (p50/p95/p99/max with bounded relative
+//!   error), mergeable across threads.
+//! * [`Span`] — per-exchange timelines carrying a process-unique request id
+//!   from the incoming proxy through the engine to the outgoing proxy.
+//! * [`AuditLog`] — a bounded ring of [`DivergenceRecord`]s: offending
+//!   instance, throttle signature, diff positions, span timeline.
+//! * [`AdminServer`] — `/healthz`, `/metrics` (Prometheus text), and
+//!   `/divergences` (JSON) served over any [`rddr_net::Network`] fabric.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rddr_net::{Network, SimNet, ServiceAddr, Stream};
+//! use rddr_telemetry::{AdminServer, AuditLog, Registry};
+//!
+//! # fn main() -> Result<(), rddr_net::NetError> {
+//! let registry = Arc::new(Registry::new());
+//! registry.counter("rddr_exchanges_total").inc();
+//! registry.histogram("rddr_exchange_latency_us").record(180);
+//!
+//! let net: Arc<dyn Network> = Arc::new(SimNet::new());
+//! let server = AdminServer::serve(
+//!     net.clone(),
+//!     &ServiceAddr::new("admin", 9100),
+//!     registry,
+//!     Arc::new(AuditLog::new(64)),
+//! )?;
+//!
+//! let mut conn = net.dial(server.addr())?;
+//! conn.write_all(b"GET /metrics HTTP/1.1\r\n\r\n")?;
+//! let mut buf = [0u8; 4096];
+//! let n = conn.read(&mut buf)?;
+//! assert!(String::from_utf8_lossy(&buf[..n]).contains("rddr_exchanges_total 1"));
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+mod admin;
+mod audit;
+mod histogram;
+mod registry;
+mod span;
+
+pub use admin::AdminServer;
+pub use audit::{AuditLog, DivergenceRecord};
+pub use histogram::{Histogram, BUCKETS, SUB_BUCKETS};
+pub use registry::{Counter, Gauge, Registry};
+pub use span::{Span, SpanEvent};

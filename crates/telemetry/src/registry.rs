@@ -1,0 +1,282 @@
+//! A lock-sharded registry of named metrics.
+//!
+//! The registry owns the name → metric mapping; callers hold `Arc` handles to
+//! the metrics themselves, so the hot path (incrementing a counter, recording
+//! a latency) never touches the registry locks — those are taken only at
+//! registration and when rendering `/metrics`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::Histogram;
+
+/// A monotonically increasing metric.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric that can move in both directions (e.g. resident memory).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// Named metrics, sharded by name hash to keep registration cheap even when
+/// many sessions register per-instance metrics concurrently.
+pub struct Registry {
+    shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        &self.shards[(hash % SHARDS as u64) as usize]
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition format, sorted by
+    /// name so output is stable. Histograms render as summaries with
+    /// `quantile` labels plus `_sum`/`_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, metric) in shard.iter() {
+                let mut block = String::new();
+                match metric {
+                    Metric::Counter(c) => {
+                        block.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                    }
+                    Metric::Gauge(g) => {
+                        block.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        block.push_str(&format!("# TYPE {name} summary\n"));
+                        for (label, q) in
+                            [("0.5", 0.5), ("0.9", 0.9), ("0.95", 0.95), ("0.99", 0.99)]
+                        {
+                            block.push_str(&format!(
+                                "{name}{{quantile=\"{label}\"}} {}\n",
+                                h.quantile(q)
+                            ));
+                        }
+                        block.push_str(&format!("{name}{{quantile=\"1\"}} {}\n", h.max()));
+                        block.push_str(&format!("{name}_sum {}\n", h.sum()));
+                        block.push_str(&format!("{name}_count {}\n", h.count()));
+                    }
+                }
+                entries.push((name.clone(), block));
+            }
+        }
+        entries.sort();
+        let mut out = String::new();
+        for (_, block) in entries {
+            out.push_str(&block);
+        }
+        out
+    }
+
+    /// Merges every histogram of `other` into the same-named histogram here
+    /// and adds counter values; used to fold per-thread registries into a
+    /// process-wide one.
+    pub fn absorb(&self, other: &Registry) {
+        for shard in &other.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, metric) in shard.iter() {
+                match metric {
+                    Metric::Counter(c) => self.counter(name).add(c.get()),
+                    Metric::Gauge(g) => self.gauge(name).set(g.get()),
+                    Metric::Histogram(h) => self.histogram(name).merge_from(h),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let count: usize = self
+            .shards
+            .iter()
+            .map(|s| s.lock().map(|m| m.len()).unwrap_or(0))
+            .sum();
+        f.debug_struct("Registry").field("metrics", &count).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("rddr_exchanges_total");
+        let b = reg.counter("rddr_exchanges_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("rddr_mem_bytes");
+        g.set(100);
+        g.add(-40);
+        assert_eq!(g.get(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let reg = Registry::new();
+        reg.counter("rddr_thing");
+        reg.gauge("rddr_thing");
+    }
+
+    #[test]
+    fn prometheus_output_is_sorted_and_typed() {
+        let reg = Registry::new();
+        reg.counter("zzz_total").inc();
+        reg.gauge("aaa_bytes").set(5);
+        let h = reg.histogram("mid_latency_us");
+        h.record(100);
+        let text = reg.render_prometheus();
+        let a = text.find("aaa_bytes").unwrap();
+        let m = text.find("mid_latency_us").unwrap();
+        let z = text.find("zzz_total").unwrap();
+        assert!(a < m && m < z, "not sorted: {text}");
+        assert!(text.contains("# TYPE aaa_bytes gauge"));
+        assert!(text.contains("# TYPE zzz_total counter"));
+        assert!(text.contains("# TYPE mid_latency_us summary"));
+        assert!(text.contains("mid_latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("mid_latency_us_count 1"));
+    }
+
+    #[test]
+    fn absorb_folds_thread_local_registries() {
+        let global = Registry::new();
+        let local = Registry::new();
+        local.counter("n_total").add(4);
+        local.histogram("lat_us").record(50);
+        global.counter("n_total").add(1);
+        global.absorb(&local);
+        assert_eq!(global.counter("n_total").get(), 5);
+        assert_eq!(global.histogram("lat_us").count(), 1);
+    }
+}

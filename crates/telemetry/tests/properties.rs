@@ -1,0 +1,111 @@
+//! Property and concurrency tests for the telemetry primitives: histogram
+//! quantile accuracy against exact order statistics, merge equivalence, and
+//! multi-thread registry aggregation.
+
+use proptest::prelude::*;
+use rddr_telemetry::{Histogram, Registry, SUB_BUCKETS};
+
+/// The rank-`ceil(q·n)` order statistic — the same convention
+/// [`Histogram::quantile`] estimates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[rank as usize - 1]
+}
+
+proptest! {
+    /// The histogram's quantile never undershoots the exact order statistic
+    /// and overshoots by at most one bucket's width (`1/SUB_BUCKETS`
+    /// relative error, exact below `SUB_BUCKETS`).
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+        q_pct in 1u64..=100,
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let approx = hist.quantile(q);
+        prop_assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+        let slack = exact / SUB_BUCKETS as u64 + 1;
+        prop_assert!(
+            approx <= exact + slack,
+            "q={q}: approx {approx} > exact {exact} + slack {slack}"
+        );
+    }
+
+    /// Merging two histograms is equivalent to recording the concatenation.
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let ha = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let hb = Histogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        ha.merge_from(&hb);
+
+        let combined = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            combined.record(v);
+        }
+        prop_assert_eq!(ha.count(), combined.count());
+        prop_assert_eq!(ha.sum(), combined.sum());
+        prop_assert_eq!(ha.max(), combined.max());
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ha.quantile(q), combined.quantile(q));
+        }
+    }
+}
+
+/// Eight threads hammer one shared registry; totals must be lossless and a
+/// per-thread private registry absorbed at the end must add in exactly.
+#[test]
+fn registry_merges_across_threads() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+
+    let shared = std::sync::Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let counter = shared.counter("events_total");
+                let hist = shared.histogram("latency_us");
+                // A private registry merged in afterward, as a session
+                // thread that batches locally would do.
+                let private = Registry::new();
+                let local = private.counter("events_total");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(t * PER_THREAD + i);
+                    local.inc();
+                }
+                shared.absorb(&private);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(
+        shared.counter("events_total").get(),
+        2 * THREADS * PER_THREAD
+    );
+    let hist = shared.histogram("latency_us");
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    assert_eq!(hist.quantile(1.0), THREADS * PER_THREAD - 1);
+    let page = shared.render_prometheus();
+    assert!(page.contains("events_total 80000"), "metrics:\n{page}");
+}

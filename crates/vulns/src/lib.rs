@@ -32,10 +32,7 @@ pub use report::MitigationReport;
 /// Runs every Table I scenario, returning `(row, report)` pairs in table
 /// order.
 pub fn run_all() -> Vec<(&'static TableRow, MitigationReport)> {
-    TABLE_I
-        .iter()
-        .map(|row| (row, (row.run)()))
-        .collect()
+    TABLE_I.iter().map(|row| (row, (row.run)())).collect()
 }
 
 /// Renders the mitigation matrix as the paper's Table I (plus outcome
@@ -54,7 +51,9 @@ pub fn render_table(results: &[(&TableRow, MitigationReport)]) -> String {
             row.cve,
             row.target,
             row.cwe,
-            row.owasp.map(|o| o.to_string()).unwrap_or_else(|| "N/A".into()),
+            row.owasp
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "N/A".into()),
             row.diversity.describe(),
             if report.benign_ok { "pass" } else { "FAIL" },
             if report.mitigated() { "yes" } else { "NO" },
@@ -74,8 +73,10 @@ mod tests {
 
     #[test]
     fn table_covers_five_owasp_categories() {
-        let mut categories: Vec<u8> =
-            TABLE_I.iter().filter_map(|r| r.owasp.map(|o| o.0)).collect();
+        let mut categories: Vec<u8> = TABLE_I
+            .iter()
+            .filter_map(|r| r.owasp.map(|o| o.0))
+            .collect();
         categories.sort_unstable();
         categories.dedup();
         assert_eq!(categories, vec![1, 2, 3, 4, 5], "top five OWASP classes");

@@ -23,7 +23,10 @@ pub struct MitigationReport {
 impl MitigationReport {
     /// Creates an empty report for a scenario.
     pub fn new(id: impl Into<String>) -> Self {
-        Self { id: id.into(), ..Self::default() }
+        Self {
+            id: id.into(),
+            ..Self::default()
+        }
     }
 
     /// The paper's verdict: mitigated iff the leak was blocked and benign
@@ -47,7 +50,11 @@ impl fmt::Display for MitigationReport {
             self.benign_ok,
             self.exploit_blocked,
             self.leak_reached_client,
-            if self.mitigated() { "MITIGATED" } else { "NOT MITIGATED" }
+            if self.mitigated() {
+                "MITIGATED"
+            } else {
+                "NOT MITIGATED"
+            }
         )?;
         for n in &self.notes {
             writeln!(f, "  - {n}")?;

@@ -53,7 +53,10 @@ pub fn run() -> MitigationReport {
     let _proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &proxy_addr,
-        vec![ServiceAddr::new("echo", 7000), ServiceAddr::new("echo", 7001)],
+        vec![
+            ServiceAddr::new("echo", 7000),
+            ServiceAddr::new("echo", 7001),
+        ],
         config(2).build().expect("static config"),
         line(),
     )
@@ -85,9 +88,7 @@ pub fn run() -> MitigationReport {
                     Some(reply) => {
                         let text = String::from_utf8_lossy(&reply);
                         let tail = &text[text.len().saturating_sub(16)..];
-                        if tail.len() == 16
-                            && tail.bytes().all(|b| b.is_ascii_hexdigit())
-                        {
+                        if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) {
                             report.leak_reached_client = true;
                             report.note(format!("pointer {tail} reached the attacker"));
                         }

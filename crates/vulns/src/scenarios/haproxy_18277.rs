@@ -62,7 +62,10 @@ pub fn run() -> MitigationReport {
     let _proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &proxy_addr,
-        vec![ServiceAddr::new("proxy", 8080), ServiceAddr::new("proxy", 8081)],
+        vec![
+            ServiceAddr::new("proxy", 8080),
+            ServiceAddr::new("proxy", 8081),
+        ],
         config(2)
             .variance(server_banner_variance())
             .build()

@@ -15,11 +15,23 @@ pub fn run() -> MitigationReport {
     run_rest_pair(
         "CVE-2014-3146",
         [
-            ("lxml", Arc::new(sanitize_service(Arc::new(LxmlClean::new())))),
-            ("sanitize-html", Arc::new(sanitize_service(Arc::new(SanitizeHtml::new())))),
+            (
+                "lxml",
+                Arc::new(sanitize_service(Arc::new(LxmlClean::new()))),
+            ),
+            (
+                "sanitize-html",
+                Arc::new(sanitize_service(Arc::new(SanitizeHtml::new()))),
+            ),
         ],
-        ("/sanitize", "<p>user <b>content</b> with a <a href=\"https://x\">link</a></p>"),
-        ("/sanitize", "<a href=\"java\tscript:alert(document.cookie)\">pwn</a>"),
+        (
+            "/sanitize",
+            "<p>user <b>content</b> with a <a href=\"https://x\">link</a></p>",
+        ),
+        (
+            "/sanitize",
+            "<a href=\"java\tscript:alert(document.cookie)\">pwn</a>",
+        ),
         &["script:alert"],
     )
 }

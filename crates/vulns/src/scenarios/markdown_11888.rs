@@ -14,10 +14,19 @@ pub fn run() -> MitigationReport {
     run_rest_pair(
         "CVE-2020-11888",
         [
-            ("markdown2", Arc::new(render_service(Arc::new(Markdown2::new())))),
-            ("markdown", Arc::new(render_service(Arc::new(MarkdownSafe::new())))),
+            (
+                "markdown2",
+                Arc::new(render_service(Arc::new(Markdown2::new()))),
+            ),
+            (
+                "markdown",
+                Arc::new(render_service(Arc::new(MarkdownSafe::new()))),
+            ),
         ],
-        ("/render", "# Post\n\nA **benign** [link](https://example.com)."),
+        (
+            "/render",
+            "# Post\n\nA **benign** [link](https://example.com).",
+        ),
         ("/render", "[click me](java\tscript:alert(document.cookie))"),
         &["script:alert"],
     )

@@ -18,8 +18,8 @@ use std::time::Duration;
 use rddr_core::protocol::LineProtocol;
 use rddr_core::{EngineConfig, VarianceRule, VarianceRules};
 use rddr_orchestra::{Cluster, CpuGovernor};
-use rddr_proxy::ProtocolFactory;
 use rddr_protocols::{HttpProtocol, PgProtocol};
+use rddr_proxy::ProtocolFactory;
 
 /// A small, fast cluster for scenario runs (simulated work at 1% speed).
 pub(crate) fn scenario_cluster() -> Cluster {
@@ -52,8 +52,6 @@ pub(crate) fn config(n: usize) -> rddr_core::EngineConfigBuilder {
 /// to ignore application-specific benign divergence").
 pub(crate) fn server_banner_variance() -> VarianceRules {
     let mut rules = VarianceRules::new();
-    rules.push(
-        VarianceRule::new("http:header:server", "*").expect("static patterns are valid"),
-    );
+    rules.push(VarianceRule::new("http:header:server", "*").expect("static patterns are valid"));
     rules
 }

@@ -47,7 +47,9 @@ pub fn run() -> MitigationReport {
     let _proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &proxy_addr,
-        (0..3).map(|i| ServiceAddr::new("nginx", 8000 + i)).collect(),
+        (0..3)
+            .map(|i| ServiceAddr::new("nginx", 8000 + i))
+            .collect(),
         config(3)
             .filter_pair(0, 1)
             .variance(server_banner_variance())
@@ -82,9 +84,7 @@ pub fn run() -> MitigationReport {
             return report;
         }
     };
-    let crafted = format!(
-        "GET /index.html HTTP/1.1\r\nHost: n\r\nRange: {OVERFLOW_RANGE}\r\n\r\n"
-    );
+    let crafted = format!("GET /index.html HTTP/1.1\r\nHost: n\r\nRange: {OVERFLOW_RANGE}\r\n\r\n");
     if client.send_raw(crafted.as_bytes()).is_err() {
         report.exploit_blocked = true;
         return report;

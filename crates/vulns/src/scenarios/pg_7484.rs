@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use rddr_net::{Network, ServiceAddr};
 use rddr_orchestra::Image;
-use rddr_pgsim::{
-    CockroachFlavor, Database, DbFlavor, PgClient, PgServer, PgVersion,
-};
+use rddr_pgsim::{CockroachFlavor, Database, DbFlavor, PgClient, PgServer, PgVersion};
 use rddr_proxy::IncomingProxy;
 
 use crate::report::MitigationReport;
@@ -74,8 +72,7 @@ pub fn run() -> MitigationReport {
     // ---- benign traffic -----------------------------------------------------
     if let Ok(conn) = net.dial(&proxy_addr) {
         if let Ok(mut client) = PgClient::connect(conn, "mallory") {
-            let benign =
-                client.query("SELECT msg FROM public_info ORDER BY msg");
+            let benign = client.query("SELECT msg FROM public_info ORDER BY msg");
             report.benign_ok = matches!(
                 &benign,
                 Ok(r) if r.error.is_none() && r.rows.len() == 2
@@ -128,9 +125,9 @@ pub fn run() -> MitigationReport {
     // blocked".
     if let Ok(conn) = net.dial(&proxy_addr) {
         if let Ok(mut attacker) = PgClient::connect(conn, "mallory") {
-            match attacker.query(
-                "EXPLAIN (COSTS OFF) SELECT x FROM some_table WHERE col_to_leak >>> 0",
-            ) {
+            match attacker
+                .query("EXPLAIN (COSTS OFF) SELECT x FROM some_table WHERE col_to_leak >>> 0")
+            {
                 Err(_) => report.note("reconnected EXPLAIN severed too"),
                 Ok(resp) => {
                     if resp.notices.iter().any(|n| n.contains("700")) {

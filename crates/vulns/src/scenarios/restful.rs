@@ -46,7 +46,10 @@ pub(crate) fn run_rest_pair(
     let _proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &proxy_addr,
-        vec![ServiceAddr::new("rest", 8000), ServiceAddr::new("rest", 8001)],
+        vec![
+            ServiceAddr::new("rest", 8000),
+            ServiceAddr::new("rest", 8001),
+        ],
         config(2).build().expect("static config"),
         http(),
     )

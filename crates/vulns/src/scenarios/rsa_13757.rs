@@ -12,7 +12,10 @@ use crate::scenarios::restful::run_rest_pair;
 /// Runs the scenario.
 pub fn run() -> MitigationReport {
     let key = RsaKeyPair::demo();
-    let benign_ct = key.encrypt(b"ok!").expect("fits the toy modulus").to_string();
+    let benign_ct = key
+        .encrypt(b"ok!")
+        .expect("fits the toy modulus")
+        .to_string();
     let forged_ct = craft_forged_ciphertext(&key).to_string();
     let forged_plain_hex = hex_encode(b"pw");
     let benign_ct: &'static str = Box::leak(benign_ct.into_boxed_str());
@@ -21,8 +24,14 @@ pub fn run() -> MitigationReport {
     run_rest_pair(
         "CVE-2020-13757",
         [
-            ("rsa-lib", Arc::new(decrypt_service(Arc::new(RsaLib::new()), key))),
-            ("crypto-lib", Arc::new(decrypt_service(Arc::new(CryptoLib::new()), key))),
+            (
+                "rsa-lib",
+                Arc::new(decrypt_service(Arc::new(RsaLib::new()), key)),
+            ),
+            (
+                "crypto-lib",
+                Arc::new(decrypt_service(Arc::new(CryptoLib::new()), key)),
+            ),
         ],
         ("/decrypt", benign_ct),
         ("/decrypt", forged_ct),

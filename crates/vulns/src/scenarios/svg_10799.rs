@@ -19,11 +19,17 @@ pub fn run() -> MitigationReport {
         [
             (
                 "svglib",
-                Arc::new(svg_service(Arc::new(SvgLib::new()), VirtualFs::with_defaults())),
+                Arc::new(svg_service(
+                    Arc::new(SvgLib::new()),
+                    VirtualFs::with_defaults(),
+                )),
             ),
             (
                 "cairosvg",
-                Arc::new(svg_service(Arc::new(CairoSvg::new()), VirtualFs::with_defaults())),
+                Arc::new(svg_service(
+                    Arc::new(CairoSvg::new()),
+                    VirtualFs::with_defaults(),
+                )),
             ),
         ],
         (

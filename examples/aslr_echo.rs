@@ -28,9 +28,7 @@ fn read_line(conn: &mut BoxStream) -> Option<String> {
             Ok(0) | Err(_) => {
                 return (!out.is_empty()).then(|| String::from_utf8_lossy(&out).into_owned())
             }
-            Ok(_) if byte[0] == b'\n' => {
-                return Some(String::from_utf8_lossy(&out).into_owned())
-            }
+            Ok(_) if byte[0] == b'\n' => return Some(String::from_utf8_lossy(&out).into_owned()),
             Ok(_) => out.push(byte[0]),
         }
     }
@@ -64,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &ServiceAddr::new("rddr-echo", 7),
-        vec![ServiceAddr::new("echo", 7000), ServiceAddr::new("echo", 7001)],
+        vec![
+            ServiceAddr::new("echo", 7000),
+            ServiceAddr::new("echo", 7001),
+        ],
         EngineConfig::builder(2)
             .response_deadline(Duration::from_secs(2))
             .build()?,

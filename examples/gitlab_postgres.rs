@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let gitlab = deploy_gitlab(&cluster, db_addr)?;
-    println!("GitLab composite up: {} containers + RDDR\n", gitlab.containers.len() + 3);
+    println!(
+        "GitLab composite up: {} containers + RDDR\n",
+        gitlab.containers.len() + 3
+    );
 
     // Benign flows: sign in, create a project, list projects.
     let net = cluster.net();
@@ -91,7 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     !text.contains("ROOT-ADMIN"),
                     "protected rows must never reach the attacker"
                 );
-                println!("  step {}: status {} ({} bytes)", i + 1, resp.status, text.len());
+                println!(
+                    "  step {}: status {} ({} bytes)",
+                    i + 1,
+                    resp.status,
+                    text.len()
+                );
                 if resp.status == 500 {
                     println!("  => RDDR severed the database connection: leak blocked");
                     break;
@@ -107,7 +115,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Benign traffic still works afterwards.
     let mut user = HttpClient::connect(&net, &gitlab.addrs.workhorse)?;
     let again = user.get("/projects")?;
-    println!("\npost-attack /projects: status {} — GitLab fully operational", again.status);
+    println!(
+        "\npost-attack /projects: status {} — GitLab fully operational",
+        again.status
+    );
     println!("RDDR proxy stats: {:?}", proxy.stats());
     Ok(())
 }

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &ServiceAddr::new("rddr", 80),
-        vec![ServiceAddr::new("lookup", 8000), ServiceAddr::new("lookup", 8001)],
+        vec![
+            ServiceAddr::new("lookup", 8000),
+            ServiceAddr::new("lookup", 8001),
+        ],
         EngineConfig::builder(2).build()?,
         Arc::new(|| Box::new(rddr_repro::protocols::HttpProtocol::new())),
     )?;
@@ -68,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match attacker.get("/user?id=*") {
         Err(_) => println!("exploit: connection severed before any leak"),
         Ok(resp) => {
-            assert!(!resp.body_text().contains("secret2"), "leak must be blocked");
+            assert!(
+                !resp.body_text().contains("secret2"),
+                "leak must be blocked"
+            );
             println!("exploit: answered {} with no leaked rows", resp.status);
         }
     }
@@ -79,8 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         EngineConfig::builder(2).build()?,
         LineProtocol::new(),
     );
-    let verdict =
-        engine.evaluate_responses(&[b"ok\n".to_vec(), b"ok\nEXTRA\n".to_vec()])?;
+    let verdict = engine.evaluate_responses(&[b"ok\n".to_vec(), b"ok\nEXTRA\n".to_vec()])?;
     println!("engine verdict on a leaky response pair: {verdict:?}");
 
     // Keep the line-protocol imports honest (the library API is used above).

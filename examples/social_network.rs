@@ -92,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain_count = SERVICES.len();
     let extra = containers.len() - plain_count;
     println!("social network: {} logical services", SERVICES.len());
-    println!("containers: {} (plain would be {plain_count}, +{extra} for RDDR)", containers.len());
+    println!(
+        "containers: {} (plain would be {plain_count}, +{extra} for RDDR)",
+        containers.len()
+    );
     println!(
         "overhead: {:.0}% for micro-versioning {:?} vs {:.0}% for whole-deployment {n}-versioning",
         100.0 * extra as f64 / plain_count as f64,
@@ -105,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, addr) in &entrypoints {
         let mut client = HttpClient::connect(&net, addr)?;
         let resp = client.get("/")?;
-        let via = if PROTECTED.contains(name) { " (via RDDR)" } else { "" };
+        let via = if PROTECTED.contains(name) {
+            " (via RDDR)"
+        } else {
+            ""
+        };
         println!("  {name:<22} -> {}{via}", resp.status);
     }
     Ok(())

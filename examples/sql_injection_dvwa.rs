@@ -92,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("got SQLi demo page; RDDR captured the per-instance CSRF tokens");
     println!("client sees one token: {token}");
     let result = user.get(&format!("/vuln/sqli/run?id=3&user_token={token}"))?;
-    println!("benign lookup (id=3): status {}\n{}", result.status, result.body_text());
+    println!(
+        "benign lookup (id=3): status {}\n{}",
+        result.status,
+        result.body_text()
+    );
 
     // --- exploit ---------------------------------------------------------------
     println!("launching injection: id={SQLI_PAYLOAD:?}");
@@ -110,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 !text.contains("Pablo"),
                 "the full table dump must never reach the attacker"
             );
-            println!("injection answered with status {} and no row dump", resp.status);
+            println!(
+                "injection answered with status {} and no row dump",
+                resp.status
+            );
         }
     }
     println!("\noutgoing proxy stats: {:?}", outgoing.stats());

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &ServiceAddr::new("rddr-nginx", 80),
-        vec![ServiceAddr::new("nginx", 8000), ServiceAddr::new("nginx", 8001)],
+        vec![
+            ServiceAddr::new("nginx", 8000),
+            ServiceAddr::new("nginx", 8001),
+        ],
         EngineConfig::builder(2)
             .variance(variance)
             .response_deadline(Duration::from_secs(2))
@@ -59,11 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Benign: plain requests and valid ranges agree across versions.
     let mut client = HttpClient::connect(&net, &ServiceAddr::new("rddr-nginx", 80))?;
     let page = client.get("/report.html")?;
-    println!("\nbenign GET: status {} ({} bytes)", page.status, page.body.len());
+    println!(
+        "\nbenign GET: status {} ({} bytes)",
+        page.status,
+        page.body.len()
+    );
     let mut client = HttpClient::connect(&net, &ServiceAddr::new("rddr-nginx", 80))?;
     client.send_raw(b"GET /report.html HTTP/1.1\r\nHost: n\r\nRange: bytes=0-5\r\n\r\n")?;
     let partial = client.read_response()?;
-    println!("benign range: status {} body {:?}", partial.status, partial.body_text());
+    println!(
+        "benign range: status {} body {:?}",
+        partial.status,
+        partial.body_text()
+    );
 
     // The CVE-2017-7529 exploit: only 1.13.2 leaks, so RDDR intervenes.
     println!("\nsending the overflowing Range header ...");

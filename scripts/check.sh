@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+# Fully offline: every dependency is vendored in-tree under shims/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "OK"

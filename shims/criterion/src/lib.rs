@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the RDDR benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros — as a simple
+//! wall-clock timing harness. Each benchmark is calibrated briefly, then
+//! timed over enough iterations to fill a fixed measurement window, and the
+//! mean ns/iter is printed. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(250);
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Just a parameter, rendered as-is.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating iteration count during a short
+    /// warm-up so the measurement window holds many iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up doubles the batch until it fills the warm-up window; that
+        // also primes caches and estimates per-iter cost.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch = batch.saturating_mul(2);
+        };
+        let iters = ((MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint_black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of parameterised benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), f);
+        self
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<48} (no iterations timed)");
+    } else {
+        println!(
+            "{label:<48} {:>12.1} ns/iter ({} iters)",
+            bencher.ns_per_iter, bencher.iters
+        );
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let input = vec![1u8, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", 3), &input, |b, i| {
+            b.iter(|| i.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,71 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "vec strategy with empty size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeMap<K, V>` with a target size drawn from `size`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+        let target = rng.gen_range(self.size.clone());
+        let mut map = BTreeMap::new();
+        // Duplicate keys collapse, so allow extra draws before settling for
+        // a smaller map (matches proptest, which also under-fills when the
+        // key space is narrow).
+        let mut attempts = target * 8 + 16;
+        while map.len() < target && attempts > 0 {
+            map.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts -= 1;
+        }
+        map
+    }
+}
+
+/// `proptest::collection::btree_map(key, value, size)`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    assert!(!size.is_empty(), "btree_map strategy with empty size range");
+    BTreeMapStrategy { key, value, size }
+}

@@ -1,0 +1,341 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset the RDDR test-suite uses: the [`proptest!`] macro
+//! (with `pattern in strategy` argument syntax), `prop_assert*`/[`prop_assume!`],
+//! uniform range strategies, regex-subset string strategies, `any::<T>()`,
+//! tuple strategies, and `collection::{vec, btree_map}`.
+//!
+//! Cases are generated from a seed derived from the test name, so failures
+//! are reproducible run to run. Shrinking is not implemented — a failing
+//! case panics with the generated inputs' debug rendering via the assertion
+//! message instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+mod pattern;
+
+/// How a generated case ended, mirroring proptest's `TestCaseError`.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An explicit `prop_assert*` failure.
+    Fail(String),
+    /// The case was vetoed by `prop_assume!` and should not count.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// A generator of values for one `proptest!` argument.
+///
+/// Unlike upstream proptest there is no intermediate value tree: strategies
+/// produce final values directly from the runner's RNG.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String strategies: a `&str` is interpreted as a regex subset — a sequence
+/// of atoms (`.`, `[class]`, literal chars), each with an optional `{m,n}`
+/// or `{n}` counted repetition.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        pattern::Pattern::parse(self).generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Marker strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()`: the full-range strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, i8, i16, i32);
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        use rand::RngCore;
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut StdRng) -> i64 {
+        use rand::RngCore;
+        rng.next_u64() as i64
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Number of passing cases each property must accumulate.
+const DEFAULT_CASES: usize = 64;
+
+/// Runs `body` until `DEFAULT_CASES` cases pass, panicking on the first
+/// failure. Rejected cases (via `prop_assume!`) are retried, with a cap so a
+/// pathological assumption cannot loop forever.
+pub fn run_cases<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    while passed < DEFAULT_CASES {
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 4096,
+                    "property {name}: too many rejected cases ({rejected}); \
+                     prop_assume! is vetoing nearly every input"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed on case {passed} (seed {seed}, \
+                     rerun with PROPTEST_SEED={seed}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Defines property tests. Each function body runs repeatedly with inputs
+/// generated from the `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    #[allow(unreachable_code)]
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )+
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Vetoes the current case without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0usize..10, y in -5i64..=5) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn string_patterns_shape(s in "[a-z]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()), "len {} of {s:?}", s.len());
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_generate_pairwise((a, b) in (0i64..10, 10i64..20)) {
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn btree_map_reaches_target_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let m = collection::btree_map(0i64..1000, "[a-z]{1,4}", 1..20).generate(&mut rng);
+            assert!((1..20).contains(&m.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failures_panic_with_seed() {
+        run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+}

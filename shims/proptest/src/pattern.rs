@@ -1,0 +1,248 @@
+//! Regex-subset parser backing string strategies.
+//!
+//! Supported syntax — the shapes actually used by the workspace's property
+//! tests: literal characters, `.` (printable ASCII), `[a-z0-9_]`-style
+//! classes (with `\n`/`\t`/`\\`-style escapes), and a trailing `{n}` or
+//! `{m,n}` counted repetition on any atom. Alternation, anchors, `*`/`+`/`?`
+//! and groups are not supported and panic at parse time so a typo fails
+//! loudly rather than generating garbage.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One generatable unit of the pattern.
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// `.`: any printable ASCII character (space through `~`).
+    AnyPrintable,
+    /// `[...]`: a union of inclusive character ranges.
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut StdRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::AnyPrintable => rng.gen_range(b' '..=b'~') as char,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0u32..total);
+                for &(a, b) in ranges {
+                    let size = b as u32 - a as u32 + 1;
+                    if pick < size {
+                        return char::from_u32(a as u32 + pick)
+                            .expect("class ranges hold valid chars");
+                    }
+                    pick -= size;
+                }
+                unreachable!("pick < total by construction")
+            }
+        }
+    }
+}
+
+/// A parsed pattern: atoms with repetition bounds.
+pub struct Pattern {
+    parts: Vec<(Atom, u32, u32)>,
+}
+
+impl Pattern {
+    /// Parses `src`, panicking on unsupported syntax.
+    pub fn parse(src: &str) -> Pattern {
+        let chars: Vec<char> = src.chars().collect();
+        let mut i = 0;
+        let mut parts = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1, src);
+                    i = next;
+                    class
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyPrintable
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in pattern {src:?}");
+                    i += 2;
+                    Atom::Literal(unescape(chars[i - 1]))
+                }
+                c @ ('*' | '+' | '?' | '(' | ')' | '|' | '^' | '$') => {
+                    panic!("pattern {src:?}: unsupported regex operator {c:?}")
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let (bounds, next) = parse_repeat(&chars, i + 1, src);
+                i = next;
+                bounds
+            } else {
+                (1, 1)
+            };
+            parts.push((atom, min, max));
+        }
+        Pattern { parts }
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in &self.parts {
+            let count = if min == max {
+                *min
+            } else {
+                rng.gen_range(*min..=*max)
+            };
+            for _ in 0..count {
+                out.push(atom.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses a `[...]` class body starting just past the `[`. Returns the atom
+/// and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, src: &str) -> (Atom, usize) {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        assert!(
+            i < chars.len(),
+            "unterminated character class in pattern {src:?}"
+        );
+        match chars[i] {
+            ']' => return (Atom::Class(merge_singletons(ranges)), i + 1),
+            '\\' => {
+                assert!(
+                    i + 1 < chars.len(),
+                    "dangling escape in class, pattern {src:?}"
+                );
+                let c = unescape(chars[i + 1]);
+                ranges.push((c, c));
+                i += 2;
+            }
+            c => {
+                // `a-z` range, unless the '-' is last-in-class (then literal).
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (c, chars[i + 2]);
+                    assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {src:?}");
+                    ranges.push((lo, hi));
+                    i += 3;
+                } else {
+                    ranges.push((c, c));
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Collapses duplicate singleton entries so class sampling stays uniform-ish;
+/// overlapping ranges are left as-is (slight over-weighting is acceptable for
+/// test generation).
+fn merge_singletons(mut ranges: Vec<(char, char)>) -> Vec<(char, char)> {
+    ranges.sort_unstable();
+    ranges.dedup();
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+/// Parses `{n}` or `{m,n}` starting just past the `{`. Returns the bounds and
+/// the index just past the `}`.
+fn parse_repeat(chars: &[char], mut i: usize, src: &str) -> ((u32, u32), usize) {
+    let read_number = |i: &mut usize| -> u32 {
+        let start = *i;
+        while *i < chars.len() && chars[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        assert!(
+            *i > start,
+            "expected digits in repetition of pattern {src:?}"
+        );
+        chars[start..*i]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .expect("digits parse")
+    };
+    let min = read_number(&mut i);
+    let max = if i < chars.len() && chars[i] == ',' {
+        i += 1;
+        read_number(&mut i)
+    } else {
+        min
+    };
+    assert!(
+        i < chars.len() && chars[i] == '}',
+        "unterminated repetition in pattern {src:?}"
+    );
+    assert!(
+        min <= max,
+        "inverted repetition {{{min},{max}}} in pattern {src:?}"
+    );
+    ((min, max), i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen(pat: &str, seed: u64) -> String {
+        Pattern::parse(pat).generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(gen("abc", 0), "abc");
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        for seed in 0..50 {
+            let s = gen("[a-zA-Z0-9 \\\\\"\n\t]{0,40}", seed);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " \\\"\n\t".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_generates_printables() {
+        for seed in 0..50 {
+            let s = gen(".{5}", seed);
+            assert_eq!(s.len(), 5);
+            assert!(s.bytes().all(|b| (b' '..=b'~').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn counted_repetition_bounds() {
+        for seed in 0..100 {
+            let len = gen("[01]{2,6}", seed).len();
+            assert!((2..=6).contains(&len), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex operator")]
+    fn star_is_rejected() {
+        Pattern::parse("a*");
+    }
+}

@@ -11,4 +11,5 @@ pub use rddr_orchestra as orchestra;
 pub use rddr_pgsim as pgsim;
 pub use rddr_protocols as protocols;
 pub use rddr_proxy as proxy;
+pub use rddr_telemetry as telemetry;
 pub use rddr_vulns as vulns;

@@ -22,9 +22,11 @@ const CONFIG: &str = "
 ";
 
 fn versioned_service(version: &'static str) -> Arc<HttpService> {
-    Arc::new(HttpService::new("api").route("GET", "/data", move |_req, _ctx| {
-        HttpResponse::ok("the same payload").header("Server", version)
-    }))
+    Arc::new(
+        HttpService::new("api").route("GET", "/data", move |_req, _ctx| {
+            HttpResponse::ok("the same payload").header("Server", version)
+        }),
+    )
 }
 
 #[test]

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use rddr_repro::httpsim::haproxy::{smuggling_payload, smuggling_target_service};
-use rddr_repro::httpsim::{
-    DvwaSim, HaproxySim, HttpClient, NginxSim, NginxVersion, SecurityLevel,
-};
+use rddr_repro::httpsim::{DvwaSim, HaproxySim, HttpClient, NginxSim, NginxVersion, SecurityLevel};
 use rddr_repro::libsim::aslr::BUFFER_SIZE;
 use rddr_repro::net::{Network, ServiceAddr};
 use rddr_repro::orchestra::{Cluster, ContainerHandle, Image};
@@ -22,9 +20,16 @@ fn unprotected_nginx_leaks_cache_memory() {
     let cluster = Cluster::new(2);
     let server = NginxSim::file_server(NginxVersion::parse("1.13.2"));
     server.publish("/f", b"doc".to_vec(), b"NEIGHBOUR-SECRET".to_vec());
-    keep(cluster
-        .run_container("n", Image::new("nginx", "1.13.2"), &ServiceAddr::new("n", 80), Arc::new(server))
-        .unwrap());
+    keep(
+        cluster
+            .run_container(
+                "n",
+                Image::new("nginx", "1.13.2"),
+                &ServiceAddr::new("n", 80),
+                Arc::new(server),
+            )
+            .unwrap(),
+    );
     let net = cluster.net();
     let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("n", 80)).unwrap();
     attacker
@@ -41,22 +46,26 @@ fn unprotected_nginx_leaks_cache_memory() {
 #[test]
 fn unprotected_haproxy_serves_the_smuggled_internal_route() {
     let cluster = Cluster::new(2);
-    keep(cluster
-        .run_container(
-            "s1",
-            Image::new("s1", "v1"),
-            &ServiceAddr::new("s1", 9100),
-            Arc::new(smuggling_target_service()),
-        )
-        .unwrap());
-    keep(cluster
-        .run_container(
-            "h",
-            Image::new("haproxy", "1.5.3"),
-            &ServiceAddr::new("h", 8080),
-            Arc::new(HaproxySim::new(ServiceAddr::new("s1", 9100))),
-        )
-        .unwrap());
+    keep(
+        cluster
+            .run_container(
+                "s1",
+                Image::new("s1", "v1"),
+                &ServiceAddr::new("s1", 9100),
+                Arc::new(smuggling_target_service()),
+            )
+            .unwrap(),
+    );
+    keep(
+        cluster
+            .run_container(
+                "h",
+                Image::new("haproxy", "1.5.3"),
+                &ServiceAddr::new("h", 8080),
+                Arc::new(HaproxySim::new(ServiceAddr::new("s1", 9100))),
+            )
+            .unwrap(),
+    );
     let net = cluster.net();
     let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("h", 8080)).unwrap();
     attacker.send_raw(&smuggling_payload()).unwrap();
@@ -73,26 +82,30 @@ fn unprotected_dvwa_low_dumps_the_users_table() {
     let cluster = Cluster::new(2);
     let mut db = Database::new(PgVersion::parse("10.9").unwrap());
     rddr_repro::httpsim::dvwa::seed_dvwa_schema(&mut db).unwrap();
-    keep(cluster
-        .run_container(
-            "db",
-            Image::new("postgres", "10.9"),
-            &ServiceAddr::new("db", 5432),
-            Arc::new(PgServer::new(db)),
-        )
-        .unwrap());
-    keep(cluster
-        .run_container(
-            "dvwa",
-            Image::new("dvwa", "v1"),
-            &ServiceAddr::new("dvwa", 80),
-            Arc::new(DvwaSim::new(
-                SecurityLevel::Low,
-                ServiceAddr::new("db", 5432),
-                1,
-            )),
-        )
-        .unwrap());
+    keep(
+        cluster
+            .run_container(
+                "db",
+                Image::new("postgres", "10.9"),
+                &ServiceAddr::new("db", 5432),
+                Arc::new(PgServer::new(db)),
+            )
+            .unwrap(),
+    );
+    keep(
+        cluster
+            .run_container(
+                "dvwa",
+                Image::new("dvwa", "v1"),
+                &ServiceAddr::new("dvwa", 80),
+                Arc::new(DvwaSim::new(
+                    SecurityLevel::Low,
+                    ServiceAddr::new("db", 5432),
+                    1,
+                )),
+            )
+            .unwrap(),
+    );
     let net = cluster.net();
     let mut attacker = HttpClient::connect(&net, &ServiceAddr::new("dvwa", 80)).unwrap();
     let page = attacker.get("/vuln/sqli").unwrap();
@@ -149,14 +162,16 @@ fn unprotected_pg_10_7_leaks_rls_rows() {
 #[test]
 fn unprotected_aslr_echo_leaks_a_pointer() {
     let cluster = Cluster::new(2);
-    keep(cluster
-        .run_container(
-            "echo",
-            Image::new("echo-poc", "v1"),
-            &ServiceAddr::new("echo", 7),
-            Arc::new(rddr_repro::httpsim::rest::AslrEchoService::launch(0xfeed)),
-        )
-        .unwrap());
+    keep(
+        cluster
+            .run_container(
+                "echo",
+                Image::new("echo-poc", "v1"),
+                &ServiceAddr::new("echo", 7),
+                Arc::new(rddr_repro::httpsim::rest::AslrEchoService::launch(0xfeed)),
+            )
+            .unwrap(),
+    );
     let net = cluster.net();
     use rddr_repro::net::Stream as _;
     let mut conn = net.dial(&ServiceAddr::new("echo", 7)).unwrap();

@@ -37,7 +37,13 @@ fn http() -> ProtocolFactory {
     Arc::new(|| Box::new(HttpProtocol::new()))
 }
 
-fn deploy(tokens: &[&'static str]) -> (Cluster, Vec<rddr_repro::orchestra::ContainerHandle>, IncomingProxy) {
+fn deploy(
+    tokens: &[&'static str],
+) -> (
+    Cluster,
+    Vec<rddr_repro::orchestra::ContainerHandle>,
+    IncomingProxy,
+) {
     let cluster = Cluster::new(4);
     let mut handles = Vec::new();
     for (i, token) in tokens.iter().enumerate() {
@@ -55,7 +61,9 @@ fn deploy(tokens: &[&'static str]) -> (Cluster, Vec<rddr_repro::orchestra::Conta
     let proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &ServiceAddr::new("rddr", 80),
-        (0..tokens.len() as u16).map(|i| ServiceAddr::new("form", 8000 + i)).collect(),
+        (0..tokens.len() as u16)
+            .map(|i| ServiceAddr::new("form", 8000 + i))
+            .collect(),
         EngineConfig::builder(tokens.len())
             .response_deadline(Duration::from_secs(2))
             .build()
@@ -68,8 +76,7 @@ fn deploy(tokens: &[&'static str]) -> (Cluster, Vec<rddr_repro::orchestra::Conta
 
 #[test]
 fn tokens_are_captured_and_substituted_per_instance() {
-    let (cluster, _handles, _proxy) =
-        deploy(&["AAAAAAAAAA", "BBBBBBBBBB", "CCCCCCCCCC"]);
+    let (cluster, _handles, _proxy) = deploy(&["AAAAAAAAAA", "BBBBBBBBBB", "CCCCCCCCCC"]);
     let net = cluster.net();
     let mut client = HttpClient::connect(&net, &ServiceAddr::new("rddr", 80)).unwrap();
 
@@ -110,13 +117,15 @@ fn without_token_capture_the_submission_would_diverge() {
         );
     }
     std::thread::sleep(Duration::from_millis(50));
-    assert!(proxy.stats().divergences >= 1, "divergence must be recorded");
+    assert!(
+        proxy.stats().divergences >= 1,
+        "divergence must be recorded"
+    );
 }
 
 #[test]
 fn tokens_are_single_use() {
-    let (cluster, _handles, _proxy) =
-        deploy(&["AAAAAAAAAA", "BBBBBBBBBB", "CCCCCCCCCC"]);
+    let (cluster, _handles, _proxy) = deploy(&["AAAAAAAAAA", "BBBBBBBBBB", "CCCCCCCCCC"]);
     let net = cluster.net();
     let mut client = HttpClient::connect(&net, &ServiceAddr::new("rddr", 80)).unwrap();
     let _page = client.get("/form").unwrap();

@@ -9,9 +9,7 @@ use std::time::Duration;
 use rddr_repro::core::EngineConfig;
 use rddr_repro::net::{Network, ServiceAddr};
 use rddr_repro::orchestra::{Cluster, ContainerHandle, Image};
-use rddr_repro::pgsim::{
-    CockroachFlavor, Database, DbFlavor, PgClient, PgServer, PgVersion,
-};
+use rddr_repro::pgsim::{CockroachFlavor, Database, DbFlavor, PgClient, PgServer, PgVersion};
 use rddr_repro::protocols::PgProtocol;
 use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
 
@@ -21,7 +19,11 @@ fn pg() -> ProtocolFactory {
 
 fn seed(db: &mut Database) {
     let mut s = db.session("app");
-    db.execute(&mut s, "CREATE TABLE accounts (id INT, owner TEXT, balance INT)").unwrap();
+    db.execute(
+        &mut s,
+        "CREATE TABLE accounts (id INT, owner TEXT, balance INT)",
+    )
+    .unwrap();
     db.execute(
         &mut s,
         "INSERT INTO accounts VALUES (1, 'ada', 100), (2, 'bob', 250), (3, 'cyd', 50)",
@@ -90,13 +92,17 @@ fn aggregates_and_dml_agree_across_implementations() {
     let (cluster, _h, proxy, addr) = deploy_safe(CockroachFlavor::default());
     let conn = cluster.net().dial(&addr).unwrap();
     let mut client = PgClient::connect(conn, "app").unwrap();
-    let r = client.query("SELECT SUM(balance), COUNT(*) FROM accounts").unwrap();
+    let r = client
+        .query("SELECT SUM(balance), COUNT(*) FROM accounts")
+        .unwrap();
     assert_eq!(r.rows, vec![vec!["400".to_string(), "3".to_string()]]);
     let r = client
         .query("UPDATE accounts SET balance = balance + 10 WHERE owner = 'cyd'")
         .unwrap();
     assert_eq!(r.tag, "UPDATE 1");
-    let r = client.query("SELECT balance FROM accounts WHERE owner = 'cyd'").unwrap();
+    let r = client
+        .query("SELECT balance FROM accounts WHERE owner = 'cyd'")
+        .unwrap();
     assert_eq!(r.rows, vec![vec!["60".to_string()]]);
     assert_eq!(proxy.stats().divergences, 0);
 }
@@ -123,7 +129,9 @@ fn unordered_row_order_mismatch_blocks_benign_traffic() {
     // An ORDER BY restores agreement on a fresh session.
     let conn = cluster.net().dial(&addr).unwrap();
     let mut client = PgClient::connect(conn, "app").unwrap();
-    let r = client.query("SELECT owner FROM accounts ORDER BY owner").unwrap();
+    let r = client
+        .query("SELECT owner FROM accounts ORDER BY owner")
+        .unwrap();
     assert_eq!(r.rows.len(), 3);
 }
 

@@ -38,8 +38,7 @@ fn echo_cluster(n: u16) -> (Cluster, Vec<rddr_repro::orchestra::ContainerHandle>
                     Image::new("echo", "v1"),
                     &ServiceAddr::new("echo", 9000 + i),
                     Arc::new(
-                        HttpService::new("unused")
-                            .route("GET", "/", |_r, _c| HttpResponse::ok("")),
+                        HttpService::new("unused").route("GET", "/", |_r, _c| HttpResponse::ok("")),
                     ),
                 )
                 .unwrap(),
@@ -164,7 +163,10 @@ fn cluster_container_stop_is_observed_by_proxy() {
     let _proxy = IncomingProxy::start(
         Arc::new(net.clone()),
         &ServiceAddr::new("rddr", 80),
-        vec![ServiceAddr::new("echo", 9000), ServiceAddr::new("echo", 9001)],
+        vec![
+            ServiceAddr::new("echo", 9000),
+            ServiceAddr::new("echo", 9001),
+        ],
         EngineConfig::builder(2)
             .response_deadline(Duration::from_millis(300))
             .build()
@@ -176,7 +178,10 @@ fn cluster_container_stop_is_observed_by_proxy() {
     handles[1].stop();
     let mut client =
         rddr_repro::httpsim::HttpClient::connect(&net, &ServiceAddr::new("rddr", 80)).unwrap();
-    assert!(client.get("/").is_err(), "session with a stopped instance must fail");
+    assert!(
+        client.get("/").is_err(),
+        "session with a stopped instance must fail"
+    );
 }
 
 #[test]

@@ -55,9 +55,7 @@ fn read_line(conn: &mut BoxStream) -> Option<String> {
             Ok(0) | Err(_) => {
                 return (!out.is_empty()).then(|| String::from_utf8_lossy(&out).into_owned())
             }
-            Ok(_) if b[0] == b'\n' => {
-                return Some(String::from_utf8_lossy(&out).into_owned())
-            }
+            Ok(_) if b[0] == b'\n' => return Some(String::from_utf8_lossy(&out).into_owned()),
             Ok(_) => out.push(b[0]),
         }
     }
@@ -68,7 +66,9 @@ fn proxy_over(net: &SimNet, n: usize) -> ServiceAddr {
     let proxy = IncomingProxy::start(
         Arc::new(net.clone()),
         &addr,
-        (0..n as u16).map(|i| ServiceAddr::new("api", 9000 + i)).collect(),
+        (0..n as u16)
+            .map(|i| ServiceAddr::new("api", 9000 + i))
+            .collect(),
         EngineConfig::builder(n)
             .response_deadline(Duration::from_secs(2))
             .build()
@@ -88,9 +88,7 @@ fn key_order_and_whitespace_do_not_diverge() {
         format!("{{\"user\": \"{req}\", \"balance\": 42, \"roles\": [\"a\", \"b\"]}}")
     });
     spawn_json_service(&net, ServiceAddr::new("api", 9001), |req| {
-        format!(
-            "{{ \"roles\" : [ \"a\" , \"b\" ] , \"balance\" : 42 , \"user\" : \"{req}\" }}"
-        )
+        format!("{{ \"roles\" : [ \"a\" , \"b\" ] , \"balance\" : 42 , \"user\" : \"{req}\" }}")
     });
     let addr = proxy_over(&net, 2);
     let mut conn = net.dial(&addr).unwrap();
@@ -112,7 +110,10 @@ fn value_divergence_is_detected() {
     let addr = proxy_over(&net, 2);
     let mut conn = net.dial(&addr).unwrap();
     conn.write_all(b"ada\n").unwrap();
-    assert!(read_line(&mut conn).is_none(), "differing values must sever");
+    assert!(
+        read_line(&mut conn).is_none(),
+        "differing values must sever"
+    );
 }
 
 #[test]

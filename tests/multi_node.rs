@@ -83,8 +83,7 @@ fn measure_throughput(cluster: &Cluster, addr: &ServiceAddr) -> f64 {
             scope.spawn(move || {
                 let conn = net.dial(&addr).unwrap();
                 let mut client = PgClient::connect(conn, "app").unwrap();
-                let mut workload =
-                    pgbench::SelectWorkload::new(accounts, client_id as u64);
+                let mut workload = pgbench::SelectWorkload::new(accounts, client_id as u64);
                 for _ in 0..TXNS {
                     let r = client.query(&workload.next_query()).unwrap();
                     assert!(r.error.is_none());

@@ -41,7 +41,10 @@ fn identical_vulnerable_instances_leak_in_unison() {
     let proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &ServiceAddr::new("rddr", 80),
-        vec![ServiceAddr::new("nginx", 8000), ServiceAddr::new("nginx", 8001)],
+        vec![
+            ServiceAddr::new("nginx", 8000),
+            ServiceAddr::new("nginx", 8001),
+        ],
         EngineConfig::builder(2)
             .response_deadline(Duration::from_secs(2))
             .build()
@@ -90,7 +93,9 @@ fn adding_one_patched_instance_restores_the_defence() {
     let proxy = IncomingProxy::start(
         Arc::new(cluster.net()),
         &ServiceAddr::new("rddr", 80),
-        (0..3).map(|i| ServiceAddr::new("nginx", 8000 + i)).collect(),
+        (0..3)
+            .map(|i| ServiceAddr::new("nginx", 8000 + i))
+            .collect(),
         EngineConfig::builder(3)
             .filter_pair(0, 1)
             .response_deadline(Duration::from_secs(2))

@@ -13,7 +13,10 @@ use rddr_repro::protocols::http::{rle_decode, rle_encode};
 use rddr_repro::protocols::parse_json;
 
 fn segs(lines: &[String]) -> Vec<Segment> {
-    lines.iter().map(|l| Segment::new("line", l.as_bytes().to_vec())).collect()
+    lines
+        .iter()
+        .map(|l| Segment::new("line", l.as_bytes().to_vec()))
+        .collect()
 }
 
 proptest! {

@@ -10,9 +10,7 @@ use std::time::Duration;
 
 use rddr_repro::core::protocol::LineProtocol;
 use rddr_repro::core::EngineConfig;
-use rddr_repro::net::{
-    BoxStream, Network, PresharedKey, SecureNet, ServiceAddr, SimNet, Stream,
-};
+use rddr_repro::net::{BoxStream, Network, PresharedKey, SecureNet, ServiceAddr, SimNet, Stream};
 use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
 
 fn line() -> ProtocolFactory {
@@ -148,9 +146,13 @@ fn plaintext_never_crosses_the_fabric() {
     let mut second = secure.listen(&ServiceAddr::new("svc", 2)).unwrap();
     let reject = std::thread::spawn(move || second.accept().is_err());
     let mut raw = fabric.dial(&ServiceAddr::new("svc", 2)).unwrap();
-    raw.write_all(b"not a handshake at all, definitely").unwrap();
+    raw.write_all(b"not a handshake at all, definitely")
+        .unwrap();
     raw.shutdown();
-    assert!(reject.join().unwrap(), "secure listener must reject raw peers");
+    assert!(
+        reject.join().unwrap(),
+        "secure listener must reject raw peers"
+    );
 }
 
 #[test]

@@ -61,8 +61,7 @@ impl Service for ComposePost {
                 }
                 // Persist through the outgoing proxy.
                 let ok = (|| {
-                    let mut storage =
-                        HttpClient::connect(ctx.net.as_ref(), &self.storage).ok()?;
+                    let mut storage = HttpClient::connect(ctx.net.as_ref(), &self.storage).ok()?;
                     let resp = storage.post("/store", &stored).ok()?;
                     (resp.status == 201).then_some(())
                 })()
@@ -84,8 +83,12 @@ impl Service for ComposePost {
 
 fn deploy(
     inject_leak_in_one: bool,
-) -> (Cluster, Arc<Mutex<Vec<String>>>, ServiceAddr, Vec<rddr_repro::orchestra::ContainerHandle>)
-{
+) -> (
+    Cluster,
+    Arc<Mutex<Vec<String>>>,
+    ServiceAddr,
+    Vec<rddr_repro::orchestra::ContainerHandle>,
+) {
     let cluster = Cluster::new(8);
     let store = Arc::new(Mutex::new(Vec::new()));
     let mut handles = Vec::new();
@@ -135,7 +138,9 @@ fn deploy(
     let incoming = IncomingProxy::start(
         Arc::new(cluster.net()),
         &in_addr,
-        (0..3).map(|i| ServiceAddr::new("compose-post", 9001 + i)).collect(),
+        (0..3)
+            .map(|i| ServiceAddr::new("compose-post", 9001 + i))
+            .collect(),
         EngineConfig::builder(3)
             .response_deadline(Duration::from_secs(2))
             .build()
@@ -179,7 +184,11 @@ fn leaky_variant_is_caught_by_the_outgoing_proxy() {
         Ok(r) => assert_ne!(r.status, 201, "diverging compose must not succeed"),
     }
     let posts = store.lock().clone();
-    assert_eq!(posts.len(), 1, "only the benign post may be stored: {posts:?}");
+    assert_eq!(
+        posts.len(),
+        1,
+        "only the benign post may be stored: {posts:?}"
+    );
     assert!(
         posts.iter().all(|p| !p.contains("PRIVATE-DM-DUMP")),
         "the private data must never reach storage"

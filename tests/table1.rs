@@ -29,5 +29,8 @@ fn rendered_table_lists_every_row() {
     for row in TABLE_I {
         assert!(table.contains(row.cve), "table must mention {}", row.cve);
     }
-    assert!(!table.contains(" NO\n"), "no row may be unmitigated:\n{table}");
+    assert!(
+        !table.contains(" NO\n"),
+        "no row may be unmitigated:\n{table}"
+    );
 }

@@ -56,9 +56,7 @@ fn read_line(conn: &mut BoxStream) -> Option<String> {
             Ok(0) | Err(_) => {
                 return (!out.is_empty()).then(|| String::from_utf8_lossy(&out).into_owned())
             }
-            Ok(_) if b[0] == b'\n' => {
-                return Some(String::from_utf8_lossy(&out).into_owned())
-            }
+            Ok(_) if b[0] == b'\n' => return Some(String::from_utf8_lossy(&out).into_owned()),
             Ok(_) => out.push(b[0]),
         }
     }

@@ -1,0 +1,279 @@
+//! End-to-end observability: an N-versioned deployment with one poisoned
+//! instance serves `/healthz`, `/metrics`, and `/divergences` through the
+//! telemetry admin endpoint — over the in-memory `SimNet` (via the
+//! orchestra deployment helper) and over real TCP sockets.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::protocol::LineProtocol;
+use rddr_repro::core::EngineConfig;
+use rddr_repro::net::{Network, ServiceAddr, SimNet, Stream, TcpNet};
+use rddr_repro::orchestra::{Cluster, FnService, Image, Service};
+use rddr_repro::protocols::{parse_json, JsonValue};
+use rddr_repro::proxy::{
+    n_version_with_telemetry, IncomingProxy, ProtocolFactory, ProxyTelemetry, Variant,
+};
+use rddr_repro::telemetry::AdminServer;
+
+fn line() -> ProtocolFactory {
+    Arc::new(|| Box::new(LineProtocol::new()))
+}
+
+/// One HTTP GET against the admin endpoint; returns the full response.
+fn admin_get(net: &dyn Network, addr: &ServiceAddr, path: &str) -> String {
+    let mut conn = net.dial(addr).unwrap();
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match conn.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+        }
+    }
+    String::from_utf8(out).unwrap()
+}
+
+/// Body of an HTTP response (everything past the blank line).
+fn body(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+/// Asserts the three routes reflect one audited divergence blamed on
+/// `poisoned` under metric prefix `{prefix}_in_*`.
+fn assert_observability(net: &dyn Network, addr: &ServiceAddr, prefix: &str, poisoned: usize) {
+    let health = admin_get(net, addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert_eq!(body(&health), "ok\n");
+
+    let metrics = admin_get(net, addr, "/metrics");
+    assert!(
+        metrics.contains(&format!("{prefix}_in_exchanges_total 1")),
+        "exchange counter missing:\n{metrics}"
+    );
+    assert!(
+        metrics.contains(&format!("{prefix}_in_divergences_total 1")),
+        "divergence counter missing:\n{metrics}"
+    );
+    for series in [
+        "exchange_latency_us",
+        "fanout_latency_us",
+        "merge_latency_us",
+    ] {
+        assert!(
+            metrics.contains(&format!("{prefix}_in_{series}{{quantile=\"0.99\"}}")),
+            "latency quantiles for {series} missing:\n{metrics}"
+        );
+        assert!(
+            metrics.contains(&format!("{prefix}_in_{series}_count 1")),
+            "{metrics}"
+        );
+    }
+
+    let divergences = admin_get(net, addr, "/divergences");
+    let doc = parse_json(body(&divergences)).expect("audit JSON parses");
+    let entry = doc
+        .get("divergences")
+        .and_then(|d| d.index(0))
+        .expect("one audited divergence");
+    assert_eq!(
+        entry.get("offending_instance").and_then(JsonValue::as_f64),
+        Some(poisoned as f64),
+        "audit must name the diverging instance: {divergences}"
+    );
+    assert_eq!(
+        entry.get("service").and_then(JsonValue::as_str),
+        Some(format!("{prefix}_in").as_str())
+    );
+    let timeline = entry.get("timeline").expect("span timeline attached");
+    assert!(timeline.index(0).is_some(), "timeline empty: {divergences}");
+}
+
+/// A line-echo service appending `suffix` to every line.
+fn suffix_echo(suffix: &'static str) -> Arc<dyn Service> {
+    Arc::new(FnService::new("echo", move |mut conn, _ctx| {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 256];
+        loop {
+            match conn.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+            while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = buf.drain(..=pos).collect();
+                let mut reply = line[..line.len() - 1].to_vec();
+                reply.extend_from_slice(suffix.as_bytes());
+                reply.push(b'\n');
+                if conn.write_all(&reply).is_err() {
+                    return;
+                }
+            }
+        }
+    }))
+}
+
+#[test]
+fn poisoned_deployment_observable_over_simnet() {
+    let cluster = Cluster::new(4);
+    let telemetry = ProxyTelemetry::new("svc");
+    let service = n_version_with_telemetry(
+        &cluster,
+        "svc",
+        &ServiceAddr::new("svc", 8000),
+        vec![
+            Variant::new(Image::new("svc", "v1"), suffix_echo("")),
+            Variant::new(Image::new("svc", "v2"), suffix_echo("")),
+            Variant::new(Image::new("svc", "evil"), suffix_echo(" LEAK")),
+        ],
+        EngineConfig::builder(3).build().unwrap(),
+        line(),
+        telemetry.clone(),
+    )
+    .unwrap();
+
+    // One poisoned exchange: the Block policy severs the client.
+    let mut conn = cluster.net().dial(&service.addr).unwrap();
+    conn.write_all(b"login alice\n").unwrap();
+    let mut buf = [0u8; 1];
+    assert_eq!(conn.read(&mut buf).unwrap(), 0, "divergence must sever");
+    std::thread::sleep(Duration::from_millis(50));
+
+    let net: Arc<dyn Network> = Arc::new(cluster.net());
+    let admin = AdminServer::serve(
+        Arc::clone(&net),
+        &ServiceAddr::new("admin", 9900),
+        Arc::clone(&telemetry.registry),
+        Arc::clone(&telemetry.audit),
+    )
+    .unwrap();
+    assert_observability(net.as_ref(), admin.addr(), "svc", 2);
+    admin.shutdown();
+}
+
+/// Starts a real TCP line server on an ephemeral port.
+fn spawn_tcp_line_server(suffix: &'static str) -> ServiceAddr {
+    let net = TcpNet::new();
+    let mut listener = net.listen(&ServiceAddr::new("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 256];
+                loop {
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        let mut reply = line[..line.len() - 1].to_vec();
+                        reply.extend_from_slice(suffix.as_bytes());
+                        reply.push(b'\n');
+                        if conn.write_all(&reply).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn poisoned_deployment_observable_over_tcp() {
+    let net: Arc<dyn Network> = Arc::new(TcpNet::new());
+    let instances = vec![
+        spawn_tcp_line_server(""),
+        spawn_tcp_line_server(""),
+        spawn_tcp_line_server(" LEAK"),
+    ];
+    let telemetry = ProxyTelemetry::new("svc");
+    let mut proxy = IncomingProxy::start_with_telemetry(
+        Arc::clone(&net),
+        &ServiceAddr::new("127.0.0.1", 0),
+        instances,
+        EngineConfig::builder(3).build().unwrap(),
+        line(),
+        Some(telemetry.clone()),
+    )
+    .unwrap();
+
+    let mut conn = net.dial(proxy.listen_addr()).unwrap();
+    conn.write_all(b"login alice\n").unwrap();
+    let mut buf = [0u8; 1];
+    assert_eq!(conn.read(&mut buf).unwrap(), 0, "divergence must sever");
+    std::thread::sleep(Duration::from_millis(50));
+
+    let admin = AdminServer::serve(
+        Arc::clone(&net),
+        &ServiceAddr::new("127.0.0.1", 0),
+        Arc::clone(&telemetry.registry),
+        Arc::clone(&telemetry.audit),
+    )
+    .unwrap();
+    assert_observability(net.as_ref(), admin.addr(), "svc", 2);
+    admin.shutdown();
+    proxy.stop();
+}
+
+/// The admin endpoint also runs over `SimNet` with a *healthy* deployment:
+/// `/divergences` stays empty while `/metrics` still counts exchanges.
+#[test]
+fn healthy_deployment_has_empty_audit() {
+    let net: Arc<dyn Network> = Arc::new(SimNet::new());
+    let instances: Vec<ServiceAddr> = (0..2).map(|i| ServiceAddr::new("echo", 7000 + i)).collect();
+    for addr in &instances {
+        let mut listener = net.listen(addr).unwrap();
+        std::thread::spawn(move || {
+            while let Ok(mut conn) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 256];
+                    while let Ok(n) = conn.read(&mut buf) {
+                        if n == 0 || conn.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let telemetry = ProxyTelemetry::new("echo");
+    let _proxy = IncomingProxy::start_with_telemetry(
+        Arc::clone(&net),
+        &ServiceAddr::new("rddr", 80),
+        instances,
+        EngineConfig::builder(2).build().unwrap(),
+        line(),
+        Some(telemetry.clone()),
+    )
+    .unwrap();
+    let mut conn = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
+    conn.write_all(b"ping\n").unwrap();
+    let mut reply = [0u8; 5];
+    conn.read_exact(&mut reply).unwrap();
+    assert_eq!(&reply, b"ping\n");
+
+    let admin = AdminServer::serve(
+        Arc::clone(&net),
+        &ServiceAddr::new("admin", 9901),
+        Arc::clone(&telemetry.registry),
+        Arc::clone(&telemetry.audit),
+    )
+    .unwrap();
+    let divergences = admin_get(net.as_ref(), admin.addr(), "/divergences");
+    assert!(
+        body(&divergences).contains("\"divergences\":[]"),
+        "{divergences}"
+    );
+    let metrics = admin_get(net.as_ref(), admin.addr(), "/metrics");
+    assert!(metrics.contains("echo_in_exchanges_total 1"), "{metrics}");
+    assert!(metrics.contains("echo_in_divergences_total 0"), "{metrics}");
+    admin.shutdown();
+}

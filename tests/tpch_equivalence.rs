@@ -23,11 +23,8 @@ fn rddr_and_baseline_answer_identically_on_all_benchmark_queries() {
     let baseline = deploy_pg_baseline(&seed, quick(), 8, 0.001);
     let rddr = deploy_pg_rddr(&seed, quick(), 8, 0.001);
 
-    let mut base_client = PgClient::connect(
-        baseline.cluster.net().dial(&baseline.addr).unwrap(),
-        "app",
-    )
-    .unwrap();
+    let mut base_client =
+        PgClient::connect(baseline.cluster.net().dial(&baseline.addr).unwrap(), "app").unwrap();
     let mut rddr_client =
         PgClient::connect(rddr.cluster.net().dial(&rddr.addr).unwrap(), "app").unwrap();
 
@@ -52,8 +49,7 @@ fn tpch_loader_is_identical_across_instances() {
     let sf = 0.05;
     let mut dbs: Vec<Database> = (0..3)
         .map(|_| {
-            let mut db =
-                Database::new(rddr_repro::pgsim::PgVersion::parse("10.7").unwrap());
+            let mut db = Database::new(rddr_repro::pgsim::PgVersion::parse("10.7").unwrap());
             tpch::load(&mut db, sf).unwrap();
             db
         })
