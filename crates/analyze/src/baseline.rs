@@ -1,0 +1,250 @@
+//! The baseline ratchet: grandfathered violation counts, committed as
+//! `analyze-baseline.toml`.
+//!
+//! The file maps `(lint, file)` to the number of findings tolerated there.
+//! A run **fails** only where the current count *exceeds* the baseline —
+//! new violations can't land. Where the current count is *below* the
+//! baseline the run still passes but reports the improvement; regenerating
+//! with `--write-baseline` ratchets the ceiling down, so grandfathered
+//! counts can only shrink over time.
+//!
+//! The format is the TOML subset below (hand-parsed — the analyzer is
+//! dependency-free):
+//!
+//! ```toml
+//! [panic-path]
+//! "crates/net/src/tcp.rs" = 5
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::{Finding, Lint};
+
+/// Violation ceilings keyed by `(lint, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(Lint, String), usize>,
+}
+
+/// One `(lint, file)` whose current count differs from its baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// The lint pass.
+    pub lint: Lint,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Findings in the current run.
+    pub current: usize,
+    /// Ceiling recorded in the baseline.
+    pub baseline: usize,
+}
+
+/// The outcome of diffing a run against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RatchetReport {
+    /// `(lint, file)` pairs over their ceiling, with the offending findings.
+    pub regressions: Vec<(Delta, Vec<Finding>)>,
+    /// `(lint, file)` pairs now under their ceiling (ratchet can tighten).
+    pub improvements: Vec<Delta>,
+}
+
+impl RatchetReport {
+    /// Whether the run introduces no new violations.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+impl Baseline {
+    /// An empty baseline (every finding is a new violation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the baseline that exactly matches `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<(Lint, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.lint, f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total tolerated violations for `lint`.
+    pub fn total(&self, lint: Lint) -> usize {
+        self.counts
+            .iter()
+            .filter(|((l, _), _)| *l == lint)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Parses the TOML subset. Unknown sections are preserved errors;
+    /// malformed lines report their number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts = BTreeMap::new();
+        let mut section: Option<Lint> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(
+                    Lint::from_key(name.trim())
+                        .ok_or_else(|| format!("line {}: unknown lint [{name}]", idx + 1))?,
+                );
+                continue;
+            }
+            let Some(lint) = section else {
+                return Err(format!("line {}: entry before any [lint] section", idx + 1));
+            };
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `\"file\" = count`", idx + 1))?;
+            let file = key.trim().trim_matches('"').to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad count {}", idx + 1, value.trim()))?;
+            counts.insert((lint, file), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Loads from `path`; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Serializes in the format [`Baseline::parse`] reads, sorted for
+    /// byte-stable output.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# rddr-analyze baseline — grandfathered violation ceilings.\n\
+             # Regenerate with `cargo run --release -p rddr-analyze -- --write-baseline`;\n\
+             # counts may only shrink (new violations fail CI).\n",
+        );
+        for lint in Lint::ALL {
+            let entries: Vec<_> = self
+                .counts
+                .iter()
+                .filter(|((l, _), n)| *l == lint && **n > 0)
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "\n[{}]\n", lint.key());
+            for ((_, file), n) in entries {
+                let _ = writeln!(out, "\"{file}\" = {n}");
+            }
+        }
+        out
+    }
+
+    /// Diffs `findings` against the ceilings.
+    pub fn ratchet(&self, findings: &[Finding]) -> RatchetReport {
+        let mut by_key: BTreeMap<(Lint, String), Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            by_key
+                .entry((f.lint, f.file.clone()))
+                .or_default()
+                .push(f.clone());
+        }
+        let mut report = RatchetReport::default();
+        for ((lint, file), fs) in &by_key {
+            let ceiling = self
+                .counts
+                .get(&(*lint, file.clone()))
+                .copied()
+                .unwrap_or(0);
+            let delta = Delta {
+                lint: *lint,
+                file: file.clone(),
+                current: fs.len(),
+                baseline: ceiling,
+            };
+            if fs.len() > ceiling {
+                report.regressions.push((delta, fs.clone()));
+            } else if fs.len() < ceiling {
+                report.improvements.push(delta);
+            }
+        }
+        // Files that went fully clean still allow tightening.
+        for ((lint, file), &ceiling) in &self.counts {
+            if ceiling > 0 && !by_key.contains_key(&(*lint, file.clone())) {
+                report.improvements.push(Delta {
+                    lint: *lint,
+                    file: file.clone(),
+                    current: 0,
+                    baseline: ceiling,
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: Lint, file: &str, line: u32) -> Finding {
+        Finding::new(lint, file, line, "msg".to_string())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![
+            finding(Lint::PanicPath, "a.rs", 1),
+            finding(Lint::PanicPath, "a.rs", 2),
+            finding(Lint::Determinism, "b.rs", 3),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let reparsed = Baseline::parse(&base.render()).expect("parses");
+        assert_eq!(base, reparsed);
+        assert_eq!(reparsed.total(Lint::PanicPath), 2);
+    }
+
+    #[test]
+    fn new_violation_regresses() {
+        let base = Baseline::from_findings(&[finding(Lint::PanicPath, "a.rs", 1)]);
+        let now = vec![
+            finding(Lint::PanicPath, "a.rs", 1),
+            finding(Lint::PanicPath, "a.rs", 9),
+        ];
+        let report = base.ratchet(&now);
+        assert!(!report.passed());
+        assert_eq!(report.regressions[0].0.current, 2);
+        assert_eq!(report.regressions[0].0.baseline, 1);
+    }
+
+    #[test]
+    fn shrinking_improves_without_failing() {
+        let base = Baseline::from_findings(&[
+            finding(Lint::PanicPath, "a.rs", 1),
+            finding(Lint::PanicPath, "a.rs", 2),
+            finding(Lint::LockOrder, "gone.rs", 3),
+        ]);
+        let report = base.ratchet(&[finding(Lint::PanicPath, "a.rs", 1)]);
+        assert!(report.passed());
+        assert_eq!(report.improvements.len(), 2, "{report:?}");
+    }
+
+    #[test]
+    fn unknown_lint_section_errors() {
+        assert!(Baseline::parse("[made-up]\n\"a.rs\" = 1").is_err());
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/rddr-analyze-baseline")).unwrap();
+        assert_eq!(b, Baseline::new());
+    }
+}

@@ -1,0 +1,136 @@
+//! Determinism pass: crates whose bytes reach the diff engine must not
+//! manufacture divergence. Flags iteration-order-unstable containers
+//! (`HashMap`/`HashSet`), wall-clock reads (`SystemTime`), thread-identity
+//! values (`ThreadId`, `thread::current()`), and pointer-address-derived
+//! integers — each of which differs between the N instances (or between
+//! runs) for reasons that have nothing to do with an attack.
+
+use crate::source::SourceFile;
+use crate::{Finding, Lint};
+
+/// Crates whose output bytes feed the diff engine, so any self-inflicted
+/// nondeterminism manufactures false divergences.
+pub const TARGET_CRATES: &[&str] = &["core", "protocols", "pgsim", "httpsim", "libsim"];
+
+/// Runs the pass over one prepared file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    let mut push = |line: u32, message: String| {
+        if !file.allowed(Lint::Determinism, line) {
+            findings.push(Finding::new(Lint::Determinism, &file.path, line, message));
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => push(
+                t.line,
+                format!(
+                    "`{}` has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                     or sort before iterating",
+                    t.text
+                ),
+            ),
+            "SystemTime" => push(
+                t.line,
+                "`SystemTime` is a wall-clock read; instances disagree on it".to_string(),
+            ),
+            "ThreadId" => push(
+                t.line,
+                "`ThreadId` is a per-process value; instances disagree on it".to_string(),
+            ),
+            "current"
+                if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') && {
+                    // `thread::current()` (possibly `std::thread::current()`).
+                    i >= 3 && toks[i - 3].is_ident("thread")
+                } =>
+            {
+                push(
+                    t.line,
+                    "`thread::current()` exposes thread identity; instances disagree on it"
+                        .to_string(),
+                )
+            }
+            // `… as *const T as usize` / `as *mut T as u64`: an address-derived
+            // integer, different under ASLR in every instance.
+            "as" if toks.get(i + 1).is_some_and(|n| n.is_punct('*'))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_ident("const") || n.is_ident("mut")) =>
+            {
+                let horizon = (i + 3)..(i + 10).min(toks.len().saturating_sub(1));
+                for j in horizon {
+                    if toks[j].is_ident("as")
+                        && toks
+                            .get(j + 1)
+                            .is_some_and(|n| matches!(n.text.as_str(), "usize" | "u64" | "u32"))
+                    {
+                        push(
+                            t.line,
+                            "pointer cast to integer derives a value from an address; \
+                             addresses differ per instance (ASLR)"
+                                .to_string(),
+                        );
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("demo.rs", "core", src.as_bytes()))
+    }
+
+    #[test]
+    fn hashmap_is_flagged() {
+        let f = run(
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) { for _ in m.iter() {} }",
+        );
+        assert_eq!(f.len(), 2, "import and type use both flagged: {f:?}");
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        assert!(run("use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u8, u8>) {}").is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let f = run(
+            "// rddr-analyze: allow(determinism)\nfn f(m: &HashSet<u8>) {}\nfn g(m: &HashSet<u8>) {}",
+        );
+        assert_eq!(f.len(), 1, "only the unsuppressed line remains: {f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn wall_clock_and_thread_identity_are_flagged() {
+        let f = run("fn f() { let t = std::time::SystemTime::now(); let id = std::thread::current().id(); }");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn address_derived_value_is_flagged() {
+        let f = run("fn f(x: &u8) -> usize { x as *const u8 as usize }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("ASLR"));
+    }
+
+    #[test]
+    fn plain_casts_are_clean() {
+        assert!(run("fn f(x: u8) -> usize { x as usize }").is_empty());
+    }
+
+    #[test]
+    fn strings_mentioning_hashmap_are_clean() {
+        assert!(run(r#"fn f() { let s = "HashMap"; }"#).is_empty());
+    }
+}

@@ -1,0 +1,435 @@
+//! A lightweight Rust token scanner.
+//!
+//! In the spirit of the workspace's shims this is *not* a full Rust lexer —
+//! it is a total function over arbitrary bytes that classifies just enough
+//! structure for the lint passes: identifiers, single-byte punctuation,
+//! literals (string/raw-string/byte-string/char/number), comments (kept,
+//! because `// rddr-analyze: allow(...)` directives live there), and
+//! lifetimes. Unterminated constructs run to end of input instead of
+//! erroring; no input can make it panic (see the proptest in `tests/`).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A single punctuation byte (`.`, `(`, `[`, `!`, …).
+    Punct,
+    /// String/char/number literal (contents not retained).
+    Literal,
+    /// A `// …` comment, text retained for allow-directives.
+    LineComment,
+    /// A `/* … */` comment (possibly nested).
+    BlockComment,
+    /// A `'label` lifetime.
+    Lifetime,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Identifier/punctuation/comment text; empty for literals.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scans `src` into tokens. Total: never panics, consumes all input.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    let text = self.line_comment();
+                    tokens.push(Token {
+                        kind: TokenKind::LineComment,
+                        text,
+                        line,
+                    });
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    tokens.push(Token {
+                        kind: TokenKind::BlockComment,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                b'"' => {
+                    self.string_literal();
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    tokens.push(Token {
+                        kind,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                b'r' | b'b' if self.raw_or_byte_literal(&mut tokens, line) => {}
+                b'0'..=b'9' => {
+                    self.number_literal();
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                b if is_ident_start(b) => {
+                    let text = self.ident();
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    });
+                }
+                _ => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (b as char).to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+        tokens
+    }
+
+    fn line_comment(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Consumes a (nested) block comment; unterminated runs to EOF.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` literal with `\` escapes; unterminated runs to EOF.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` / `'\n'` char literals from `'label` lifetimes.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match (self.peek(0), self.peek(1)) {
+            // `'x` where x starts an identifier and the next byte is not a
+            // closing quote: a lifetime label.
+            (Some(b), Some(n)) if is_ident_start(b) && n != b'\'' => {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Lifetime
+            }
+            // Trailing `'x` at EOF: also a lifetime.
+            (Some(b), None) if is_ident_start(b) => {
+                self.bump();
+                TokenKind::Lifetime
+            }
+            _ => {
+                // Char literal: consume escapes until the closing quote or
+                // end of line (bail out so a stray quote can't eat the file).
+                while let Some(b) = self.peek(0) {
+                    if b == b'\n' {
+                        break;
+                    }
+                    self.bump();
+                    match b {
+                        b'\\' => {
+                            self.bump();
+                        }
+                        b'\'' => break,
+                        _ => {}
+                    }
+                }
+                TokenKind::Literal
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`; returns false when the
+    /// leading `r`/`b` is just an identifier (so the caller lexes it as one).
+    fn raw_or_byte_literal(&mut self, tokens: &mut Vec<Token>, line: u32) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == Some(b'b') {
+            if self.peek(1) == Some(b'\'') {
+                // Byte char literal b'x'.
+                self.bump();
+                let kind = self.char_or_lifetime();
+                tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line,
+                });
+                return true;
+            }
+            if self.peek(1) == Some(b'"') {
+                self.bump();
+                self.string_literal();
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                return true;
+            }
+            if self.peek(1) == Some(b'r') {
+                ahead = 2;
+            } else {
+                return false;
+            }
+        }
+        // At `r` (ahead-1 bytes consumed conceptually): count hashes.
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some(b'"') {
+            return false; // plain identifier starting with r/br
+        }
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hashes.
+        'scan: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        tokens.push(Token {
+            kind: TokenKind::Literal,
+            text: String::new(),
+            line,
+        });
+        true
+    }
+
+    fn number_literal(&mut self) {
+        // Numbers, including suffixes and underscores (0xFF_u8, 1.5e-3).
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+                // Stop `1..n` range syntax from being eaten as a float.
+                if b == b'.' && self.peek(1) == Some(b'.') {
+                    break;
+                }
+                self.bump();
+            } else if (b == b'+' || b == b'-')
+                && matches!(
+                    self.src.get(self.pos.wrapping_sub(1)),
+                    Some(b'e') | Some(b'E')
+                )
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn scans_idents_and_puncts() {
+        let toks = lex(b"let x = map.iter();");
+        assert!(toks.iter().any(|t| t.is_ident("iter")));
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        assert_eq!(idents(r#"let s = "HashMap unwrap";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        assert_eq!(
+            idents(r##"let s = r#"unwrap() "quoted""#;"##),
+            vec!["let", "s"]
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        assert_eq!(
+            idents(r#"let s = b"unwrap"; let c = b'u';"#),
+            vec!["let", "s", "let", "c"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex(b"fn f<'a>(x: &'a str) {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn char_literal_with_escape() {
+        let toks = lex(br"let c = '\n'; let q = '\''; m.lock()");
+        assert!(toks.iter().any(|t| t.is_ident("lock")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* outer /* inner */ still */ fn"), vec!["fn"]);
+    }
+
+    #[test]
+    fn line_comment_text_is_kept_with_line_numbers() {
+        let toks = lex(b"fn a() {}\n// rddr-analyze: allow(panic-path)\nfn b() {}");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .expect("comment token");
+        assert!(c.text.contains("allow(panic-path)"));
+        assert_eq!(c.line, 2);
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof() {
+        for src in [&b"\"never closed"[..], b"/* never closed", b"r#\"raw", b"'"] {
+            let _ = lex(src); // must not panic or loop forever
+        }
+    }
+
+    #[test]
+    fn number_range_is_two_tokens_not_a_float() {
+        let toks = lex(b"for i in 0..10 {}");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! `rddr-analyze`: in-tree static analysis enforcing RDDR's operational
+//! invariants across the workspace.
+//!
+//! RDDR's premise is that divergence between N instances signals an attack,
+//! so *self-inflicted* nondeterminism manufactures false divergences, and a
+//! panic in a proxy hot path turns "sever the connection gracefully" into
+//! "crash the fan-out for all N instances". This crate lexes the
+//! workspace's Rust sources (a lightweight token scanner in the spirit of
+//! the shims — no syn, no registry access) and runs four lint passes:
+//!
+//! * [`determinism`] — `HashMap`/`HashSet`, wall-clock, thread-identity,
+//!   and address-derived values in crates whose bytes reach the diff
+//!   engine.
+//! * [`panic_path`] — `unwrap()`/`expect()`/panicking macros/slice
+//!   indexing in proxy, net, and telemetry hot paths.
+//! * [`lock_order`] — per-crate lock-acquisition graphs; cycles are
+//!   potential deadlocks.
+//! * [`shim_hygiene`] — `std::` concurrency/randomness where an in-tree
+//!   shim exists.
+//!
+//! Findings diff against a committed [`baseline::Baseline`] ratchet: new
+//! violations fail, grandfathered ones are tolerated and can only shrink.
+//! Suppress a deliberate site with `// rddr-analyze: allow(<lint>)` on the
+//! same or preceding line.
+
+pub mod baseline;
+pub mod determinism;
+pub mod lexer;
+pub mod lock_order;
+pub mod panic_path;
+pub mod report;
+pub mod shim_hygiene;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use source::SourceFile;
+
+/// The four lint passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// Nondeterminism in diff-reachable crates.
+    Determinism,
+    /// Panics in hot-path crates.
+    PanicPath,
+    /// Lock-acquisition cycles.
+    LockOrder,
+    /// `std::` use where a shim exists.
+    ShimHygiene,
+}
+
+impl Lint {
+    /// Every pass, in reporting order.
+    pub const ALL: [Lint; 4] = [
+        Lint::Determinism,
+        Lint::PanicPath,
+        Lint::LockOrder,
+        Lint::ShimHygiene,
+    ];
+
+    /// The stable key used in baselines, allow-directives, and JSON.
+    pub fn key(self) -> &'static str {
+        match self {
+            Lint::Determinism => "determinism",
+            Lint::PanicPath => "panic-path",
+            Lint::LockOrder => "lock-order",
+            Lint::ShimHygiene => "shim-hygiene",
+        }
+    }
+
+    /// Inverse of [`Lint::key`].
+    pub fn from_key(key: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.key() == key)
+    }
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Which pass produced it.
+    pub lint: Lint,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(lint: Lint, file: impl Into<String>, line: u32, message: String) -> Finding {
+        Finding {
+            lint,
+            file: file.into(),
+            line,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// The result of analyzing a workspace.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Every finding from every pass, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Findings of one pass.
+    pub fn of(&self, lint: Lint) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.lint == lint)
+    }
+}
+
+/// Analyzes one in-memory source file, applying every pass that targets its
+/// crate (lock-order edges are cycle-checked within this file alone). The
+/// workspace driver [`analyze_workspace`] merges lock graphs per crate
+/// instead.
+pub fn analyze_source(path: &str, crate_name: &str, src: &[u8]) -> Vec<Finding> {
+    let file = SourceFile::parse(path, crate_name, src);
+    let mut findings = run_file_passes(&file);
+    findings.extend(lock_order::cycles(crate_name, &lock_order::edges(&file)));
+    findings.sort();
+    findings
+}
+
+/// The per-file passes (everything except cross-file lock-graph merging).
+fn run_file_passes(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if determinism::TARGET_CRATES.contains(&file.crate_name.as_str()) {
+        findings.extend(determinism::check(file));
+    }
+    if panic_path::TARGET_CRATES.contains(&file.crate_name.as_str()) {
+        findings.extend(panic_path::check(file));
+    }
+    if !file.crate_name.starts_with("shim:") {
+        findings.extend(shim_hygiene::check(file));
+    }
+    findings
+}
+
+/// Walks a workspace rooted at `root` and runs every pass.
+///
+/// Scanned: `crates/*/src/**/*.rs`, `shims/*/src/**/*.rs`, and the root
+/// package's `src/**/*.rs`. Test directories (`tests/`, `benches/`,
+/// `examples/`) host code that is *allowed* to panic and to be
+/// nondeterministic, and are not scanned; `#[cfg(test)]` modules inside
+/// scanned files are stripped before linting.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut analysis = Analysis::default();
+    let mut lock_edges: BTreeMap<String, Vec<lock_order::LockEdge>> = BTreeMap::new();
+    for (rel, crate_name) in workspace_sources(root)? {
+        let src = std::fs::read(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let file = SourceFile::parse(rel_str, crate_name.clone(), &src);
+        analysis.files_scanned += 1;
+        analysis.findings.extend(run_file_passes(&file));
+        lock_edges
+            .entry(crate_name)
+            .or_default()
+            .extend(lock_order::edges(&file));
+    }
+    for (crate_name, edges) in &lock_edges {
+        analysis
+            .findings
+            .extend(lock_order::cycles(crate_name, edges));
+    }
+    analysis.findings.sort();
+    Ok(analysis)
+}
+
+/// Lists `(relative path, crate name)` for every source file to scan,
+/// sorted for deterministic output.
+fn workspace_sources(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    for (dir, prefix) in [("crates", ""), ("shims", "shim:")] {
+        let dir_path = root.join(dir);
+        if !dir_path.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&dir_path)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let crate_name = format!("{prefix}{}", entry.file_name().to_string_lossy());
+            let src_dir = entry.path().join("src");
+            if src_dir.is_dir() {
+                collect_rs(&src_dir, root, &crate_name, &mut out)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, root, "rddr-repro", &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<(PathBuf, String)>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs(&path, root, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push((rel, crate_name.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` section.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_keys_roundtrip() {
+        for lint in Lint::ALL {
+            assert_eq!(Lint::from_key(lint.key()), Some(lint));
+        }
+        assert_eq!(Lint::from_key("nope"), None);
+    }
+
+    #[test]
+    fn analyze_source_applies_crate_targeting() {
+        let src = b"use std::collections::HashMap;\nfn f() { x.unwrap(); }";
+        // `core` is a determinism target but not a panic-path target.
+        let core = analyze_source("demo.rs", "core", src);
+        assert!(core.iter().all(|f| f.lint == Lint::Determinism), "{core:?}");
+        // `proxy` is the reverse.
+        let proxy = analyze_source("demo.rs", "proxy", src);
+        assert!(proxy.iter().all(|f| f.lint == Lint::PanicPath), "{proxy:?}");
+    }
+
+    #[test]
+    fn shims_are_exempt_from_shim_hygiene() {
+        let src = b"use std::sync::mpsc;";
+        assert!(analyze_source("demo.rs", "shim:crossbeam", src).is_empty());
+        assert!(!analyze_source("demo.rs", "orchestra", src).is_empty());
+    }
+}

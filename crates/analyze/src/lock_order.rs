@@ -1,0 +1,370 @@
+//! Lock-order pass: builds a per-crate lock-acquisition graph and reports
+//! cycles as potential deadlocks.
+//!
+//! Heuristic, in keeping with the token-level analysis: a lock site is a
+//! `.lock()`, `.read()`, or `.write()` call **with no arguments** (stream
+//! I/O `read(&mut buf)` takes a buffer and is not matched). The receiver is
+//! the dotted path before the call (`self.` stripped, index expressions
+//! skipped), so `self.shards[i].lock()` and `shards[j].lock()` name the
+//! same node. A guard is assumed held until the end of its enclosing block,
+//! so any lock acquired before that closing brace gets an edge from the
+//! held lock. Edges from all files of one crate are merged; a cycle in the
+//! merged graph (including a self-edge — re-acquiring a non-reentrant lock)
+//! is reported at the first edge's site.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::{Finding, Lint};
+
+/// One `A held while acquiring B` observation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Receiver path of the lock already held.
+    pub held: String,
+    /// Receiver path of the lock being acquired.
+    pub acquired: String,
+    /// File the edge was observed in.
+    pub file: String,
+    /// Line of the acquisition.
+    pub line: u32,
+}
+
+/// Extracts lock-acquisition edges from one prepared file.
+pub fn edges(file: &SourceFile) -> Vec<LockEdge> {
+    let toks = &file.tokens;
+    // Lock sites: (token index, end of enclosing block, receiver, line).
+    let mut sites: Vec<(usize, usize, String, u32)> = Vec::new();
+    let mut block_stack: Vec<usize> = Vec::new(); // open-brace token indices
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            block_stack.push(i);
+        } else if t.is_punct('}') {
+            block_stack.pop();
+        }
+        let is_lock_call = matches!(t.text.as_str(), "lock" | "read" | "write")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        if !is_lock_call || file.allowed(Lint::LockOrder, t.line) {
+            continue;
+        }
+        let Some(receiver) = receiver_path(toks, i - 1) else {
+            continue;
+        };
+        let scope_end = if guard_is_temporary(toks, i + 3) {
+            // `x.lock().do_thing()`: the guard is a temporary dropped at the
+            // end of the statement, not a binding that lives to block end.
+            statement_end(toks, i)
+        } else {
+            block_stack
+                .last()
+                .map(|&open| file.close_of(open))
+                .unwrap_or(toks.len())
+        };
+        sites.push((i, scope_end, receiver, t.line));
+    }
+    let mut out = Vec::new();
+    for (a, &(ia, end_a, ref held, _)) in sites.iter().enumerate() {
+        for &(ib, _, ref acquired, line_b) in &sites[a + 1..] {
+            // The guard taken at `ia` is live until its block closes at
+            // `end_a`; a lock taken before that point nests under it.
+            if ib < end_a && ib > ia {
+                out.push(LockEdge {
+                    held: held.clone(),
+                    acquired: acquired.clone(),
+                    file: file.path.clone(),
+                    line: line_b,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether the guard produced by a lock call is consumed by further method
+/// chaining (and thus dropped at the end of the statement). `after` is the
+/// token index just past the call's `()`. Chained `.unwrap()`/`.expect(…)`
+/// still *yield* the guard (std's poison API), so they are skipped first.
+fn guard_is_temporary(toks: &[crate::lexer::Token], mut after: usize) -> bool {
+    loop {
+        if !toks.get(after).is_some_and(|t| t.is_punct('.')) {
+            return false;
+        }
+        let chained = toks.get(after + 1);
+        if !chained.is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect")) {
+            return true;
+        }
+        // Skip past the unwrap/expect call's parens.
+        if !toks.get(after + 2).is_some_and(|t| t.is_punct('(')) {
+            return true;
+        }
+        let mut depth = 1;
+        after += 3;
+        while after < toks.len() && depth > 0 {
+            if toks[after].is_punct('(') {
+                depth += 1;
+            } else if toks[after].is_punct(')') {
+                depth -= 1;
+            }
+            after += 1;
+        }
+    }
+}
+
+/// Index just past the `;` ending the statement containing token `from`
+/// (braces are skipped whole, so closures/blocks in arguments don't end the
+/// statement early). Falls back to the enclosing block's end.
+fn statement_end(toks: &[crate::lexer::Token], from: usize) -> usize {
+    let mut i = from;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return i; // end of enclosing block: statement over
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Walks backwards from the `.` of a lock call, collecting the receiver's
+/// dotted path. Index expressions (`[i]`) are skipped; call parens end the
+/// walk with the callee name kept (`registry().lock()` → `registry()`).
+fn receiver_path(toks: &[crate::lexer::Token], dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // tokens are consumed backwards at index `i - 1`
+    while i > 0 {
+        let t = &toks[i - 1];
+        if t.kind == TokenKind::Ident {
+            parts.push(t.text.clone());
+            i -= 1;
+            if i > 0 && toks[i - 1].is_punct('.') {
+                i -= 1; // continue through the `a.b` chain
+                continue;
+            }
+            break;
+        } else if t.is_punct(']') {
+            // Skip the index expression back to its `[`; the owner
+            // expression directly precedes it.
+            let mut depth = 1;
+            i -= 1;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                if toks[i].is_punct(']') {
+                    depth += 1;
+                } else if toks[i].is_punct('[') {
+                    depth -= 1;
+                }
+            }
+            if depth != 0 {
+                break;
+            }
+        } else if t.is_punct(')') {
+            // A call: keep the callee name and stop.
+            let mut depth = 1;
+            i -= 1;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                if toks[i].is_punct(')') {
+                    depth += 1;
+                } else if toks[i].is_punct('(') {
+                    depth -= 1;
+                }
+            }
+            if depth == 0 && i > 0 && toks[i - 1].kind == TokenKind::Ident {
+                parts.push(format!("{}()", toks[i - 1].text));
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    parts.retain(|p| p != "self");
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// Merges edges from all files of one crate and reports each distinct cycle.
+pub fn cycles(crate_name: &str, all_edges: &[LockEdge]) -> Vec<Finding> {
+    // adjacency + first site per edge
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut site: BTreeMap<(&str, &str), (&str, u32)> = BTreeMap::new();
+    for e in all_edges {
+        adj.entry(&e.held).or_default().insert(&e.acquired);
+        site.entry((&e.held, &e.acquired))
+            .or_insert((&e.file, e.line));
+    }
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<Vec<&str>> = BTreeSet::new();
+    // Self-edges are immediate deadlocks with std's non-reentrant locks.
+    for (&n, succ) in &adj {
+        if succ.contains(n) {
+            let (file, line) = site[&(n, n)];
+            if reported.insert(vec![n]) {
+                findings.push(Finding::new(
+                    Lint::LockOrder,
+                    file,
+                    line,
+                    format!("`{n}` is re-acquired while already held (crate `{crate_name}`): self-deadlock with a non-reentrant lock"),
+                ));
+            }
+        }
+    }
+    // DFS for longer cycles.
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            // Bound the search: paths longer than the node count repeat.
+            if path.len() > nodes.len() {
+                continue;
+            }
+            for &next in adj.get(node).into_iter().flatten() {
+                if next == start && path.len() > 1 {
+                    let mut key: Vec<&str> = path.clone();
+                    key.sort_unstable();
+                    if reported.insert(key) {
+                        let (file, line) = site[&(path[path.len() - 1], start)];
+                        findings.push(Finding::new(
+                            Lint::LockOrder,
+                            file,
+                            line,
+                            format!(
+                                "lock-order cycle in crate `{crate_name}`: {} -> {start}; \
+                                 acquire in one global order to rule out deadlock",
+                                path.join(" -> ")
+                            ),
+                        ));
+                    }
+                } else if !path.contains(&next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("demo.rs", "demo", src.as_bytes());
+        cycles("demo", &edges(&f))
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = "
+            fn a(&self) { let g1 = self.meter.lock(); let g2 = self.governor.lock(); }
+            fn b(&self) { let g1 = self.governor.lock(); let g2 = self.meter.lock(); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "
+            fn a(&self) { let g1 = self.meter.lock(); let g2 = self.governor.lock(); }
+            fn b(&self) { let g1 = self.meter.lock(); let g2 = self.governor.lock(); }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn sequential_blocks_do_not_nest() {
+        // Guards in sibling blocks are never held together.
+        let src = "
+            fn a(&self) { { let g = self.meter.lock(); } { let g = self.governor.lock(); } }
+            fn b(&self) { { let g = self.governor.lock(); } { let g = self.meter.lock(); } }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn reacquiring_the_same_lock_is_a_self_deadlock() {
+        let src = "fn a(&self) { let g = self.state.lock(); let h = self.state.lock(); }";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn rwlock_read_write_count_as_locks() {
+        let src = "
+            fn a(&self) { let g = self.map.read(); let h = self.log.write(); }
+            fn b(&self) { let g = self.log.read(); let h = self.map.write(); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn stream_read_with_arguments_is_not_a_lock() {
+        let src = "fn a(&mut self) { self.conn.read(&mut buf); self.other.lock(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn indexed_receivers_collapse_to_one_node() {
+        let src = "
+            fn a(&self) { let g = self.shards[i].lock(); let h = self.audit.lock(); }
+            fn b(&self) { let g = self.audit.lock(); let h = self.shards[j].lock(); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn chained_temporary_guards_do_not_nest() {
+        // `self.db.lock().session()` drops its guard at the statement's end,
+        // so the next statement's lock is not nested under it.
+        let src = "
+            fn a(&self) { let s = self.db.lock().session(); let b = self.db.lock().banner(); }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_chained_guard_is_still_held() {
+        // std's poison API: `.lock().unwrap()` yields the guard, which the
+        // `let` keeps alive to the end of the block.
+        let src = "
+            fn a(&self) { let g = self.meter.lock().unwrap(); let h = self.governor.lock().unwrap(); }
+            fn b(&self) { let g = self.governor.lock().unwrap(); let h = self.meter.lock().unwrap(); }
+        ";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_the_site() {
+        let src = "
+            fn a(&self) { let g1 = self.meter.lock(); let g2 = self.governor.lock(); }
+            fn b(&self) {
+                let g1 = self.governor.lock();
+                // deliberate: gated by the governor epoch. rddr-analyze: allow(lock-order)
+                let g2 = self.meter.lock();
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! The `rddr-analyze` CLI.
+//!
+//! ```text
+//! rddr-analyze [--root DIR] [--baseline FILE] [--json FILE] [--write-baseline] [--list]
+//! ```
+//!
+//! Exit codes: 0 clean (no new violations), 1 new violations, 2 usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rddr_analyze::baseline::Baseline;
+use rddr_analyze::{analyze_workspace, find_workspace_root, report};
+
+const USAGE: &str = "usage: rddr-analyze [options]
+  --root DIR        workspace root (default: walk up to [workspace] Cargo.toml)
+  --baseline FILE   ratchet file (default: <root>/analyze-baseline.toml)
+  --json FILE       also write the machine-readable report there
+  --write-baseline  regenerate the baseline from the current findings
+  --list            print every finding (grandfathered ones included)";
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        json: None,
+        write_baseline: false,
+        list: false,
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        let mut path_value = |name: &str| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = Some(path_value("--root")?),
+            "--baseline" => opts.baseline = Some(path_value("--baseline")?),
+            "--json" => opts.json = Some(path_value("--json")?),
+            "--write-baseline" => opts.write_baseline = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args(std::env::args().skip(1))?;
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                "no [workspace] Cargo.toml above the current directory".to_string()
+            })?
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .map(|p| if p.is_absolute() { p } else { root.join(p) })
+        .unwrap_or_else(|| root.join("analyze-baseline.toml"));
+
+    let analysis =
+        analyze_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if opts.write_baseline {
+        let base = Baseline::from_findings(&analysis.findings);
+        std::fs::write(&baseline_path, base.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "rddr-analyze: wrote baseline with {} finding(s) to {}",
+            analysis.findings.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = Baseline::load(&baseline_path)?;
+    let ratchet = baseline.ratchet(&analysis.findings);
+    if opts.list {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+    }
+    print!("{}", report::text_summary(&analysis, &baseline, &ratchet));
+    if let Some(json) = opts.json {
+        let doc = report::json_document(&analysis, &baseline, &ratchet);
+        std::fs::write(&json, doc).map_err(|e| format!("writing {}: {e}", json.display()))?;
+    }
+    Ok(ratchet.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("rddr-analyze: {msg}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Panic-path pass: a panic in proxy plumbing does not kill one request,
+//! it kills the fan-out for all N instances (and with it RDDR's ability to
+//! sever gracefully — the paper's Respond step). Hot-path crates must
+//! propagate errors instead. Flags `.unwrap()`, `.expect(…)`, the panicking
+//! macros, and slice/array indexing.
+
+use crate::source::SourceFile;
+use crate::{Finding, Lint};
+
+/// Crates whose threads sit on the request hot path.
+pub const TARGET_CRATES: &[&str] = &["proxy", "net", "telemetry"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the pass over one prepared file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    let mut push = |line: u32, message: String| {
+        if !file.allowed(Lint::PanicPath, line) {
+            findings.push(Finding::new(Lint::PanicPath, &file.path, line, message));
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                push(
+                    t.line,
+                    format!(
+                        "`.{}()` panics the proxy thread; propagate the error and sever \
+                         the exchange instead",
+                        t.text
+                    ),
+                );
+            }
+            name if PANIC_MACROS.contains(&name)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                push(
+                    t.line,
+                    format!("`{name}!` in a hot path; return an error instead"),
+                );
+            }
+            "[" if t.is_punct('[')
+                && i >= 1
+                && (toks[i - 1].kind == crate::lexer::TokenKind::Ident
+                    || toks[i - 1].is_punct(')')
+                    || toks[i - 1].is_punct(']')) =>
+            {
+                push(
+                    t.line,
+                    "slice/array indexing panics on out-of-range; use `.get()`".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("demo.rs", "proxy", src.as_bytes()))
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let f = run("fn f() { x.unwrap(); y.expect(\"msg\"); }");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_clean() {
+        assert!(run("fn f() { x.unwrap_or_default(); y.unwrap_or(0); }").is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let f = run("fn f() { panic!(\"boom\"); unreachable!(); }");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn slice_indexing_is_flagged_but_types_and_macros_are_not() {
+        // `buf[..n]` is indexing; `[0u8; 4]` is an array literal; `vec![…]`
+        // is a macro invocation; `#[derive(..)]` is an attribute.
+        let f = run("#[derive(Debug)]\nstruct S;\nfn f(buf: &[u8], n: usize) { let a = [0u8; 4]; let v = vec![1]; let _ = &buf[..n]; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn test_module_panics_are_ignored() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests { #[test] fn t() { x.unwrap(); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "fn f(b: &[u8]) {\n    // index bounded by caller. rddr-analyze: allow(panic-path)\n    let _ = b[0];\n}";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Rendering: the human summary and the machine-readable JSON document.
+//!
+//! The JSON mirrors the `BENCH_*.json` report style (`{"report": …,
+//! "params": {…}, "rows": […]}`), hand-serialized because the analyzer is
+//! dependency-free (`rddr-protocols` is itself a lint target).
+
+use std::fmt::Write as _;
+
+use crate::baseline::{Baseline, RatchetReport};
+use crate::{Analysis, Lint};
+
+/// Escapes a string for a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `rddr_analyze` JSON report document.
+pub fn json_document(analysis: &Analysis, baseline: &Baseline, ratchet: &RatchetReport) -> String {
+    let mut out = String::from("{\"report\": \"rddr_analyze\", \"params\": {");
+    let _ = write!(
+        out,
+        "\"files_scanned\": {}, \"passed\": {}}}, \"rows\": [",
+        analysis.files_scanned,
+        ratchet.passed()
+    );
+    for (i, lint) in Lint::ALL.into_iter().enumerate() {
+        let current = analysis.of(lint).count();
+        let new: usize = ratchet
+            .regressions
+            .iter()
+            .filter(|(d, _)| d.lint == lint)
+            .map(|(d, _)| d.current - d.baseline)
+            .sum();
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"lint\": \"{}\", \"violations\": {current}, \"baseline\": {}, \"new\": {new}}}",
+            lint.key(),
+            baseline.total(lint),
+        );
+    }
+    out.push_str("], \"new_violations\": [");
+    let mut first = true;
+    for (_, findings) in &ratchet.regressions {
+        for f in findings {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                f.lint.key(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            );
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The human-readable run summary.
+pub fn text_summary(analysis: &Analysis, baseline: &Baseline, ratchet: &RatchetReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "rddr-analyze: scanned {} files",
+        analysis.files_scanned
+    );
+    for lint in Lint::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<13} {:>4} findings (baseline ceiling {})",
+            lint.key(),
+            analysis.of(lint).count(),
+            baseline.total(lint)
+        );
+    }
+    if !ratchet.improvements.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {} file(s) below their baseline ceiling — run --write-baseline to ratchet down:",
+            ratchet.improvements.len()
+        );
+        for d in &ratchet.improvements {
+            let _ = writeln!(
+                out,
+                "    [{}] {}: {} -> {}",
+                d.lint.key(),
+                d.file,
+                d.baseline,
+                d.current
+            );
+        }
+    }
+    if ratchet.passed() {
+        let _ = writeln!(out, "OK: no new violations");
+    } else {
+        let new_total: usize = ratchet
+            .regressions
+            .iter()
+            .map(|(d, _)| d.current - d.baseline)
+            .sum();
+        let _ = writeln!(out, "FAIL: {new_total} new violation(s)");
+        for (d, findings) in &ratchet.regressions {
+            let _ = writeln!(
+                out,
+                "  [{}] {}: {} findings, baseline allows {} — all sites:",
+                d.lint.key(),
+                d.file,
+                d.current,
+                d.baseline
+            );
+            for f in findings {
+                let _ = writeln!(out, "    {f}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    fn setup() -> (Analysis, Baseline, RatchetReport) {
+        let findings = vec![
+            Finding::new(Lint::PanicPath, "a.rs", 3, "x".into()),
+            Finding::new(Lint::Determinism, "b.rs", 7, "y \"quoted\"".into()),
+        ];
+        let analysis = Analysis {
+            findings: findings.clone(),
+            files_scanned: 2,
+        };
+        let baseline = Baseline::from_findings(&findings[..1]);
+        let ratchet = baseline.ratchet(&findings);
+        (analysis, baseline, ratchet)
+    }
+
+    #[test]
+    fn json_document_reports_new_violations() {
+        let (analysis, baseline, ratchet) = setup();
+        let doc = json_document(&analysis, &baseline, &ratchet);
+        assert!(doc.contains("\"report\": \"rddr_analyze\""));
+        assert!(doc.contains("\"passed\": false"));
+        assert!(doc.contains("\\\"quoted\\\""), "escaped: {doc}");
+        assert!(doc.contains("\"lint\": \"determinism\", \"violations\": 1"));
+    }
+
+    #[test]
+    fn text_summary_lists_regression_sites() {
+        let (analysis, baseline, ratchet) = setup();
+        let text = text_summary(&analysis, &baseline, &ratchet);
+        assert!(text.contains("FAIL: 1 new violation(s)"), "{text}");
+        assert!(text.contains("b.rs:7"), "{text}");
+    }
+
+    #[test]
+    fn clean_run_reports_ok() {
+        let findings = vec![Finding::new(Lint::PanicPath, "a.rs", 3, "x".into())];
+        let analysis = Analysis {
+            findings: findings.clone(),
+            files_scanned: 1,
+        };
+        let baseline = Baseline::from_findings(&findings);
+        let ratchet = baseline.ratchet(&findings);
+        let text = text_summary(&analysis, &baseline, &ratchet);
+        assert!(text.contains("OK: no new violations"), "{text}");
+        assert!(json_document(&analysis, &baseline, &ratchet).contains("\"passed\": true"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Shim-hygiene pass: the workspace vendors its concurrency primitives as
+//! in-tree shims (`crossbeam` channels, `parking_lot` locks, `rand`), so
+//! the real deployment can swap one implementation point. Reaching around
+//! them to `std` re-opens the very surface the shims centralize. Flags
+//! `use std::sync::mpsc` (crossbeam shim exists), `use std::sync::{Mutex,
+//! RwLock, Condvar}` (parking_lot shim exists), and `RandomState` (hidden
+//! per-process randomness — also a determinism hazard).
+
+use crate::source::SourceFile;
+use crate::{Finding, Lint};
+
+/// Runs the pass over one prepared file. `shims/` itself is exempt (the
+/// shims are *implemented* on std); the driver never calls this for them.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    let mut push = |line: u32, message: String| {
+        if !file.allowed(Lint::ShimHygiene, line) {
+            findings.push(Finding::new(Lint::ShimHygiene, &file.path, line, message));
+        }
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("RandomState") {
+            push(
+                t.line,
+                "`RandomState` seeds hashing from process randomness; deterministic \
+                 code must not depend on it"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("use") {
+            // Collect the idents of this use-statement (through the `;`).
+            let start = i;
+            let mut names: Vec<(&str, u32)> = Vec::new();
+            while i < toks.len() && !toks[i].is_punct(';') {
+                if toks[i].kind == crate::lexer::TokenKind::Ident {
+                    names.push((toks[i].text.as_str(), toks[i].line));
+                }
+                i += 1;
+            }
+            let has = |n: &str| names.iter().any(|&(s, _)| s == n);
+            let line_of = |n: &str| {
+                names
+                    .iter()
+                    .find(|&&(s, _)| s == n)
+                    .map_or(toks[start].line, |&(_, l)| l)
+            };
+            if has("std") && has("mpsc") {
+                push(
+                    line_of("mpsc"),
+                    "`std::sync::mpsc` bypasses the crossbeam shim; use \
+                     `crossbeam::channel` instead"
+                        .to_string(),
+                );
+            }
+            if has("std") && has("sync") {
+                for name in ["Mutex", "RwLock", "Condvar"] {
+                    if has(name) {
+                        push(
+                            line_of(name),
+                            format!(
+                                "`std::sync::{name}` bypasses the parking_lot shim; use \
+                                 `parking_lot::{name}` instead"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("demo.rs", "demo", src.as_bytes()))
+    }
+
+    #[test]
+    fn std_mpsc_import_is_flagged() {
+        let f = run("use std::sync::mpsc::channel;");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("crossbeam"));
+    }
+
+    #[test]
+    fn crossbeam_import_is_clean() {
+        assert!(run("use crossbeam::channel::unbounded;").is_empty());
+    }
+
+    #[test]
+    fn std_mutex_in_brace_group_is_flagged() {
+        let f = run("use std::sync::{Arc, Mutex};");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("parking_lot"));
+    }
+
+    #[test]
+    fn arc_and_atomics_are_clean() {
+        assert!(
+            run("use std::sync::Arc;\nuse std::sync::atomic::{AtomicBool, Ordering};").is_empty()
+        );
+    }
+
+    #[test]
+    fn parking_lot_import_is_clean() {
+        assert!(run("use parking_lot::{Mutex, RwLock};").is_empty());
+    }
+
+    #[test]
+    fn random_state_is_flagged() {
+        let f = run("fn f() { let s = std::collections::hash_map::RandomState::new(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "// Condvar has no shim equivalent here. rddr-analyze: allow(shim-hygiene)\nuse std::sync::{Condvar, Mutex};";
+        let f = run(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,214 @@
+//! The analyzed view of one source file: its token stream with test-only
+//! code removed, suppression directives, and precomputed brace matching.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::Lint;
+
+/// One `.rs` file prepared for the lint passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Crate the file belongs to (directory under `crates/` or `shims/`,
+    /// or `rddr-repro` for the root `src/`).
+    pub crate_name: String,
+    /// Tokens with `#[cfg(test)]` items removed.
+    pub tokens: Vec<Token>,
+    /// Lines on which each lint is suppressed via
+    /// `// rddr-analyze: allow(<lint>)` (the directive covers its own line
+    /// and the following line).
+    allow: BTreeMap<u32, BTreeSet<Lint>>,
+    /// `close[i]` = index of the token closing the brace opened at token `i`.
+    close: BTreeMap<usize, usize>,
+}
+
+impl SourceFile {
+    /// Lexes and prepares `src` as file `path` in `crate_name`.
+    pub fn parse(path: impl Into<String>, crate_name: impl Into<String>, src: &[u8]) -> SourceFile {
+        let raw = lex(src);
+        let allow = collect_allows(&raw);
+        let tokens = strip_test_items(raw);
+        let close = match_braces(&tokens);
+        SourceFile {
+            path: path.into(),
+            crate_name: crate_name.into(),
+            tokens,
+            allow,
+            close,
+        }
+    }
+
+    /// Whether `lint` findings on `line` are suppressed by an allow comment
+    /// on the same or the preceding line.
+    pub fn allowed(&self, lint: Lint, line: u32) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.allow.get(l).is_some_and(|s| s.contains(&lint)))
+    }
+
+    /// Index of the token closing the brace opened at token index `open`,
+    /// or the end of the stream for unbalanced input.
+    pub fn close_of(&self, open: usize) -> usize {
+        self.close.get(&open).copied().unwrap_or(self.tokens.len())
+    }
+}
+
+/// Parses `rddr-analyze: allow(a, b)` directives out of line comments.
+fn collect_allows(tokens: &[Token]) -> BTreeMap<u32, BTreeSet<Lint>> {
+    let mut map: BTreeMap<u32, BTreeSet<Lint>> = BTreeMap::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(rest) = t.text.split("rddr-analyze:").nth(1) else {
+            continue;
+        };
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            continue;
+        };
+        for name in rest[open + "allow(".len()..open + close].split(',') {
+            if let Some(lint) = Lint::from_key(name.trim()) {
+                map.entry(t.line).or_default().insert(lint);
+            }
+        }
+    }
+    map
+}
+
+/// Removes every item annotated `#[cfg(test)]` (typically the `mod tests`
+/// block): panics and nondeterminism in test-only code are not hot-path
+/// violations. The attribute, the item's tokens through its closing brace
+/// (or terminating `;`), and everything between are dropped.
+fn strip_test_items(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            i += 7; // past `# [ cfg ( test ) ]`
+            i = skip_item(&tokens, i);
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.len() >= i + 7
+        && tokens[i].is_punct('#')
+        && tokens[i + 1].is_punct('[')
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct('(')
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(')')
+        && tokens[i + 6].is_punct(']')
+}
+
+/// Advances past one item: through the matching `}` of its first brace
+/// block, or past a `;` reached before any brace opens.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes on the same item (e.g. `#[allow(...)]`).
+    while i < tokens.len() && tokens[i].is_punct('#') {
+        i += 1;
+        if i < tokens.len() && tokens[i].is_punct('[') {
+            let mut depth = 1;
+            i += 1;
+            while i < tokens.len() && depth > 0 {
+                if tokens[i].is_punct('[') {
+                    depth += 1;
+                } else if tokens[i].is_punct(']') {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Maps each `{` token index to its matching `}` index.
+fn match_braces(tokens: &[Token]) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                map.insert(open, i);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_stripped() {
+        let src = b"fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\nfn after() {}";
+        let f = SourceFile::parse("a.rs", "demo", src);
+        let unwraps = f.tokens.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 1, "test-module unwrap removed");
+        assert!(f.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attributes_is_stripped() {
+        let src = b"#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() {} }\nfn keep() {}";
+        let f = SourceFile::parse("a.rs", "demo", src);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("t")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("keep")));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_stripped() {
+        let src = b"#[cfg(test)]\nuse std::sync::mpsc;\nfn keep() {}";
+        let f = SourceFile::parse("a.rs", "demo", src);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("mpsc")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("keep")));
+    }
+
+    #[test]
+    fn allow_directive_covers_its_line_and_the_next() {
+        let src = b"// rddr-analyze: allow(panic-path, determinism)\nfn f() {}\nfn g() {}";
+        let f = SourceFile::parse("a.rs", "demo", src);
+        assert!(f.allowed(Lint::PanicPath, 1));
+        assert!(f.allowed(Lint::PanicPath, 2));
+        assert!(f.allowed(Lint::Determinism, 2));
+        assert!(!f.allowed(Lint::PanicPath, 3));
+        assert!(!f.allowed(Lint::LockOrder, 2));
+    }
+
+    #[test]
+    fn brace_matching() {
+        let f = SourceFile::parse("a.rs", "demo", b"fn f() { if x { y } }");
+        let first_open = f.tokens.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = f.close_of(first_open);
+        assert!(f.tokens[close].is_punct('}'));
+        assert_eq!(close, f.tokens.len() - 1);
+    }
+}

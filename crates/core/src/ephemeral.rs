@@ -11,7 +11,7 @@
 //! client, (3) substitutes the matching per-instance token into subsequent
 //! requests, and (4) deletes the mapping after use (tokens are ephemeral).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::denoise::{common_prefix, common_suffix};
 use crate::Segment;
@@ -42,7 +42,9 @@ impl EphemeralToken {
 /// Keys are the canonical token bytes (what the client echoes back).
 #[derive(Debug, Clone, Default)]
 pub struct EphemeralStore {
-    tokens: HashMap<Vec<u8>, EphemeralToken>,
+    // BTreeMap: `substitute` iterates the live tokens, so rewritten request
+    // bytes (and token reports) must be order-stable across runs/instances.
+    tokens: BTreeMap<Vec<u8>, EphemeralToken>,
     pending_consumed: Vec<Vec<u8>>,
     captured_total: u64,
     substituted_total: u64,
@@ -266,6 +268,20 @@ mod tests {
         assert_eq!(store.substituted_total(), 3);
         store.purge_consumed();
         assert!(store.is_empty(), "tokens are deleted after forwarding");
+    }
+
+    #[test]
+    fn substitution_order_is_byte_stable() {
+        // Two live tokens where one canonical is a prefix of the other: the
+        // rewrite result depends on iteration order, which must be the
+        // sorted order (shortest canonical first) — not HashMap order,
+        // which varies per store instance and would itself diverge.
+        let mut store = EphemeralStore::new();
+        store.scan_position(&[b"t=AAAAAAAAAA;".as_slice(), b"t=BBBBBBBBBB;".as_slice()]);
+        store.scan_position(&[b"u=AAAAAAAAAAB;".as_slice(), b"u=CCCCCCCCCCC;".as_slice()]);
+        assert_eq!(store.len(), 2);
+        let out = store.substitute(b"x AAAAAAAAAAB y", 1);
+        assert_eq!(out, b"x BBBBBBBBBBB y");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! of each request that caused a divergence; repeats beyond a budget are
 //! refused before being replicated at all.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tracks requests that previously caused divergence and refuses repeats.
 ///
@@ -23,7 +23,9 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SignatureThrottle {
-    counts: HashMap<u64, u32>,
+    // BTreeMap so signature reports iterate in one byte-stable order across
+    // runs and instances (HashMap order would itself be a divergence source).
+    counts: BTreeMap<u64, u32>,
     budget: u32,
 }
 
@@ -33,7 +35,7 @@ impl SignatureThrottle {
     /// the second appearance.
     pub fn new(budget: u32) -> Self {
         Self {
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             budget,
         }
     }

@@ -129,15 +129,20 @@ impl IncomingProxy {
                     let protocol = Arc::clone(&protocol);
                     let stats = Arc::clone(&session_stats);
                     let telemetry = session_telemetry.clone();
-                    std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("rddr-in-session".into())
                         .spawn(move || {
                             run_session(client, net, &instances, config, protocol, stats, telemetry)
-                        })
-                        .expect("spawn incoming session");
+                        });
+                    if spawned.is_err() {
+                        // Thread exhaustion: the dropped closure closes the
+                        // client connection — a severed session, not a
+                        // crashed accept loop.
+                        session_stats.severed.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             })
-            .expect("spawn incoming accept loop");
+            .map_err(ProxyError::Spawn)?;
 
         let unbind_net = net;
         let unbind_addr = bound.clone();
@@ -212,7 +217,12 @@ fn run_session(
         match net.dial(addr) {
             Ok(conn) => {
                 match conn.try_clone() {
-                    Ok(reader) => spawn_reader(i, reader, events_tx.clone(), "in"),
+                    Ok(reader) => {
+                        if spawn_reader(i, reader, events_tx.clone(), "in").is_err() {
+                            client.shutdown();
+                            return;
+                        }
+                    }
                     Err(_) => {
                         client.shutdown();
                         return;
@@ -296,7 +306,9 @@ fn run_session(
                             }
                         }
                         if engine.push_response(i, &data).is_err() {
-                            failed[i] = true;
+                            if let Some(f) = failed.get_mut(i) {
+                                *f = true;
+                            }
                             engine.mark_failed(i);
                         }
                     }
@@ -304,7 +316,9 @@ fn run_session(
                         if let Some(span) = &span {
                             span.event(format!("instance:{i}:closed"));
                         }
-                        failed[i] = true;
+                        if let Some(f) = failed.get_mut(i) {
+                            *f = true;
+                        }
                         engine.mark_failed(i);
                         if failed.iter().all(|&f| f) {
                             break;

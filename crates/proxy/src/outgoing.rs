@@ -132,15 +132,20 @@ impl OutgoingProxy {
                     let protocol = Arc::clone(&protocol);
                     let stats = Arc::clone(&session_stats);
                     let telemetry = session_telemetry.clone();
-                    std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("rddr-out-session".into())
                         .spawn(move || {
                             run_session(members, net, backend, config, protocol, stats, telemetry)
-                        })
-                        .expect("spawn outgoing session");
+                        });
+                    if spawned.is_err() {
+                        // Thread exhaustion: the dropped closure closes the
+                        // member connections — a severed session, not a
+                        // crashed accept loop.
+                        session_stats.severed.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             })
-            .expect("spawn outgoing accept loop");
+            .map_err(ProxyError::Spawn)?;
 
         let unbind_net = net;
         let unbind_addr = bound.clone();
@@ -213,7 +218,11 @@ fn run_session(
     let (events_tx, events_rx) = unbounded();
     for (i, conn) in members.into_iter().enumerate() {
         match conn.try_clone() {
-            Ok(reader) => spawn_reader(i, reader, events_tx.clone(), "out"),
+            Ok(reader) => {
+                if spawn_reader(i, reader, events_tx.clone(), "out").is_err() {
+                    return;
+                }
+            }
             Err(_) => return,
         }
         writers.push(conn);
@@ -243,7 +252,9 @@ fn run_session(
                     }
                 }
                 Ok(InstanceEvent::Closed(i)) => {
-                    closed[i] = true;
+                    if let Some(c) = closed.get_mut(i) {
+                        *c = true;
+                    }
                     if closed.iter().all(|&c| c) {
                         break 'session; // all instances done: clean end
                     }

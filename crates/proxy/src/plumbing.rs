@@ -46,6 +46,8 @@ pub enum ProxyError {
     },
     /// The engine configuration was inconsistent with the instance list.
     Config(String),
+    /// The accept-loop thread could not be spawned.
+    Spawn(std::io::Error),
 }
 
 impl fmt::Display for ProxyError {
@@ -56,6 +58,7 @@ impl fmt::Display for ProxyError {
                 write!(f, "instance {instance} unreachable: {source}")
             }
             ProxyError::Config(s) => write!(f, "proxy misconfigured: {s}"),
+            ProxyError::Spawn(e) => write!(f, "proxy failed to spawn accept loop: {e}"),
         }
     }
 }
@@ -66,6 +69,7 @@ impl std::error::Error for ProxyError {
             ProxyError::Bind(e) => Some(e),
             ProxyError::InstanceUnreachable { source, .. } => Some(source),
             ProxyError::Config(_) => None,
+            ProxyError::Spawn(e) => Some(e),
         }
     }
 }
@@ -170,12 +174,17 @@ pub(crate) enum InstanceEvent {
 /// Spawns a reader thread pumping `conn` into `events`.
 ///
 /// The thread exits on EOF, error, or when the receiver is dropped.
+///
+/// # Errors
+///
+/// Returns the OS error when the thread cannot be spawned (resource
+/// exhaustion); the caller severs the session instead of panicking.
 pub(crate) fn spawn_reader(
     index: usize,
     mut conn: BoxStream,
     events: Sender<InstanceEvent>,
     label: &str,
-) {
+) -> std::io::Result<()> {
     let name = format!("rddr-reader-{label}-{index}");
     std::thread::Builder::new()
         .name(name)
@@ -188,6 +197,8 @@ pub(crate) fn spawn_reader(
                         return;
                     }
                     Ok(n) => {
+                        // Reads are clamped to the buffer length by the
+                        // Stream contract. rddr-analyze: allow(panic-path)
                         if events
                             .send(InstanceEvent::Data(index, buf[..n].to_vec()))
                             .is_err()
@@ -198,7 +209,7 @@ pub(crate) fn spawn_reader(
                 }
             }
         })
-        .expect("spawn proxy reader thread");
+        .map(|_handle| ())
 }
 
 #[cfg(test)]
@@ -222,7 +233,7 @@ mod tests {
     fn reader_pumps_data_then_close() {
         let (mut tx_side, rx_side) = duplex_pair("writer", "reader");
         let (events_tx, events_rx) = unbounded();
-        spawn_reader(3, Box::new(rx_side), events_tx, "test");
+        spawn_reader(3, Box::new(rx_side), events_tx, "test").unwrap();
         tx_side.write_all(b"abc").unwrap();
         match events_rx.recv().unwrap() {
             InstanceEvent::Data(3, data) => assert_eq!(data, b"abc"),

@@ -16,4 +16,7 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> rddr-analyze (determinism / panic-path / lock-order / shim-hygiene)"
+cargo run --release -p rddr-analyze -- --baseline analyze-baseline.toml
+
 echo "OK"
