@@ -12,6 +12,15 @@ pub const TARGET_CRATES: &[&str] = &["proxy", "net", "telemetry"];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Keywords the lexer tokenizes as identifiers but which can legally precede
+/// `[` without forming an index expression: `&mut [u8]` / `*const [u8]` slice
+/// types, `for x in [..]` array literals, `return [..]`, `dyn [..]`, and
+/// `let [a, ..] = …` slice patterns (irrefutable destructuring, no bounds
+/// check at runtime).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "const", "dyn", "in", "return", "else", "match", "if", "while", "as", "let",
+];
+
 /// Runs the pass over one prepared file.
 pub fn check(file: &SourceFile) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -47,7 +56,8 @@ pub fn check(file: &SourceFile) -> Vec<Finding> {
             }
             "[" if t.is_punct('[')
                 && i >= 1
-                && (toks[i - 1].kind == crate::lexer::TokenKind::Ident
+                && ((toks[i - 1].kind == crate::lexer::TokenKind::Ident
+                    && !NON_INDEX_KEYWORDS.contains(&toks[i - 1].text.as_str()))
                     || toks[i - 1].is_punct(')')
                     || toks[i - 1].is_punct(']')) =>
             {
@@ -94,6 +104,22 @@ mod tests {
         let f = run("#[derive(Debug)]\nstruct S;\nfn f(buf: &[u8], n: usize) { let a = [0u8; 4]; let v = vec![1]; let _ = &buf[..n]; }");
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn slice_type_params_and_array_iteration_are_clean() {
+        // `&mut [u8]` is a type, not an index; `for … in […]` iterates an
+        // array literal; `*const [u8]` is a raw slice pointer type.
+        let f = run("fn f(out: &mut [u8], p: *const [u8]) { for x in [1, 2, 3] { let _ = x; } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn slice_patterns_are_clean() {
+        // `let [first, ..] = arr;` destructures irrefutably — no runtime
+        // bounds check, so it must not count as indexing.
+        let f = run("fn f(arr: &[u8; 4]) { let [first, ..] = arr; let _ = first; }");
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

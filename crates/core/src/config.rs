@@ -1,6 +1,6 @@
 use std::time::Duration;
 
-use crate::{RddrError, ResponsePolicy, Result, VarianceRules};
+use crate::{DegradePolicy, RddrError, ResponsePolicy, Result, VarianceRules};
 
 /// Configuration for one [`crate::NVersionEngine`] (one protected
 /// microservice).
@@ -29,8 +29,10 @@ pub struct EngineConfig {
     instances: usize,
     filter_pair: Option<(usize, usize)>,
     policy: ResponsePolicy,
+    degrade: DegradePolicy,
     variance: VarianceRules,
     response_deadline: Duration,
+    instance_deadline: Option<Duration>,
     throttle_budget: Option<u32>,
 }
 
@@ -41,8 +43,10 @@ impl EngineConfig {
             instances,
             filter_pair: None,
             policy: ResponsePolicy::default(),
+            degrade: DegradePolicy::default(),
             variance: VarianceRules::new(),
             response_deadline: Duration::from_secs(10),
+            instance_deadline: None,
             throttle_budget: None,
         }
     }
@@ -60,6 +64,18 @@ impl EngineConfig {
     /// The response policy.
     pub fn policy(&self) -> ResponsePolicy {
         self.policy
+    }
+
+    /// How the proxies react to instance-level faults.
+    pub fn degrade(&self) -> DegradePolicy {
+        self.degrade
+    }
+
+    /// Per-instance straggler deadline, if set: an instance that has not
+    /// completed its exchange this long after the *first* instance finished
+    /// is treated as faulted (ejected or severed per [`DegradePolicy`]).
+    pub fn instance_deadline(&self) -> Option<Duration> {
+        self.instance_deadline
     }
 
     /// Known-variance rules.
@@ -85,8 +101,10 @@ pub struct EngineConfigBuilder {
     instances: usize,
     filter_pair: Option<(usize, usize)>,
     policy: ResponsePolicy,
+    degrade: DegradePolicy,
     variance: VarianceRules,
     response_deadline: Duration,
+    instance_deadline: Option<Duration>,
     throttle_budget: Option<u32>,
 }
 
@@ -110,9 +128,21 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the degraded-mode policy (default: [`DegradePolicy::Sever`]).
+    pub fn degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
     /// Sets the all-instances response deadline (default: 10 s).
     pub fn response_deadline(mut self, deadline: Duration) -> Self {
         self.response_deadline = deadline;
+        self
+    }
+
+    /// Sets the per-instance straggler deadline (default: none).
+    pub fn instance_deadline(mut self, deadline: Duration) -> Self {
+        self.instance_deadline = Some(deadline);
         self
     }
 
@@ -154,12 +184,19 @@ impl EngineConfigBuilder {
                 "response deadline must be non-zero".into(),
             ));
         }
+        if self.instance_deadline.is_some_and(|d| d.is_zero()) {
+            return Err(RddrError::InvalidConfig(
+                "instance deadline must be non-zero".into(),
+            ));
+        }
         Ok(EngineConfig {
             instances: self.instances,
             filter_pair: self.filter_pair,
             policy: self.policy,
+            degrade: self.degrade,
             variance: self.variance,
             response_deadline: self.response_deadline,
+            instance_deadline: self.instance_deadline,
             throttle_budget: self.throttle_budget,
         })
     }
@@ -198,6 +235,32 @@ mod tests {
             .response_deadline(Duration::ZERO)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn zero_instance_deadline_is_rejected() {
+        assert!(EngineConfig::builder(2)
+            .instance_deadline(Duration::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn degrade_and_instance_deadline_round_trip() {
+        use crate::{DegradePolicy, SurvivorPolicy};
+        let c = EngineConfig::builder(3)
+            .degrade(DegradePolicy::eject_with_pass_through())
+            .instance_deadline(Duration::from_millis(200))
+            .build()
+            .unwrap();
+        assert_eq!(
+            c.degrade(),
+            DegradePolicy::Eject(SurvivorPolicy::PassThrough)
+        );
+        assert_eq!(c.instance_deadline(), Some(Duration::from_millis(200)));
+        let d = EngineConfig::builder(2).build().unwrap();
+        assert_eq!(d.degrade(), DegradePolicy::Sever);
+        assert_eq!(d.instance_deadline(), None);
     }
 
     #[test]

@@ -38,12 +38,18 @@ pub enum Verdict {
 /// Everything the proxy needs to act on one completed exchange.
 #[derive(Debug, Clone)]
 pub struct ExchangeOutcome {
-    /// The divergence report (empty details when unanimous).
+    /// The divergence report (empty details when unanimous). Instance
+    /// indices are in the engine's original 0..N numbering even when some
+    /// instances were ejected before the diff.
     pub report: DivergenceReport,
     /// What the response policy decided.
     pub decision: PolicyDecision,
     /// Bytes to forward to the client, when the decision is `Forward`.
     pub forward: Option<Vec<u8>>,
+    /// Instances (original indices) outvoted by a majority forward: they
+    /// diverged but the exchange was answered anyway, so the proxy should
+    /// quarantine them rather than sever. Empty when unanimous or severed.
+    pub quarantined: Vec<usize>,
 }
 
 impl ExchangeOutcome {
@@ -72,6 +78,7 @@ pub struct NVersionEngine {
     tokens_substituted_reported: u64,
     response_bufs: Vec<BytesMut>,
     pending_frames: Vec<Vec<Frame>>,
+    active: Vec<bool>,
     last_request: Vec<u8>,
     direction: Direction,
 }
@@ -112,6 +119,7 @@ impl NVersionEngine {
             tokens_substituted_reported: 0,
             response_bufs: (0..n).map(|_| BytesMut::new()).collect(),
             pending_frames: (0..n).map(|_| Vec::new()).collect(),
+            active: vec![true; n],
             last_request: Vec::new(),
             direction: Direction::Response,
         }
@@ -232,6 +240,11 @@ impl NVersionEngine {
                 got: instance + 1,
             });
         }
+        if !self.active[instance] {
+            // Ejected instances may still have a reader thread racing; their
+            // bytes are dropped rather than corrupting the next diff.
+            return Ok(());
+        }
         self.response_bufs[instance].extend_from_slice(bytes);
         let frames = self
             .protocol
@@ -240,21 +253,75 @@ impl NVersionEngine {
         Ok(())
     }
 
-    /// Whether every instance has produced one complete exchange unit.
+    /// Whether every *active* instance has produced one complete exchange
+    /// unit (ejected instances are not waited for).
     pub fn exchange_ready(&self) -> bool {
         self.pending_frames
             .iter()
-            .all(|frames| self.protocol.exchange_complete(frames, self.direction))
+            .zip(&self.active)
+            .filter(|&(_, active)| *active)
+            .all(|(frames, _)| self.protocol.exchange_complete(frames, self.direction))
+    }
+
+    /// Whether one specific instance has produced a complete exchange unit.
+    pub fn instance_complete(&self, instance: usize) -> bool {
+        self.pending_frames
+            .get(instance)
+            .is_some_and(|frames| self.protocol.exchange_complete(frames, self.direction))
     }
 
     /// Marks an instance as failed (timed out or disconnected). The instance
     /// contributes an empty output, which registers as structural divergence
     /// unless every instance failed identically.
     pub fn mark_failed(&mut self, instance: usize) {
-        if instance < self.pending_frames.len() {
+        if instance < self.pending_frames.len() && self.active[instance] {
             self.pending_frames[instance].clear();
             self.pending_frames[instance].push(Frame::new("failed", Vec::new()));
         }
+    }
+
+    /// Ejects an instance from the session: its buffered bytes are dropped
+    /// and subsequent exchanges diff over the survivors only. Idempotent;
+    /// out-of-range indices are ignored.
+    pub fn eject(&mut self, instance: usize) {
+        if let Some(slot) = self.active.get_mut(instance) {
+            *slot = false;
+        }
+        if let Some(buf) = self.response_bufs.get_mut(instance) {
+            buf.clear();
+        }
+        if let Some(frames) = self.pending_frames.get_mut(instance) {
+            frames.clear();
+        }
+    }
+
+    /// Readmits a previously ejected instance with fresh buffers (the rejoin
+    /// step after a respawn + warm-up probe). Idempotent.
+    pub fn readmit(&mut self, instance: usize) {
+        if let Some(slot) = self.active.get_mut(instance) {
+            *slot = true;
+        }
+        if let Some(buf) = self.response_bufs.get_mut(instance) {
+            buf.clear();
+        }
+        if let Some(frames) = self.pending_frames.get_mut(instance) {
+            frames.clear();
+        }
+    }
+
+    /// Whether an instance is currently part of the diff set.
+    pub fn is_active(&self, instance: usize) -> bool {
+        self.active.get(instance).copied().unwrap_or(false)
+    }
+
+    /// How many instances are currently part of the diff set.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// The original indices of the instances currently in the diff set.
+    pub fn active_instances(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&i| self.active[i]).collect()
     }
 
     /// **De-noise + Diff + Respond**: evaluates the buffered exchange.
@@ -268,7 +335,15 @@ impl NVersionEngine {
     /// produced a complete exchange (`exchange_ready` is false and no frames
     /// are buffered at all).
     pub fn finish_exchange(&mut self) -> Result<ExchangeOutcome> {
-        if self.pending_frames.iter().all(Vec::is_empty) {
+        // `live[compact] = original` maps the diff's dense instance numbering
+        // back to the engine's 0..N ids once ejections have thinned the set.
+        let live = self.active_instances();
+        if live.is_empty() {
+            return Err(RddrError::Protocol(
+                "no active instances in exchange".into(),
+            ));
+        }
+        if live.iter().all(|&i| self.pending_frames[i].is_empty()) {
             return Err(RddrError::Protocol(
                 "no frames buffered for any instance".into(),
             ));
@@ -277,7 +352,10 @@ impl NVersionEngine {
         if let Some(span) = &self.span {
             span.event("diff");
         }
-        let frames: Vec<Vec<Frame>> = self.pending_frames.iter_mut().map(std::mem::take).collect();
+        let frames: Vec<Vec<Frame>> = live
+            .iter()
+            .map(|&i| std::mem::take(&mut self.pending_frames[i]))
+            .collect();
 
         // Tokenize critical frames into one aligned segment list per instance.
         let mut segments: Vec<Vec<Segment>> = Vec::with_capacity(frames.len());
@@ -320,12 +398,22 @@ impl NVersionEngine {
             self.tokens_captured_reported = total;
         }
 
-        // De-noise (§IV-B2): mask byte ranges on which the filter pair differs.
+        // De-noise (§IV-B2): mask byte ranges on which the filter pair
+        // differs. If either member of the pair has been ejected, filtering
+        // is disabled for the exchange (the pair's whole point is that both
+        // run identical versions).
         let mut mask = match self.config.filter_pair() {
-            Some((a, b)) if a < segments.len() && b < segments.len() => {
-                NoiseMask::from_filter_pair(&segments[a], &segments[b])
+            Some((a, b)) => {
+                let ca = live.iter().position(|&i| i == a);
+                let cb = live.iter().position(|&i| i == b);
+                match (ca, cb) {
+                    (Some(ca), Some(cb)) if ca < segments.len() && cb < segments.len() => {
+                        NoiseMask::from_filter_pair(&segments[ca], &segments[cb])
+                    }
+                    _ => NoiseMask::none(),
+                }
             }
-            _ => NoiseMask::none(),
+            None => NoiseMask::none(),
         };
         for m in token_masks {
             if mask.mask_for(m.index).is_none() {
@@ -344,14 +432,49 @@ impl NVersionEngine {
             .variance_excluded
             .add(outcome.report.variance_excluded as u64);
 
-        // Respond.
-        let decision = self.config.policy().decide(&outcome);
+        // Respond. The decision comes back in compact (diff) numbering; the
+        // forward bytes must be looked up before remapping to original ids.
+        let compact_decision = self.config.policy().decide(&outcome);
         if outcome.report.diverged() {
             self.counters.divergences.inc();
             if let Some(throttle) = &mut self.state.throttle {
                 throttle.record(&self.last_request);
             }
         }
+        let forward = match &compact_decision {
+            PolicyDecision::Forward { instance } => Some(concat_frames(&frames[*instance])),
+            PolicyDecision::Sever { .. } => None,
+        };
+        // Quorum quarantine: on a majority forward despite divergence, the
+        // outvoted instances are handed back for quarantine instead of
+        // severing the session.
+        let mut quarantined = Vec::new();
+        if outcome.report.diverged() {
+            if let PolicyDecision::Forward { .. } = &compact_decision {
+                if let Some(winner) = outcome.agreement_groups().first() {
+                    quarantined = (0..frames.len())
+                        .filter(|c| !winner.contains(c))
+                        .map(|c| live[c])
+                        .collect();
+                }
+            }
+        }
+        // Remap every instance index in the outcome to original numbering.
+        let to_original = |c: usize| live.get(c).copied().unwrap_or(c);
+        for d in outcome.report.details.iter_mut() {
+            d.instance = to_original(d.instance);
+        }
+        for s in outcome.report.structural.iter_mut() {
+            *s = to_original(*s);
+        }
+        let decision = match compact_decision {
+            PolicyDecision::Forward { instance } => PolicyDecision::Forward {
+                instance: to_original(instance),
+            },
+            PolicyDecision::Sever { implicated } => PolicyDecision::Sever {
+                implicated: implicated.into_iter().map(to_original).collect(),
+            },
+        };
         if let Some(span) = &self.span {
             span.event(match &decision {
                 PolicyDecision::Forward { instance } => format!("respond:forward:{instance}"),
@@ -366,14 +489,11 @@ impl NVersionEngine {
         self.counters
             .eval_latency_us
             .record_duration(eval_start.elapsed());
-        let forward = match &decision {
-            PolicyDecision::Forward { instance } => Some(concat_frames(&frames[*instance])),
-            PolicyDecision::Sever { .. } => None,
-        };
         Ok(ExchangeOutcome {
             report: outcome.report,
             decision,
             forward,
+            quarantined,
         })
     }
 
@@ -578,6 +698,139 @@ mod tests {
         assert!(!outcome.severed());
         assert_eq!(outcome.forward.unwrap(), b"good\n");
         assert!(outcome.report.diverged(), "divergence still reported");
+    }
+
+    #[test]
+    fn majority_forward_quarantines_the_outlier() {
+        let config = EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            .build()
+            .unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        e.push_response(0, b"good\n").unwrap();
+        e.push_response(1, b"evil\n").unwrap();
+        e.push_response(2, b"good\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert_eq!(outcome.quarantined, vec![1]);
+        assert!(!outcome.severed());
+    }
+
+    #[test]
+    fn unanimous_exchange_quarantines_nobody() {
+        let mut e = engine(3);
+        e.push_response(0, b"ok\n").unwrap();
+        e.push_response(1, b"ok\n").unwrap();
+        e.push_response(2, b"ok\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(outcome.quarantined.is_empty());
+    }
+
+    #[test]
+    fn ejected_instance_is_not_waited_for() {
+        let mut e = engine(3);
+        e.eject(1);
+        assert_eq!(e.active_count(), 2);
+        assert_eq!(e.active_instances(), vec![0, 2]);
+        e.push_response(0, b"ok\n").unwrap();
+        assert!(!e.exchange_ready());
+        e.push_response(2, b"ok\n").unwrap();
+        assert!(e.exchange_ready(), "ejected instance 1 must not block");
+        let outcome = e.finish_exchange().unwrap();
+        assert!(!outcome.severed());
+        assert_eq!(outcome.forward.unwrap(), b"ok\n");
+    }
+
+    #[test]
+    fn pushes_to_ejected_instance_are_dropped() {
+        let mut e = engine(2);
+        e.eject(1);
+        e.push_response(1, b"stale\n").unwrap();
+        e.push_response(0, b"ok\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(!outcome.report.diverged(), "stale bytes must not diff");
+        assert_eq!(outcome.forward.unwrap(), b"ok\n");
+    }
+
+    #[test]
+    fn outcome_indices_stay_original_after_ejection() {
+        // Eject instance 0; a divergence between 1 and 2 must implicate
+        // instance 2 in original numbering, not compact index 1.
+        let mut e = engine(3);
+        e.eject(0);
+        e.push_response(1, b"good\n").unwrap();
+        e.push_response(2, b"evil\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(outcome.severed());
+        match &outcome.decision {
+            PolicyDecision::Sever { implicated } => assert_eq!(implicated, &vec![2]),
+            other => panic!("expected sever, got {other:?}"),
+        }
+        assert_eq!(outcome.report.implicated_instances(), vec![2]);
+    }
+
+    #[test]
+    fn forwarded_instance_index_is_original_after_ejection() {
+        let config = EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            .build()
+            .unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        e.eject(0);
+        e.push_response(1, b"a\n").unwrap();
+        e.push_response(2, b"a\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert_eq!(
+            outcome.decision,
+            PolicyDecision::Forward { instance: 1 },
+            "compact index 0 must map back to original instance 1"
+        );
+    }
+
+    #[test]
+    fn readmit_restores_full_diff_set() {
+        let mut e = engine(2);
+        e.eject(1);
+        e.push_response(0, b"solo\n").unwrap();
+        e.finish_exchange().unwrap();
+        e.readmit(1);
+        assert_eq!(e.active_count(), 2);
+        e.push_response(0, b"x\n").unwrap();
+        e.push_response(1, b"y\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(outcome.report.diverged(), "readmitted instance diffs again");
+    }
+
+    #[test]
+    fn single_survivor_forwards_without_divergence() {
+        let mut e = engine(3);
+        e.eject(1);
+        e.eject(2);
+        e.push_response(0, b"alone\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(!outcome.severed());
+        assert_eq!(outcome.forward.unwrap(), b"alone\n");
+        assert!(outcome.quarantined.is_empty());
+    }
+
+    #[test]
+    fn all_ejected_errors() {
+        let mut e = engine(2);
+        e.eject(0);
+        e.eject(1);
+        assert!(e.finish_exchange().is_err());
+    }
+
+    #[test]
+    fn filter_pair_disabled_when_member_ejected() {
+        let config = EngineConfig::builder(3).filter_pair(0, 1).build().unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        e.eject(0);
+        // Without the pair, the session noise is no longer masked, so the
+        // differing tokens now register as divergence.
+        e.push_response(1, b"session=abc ok\n").unwrap();
+        e.push_response(2, b"session=xyz ok\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(outcome.report.diverged());
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub use error::RddrError;
 pub use frame::{Direction, Frame, Segment};
 pub use glob::GlobPattern;
 pub use metrics::{EngineCounters, EngineMetrics};
-pub use policy::{PolicyDecision, ResponsePolicy, INTERVENTION_PAGE};
+pub use policy::{
+    DegradePolicy, PolicyDecision, ResponsePolicy, SurvivorPolicy, INTERVENTION_PAGE,
+};
 pub use protocol::Protocol;
 pub use report::{DivergenceDetail, DivergenceReport};
 pub use signature::SignatureThrottle;

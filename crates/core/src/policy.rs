@@ -18,6 +18,59 @@ pub enum ResponsePolicy {
     MajorityVote,
 }
 
+/// How the proxies react to an *instance-level* fault (read timeout,
+/// mid-stream reset, failed dial) during a session — orthogonal to
+/// [`ResponsePolicy`], which governs what happens on a *divergence*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Any instance fault severs the whole session (the paper's behaviour:
+    /// availability is sacrificed for containment).
+    #[default]
+    Sever,
+    /// The faulted instance is ejected and the exchange continues over the
+    /// surviving k-of-N: k ≥ 2 keeps diffing, k = 1 falls to the embedded
+    /// [`SurvivorPolicy`], k = 0 severs.
+    Eject(SurvivorPolicy),
+}
+
+impl DegradePolicy {
+    /// Eject faulted instances; sever once diversity is exhausted (k = 1).
+    pub fn eject() -> Self {
+        DegradePolicy::Eject(SurvivorPolicy::Sever)
+    }
+
+    /// Eject faulted instances; keep serving the lone survivor with a
+    /// pass-through warning when diversity is exhausted.
+    pub fn eject_with_pass_through() -> Self {
+        DegradePolicy::Eject(SurvivorPolicy::PassThrough)
+    }
+
+    /// Whether instance faults eject rather than sever.
+    pub fn ejects(&self) -> bool {
+        matches!(self, DegradePolicy::Eject(_))
+    }
+
+    /// The single-survivor sub-policy, when ejection is enabled.
+    pub fn survivor(&self) -> Option<SurvivorPolicy> {
+        match self {
+            DegradePolicy::Sever => None,
+            DegradePolicy::Eject(s) => Some(*s),
+        }
+    }
+}
+
+/// What a proxy does when ejections leave only one live instance — diffing
+/// is impossible, so this is a policy question, not a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurvivorPolicy {
+    /// Sever: no diversity means no leak detection, so stop serving.
+    #[default]
+    Sever,
+    /// Forward the survivor's bytes unchecked, counting a pass-through
+    /// warning per exchange (availability over containment).
+    PassThrough,
+}
+
 /// The action the proxy should take for one exchange.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PolicyDecision {

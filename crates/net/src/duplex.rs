@@ -45,8 +45,8 @@ impl Pipe {
         loop {
             if !guard.data.is_empty() {
                 let n = out.len().min(guard.data.len());
-                for slot in out.iter_mut().take(n) {
-                    *slot = guard.data.pop_front().expect("len checked");
+                for (slot, byte) in out.iter_mut().zip(guard.data.drain(..n)) {
+                    *slot = byte;
                 }
                 return Ok(n);
             }

@@ -9,6 +9,9 @@ pub enum NetError {
     ConnectionRefused(String),
     /// The peer closed the connection (EOF where data was required).
     Closed,
+    /// The connection was torn down mid-stream (injected fault or RST),
+    /// as opposed to a clean shutdown-then-EOF ([`NetError::Closed`]).
+    Reset,
     /// A blocking read exceeded the configured deadline.
     TimedOut,
     /// The address is already bound by another listener.
@@ -25,6 +28,7 @@ impl fmt::Display for NetError {
             NetError::BadAddress(s) => write!(f, "invalid address syntax: {s:?}"),
             NetError::ConnectionRefused(s) => write!(f, "connection refused: {s}"),
             NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Reset => write!(f, "connection reset mid-stream"),
             NetError::TimedOut => write!(f, "read timed out"),
             NetError::AddressInUse(s) => write!(f, "address already in use: {s}"),
             NetError::Io(e) => write!(f, "socket error: {e}"),
@@ -47,6 +51,9 @@ impl From<std::io::Error> for NetError {
         match e.kind() {
             std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::TimedOut,
             std::io::ErrorKind::UnexpectedEof => NetError::Closed,
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => NetError::Reset,
             std::io::ErrorKind::ConnectionRefused => NetError::ConnectionRefused(e.to_string()),
             std::io::ErrorKind::AddrInUse => NetError::AddressInUse(e.to_string()),
             _ => NetError::Io(e),

@@ -41,6 +41,7 @@
 mod addr;
 mod duplex;
 mod error;
+pub mod fault;
 pub mod secure;
 mod sim;
 mod stream;
@@ -49,6 +50,7 @@ mod tcp;
 pub use addr::ServiceAddr;
 pub use duplex::{duplex_pair, DuplexStream};
 pub use error::NetError;
+pub use fault::{ChaosProfile, ConnSelector, Fault, FaultNet, FaultPlan, FaultStats};
 pub use secure::{PresharedKey, SecureListener, SecureNet, SecureStream};
 pub use sim::{LatencyModel, NetStats, SimNet};
 pub use stream::{BoxListener, BoxStream, Listener, Network, Stream};

@@ -15,6 +15,17 @@ use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"RDR1";
 
+/// Validates a 12-byte greeting (`MAGIC` + LE nonce) and extracts the nonce.
+fn parse_greeting(greet: &[u8; 12]) -> Result<u64> {
+    let (magic, nonce) = greet.split_at(4);
+    if magic != MAGIC.as_slice() {
+        return Err(NetError::Secure("peer is not an RDR1 endpoint".into()));
+    }
+    <[u8; 8]>::try_from(nonce)
+        .map(u64::from_le_bytes)
+        .map_err(|_| NetError::Secure("malformed greeting".into()))
+}
+
 /// A pre-shared secret from which session keys are derived.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PresharedKey(Vec<u8>);
@@ -66,11 +77,11 @@ impl Keystream {
     }
 
     fn next_byte(&mut self) -> u8 {
-        if self.used == 8 {
+        if self.used >= 8 {
             self.buf = self.next_u64().to_le_bytes();
             self.used = 0;
         }
-        let b = self.buf[self.used];
+        let b = self.buf.get(self.used).copied().unwrap_or(0);
         self.used += 1;
         b
     }
@@ -116,10 +127,7 @@ impl<S: Stream> SecureStream<S> {
         inner.write_all(&nonce.to_le_bytes())?;
         let mut greet = [0u8; 12];
         inner.read_exact(&mut greet)?;
-        if &greet[..4] != MAGIC {
-            return Err(NetError::Secure("peer is not an RDR1 endpoint".into()));
-        }
-        let peer_nonce = u64::from_le_bytes(greet[4..].try_into().expect("length 8"));
+        let peer_nonce = parse_greeting(&greet)?;
         let mut s = Self {
             inner,
             tx: std::sync::Arc::new(parking_lot::Mutex::new(Keystream::new(&key.0, nonce))),
@@ -137,10 +145,7 @@ impl<S: Stream> SecureStream<S> {
     pub fn accept(mut inner: S, key: &PresharedKey, nonce: u64) -> Result<Self> {
         let mut greet = [0u8; 12];
         inner.read_exact(&mut greet)?;
-        if &greet[..4] != MAGIC {
-            return Err(NetError::Secure("peer is not an RDR1 endpoint".into()));
-        }
-        let peer_nonce = u64::from_le_bytes(greet[4..].try_into().expect("length 8"));
+        let peer_nonce = parse_greeting(&greet)?;
         inner.write_all(MAGIC)?;
         inner.write_all(&nonce.to_le_bytes())?;
         let mut s = Self {
@@ -178,7 +183,9 @@ impl<S: Stream> SecureStream<S> {
 impl<S: Stream> Stream for SecureStream<S> {
     fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
         let n = self.inner.read(buf)?;
-        self.rx.lock().apply(&mut buf[..n]);
+        if let Some(filled) = buf.get_mut(..n) {
+            self.rx.lock().apply(filled);
+        }
         Ok(n)
     }
 

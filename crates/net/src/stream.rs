@@ -58,7 +58,10 @@ pub trait Stream: Send {
     fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
         let mut filled = 0;
         while filled < buf.len() {
-            let n = self.read(&mut buf[filled..])?;
+            let Some(rest) = buf.get_mut(filled..) else {
+                return Err(NetError::Closed);
+            };
+            let n = self.read(rest)?;
             if n == 0 {
                 return Err(NetError::Closed);
             }

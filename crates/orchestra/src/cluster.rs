@@ -15,6 +15,10 @@ pub enum ClusterError {
     AddressInUse(String),
     /// An underlying network failure.
     Net(NetError),
+    /// A respawn was requested for a replica the supervisor never registered.
+    UnknownReplica(String),
+    /// A respawned replica did not pass its readiness probe in time.
+    NotReady(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -22,6 +26,10 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::AddressInUse(a) => write!(f, "address already in use: {a}"),
             ClusterError::Net(e) => write!(f, "network failure: {e}"),
+            ClusterError::UnknownReplica(n) => write!(f, "unknown replica: {n}"),
+            ClusterError::NotReady(n) => {
+                write!(f, "replica {n} failed its readiness probe")
+            }
         }
     }
 }

@@ -27,12 +27,14 @@ mod container;
 mod governor;
 mod meter;
 mod service;
+mod supervisor;
 
 pub use cluster::{Cluster, ClusterError};
 pub use container::ContainerHandle;
 pub use governor::CpuGovernor;
 pub use meter::{ResourceMeter, ResourceSample};
 pub use service::{FnService, Image, Service, ServiceCtx};
+pub use supervisor::{wait_ready, Supervisor};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,277 @@
+//! Replica supervision: respawn-and-rejoin for degraded deployments.
+//!
+//! Kubernetes restarts a crashed pod from its image and readmits it into
+//! the Service's endpoints once its readiness probe passes. This module
+//! reproduces that slice for RDDR's degraded mode: a quarantined or crashed
+//! replica is [respawned](Supervisor::respawn) from its registered
+//! [`Image`] and only reported ready once a warm-up probe (a successful
+//! dial) goes through — at which point the proxies' per-exchange rejoin
+//! probes will readmit it into the diff set.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rddr_net::{Network, ServiceAddr};
+
+use crate::{Cluster, ClusterError, ContainerHandle, Image, Service};
+
+/// Everything needed to stamp a replica back out after it dies.
+struct ReplicaSpec {
+    image: Image,
+    addr: ServiceAddr,
+    node: usize,
+    service: Arc<dyn Service>,
+    restarts: u64,
+}
+
+/// Tracks replica specs so dead replicas can be respawned from their image
+/// and readmitted after a readiness probe (the restart/rejoin loop of
+/// degraded-mode operation).
+///
+/// The supervisor is deliberately passive: it does not watch containers
+/// itself. The proxy layer detects the fault (eject/quarantine), and the
+/// operator — or a chaos test standing in for one — asks the supervisor to
+/// respawn, mirroring how a Kubernetes ReplicaSet controller owns restarts
+/// while the mesh owns traffic.
+#[derive(Default)]
+pub struct Supervisor {
+    specs: Mutex<BTreeMap<String, ReplicaSpec>>,
+    restarts: AtomicU64,
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("replicas", &self.specs.lock().len())
+            .field("restarts", &self.restarts.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// An empty supervisor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the spec for replica `name` on node 0.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        image: Image,
+        addr: ServiceAddr,
+        service: Arc<dyn Service>,
+    ) {
+        self.register_on(0, name, image, addr, service);
+    }
+
+    /// Registers (or replaces) the spec for replica `name` on a specific
+    /// node (multi-host placement).
+    pub fn register_on(
+        &self,
+        node: usize,
+        name: impl Into<String>,
+        image: Image,
+        addr: ServiceAddr,
+        service: Arc<dyn Service>,
+    ) {
+        self.specs.lock().insert(
+            name.into(),
+            ReplicaSpec {
+                image,
+                addr,
+                node,
+                service,
+                restarts: 0,
+            },
+        );
+    }
+
+    /// Drops the spec for `name`; a forgotten replica can no longer be
+    /// respawned.
+    pub fn forget(&self, name: &str) {
+        self.specs.lock().remove(name);
+    }
+
+    /// Names of all registered replicas.
+    pub fn replicas(&self) -> Vec<String> {
+        self.specs.lock().keys().cloned().collect()
+    }
+
+    /// Total respawns performed across all replicas.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Respawns of one replica, if registered.
+    pub fn replica_restarts(&self, name: &str) -> Option<u64> {
+        self.specs.lock().get(name).map(|s| s.restarts)
+    }
+
+    /// Respawns replica `name` on `cluster` from its registered image and
+    /// waits up to `ready_timeout` for the warm-up probe (a successful dial
+    /// of its address) to pass.
+    ///
+    /// The caller must have stopped the previous container (its address must
+    /// be free); a dead container's address is unbound by its `Drop`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] if `name` was never registered,
+    /// [`ClusterError::AddressInUse`] if the old container still holds the
+    /// address, and [`ClusterError::NotReady`] if the respawned container
+    /// did not accept a connection within `ready_timeout`.
+    pub fn respawn(
+        &self,
+        cluster: &Cluster,
+        name: &str,
+        ready_timeout: Duration,
+    ) -> crate::Result<ContainerHandle> {
+        let (node, image, addr, service) = {
+            let specs = self.specs.lock();
+            let spec = specs
+                .get(name)
+                .ok_or_else(|| ClusterError::UnknownReplica(name.to_string()))?;
+            (
+                spec.node,
+                spec.image.clone(),
+                spec.addr.clone(),
+                Arc::clone(&spec.service),
+            )
+        };
+        let handle = cluster.run_container_on(node, name, image, &addr, service)?;
+        if !wait_ready(&cluster.net(), &addr, ready_timeout) {
+            return Err(ClusterError::NotReady(name.to_string()));
+        }
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        if let Some(spec) = self.specs.lock().get_mut(name) {
+            spec.restarts += 1;
+        }
+        Ok(handle)
+    }
+}
+
+/// Polls `addr` until a dial succeeds (the readiness probe) or `timeout`
+/// elapses. Returns whether the address became dialable.
+pub fn wait_ready(net: &dyn Network, addr: &ServiceAddr, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match net.dial(addr) {
+            Ok(mut conn) => {
+                conn.shutdown();
+                return true;
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnService;
+    use rddr_net::Stream;
+
+    fn echo_service() -> Arc<dyn Service> {
+        Arc::new(FnService::new("echo", |mut conn, _ctx| {
+            let mut buf = [0u8; 64];
+            while let Ok(n) = conn.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                let Some(data) = buf.get(..n) else {
+                    break;
+                };
+                if conn.write_all(data).is_err() {
+                    break;
+                }
+            }
+        }))
+    }
+
+    #[test]
+    fn respawn_after_stop_restores_service() {
+        let cluster = Cluster::new(2);
+        let addr = ServiceAddr::new("svc", 80);
+        let image = Image::new("svc", "v1");
+        let supervisor = Supervisor::new();
+        supervisor.register("svc-0", image.clone(), addr.clone(), echo_service());
+
+        let mut first = cluster
+            .run_container("svc-0", image, &addr, echo_service())
+            .unwrap();
+        first.stop();
+        assert!(cluster.net().dial(&addr).is_err(), "stopped: must not dial");
+
+        let respawned = supervisor
+            .respawn(&cluster, "svc-0", Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(respawned.addr(), &addr);
+        assert_eq!(supervisor.restarts(), 1);
+        assert_eq!(supervisor.replica_restarts("svc-0"), Some(1));
+
+        let mut conn = cluster.net().dial(&addr).unwrap();
+        conn.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn respawn_of_unknown_replica_errors() {
+        let cluster = Cluster::new(1);
+        let supervisor = Supervisor::new();
+        assert!(matches!(
+            supervisor.respawn(&cluster, "ghost", Duration::from_millis(10)),
+            Err(ClusterError::UnknownReplica(_))
+        ));
+        assert_eq!(supervisor.restarts(), 0);
+    }
+
+    #[test]
+    fn respawn_while_old_container_alive_is_rejected() {
+        let cluster = Cluster::new(1);
+        let addr = ServiceAddr::new("svc", 80);
+        let image = Image::new("svc", "v1");
+        let supervisor = Supervisor::new();
+        supervisor.register("svc-0", image.clone(), addr.clone(), echo_service());
+        let _alive = cluster
+            .run_container("svc-0", image, &addr, echo_service())
+            .unwrap();
+        assert!(matches!(
+            supervisor.respawn(&cluster, "svc-0", Duration::from_millis(10)),
+            Err(ClusterError::AddressInUse(_))
+        ));
+    }
+
+    #[test]
+    fn forget_removes_the_spec() {
+        let supervisor = Supervisor::new();
+        supervisor.register(
+            "svc-0",
+            Image::new("svc", "v1"),
+            ServiceAddr::new("svc", 80),
+            echo_service(),
+        );
+        assert_eq!(supervisor.replicas(), vec!["svc-0".to_string()]);
+        supervisor.forget("svc-0");
+        assert!(supervisor.replicas().is_empty());
+    }
+
+    #[test]
+    fn wait_ready_times_out_on_dead_address() {
+        let cluster = Cluster::new(1);
+        assert!(!wait_ready(
+            &cluster.net(),
+            &ServiceAddr::new("nothing", 1),
+            Duration::from_millis(20),
+        ));
+    }
+}

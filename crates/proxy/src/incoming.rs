@@ -5,12 +5,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::BytesMut;
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Sender};
 use rddr_core::{Direction, EngineConfig, NVersionEngine, RddrError, INTERVENTION_PAGE};
 use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
 use rddr_telemetry::Span;
 
-use crate::plumbing::{spawn_reader, InstanceEvent, ProxyTelemetry};
+use crate::plumbing::{
+    below_survivor_floor, eject_instance, fault_instance, quarantine_instance, spawn_reader,
+    DegradedTelemetry, InstanceEvent, ProxyTelemetry, Roster,
+};
 use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
 
 /// Per-session handles to the shared telemetry bundle: the latency series
@@ -27,6 +30,8 @@ struct SessionTelemetry {
     /// Arrival lag of instance response data after fan-out, µs (all
     /// instances pooled).
     instance_us: std::sync::Arc<rddr_telemetry::Histogram>,
+    /// Eject/rejoin/quarantine counters and the degraded-depth gauge.
+    degraded: std::sync::Arc<DegradedTelemetry>,
 }
 
 impl SessionTelemetry {
@@ -37,6 +42,10 @@ impl SessionTelemetry {
             fanout_us: shared.registry.histogram(&name("fanout_latency_us")),
             merge_us: shared.registry.histogram(&name("merge_latency_us")),
             instance_us: shared.registry.histogram(&name("instance_response_us")),
+            degraded: std::sync::Arc::new(DegradedTelemetry::new(
+                &shared.registry,
+                &format!("{}_in", shared.prefix),
+            )),
             shared,
         }
     }
@@ -199,6 +208,8 @@ fn run_session(
     telemetry: Option<SessionTelemetry>,
 ) {
     let deadline = config.response_deadline();
+    let degrade = config.degrade();
+    let instance_deadline = config.instance_deadline();
     let mut engine = NVersionEngine::from_boxed(config, protocol());
     if let Some(t) = &telemetry {
         engine = engine.with_telemetry(
@@ -207,172 +218,334 @@ fn run_session(
             Some(Arc::clone(&t.shared.audit)),
         );
     }
+    let degraded = telemetry.as_ref().map(|t| Arc::clone(&t.degraded));
     let request_protocol = protocol();
     let is_http = request_protocol.name() == "http";
 
-    // Dial every instance; abort the session if any is unreachable.
-    let mut writers: Vec<BoxStream> = Vec::with_capacity(instances.len());
+    // Dial every instance. Under the default sever policy any unreachable
+    // instance aborts the whole session; under an eject policy it is ejected
+    // and the session starts degraded, as long as enough survivors remain.
+    let mut roster = Roster::new(instances.len());
     let (events_tx, events_rx) = unbounded();
+    let mut aborted = false;
     for (i, addr) in instances.iter().enumerate() {
-        match net.dial(addr) {
-            Ok(conn) => {
-                match conn.try_clone() {
-                    Ok(reader) => {
-                        if spawn_reader(i, reader, events_tx.clone(), "in").is_err() {
-                            client.shutdown();
-                            return;
-                        }
-                    }
-                    Err(_) => {
-                        client.shutdown();
-                        return;
-                    }
+        let attached = net.dial(addr).ok().and_then(|conn| {
+            let reader = conn.try_clone().ok()?;
+            spawn_reader(i, roster.epoch(i), reader, events_tx.clone(), "in").ok()?;
+            Some(conn)
+        });
+        match attached {
+            Some(conn) => {
+                if let Some(slot) = roster.writers.get_mut(i) {
+                    *slot = Some(conn);
                 }
-                writers.push(conn);
             }
-            Err(_) => {
-                client.shutdown();
-                return;
+            None if degrade.ejects() => {
+                eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+            }
+            None => {
+                aborted = true;
+                break;
             }
         }
+    }
+    if !aborted && below_survivor_floor(engine.active_count(), degrade) {
+        aborted = true;
     }
 
     let mut request_buf = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
-    'session: loop {
-        // Read from the client until at least one complete request frame.
-        let request_frames = loop {
-            match request_protocol.split_frames(&mut request_buf, Direction::Request) {
-                Ok(frames) if !frames.is_empty() => break frames,
-                Ok(_) => {}
-                Err(_) => break 'session,
-            }
-            match client.read(&mut chunk) {
-                Ok(0) | Err(_) => break 'session,
-                Ok(n) => request_buf.extend_from_slice(&chunk[..n]),
-            }
-        };
-
-        for frame in request_frames {
-            // One span per exchange: it travels into the engine, shows up in
-            // any divergence audit record, and times the proxy's own phases.
-            let exchange_start = Instant::now();
-            let span = telemetry
-                .as_ref()
-                .map(|_| Arc::new(Span::start("exchange")));
-            if let Some(span) = &span {
-                engine.set_span(Arc::clone(span));
-            }
-
-            // Replicate.
-            let copies = match engine.replicate_request(&frame.bytes) {
-                Ok(copies) => copies,
-                Err(RddrError::Throttled) => {
-                    stats.throttled.fetch_add(1, Ordering::Relaxed);
-                    sever(&mut client, &mut writers, is_http);
-                    break 'session;
+    'serve: {
+        if aborted {
+            break 'serve;
+        }
+        'session: loop {
+            // Read from the client until at least one complete request frame.
+            let request_frames = loop {
+                match request_protocol.split_frames(&mut request_buf, Direction::Request) {
+                    Ok(frames) if !frames.is_empty() => break frames,
+                    Ok(_) => {}
+                    Err(_) => break 'session,
                 }
-                Err(_) => break 'session,
+                match client.read(&mut chunk) {
+                    Ok(0) | Err(_) => break 'session,
+                    Ok(n) => {
+                        let Some(read) = chunk.get(..n) else {
+                            break 'session;
+                        };
+                        request_buf.extend_from_slice(read);
+                    }
+                }
             };
-            let fanout_start = Instant::now();
-            for (writer, copy) in writers.iter_mut().zip(&copies) {
-                if writer.write_all(copy).is_err() {
-                    sever(&mut client, &mut writers, is_http);
-                    break 'session;
+
+            for frame in request_frames {
+                // A replica ejected in an earlier exchange gets a rejoin
+                // probe before each new one: a successful re-dial readmits
+                // it into the diff set.
+                if degrade.ejects() && engine.active_count() < instances.len() {
+                    attempt_rejoins(
+                        &net,
+                        instances,
+                        &mut engine,
+                        &mut roster,
+                        &events_tx,
+                        &stats,
+                        degraded.as_deref(),
+                    );
                 }
-            }
-            if let Some(t) = &telemetry {
-                t.fanout_us.record_duration(fanout_start.elapsed());
+
+                // One span per exchange: it travels into the engine, shows up
+                // in any divergence audit record, and times the proxy's own
+                // phases.
+                let exchange_start = Instant::now();
+                let span = telemetry
+                    .as_ref()
+                    .map(|_| Arc::new(Span::start("exchange")));
                 if let Some(span) = &span {
-                    span.event("fanout:done");
+                    engine.set_span(Arc::clone(span));
                 }
-            }
 
-            // Collect responses until every instance completes or the
-            // deadline passes (the paper's DoS timeout, §IV-D).
-            let t0 = Instant::now();
-            let mut failed = vec![false; writers.len()];
-            while !engine.exchange_ready() {
-                let remaining = deadline.saturating_sub(t0.elapsed());
-                if remaining.is_zero() {
-                    break;
-                }
-                match events_rx.recv_timeout(remaining) {
-                    Ok(InstanceEvent::Data(i, data)) => {
-                        if let Some(t) = &telemetry {
-                            t.instance_us.record_duration(t0.elapsed());
-                            if let Some(span) = &span {
-                                span.event(format!("instance:{i}:data"));
-                            }
-                        }
-                        if engine.push_response(i, &data).is_err() {
-                            if let Some(f) = failed.get_mut(i) {
-                                *f = true;
-                            }
-                            engine.mark_failed(i);
-                        }
-                    }
-                    Ok(InstanceEvent::Closed(i)) => {
-                        if let Some(span) = &span {
-                            span.event(format!("instance:{i}:closed"));
-                        }
-                        if let Some(f) = failed.get_mut(i) {
-                            *f = true;
-                        }
-                        engine.mark_failed(i);
-                        if failed.iter().all(|&f| f) {
-                            break;
-                        }
-                    }
-                    Err(_) => break, // deadline
-                }
-            }
-            if let Some(t) = &telemetry {
-                t.merge_us.record_duration(t0.elapsed());
-            }
-            // De-noise + Diff + Respond.
-            let outcome = match engine.finish_exchange() {
-                Ok(outcome) => outcome,
-                Err(_) => {
-                    sever(&mut client, &mut writers, is_http);
-                    break 'session;
-                }
-            };
-            stats.exchanges.fetch_add(1, Ordering::Relaxed);
-            if outcome.report.diverged() {
-                stats.divergences.fetch_add(1, Ordering::Relaxed);
-            }
-            if let Some(t) = &telemetry {
-                t.exchange_us.record_duration(exchange_start.elapsed());
-            }
-            match outcome.forward {
-                Some(bytes) => {
-                    if client.write_all(&bytes).is_err() {
+                // Replicate.
+                let copies = match engine.replicate_request(&frame.bytes) {
+                    Ok(copies) => copies,
+                    Err(RddrError::Throttled) => {
+                        stats.throttled.fetch_add(1, Ordering::Relaxed);
+                        sever(&mut client, &mut roster, is_http);
                         break 'session;
                     }
+                    Err(_) => break 'session,
+                };
+                let fanout_start = Instant::now();
+                let mut fanout_failed: Vec<usize> = Vec::new();
+                for (i, (slot, copy)) in roster.writers.iter_mut().zip(&copies).enumerate() {
+                    let Some(writer) = slot else {
+                        continue;
+                    };
+                    if writer.write_all(copy).is_err() {
+                        fanout_failed.push(i);
+                    }
                 }
-                None => {
+                for i in fanout_failed {
+                    if !degrade.ejects() {
+                        sever(&mut client, &mut roster, is_http);
+                        break 'session;
+                    }
+                    eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+                }
+                if let Some(t) = &telemetry {
+                    t.fanout_us.record_duration(fanout_start.elapsed());
+                    if let Some(span) = &span {
+                        span.event("fanout:done");
+                    }
+                }
+
+                // Collect responses until every live instance completes or a
+                // deadline passes (the paper's DoS timeout, §IV-D). The
+                // per-instance straggler deadline starts counting when the
+                // first instance finishes its exchange.
+                let t0 = Instant::now();
+                let mut failed = vec![false; instances.len()];
+                let mut first_complete: Option<Instant> = None;
+                loop {
+                    if engine.exchange_ready() || engine.active_count() == 0 {
+                        break;
+                    }
+                    let mut wait = deadline.saturating_sub(t0.elapsed());
+                    if wait.is_zero() {
+                        break;
+                    }
+                    if let (Some(limit), Some(first)) = (instance_deadline, first_complete) {
+                        let straggler = limit.saturating_sub(first.elapsed());
+                        if straggler.is_zero() {
+                            // Straggler deadline: every incomplete live
+                            // instance is now treated as faulted.
+                            for i in 0..instances.len() {
+                                if engine.is_active(i) && !engine.instance_complete(i) {
+                                    fault_instance(
+                                        i,
+                                        degrade,
+                                        &mut engine,
+                                        &mut roster,
+                                        &mut failed,
+                                        &stats,
+                                        degraded.as_deref(),
+                                    );
+                                }
+                            }
+                            break;
+                        }
+                        wait = wait.min(straggler);
+                    }
+                    match events_rx.recv_timeout(wait) {
+                        Ok(InstanceEvent::Data(i, epoch, data)) => {
+                            if !roster.current(i, epoch) {
+                                continue; // stale pre-ejection reader
+                            }
+                            if let Some(t) = &telemetry {
+                                t.instance_us.record_duration(t0.elapsed());
+                                if let Some(span) = &span {
+                                    span.event(format!("instance:{i}:data"));
+                                }
+                            }
+                            if engine.push_response(i, &data).is_err() {
+                                fault_instance(
+                                    i,
+                                    degrade,
+                                    &mut engine,
+                                    &mut roster,
+                                    &mut failed,
+                                    &stats,
+                                    degraded.as_deref(),
+                                );
+                            } else if first_complete.is_none() && engine.instance_complete(i) {
+                                first_complete = Some(Instant::now());
+                            }
+                        }
+                        Ok(InstanceEvent::Closed(i, epoch)) => {
+                            if !roster.current(i, epoch) {
+                                continue;
+                            }
+                            if let Some(span) = &span {
+                                span.event(format!("instance:{i}:closed"));
+                            }
+                            fault_instance(
+                                i,
+                                degrade,
+                                &mut engine,
+                                &mut roster,
+                                &mut failed,
+                                &stats,
+                                degraded.as_deref(),
+                            );
+                            if !degrade.ejects() && failed.iter().all(|&f| f) {
+                                break;
+                            }
+                        }
+                        Err(_) => continue, // timeout: re-checked at loop top
+                    }
+                }
+                if let Some(t) = &telemetry {
+                    t.merge_us.record_duration(t0.elapsed());
+                }
+                // Anything still incomplete at the overall deadline is
+                // faulted too: ejected in degraded mode, left for the diff
+                // to flag as divergent (partial frames) under sever.
+                if degrade.ejects() && !engine.exchange_ready() {
+                    for i in 0..instances.len() {
+                        if engine.is_active(i) && !engine.instance_complete(i) {
+                            eject_instance(
+                                i,
+                                &mut engine,
+                                &mut roster,
+                                &stats,
+                                degraded.as_deref(),
+                            );
+                        }
+                    }
+                }
+                // Survivor floor: diffing needs at least two live instances.
+                if below_survivor_floor(engine.active_count(), degrade) {
                     stats.severed.fetch_add(1, Ordering::Relaxed);
-                    sever(&mut client, &mut writers, is_http);
+                    sever(&mut client, &mut roster, is_http);
                     break 'session;
+                }
+                if engine.active_count() == 1 {
+                    // Lone-survivor pass-through: the exchange is answered
+                    // unchecked and counted as a warning.
+                    stats.pass_through.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = degraded.as_deref() {
+                        t.pass_through.inc();
+                    }
+                }
+                // De-noise + Diff + Respond.
+                let outcome = match engine.finish_exchange() {
+                    Ok(outcome) => outcome,
+                    Err(_) => {
+                        sever(&mut client, &mut roster, is_http);
+                        break 'session;
+                    }
+                };
+                stats.exchanges.fetch_add(1, Ordering::Relaxed);
+                if outcome.report.diverged() {
+                    stats.divergences.fetch_add(1, Ordering::Relaxed);
+                }
+                // Quorum voting: instances outvoted by the winning group are
+                // quarantined (eligible for a rejoin probe next exchange).
+                for &i in &outcome.quarantined {
+                    quarantine_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+                }
+                if let Some(t) = &telemetry {
+                    t.exchange_us.record_duration(exchange_start.elapsed());
+                }
+                match outcome.forward {
+                    Some(bytes) => {
+                        if client.write_all(&bytes).is_err() {
+                            break 'session;
+                        }
+                    }
+                    None => {
+                        stats.severed.fetch_add(1, Ordering::Relaxed);
+                        sever(&mut client, &mut roster, is_http);
+                        break 'session;
+                    }
                 }
             }
         }
     }
     client.shutdown();
-    for w in &mut writers {
-        w.shutdown();
+    roster.shutdown_all();
+    // The gauge tracks currently-ejected instances; a session that ends
+    // while degraded returns its contribution.
+    if let Some(t) = degraded.as_deref() {
+        let depth = instances.len().saturating_sub(engine.active_count());
+        if depth > 0 {
+            t.degraded_depth.add(-(depth as i64));
+        }
+    }
+}
+
+/// Probes every ejected instance once: a successful re-dial plus reader
+/// spawn is the warm-up check that readmits the replica into the diff set.
+/// A failed probe leaves the instance ejected until the next exchange.
+fn attempt_rejoins(
+    net: &Arc<dyn Network>,
+    instances: &[ServiceAddr],
+    engine: &mut NVersionEngine,
+    roster: &mut Roster,
+    events_tx: &Sender<InstanceEvent>,
+    stats: &ProxyStats,
+    degraded: Option<&DegradedTelemetry>,
+) {
+    for (i, addr) in instances.iter().enumerate() {
+        if engine.is_active(i) {
+            continue;
+        }
+        let attached = net.dial(addr).ok().and_then(|conn| {
+            let reader = conn.try_clone().ok()?;
+            spawn_reader(i, roster.epoch(i), reader, events_tx.clone(), "in").ok()?;
+            Some(conn)
+        });
+        let Some(conn) = attached else {
+            continue;
+        };
+        if let Some(slot) = roster.writers.get_mut(i) {
+            *slot = Some(conn);
+        }
+        engine.readmit(i);
+        stats.rejoined.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = degraded {
+            t.rejoins.inc();
+            t.degraded_depth.add(-1);
+        }
     }
 }
 
 /// Severs the session: optionally sends the HTTP intervention page, then
-/// closes the client and all instance connections.
-fn sever(client: &mut BoxStream, writers: &mut [BoxStream], is_http: bool) {
+/// closes the client and all remaining instance connections.
+fn sever(client: &mut BoxStream, roster: &mut Roster, is_http: bool) {
     if is_http {
         let _ = client.write_all(INTERVENTION_PAGE.as_bytes());
     }
     client.shutdown();
-    for w in writers.iter_mut() {
-        w.shutdown();
-    }
+    roster.shutdown_all();
 }

@@ -10,7 +10,10 @@ use rddr_core::{Direction, EngineConfig, NVersionEngine, PolicyDecision};
 use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
 use rddr_telemetry::Histogram;
 
-use crate::plumbing::{spawn_reader, InstanceEvent, ProxyTelemetry};
+use crate::plumbing::{
+    below_survivor_floor, eject_instance, fault_instance, quarantine_instance, remove_instance,
+    spawn_reader, DegradedTelemetry, InstanceEvent, ProxyTelemetry, Roster,
+};
 use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
 
 /// Latency series the outgoing proxy maintains on top of the engine's
@@ -22,6 +25,10 @@ struct SessionTelemetry {
     merge_us: Arc<Histogram>,
     /// Merged request written → complete backend response read, µs.
     backend_us: Arc<Histogram>,
+    /// Eject/quarantine counters and the degraded-depth gauge. (The rejoin
+    /// counter stays zero here: outgoing members are inbound connections, so
+    /// a lost member cannot be re-dialed — it rejoins as a fresh session.)
+    degraded: Arc<DegradedTelemetry>,
 }
 
 impl SessionTelemetry {
@@ -30,6 +37,10 @@ impl SessionTelemetry {
         SessionTelemetry {
             merge_us: shared.registry.histogram(&name("merge_latency_us")),
             backend_us: shared.registry.histogram(&name("backend_latency_us")),
+            degraded: Arc::new(DegradedTelemetry::new(
+                &shared.registry,
+                &format!("{}_out", shared.prefix),
+            )),
             shared,
         }
     }
@@ -202,6 +213,9 @@ fn run_session(
     telemetry: Option<SessionTelemetry>,
 ) {
     let deadline = config.response_deadline();
+    let degrade = config.degrade();
+    let instance_deadline = config.instance_deadline();
+    let n = config.instances();
     // The outgoing proxy diffs the instances' *requests*.
     let mut engine =
         NVersionEngine::from_boxed(config, protocol()).diff_direction(Direction::Request);
@@ -212,59 +226,168 @@ fn run_session(
             Some(Arc::clone(&t.shared.audit)),
         );
     }
+    let degraded = telemetry.as_ref().map(|t| Arc::clone(&t.degraded));
     let response_protocol = protocol();
 
-    let mut writers: Vec<BoxStream> = Vec::with_capacity(members.len());
+    // Attach a reader to every member connection. Unlike the incoming proxy
+    // the members dialed *us*, so a member lost here cannot be re-dialed: no
+    // rejoin probes — a recovered replica reappears as a fresh session.
+    let mut roster = Roster::new(n);
     let (events_tx, events_rx) = unbounded();
+    let mut aborted = false;
     for (i, conn) in members.into_iter().enumerate() {
-        match conn.try_clone() {
-            Ok(reader) => {
-                if spawn_reader(i, reader, events_tx.clone(), "out").is_err() {
-                    return;
-                }
+        let spawned = conn
+            .try_clone()
+            .map_err(|_| ())
+            .and_then(|reader| {
+                spawn_reader(i, roster.epoch(i), reader, events_tx.clone(), "out").map_err(|_| ())
+            })
+            .is_ok();
+        if let Some(slot) = roster.writers.get_mut(i) {
+            *slot = Some(conn);
+        }
+        if !spawned {
+            if degrade.ejects() {
+                eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+            } else {
+                aborted = true;
             }
-            Err(_) => return,
         }
-        writers.push(conn);
     }
-    let Ok(mut backend_conn) = net.dial(&backend) else {
-        for w in &mut writers {
-            w.shutdown();
-        }
-        return;
+    if !aborted && below_survivor_floor(engine.active_count(), degrade) {
+        aborted = true;
+    }
+    let mut backend_conn = if aborted {
+        None
+    } else {
+        net.dial(&backend).ok()
     };
 
     let mut backend_buf = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
-    'session: loop {
-        // Collect one complete request from every instance.
+    'session: while let Some(backend_conn) = backend_conn.as_mut() {
+        // Collect one complete request from every live member.
         let t0 = Instant::now();
-        let mut closed = vec![false; writers.len()];
-        while !engine.exchange_ready() {
-            let remaining = deadline.saturating_sub(t0.elapsed());
-            if remaining.is_zero() {
+        let mut closed = vec![false; n];
+        let mut failed = vec![false; n];
+        let mut first_complete: Option<Instant> = None;
+        let mut saw_data = false;
+        loop {
+            if engine.exchange_ready() || engine.active_count() == 0 {
                 break;
             }
-            match events_rx.recv_timeout(remaining) {
-                Ok(InstanceEvent::Data(i, data)) => {
+            let mut wait = deadline.saturating_sub(t0.elapsed());
+            if wait.is_zero() {
+                break;
+            }
+            if let (Some(limit), Some(first)) = (instance_deadline, first_complete) {
+                let straggler = limit.saturating_sub(first.elapsed());
+                if straggler.is_zero() {
+                    // Straggler deadline: incomplete live members are faulted.
+                    for i in 0..n {
+                        if engine.is_active(i) && !engine.instance_complete(i) {
+                            fault_instance(
+                                i,
+                                degrade,
+                                &mut engine,
+                                &mut roster,
+                                &mut failed,
+                                &stats,
+                                degraded.as_deref(),
+                            );
+                        }
+                    }
+                    break;
+                }
+                wait = wait.min(straggler);
+            }
+            match events_rx.recv_timeout(wait) {
+                Ok(InstanceEvent::Data(i, epoch, data)) => {
+                    if !roster.current(i, epoch) {
+                        continue; // stale pre-ejection reader
+                    }
+                    saw_data = true;
                     if engine.push_response(i, &data).is_err() {
-                        engine.mark_failed(i);
+                        fault_instance(
+                            i,
+                            degrade,
+                            &mut engine,
+                            &mut roster,
+                            &mut failed,
+                            &stats,
+                            degraded.as_deref(),
+                        );
+                    } else if first_complete.is_none() && engine.instance_complete(i) {
+                        first_complete = Some(Instant::now());
                     }
                 }
-                Ok(InstanceEvent::Closed(i)) => {
-                    if let Some(c) = closed.get_mut(i) {
-                        *c = true;
+                Ok(InstanceEvent::Closed(i, epoch)) => {
+                    if !roster.current(i, epoch) {
+                        continue;
                     }
-                    if closed.iter().all(|&c| c) {
-                        break 'session; // all instances done: clean end
+                    if degrade.ejects() {
+                        // A member closing before any request data this
+                        // exchange is a clean departure, not a fault.
+                        if saw_data {
+                            eject_instance(
+                                i,
+                                &mut engine,
+                                &mut roster,
+                                &stats,
+                                degraded.as_deref(),
+                            );
+                        } else {
+                            remove_instance(i, &mut engine, &mut roster, degraded.as_deref());
+                        }
+                        if engine.active_count() == 0 {
+                            break 'session; // all members gone: session over
+                        }
+                    } else {
+                        if let Some(c) = closed.get_mut(i) {
+                            *c = true;
+                        }
+                        if closed.iter().all(|&c| c) {
+                            break 'session; // all instances done: clean end
+                        }
+                        fault_instance(
+                            i,
+                            degrade,
+                            &mut engine,
+                            &mut roster,
+                            &mut failed,
+                            &stats,
+                            degraded.as_deref(),
+                        );
                     }
-                    engine.mark_failed(i);
                 }
-                Err(_) => break, // deadline
+                Err(_) => continue, // timeout: re-checked at loop top
             }
         }
         if let Some(t) = &telemetry {
             t.merge_us.record_duration(t0.elapsed());
+        }
+        // Members still incomplete at the overall deadline are faulted too.
+        if degrade.ejects() && !engine.exchange_ready() {
+            for i in 0..n {
+                if engine.is_active(i) && !engine.instance_complete(i) {
+                    eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+                }
+            }
+        }
+        if engine.active_count() == 0 {
+            break 'session; // nothing left to merge for
+        }
+        // Survivor floor: merging needs at least two live members.
+        if below_survivor_floor(engine.active_count(), degrade) {
+            stats.severed.fetch_add(1, Ordering::Relaxed);
+            break 'session;
+        }
+        if engine.active_count() == 1 {
+            // Lone-survivor pass-through: its request is forwarded unmerged.
+            stats.pass_through.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = degraded.as_deref() {
+                t.pass_through.inc();
+            }
         }
 
         // Verify consistency of the merged request.
@@ -275,6 +398,11 @@ fn run_session(
         stats.exchanges.fetch_add(1, Ordering::Relaxed);
         if outcome.report.diverged() {
             stats.divergences.fetch_add(1, Ordering::Relaxed);
+        }
+        // Quorum voting: members outvoted by the winning group are
+        // quarantined for the rest of the session.
+        for &i in &outcome.quarantined {
+            quarantine_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
         }
         let merged = match (&outcome.decision, outcome.forward) {
             (PolicyDecision::Forward { .. }, Some(bytes)) => bytes,
@@ -290,8 +418,8 @@ fn run_session(
             break 'session;
         }
 
-        // Read one complete backend response and replicate it to all
-        // instances.
+        // Read one complete backend response and replicate it to the live
+        // members.
         let response = loop {
             match response_protocol.split_frames(&mut backend_buf, Direction::Response) {
                 Ok(frames) if !frames.is_empty() => {
@@ -303,7 +431,10 @@ fn run_session(
                         match backend_conn.read(&mut chunk) {
                             Ok(0) | Err(_) => break,
                             Ok(n) => {
-                                backend_buf.extend_from_slice(&chunk[..n]);
+                                let Some(read) = chunk.get(..n) else {
+                                    break;
+                                };
+                                backend_buf.extend_from_slice(read);
                                 if let Ok(more) = response_protocol
                                     .split_frames(&mut backend_buf, Direction::Response)
                                 {
@@ -324,7 +455,12 @@ fn run_session(
             }
             match backend_conn.read(&mut chunk) {
                 Ok(0) | Err(_) => break None,
-                Ok(n) => backend_buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    let Some(read) = chunk.get(..n) else {
+                        break None;
+                    };
+                    backend_buf.extend_from_slice(read);
+                }
             }
         };
         let Some(response) = response else {
@@ -333,14 +469,35 @@ fn run_session(
         if let Some(t) = &telemetry {
             t.backend_us.record_duration(backend_start.elapsed());
         }
-        for w in writers.iter_mut() {
+        let mut replicate_failed: Vec<usize> = Vec::new();
+        for (i, slot) in roster.writers.iter_mut().enumerate() {
+            let Some(w) = slot else {
+                continue;
+            };
             if w.write_all(&response).is_err() {
-                break 'session;
+                replicate_failed.push(i);
             }
         }
+        for i in replicate_failed {
+            if !degrade.ejects() {
+                break 'session;
+            }
+            eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+        }
+        if engine.active_count() == 0 {
+            break 'session;
+        }
     }
-    backend_conn.shutdown();
-    for w in &mut writers {
-        w.shutdown();
+    if let Some(mut conn) = backend_conn {
+        conn.shutdown();
+    }
+    roster.shutdown_all();
+    // The gauge tracks currently-ejected members; a session that ends while
+    // degraded returns its contribution.
+    if let Some(t) = degraded.as_deref() {
+        let depth = n.saturating_sub(engine.active_count());
+        if depth > 0 {
+            t.degraded_depth.add(-(depth as i64));
+        }
     }
 }

@@ -3,9 +3,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
-use rddr_core::Protocol;
+use rddr_core::{DegradePolicy, NVersionEngine, Protocol, SurvivorPolicy};
 use rddr_net::{BoxStream, NetError, Stream};
-use rddr_telemetry::{AuditLog, Registry};
+use rddr_telemetry::{AuditLog, Counter, Gauge, Registry};
 
 /// Builds a fresh protocol module per proxied connection.
 ///
@@ -132,6 +132,10 @@ pub struct ProxyStats {
     pub(crate) divergences: AtomicU64,
     pub(crate) severed: AtomicU64,
     pub(crate) throttled: AtomicU64,
+    pub(crate) ejected: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
+    pub(crate) rejoined: AtomicU64,
+    pub(crate) pass_through: AtomicU64,
 }
 
 /// A point-in-time copy of a proxy's counters.
@@ -147,6 +151,14 @@ pub struct StatsSnapshot {
     pub severed: u64,
     /// Requests refused by the divergence-signature throttle.
     pub throttled: u64,
+    /// Instances ejected from a session after a fault (degraded mode).
+    pub ejected: u64,
+    /// Instances quarantined after losing a quorum vote.
+    pub quarantined: u64,
+    /// Previously ejected instances readmitted into a session.
+    pub rejoined: u64,
+    /// Exchanges answered from a lone survivor without diffing.
+    pub pass_through: u64,
 }
 
 impl ProxyStats {
@@ -158,17 +170,190 @@ impl ProxyStats {
             divergences: self.divergences.load(Ordering::Relaxed),
             severed: self.severed.load(Ordering::Relaxed),
             throttled: self.throttled.load(Ordering::Relaxed),
+            ejected: self.ejected.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            rejoined: self.rejoined.load(Ordering::Relaxed),
+            pass_through: self.pass_through.load(Ordering::Relaxed),
         }
     }
 }
 
-/// An event from one instance-connection reader thread.
+/// The degraded-mode metric series a proxy maintains alongside its latency
+/// histograms, under `{stem}_*`.
+pub(crate) struct DegradedTelemetry {
+    /// Instances currently ejected across all live sessions (gauge).
+    pub(crate) degraded_depth: Arc<Gauge>,
+    /// Instance ejections after a fault (dial failure, reset, straggling).
+    pub(crate) ejects: Arc<Counter>,
+    /// Ejected instances readmitted after a successful warm-up probe.
+    pub(crate) rejoins: Arc<Counter>,
+    /// Instances quarantined after losing a quorum vote.
+    pub(crate) quarantines: Arc<Counter>,
+    /// Exchanges answered from a lone survivor without diffing.
+    pub(crate) pass_through: Arc<Counter>,
+}
+
+impl DegradedTelemetry {
+    /// Registers the series under `stem` (e.g. `myservice_in`).
+    pub(crate) fn new(registry: &Registry, stem: &str) -> Self {
+        DegradedTelemetry {
+            degraded_depth: registry.gauge(&format!("{stem}_degraded_depth")),
+            ejects: registry.counter(&format!("{stem}_ejects_total")),
+            rejoins: registry.counter(&format!("{stem}_rejoins_total")),
+            quarantines: registry.counter(&format!("{stem}_quarantines_total")),
+            pass_through: registry.counter(&format!("{stem}_pass_through_total")),
+        }
+    }
+}
+
+/// Per-session connection state for the N instance streams.
+///
+/// A `None` writer slot means the instance is currently ejected from the
+/// session. `epochs[i]` counts connection generations for instance `i`: it
+/// is bumped on every ejection so events still draining from the previous
+/// connection's reader thread can be discarded by epoch mismatch.
+pub(crate) struct Roster {
+    pub(crate) writers: Vec<Option<BoxStream>>,
+    pub(crate) epochs: Vec<u64>,
+}
+
+impl Roster {
+    /// An empty roster with `n` unfilled slots (epoch 0 each).
+    pub(crate) fn new(n: usize) -> Self {
+        Roster {
+            writers: (0..n).map(|_| None).collect(),
+            epochs: vec![0; n],
+        }
+    }
+
+    /// Whether an event stamped `epoch` comes from instance `i`'s *current*
+    /// connection generation.
+    pub(crate) fn current(&self, i: usize, epoch: u64) -> bool {
+        self.epochs.get(i).copied() == Some(epoch)
+    }
+
+    /// The epoch a freshly spawned reader for instance `i` should stamp.
+    pub(crate) fn epoch(&self, i: usize) -> u64 {
+        self.epochs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Closes every remaining connection (session teardown).
+    pub(crate) fn shutdown_all(&mut self) {
+        for w in self.writers.iter_mut().flatten() {
+            w.shutdown();
+        }
+    }
+}
+
+/// Removes instance `i` from the session: the engine stops waiting for it,
+/// its connection is shut down, and its epoch is bumped so stale reader
+/// events are discarded from now on. Returns `false` if it was already out.
+///
+/// Callers pick the counter (eject vs quarantine) via the wrappers below;
+/// this records only the shared degraded-depth transition.
+pub(crate) fn remove_instance(
+    i: usize,
+    engine: &mut NVersionEngine,
+    roster: &mut Roster,
+    degraded: Option<&DegradedTelemetry>,
+) -> bool {
+    if !engine.is_active(i) {
+        return false;
+    }
+    engine.eject(i);
+    if let Some(slot) = roster.writers.get_mut(i) {
+        if let Some(conn) = slot.as_mut() {
+            conn.shutdown();
+        }
+        *slot = None;
+    }
+    if let Some(e) = roster.epochs.get_mut(i) {
+        *e += 1;
+    }
+    if let Some(t) = degraded {
+        t.degraded_depth.add(1);
+    }
+    true
+}
+
+/// Ejects a *faulted* instance (failed dial, reset, straggling past its
+/// deadline) and counts the transition.
+pub(crate) fn eject_instance(
+    i: usize,
+    engine: &mut NVersionEngine,
+    roster: &mut Roster,
+    stats: &ProxyStats,
+    degraded: Option<&DegradedTelemetry>,
+) {
+    if remove_instance(i, engine, roster, degraded) {
+        stats.ejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = degraded {
+            t.ejects.inc();
+        }
+    }
+}
+
+/// Ejects an *outvoted* instance (quorum voting picked another group) and
+/// counts the quarantine.
+pub(crate) fn quarantine_instance(
+    i: usize,
+    engine: &mut NVersionEngine,
+    roster: &mut Roster,
+    stats: &ProxyStats,
+    degraded: Option<&DegradedTelemetry>,
+) {
+    if remove_instance(i, engine, roster, degraded) {
+        stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = degraded {
+            t.quarantines.inc();
+        }
+    }
+}
+
+/// Routes an instance fault through the degrade policy: eject it (degraded
+/// mode) or mark it failed so the diff treats the missing response as a
+/// divergence (the paper's sever-on-fault behaviour).
+pub(crate) fn fault_instance(
+    i: usize,
+    degrade: DegradePolicy,
+    engine: &mut NVersionEngine,
+    roster: &mut Roster,
+    failed: &mut [bool],
+    stats: &ProxyStats,
+    degraded: Option<&DegradedTelemetry>,
+) {
+    if degrade.ejects() {
+        eject_instance(i, engine, roster, stats, degraded);
+    } else {
+        if let Some(f) = failed.get_mut(i) {
+            *f = true;
+        }
+        engine.mark_failed(i);
+    }
+}
+
+/// Whether `active` live instances are too few to keep serving under
+/// `degrade`: zero always is; a lone survivor is unless the policy says
+/// pass-through. (Under [`DegradePolicy::Sever`] nothing is ever ejected,
+/// so the count never drops below N in the first place.)
+pub(crate) fn below_survivor_floor(active: usize, degrade: DegradePolicy) -> bool {
+    match active {
+        0 => true,
+        1 => degrade.survivor() != Some(SurvivorPolicy::PassThrough),
+        _ => false,
+    }
+}
+
+/// An event from one instance-connection reader thread. The epoch stamps
+/// which connection generation produced the event: after an instance is
+/// ejected and rejoined, its old reader thread may still drain a few stale
+/// events, which the session loop discards by epoch mismatch.
 #[derive(Debug)]
 pub(crate) enum InstanceEvent {
     /// Bytes arrived from the instance.
-    Data(usize, Vec<u8>),
+    Data(usize, u64, Vec<u8>),
     /// The instance closed its connection (or errored).
-    Closed(usize),
+    Closed(usize, u64),
 }
 
 /// Spawns a reader thread pumping `conn` into `events`.
@@ -181,6 +366,7 @@ pub(crate) enum InstanceEvent {
 /// exhaustion); the caller severs the session instead of panicking.
 pub(crate) fn spawn_reader(
     index: usize,
+    epoch: u64,
     mut conn: BoxStream,
     events: Sender<InstanceEvent>,
     label: &str,
@@ -193,14 +379,16 @@ pub(crate) fn spawn_reader(
             loop {
                 match conn.read(&mut buf) {
                     Ok(0) | Err(_) => {
-                        let _ = events.send(InstanceEvent::Closed(index));
+                        let _ = events.send(InstanceEvent::Closed(index, epoch));
                         return;
                     }
                     Ok(n) => {
-                        // Reads are clamped to the buffer length by the
-                        // Stream contract. rddr-analyze: allow(panic-path)
+                        let Some(chunk) = buf.get(..n) else {
+                            let _ = events.send(InstanceEvent::Closed(index, epoch));
+                            return;
+                        };
                         if events
-                            .send(InstanceEvent::Data(index, buf[..n].to_vec()))
+                            .send(InstanceEvent::Data(index, epoch, chunk.to_vec()))
                             .is_err()
                         {
                             return;
@@ -233,16 +421,16 @@ mod tests {
     fn reader_pumps_data_then_close() {
         let (mut tx_side, rx_side) = duplex_pair("writer", "reader");
         let (events_tx, events_rx) = unbounded();
-        spawn_reader(3, Box::new(rx_side), events_tx, "test").unwrap();
+        spawn_reader(3, 7, Box::new(rx_side), events_tx, "test").unwrap();
         tx_side.write_all(b"abc").unwrap();
         match events_rx.recv().unwrap() {
-            InstanceEvent::Data(3, data) => assert_eq!(data, b"abc"),
+            InstanceEvent::Data(3, 7, data) => assert_eq!(data, b"abc"),
             other => panic!("unexpected event: {other:?}"),
         }
         tx_side.shutdown();
         assert!(matches!(
             events_rx.recv().unwrap(),
-            InstanceEvent::Closed(3)
+            InstanceEvent::Closed(3, 7)
         ));
     }
 

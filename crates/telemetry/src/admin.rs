@@ -4,7 +4,10 @@
 //! in-memory [`rddr_net::SimNet`], real [`rddr_net::TcpNet`], or the toy
 //! secure channel — because it only touches the `Listener`/`Stream` traits:
 //!
-//! * `/healthz` — liveness probe, plain `ok`.
+//! * `/healthz` — liveness probe. Plain `ok` when no proxy is running
+//!   degraded; `degraded depth=N` (still `200 OK` — the process is alive)
+//!   when N instances across the registry's `*_degraded_depth` gauges are
+//!   currently ejected.
 //! * `/metrics` — the registry in Prometheus text exposition format.
 //! * `/divergences` — the audit log as JSON.
 //!
@@ -61,7 +64,7 @@ impl AdminServer {
                 let audit = audit.clone();
                 std::thread::spawn(move || handle_connection(conn, &registry, &audit));
             })
-            .expect("spawn admin accept thread");
+            .map_err(rddr_net::NetError::from)?;
         Ok(AdminServer {
             addr: bound,
             net,
@@ -96,7 +99,15 @@ fn handle_connection(mut conn: BoxStream, registry: &Registry, audit: &AuditLog)
         None => return,
     };
     let (status, content_type, body) = match path.as_str() {
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/healthz" => {
+            let depth = registry.sum_gauges("_degraded_depth");
+            let body = if depth > 0 {
+                format!("degraded depth={depth}\n")
+            } else {
+                "ok\n".to_string()
+            };
+            ("200 OK", "text/plain; charset=utf-8", body)
+        }
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
@@ -128,7 +139,10 @@ fn read_request_path(conn: &mut BoxStream) -> Option<String> {
         }
         match conn.read(&mut chunk) {
             Ok(0) | Err(_) => break,
-            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                let Some(read) = chunk.get(..n) else { break };
+                head.extend_from_slice(read);
+            }
         }
     }
     let head = String::from_utf8_lossy(&head);
@@ -185,6 +199,28 @@ mod tests {
         assert!(div.contains("\"divergences\":[]"), "{div}");
         let missing = get(net.as_ref(), server.addr(), "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_degraded_depth() {
+        let net: Arc<dyn Network> = Arc::new(SimNet::new());
+        let registry = Arc::new(Registry::new());
+        registry.gauge("pg_in_degraded_depth").set(2);
+        let server = AdminServer::serve(
+            net.clone(),
+            &ServiceAddr::new("admin", 9102),
+            registry.clone(),
+            Arc::new(AuditLog::new(1)),
+        )
+        .unwrap();
+        let health = get(net.as_ref(), server.addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.ends_with("degraded depth=2\n"), "{health}");
+        // Recovery: gauge back to zero flips the body back to plain ok.
+        registry.gauge("pg_in_degraded_depth").set(0);
+        let health = get(net.as_ref(), server.addr(), "/healthz");
+        assert!(health.ends_with("ok\n"), "{health}");
         server.shutdown();
     }
 

@@ -7,7 +7,8 @@
 //! memory without bound.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+
+use parking_lot::Mutex;
 
 use crate::span::SpanEvent;
 
@@ -53,17 +54,17 @@ impl AuditLog {
 
     /// Appends a record, evicting the oldest when full.
     pub fn record(&self, record: DivergenceRecord) {
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries = self.entries.lock();
         if entries.len() == self.capacity {
             entries.pop_front();
-            *self.dropped.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+            *self.dropped.lock() += 1;
         }
         entries.push_back(record);
     }
 
     /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.entries.lock().len()
     }
 
     /// Whether the log is empty.
@@ -73,17 +74,12 @@ impl AuditLog {
 
     /// How many records have been evicted to stay within capacity.
     pub fn dropped(&self) -> u64 {
-        *self.dropped.lock().unwrap_or_else(|e| e.into_inner())
+        *self.dropped.lock()
     }
 
     /// Copies the retained records, oldest first.
     pub fn recent(&self) -> Vec<DivergenceRecord> {
-        self.entries
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .cloned()
-            .collect()
+        self.entries.lock().iter().cloned().collect()
     }
 
     /// Renders the retained records as a JSON document:
@@ -128,6 +124,40 @@ impl AuditLog {
                     ))
                     .collect::<Vec<_>>()
                     .join(","),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the retained records as JSON, *excluding* replay-unstable
+    /// fields: the process-global `exchange_id` and the wall-clock span
+    /// `timeline` are omitted. Two runs that diverge identically — the same
+    /// fault schedule replayed, or the same schedule over a different
+    /// transport — therefore produce byte-identical output, which chaos
+    /// tests compare directly. [`AuditLog::to_json`] remains the full
+    /// operator surface.
+    pub fn stable_json(&self) -> String {
+        let records = self.recent();
+        let mut out = String::from("{\"divergences\":[");
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"service\":{},\"offending_instance\":{},\"signature\":{},\
+                 \"diff_positions\":[{}],\"detail\":{},\"structural\":{}}}",
+                json_string(&r.service),
+                r.offending_instance
+                    .map_or_else(|| "null".to_string(), |i| i.to_string()),
+                json_string(&r.signature),
+                r.diff_positions
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                json_string(&r.detail),
+                r.structural,
             ));
         }
         out.push_str("]}");
@@ -198,6 +228,29 @@ mod tests {
         assert!(json.contains("\\\"x\\\"\\n"), "escape failure: {json}");
         assert!(json.contains("\"diff_positions\":[0,3]"));
         assert!(json.contains("\"offset_us\":42"));
+    }
+
+    #[test]
+    fn stable_json_omits_replay_unstable_fields() {
+        let log_a = AuditLog::new(4);
+        let log_b = AuditLog::new(4);
+        // Different exchange ids and timelines, same divergence content.
+        let mut a = sample(7);
+        let mut b = sample(99);
+        b.timeline = vec![SpanEvent {
+            label: "diff".into(),
+            offset: Duration::from_micros(12345),
+        }];
+        a.timeline.push(SpanEvent {
+            label: "respond".into(),
+            offset: Duration::from_micros(50),
+        });
+        log_a.record(a);
+        log_b.record(b);
+        assert_eq!(log_a.stable_json(), log_b.stable_json());
+        assert!(!log_a.stable_json().contains("exchange_id"));
+        assert!(!log_a.stable_json().contains("offset_us"));
+        assert!(log_a.stable_json().contains("\"offending_instance\":1"));
     }
 
     #[test]

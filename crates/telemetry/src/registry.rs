@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::histogram::Histogram;
 
@@ -59,16 +61,6 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
-impl Metric {
-    fn kind(&self) -> &'static str {
-        match self {
-            Metric::Counter(_) => "counter",
-            Metric::Gauge(_) => "gauge",
-            Metric::Histogram(_) => "histogram",
-        }
-    }
-}
-
 const SHARDS: usize = 16;
 
 /// Named metrics, sharded by name hash to keep registration cheap even when
@@ -97,55 +89,72 @@ impl Registry {
             hash ^= b as u64;
             hash = hash.wrapping_mul(0x1000_0000_01b3);
         }
-        &self.shards[(hash % SHARDS as u64) as usize]
+        let [first, ..] = &self.shards;
+        self.shards
+            .get((hash % SHARDS as u64) as usize)
+            .unwrap_or(first)
     }
 
     /// Returns the counter named `name`, creating it on first use.
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is already registered as a different metric kind.
+    /// If `name` is already registered as a *different* metric kind, a fresh
+    /// detached counter is returned: the caller can use it normally but it
+    /// is not rendered at `/metrics`. A kind conflict is an observability
+    /// bug, not a reason to panic a proxy session thread mid-exchange.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        let mut shard = self.shard(name).lock();
         match shard
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
         {
             Metric::Counter(c) => c.clone(),
-            other => panic!("metric {name:?} already registered as {}", other.kind()),
+            _ => Arc::new(Counter::default()),
         }
     }
 
     /// Returns the gauge named `name`, creating it on first use.
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is already registered as a different metric kind.
+    /// Kind conflicts yield a detached gauge (see [`Registry::counter`]).
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        let mut shard = self.shard(name).lock();
         match shard
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
         {
             Metric::Gauge(g) => g.clone(),
-            other => panic!("metric {name:?} already registered as {}", other.kind()),
+            _ => Arc::new(Gauge::default()),
         }
     }
 
     /// Returns the histogram named `name`, creating it on first use.
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is already registered as a different metric kind.
+    /// Kind conflicts yield a detached histogram (see [`Registry::counter`]).
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        let mut shard = self.shard(name).lock();
         match shard
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
         {
             Metric::Histogram(h) => h.clone(),
-            other => panic!("metric {name:?} already registered as {}", other.kind()),
+            _ => Arc::new(Histogram::new()),
         }
+    }
+
+    /// Sums the current values of every gauge whose name ends with `suffix`
+    /// — e.g. `"_degraded_depth"` across all proxies sharing this registry,
+    /// the health probe's view of degraded-mode operation.
+    pub fn sum_gauges(&self, suffix: &str) -> i64 {
+        let mut total = 0i64;
+        for shard in &self.shards {
+            for (name, metric) in shard.lock().iter() {
+                if let Metric::Gauge(g) = metric {
+                    if name.ends_with(suffix) {
+                        total += g.get();
+                    }
+                }
+            }
+        }
+        total
     }
 
     /// Renders every metric in Prometheus text exposition format, sorted by
@@ -154,7 +163,7 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         let mut entries: Vec<(String, String)> = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let shard = shard.lock();
             for (name, metric) in shard.iter() {
                 let mut block = String::new();
                 match metric {
@@ -195,7 +204,7 @@ impl Registry {
     /// process-wide one.
     pub fn absorb(&self, other: &Registry) {
         for shard in &other.shards {
-            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let shard = shard.lock();
             for (name, metric) in shard.iter() {
                 match metric {
                     Metric::Counter(c) => self.counter(name).add(c.get()),
@@ -209,11 +218,7 @@ impl Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let count: usize = self
-            .shards
-            .iter()
-            .map(|s| s.lock().map(|m| m.len()).unwrap_or(0))
-            .sum();
+        let count: usize = self.shards.iter().map(|s| s.lock().len()).sum();
         f.debug_struct("Registry").field("metrics", &count).finish()
     }
 }
@@ -242,11 +247,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn kind_conflicts_panic() {
+    fn kind_conflicts_yield_detached_metrics() {
         let reg = Registry::new();
-        reg.counter("rddr_thing");
-        reg.gauge("rddr_thing");
+        reg.counter("rddr_thing").add(2);
+        // Misregistering the same name as a gauge must not panic: the caller
+        // gets a usable but detached gauge, and the original counter keeps
+        // its identity in the rendered output.
+        let detached = reg.gauge("rddr_thing");
+        detached.set(9);
+        assert_eq!(detached.get(), 9);
+        assert_eq!(reg.counter("rddr_thing").get(), 2);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE rddr_thing counter"));
+        assert!(!text.contains("# TYPE rddr_thing gauge"));
+    }
+
+    #[test]
+    fn sum_gauges_filters_by_suffix() {
+        let reg = Registry::new();
+        reg.gauge("svc_in_degraded_depth").set(2);
+        reg.gauge("svc_out_degraded_depth").set(1);
+        reg.gauge("svc_mem_bytes").set(400);
+        reg.counter("svc_degraded_depth_total").add(7); // wrong kind: ignored
+        assert_eq!(reg.sum_gauges("_degraded_depth"), 3);
+        assert_eq!(reg.sum_gauges("_nope"), 0);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! went (fan-out, per-instance reads, diff, respond).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -58,13 +59,10 @@ impl Span {
     /// Records an event at the current monotonic offset.
     pub fn event(&self, label: impl Into<String>) {
         let offset = self.start.elapsed();
-        self.events
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(SpanEvent {
-                label: label.into(),
-                offset,
-            });
+        self.events.lock().push(SpanEvent {
+            label: label.into(),
+            offset,
+        });
     }
 
     /// Time since the span started.
@@ -74,10 +72,7 @@ impl Span {
 
     /// A copy of the events recorded so far, in insertion order.
     pub fn timeline(&self) -> Vec<SpanEvent> {
-        self.events
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.events.lock().clone()
     }
 }
 

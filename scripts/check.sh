@@ -19,4 +19,10 @@ cargo test --workspace -q
 echo "==> rddr-analyze (determinism / panic-path / lock-order / shim-hygiene)"
 cargo run --release -p rddr-analyze -- --baseline analyze-baseline.toml
 
+echo "==> chaos suite under the three CI seeds"
+for seed in 1 271828 3141592653; do
+  echo "    seed $seed"
+  RDDR_CHAOS_SEED=$seed cargo test -q --test chaos
+done
+
 echo "OK"

@@ -1,0 +1,306 @@
+//! Chaos suite: seeded network fault injection against a degraded-mode
+//! N-version deployment.
+//!
+//! The acceptance scenario kills one of three instances mid-exchange with a
+//! [`FaultPlan`] byte-budget reset; the proxy must finish the exchange from
+//! the surviving quorum, count the ejection, readmit the replica via a
+//! rejoin probe, and — replayed under the same seed — produce a
+//! byte-identical replay-stable audit log. A second run of the same
+//! schedule over the encrypted transport must match the plain SimNet audit
+//! byte for byte.
+//!
+//! The seed is `RDDR_CHAOS_SEED` when set (CI runs the suite under three
+//! fixed seeds), with a fixed default for local runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rddr_repro::core::protocol::LineProtocol;
+use rddr_repro::core::{DegradePolicy, EngineConfig, ResponsePolicy};
+use rddr_repro::net::{
+    BoxStream, ChaosProfile, ConnSelector, FaultNet, FaultPlan, FaultStats, Network, PresharedKey,
+    SecureNet, ServiceAddr, SimNet, Stream,
+};
+use rddr_repro::proxy::{IncomingProxy, ProtocolFactory, ProxyTelemetry, StatsSnapshot};
+
+/// Default seed for local runs; CI overrides via `RDDR_CHAOS_SEED`.
+const DEFAULT_SEED: u64 = 0x0D5A_2022;
+
+fn chaos_seed() -> u64 {
+    std::env::var("RDDR_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn line() -> ProtocolFactory {
+    Arc::new(|| Box::new(LineProtocol::new()))
+}
+
+fn svc(port: u16) -> ServiceAddr {
+    ServiceAddr::new("svc", port)
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum LineRead {
+    Line(Vec<u8>),
+    Eof,
+    Reset(Vec<u8>),
+}
+
+fn read_line(conn: &mut BoxStream) -> LineRead {
+    let mut out = Vec::new();
+    let mut b = [0u8; 1];
+    loop {
+        match conn.read(&mut b) {
+            Ok(0) | Err(_) => {
+                return if out.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Reset(out)
+                }
+            }
+            Ok(_) if b[0] == b'\n' => return LineRead::Line(out),
+            Ok(_) => out.push(b[0]),
+        }
+    }
+}
+
+/// A line-echo server listening through `net` (so it speaks whatever
+/// transport the stack provides). When `divergent` is set it corrupts any
+/// line starting with `evil` — the version-diverse instance whose answer
+/// loses the quorum vote.
+fn spawn_echo(net: &Arc<dyn Network>, addr: ServiceAddr, divergent: bool) {
+    let mut listener = net.listen(&addr).unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 512];
+                loop {
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        let reply = if divergent && line.starts_with(b"evil") {
+                            b"evil EXPLOITED\n".to_vec()
+                        } else {
+                            line
+                        };
+                        if conn.write_all(&reply).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The acceptance scenario, generic over the transport stack carrying the
+/// fault plan. Three instances behind a MajorityVote + eject proxy; the
+/// plan's byte budget kills instance 1's first connection mid-exchange.
+///
+/// Exchange 1 (`alpha`): the reset fires while instance 1's reply streams
+/// back — the quorum of two survivors still answers. Exchange 2 (`evil`):
+/// instance 1 rejoins on its probe, the divergent instance 2 is outvoted
+/// and quarantined. Exchange 3 (`omega`): instance 2 rejoins and all three
+/// agree again.
+fn run_quorum_scenario(net: Arc<dyn Network>) -> (StatsSnapshot, String) {
+    spawn_echo(&net, svc(9000), false);
+    spawn_echo(&net, svc(9001), false);
+    spawn_echo(&net, svc(9002), true);
+    let telemetry = ProxyTelemetry::new("chaos");
+    let proxy = IncomingProxy::start_with_telemetry(
+        Arc::clone(&net),
+        &ServiceAddr::new("rddr", 80),
+        vec![svc(9000), svc(9001), svc(9002)],
+        EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            .degrade(DegradePolicy::eject())
+            .response_deadline(Duration::from_millis(500))
+            .instance_deadline(Duration::from_millis(200))
+            .build()
+            .unwrap(),
+        line(),
+        Some(telemetry.clone()),
+    )
+    .unwrap();
+
+    let mut client = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
+    client.write_all(b"alpha\n").unwrap();
+    assert_eq!(read_line(&mut client), LineRead::Line(b"alpha".to_vec()));
+    client.write_all(b"evil\n").unwrap();
+    assert_eq!(read_line(&mut client), LineRead::Line(b"evil".to_vec()));
+    client.write_all(b"omega\n").unwrap();
+    assert_eq!(read_line(&mut client), LineRead::Line(b"omega".to_vec()));
+    client.shutdown();
+
+    // Let the session thread retire so its counters settle.
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = proxy.stats();
+    (stats, telemetry.audit.stable_json())
+}
+
+/// The fault schedule of the acceptance scenario: instance 1's first
+/// connection resets after 8 payload bytes — the 6-byte `alpha\n` fan-out
+/// goes through, the echo reply crosses the budget mid-stream.
+fn plan_for(seed: u64) -> FaultPlan {
+    let plan = FaultPlan::new(seed);
+    plan.reset_after(&svc(9001), ConnSelector::Nth(0), 8);
+    plan
+}
+
+#[test]
+fn seeded_fault_kills_one_of_three_and_quorum_serves() {
+    let net: Arc<dyn Network> = Arc::new(FaultNet::new(SimNet::new(), plan_for(chaos_seed())));
+    let (stats, audit) = run_quorum_scenario(net);
+    assert!(
+        stats.ejected >= 1,
+        "mid-exchange reset must eject: {stats:?}"
+    );
+    assert!(stats.rejoined >= 1, "replica must rejoin: {stats:?}");
+    assert!(
+        stats.quarantined >= 1,
+        "outvoted instance must be quarantined: {stats:?}"
+    );
+    assert_eq!(stats.exchanges, 3, "{stats:?}");
+    assert_eq!(stats.severed, 0, "degraded mode must not sever: {stats:?}");
+    assert!(
+        audit.contains("\"offending_instance\":2"),
+        "quorum vote must implicate the divergent instance: {audit}"
+    );
+}
+
+#[test]
+fn same_seed_replay_produces_identical_audit_log() {
+    let seed = chaos_seed();
+    let first: Arc<dyn Network> = Arc::new(FaultNet::new(SimNet::new(), plan_for(seed)));
+    let second: Arc<dyn Network> = Arc::new(FaultNet::new(SimNet::new(), plan_for(seed)));
+    let (stats_a, audit_a) = run_quorum_scenario(first);
+    let (stats_b, audit_b) = run_quorum_scenario(second);
+    assert!(!audit_a.is_empty());
+    assert_eq!(audit_a, audit_b, "replay must be byte-identical");
+    assert_eq!(stats_a, stats_b, "replayed counters must match");
+}
+
+#[test]
+fn chaos_over_secure_transport_matches_simnet_audit() {
+    let seed = chaos_seed();
+    let plain: Arc<dyn Network> = Arc::new(FaultNet::new(SimNet::new(), plan_for(seed)));
+    // FaultNet wraps the *secured* streams, so byte budgets count plaintext
+    // on both stacks and the same schedule fires at the same points.
+    let key = PresharedKey::new("chaos-suite-key").unwrap();
+    let secure: Arc<dyn Network> = Arc::new(FaultNet::new(
+        SecureNet::new(SimNet::new(), key),
+        plan_for(seed),
+    ));
+    let (_, audit_plain) = run_quorum_scenario(plain);
+    let (_, audit_secure) = run_quorum_scenario(secure);
+    assert!(audit_plain.contains("\"offending_instance\":2"));
+    assert_eq!(
+        audit_plain, audit_secure,
+        "transport must not leak into the audit log"
+    );
+}
+
+#[test]
+fn chaos_profile_replays_identically() {
+    let seed = chaos_seed();
+    let run = |seed: u64| -> FaultStats {
+        let sim = SimNet::new();
+        let base: Arc<dyn Network> = Arc::new(sim.clone());
+        spawn_echo(&base, svc(9000), false);
+        let plan = FaultPlan::new(seed);
+        plan.chaos(
+            &svc(9000),
+            ChaosProfile {
+                refuse_per_mille: 300,
+                reset_per_mille: 300,
+                reset_window_bytes: 16,
+                stall_per_mille: 100,
+                stall: Duration::from_millis(1),
+            },
+        );
+        let net = FaultNet::new(sim, plan);
+        for _ in 0..32 {
+            if let Ok(mut conn) = net.dial(&svc(9000)) {
+                let _ = conn.write_all(b"ping\n");
+                let _ = read_line(&mut conn);
+                conn.shutdown();
+            }
+        }
+        net.plan().stats()
+    };
+    let a = run(seed);
+    assert_eq!(a, run(seed), "chaos draws must be a pure function of seed");
+    assert!(a.dials == 32, "{a:?}");
+}
+
+#[test]
+fn proxy_survives_sustained_chaos_without_wrong_answers() {
+    let plan = FaultPlan::new(chaos_seed() ^ 0x5EED);
+    let profile = ChaosProfile {
+        refuse_per_mille: 200,
+        reset_per_mille: 250,
+        reset_window_bytes: 48,
+        stall_per_mille: 100,
+        stall: Duration::from_millis(1),
+    };
+    plan.chaos(&svc(9000), profile);
+    plan.chaos(&svc(9001), profile);
+    plan.chaos(&svc(9002), profile);
+    let net: Arc<dyn Network> = Arc::new(FaultNet::new(SimNet::new(), plan));
+    spawn_echo(&net, svc(9000), false);
+    spawn_echo(&net, svc(9001), false);
+    spawn_echo(&net, svc(9002), false);
+    let proxy = IncomingProxy::start(
+        Arc::clone(&net),
+        &ServiceAddr::new("rddr", 80),
+        vec![svc(9000), svc(9001), svc(9002)],
+        EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            .degrade(DegradePolicy::eject())
+            .response_deadline(Duration::from_millis(400))
+            .instance_deadline(Duration::from_millis(100))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+
+    let mut answered = 0u32;
+    for session in 0..20u32 {
+        let Ok(mut client) = net.dial(&ServiceAddr::new("rddr", 80)) else {
+            continue;
+        };
+        for exchange in 0..3u32 {
+            let msg = format!("s{session}e{exchange}\n");
+            if client.write_all(msg.as_bytes()).is_err() {
+                break;
+            }
+            match read_line(&mut client) {
+                // Integrity invariant: whatever the fault mix does, the
+                // client never sees a corrupted or partial answer — the
+                // correct echo, or a clean close. Never `Reset`.
+                LineRead::Line(reply) => {
+                    assert_eq!(reply, msg.trim_end().as_bytes(), "wrong answer forwarded");
+                    answered += 1;
+                }
+                LineRead::Eof => break,
+                LineRead::Reset(partial) => {
+                    panic!("client saw a mid-line reset: {partial:?}")
+                }
+            }
+        }
+        client.shutdown();
+    }
+    assert!(
+        answered > 0,
+        "chaos mix too hot: no exchange ever completed"
+    );
+    let s = proxy.stats();
+    assert!(s.ejected > 0, "chaos mix never faulted an instance: {s:?}");
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rddr_repro::core::protocol::LineProtocol;
-use rddr_repro::core::EngineConfig;
+use rddr_repro::core::{DegradePolicy, EngineConfig, ResponsePolicy};
 use rddr_repro::httpsim::{HttpResponse, HttpService};
 use rddr_repro::net::{BoxStream, Network, ServiceAddr, SimNet, Stream};
 use rddr_repro::orchestra::{Cluster, Image};
@@ -15,13 +15,34 @@ fn line() -> ProtocolFactory {
     Arc::new(|| Box::new(LineProtocol::new()))
 }
 
-fn read_line(conn: &mut BoxStream) -> Option<Vec<u8>> {
+/// Outcome of reading one newline-terminated line from a proxied connection.
+///
+/// A clean `Eof` (the peer closed between lines) and a `Reset` (the
+/// connection died mid-line, losing the tail) are different failures: a
+/// severed exchange must look like the former, never the latter.
+#[derive(Debug, PartialEq, Eq)]
+enum LineRead {
+    /// A complete line, terminator stripped.
+    Line(Vec<u8>),
+    /// Clean close: no bytes buffered when the stream ended.
+    Eof,
+    /// The stream ended mid-line; the partial bytes read so far.
+    Reset(Vec<u8>),
+}
+
+fn read_line(conn: &mut BoxStream) -> LineRead {
     let mut out = Vec::new();
     let mut b = [0u8; 1];
     loop {
         match conn.read(&mut b) {
-            Ok(0) | Err(_) => return (!out.is_empty()).then_some(out),
-            Ok(_) if b[0] == b'\n' => return Some(out),
+            Ok(0) | Err(_) => {
+                return if out.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Reset(out)
+                }
+            }
+            Ok(_) if b[0] == b'\n' => return LineRead::Line(out),
             Ok(_) => out.push(b[0]),
         }
     }
@@ -103,16 +124,19 @@ fn instance_crash_mid_session_severs_cleanly() {
 
     let mut client = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
     client.write_all(b"first\n").unwrap();
-    assert_eq!(read_line(&mut client).unwrap(), b"first");
+    assert_eq!(read_line(&mut client), LineRead::Line(b"first".to_vec()));
 
     // Kill instance B, then issue another request: the proxy must sever
-    // rather than silently serving from the surviving instance.
+    // rather than silently serving from the surviving instance — and the
+    // sever must be a *clean* close, not a mid-line reset leaking a partial
+    // single-survivor response.
     b_alive.store(false, std::sync::atomic::Ordering::Relaxed);
     client.write_all(b"second\n").unwrap();
     let reply = read_line(&mut client);
-    assert!(
-        reply.is_none(),
-        "single-survivor output must not be forwarded: {reply:?}"
+    assert_eq!(
+        reply,
+        LineRead::Eof,
+        "single-survivor output must not be forwarded"
     );
 }
 
@@ -131,7 +155,11 @@ fn unreachable_instance_at_session_start_closes_client() {
     .unwrap();
     let mut client = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
     client.write_all(b"hello\n").unwrap();
-    assert!(read_line(&mut client).is_none(), "session must be refused");
+    assert_eq!(
+        read_line(&mut client),
+        LineRead::Eof,
+        "session must be refused"
+    );
 }
 
 #[test]
@@ -152,8 +180,8 @@ fn outgoing_proxy_with_dead_backend_severs_instances() {
     let mut b = net.dial(&ServiceAddr::new("rddr-out", 5432)).unwrap();
     a.write_all(b"query\n").unwrap();
     b.write_all(b"query\n").unwrap();
-    assert!(read_line(&mut a).is_none());
-    assert!(read_line(&mut b).is_none());
+    assert_eq!(read_line(&mut a), LineRead::Eof);
+    assert_eq!(read_line(&mut b), LineRead::Eof);
 }
 
 #[test]
@@ -231,8 +259,74 @@ fn throttled_attacker_cannot_grind_instances() {
     // First exploit in a session: replicated, detected, severed.
     let mut c = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
     c.write_all(b"evil\n").unwrap();
-    assert!(read_line(&mut c).is_none());
+    assert_eq!(read_line(&mut c), LineRead::Eof);
     std::thread::sleep(Duration::from_millis(50));
     let s = proxy.stats();
     assert!(s.divergences >= 1, "{s:?}");
+}
+
+#[test]
+fn read_line_distinguishes_reset_from_clean_eof() {
+    // A raw SimNet pair: the server writes a partial line then dies, which
+    // must surface as `Reset(partial)` — distinct from the clean `Eof` the
+    // proxy produces when it severs between lines.
+    let net = SimNet::new();
+    let mut listener = net.listen(&ServiceAddr::new("raw", 7000)).unwrap();
+    std::thread::spawn(move || {
+        if let Ok(mut conn) = listener.accept() {
+            let _ = conn.write_all(b"par");
+            conn.shutdown();
+        }
+    });
+    let mut client = net.dial(&ServiceAddr::new("raw", 7000)).unwrap();
+    assert_eq!(read_line(&mut client), LineRead::Reset(b"par".to_vec()));
+    // A second read on the dead connection is a clean EOF.
+    assert_eq!(read_line(&mut client), LineRead::Eof);
+}
+
+#[test]
+fn degraded_mode_ejects_crashed_instance_and_keeps_serving() {
+    let net = SimNet::new();
+    let _a = spawn_echo(&net, ServiceAddr::new("svc", 9000));
+    let b_alive = spawn_echo(&net, ServiceAddr::new("svc", 9001));
+    let _c = spawn_echo(&net, ServiceAddr::new("svc", 9002));
+    let proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr", 80),
+        vec![
+            ServiceAddr::new("svc", 9000),
+            ServiceAddr::new("svc", 9001),
+            ServiceAddr::new("svc", 9002),
+        ],
+        EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            .degrade(DegradePolicy::eject())
+            .response_deadline(Duration::from_millis(500))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+
+    let mut client = net.dial(&ServiceAddr::new("rddr", 80)).unwrap();
+    client.write_all(b"first\n").unwrap();
+    assert_eq!(read_line(&mut client), LineRead::Line(b"first".to_vec()));
+
+    // Kill instance B. Under DegradePolicy::eject the proxy drops it from
+    // the roster and keeps serving from the surviving pair instead of
+    // severing the whole session.
+    b_alive.store(false, std::sync::atomic::Ordering::Relaxed);
+    client.write_all(b"second\n").unwrap();
+    assert_eq!(read_line(&mut client), LineRead::Line(b"second".to_vec()));
+    client.write_all(b"third\n").unwrap();
+    assert_eq!(read_line(&mut client), LineRead::Line(b"third".to_vec()));
+    client.shutdown();
+
+    std::thread::sleep(Duration::from_millis(50));
+    let s = proxy.stats();
+    assert!(
+        s.ejected >= 1,
+        "crash must be counted as an ejection: {s:?}"
+    );
+    assert_eq!(s.severed, 0, "no session sever in degraded mode: {s:?}");
 }
