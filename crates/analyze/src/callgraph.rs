@@ -1,0 +1,814 @@
+//! A workspace-wide call graph built from the token streams.
+//!
+//! Nodes are module-path-qualified function names (`pgsim::exec::run_select`
+//! — the module path derives from the file's location under `src/` plus any
+//! nested `mod name { … }` blocks). Functions that share a module and a name
+//! (e.g. `new` on two types in one file) merge into one node; that
+//! over-approximation is deliberate — the taint and hot-path passes want
+//! reachability, and a merged node only ever *adds* paths.
+//!
+//! Edges come from three call shapes, resolved in decreasing precision:
+//!
+//! 1. **Qualified paths** (`exec::run_select(…)`, `crate::db::tag(…)`,
+//!    `rddr_pgsim::parser::parse_statement(…)`): matched against node ids by
+//!    path suffix, with `crate`/`self`/`super` and the `rddr_*` package
+//!    prefix normalized first.
+//! 2. **Plain names** (`run_select(…)`): same module first, then a unique
+//!    match in the same crate, then a unique match workspace-wide.
+//! 3. **Method calls** (`.session(…)`): linked only when the name is unique
+//!    across the workspace and not a ubiquitous std name (`len`, `clone`,
+//!    `read`, …) — receivers are untyped at the token level, so anything
+//!    more aggressive manufactures edges.
+//!
+//! Unresolved calls (std, shims, trait dispatch) simply produce no edge; the
+//! passes that consume the graph treat missing edges as "not reachable",
+//! which keeps them quiet rather than noisy. Known imprecision is documented
+//! in DESIGN.md.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Method names too generic to resolve by uniqueness: std trait methods and
+/// container vocabulary that would otherwise alias unrelated workspace
+/// functions onto one node.
+const UBIQUITOUS_METHODS: &[&str] = &[
+    "as_mut",
+    "as_ref",
+    "borrow",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "default",
+    "drain",
+    "drop",
+    "entry",
+    "eq",
+    "err",
+    "extend",
+    "flush",
+    "fmt",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "len",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "next",
+    "ok",
+    "parse",
+    "pop",
+    "push",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "retain",
+    "send",
+    "sort",
+    "split",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "unwrap",
+    "unwrap_or",
+    "write",
+];
+
+/// Keywords that can precede `(` without being a call.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "fn",
+    "impl", "where", "unsafe", "dyn",
+];
+
+/// One contiguous body of a function, as token indices into its file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Index into the slice of [`SourceFile`]s the graph was built from.
+    pub file: usize,
+    /// Token range of the body, `{` inclusive to `}` inclusive.
+    pub start: usize,
+    /// End of the body (exclusive token index).
+    pub end: usize,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One function node (possibly merged from same-module same-name functions).
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Module-qualified id, e.g. `pgsim::exec::run_select`.
+    pub id: String,
+    /// Crate the function lives in (`pgsim`, `proxy`, `shim:rand`, …).
+    pub crate_name: String,
+    /// Every body with this id.
+    pub spans: Vec<FnSpan>,
+}
+
+/// An unresolved call reference found in a body.
+#[derive(Debug, Clone)]
+struct CallRef {
+    /// Path segments (one for plain/method calls).
+    path: Vec<String>,
+    /// Whether it was `.name(` (method dispatch).
+    method: bool,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Nodes, indexable by the ids in [`CallGraph::by_id`].
+    pub nodes: Vec<FnNode>,
+    by_id: BTreeMap<String, usize>,
+    /// caller -> callees.
+    edges: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every file (the same slice the spans index).
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut graph = CallGraph::default();
+        // (node index, module path, file index, calls) per function occurrence.
+        let mut pending: Vec<(usize, String, usize, Vec<CallRef>)> = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            let module = module_path(file);
+            for f in functions(file) {
+                let id = if f.module.is_empty() {
+                    format!("{}::{}", module, f.name)
+                } else {
+                    format!("{}::{}::{}", module, f.module, f.name)
+                };
+                let node = graph.intern(&id, &file.crate_name);
+                graph.nodes[node].spans.push(FnSpan {
+                    file: file_idx,
+                    start: f.body_start,
+                    end: f.body_end,
+                    line: f.line,
+                });
+                let calls = call_refs(file, f.body_start, f.body_end);
+                let owner_module = match f.module.is_empty() {
+                    true => module.clone(),
+                    false => format!("{}::{}", module, f.module),
+                };
+                pending.push((node, owner_module, file_idx, calls));
+            }
+        }
+        // Name index for resolution.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, n) in graph.nodes.iter().enumerate() {
+            let tail = n.id.rsplit("::").next().unwrap_or(&n.id);
+            by_name.entry(tail).or_default().push(i);
+        }
+        let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for (node, owner_module, file_idx, calls) in &pending {
+            let crate_name = &graph.nodes[*node].crate_name;
+            for call in calls {
+                for target in
+                    graph.resolve(call, owner_module, crate_name, &by_name, &files[*file_idx])
+                {
+                    if target != *node {
+                        edges.entry(*node).or_default().insert(target);
+                    }
+                }
+            }
+        }
+        graph.edges = edges;
+        graph
+    }
+
+    fn intern(&mut self, id: &str, crate_name: &str) -> usize {
+        if let Some(&i) = self.by_id.get(id) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(FnNode {
+            id: id.to_string(),
+            crate_name: crate_name.to_string(),
+            spans: Vec::new(),
+        });
+        self.by_id.insert(id.to_string(), i);
+        i
+    }
+
+    /// Node index by exact id.
+    pub fn node(&self, id: &str) -> Option<usize> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Direct callees of a node.
+    pub fn callees(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.get(&node).into_iter().flatten().copied()
+    }
+
+    /// Every node whose id starts with one of `prefixes` (or equals it).
+    pub fn matching(&self, prefixes: &[&str]) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                prefixes
+                    .iter()
+                    .any(|p| n.id == *p || n.id.starts_with(&format!("{p}::")))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over callee edges from `roots`; returns, per reached node, the
+    /// BFS predecessor (roots map to themselves). The predecessor chain
+    /// renders the call path back to a root.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(r) {
+                e.insert(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for callee in self.callees(n) {
+                if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(callee) {
+                    e.insert(n);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Renders the predecessor chain from `node` up to its BFS root, e.g.
+    /// `core::diff::diff_segments -> pgsim::exec::run_select`.
+    pub fn chain(&self, pred: &BTreeMap<usize, usize>, node: usize) -> String {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(&p) = pred.get(&cur) {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+            if path.len() > 32 {
+                break; // defensive: predecessor maps are acyclic by construction
+            }
+        }
+        path.reverse();
+        let names: Vec<&str> = path.iter().map(|&i| self.nodes[i].id.as_str()).collect();
+        names.join(" -> ")
+    }
+
+    /// Resolves one call reference to zero or more node indices.
+    fn resolve(
+        &self,
+        call: &CallRef,
+        owner_module: &str,
+        crate_name: &str,
+        by_name: &BTreeMap<&str, Vec<usize>>,
+        file: &SourceFile,
+    ) -> Vec<usize> {
+        let tail = call.path.last().map(String::as_str).unwrap_or_default();
+        if call.method {
+            // `.name(…)`: untyped receiver — only a workspace-unique,
+            // non-ubiquitous name is trustworthy.
+            if UBIQUITOUS_METHODS.contains(&tail) {
+                return Vec::new();
+            }
+            return match by_name.get(tail).map(Vec::as_slice) {
+                Some([single]) => vec![*single],
+                _ => Vec::new(),
+            };
+        }
+        if call.path.len() == 1 {
+            // Plain call: a `use` may alias it to a full path (candidates
+            // are then looked up by the *aliased* name — `beta as b2`
+            // resolves `b2()` to `…::beta`).
+            if let Some(full) = use_lookup(file, tail) {
+                let segs: Vec<String> = full.split("::").map(str::to_string).collect();
+                if let Some(segs) = normalize_head(segs, owner_module, crate_name) {
+                    let full_tail = segs.last().map(String::as_str).unwrap_or_default();
+                    if let Some(cands) = by_name.get(full_tail) {
+                        let matches = self.suffix_matches(&segs.join("::"), cands);
+                        if !matches.is_empty() {
+                            return matches;
+                        }
+                    }
+                }
+            }
+            let Some(candidates) = by_name.get(tail) else {
+                return Vec::new();
+            };
+            // Same module, then unique-in-crate, then unique-global.
+            let in_module = format!("{owner_module}::{tail}");
+            if let Some(i) = self.node(&in_module) {
+                return vec![i];
+            }
+            let in_crate: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| self.nodes[i].crate_name == crate_name)
+                .collect();
+            if let [single] = in_crate.as_slice() {
+                return vec![*single];
+            }
+            return match candidates.as_slice() {
+                [single] => vec![*single],
+                _ => Vec::new(),
+            };
+        }
+        // Qualified path: normalize the head, then suffix-match node ids.
+        let Some(segs) = normalize_head(call.path.clone(), owner_module, crate_name) else {
+            return Vec::new();
+        };
+        match by_name.get(tail) {
+            Some(candidates) => self.suffix_matches(&segs.join("::"), candidates),
+            None => Vec::new(),
+        }
+    }
+
+    /// Candidates whose id equals `path` or ends with `::path`.
+    fn suffix_matches(&self, path: &str, candidates: &[usize]) -> Vec<usize> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let id = &self.nodes[i].id;
+                id == path || id.ends_with(&format!("::{path}"))
+            })
+            .collect()
+    }
+}
+
+/// Normalizes a path's head segment for matching against node ids:
+/// `crate`/`self`/`super` resolve against the caller's position, the
+/// `rddr_*` package prefix becomes the crate-directory name, and std
+/// facade paths (`std`/`core`/`alloc` — our core crate is referenced as
+/// `rddr_core`, so a literal `core::…` is std's) return `None`.
+fn normalize_head(
+    mut segs: Vec<String>,
+    owner_module: &str,
+    crate_name: &str,
+) -> Option<Vec<String>> {
+    match segs.first().map(String::as_str) {
+        Some("crate") => segs[0] = crate_name.to_string(),
+        Some("self") => {
+            segs.remove(0);
+            segs.insert(0, owner_module.to_string());
+        }
+        Some("super") => {
+            segs.remove(0);
+            let parent = owner_module.rsplit_once("::").map_or("", |(p, _)| p);
+            if !parent.is_empty() {
+                segs.insert(0, parent.to_string());
+            }
+        }
+        Some("std" | "core" | "alloc") => return None,
+        Some(s) if s.starts_with("rddr_") => {
+            segs[0] = s.trim_start_matches("rddr_").to_string();
+        }
+        _ => {}
+    }
+    Some(segs)
+}
+
+/// The module path of a file from its location: `crates/pgsim/src/exec.rs`
+/// → `pgsim::exec`; `lib.rs`/`main.rs`/`mod.rs` terminate the path.
+fn module_path(file: &SourceFile) -> String {
+    let mut segs: Vec<&str> = vec![&file.crate_name];
+    if let Some(rest) = file.path.split("/src/").nth(1) {
+        for part in rest.split('/') {
+            let part = part.strip_suffix(".rs").unwrap_or(part);
+            if !matches!(part, "lib" | "main" | "mod") && !part.is_empty() {
+                segs.push(part);
+            }
+        }
+    }
+    segs.join("::")
+}
+
+/// One function occurrence in a file.
+struct FnOccurrence {
+    name: String,
+    /// Extra module path from nested `mod x { … }` blocks ("" at top level).
+    module: String,
+    body_start: usize,
+    body_end: usize,
+    line: u32,
+}
+
+/// Extracts every `fn name … { body }` from a file, tracking nested
+/// `mod name { … }` blocks for qualification. Bodies of nested functions
+/// are spans of their own; the enclosing span simply also covers them
+/// (again: over-approximation is fine for reachability).
+fn functions(file: &SourceFile) -> Vec<FnOccurrence> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    // (mod name, close token index) stack.
+    let mut mods: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while let Some(&(_, close)) = mods.last() {
+            if i > close {
+                mods.pop();
+            } else {
+                break;
+            }
+        }
+        let t = &toks[i];
+        if t.is_ident("mod")
+            && toks.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident)
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('{'))
+        {
+            mods.push((toks[i + 1].text.clone(), file.close_of(i + 2)));
+            i += 3;
+            continue;
+        }
+        if t.is_ident("fn") && toks.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let line = t.line;
+            // Find the parameter list, then the body `{` (a `;` first means
+            // a trait method declaration — no body, no node).
+            if let Some(open_paren) =
+                (i + 2..toks.len().min(i + 64)).find(|&j| toks[j].is_punct('('))
+            {
+                let close_paren = match_forward(toks, open_paren, '(', ')');
+                let mut j = close_paren + 1;
+                let mut body = None;
+                while j < toks.len() {
+                    if toks[j].is_punct('{') {
+                        body = Some(j);
+                        break;
+                    }
+                    if toks[j].is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    let close = file.close_of(open);
+                    out.push(FnOccurrence {
+                        name,
+                        module: mods
+                            .iter()
+                            .map(|(m, _)| m.as_str())
+                            .collect::<Vec<_>>()
+                            .join("::"),
+                        body_start: open,
+                        body_end: (close + 1).min(toks.len()),
+                        line,
+                    });
+                    i += 2; // step inside: nested fns get their own spans
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token matching `open_c` at `open` (which must hold one).
+fn match_forward(toks: &[crate::lexer::Token], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(open_c) {
+            depth += 1;
+        } else if toks[i].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Collects call references inside a body span.
+fn call_refs(file: &SourceFile, start: usize, end: usize) -> Vec<CallRef> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        if prev.is_some_and(|p| p.is_ident("fn")) {
+            continue; // a definition, not a call
+        }
+        if prev.is_some_and(|p| p.is_punct('.')) {
+            out.push(CallRef {
+                path: vec![t.text.clone()],
+                method: true,
+            });
+            continue;
+        }
+        // Walk back through `seg::seg::` qualifiers.
+        let mut path = vec![t.text.clone()];
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokenKind::Ident
+        {
+            path.insert(0, toks[j - 3].text.clone());
+            j -= 3;
+        }
+        out.push(CallRef {
+            path,
+            method: false,
+        });
+    }
+    out
+}
+
+/// Parses the file's `use` statements into `alias -> full path` (the alias
+/// is the last segment, or the `as` name). Brace groups expand:
+/// `use crate::exec::{run_select, scan};` maps both names.
+fn use_map(file: &SourceFile) -> BTreeMap<String, String> {
+    let toks = &file.tokens;
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        // Tokens through `;`.
+        let stmt_end = (i + 1..toks.len())
+            .find(|&j| toks[j].is_punct(';'))
+            .unwrap_or(toks.len());
+        parse_use(&toks[i + 1..stmt_end], &mut map);
+        i = stmt_end + 1;
+    }
+    // Normalize rddr_* package names to crate-directory names.
+    map.into_iter()
+        .map(|(k, v)| {
+            let v = match v.split_once("::") {
+                Some((head, rest)) if head.starts_with("rddr_") => {
+                    format!("{}::{rest}", head.trim_start_matches("rddr_"))
+                }
+                _ => v,
+            };
+            (k, v)
+        })
+        .collect()
+}
+
+/// Recursive-descent over one use-tree's tokens.
+fn parse_use(toks: &[crate::lexer::Token], map: &mut BTreeMap<String, String>) {
+    // Split a leading `a::b::` prefix, then either a name, `{…}`, or `*`.
+    let mut prefix: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident && t.text != "as" {
+            // Lookahead: `name ::` extends the prefix; terminal otherwise.
+            if toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                prefix.push(t.text.clone());
+                i += 3;
+                continue;
+            }
+            let full = if prefix.is_empty() {
+                t.text.clone()
+            } else {
+                format!("{}::{}", prefix.join("::"), t.text)
+            };
+            // `as alias`?
+            let alias = if toks.get(i + 1).is_some_and(|n| n.is_ident("as")) {
+                toks.get(i + 2).map(|n| n.text.clone())
+            } else {
+                None
+            };
+            map.insert(alias.unwrap_or_else(|| t.text.clone()), full);
+            return;
+        }
+        if t.is_punct('{') {
+            // Expand each comma-separated subtree with the current prefix.
+            let mut depth = 0usize;
+            let mut item_start = i + 1;
+            for j in i..toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        expand_group(&prefix, &toks[item_start..j], map);
+                        return;
+                    }
+                } else if toks[j].is_punct(',') && depth == 1 {
+                    expand_group(&prefix, &toks[item_start..j], map);
+                    item_start = j + 1;
+                }
+            }
+            return;
+        }
+        return; // `*` globs and anything else: no mapping
+    }
+}
+
+fn expand_group(
+    prefix: &[String],
+    item: &[crate::lexer::Token],
+    map: &mut BTreeMap<String, String>,
+) {
+    if item.is_empty() {
+        return;
+    }
+    // Prepend the prefix tokens conceptually by recursing with it rebuilt.
+    let mut sub: BTreeMap<String, String> = BTreeMap::new();
+    parse_use(item, &mut sub);
+    for (alias, path) in sub {
+        let full = if prefix.is_empty() {
+            path
+        } else if path == "self" {
+            prefix.join("::")
+        } else {
+            format!("{}::{}", prefix.join("::"), path)
+        };
+        map.insert(alias, full);
+    }
+}
+
+/// Looks up a plain name in the file's use-map. Rebuilt per call — the
+/// passes only consult it for otherwise-unresolved plain calls, which are
+/// rare enough that caching isn't worth the plumbing.
+fn use_lookup(file: &SourceFile, name: &str) -> Option<String> {
+    use_map(file).get(name).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, crate_name, src.as_bytes())
+    }
+
+    #[test]
+    fn module_paths_derive_from_location() {
+        let f = file("crates/pgsim/src/exec.rs", "pgsim", "fn run() {}");
+        assert_eq!(module_path(&f), "pgsim::exec");
+        let lib = file("crates/net/src/lib.rs", "net", "fn x() {}");
+        assert_eq!(module_path(&lib), "net");
+        let nested = file("crates/vulns/src/scenarios/mod.rs", "vulns", "fn y() {}");
+        assert_eq!(module_path(&nested), "vulns::scenarios");
+    }
+
+    #[test]
+    fn functions_and_nested_mods_are_qualified() {
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn top() {}\nmod inner { fn deep() {} }\nfn after() {}",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        assert!(g.node("demo::top").is_some());
+        assert!(g.node("demo::inner::deep").is_some());
+        assert!(g.node("demo::after").is_some());
+    }
+
+    #[test]
+    fn plain_call_links_within_module() {
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn callee() {}\nfn caller() { callee(); }",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        let caller = g.node("demo::caller").unwrap();
+        let callee = g.node("demo::callee").unwrap();
+        assert!(g.callees(caller).any(|c| c == callee));
+    }
+
+    #[test]
+    fn qualified_and_crate_paths_link_across_files() {
+        let a = file(
+            "crates/demo/src/exec.rs",
+            "demo",
+            "pub fn run_select() { crate::db::tag(); }",
+        );
+        let b = file("crates/demo/src/db.rs", "demo", "pub fn tag() {}");
+        let g = CallGraph::build(&[a, b]);
+        let caller = g.node("demo::exec::run_select").unwrap();
+        let callee = g.node("demo::db::tag").unwrap();
+        assert!(g.callees(caller).any(|c| c == callee));
+    }
+
+    #[test]
+    fn use_import_links_cross_crate() {
+        let a = file(
+            "crates/core/src/diff.rs",
+            "core",
+            "use rddr_helper::leak;\npub fn diff_segments() { leak(); }",
+        );
+        let b = file("crates/helper/src/lib.rs", "helper", "pub fn leak() {}");
+        let g = CallGraph::build(&[a, b]);
+        let caller = g.node("core::diff::diff_segments").unwrap();
+        let callee = g.node("helper::leak").unwrap();
+        assert!(g.callees(caller).any(|c| c == callee));
+    }
+
+    #[test]
+    fn brace_group_imports_resolve() {
+        let a = file(
+            "crates/demo/src/a.rs",
+            "demo",
+            "use crate::util::{alpha, beta as b2};\nfn go() { alpha(); b2(); }",
+        );
+        let b = file(
+            "crates/demo/src/util.rs",
+            "demo",
+            "pub fn alpha() {}\npub fn beta() {}",
+        );
+        let g = CallGraph::build(&[a, b]);
+        let go = g.node("demo::a::go").unwrap();
+        let targets: Vec<usize> = g.callees(go).collect();
+        assert!(targets.contains(&g.node("demo::util::alpha").unwrap()));
+        assert!(targets.contains(&g.node("demo::util::beta").unwrap()));
+    }
+
+    #[test]
+    fn unique_method_call_links_but_ubiquitous_does_not() {
+        let a = file(
+            "crates/demo/src/a.rs",
+            "demo",
+            "fn go(x: &T) { x.very_unique_helper(); x.len(); }",
+        );
+        let b = file(
+            "crates/demo/src/b.rs",
+            "demo",
+            "impl T { pub fn very_unique_helper(&self) {} pub fn len(&self) -> usize { 0 } }",
+        );
+        let g = CallGraph::build(&[a, b]);
+        let go = g.node("demo::a::go").unwrap();
+        let targets: Vec<usize> = g.callees(go).collect();
+        assert!(targets.contains(&g.node("demo::b::very_unique_helper").unwrap()));
+        assert!(!targets.contains(&g.node("demo::b::len").unwrap()));
+    }
+
+    #[test]
+    fn ambiguous_method_name_is_skipped() {
+        let a = file(
+            "crates/demo/src/a.rs",
+            "demo",
+            "fn go(x: &T) { x.helper(); }",
+        );
+        let b = file("crates/demo/src/b.rs", "demo", "pub fn helper() {}");
+        let c = file("crates/demo/src/c.rs", "demo", "pub fn helper() {}");
+        let g = CallGraph::build(&[a, b, c]);
+        let go = g.node("demo::a::go").unwrap();
+        assert_eq!(g.callees(go).count(), 0);
+    }
+
+    #[test]
+    fn reachability_and_chain_render() {
+        let a = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn sink() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&a));
+        let sink = g.node("demo::sink").unwrap();
+        let pred = g.reachable(&[sink]);
+        let leaf = g.node("demo::leaf").unwrap();
+        assert!(pred.contains_key(&leaf));
+        assert!(!pred.contains_key(&g.node("demo::island").unwrap()));
+        assert_eq!(
+            g.chain(&pred, leaf),
+            "demo::sink -> demo::mid -> demo::leaf"
+        );
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body_node() {
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "trait T { fn decl(&self); }\nfn real() {}",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        assert!(g.node("demo::decl").is_none());
+        assert!(g.node("demo::real").is_some());
+    }
+}

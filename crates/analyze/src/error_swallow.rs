@@ -1,0 +1,191 @@
+//! Error-swallow pass: in the proxy and net crates, a discarded send error
+//! is a silent wedge. The reader pumps, event channels, and client writes
+//! are how degraded-mode state propagates; `let _ = tx.send(…)` or
+//! `conn.write_all(…).ok()` at the wrong site means an instance death or a
+//! half-written response is simply never observed. Flags `let _ = …` and
+//! statement-terminal `.ok();` applied to fallible transmits
+//! (`send`/`try_send`/`write_all`). Deliberate swallows (a close
+//! notification racing teardown, fault injection truncating on purpose)
+//! carry an `allow(error-swallow)` comment saying why.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::{Finding, Lint};
+
+/// Crates whose sends carry liveness/degradation signals.
+pub const TARGET_CRATES: &[&str] = &["proxy", "net"];
+
+/// Fallible transmit calls whose `Result` must be looked at.
+const TRANSMITS: &[&str] = &["send", "try_send", "write_all"];
+
+/// Runs the pass over one prepared file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    let mut push = |line: u32, message: String| {
+        if !file.allowed(Lint::ErrorSwallow, line) {
+            findings.push(Finding::new(Lint::ErrorSwallow, &file.path, line, message));
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        // `let _ = …;` where the statement contains a transmit call.
+        if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            if let Some((name, line)) = transmit_in_statement(toks, i + 3) {
+                push(
+                    line,
+                    format!(
+                        "`let _ =` discards the `{name}` result; handle the failure \
+                         (sever, break the pump, or record it) instead of swallowing"
+                    ),
+                );
+            }
+        }
+        // statement-terminal `….ok();` on a transmit chain.
+        if t.is_ident("ok")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(';'))
+        {
+            if let Some(name) = transmit_before(toks, i - 1) {
+                push(
+                    t.line,
+                    format!(
+                        "`.ok()` discards the `{name}` result; handle the failure \
+                         (sever, break the pump, or record it) instead of swallowing"
+                    ),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Scans forward from `from` to the statement's `;`, returning the first
+/// transmit call (`.send(` / `.try_send(` / `.write_all(`) found. Brace
+/// blocks (closures in arguments) are scanned too: a swallowed send is a
+/// swallowed send wherever it hides in the statement.
+fn transmit_in_statement(toks: &[crate::lexer::Token], from: usize) -> Option<(String, u32)> {
+    let mut i = from;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return None; // enclosing block closed: statement over
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return None;
+        } else if t.kind == TokenKind::Ident
+            && TRANSMITS.contains(&t.text.as_str())
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            return Some((t.text.clone(), t.line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks back from the `.` before `ok` through the method chain's tokens to
+/// the start of the statement, returning the transmit call name if one is
+/// chained.
+fn transmit_before(toks: &[crate::lexer::Token], dot: usize) -> Option<String> {
+    let mut i = dot;
+    while i > 0 {
+        let t = &toks[i - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.kind == TokenKind::Ident
+            && TRANSMITS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 2].is_punct('.')
+        {
+            return Some(t.text.clone());
+        }
+        i -= 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("demo.rs", "proxy", src.as_bytes()))
+    }
+
+    #[test]
+    fn let_underscore_send_is_flagged() {
+        let f = run("fn f() { let _ = events.send(Closed(i)); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("send"));
+    }
+
+    #[test]
+    fn let_underscore_write_all_is_flagged() {
+        let f = run("fn f() { let _ = client.write_all(PAGE.as_bytes()); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("write_all"));
+    }
+
+    #[test]
+    fn ok_terminated_send_is_flagged() {
+        let f = run("fn f() { tx.send(msg).ok(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn handled_sends_are_clean() {
+        let f = run(
+            "fn f() { if tx.send(msg).is_err() { return; } tx.send(m2)?; match tx.send(m3) { Ok(()) => {} Err(_) => {} } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unrelated_let_underscore_is_clean() {
+        let f = run("fn f() { let _ = addr; let _ = t.join(); s.set_nodelay(true).ok(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn swallow_does_not_leak_across_statements() {
+        // The `let _ =` statement ends before the send on the next line.
+        let f = run("fn f() { let _ = n; tx.send(msg)?; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ok_mid_chain_is_not_statement_terminal() {
+        // `.ok().map(...)` consumes the Option further; not a swallow site.
+        let f = run("fn f() { let x = tx.send(m).ok().map(|_| 1); let _ = x; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let f = run(
+            "fn f() {\n    // close races teardown; receiver gone is fine. rddr-analyze: allow(error-swallow)\n    let _ = events.send(Closed(i));\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_target_crate_is_driver_scoped() {
+        // The pass itself is crate-agnostic; the driver applies
+        // TARGET_CRATES. This just documents the list.
+        assert!(TARGET_CRATES.contains(&"proxy") && TARGET_CRATES.contains(&"net"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Blocking-in-hot-path pass: the proxy's per-exchange loops fan one client
+//! request out to N instances and race their responses under a deadline. A
+//! `thread::sleep` (or an unbounded drain like `read_to_end`) anywhere on
+//! that path stalls *every* instance's exchange at once — latency the
+//! engine then misattributes to stragglers. This pass walks the
+//! [`CallGraph`] from the per-exchange entry points and flags blocking
+//! calls in everything they can reach.
+//!
+//! Bounded waits (`recv_timeout`, `wait_timeout`, reads against a stream
+//! with a read deadline) are the sanctioned tools and are not flagged.
+
+use crate::callgraph::CallGraph;
+use crate::source::SourceFile;
+use crate::{Finding, Lint};
+
+/// Call-graph id prefixes of the per-exchange hot paths.
+pub const ENTRY_POINTS: &[&str] = &[
+    "proxy::incoming::run_session",
+    "proxy::outgoing::run_session",
+];
+
+/// Blocking calls with no deadline. `sleep` covers `std::thread::sleep` and
+/// the shims' re-exports; `read_to_end`/`read_to_string` drain until EOF
+/// (unbounded on a live socket); `park` blocks until an unpark that may
+/// never come.
+const BLOCKING_CALLS: &[&str] = &["sleep", "read_to_end", "read_to_string", "park"];
+
+/// Runs the pass: `files` must be the slice `graph` was built over.
+pub fn check(graph: &CallGraph, files: &[SourceFile]) -> Vec<Finding> {
+    let entries = graph.matching(ENTRY_POINTS);
+    let pred = graph.reachable(&entries);
+    let mut findings = Vec::new();
+    for &node in pred.keys() {
+        let n = &graph.nodes[node];
+        if n.crate_name.starts_with("shim:") {
+            continue;
+        }
+        for span in &n.spans {
+            let Some(file) = files.get(span.file) else {
+                continue;
+            };
+            let toks = &file.tokens;
+            for i in span.start..span.end.min(toks.len()) {
+                let t = &toks[i];
+                if !BLOCKING_CALLS.contains(&t.text.as_str())
+                    || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    continue;
+                }
+                if file.allowed(Lint::BlockingHotPath, t.line) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    Lint::BlockingHotPath,
+                    &file.path,
+                    t.line,
+                    format!(
+                        "`{}` blocks without a deadline in `{}`, reachable from the \
+                         per-exchange path {}; use a bounded wait",
+                        t.text,
+                        n.id,
+                        graph.chain(&pred, node)
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(path: &str, crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, crate_name, src.as_bytes())
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        let graph = CallGraph::build(&files);
+        check(&graph, &files)
+    }
+
+    #[test]
+    fn sleep_in_exchange_path_is_flagged() {
+        let findings = run(vec![parse(
+            "crates/proxy/src/incoming.rs",
+            "proxy",
+            "fn run_session() { std::thread::sleep(d); }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, Lint::BlockingHotPath);
+        assert!(findings[0].message.contains("sleep"), "{findings:?}");
+    }
+
+    #[test]
+    fn sleep_reached_through_a_helper_is_flagged_with_the_chain() {
+        let findings = run(vec![parse(
+            "crates/proxy/src/outgoing.rs",
+            "proxy",
+            "fn run_session() { backoff(); }\nfn backoff() { std::thread::sleep(d); }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0]
+                .message
+                .contains("proxy::outgoing::run_session -> proxy::outgoing::backoff"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sleep_off_the_exchange_path_is_clean() {
+        // `main`'s idle loop and test scaffolding never serve an exchange.
+        let findings = run(vec![parse(
+            "crates/proxy/src/bin/rddr.rs",
+            "proxy",
+            "fn main() { std::thread::sleep(d); }\nfn run_session() {}",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn bounded_waits_are_clean() {
+        let findings = run(vec![parse(
+            "crates/proxy/src/incoming.rs",
+            "proxy",
+            "fn run_session() { rx.recv_timeout(d); cv.wait_timeout(g, d); }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let findings = run(vec![parse(
+            "crates/proxy/src/incoming.rs",
+            "proxy",
+            "fn run_session() {\n    // paced probe. rddr-analyze: allow(blocking-hot-path)\n    std::thread::sleep(d);\n}",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -282,6 +282,20 @@ impl<'a> Lexer<'a> {
             hashes += 1;
         }
         if self.peek(ahead + hashes) != Some(b'"') {
+            // `r#ident` is a raw identifier: one Ident token. The text keeps
+            // the `r#` prefix so `r#fn` can't spoof the `fn` keyword to the
+            // fn-parser in `callgraph`.
+            if ahead == 1 && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                self.bump(); // r
+                self.bump(); // #
+                let rest = self.ident();
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: format!("r#{rest}"),
+                    line,
+                });
+                return true;
+            }
             return false; // plain identifier starting with r/br
         }
         for _ in 0..ahead + hashes + 1 {
@@ -415,6 +429,29 @@ mod tests {
             .expect("comment token");
         assert!(c.text.contains("allow(panic-path)"));
         assert_eq!(c.line, 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token_and_no_spurious_keyword() {
+        let toks = lex(b"let r#fn = 1; r#while();");
+        assert!(
+            toks.iter().any(|t| t.is_ident("r#fn")),
+            "raw ident kept whole: {toks:?}"
+        );
+        assert!(
+            !toks.iter().any(|t| t.is_ident("fn") || t.is_ident("while")),
+            "no spoofed keywords: {toks:?}"
+        );
+        assert!(!toks.iter().any(|t| t.is_punct('#')), "{toks:?}");
+    }
+
+    #[test]
+    fn raw_ident_lookalikes_still_lex_totally() {
+        // `r#1` and `r##x` are not raw identifiers; they fall back to
+        // ident + punct tokens rather than being swallowed.
+        let toks = lex(b"r#1 r##x");
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+        assert!(toks.iter().any(|t| t.is_punct('#')));
     }
 
     #[test]

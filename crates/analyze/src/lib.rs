@@ -6,17 +6,23 @@
 //! panic in a proxy hot path turns "sever the connection gracefully" into
 //! "crash the fan-out for all N instances". This crate lexes the
 //! workspace's Rust sources (a lightweight token scanner in the spirit of
-//! the shims — no syn, no registry access) and runs four lint passes:
+//! the shims — no syn, no registry access), builds a module-qualified
+//! [`callgraph`] over them, and runs six lint passes:
 //!
 //! * [`determinism`] — `HashMap`/`HashSet`, wall-clock, thread-identity,
 //!   and address-derived values in crates whose bytes reach the diff
-//!   engine.
+//!   engine, plus the interprocedural [`taint`] extension: the same
+//!   sources in *any* crate a diff-reaching sink can call into.
 //! * [`panic_path`] — `unwrap()`/`expect()`/panicking macros/slice
 //!   indexing in proxy, net, and telemetry hot paths.
 //! * [`lock_order`] — per-crate lock-acquisition graphs; cycles are
 //!   potential deadlocks.
 //! * [`shim_hygiene`] — `std::` concurrency/randomness where an in-tree
 //!   shim exists.
+//! * [`hot_path`] — `thread::sleep`/unbounded drains reachable from the
+//!   proxies' per-exchange paths.
+//! * [`error_swallow`] — `let _ =` / terminal `.ok()` on fallible
+//!   transmits in proxy and net.
 //!
 //! Findings diff against a committed [`baseline::Baseline`] ratchet: new
 //! violations fail, grandfathered ones are tolerated and can only shrink.
@@ -24,23 +30,28 @@
 //! same or preceding line.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod determinism;
+pub mod error_swallow;
+pub mod hot_path;
 pub mod lexer;
 pub mod lock_order;
 pub mod panic_path;
 pub mod report;
 pub mod shim_hygiene;
 pub mod source;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use source::SourceFile;
 
-/// The four lint passes.
+/// The six lint passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
-    /// Nondeterminism in diff-reachable crates.
+    /// Nondeterminism in diff-reachable crates (token pass + taint pass).
     Determinism,
     /// Panics in hot-path crates.
     PanicPath,
@@ -48,15 +59,21 @@ pub enum Lint {
     LockOrder,
     /// `std::` use where a shim exists.
     ShimHygiene,
+    /// Blocking calls reachable from the per-exchange proxy paths.
+    BlockingHotPath,
+    /// Discarded results of fallible transmits.
+    ErrorSwallow,
 }
 
 impl Lint {
     /// Every pass, in reporting order.
-    pub const ALL: [Lint; 4] = [
+    pub const ALL: [Lint; 6] = [
         Lint::Determinism,
         Lint::PanicPath,
         Lint::LockOrder,
         Lint::ShimHygiene,
+        Lint::BlockingHotPath,
+        Lint::ErrorSwallow,
     ];
 
     /// The stable key used in baselines, allow-directives, and JSON.
@@ -66,6 +83,8 @@ impl Lint {
             Lint::PanicPath => "panic-path",
             Lint::LockOrder => "lock-order",
             Lint::ShimHygiene => "shim-hygiene",
+            Lint::BlockingHotPath => "blocking-hot-path",
+            Lint::ErrorSwallow => "error-swallow",
         }
     }
 
@@ -80,6 +99,70 @@ impl std::fmt::Display for Lint {
         f.write_str(self.key())
     }
 }
+
+/// `--explain` text per pass (the graph-backed determinism extension has
+/// its own entry under `taint`). Each entry: what the pass enforces, and
+/// how to suppress a deliberate site.
+pub const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "determinism",
+        "Crates whose bytes reach the diff engine must not manufacture divergence.\n\
+         Flags HashMap/HashSet (iteration order), SystemTime (wall clock), ThreadId /\n\
+         thread::current() (thread identity), pointer-to-integer casts (ASLR), and\n\
+         RandomState in: core, protocols, pgsim, httpsim, libsim.\n\
+         Fix: BTreeMap/BTreeSet, the engine's logical clocks, stable ids.\n\
+         Suppress a deliberate site: // rddr-analyze: allow(determinism)",
+    ),
+    (
+        "taint",
+        "Interprocedural extension of `determinism` (reported under that key).\n\
+         Builds a module-qualified call graph of the workspace, walks it from the\n\
+         diff-reaching sinks (core::signature, core::diff, core::denoise, and both\n\
+         proxies' run_session), and flags nondeterminism sources in any reached\n\
+         function of any other crate, with the call chain that makes it diff-reaching.\n\
+         Suppress at the source site: // rddr-analyze: allow(determinism)",
+    ),
+    (
+        "panic-path",
+        "A panic in proxy plumbing kills the fan-out for all N instances. Flags\n\
+         .unwrap()/.expect(), panic!/unreachable!/todo!/unimplemented!, and slice\n\
+         indexing in: proxy, net, telemetry.\n\
+         Fix: propagate errors and sever the exchange; use .get().\n\
+         Suppress a deliberate site: // rddr-analyze: allow(panic-path)",
+    ),
+    (
+        "lock-order",
+        "Builds a per-crate lock-acquisition graph from .lock()/.read()/.write()\n\
+         sites; a cycle (including re-acquiring a held lock) is a potential deadlock.\n\
+         Fix: acquire locks in one global order; narrow guard scopes.\n\
+         Suppress a deliberate site: // rddr-analyze: allow(lock-order)",
+    ),
+    (
+        "shim-hygiene",
+        "The workspace vendors concurrency/randomness as in-tree shims so one\n\
+         implementation point can be swapped. Flags std::sync::mpsc (crossbeam shim),\n\
+         std::sync::{Mutex, RwLock, Condvar} (parking_lot shim), and RandomState.\n\
+         Suppress a deliberate site: // rddr-analyze: allow(shim-hygiene)",
+    ),
+    (
+        "blocking-hot-path",
+        "The per-exchange proxy paths race N instances under a deadline; an\n\
+         unbounded block stalls every exchange at once. Walks the call graph from\n\
+         proxy::{incoming,outgoing}::run_session and flags thread::sleep,\n\
+         read_to_end, read_to_string, and park in everything reachable.\n\
+         Fix: bounded waits (recv_timeout, wait_timeout, read deadlines).\n\
+         Suppress a deliberate site: // rddr-analyze: allow(blocking-hot-path)",
+    ),
+    (
+        "error-swallow",
+        "In proxy and net, a discarded send error is a silent wedge: instance\n\
+         deaths and half-written responses go unobserved. Flags `let _ =` and\n\
+         statement-terminal `.ok()` on .send()/.try_send()/.write_all().\n\
+         Fix: handle the failure — sever, break the pump, or record it.\n\
+         Suppress a deliberate site (e.g. a close racing teardown), with the\n\
+         reason in the comment: // rddr-analyze: allow(error-swallow)",
+    ),
+];
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -123,6 +206,9 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Wall-clock per stage, milliseconds, in execution order: `parse`,
+    /// one entry per pass, and `callgraph` for graph construction.
+    pub timings_ms: Vec<(String, f64)>,
 }
 
 impl Analysis {
@@ -133,30 +219,99 @@ impl Analysis {
 }
 
 /// Analyzes one in-memory source file, applying every pass that targets its
-/// crate (lock-order edges are cycle-checked within this file alone). The
-/// workspace driver [`analyze_workspace`] merges lock graphs per crate
-/// instead.
+/// crate. Graph passes (taint, blocking-hot-path) and lock-order cycles run
+/// against this file alone; the workspace driver [`analyze_workspace`]
+/// merges across files instead.
 pub fn analyze_source(path: &str, crate_name: &str, src: &[u8]) -> Vec<Finding> {
     let file = SourceFile::parse(path, crate_name, src);
-    let mut findings = run_file_passes(&file);
-    findings.extend(lock_order::cycles(crate_name, &lock_order::edges(&file)));
-    findings.sort();
-    findings
+    let files = vec![file];
+    let mut analysis = analyze_files(files);
+    analysis.findings.sort();
+    analysis.findings
 }
 
-/// The per-file passes (everything except cross-file lock-graph merging).
-fn run_file_passes(file: &SourceFile) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    if determinism::TARGET_CRATES.contains(&file.crate_name.as_str()) {
-        findings.extend(determinism::check(file));
-    }
-    if panic_path::TARGET_CRATES.contains(&file.crate_name.as_str()) {
-        findings.extend(panic_path::check(file));
-    }
-    if !file.crate_name.starts_with("shim:") {
-        findings.extend(shim_hygiene::check(file));
-    }
-    findings
+/// Runs every pass over already-parsed files, timing each stage.
+pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
+    let mut analysis = Analysis {
+        files_scanned: files.len(),
+        ..Analysis::default()
+    };
+    let timed =
+        |name: &str, timings: &mut Vec<(String, f64)>, f: &mut dyn FnMut() -> Vec<Finding>| {
+            let t0 = Instant::now();
+            let findings = f();
+            timings.push((name.to_string(), t0.elapsed().as_secs_f64() * 1e3));
+            findings
+        };
+    let mut timings = Vec::new();
+
+    let determinism_findings = timed("determinism", &mut timings, &mut || {
+        files
+            .iter()
+            .filter(|f| determinism::TARGET_CRATES.contains(&f.crate_name.as_str()))
+            .flat_map(determinism::check)
+            .collect()
+    });
+    analysis.findings.extend(determinism_findings);
+
+    let panic_findings = timed("panic-path", &mut timings, &mut || {
+        files
+            .iter()
+            .filter(|f| panic_path::TARGET_CRATES.contains(&f.crate_name.as_str()))
+            .flat_map(panic_path::check)
+            .collect()
+    });
+    analysis.findings.extend(panic_findings);
+
+    let lock_findings = timed("lock-order", &mut timings, &mut || {
+        let mut lock_edges: BTreeMap<&str, Vec<lock_order::LockEdge>> = BTreeMap::new();
+        for file in &files {
+            lock_edges
+                .entry(file.crate_name.as_str())
+                .or_default()
+                .extend(lock_order::edges(file));
+        }
+        lock_edges
+            .iter()
+            .flat_map(|(crate_name, edges)| lock_order::cycles(crate_name, edges))
+            .collect()
+    });
+    analysis.findings.extend(lock_findings);
+
+    let shim_findings = timed("shim-hygiene", &mut timings, &mut || {
+        files
+            .iter()
+            .filter(|f| !f.crate_name.starts_with("shim:"))
+            .flat_map(shim_hygiene::check)
+            .collect()
+    });
+    analysis.findings.extend(shim_findings);
+
+    let swallow_findings = timed("error-swallow", &mut timings, &mut || {
+        files
+            .iter()
+            .filter(|f| error_swallow::TARGET_CRATES.contains(&f.crate_name.as_str()))
+            .flat_map(error_swallow::check)
+            .collect()
+    });
+    analysis.findings.extend(swallow_findings);
+
+    let t0 = Instant::now();
+    let graph = callgraph::CallGraph::build(&files);
+    timings.push(("callgraph".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
+    let taint_findings = timed("taint", &mut timings, &mut || taint::check(&graph, &files));
+    analysis.findings.extend(taint_findings);
+
+    let blocking_findings = timed("blocking-hot-path", &mut timings, &mut || {
+        hot_path::check(&graph, &files)
+    });
+    analysis.findings.extend(blocking_findings);
+
+    analysis.findings.sort();
+    analysis.findings.dedup();
+    analysis.timings_ms = timings;
+    analysis
 }
 
 /// Walks a workspace rooted at `root` and runs every pass.
@@ -171,27 +326,20 @@ fn run_file_passes(file: &SourceFile) -> Vec<Finding> {
 ///
 /// Propagates filesystem errors from the walk.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
-    let mut analysis = Analysis::default();
-    let mut lock_edges: BTreeMap<String, Vec<lock_order::LockEdge>> = BTreeMap::new();
+    let t0 = Instant::now();
+    let mut files = Vec::new();
     for (rel, crate_name) in workspace_sources(root)? {
         let src = std::fs::read(root.join(&rel))?;
         let rel_str = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        let file = SourceFile::parse(rel_str, crate_name.clone(), &src);
-        analysis.files_scanned += 1;
-        analysis.findings.extend(run_file_passes(&file));
-        lock_edges
-            .entry(crate_name)
-            .or_default()
-            .extend(lock_order::edges(&file));
+        files.push(SourceFile::parse(rel_str, crate_name, &src));
     }
-    for (crate_name, edges) in &lock_edges {
-        analysis
-            .findings
-            .extend(lock_order::cycles(crate_name, edges));
-    }
-    analysis.findings.sort();
+    let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut analysis = analyze_files(files);
+    analysis
+        .timings_ms
+        .insert(0, ("parse".to_string(), parse_ms));
     Ok(analysis)
 }
 
@@ -272,6 +420,17 @@ mod tests {
     }
 
     #[test]
+    fn every_pass_and_taint_have_explanations() {
+        for lint in Lint::ALL {
+            assert!(
+                EXPLANATIONS.iter().any(|(k, _)| *k == lint.key()),
+                "missing --explain for {lint}"
+            );
+        }
+        assert!(EXPLANATIONS.iter().any(|(k, _)| *k == "taint"));
+    }
+
+    #[test]
     fn analyze_source_applies_crate_targeting() {
         let src = b"use std::collections::HashMap;\nfn f() { x.unwrap(); }";
         // `core` is a determinism target but not a panic-path target.
@@ -287,5 +446,43 @@ mod tests {
         let src = b"use std::sync::mpsc;";
         assert!(analyze_source("demo.rs", "shim:crossbeam", src).is_empty());
         assert!(!analyze_source("demo.rs", "orchestra", src).is_empty());
+    }
+
+    #[test]
+    fn analyze_files_times_every_stage() {
+        let analysis = analyze_files(vec![SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "demo",
+            b"fn f() {}",
+        )]);
+        let names: Vec<&str> = analysis
+            .timings_ms
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        for expected in [
+            "determinism",
+            "panic-path",
+            "lock-order",
+            "shim-hygiene",
+            "error-swallow",
+            "callgraph",
+            "taint",
+            "blocking-hot-path",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing stage {expected}: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_passes_run_through_analyze_source() {
+        // A single-file "workspace": sleep inside run_session is caught by
+        // the graph pass even via the per-file entry point.
+        let src = b"fn run_session() { std::thread::sleep(d); }";
+        let f = analyze_source("crates/proxy/src/incoming.rs", "proxy", src);
+        assert!(f.iter().any(|x| x.lint == Lint::BlockingHotPath), "{f:?}");
     }
 }

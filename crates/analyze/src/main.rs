@@ -1,31 +1,36 @@
 //! The `rddr-analyze` CLI.
 //!
 //! ```text
-//! rddr-analyze [--root DIR] [--baseline FILE] [--json FILE] [--write-baseline] [--list]
+//! rddr-analyze [--root DIR] [--baseline FILE] [--json FILE]
+//!              [--write-baseline] [--forbid-stale] [--list] [--explain PASS]
 //! ```
 //!
-//! Exit codes: 0 clean (no new violations), 1 new violations, 2 usage or
-//! I/O error.
+//! Exit codes: 0 clean (no new violations), 1 new violations or — with
+//! `--forbid-stale` — a stale baseline, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rddr_analyze::baseline::Baseline;
-use rddr_analyze::{analyze_workspace, find_workspace_root, report};
+use rddr_analyze::{analyze_workspace, find_workspace_root, report, EXPLANATIONS};
 
 const USAGE: &str = "usage: rddr-analyze [options]
   --root DIR        workspace root (default: walk up to [workspace] Cargo.toml)
   --baseline FILE   ratchet file (default: <root>/analyze-baseline.toml)
   --json FILE       also write the machine-readable report there
   --write-baseline  regenerate the baseline from the current findings
-  --list            print every finding (grandfathered ones included)";
+  --forbid-stale    fail if any baseline ceiling exceeds the current count
+  --list            print every finding (grandfathered ones included)
+  --explain PASS    print a pass's rule and suppression syntax (`all` for every pass)";
 
 struct Options {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     json: Option<PathBuf>,
     write_baseline: bool,
+    forbid_stale: bool,
     list: bool,
+    explain: Option<String>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -34,21 +39,21 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         baseline: None,
         json: None,
         write_baseline: false,
+        forbid_stale: false,
         list: false,
+        explain: None,
     };
     let mut args = args;
     while let Some(arg) = args.next() {
-        let mut path_value = |name: &str| {
-            args.next()
-                .map(PathBuf::from)
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
-            "--root" => opts.root = Some(path_value("--root")?),
-            "--baseline" => opts.baseline = Some(path_value("--baseline")?),
-            "--json" => opts.json = Some(path_value("--json")?),
+            "--root" => opts.root = Some(PathBuf::from(value("--root")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
             "--write-baseline" => opts.write_baseline = true,
+            "--forbid-stale" => opts.forbid_stale = true,
             "--list" => opts.list = true,
+            "--explain" => opts.explain = Some(value("--explain")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -56,8 +61,31 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Renders `--explain` output; `which` is a pass key or `all`.
+fn explain(which: &str) -> Result<String, String> {
+    if which == "all" {
+        let mut out = String::new();
+        for (key, text) in EXPLANATIONS {
+            out.push_str(&format!("{key}\n{}\n{text}\n\n", "-".repeat(key.len())));
+        }
+        return Ok(out.trim_end().to_string());
+    }
+    EXPLANATIONS
+        .iter()
+        .find(|(key, _)| *key == which)
+        .map(|(key, text)| format!("{key}\n{}\n{text}", "-".repeat(key.len())))
+        .ok_or_else(|| {
+            let known: Vec<&str> = EXPLANATIONS.iter().map(|(k, _)| *k).collect();
+            format!("unknown pass `{which}` (known: {})", known.join(", "))
+        })
+}
+
 fn run() -> Result<bool, String> {
     let opts = parse_args(std::env::args().skip(1))?;
+    if let Some(which) = &opts.explain {
+        println!("{}", explain(which)?);
+        return Ok(true);
+    }
     let root = match opts.root {
         Some(r) => r,
         None => {
@@ -98,6 +126,14 @@ fn run() -> Result<bool, String> {
     if let Some(json) = opts.json {
         let doc = report::json_document(&analysis, &baseline, &ratchet);
         std::fs::write(&json, doc).map_err(|e| format!("writing {}: {e}", json.display()))?;
+    }
+    if opts.forbid_stale && !ratchet.improvements.is_empty() {
+        println!(
+            "STALE: {} baseline ceiling(s) exceed the current count — \
+             regenerate with --write-baseline and commit the result",
+            ratchet.improvements.len()
+        );
+        return Ok(false);
     }
     Ok(ratchet.passed())
 }

@@ -33,10 +33,17 @@ pub fn json_document(analysis: &Analysis, baseline: &Baseline, ratchet: &Ratchet
     let mut out = String::from("{\"report\": \"rddr_analyze\", \"params\": {");
     let _ = write!(
         out,
-        "\"files_scanned\": {}, \"passed\": {}}}, \"rows\": [",
+        "\"files_scanned\": {}, \"passed\": {}, \"timings_ms\": {{",
         analysis.files_scanned,
         ratchet.passed()
     );
+    for (i, (stage, ms)) in analysis.timings_ms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {ms:.3}", json_escape(stage));
+    }
+    out.push_str("}}, \"rows\": [");
     for (i, lint) in Lint::ALL.into_iter().enumerate() {
         let current = analysis.of(lint).count();
         let new: usize = ratchet
@@ -150,6 +157,7 @@ mod tests {
         let analysis = Analysis {
             findings: findings.clone(),
             files_scanned: 2,
+            timings_ms: vec![("parse".into(), 0.5)],
         };
         let baseline = Baseline::from_findings(&findings[..1]);
         let ratchet = baseline.ratchet(&findings);
@@ -164,6 +172,7 @@ mod tests {
         assert!(doc.contains("\"passed\": false"));
         assert!(doc.contains("\\\"quoted\\\""), "escaped: {doc}");
         assert!(doc.contains("\"lint\": \"determinism\", \"violations\": 1"));
+        assert!(doc.contains("\"timings_ms\": {\"parse\": 0.500}"), "{doc}");
     }
 
     #[test]
@@ -180,6 +189,7 @@ mod tests {
         let analysis = Analysis {
             findings: findings.clone(),
             files_scanned: 1,
+            timings_ms: Vec::new(),
         };
         let baseline = Baseline::from_findings(&findings);
         let ratchet = baseline.ratchet(&findings);

@@ -1,0 +1,259 @@
+//! Interprocedural determinism taint: nondeterminism *sources* anywhere in
+//! the workspace are flagged when a diff-reaching *sink* can call into them.
+//!
+//! The per-file [`crate::determinism`] pass blankets the crates whose bytes
+//! feed the diff engine directly. This pass closes the gap it leaves: a
+//! helper in any *other* crate (net, telemetry, orchestra, …) that leaks
+//! `HashMap` order or wall-clock time into a value is invisible to the
+//! token lint — until a sink's call chain reaches it. Sinks are where bytes
+//! become diff input: signature/diff construction in `rddr-core` and the
+//! per-exchange response paths in `rddr-proxy`. The pass walks the
+//! [`CallGraph`] from every sink, and any reached function containing a
+//! source pattern is reported (under the `determinism` lint key, so the
+//! existing baseline schema and `allow(determinism)` suppressions apply),
+//! with the call chain that makes it diff-reaching.
+//!
+//! Crates already blanket-covered by the token pass are skipped here —
+//! every source in them is flagged regardless of reachability, and
+//! double-reporting would double the baseline counts. Shims are skipped
+//! too: they *implement* randomness and clocks on std by design.
+
+use crate::callgraph::CallGraph;
+use crate::source::SourceFile;
+use crate::{determinism, Finding, Lint};
+
+/// Call-graph id prefixes whose functions are diff-reaching sinks:
+/// signature/diff construction in core, response serialization (the
+/// per-exchange session loops) in both proxies.
+pub const SINKS: &[&str] = &[
+    "core::signature",
+    "core::diff",
+    "core::denoise",
+    "proxy::incoming::run_session",
+    "proxy::outgoing::run_session",
+];
+
+/// One nondeterminism source occurrence inside a function body.
+struct SourceSite {
+    line: u32,
+    what: &'static str,
+}
+
+/// Runs the pass: `files` must be the slice `graph` was built over.
+pub fn check(graph: &CallGraph, files: &[SourceFile]) -> Vec<Finding> {
+    let sinks = graph.matching(SINKS);
+    let pred = graph.reachable(&sinks);
+    let mut findings = Vec::new();
+    for &node in pred.keys() {
+        let n = &graph.nodes[node];
+        if n.crate_name.starts_with("shim:")
+            || determinism::TARGET_CRATES.contains(&n.crate_name.as_str())
+        {
+            continue;
+        }
+        for span in &n.spans {
+            let Some(file) = files.get(span.file) else {
+                continue;
+            };
+            for site in source_sites(file, span.start, span.end) {
+                if file.allowed(Lint::Determinism, site.line) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    Lint::Determinism,
+                    &file.path,
+                    site.line,
+                    format!(
+                        "{} in `{}`, which is diff-reaching via {}",
+                        site.what,
+                        n.id,
+                        graph.chain(&pred, node)
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Token patterns that make a function's behavior differ across the N
+/// instances: unstable iteration order, wall-clock, thread identity,
+/// address-derived integers, and seeded-from-process hashing.
+fn source_sites(file: &SourceFile, start: usize, end: usize) -> Vec<SourceSite> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        let what = match t.text.as_str() {
+            "HashMap" => Some("`HashMap` iteration order is nondeterministic"),
+            "HashSet" => Some("`HashSet` iteration order is nondeterministic"),
+            "SystemTime" => Some("`SystemTime` reads the wall clock"),
+            "ThreadId" => Some("`ThreadId` is a per-process value"),
+            "RandomState" => Some("`RandomState` seeds from process randomness"),
+            "current"
+                if i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("thread") =>
+            {
+                Some("`thread::current()` exposes thread identity")
+            }
+            "as" if toks.get(i + 1).is_some_and(|n| n.is_punct('*'))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_ident("const") || n.is_ident("mut")) =>
+            {
+                let horizon = (i + 3)..(i + 10).min(toks.len().saturating_sub(1));
+                let mut hit = None;
+                for j in horizon {
+                    if toks[j].is_ident("as")
+                        && toks
+                            .get(j + 1)
+                            .is_some_and(|n| matches!(n.text.as_str(), "usize" | "u64" | "u32"))
+                    {
+                        hit =
+                            Some("pointer-to-integer cast derives a value from an address (ASLR)");
+                        break;
+                    }
+                }
+                hit
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(SourceSite { line: t.line, what });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(path: &str, crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, crate_name, src.as_bytes())
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        let graph = CallGraph::build(&files);
+        check(&graph, &files)
+    }
+
+    #[test]
+    fn helper_reached_from_diff_sink_is_flagged() {
+        let findings = run(vec![
+            parse(
+                "crates/core/src/diff.rs",
+                "core",
+                "use rddr_helper::order_leak;\npub fn diff_segments() { order_leak(); }",
+            ),
+            parse(
+                "crates/helper/src/lib.rs",
+                "helper",
+                "pub fn order_leak() { let m: std::collections::HashMap<u8, u8> = Default::default(); let _ = m; }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, Lint::Determinism);
+        assert!(findings[0].file.contains("helper"), "{findings:?}");
+        assert!(
+            findings[0].message.contains("core::diff::diff_segments"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_helper_is_not_flagged() {
+        let findings = run(vec![
+            parse(
+                "crates/core/src/diff.rs",
+                "core",
+                "pub fn diff_segments() {}",
+            ),
+            parse(
+                "crates/helper/src/lib.rs",
+                "helper",
+                "pub fn order_leak() { let m: std::collections::HashMap<u8, u8> = Default::default(); let _ = m; }",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn transitive_chain_is_reported() {
+        let findings = run(vec![
+            parse(
+                "crates/proxy/src/incoming.rs",
+                "proxy",
+                "use rddr_helper::mid;\nfn run_session() { mid(); }",
+            ),
+            parse(
+                "crates/helper/src/lib.rs",
+                "helper",
+                "pub fn mid() { deep(); }\nfn deep() { let t = std::time::SystemTime::now(); let _ = t; }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("wall clock"), "{findings:?}");
+        assert!(
+            findings[0]
+                .message
+                .contains("proxy::incoming::run_session -> helper::mid -> helper::deep"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sources_in_token_pass_crates_are_left_to_that_pass() {
+        // pgsim is blanket-covered by the per-file determinism pass; the
+        // taint pass must not double-report it.
+        let findings = run(vec![
+            parse(
+                "crates/core/src/diff.rs",
+                "core",
+                "use rddr_pgsim::leaky;\npub fn diff_segments() { leaky(); }",
+            ),
+            parse(
+                "crates/pgsim/src/lib.rs",
+                "pgsim",
+                "pub fn leaky() { let m: std::collections::HashMap<u8, u8> = Default::default(); let _ = m; }",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_the_source_site() {
+        let findings = run(vec![
+            parse(
+                "crates/core/src/diff.rs",
+                "core",
+                "use rddr_helper::order_leak;\npub fn diff_segments() { order_leak(); }",
+            ),
+            parse(
+                "crates/helper/src/lib.rs",
+                "helper",
+                "pub fn order_leak() {\n    // rendered sorted below. rddr-analyze: allow(determinism)\n    let m: std::collections::HashMap<u8, u8> = Default::default();\n    let _ = m;\n}",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn shims_are_exempt() {
+        let findings = run(vec![
+            parse(
+                "crates/core/src/signature.rs",
+                "core",
+                "use rand::entropy;\npub fn signature() { entropy(); }",
+            ),
+            parse(
+                "shims/rand/src/lib.rs",
+                "shim:rand",
+                "pub fn entropy() { let s = std::collections::hash_map::RandomState::new(); let _ = s; }",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -35,6 +35,71 @@ proptest! {
         prop_assert!(toks.len() <= s.len().max(1));
         let _ = rddr_analyze::analyze_source("soup.rs", "net", s.as_bytes());
     }
+
+    /// A raw string is one Literal token whatever its contents, for any
+    /// hash depth the generator produces — lint keywords inside never leak
+    /// as identifiers, and the bytes after it still lex.
+    #[test]
+    fn raw_string_contents_never_leak(
+        hashes in 0usize..4,
+        body in "[a-zA-Z0-9_ .(){}\"#]{0,64}",
+    ) {
+        let fence = "#".repeat(hashes);
+        // The body may close the fence early; totality and no-panic still
+        // hold, so only assert identifier hygiene when it can't.
+        let closes_early = body.contains(&format!("\"{fence}"));
+        let src = format!("let s = r{fence}\"{body}\"{fence}; tail();");
+        let toks = lex(src.as_bytes());
+        if !closes_early {
+            prop_assert!(
+                !toks.iter().any(|t| t.is_ident("unwrap") || t.is_ident("HashMap")),
+                "{toks:?}"
+            );
+            prop_assert!(toks.iter().any(|t| t.is_ident("tail")), "{toks:?}");
+        }
+    }
+
+    /// Byte strings and byte chars: contents stay opaque, the suffix lexes.
+    #[test]
+    fn byte_string_contents_never_leak(body in "[a-zA-Z0-9_ .(){}]{0,64}") {
+        let src = format!("let s = b\"{body}\"; let c = b'x'; tail();");
+        let toks = lex(src.as_bytes());
+        prop_assert!(!toks.iter().any(|t| t.is_ident("unwrap")), "{toks:?}");
+        prop_assert!(toks.iter().any(|t| t.is_ident("tail")), "{toks:?}");
+    }
+
+    /// Arbitrarily nested block comments collapse to one BlockComment token
+    /// and the code after them still lexes.
+    #[test]
+    fn nested_block_comments_balance(depth in 1usize..8, filler in "[a-z ]{0,16}") {
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("/* ");
+            src.push_str(&filler);
+        }
+        for _ in 0..depth {
+            src.push_str(" */");
+        }
+        src.push_str(" tail();");
+        let toks = lex(src.as_bytes());
+        prop_assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::BlockComment).count(),
+            1
+        );
+        prop_assert!(toks.iter().any(|t| t.is_ident("tail")), "{toks:?}");
+    }
+
+    /// Raw identifiers lex as single tokens: no `#` punct escapes and no
+    /// keyword is spoofed, whatever keyword is behind the `r#`.
+    #[test]
+    fn raw_identifiers_never_spoof_keywords(kw_idx in 0usize..6) {
+        let kw = ["fn", "mod", "use", "let", "while", "match"][kw_idx];
+        let src = format!("r#{kw}(1);");
+        let toks = lex(src.as_bytes());
+        prop_assert!(!toks.iter().any(|t| t.is_punct('#')), "{toks:?}");
+        prop_assert!(!toks.iter().any(|t| t.is_ident(kw)), "{toks:?}");
+        prop_assert!(toks.iter().any(|t| t.is_ident(&format!("r#{kw}"))), "{toks:?}");
+    }
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! The interprocedural taint pass, end to end against a fixture workspace
+//! with a known source→sink chain: a diff-reaching sink in `core` calls
+//! through a middle crate into a helper whose `HashMap` leaks iteration
+//! order. The pass must flag the helper (with the chain), and an
+//! `allow(determinism)` suppression must silence exactly the finding it
+//! sits on — not its neighbors.
+
+use std::path::{Path, PathBuf};
+
+use rddr_analyze::{analyze_workspace, Finding, Lint};
+
+/// Builds a miniature multi-crate workspace in a temp dir.
+fn seed_fixture(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rddr-analyze-taint-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    for (rel, source) in files {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, source).expect("write source");
+    }
+    std::fs::write(dir.join("analyze-baseline.toml"), "").expect("write baseline");
+    dir
+}
+
+fn determinism_findings(dir: &Path) -> Vec<Finding> {
+    analyze_workspace(dir)
+        .expect("scan fixture")
+        .findings
+        .into_iter()
+        .filter(|f| f.lint == Lint::Determinism)
+        .collect()
+}
+
+#[test]
+fn known_chain_is_flagged_with_its_path() {
+    let dir = seed_fixture(
+        "chain",
+        &[
+            (
+                "crates/core/src/diff.rs",
+                "use rddr_metricsim::render_totals;\n\
+                 pub fn diff_segments() { render_totals(); }\n",
+            ),
+            (
+                "crates/metricsim/src/lib.rs",
+                "pub fn render_totals() { totals_table(); }\n\
+                 fn totals_table() {\n\
+                \x20    let m: std::collections::HashMap<u8, u8> = Default::default();\n\
+                \x20    let _ = m;\n\
+                 }\n",
+            ),
+        ],
+    );
+    let findings = determinism_findings(&dir);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.file, "crates/metricsim/src/lib.rs");
+    assert!(f.message.contains("HashMap"), "{f}");
+    assert!(
+        f.message.contains(
+            "core::diff::diff_segments -> metricsim::render_totals -> metricsim::totals_table"
+        ),
+        "chain named: {f}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn allow_suppresses_exactly_one_finding() {
+    // Two source sites on the same chain; the allow-comment covers only the
+    // first. The second must survive.
+    let dir = seed_fixture(
+        "allow",
+        &[
+            (
+                "crates/core/src/diff.rs",
+                "use rddr_metricsim::render_totals;\n\
+                 pub fn diff_segments() { render_totals(); }\n",
+            ),
+            (
+                "crates/metricsim/src/lib.rs",
+                "pub fn render_totals() {\n\
+                \x20    // ordered before render. rddr-analyze: allow(determinism)\n\
+                \x20    let a: std::collections::HashMap<u8, u8> = Default::default();\n\
+                \x20    let b: std::collections::HashMap<u8, u8> = Default::default();\n\
+                \x20    let _ = (a, b);\n\
+                 }\n",
+            ),
+        ],
+    );
+    let findings = determinism_findings(&dir);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the unsuppressed site: {findings:?}"
+    );
+    assert_eq!(findings[0].line, 4, "{findings:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unreached_crate_is_not_flagged() {
+    // Same helper, but nothing diff-reaching calls it: silent.
+    let dir = seed_fixture(
+        "island",
+        &[
+            ("crates/core/src/diff.rs", "pub fn diff_segments() {}\n"),
+            (
+                "crates/metricsim/src/lib.rs",
+                "pub fn render_totals() {\n\
+                \x20    let m: std::collections::HashMap<u8, u8> = Default::default();\n\
+                \x20    let _ = m;\n\
+                 }\n",
+            ),
+        ],
+    );
+    let findings = determinism_findings(&dir);
+    assert!(findings.is_empty(), "{findings:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn blocking_pass_rides_the_same_graph() {
+    // The hot-path pass shares the call graph: a sleep two hops below
+    // run_session is flagged, a sleep in an unreached helper is not.
+    let dir = seed_fixture(
+        "blocking",
+        &[
+            (
+                "crates/proxy/src/incoming.rs",
+                "use rddr_pacing::throttle;\n\
+                 pub fn run_session() { throttle(); }\n",
+            ),
+            (
+                "crates/pacing/src/lib.rs",
+                "pub fn throttle() { pause(); }\n\
+                 fn pause() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n\
+                 pub fn startup_only() { std::thread::sleep(std::time::Duration::from_secs(1)); }\n",
+            ),
+        ],
+    );
+    let analysis = analyze_workspace(&dir).expect("scan fixture");
+    let blocking: Vec<&Finding> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.lint == Lint::BlockingHotPath)
+        .collect();
+    assert_eq!(blocking.len(), 1, "{blocking:?}");
+    assert!(
+        blocking[0]
+            .message
+            .contains("proxy::incoming::run_session -> pacing::throttle -> pacing::pause"),
+        "{blocking:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

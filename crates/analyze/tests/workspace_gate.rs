@@ -116,6 +116,108 @@ fn cli_exit_codes_clean_vs_seeded() {
 }
 
 #[test]
+fn explain_prints_rule_and_suppression_for_every_pass() {
+    let bin = env!("CARGO_BIN_EXE_rddr-analyze");
+    for lint in Lint::ALL {
+        let out = Command::new(bin)
+            .args(["--explain", lint.key()])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "{lint}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("allow({})", lint.key())),
+            "{lint}: suppression syntax shown:\n{stdout}"
+        );
+    }
+    // `all` concatenates, including the taint extension's entry.
+    let out = Command::new(bin)
+        .args(["--explain", "all"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("call graph"), "{stdout}");
+    // Unknown pass: usage error.
+    let out = Command::new(bin)
+        .args(["--explain", "made-up"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn forbid_stale_rejects_loose_ceilings() {
+    let bin = env!("CARGO_BIN_EXE_rddr-analyze");
+    let dir = seed_workspace("stale", "net", "pub fn ok(x: u8) -> u8 { x }\n");
+    // A ceiling the clean crate no longer needs…
+    std::fs::write(
+        dir.join("analyze-baseline.toml"),
+        "[panic-path]\n\"crates/net/src/lib.rs\" = 3\n",
+    )
+    .expect("write stale baseline");
+    // …passes a plain run…
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // …but fails --forbid-stale, naming the remedy.
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(&dir)
+        .arg("--forbid-stale")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("STALE"), "{stdout}");
+    assert!(stdout.contains("--write-baseline"), "{stdout}");
+    // After regenerating, --forbid-stale is clean.
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(&dir)
+        .arg("--write-baseline")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(&dir)
+        .arg("--forbid-stale")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_report_carries_per_stage_timings() {
+    let bin = env!("CARGO_BIN_EXE_rddr-analyze");
+    let dir = seed_workspace("timings", "net", "pub fn ok(x: u8) -> u8 { x }\n");
+    let json_path = dir.join("report.json");
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(&dir)
+        .args(["--json"])
+        .arg(&json_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.contains("\"timings_ms\""), "{json}");
+    for stage in [
+        "\"parse\":",
+        "\"callgraph\":",
+        "\"taint\":",
+        "\"blocking-hot-path\":",
+    ] {
+        assert!(json.contains(stage), "stage {stage} timed: {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn write_baseline_then_rerun_is_clean() {
     let bin = env!("CARGO_BIN_EXE_rddr-analyze");
     let dir = seed_workspace("ratchet", "net", "pub fn hot(v: &[u8]) -> u8 { v[0] }\n");

@@ -8,7 +8,7 @@
 //! outgoing proxy, and relies on RDDR's CSRF ephemeral-state handling for
 //! the form tokens each instance mints.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -34,7 +34,7 @@ pub enum SecurityLevel {
 /// Per-instance session state: issued CSRF tokens.
 #[derive(Debug, Default)]
 struct DvwaState {
-    issued_tokens: HashSet<String>,
+    issued_tokens: BTreeSet<String>,
     rng: Option<StdRng>,
 }
 

@@ -1,6 +1,6 @@
 //! A tiny HTTP/1.1 server framework and client.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rddr_net::{BoxStream, NetError, Network, ServiceAddr, Stream};
@@ -14,7 +14,7 @@ pub struct HttpRequest {
     /// Path without the query string.
     pub path: String,
     /// Decoded query parameters.
-    pub query: HashMap<String, String>,
+    pub query: BTreeMap<String, String>,
     /// Headers, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Raw body.
@@ -36,7 +36,7 @@ impl HttpRequest {
     }
 
     /// Parses `application/x-www-form-urlencoded` bodies.
-    pub fn form(&self) -> HashMap<String, String> {
+    pub fn form(&self) -> BTreeMap<String, String> {
         parse_query(&String::from_utf8_lossy(&self.body))
     }
 
@@ -165,8 +165,8 @@ pub fn url_encode(input: &str) -> String {
 }
 
 /// Parses a query string / form body into a map.
-pub fn parse_query(query: &str) -> HashMap<String, String> {
-    let mut out = HashMap::new();
+pub fn parse_query(query: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
     for pair in query.split('&') {
         if pair.is_empty() {
             continue;
@@ -234,7 +234,7 @@ pub(crate) fn try_parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
     let body = buf[head_end..head_end + content_length].to_vec();
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), parse_query(q)),
-        None => (target, HashMap::new()),
+        None => (target, BTreeMap::new()),
     };
     Some((
         HttpRequest {

@@ -46,7 +46,7 @@ impl Default for GitlabAddrs {
 /// project CRUD over the Postgres backend.
 pub struct PumaService {
     db_addr: ServiceAddr,
-    tokens: Mutex<(Option<StdRng>, std::collections::HashSet<String>)>,
+    tokens: Mutex<(Option<StdRng>, std::collections::BTreeSet<String>)>,
     seed: u64,
 }
 

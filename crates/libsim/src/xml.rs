@@ -7,7 +7,7 @@
 //! Whether external entities are *resolved* is the caller's choice; that
 //! policy difference is exactly the diversity the paper exploits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::vfs::VirtualFs;
 
@@ -100,7 +100,7 @@ pub fn parse(input: &str, policy: EntityPolicy, fs: &VirtualFs) -> Result<XmlNod
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
-        entities: HashMap::new(),
+        entities: BTreeMap::new(),
         policy,
         fs,
     };
@@ -125,7 +125,7 @@ pub fn parse(input: &str, policy: EntityPolicy, fs: &VirtualFs) -> Result<XmlNod
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
-    entities: HashMap<String, String>,
+    entities: BTreeMap<String, String>,
     policy: EntityPolicy,
     fs: &'a VirtualFs,
 }

@@ -462,6 +462,9 @@ impl Stream for FaultStream {
         self.plan.truncated_writes.fetch_add(1, Ordering::SeqCst);
         if let Some(prefix) = buf.get(..allowed as usize) {
             if !prefix.is_empty() {
+                // Fault injection: the truncated prefix is delivered
+                // best-effort and the caller gets Reset regardless.
+                // rddr-analyze: allow(error-swallow)
                 let _ = self.inner.write_all(prefix);
             }
         }

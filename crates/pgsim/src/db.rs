@@ -1,6 +1,6 @@
 //! The database catalog and statement executor.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::ast::{ColumnDef, Expr, Select, Statement};
@@ -95,11 +95,11 @@ struct Table {
     owner: String,
     rls_enabled: bool,
     policies: Vec<Expr>,
-    select_grants: HashSet<String>,
-    /// Hash index on the first column (the conventional primary key),
+    select_grants: BTreeSet<String>,
+    /// Point-lookup index on the first column (the conventional primary key),
     /// built lazily for large tables and invalidated by UPDATE/DELETE.
     /// Models the index scan pgbench's `WHERE aid = ?` point queries hit.
-    pkey_index: Option<HashMap<String, Vec<usize>>>,
+    pkey_index: Option<BTreeMap<String, Vec<usize>>>,
 }
 
 /// A client session: the authenticated user plus session settings.
@@ -107,7 +107,7 @@ struct Table {
 pub struct Session {
     /// Authenticated user (upper-cased, like identifiers).
     pub user: String,
-    settings: HashMap<String, String>,
+    settings: BTreeMap<String, String>,
 }
 
 impl Session {
@@ -140,9 +140,9 @@ pub struct Database {
     version: PgVersion,
     flavor: DbFlavor,
     tables: BTreeMap<String, Table>,
-    functions: HashMap<String, PlFunction>,
-    operators: HashMap<String, Operator>,
-    users: HashSet<String>,
+    functions: BTreeMap<String, PlFunction>,
+    operators: BTreeMap<String, Operator>,
+    users: BTreeSet<String>,
     /// Total bytes of simulated row storage (for memory metering).
     storage_bytes: u64,
 }
@@ -168,14 +168,14 @@ impl Database {
 
     /// Creates a database with an explicit flavor.
     pub fn with_flavor(version: PgVersion, flavor: DbFlavor) -> Self {
-        let mut users = HashSet::new();
+        let mut users = BTreeSet::new();
         users.insert(SUPERUSER.to_string());
         Self {
             version,
             flavor,
             tables: BTreeMap::new(),
-            functions: HashMap::new(),
-            operators: HashMap::new(),
+            functions: BTreeMap::new(),
+            operators: BTreeMap::new(),
             users,
             storage_bytes: 0,
         }
@@ -207,7 +207,7 @@ impl Database {
         self.users.insert(user.clone());
         Session {
             user,
-            settings: HashMap::new(),
+            settings: BTreeMap::new(),
         }
     }
 
@@ -284,7 +284,7 @@ impl Database {
                         owner: session.user.clone(),
                         rls_enabled: false,
                         policies: Vec::new(),
-                        select_grants: HashSet::new(),
+                        select_grants: BTreeSet::new(),
                         pkey_index: None,
                     },
                 );
@@ -423,7 +423,7 @@ impl Database {
     fn ensure_pkey_index(&mut self, table: &str) {
         if let Some(t) = self.tables.get_mut(table) {
             if t.pkey_index.is_none() {
-                let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+                let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
                 for (ri, row) in t.rows.iter().enumerate() {
                     index.entry(row[0].group_key()).or_default().push(ri);
                 }

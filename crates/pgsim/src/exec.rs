@@ -1,7 +1,7 @@
 //! `SELECT` execution: join planning with predicate pushdown and hash
 //! lookups, grouping/aggregation, ordering, and subquery support.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ast::{ColumnRef, Expr, OrderKey, Select, SelectItem, TableRef};
 use crate::db::SqlError;
@@ -125,7 +125,7 @@ pub(crate) fn run_select(
     let mut output: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
     if grouped {
         let mut groups: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
         for row in rows {
             let env = Env {
                 schema: &schema,
@@ -184,7 +184,7 @@ pub(crate) fn run_select(
 
     // ---- DISTINCT ----------------------------------------------------------
     if select.distinct {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         output.retain(|(out, _)| {
             let key: String = out.iter().map(|v| v.group_key() + "\u{1f}").collect();
             seen.insert(key)
@@ -460,7 +460,7 @@ fn join_step(
         return Ok(filtered);
     }
 
-    // Hash-join opportunity: an equi-conjunct `source.col = bound_expr`.
+    // Equi-join opportunity: an equi-conjunct `source.col = bound_expr`.
     let mut hash_key: Option<(usize, Expr)> = None; // (source col index, bound-side expr)
     for &i in &newly {
         if let Expr::Binary { op, left, right } = &conjuncts[i] {
@@ -488,7 +488,7 @@ fn join_step(
 
     let mut out = Vec::new();
     if let Some((col_idx, bound_expr)) = hash_key {
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (ri, srow) in source.rows.iter().enumerate() {
             index.entry(srow[col_idx].group_key()).or_default().push(ri);
         }
@@ -689,7 +689,7 @@ fn compute_aggregate(
         }
     }
     if distinct {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         values.retain(|v| seen.insert(v.group_key()));
     }
     match name {

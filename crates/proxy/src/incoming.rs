@@ -544,6 +544,8 @@ fn attempt_rejoins(
 /// closes the client and all remaining instance connections.
 fn sever(client: &mut BoxStream, roster: &mut Roster, is_http: bool) {
     if is_http {
+        // Best-effort courtesy page on a connection being severed anyway; a
+        // failed write changes nothing. rddr-analyze: allow(error-swallow)
         let _ = client.write_all(INTERVENTION_PAGE.as_bytes());
     }
     client.shutdown();

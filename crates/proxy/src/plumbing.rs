@@ -379,11 +379,16 @@ pub(crate) fn spawn_reader(
             loop {
                 match conn.read(&mut buf) {
                     Ok(0) | Err(_) => {
+                        // Send failure means the session already tore down the
+                        // receiver; the pump exits either way.
+                        // rddr-analyze: allow(error-swallow)
                         let _ = events.send(InstanceEvent::Closed(index, epoch));
                         return;
                     }
                     Ok(n) => {
                         let Some(chunk) = buf.get(..n) else {
+                            // Same race: a dropped receiver is a finished
+                            // session. rddr-analyze: allow(error-swallow)
                             let _ = events.send(InstanceEvent::Closed(index, epoch));
                             return;
                         };

@@ -16,8 +16,9 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> rddr-analyze (determinism / panic-path / lock-order / shim-hygiene)"
-cargo run --release -p rddr-analyze -- --baseline analyze-baseline.toml
+echo "==> rddr-analyze (all six passes, stale-baseline check, timing report)"
+cargo run --release -p rddr-analyze -- \
+  --baseline analyze-baseline.toml --forbid-stale --json BENCH_analyze.json
 
 echo "==> chaos suite under the three CI seeds"
 for seed in 1 271828 3141592653; do
