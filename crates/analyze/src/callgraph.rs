@@ -173,13 +173,17 @@ impl CallGraph {
             let tail = n.id.rsplit("::").next().unwrap_or(&n.id);
             by_name.entry(tail).or_default().push(i);
         }
+        // One use-map per file, built once: `resolve` consults it for every
+        // plain call, and rebuilding it per call made graph construction
+        // quadratic in the file's token count.
+        let use_maps: Vec<BTreeMap<String, String>> = files.iter().map(use_map).collect();
+        let no_uses = BTreeMap::new();
         let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
         for (node, owner_module, file_idx, calls) in &pending {
             let crate_name = &graph.nodes[*node].crate_name;
+            let uses = use_maps.get(*file_idx).unwrap_or(&no_uses);
             for call in calls {
-                for target in
-                    graph.resolve(call, owner_module, crate_name, &by_name, &files[*file_idx])
-                {
+                for target in graph.resolve(call, owner_module, crate_name, &by_name, uses) {
                     if target != *node {
                         edges.entry(*node).or_default().insert(target);
                     }
@@ -278,7 +282,7 @@ impl CallGraph {
         owner_module: &str,
         crate_name: &str,
         by_name: &BTreeMap<&str, Vec<usize>>,
-        file: &SourceFile,
+        uses: &BTreeMap<String, String>,
     ) -> Vec<usize> {
         let tail = call.path.last().map(String::as_str).unwrap_or_default();
         if call.method {
@@ -296,7 +300,7 @@ impl CallGraph {
             // Plain call: a `use` may alias it to a full path (candidates
             // are then looked up by the *aliased* name — `beta as b2`
             // resolves `b2()` to `…::beta`).
-            if let Some(full) = use_lookup(file, tail) {
+            if let Some(full) = uses.get(tail) {
                 let segs: Vec<String> = full.split("::").map(str::to_string).collect();
                 if let Some(segs) = normalize_head(segs, owner_module, crate_name) {
                     let full_tail = segs.last().map(String::as_str).unwrap_or_default();
@@ -648,13 +652,6 @@ fn expand_group(
         };
         map.insert(alias, full);
     }
-}
-
-/// Looks up a plain name in the file's use-map. Rebuilt per call — the
-/// passes only consult it for otherwise-unresolved plain calls, which are
-/// rare enough that caching isn't worth the plumbing.
-fn use_lookup(file: &SourceFile, name: &str) -> Option<String> {
-    use_map(file).get(name).cloned()
 }
 
 #[cfg(test)]

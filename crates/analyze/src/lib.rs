@@ -231,86 +231,126 @@ pub fn analyze_source(path: &str, crate_name: &str, src: &[u8]) -> Vec<Finding> 
 }
 
 /// Runs every pass over already-parsed files, timing each stage.
+///
+/// The five token passes are independent of one another *and* of
+/// call-graph construction, so stage one runs all six concurrently over the
+/// shared parsed sources; stage two runs the two graph walks (taint,
+/// blocking-hot-path) concurrently once the graph exists. Findings and
+/// `timings_ms` keep the fixed sequential reporting order regardless of
+/// which thread finishes first, so output stays byte-stable.
 pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
+    fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+        let t0 = Instant::now();
+        let out = f();
+        (out, t0.elapsed().as_secs_f64() * 1e3)
+    }
+
     let mut analysis = Analysis {
         files_scanned: files.len(),
         ..Analysis::default()
     };
-    let timed =
-        |name: &str, timings: &mut Vec<(String, f64)>, f: &mut dyn FnMut() -> Vec<Finding>| {
-            let t0 = Instant::now();
-            let findings = f();
-            timings.push((name.to_string(), t0.elapsed().as_secs_f64() * 1e3));
-            findings
-        };
-    let mut timings = Vec::new();
+    let files_ref = &files;
 
-    let determinism_findings = timed("determinism", &mut timings, &mut || {
-        files
-            .iter()
-            .filter(|f| determinism::TARGET_CRATES.contains(&f.crate_name.as_str()))
-            .flat_map(determinism::check)
-            .collect()
+    // Stage one: token passes ∥ call-graph construction.
+    let (determinism_r, panic_r, lock_r, shim_r, swallow_r, graph_r) = std::thread::scope(|s| {
+        let determinism_h = s.spawn(|| {
+            timed(|| {
+                files_ref
+                    .iter()
+                    .filter(|f| determinism::TARGET_CRATES.contains(&f.crate_name.as_str()))
+                    .flat_map(determinism::check)
+                    .collect::<Vec<Finding>>()
+            })
+        });
+        let panic_h = s.spawn(|| {
+            timed(|| {
+                files_ref
+                    .iter()
+                    .filter(|f| panic_path::TARGET_CRATES.contains(&f.crate_name.as_str()))
+                    .flat_map(panic_path::check)
+                    .collect::<Vec<Finding>>()
+            })
+        });
+        let lock_h = s.spawn(|| {
+            timed(|| {
+                let mut lock_edges: BTreeMap<&str, Vec<lock_order::LockEdge>> = BTreeMap::new();
+                for file in files_ref {
+                    lock_edges
+                        .entry(file.crate_name.as_str())
+                        .or_default()
+                        .extend(lock_order::edges(file));
+                }
+                lock_edges
+                    .iter()
+                    .flat_map(|(crate_name, edges)| lock_order::cycles(crate_name, edges))
+                    .collect::<Vec<Finding>>()
+            })
+        });
+        let shim_h = s.spawn(|| {
+            timed(|| {
+                files_ref
+                    .iter()
+                    .filter(|f| !f.crate_name.starts_with("shim:"))
+                    .flat_map(shim_hygiene::check)
+                    .collect::<Vec<Finding>>()
+            })
+        });
+        let swallow_h = s.spawn(|| {
+            timed(|| {
+                files_ref
+                    .iter()
+                    .filter(|f| error_swallow::TARGET_CRATES.contains(&f.crate_name.as_str()))
+                    .flat_map(error_swallow::check)
+                    .collect::<Vec<Finding>>()
+            })
+        });
+        let graph_h = s.spawn(|| timed(|| callgraph::CallGraph::build(files_ref)));
+        (
+            determinism_h.join(),
+            panic_h.join(),
+            lock_h.join(),
+            shim_h.join(),
+            swallow_h.join(),
+            graph_h.join(),
+        )
     });
+    // A panicked pass is a bug in the analyzer itself; surface it.
+    let (determinism_findings, determinism_ms) = determinism_r.unwrap();
+    let (panic_findings, panic_ms) = panic_r.unwrap();
+    let (lock_findings, lock_ms) = lock_r.unwrap();
+    let (shim_findings, shim_ms) = shim_r.unwrap();
+    let (swallow_findings, swallow_ms) = swallow_r.unwrap();
+    let (graph, callgraph_ms) = graph_r.unwrap();
+
+    // Stage two: both graph walks read the same immutable graph.
+    let graph_ref = &graph;
+    let (taint_r, blocking_r) = std::thread::scope(|s| {
+        let taint_h = s.spawn(|| timed(|| taint::check(graph_ref, files_ref)));
+        let blocking_h = s.spawn(|| timed(|| hot_path::check(graph_ref, files_ref)));
+        (taint_h.join(), blocking_h.join())
+    });
+    let (taint_findings, taint_ms) = taint_r.unwrap();
+    let (blocking_findings, blocking_ms) = blocking_r.unwrap();
+
     analysis.findings.extend(determinism_findings);
-
-    let panic_findings = timed("panic-path", &mut timings, &mut || {
-        files
-            .iter()
-            .filter(|f| panic_path::TARGET_CRATES.contains(&f.crate_name.as_str()))
-            .flat_map(panic_path::check)
-            .collect()
-    });
     analysis.findings.extend(panic_findings);
-
-    let lock_findings = timed("lock-order", &mut timings, &mut || {
-        let mut lock_edges: BTreeMap<&str, Vec<lock_order::LockEdge>> = BTreeMap::new();
-        for file in &files {
-            lock_edges
-                .entry(file.crate_name.as_str())
-                .or_default()
-                .extend(lock_order::edges(file));
-        }
-        lock_edges
-            .iter()
-            .flat_map(|(crate_name, edges)| lock_order::cycles(crate_name, edges))
-            .collect()
-    });
     analysis.findings.extend(lock_findings);
-
-    let shim_findings = timed("shim-hygiene", &mut timings, &mut || {
-        files
-            .iter()
-            .filter(|f| !f.crate_name.starts_with("shim:"))
-            .flat_map(shim_hygiene::check)
-            .collect()
-    });
     analysis.findings.extend(shim_findings);
-
-    let swallow_findings = timed("error-swallow", &mut timings, &mut || {
-        files
-            .iter()
-            .filter(|f| error_swallow::TARGET_CRATES.contains(&f.crate_name.as_str()))
-            .flat_map(error_swallow::check)
-            .collect()
-    });
     analysis.findings.extend(swallow_findings);
-
-    let t0 = Instant::now();
-    let graph = callgraph::CallGraph::build(&files);
-    timings.push(("callgraph".to_string(), t0.elapsed().as_secs_f64() * 1e3));
-
-    let taint_findings = timed("taint", &mut timings, &mut || taint::check(&graph, &files));
     analysis.findings.extend(taint_findings);
-
-    let blocking_findings = timed("blocking-hot-path", &mut timings, &mut || {
-        hot_path::check(&graph, &files)
-    });
     analysis.findings.extend(blocking_findings);
-
     analysis.findings.sort();
     analysis.findings.dedup();
-    analysis.timings_ms = timings;
+    analysis.timings_ms = vec![
+        ("determinism".to_string(), determinism_ms),
+        ("panic-path".to_string(), panic_ms),
+        ("lock-order".to_string(), lock_ms),
+        ("shim-hygiene".to_string(), shim_ms),
+        ("error-swallow".to_string(), swallow_ms),
+        ("callgraph".to_string(), callgraph_ms),
+        ("taint".to_string(), taint_ms),
+        ("blocking-hot-path".to_string(), blocking_ms),
+    ];
     analysis
 }
 
@@ -327,13 +367,47 @@ pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
 /// Propagates filesystem errors from the walk.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
     let t0 = Instant::now();
-    let mut files = Vec::new();
-    for (rel, crate_name) in workspace_sources(root)? {
-        let src = std::fs::read(root.join(&rel))?;
-        let rel_str = rel
-            .to_string_lossy()
-            .replace(std::path::MAIN_SEPARATOR, "/");
-        files.push(SourceFile::parse(rel_str, crate_name, &src));
+    let sources = workspace_sources(root)?;
+    // Each file parses once, independently: a small worker pool pulls from a
+    // shared index and the results are re-sorted by index, so the file order
+    // (and therefore every pass's output) stays deterministic.
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+        .min(sources.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut parsed: Vec<(usize, std::io::Result<SourceFile>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some((rel, crate_name)) = sources.get(i) else {
+                            break;
+                        };
+                        let parsed = std::fs::read(root.join(rel)).map(|src| {
+                            let rel_str = rel
+                                .to_string_lossy()
+                                .replace(std::path::MAIN_SEPARATOR, "/");
+                            SourceFile::parse(rel_str, crate_name.as_str(), &src)
+                        });
+                        out.push((i, parsed));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parse worker panicked"))
+            .collect()
+    });
+    parsed.sort_by_key(|&(i, _)| i);
+    let mut files = Vec::with_capacity(parsed.len());
+    for (_, file) in parsed {
+        files.push(file?);
     }
     let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mut analysis = analyze_files(files);

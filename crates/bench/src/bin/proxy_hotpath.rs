@@ -1,0 +1,452 @@
+//! Proxy hot-path throughput: exchanges/sec and exchange latency through a
+//! 3-version [`IncomingProxy`] deployment, over both the in-process SimNet
+//! fabric (CPU-bound — isolates the proxy loop cost) and real TCP sockets.
+//!
+//! Four workloads exercise the diff pipeline differently:
+//!
+//! * `unanimous` — every instance answers identically and clients pipeline
+//!   requests keep-alive style; the overwhelmingly common case the engine's
+//!   fast path and the proxy's batched fan-out are built for.
+//! * `unanimous_sync` — same, but strict request/response lockstep (no
+//!   pipelining), so the per-exchange scheduling floor is visible.
+//! * `mixed` — 10% of exchanges diverge (each severs the session under the
+//!   default [`ResponsePolicy::Block`], so the client redials).
+//! * `divergent` — every exchange diverges; the worst case, pinned so the
+//!   fast path can be shown to cost nothing when it never fires.
+//!
+//! ```text
+//! proxy_hotpath [--smoke] [--json BENCH_proxy.json]
+//! ```
+//!
+//! Rows carry a `variant` label from `RDDR_BENCH_VARIANT` (default
+//! `"current"`) so before/after runs of the same harness can be merged into
+//! one committed report. `--smoke` shrinks the exchange counts for CI and
+//! asserts the deployment answers correctly. Knobs: `RDDR_BENCH_EXCHANGES`
+//! (per client), `RDDR_BENCH_WARMUP`, `RDDR_BENCH_PAYLOAD`,
+//! `RDDR_BENCH_CLIENTS` (concurrent sessions, pgbench-style),
+//! `RDDR_BENCH_PIPELINE` (requests in flight per client on the pipelined
+//! workload).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rddr_bench::report::{latency_json, num, obj, s};
+use rddr_bench::{env_usize, json_path_from_args, write_report};
+use rddr_core::protocol::LineProtocol;
+use rddr_core::EngineConfig;
+use rddr_net::{BoxStream, Network, ServiceAddr, SimNet, TcpNet};
+use rddr_protocols::JsonValue;
+use rddr_proxy::{IncomingProxy, ProtocolFactory, ProxyTelemetry};
+use rddr_telemetry::Histogram;
+
+const INSTANCES: usize = 3;
+
+fn line_protocol() -> ProtocolFactory {
+    Arc::new(|| Box::new(LineProtocol::new()))
+}
+
+/// Serves newline-delimited requests on one accepted connection. Normal
+/// lines get the identical `ok:<line>` answer on every instance; lines
+/// starting with `DIV` get a different answer from instance 2 only — the
+/// version-diverse replica — so the deployment diverges exactly when the
+/// workload asks it to. (Instances 0 and 1 are the filter pair; if they
+/// diverged too, the difference would be masked as noise.)
+fn serve_lines(conn: &mut BoxStream, instance: usize) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let body = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            let reply = if body.starts_with("DIV") && instance == 2 {
+                format!("inst{instance}:{body}\n")
+            } else {
+                format!("ok:{body}\n")
+            };
+            if conn.write_all(reply.as_bytes()).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Binds `want` on `net`, returns the resolved address (TCP port 0 binds an
+/// ephemeral port), and pumps accepted connections through [`serve_lines`]
+/// on detached threads for the life of the process.
+fn spawn_instance(net: &Arc<dyn Network>, want: &ServiceAddr, instance: usize) -> ServiceAddr {
+    let mut listener = net.listen(want).expect("instance listener binds");
+    let bound = listener.local_addr();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            std::thread::spawn(move || serve_lines(&mut conn, instance));
+        }
+    });
+    bound
+}
+
+/// A proxy client that redials after severed sessions (the Block policy
+/// tears the connection down on every divergent exchange).
+struct Client {
+    net: Arc<dyn Network>,
+    addr: ServiceAddr,
+    conn: Option<BoxStream>,
+    line: Vec<u8>,
+    response: Vec<u8>,
+}
+
+impl Client {
+    fn new(net: Arc<dyn Network>, addr: ServiceAddr) -> Client {
+        Client {
+            net,
+            addr,
+            conn: None,
+            line: Vec::new(),
+            response: Vec::new(),
+        }
+    }
+
+    fn conn(&mut self) -> &mut BoxStream {
+        if self.conn.is_none() {
+            let mut conn = self.net.dial(&self.addr).expect("proxy dial succeeds");
+            conn.set_read_timeout(Some(Duration::from_secs(10)));
+            self.conn = Some(conn);
+        }
+        self.conn.as_mut().expect("connection just established")
+    }
+
+    fn push_line(&mut self, seq: usize, divergent: bool, payload: usize) {
+        self.line
+            .extend_from_slice(if divergent { b"DIV" } else { b"req" });
+        self.line.extend_from_slice(format!("{seq:08}:").as_bytes());
+        while self.line.len() < payload {
+            self.line.push(b'x');
+        }
+        self.line.push(b'\n');
+    }
+
+    /// One request/response exchange. Returns `true` when the session was
+    /// severed (divergence under Block) instead of answered.
+    fn exchange(&mut self, seq: usize, divergent: bool, payload: usize) -> bool {
+        self.line.clear();
+        self.push_line(seq, divergent, payload);
+        if !self.write_batch() {
+            return true;
+        }
+        self.response.clear();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.conn().read(&mut chunk) {
+                Ok(0) | Err(_) => {
+                    self.conn = None;
+                    return true;
+                }
+                Ok(n) => {
+                    self.response.extend_from_slice(&chunk[..n]);
+                    if let Some(pos) = self.response.iter().position(|&b| b == b'\n') {
+                        self.response.truncate(pos);
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes `self.line` (one or more requests), redialing once if the
+    /// previous session was severed. Returns `false` if the write failed.
+    fn write_batch(&mut self) -> bool {
+        for attempt in 0..2 {
+            let line = std::mem::take(&mut self.line);
+            let wrote = self.conn().write_all(&line).is_ok();
+            self.line = line;
+            if wrote {
+                return true;
+            }
+            self.conn = None;
+            if attempt == 1 {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Pipelines `count` requests in one write, then drains `count`
+    /// responses, recording each response's completion latency (measured
+    /// from batch start, keep-alive style). Returns how many exchanges were
+    /// severed instead of answered.
+    fn exchange_pipelined(
+        &mut self,
+        seq0: usize,
+        count: usize,
+        payload: usize,
+        latency: &Histogram,
+    ) -> usize {
+        self.line.clear();
+        for k in 0..count {
+            self.push_line(seq0 + k, false, payload);
+        }
+        let t0 = Instant::now();
+        if !self.write_batch() {
+            return count;
+        }
+        let mut seen = 0usize;
+        let mut chunk = [0u8; 16 * 1024];
+        while seen < count {
+            match self.conn().read(&mut chunk) {
+                Ok(0) | Err(_) => {
+                    self.conn = None;
+                    return count - seen;
+                }
+                Ok(n) => {
+                    for &b in &chunk[..n] {
+                        if b == b'\n' {
+                            latency.record(t0.elapsed().as_micros() as u64);
+                            seen += 1;
+                        }
+                    }
+                }
+            }
+        }
+        0
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Knobs {
+    warmup: usize,
+    measured: usize,
+    payload: usize,
+    clients: usize,
+    pipeline: usize,
+}
+
+/// One (fabric, workload) cell: a fresh 3-instance deployment behind a
+/// fresh proxy (so proxy-side histograms and counters are per-workload),
+/// driven by `clients` concurrent sessions. `divergent_every` of 0 means
+/// never (unanimous), 1 means always, k means one in k; `pipeline` > 1
+/// sends that many requests per write (unanimous traffic only).
+fn run_workload(
+    fabric: &'static str,
+    net: &Arc<dyn Network>,
+    workload: &'static str,
+    divergent_every: usize,
+    pipeline: usize,
+    knobs: Knobs,
+    smoke: bool,
+) -> JsonValue {
+    let instances: Vec<ServiceAddr> = (0..INSTANCES)
+        .map(|i| {
+            let want = match fabric {
+                "tcp" => ServiceAddr::new("127.0.0.1", 0),
+                _ => ServiceAddr::new("inst", 7000 + i as u16),
+            };
+            spawn_instance(net, &want, i)
+        })
+        .collect();
+    let listen = match fabric {
+        "tcp" => ServiceAddr::new("127.0.0.1", 0),
+        _ => ServiceAddr::new("rddr", 9000),
+    };
+    let telemetry = ProxyTelemetry::new("hot");
+    let proxy = IncomingProxy::start_with_telemetry(
+        Arc::clone(net),
+        &listen,
+        instances,
+        EngineConfig::builder(INSTANCES)
+            .filter_pair(0, 1)
+            .response_deadline(Duration::from_secs(10))
+            .build()
+            .expect("static config"),
+        line_protocol(),
+        Some(telemetry.clone()),
+    )
+    .expect("proxy starts");
+
+    if smoke {
+        // Correctness gate for CI: a unanimous exchange answers, a
+        // divergent one severs.
+        let mut probe = Client::new(Arc::clone(net), proxy.listen_addr().clone());
+        assert!(
+            !probe.exchange(0, false, knobs.payload),
+            "unanimous exchange must be answered"
+        );
+        assert!(
+            probe.response.ends_with(b"xxx"),
+            "echoed body should carry the padded payload, got {:?}",
+            String::from_utf8_lossy(&probe.response)
+        );
+        assert!(
+            probe.exchange(1, true, knobs.payload),
+            "divergent exchange must sever under Block"
+        );
+    }
+
+    let hits = telemetry
+        .registry
+        .counter(&format!("{}_in_fastpath_hits_total", telemetry.prefix));
+    let misses = telemetry
+        .registry
+        .counter(&format!("{}_in_fastpath_misses_total", telemetry.prefix));
+    let latency = Histogram::new();
+    let severed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let is_divergent = move |seq: usize| divergent_every > 0 && seq.is_multiple_of(divergent_every);
+
+    let started = Instant::now();
+    let elapsed = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..knobs.clients {
+            let mut client = Client::new(Arc::clone(net), proxy.listen_addr().clone());
+            let latency = &latency;
+            let severed = Arc::clone(&severed);
+            workers.push(scope.spawn(move || {
+                if pipeline > 1 {
+                    let sink = Histogram::new();
+                    let mut seq = 0usize;
+                    while seq < knobs.warmup {
+                        client.exchange_pipelined(seq, pipeline, knobs.payload, &sink);
+                        seq += pipeline;
+                    }
+                    let mut done = 0usize;
+                    while done < knobs.measured {
+                        let count = pipeline.min(knobs.measured - done);
+                        let cut = client.exchange_pipelined(seq, count, knobs.payload, latency);
+                        severed.fetch_add(cut, std::sync::atomic::Ordering::Relaxed);
+                        seq += count;
+                        done += count;
+                    }
+                    return;
+                }
+                for seq in 0..knobs.warmup {
+                    client.exchange(seq, is_divergent(seq), knobs.payload);
+                }
+                for seq in 0..knobs.measured {
+                    let t0 = Instant::now();
+                    let cut = client.exchange(
+                        knobs.warmup + seq,
+                        is_divergent(knobs.warmup + seq),
+                        knobs.payload,
+                    );
+                    if cut {
+                        severed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    latency.record(t0.elapsed().as_micros() as u64);
+                }
+            }));
+        }
+        for w in workers {
+            w.join().expect("bench client thread");
+        }
+        started.elapsed().as_secs_f64().max(1e-9)
+    });
+    // Warmup overlaps the measured window (threads start together), biasing
+    // the rate slightly *down* — acceptable for a before/after comparison
+    // run with identical knobs.
+    let total = (knobs.clients * knobs.measured) as f64;
+    let rate = total / elapsed;
+    let severed = severed.load(std::sync::atomic::Ordering::Relaxed);
+    let eval_us = telemetry
+        .registry
+        .histogram(&format!("{}_in_exchange_eval_latency_us", telemetry.prefix));
+    let merge_us = telemetry
+        .registry
+        .histogram(&format!("{}_in_merge_latency_us", telemetry.prefix));
+
+    println!(
+        "{fabric:>4} {workload:<10} {rate:>10.0} ex/s  p50 {:>7.3}ms  p99 {:>7.3}ms  \
+         eval-p50 {:>4}us  severed {severed:>6}  fastpath {}/{}",
+        latency.quantile(0.50) as f64 / 1000.0,
+        latency.quantile(0.99) as f64 / 1000.0,
+        eval_us.quantile(0.50),
+        hits.get(),
+        hits.get() + misses.get(),
+    );
+    drop(proxy);
+    obj([
+        (
+            "variant",
+            s(std::env::var("RDDR_BENCH_VARIANT").unwrap_or_else(|_| "current".into())),
+        ),
+        ("fabric", s(fabric)),
+        ("workload", s(workload)),
+        ("clients", num(knobs.clients as f64)),
+        ("pipeline", num(pipeline as f64)),
+        ("exchanges", num(total)),
+        ("exchanges_per_sec", num(rate)),
+        ("severed", num(severed as f64)),
+        ("fastpath_hits", num(hits.get() as f64)),
+        ("fastpath_misses", num(misses.get() as f64)),
+        ("engine_eval_p50_us", num(eval_us.quantile(0.50) as f64)),
+        ("merge_p50_us", num(merge_us.quantile(0.50) as f64)),
+        ("latency", latency_json(&latency)),
+    ])
+}
+
+/// One fabric's full sweep: the four workloads, one report row each. Each
+/// workload gets a fresh fabric, so listeners from the previous deployment
+/// can't collide or serve stale sessions.
+fn bench_fabric(
+    fabric: &'static str,
+    net: &dyn Fn() -> Arc<dyn Network>,
+    knobs: Knobs,
+    smoke: bool,
+) -> Vec<JsonValue> {
+    [
+        ("unanimous", 0usize, knobs.pipeline),
+        ("unanimous_sync", 0, 1),
+        ("mixed", 10, 1),
+        ("divergent", 1, 1),
+    ]
+    .into_iter()
+    .map(|(workload, every, pipeline)| {
+        run_workload(fabric, &net(), workload, every, pipeline, knobs, smoke)
+    })
+    .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = json_path_from_args();
+    let variant = std::env::var("RDDR_BENCH_VARIANT").unwrap_or_else(|_| "current".to_string());
+    let knobs = Knobs {
+        measured: env_usize("RDDR_BENCH_EXCHANGES", if smoke { 300 } else { 6000 }),
+        warmup: env_usize("RDDR_BENCH_WARMUP", if smoke { 30 } else { 600 }),
+        payload: env_usize("RDDR_BENCH_PAYLOAD", 64),
+        clients: env_usize("RDDR_BENCH_CLIENTS", 4),
+        pipeline: env_usize("RDDR_BENCH_PIPELINE", 16),
+    };
+
+    println!(
+        "proxy_hotpath: variant={variant} clients={} exchanges={}/client warmup={} \
+         payload={}B pipeline={} instances={INSTANCES}",
+        knobs.clients, knobs.measured, knobs.warmup, knobs.payload, knobs.pipeline
+    );
+    let mut rows = Vec::new();
+    rows.extend(bench_fabric(
+        "sim",
+        &|| Arc::new(SimNet::new()) as Arc<dyn Network>,
+        knobs,
+        smoke,
+    ));
+    rows.extend(bench_fabric(
+        "tcp",
+        &|| Arc::new(TcpNet::new()) as Arc<dyn Network>,
+        knobs,
+        smoke,
+    ));
+
+    if let Some(path) = json {
+        let params = obj([
+            ("clients", num(knobs.clients as f64)),
+            ("exchanges_per_client", num(knobs.measured as f64)),
+            ("warmup", num(knobs.warmup as f64)),
+            ("payload_bytes", num(knobs.payload as f64)),
+            ("pipeline", num(knobs.pipeline as f64)),
+            ("instances", num(INSTANCES as f64)),
+        ]);
+        write_report(&path, "proxy_hotpath", params, rows).expect("report written");
+        println!("wrote {}", path.display());
+    }
+}

@@ -34,6 +34,7 @@ pub struct EngineConfig {
     response_deadline: Duration,
     instance_deadline: Option<Duration>,
     throttle_budget: Option<u32>,
+    fast_path: bool,
 }
 
 impl EngineConfig {
@@ -48,6 +49,7 @@ impl EngineConfig {
             response_deadline: Duration::from_secs(10),
             instance_deadline: None,
             throttle_budget: None,
+            fast_path: true,
         }
     }
 
@@ -93,6 +95,12 @@ impl EngineConfig {
     pub fn throttle_budget(&self) -> Option<u32> {
         self.throttle_budget
     }
+
+    /// Whether the unanimous fast path (byte-equality short-circuit before
+    /// canonicalization) is enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
 }
 
 /// Builder for [`EngineConfig`].
@@ -106,6 +114,7 @@ pub struct EngineConfigBuilder {
     response_deadline: Duration,
     instance_deadline: Option<Duration>,
     throttle_budget: Option<u32>,
+    fast_path: bool,
 }
 
 impl EngineConfigBuilder {
@@ -149,6 +158,14 @@ impl EngineConfigBuilder {
     /// Enables divergence-signature throttling with the given repeat budget.
     pub fn throttle(mut self, budget: u32) -> Self {
         self.throttle_budget = Some(budget);
+        self
+    }
+
+    /// Enables or disables the unanimous fast path (default: enabled). The
+    /// engine only takes it when no known-variance rules are configured, so
+    /// `variance_excluded` accounting stays exact where it matters.
+    pub fn fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
         self
     }
 
@@ -198,6 +215,7 @@ impl EngineConfigBuilder {
             response_deadline: self.response_deadline,
             instance_deadline: self.instance_deadline,
             throttle_budget: self.throttle_budget,
+            fast_path: self.fast_path,
         })
     }
 }
@@ -261,6 +279,16 @@ mod tests {
         let d = EngineConfig::builder(2).build().unwrap();
         assert_eq!(d.degrade(), DegradePolicy::Sever);
         assert_eq!(d.instance_deadline(), None);
+    }
+
+    #[test]
+    fn fast_path_defaults_on_and_round_trips() {
+        assert!(EngineConfig::builder(2).build().unwrap().fast_path());
+        assert!(!EngineConfig::builder(2)
+            .fast_path(false)
+            .build()
+            .unwrap()
+            .fast_path());
     }
 
     #[test]

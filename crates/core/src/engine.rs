@@ -35,6 +35,50 @@ pub enum Verdict {
     Divergent(DivergenceReport),
 }
 
+/// One instance's share of a replicated request.
+///
+/// The overwhelmingly common case is `Shared`: every instance reads the same
+/// single allocation. A private `Rewritten` copy exists only when
+/// ephemeral-token substitution actually rewrote the bytes for that instance
+/// (copy-on-write). Derefs to `[u8]`, so writers consume it like a plain
+/// byte slice.
+#[derive(Debug, Clone)]
+pub enum RequestCopy {
+    /// Untouched request bytes, shared across all instances.
+    Shared(Arc<[u8]>),
+    /// Bytes rewritten for this instance by ephemeral-token substitution.
+    Rewritten(Vec<u8>),
+}
+
+impl RequestCopy {
+    /// Whether this copy shares the original allocation (no rewrite fired).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, RequestCopy::Shared(_))
+    }
+
+    /// The request bytes to send to the instance.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            RequestCopy::Shared(bytes) => bytes,
+            RequestCopy::Rewritten(bytes) => bytes,
+        }
+    }
+}
+
+impl std::ops::Deref for RequestCopy {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl AsRef<[u8]> for RequestCopy {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
 /// Everything the proxy needs to act on one completed exchange.
 #[derive(Debug, Clone)]
 pub struct ExchangeOutcome {
@@ -79,7 +123,8 @@ pub struct NVersionEngine {
     response_bufs: Vec<BytesMut>,
     pending_frames: Vec<Vec<Frame>>,
     active: Vec<bool>,
-    last_request: Vec<u8>,
+    // Captured only when the throttle or audit path will read it back.
+    last_request: Option<Arc<[u8]>>,
     direction: Direction,
 }
 
@@ -120,7 +165,7 @@ impl NVersionEngine {
             response_bufs: (0..n).map(|_| BytesMut::new()).collect(),
             pending_frames: (0..n).map(|_| Vec::new()).collect(),
             active: vec![true; n],
-            last_request: Vec::new(),
+            last_request: None,
             direction: Direction::Response,
         }
     }
@@ -194,7 +239,7 @@ impl NVersionEngine {
     ///
     /// Returns [`RddrError::Throttled`] if the request matches a recorded
     /// divergence signature beyond its budget.
-    pub fn replicate_request(&mut self, request: &[u8]) -> Result<Vec<Vec<u8>>> {
+    pub fn replicate_request(&mut self, request: &[u8]) -> Result<Vec<RequestCopy>> {
         if let Some(throttle) = &self.state.throttle {
             if throttle.should_refuse(request) {
                 self.counters.throttled.inc();
@@ -207,11 +252,21 @@ impl NVersionEngine {
         if let Some(span) = &self.span {
             span.event("replicate");
         }
-        self.last_request = request.to_vec();
+        // One shared allocation serves every instance that needs no rewrite.
+        let shared: Arc<[u8]> = Arc::from(request);
+        self.last_request =
+            (self.state.throttle.is_some() || self.audit.is_some()).then(|| Arc::clone(&shared));
         let n = self.config.instances();
         let copies = if self.protocol.supports_ephemeral() && !self.state.ephemeral.is_empty() {
-            let out: Vec<Vec<u8>> = (0..n)
-                .map(|i| self.state.ephemeral.substitute(request, i))
+            let out: Vec<RequestCopy> = (0..n)
+                .map(|i| {
+                    match self.state.ephemeral.substitute_rewritten(request, i) {
+                        // Copy-on-write: only a fired substitution pays for
+                        // a private copy.
+                        Some(rewritten) => RequestCopy::Rewritten(rewritten),
+                        None => RequestCopy::Shared(Arc::clone(&shared)),
+                    }
+                })
                 .collect();
             self.state.ephemeral.purge_consumed();
             let total = self.state.ephemeral.substituted_total();
@@ -221,7 +276,9 @@ impl NVersionEngine {
             self.tokens_substituted_reported = total;
             out
         } else {
-            (0..n).map(|_| request.to_vec()).collect()
+            (0..n)
+                .map(|_| RequestCopy::Shared(Arc::clone(&shared)))
+                .collect()
         };
         Ok(copies)
     }
@@ -335,6 +392,24 @@ impl NVersionEngine {
     /// produced a complete exchange (`exchange_ready` is false and no frames
     /// are buffered at all).
     pub fn finish_exchange(&mut self) -> Result<ExchangeOutcome> {
+        self.finish_exchange_impl(false)
+    }
+
+    /// Like [`NVersionEngine::finish_exchange`], but consumes exactly one
+    /// exchange *unit* per instance (per [`Protocol::exchange_take`]) instead
+    /// of everything buffered. The proxies use this when evaluating pipelined
+    /// exchanges, where responses pair 1:1 with the batched requests; the
+    /// take-all variant stays the default so a surplus frame (e.g. a leaked
+    /// extra line) diffs against the exchange that provoked it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NVersionEngine::finish_exchange`].
+    pub fn finish_exchange_unit(&mut self) -> Result<ExchangeOutcome> {
+        self.finish_exchange_impl(true)
+    }
+
+    fn finish_exchange_impl(&mut self, unit: bool) -> Result<ExchangeOutcome> {
         // `live[compact] = original` maps the diff's dense instance numbering
         // back to the engine's 0..N ids once ejections have thinned the set.
         let live = self.active_instances();
@@ -354,8 +429,51 @@ impl NVersionEngine {
         }
         let frames: Vec<Vec<Frame>> = live
             .iter()
-            .map(|&i| std::mem::take(&mut self.pending_frames[i]))
+            .map(|&i| {
+                let pending = &mut self.pending_frames[i];
+                let take = if unit {
+                    self.protocol
+                        .exchange_take(pending, self.direction)
+                        .unwrap_or(pending.len())
+                        .min(pending.len())
+                } else {
+                    pending.len()
+                };
+                // drain (not mem::take) keeps the Vec's capacity for the
+                // next exchange and, in unit mode, leaves pipelined frames
+                // beyond this unit buffered.
+                pending.drain(..take).collect()
+            })
             .collect();
+
+        // Unanimous fast path: when every live instance produced
+        // byte-identical critical frames, neither de-noising nor diffing can
+        // change the verdict (identical payloads yield an empty filter-pair
+        // mask, no ephemeral capture, and no differing segments), so the
+        // canonicalization allocations are skipped outright. Disabled when
+        // known-variance rules are configured so `variance_excluded`
+        // accounting stays exact.
+        if self.config.fast_path() && self.config.variance().is_empty() {
+            if frames_unanimous(&frames) {
+                self.counters.fastpath_hits.inc();
+                self.counters.exchanges.inc();
+                let decision = PolicyDecision::Forward { instance: live[0] };
+                if let Some(span) = &self.span {
+                    span.event(format!("respond:forward:{}", live[0]));
+                }
+                let forward = Some(concat_frames(&frames[0]));
+                self.counters
+                    .eval_latency_us
+                    .record_duration(eval_start.elapsed());
+                return Ok(ExchangeOutcome {
+                    report: DivergenceReport::default(),
+                    decision,
+                    forward,
+                    quarantined: Vec::new(),
+                });
+            }
+            self.counters.fastpath_misses.inc();
+        }
 
         // Tokenize critical frames into one aligned segment list per instance.
         let mut segments: Vec<Vec<Segment>> = Vec::with_capacity(frames.len());
@@ -438,7 +556,7 @@ impl NVersionEngine {
         if outcome.report.diverged() {
             self.counters.divergences.inc();
             if let Some(throttle) = &mut self.state.throttle {
-                throttle.record(&self.last_request);
+                throttle.record(self.last_request.as_deref().unwrap_or(&[]));
             }
         }
         let forward = match &compact_decision {
@@ -514,7 +632,7 @@ impl NVersionEngine {
             exchange_id: self.span.as_ref().map_or(0, |s| s.id()),
             service: self.service.clone(),
             offending_instance: (implicated.len() == 1).then(|| implicated[0]),
-            signature: crate::report::excerpt(&self.last_request),
+            signature: crate::report::excerpt(self.last_request.as_deref().unwrap_or(&[])),
             diff_positions: report.details.iter().map(|d| d.segment_index).collect(),
             detail,
             structural: !report.structural.is_empty(),
@@ -559,6 +677,60 @@ fn concat_frames(frames: &[Frame]) -> Vec<u8> {
         out.extend_from_slice(&f.bytes);
     }
     out
+}
+
+/// FNV-1a over a frame's label and payload — the cheap reject before the
+/// exact comparison in [`frames_unanimous`].
+fn frame_hash(frame: &Frame) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in frame.label.as_bytes() {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash = (hash ^ 0xff).wrapping_mul(FNV_PRIME);
+    for &b in &frame.bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Whether every instance's *critical* frames are byte-identical to the
+/// first instance's (same count, labels, and payloads). Reference hashes are
+/// computed once and reused across instances; a hash match is confirmed with
+/// an exact comparison, so a collision can never fake unanimity.
+fn frames_unanimous(frames: &[Vec<Frame>]) -> bool {
+    let Some((first, rest)) = frames.split_first() else {
+        return false;
+    };
+    if rest.is_empty() {
+        return true;
+    }
+    let reference: Vec<&Frame> = first.iter().filter(|f| f.critical).collect();
+    let mut ref_hashes: Vec<u64> = Vec::with_capacity(reference.len());
+    for other in rest {
+        let mut matched = 0usize;
+        for frame in other.iter().filter(|f| f.critical) {
+            let Some(reference_frame) = reference.get(matched) else {
+                return false; // surplus critical frame
+            };
+            if ref_hashes.len() <= matched {
+                ref_hashes.push(frame_hash(reference_frame));
+            }
+            let hash_matches = ref_hashes.get(matched) == Some(&frame_hash(frame));
+            if !hash_matches
+                || reference_frame.label != frame.label
+                || reference_frame.bytes != frame.bytes
+            {
+                return false;
+            }
+            matched += 1;
+        }
+        if matched != reference.len() {
+            return false; // missing critical frame
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -659,6 +831,122 @@ mod tests {
     fn replication_count_matches_n() {
         let mut e = engine(5);
         assert_eq!(e.replicate_request(b"hi\n").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn replication_shares_one_allocation() {
+        let mut e = engine(3);
+        let copies = e.replicate_request(b"hello\n").unwrap();
+        assert!(copies.iter().all(RequestCopy::is_shared));
+        assert!(copies.iter().all(|c| &c[..] == b"hello\n"));
+        let ptrs: Vec<*const u8> = copies.iter().map(|c| c.as_bytes().as_ptr()).collect();
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "all shared copies must alias the same buffer"
+        );
+    }
+
+    #[test]
+    fn last_request_is_not_captured_without_consumers() {
+        // No throttle and no audit: nothing reads the request back, so the
+        // engine must not retain a copy.
+        let mut e = engine(2);
+        e.replicate_request(b"GET /big\n").unwrap();
+        assert!(e.last_request.is_none());
+
+        let throttled = EngineConfig::builder(2).throttle(1).build().unwrap();
+        let mut e = NVersionEngine::new(throttled, LineProtocol::new());
+        e.replicate_request(b"GET /big\n").unwrap();
+        assert_eq!(e.last_request.as_deref(), Some(b"GET /big\n".as_slice()));
+    }
+
+    #[test]
+    fn fast_path_counts_hits_and_misses() {
+        let mut e = engine(2);
+        e.evaluate_responses(&[b"same\n".to_vec(), b"same\n".to_vec()])
+            .unwrap();
+        e.evaluate_responses(&[b"one\n".to_vec(), b"two\n".to_vec()])
+            .unwrap();
+        let m = e.metrics();
+        assert_eq!(m.fastpath_hits, 1);
+        assert_eq!(m.fastpath_misses, 1);
+        assert_eq!(m.exchanges, 2);
+        assert_eq!(m.divergences, 1);
+    }
+
+    #[test]
+    fn fast_path_disabled_runs_full_pipeline() {
+        let config = EngineConfig::builder(2).fast_path(false).build().unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        let v = e
+            .evaluate_responses(&[b"same\n".to_vec(), b"same\n".to_vec()])
+            .unwrap();
+        assert!(matches!(v, Verdict::Unanimous(_)));
+        let m = e.metrics();
+        assert_eq!(m.fastpath_hits, 0);
+        assert_eq!(m.fastpath_misses, 0);
+    }
+
+    #[test]
+    fn fast_path_skipped_when_variance_rules_configured() {
+        let mut rules = VarianceRules::new();
+        rules.push(VarianceRule::any_label("version *").unwrap());
+        let config = EngineConfig::builder(2).variance(rules).build().unwrap();
+        let mut e = NVersionEngine::new(config, LineProtocol::new());
+        e.evaluate_responses(&[b"version 1\n".to_vec(), b"version 1\n".to_vec()])
+            .unwrap();
+        let m = e.metrics();
+        assert_eq!(m.fastpath_hits, 0, "variance rules force the full path");
+        assert!(m.variance_excluded > 0);
+    }
+
+    #[test]
+    fn pipelined_lines_are_consumed_one_exchange_at_a_time() {
+        let mut e = engine(2);
+        e.push_response(0, b"a\nb\n").unwrap();
+        e.push_response(1, b"a\nb\n").unwrap();
+        let first = e.finish_exchange_unit().unwrap();
+        assert_eq!(first.forward.unwrap(), b"a\n");
+        assert!(e.exchange_ready(), "second pipelined line still buffered");
+        let second = e.finish_exchange_unit().unwrap();
+        assert_eq!(second.forward.unwrap(), b"b\n");
+        assert_eq!(e.metrics().exchanges, 2);
+    }
+
+    #[test]
+    fn take_all_finish_still_catches_surplus_lines() {
+        // The default finish must keep diffing a leaked extra line against
+        // the exchange that provoked it, not defer it to the next one.
+        let mut e = engine(2);
+        e.push_response(0, b"row\n").unwrap();
+        e.push_response(1, b"row\nSECRET\n").unwrap();
+        let outcome = e.finish_exchange().unwrap();
+        assert!(outcome.report.diverged());
+    }
+
+    #[test]
+    fn frames_unanimous_checks_bytes_labels_and_count() {
+        let line = |b: &[u8]| Frame::new("line", b.to_vec());
+        assert!(frames_unanimous(&[
+            vec![line(b"x\n")],
+            vec![line(b"x\n")],
+            vec![line(b"x\n")]
+        ]));
+        assert!(!frames_unanimous(&[vec![line(b"x\n")], vec![line(b"y\n")]]));
+        assert!(!frames_unanimous(&[
+            vec![line(b"x\n")],
+            vec![line(b"x\n"), line(b"extra\n")]
+        ]));
+        assert!(!frames_unanimous(&[
+            vec![line(b"x\n"), line(b"extra\n")],
+            vec![line(b"x\n")]
+        ]));
+        assert!(!frames_unanimous(&[
+            vec![line(b"x\n")],
+            vec![Frame::new("other", b"x\n".to_vec())]
+        ]));
+        // Single instance (degraded mode lone survivor) is trivially unanimous.
+        assert!(frames_unanimous(&[vec![line(b"x\n")]]));
     }
 
     #[test]

@@ -146,16 +146,25 @@ impl EphemeralStore {
     /// recorded; call [`EphemeralStore::purge_consumed`] once the request has
     /// been rewritten for *all* instances.
     pub fn substitute(&mut self, request: &[u8], instance: usize) -> Vec<u8> {
-        let mut out = request.to_vec();
+        self.substitute_rewritten(request, instance)
+            .unwrap_or_else(|| request.to_vec())
+    }
+
+    /// Copy-on-write variant of [`EphemeralStore::substitute`]: returns
+    /// `None` when no live token occurs in `request` (the caller keeps using
+    /// its original bytes), and the rewritten copy only when a substitution
+    /// actually fired.
+    pub fn substitute_rewritten(&mut self, request: &[u8], instance: usize) -> Option<Vec<u8>> {
+        let mut out: Option<Vec<u8>> = None;
         let mut consumed = Vec::new();
         for (canonical, token) in &self.tokens {
             if instance >= token.per_instance.len() {
                 continue;
             }
             let replacement = token.token_for(instance);
-            let rewritten = replace_all(&out, canonical, replacement);
+            let rewritten = replace_all(out.as_deref().unwrap_or(request), canonical, replacement);
             if rewritten.1 > 0 {
-                out = rewritten.0;
+                out = Some(rewritten.0);
                 self.substituted_total += rewritten.1;
                 consumed.push(canonical.clone());
             }
@@ -282,6 +291,23 @@ mod tests {
         assert_eq!(store.len(), 2);
         let out = store.substitute(b"x AAAAAAAAAAB y", 1);
         assert_eq!(out, b"x BBBBBBBBBBB y");
+    }
+
+    #[test]
+    fn substitute_rewritten_is_copy_on_write() {
+        let mut store = EphemeralStore::new();
+        store.scan_position(&[b"v=ALPHAALPHA1".as_slice(), b"v=BRAVOBRAVO2".as_slice()]);
+        assert_eq!(
+            store.substitute_rewritten(b"GET / no token here", 1),
+            None,
+            "untouched requests are not copied"
+        );
+        assert_eq!(
+            store
+                .substitute_rewritten(b"csrf=ALPHAALPHA1", 1)
+                .as_deref(),
+            Some(b"csrf=BRAVOBRAVO2".as_slice())
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use config::{EngineConfig, EngineConfigBuilder};
 pub use configfile::ConfigFile;
 pub use denoise::{NoiseMask, SegmentMask};
 pub use diff::{diff_segments, DiffOutcome};
-pub use engine::{ExchangeOutcome, NVersionEngine, SessionState, Verdict};
+pub use engine::{ExchangeOutcome, NVersionEngine, RequestCopy, SessionState, Verdict};
 pub use ephemeral::{EphemeralStore, EphemeralToken, MIN_TOKEN_LEN};
 pub use error::RddrError;
 pub use frame::{Direction, Frame, Segment};

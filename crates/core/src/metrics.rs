@@ -25,6 +25,12 @@ pub struct EngineMetrics {
     pub tokens_substituted: u64,
     /// Requests refused because they matched a known divergence signature.
     pub throttled: u64,
+    /// Exchanges settled by the unanimous fast path (byte-identical critical
+    /// frames; the de-noise/diff pipeline was skipped).
+    pub fastpath_hits: u64,
+    /// Exchanges that failed the fast check and paid the full pipeline.
+    /// Only counted while the fast path is enabled and eligible.
+    pub fastpath_misses: u64,
 }
 
 impl EngineMetrics {
@@ -48,7 +54,8 @@ impl fmt::Display for EngineMetrics {
         write!(
             f,
             "exchanges={} divergences={} noise_masked={} variance_excluded={} \
-             tokens_captured={} tokens_substituted={} throttled={}",
+             tokens_captured={} tokens_substituted={} throttled={} \
+             fastpath_hits={} fastpath_misses={}",
             self.exchanges,
             self.divergences,
             self.noise_masked,
@@ -56,6 +63,8 @@ impl fmt::Display for EngineMetrics {
             self.tokens_captured,
             self.tokens_substituted,
             self.throttled,
+            self.fastpath_hits,
+            self.fastpath_misses,
         )
     }
 }
@@ -77,6 +86,8 @@ pub struct EngineCounters {
     pub(crate) tokens_captured: Arc<Counter>,
     pub(crate) tokens_substituted: Arc<Counter>,
     pub(crate) throttled: Arc<Counter>,
+    pub(crate) fastpath_hits: Arc<Counter>,
+    pub(crate) fastpath_misses: Arc<Counter>,
     /// Wall-clock cost of de-noise + diff + respond, microseconds.
     pub(crate) eval_latency_us: Arc<Histogram>,
 }
@@ -99,6 +110,8 @@ impl EngineCounters {
             tokens_captured: registry.counter(&name("tokens_captured_total")),
             tokens_substituted: registry.counter(&name("tokens_substituted_total")),
             throttled: registry.counter(&name("throttled_total")),
+            fastpath_hits: registry.counter(&name("fastpath_hits_total")),
+            fastpath_misses: registry.counter(&name("fastpath_misses_total")),
             eval_latency_us: registry.histogram(&name("exchange_eval_latency_us")),
             registry,
         }
@@ -119,6 +132,8 @@ impl EngineCounters {
             tokens_captured: self.tokens_captured.get(),
             tokens_substituted: self.tokens_substituted.get(),
             throttled: self.throttled.get(),
+            fastpath_hits: self.fastpath_hits.get(),
+            fastpath_misses: self.fastpath_misses.get(),
         }
     }
 }
@@ -145,7 +160,14 @@ mod tests {
     #[test]
     fn display_contains_all_counters() {
         let s = EngineMetrics::new().to_string();
-        for key in ["exchanges", "divergences", "noise_masked", "throttled"] {
+        for key in [
+            "exchanges",
+            "divergences",
+            "noise_masked",
+            "throttled",
+            "fastpath_hits",
+            "fastpath_misses",
+        ] {
             assert!(s.contains(key), "missing {key}");
         }
     }

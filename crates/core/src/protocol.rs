@@ -51,6 +51,26 @@ pub trait Protocol: Send + Sync {
         let _ = direction;
         !frames.is_empty()
     }
+
+    /// How many leading frames form one complete exchange unit, or `None`
+    /// while the unit is still incomplete. The default consumes everything
+    /// buffered once [`Protocol::exchange_complete`] holds — exactly the
+    /// pre-pipelining behavior. Protocols with strict 1:1 request/response
+    /// framing (e.g. [`LineProtocol`]) override this so pipelined exchanges
+    /// are consumed and diffed one unit at a time.
+    fn exchange_take(&self, frames: &[Frame], direction: Direction) -> Option<usize> {
+        self.exchange_complete(frames, direction)
+            .then_some(frames.len())
+    }
+
+    /// Whether the proxy may batch several buffered request frames into one
+    /// fan-out write per instance and evaluate the responses unit by unit
+    /// (via [`Protocol::exchange_take`]). Requires strict 1:1
+    /// request/response framing and no ephemeral-state capture, since
+    /// capture/substitution assumes sequential exchanges. Default: false.
+    fn supports_pipelining(&self) -> bool {
+        false
+    }
 }
 
 /// Newline-delimited framing: each complete line is a frame of one segment.
@@ -75,8 +95,10 @@ impl Protocol for LineProtocol {
     fn split_frames(&self, buf: &mut BytesMut, _direction: Direction) -> Result<Vec<Frame>> {
         let mut frames = Vec::new();
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            // `split_to` already copied the line out; `freeze` hands over
+            // that allocation instead of copying a second time.
             let line = buf.split_to(pos + 1);
-            frames.push(Frame::new("line", line.to_vec()));
+            frames.push(Frame::new("line", line.freeze()));
         }
         Ok(frames)
     }
@@ -88,6 +110,15 @@ impl Protocol for LineProtocol {
             .map(|b| b.strip_suffix(b"\r").unwrap_or(b))
             .unwrap_or(&frame.bytes);
         vec![Segment::new("line", payload.to_vec())]
+    }
+
+    fn exchange_take(&self, frames: &[Frame], _direction: Direction) -> Option<usize> {
+        // One line in, one line out: pipelined exchanges diff unit by unit.
+        (!frames.is_empty()).then_some(1)
+    }
+
+    fn supports_pipelining(&self) -> bool {
+        true
     }
 }
 
@@ -113,7 +144,7 @@ impl Protocol for RawProtocol {
             return Ok(Vec::new());
         }
         let all = buf.split_to(buf.len());
-        Ok(vec![Frame::new("raw", all.to_vec())])
+        Ok(vec![Frame::new("raw", all.freeze())])
     }
 
     fn tokenize(&self, frame: &Frame) -> Vec<Segment> {
@@ -167,6 +198,28 @@ mod tests {
     fn neither_basic_protocol_supports_ephemeral() {
         assert!(!LineProtocol::new().supports_ephemeral());
         assert!(!RawProtocol::new().supports_ephemeral());
+    }
+
+    #[test]
+    fn line_exchange_take_is_one_frame() {
+        let p = LineProtocol::new();
+        let frames = vec![
+            Frame::new("line", b"a\n".to_vec()),
+            Frame::new("line", b"b\n".to_vec()),
+        ];
+        assert_eq!(p.exchange_take(&frames, Direction::Response), Some(1));
+        assert_eq!(p.exchange_take(&[], Direction::Response), None);
+    }
+
+    #[test]
+    fn default_exchange_take_consumes_everything_when_complete() {
+        let p = RawProtocol::new();
+        let frames = vec![
+            Frame::new("raw", b"a".to_vec()),
+            Frame::new("raw", b"b".to_vec()),
+        ];
+        assert_eq!(p.exchange_take(&frames, Direction::Response), Some(2));
+        assert_eq!(p.exchange_take(&[], Direction::Response), None);
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl Pipe {
         }
         guard.data.extend(bytes);
         drop(guard);
-        self.readable.notify_all();
+        // A pipe direction has exactly one logical consumer (the peer's
+        // reader); waking one waiter suffices and skips the thundering herd
+        // a `try_clone`'d endpoint would otherwise pay per write. `close`
+        // still notifies all: every waiter must observe EOF.
+        self.readable.notify_one();
         Ok(())
     }
 
@@ -257,6 +261,29 @@ mod tests {
         b.read_exact(&mut got).unwrap();
         writer.join().unwrap();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn write_wakes_reader_blocked_under_read_timeout() {
+        // Pins the notify_one wakeup: a reader parked in the timed wait path
+        // must be woken by a write long before its timeout expires, not
+        // discover the data only when `wait_for` times out.
+        let (mut a, mut b) = duplex_pair("a", "b");
+        b.set_read_timeout(Some(Duration::from_secs(5)));
+        let reader = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let mut buf = [0u8; 2];
+            b.read_exact(&mut buf).unwrap();
+            (buf, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        a.write_all(b"hi").unwrap();
+        let (buf, elapsed) = reader.join().unwrap();
+        assert_eq!(&buf, b"hi");
+        assert!(
+            elapsed < Duration::from_secs(4),
+            "reader should wake on write, not on timeout (took {elapsed:?})"
+        );
     }
 
     #[test]

@@ -255,6 +255,12 @@ fn run_session(
 
     let mut request_buf = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
+    // Scratch reused across the whole session: per-instance fan-out buffers
+    // for batched writes, accumulated forward bytes for the client, and the
+    // per-unit failure flags.
+    let mut fanout_bufs: Vec<Vec<u8>> = (0..instances.len()).map(|_| Vec::new()).collect();
+    let mut forward_buf: Vec<u8> = Vec::new();
+    let mut failed = vec![false; instances.len()];
     'serve: {
         if aborted {
             break 'serve;
@@ -278,9 +284,25 @@ fn run_session(
                 }
             };
 
-            for frame in request_frames {
+            // Pipelining-capable protocols (strict 1:1 framing, no ephemeral
+            // capture) fan out every buffered request frame in one write per
+            // instance and evaluate responses unit by unit; everything else
+            // runs the classic one-frame-per-cycle path.
+            let pipelined = request_frames.len() > 1 && request_protocol.supports_pipelining();
+            let mut next_frame = 0;
+            while next_frame < request_frames.len() {
+                let batch_end = if pipelined {
+                    request_frames.len()
+                } else {
+                    next_frame + 1
+                };
+                let Some(batch) = request_frames.get(next_frame..batch_end) else {
+                    break 'session;
+                };
+                next_frame = batch_end;
+
                 // A replica ejected in an earlier exchange gets a rejoin
-                // probe before each new one: a successful re-dial readmits
+                // probe before each new batch: a successful re-dial readmits
                 // it into the diff set.
                 if degrade.ejects() && engine.active_count() < instances.len() {
                     attempt_rejoins(
@@ -294,7 +316,7 @@ fn run_session(
                     );
                 }
 
-                // One span per exchange: it travels into the engine, shows up
+                // One span per batch: it travels into the engine, shows up
                 // in any divergence audit record, and times the proxy's own
                 // phases.
                 let exchange_start = Instant::now();
@@ -305,24 +327,67 @@ fn run_session(
                     engine.set_span(Arc::clone(span));
                 }
 
-                // Replicate.
-                let copies = match engine.replicate_request(&frame.bytes) {
-                    Ok(copies) => copies,
-                    Err(RddrError::Throttled) => {
-                        stats.throttled.fetch_add(1, Ordering::Relaxed);
-                        sever(&mut client, &mut roster, is_http);
-                        break 'session;
+                // Replicate every frame of the batch up front. The signature
+                // throttle is consulted per frame at fan-out time; a
+                // throttled frame severs the session once the units already
+                // on the wire have been answered (the throttle state lags
+                // within a batch — see DESIGN.md).
+                let mut unit_copies: Vec<Vec<rddr_core::RequestCopy>> =
+                    Vec::with_capacity(batch.len());
+                let mut throttled_stop = false;
+                let mut hard_stop = false;
+                for frame in batch {
+                    match engine.replicate_request(&frame.bytes) {
+                        Ok(copies) => unit_copies.push(copies),
+                        Err(RddrError::Throttled) => {
+                            stats.throttled.fetch_add(1, Ordering::Relaxed);
+                            throttled_stop = true;
+                            break;
+                        }
+                        Err(_) => {
+                            hard_stop = true;
+                            break;
+                        }
                     }
-                    Err(_) => break 'session,
-                };
+                }
+                if unit_copies.is_empty() {
+                    if throttled_stop {
+                        sever(&mut client, &mut roster, is_http);
+                    }
+                    break 'session;
+                }
+
+                // Fan out: one write per instance covering the whole batch.
                 let fanout_start = Instant::now();
                 let mut fanout_failed: Vec<usize> = Vec::new();
-                for (i, (slot, copy)) in roster.writers.iter_mut().zip(&copies).enumerate() {
-                    let Some(writer) = slot else {
-                        continue;
-                    };
-                    if writer.write_all(copy).is_err() {
-                        fanout_failed.push(i);
+                if let [copies] = unit_copies.as_slice() {
+                    for (i, (slot, copy)) in roster.writers.iter_mut().zip(copies).enumerate() {
+                        let Some(writer) = slot else {
+                            continue;
+                        };
+                        if writer.write_all(copy).is_err() {
+                            fanout_failed.push(i);
+                        }
+                    }
+                } else {
+                    for (i, (slot, buf)) in roster
+                        .writers
+                        .iter_mut()
+                        .zip(fanout_bufs.iter_mut())
+                        .enumerate()
+                    {
+                        let Some(writer) = slot else {
+                            continue;
+                        };
+                        buf.clear();
+                        for copies in &unit_copies {
+                            if let Some(copy) = copies.get(i) {
+                                buf.extend_from_slice(copy);
+                            }
+                        }
+                        if writer.write_all(buf).is_err() {
+                            fanout_failed.push(i);
+                        }
                     }
                 }
                 for i in fanout_failed {
@@ -339,28 +404,58 @@ fn run_session(
                     }
                 }
 
-                // Collect responses until every live instance completes or a
-                // deadline passes (the paper's DoS timeout, §IV-D). The
-                // per-instance straggler deadline starts counting when the
-                // first instance finishes its exchange.
-                let t0 = Instant::now();
-                let mut failed = vec![false; instances.len()];
-                let mut first_complete: Option<Instant> = None;
-                loop {
-                    if engine.exchange_ready() || engine.active_count() == 0 {
-                        break;
-                    }
-                    let mut wait = deadline.saturating_sub(t0.elapsed());
-                    if wait.is_zero() {
-                        break;
-                    }
-                    if let (Some(limit), Some(first)) = (instance_deadline, first_complete) {
-                        let straggler = limit.saturating_sub(first.elapsed());
-                        if straggler.is_zero() {
-                            // Straggler deadline: every incomplete live
-                            // instance is now treated as faulted.
-                            for i in 0..instances.len() {
-                                if engine.is_active(i) && !engine.instance_complete(i) {
+                let units = unit_copies.len();
+                forward_buf.clear();
+                for _unit in 0..units {
+                    // Collect responses until every live instance completes or a
+                    // deadline passes (the paper's DoS timeout, §IV-D). The
+                    // per-instance straggler deadline starts counting when the
+                    // first instance finishes its exchange.
+                    let t0 = Instant::now();
+                    failed.iter_mut().for_each(|f| *f = false);
+                    let mut first_complete: Option<Instant> = None;
+                    loop {
+                        if engine.exchange_ready() || engine.active_count() == 0 {
+                            break;
+                        }
+                        let mut wait = deadline.saturating_sub(t0.elapsed());
+                        if wait.is_zero() {
+                            break;
+                        }
+                        if let (Some(limit), Some(first)) = (instance_deadline, first_complete) {
+                            let straggler = limit.saturating_sub(first.elapsed());
+                            if straggler.is_zero() {
+                                // Straggler deadline: every incomplete live
+                                // instance is now treated as faulted.
+                                for i in 0..instances.len() {
+                                    if engine.is_active(i) && !engine.instance_complete(i) {
+                                        fault_instance(
+                                            i,
+                                            degrade,
+                                            &mut engine,
+                                            &mut roster,
+                                            &mut failed,
+                                            &stats,
+                                            degraded.as_deref(),
+                                        );
+                                    }
+                                }
+                                break;
+                            }
+                            wait = wait.min(straggler);
+                        }
+                        match events_rx.recv_timeout(wait) {
+                            Ok(InstanceEvent::Data(i, epoch, data)) => {
+                                if !roster.current(i, epoch) {
+                                    continue; // stale pre-ejection reader
+                                }
+                                if let Some(t) = &telemetry {
+                                    t.instance_us.record_duration(t0.elapsed());
+                                    if let Some(span) = &span {
+                                        span.event(format!("instance:{i}:data"));
+                                    }
+                                }
+                                if engine.push_response(i, &data).is_err() {
                                     fault_instance(
                                         i,
                                         degrade,
@@ -370,24 +465,17 @@ fn run_session(
                                         &stats,
                                         degraded.as_deref(),
                                     );
+                                } else if first_complete.is_none() && engine.instance_complete(i) {
+                                    first_complete = Some(Instant::now());
                                 }
                             }
-                            break;
-                        }
-                        wait = wait.min(straggler);
-                    }
-                    match events_rx.recv_timeout(wait) {
-                        Ok(InstanceEvent::Data(i, epoch, data)) => {
-                            if !roster.current(i, epoch) {
-                                continue; // stale pre-ejection reader
-                            }
-                            if let Some(t) = &telemetry {
-                                t.instance_us.record_duration(t0.elapsed());
+                            Ok(InstanceEvent::Closed(i, epoch)) => {
+                                if !roster.current(i, epoch) {
+                                    continue;
+                                }
                                 if let Some(span) = &span {
-                                    span.event(format!("instance:{i}:data"));
+                                    span.event(format!("instance:{i}:closed"));
                                 }
-                            }
-                            if engine.push_response(i, &data).is_err() {
                                 fault_instance(
                                     i,
                                     degrade,
@@ -397,97 +485,109 @@ fn run_session(
                                     &stats,
                                     degraded.as_deref(),
                                 );
-                            } else if first_complete.is_none() && engine.instance_complete(i) {
-                                first_complete = Some(Instant::now());
+                                if !degrade.ejects() && failed.iter().all(|&f| f) {
+                                    break;
+                                }
                             }
-                        }
-                        Ok(InstanceEvent::Closed(i, epoch)) => {
-                            if !roster.current(i, epoch) {
-                                continue;
-                            }
-                            if let Some(span) = &span {
-                                span.event(format!("instance:{i}:closed"));
-                            }
-                            fault_instance(
-                                i,
-                                degrade,
-                                &mut engine,
-                                &mut roster,
-                                &mut failed,
-                                &stats,
-                                degraded.as_deref(),
-                            );
-                            if !degrade.ejects() && failed.iter().all(|&f| f) {
-                                break;
-                            }
-                        }
-                        Err(_) => continue, // timeout: re-checked at loop top
-                    }
-                }
-                if let Some(t) = &telemetry {
-                    t.merge_us.record_duration(t0.elapsed());
-                }
-                // Anything still incomplete at the overall deadline is
-                // faulted too: ejected in degraded mode, left for the diff
-                // to flag as divergent (partial frames) under sever.
-                if degrade.ejects() && !engine.exchange_ready() {
-                    for i in 0..instances.len() {
-                        if engine.is_active(i) && !engine.instance_complete(i) {
-                            eject_instance(
-                                i,
-                                &mut engine,
-                                &mut roster,
-                                &stats,
-                                degraded.as_deref(),
-                            );
+                            Err(_) => continue, // timeout: re-checked at loop top
                         }
                     }
-                }
-                // Survivor floor: diffing needs at least two live instances.
-                if below_survivor_floor(engine.active_count(), degrade) {
-                    stats.severed.fetch_add(1, Ordering::Relaxed);
-                    sever(&mut client, &mut roster, is_http);
-                    break 'session;
-                }
-                if engine.active_count() == 1 {
-                    // Lone-survivor pass-through: the exchange is answered
-                    // unchecked and counted as a warning.
-                    stats.pass_through.fetch_add(1, Ordering::Relaxed);
-                    if let Some(t) = degraded.as_deref() {
-                        t.pass_through.inc();
+                    if let Some(t) = &telemetry {
+                        t.merge_us.record_duration(t0.elapsed());
                     }
-                }
-                // De-noise + Diff + Respond.
-                let outcome = match engine.finish_exchange() {
-                    Ok(outcome) => outcome,
-                    Err(_) => {
+                    // Anything still incomplete at the overall deadline is
+                    // faulted too: ejected in degraded mode, left for the diff
+                    // to flag as divergent (partial frames) under sever.
+                    if degrade.ejects() && !engine.exchange_ready() {
+                        for i in 0..instances.len() {
+                            if engine.is_active(i) && !engine.instance_complete(i) {
+                                eject_instance(
+                                    i,
+                                    &mut engine,
+                                    &mut roster,
+                                    &stats,
+                                    degraded.as_deref(),
+                                );
+                            }
+                        }
+                    }
+                    // Survivor floor: diffing needs at least two live instances.
+                    if below_survivor_floor(engine.active_count(), degrade) {
+                        stats.severed.fetch_add(1, Ordering::Relaxed);
+                        flush_forwards(&mut client, &mut forward_buf);
                         sever(&mut client, &mut roster, is_http);
                         break 'session;
                     }
-                };
-                stats.exchanges.fetch_add(1, Ordering::Relaxed);
-                if outcome.report.diverged() {
-                    stats.divergences.fetch_add(1, Ordering::Relaxed);
-                }
-                // Quorum voting: instances outvoted by the winning group are
-                // quarantined (eligible for a rejoin probe next exchange).
-                for &i in &outcome.quarantined {
-                    quarantine_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
-                }
-                if let Some(t) = &telemetry {
-                    t.exchange_us.record_duration(exchange_start.elapsed());
-                }
-                match outcome.forward {
-                    Some(bytes) => {
-                        if client.write_all(&bytes).is_err() {
+                    if engine.active_count() == 1 {
+                        // Lone-survivor pass-through: the exchange is answered
+                        // unchecked and counted as a warning.
+                        stats.pass_through.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = degraded.as_deref() {
+                            t.pass_through.inc();
+                        }
+                    }
+                    // De-noise + Diff + Respond. Pipelined batches consume one
+                    // exchange unit per pass; the classic path takes everything
+                    // buffered, so a surplus frame still diffs against the
+                    // exchange that provoked it.
+                    let finished = if pipelined {
+                        engine.finish_exchange_unit()
+                    } else {
+                        engine.finish_exchange()
+                    };
+                    let outcome = match finished {
+                        Ok(outcome) => outcome,
+                        Err(_) => {
+                            flush_forwards(&mut client, &mut forward_buf);
+                            sever(&mut client, &mut roster, is_http);
+                            break 'session;
+                        }
+                    };
+                    stats.exchanges.fetch_add(1, Ordering::Relaxed);
+                    if outcome.report.diverged() {
+                        stats.divergences.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Quorum voting: instances outvoted by the winning group are
+                    // quarantined (eligible for a rejoin probe next exchange).
+                    for &i in &outcome.quarantined {
+                        quarantine_instance(
+                            i,
+                            &mut engine,
+                            &mut roster,
+                            &stats,
+                            degraded.as_deref(),
+                        );
+                    }
+                    if let Some(t) = &telemetry {
+                        t.exchange_us.record_duration(exchange_start.elapsed());
+                    }
+                    match outcome.forward {
+                        Some(bytes) => {
+                            // Forwards for a batch accumulate and reach the
+                            // client in one write once every unit is answered.
+                            forward_buf.extend_from_slice(&bytes);
+                        }
+                        None => {
+                            stats.severed.fetch_add(1, Ordering::Relaxed);
+                            flush_forwards(&mut client, &mut forward_buf);
+                            sever(&mut client, &mut roster, is_http);
                             break 'session;
                         }
                     }
-                    None => {
-                        stats.severed.fetch_add(1, Ordering::Relaxed);
-                        sever(&mut client, &mut roster, is_http);
+                } // end per-unit loop
+                if !forward_buf.is_empty() {
+                    let flushed = client.write_all(&forward_buf);
+                    forward_buf.clear();
+                    if flushed.is_err() {
                         break 'session;
                     }
+                }
+                if throttled_stop {
+                    sever(&mut client, &mut roster, is_http);
+                    break 'session;
+                }
+                if hard_stop {
+                    break 'session;
                 }
             }
         }
@@ -537,6 +637,18 @@ fn attempt_rejoins(
             t.rejoins.inc();
             t.degraded_depth.add(-1);
         }
+    }
+}
+
+/// Writes any accumulated batch forwards to the client before the session
+/// is torn down, so units answered ahead of a mid-batch sever still reach
+/// the client in order.
+fn flush_forwards(client: &mut BoxStream, forward_buf: &mut Vec<u8>) {
+    if !forward_buf.is_empty() {
+        // Best-effort on a session being severed anyway; a failed write
+        // changes nothing. rddr-analyze: allow(error-swallow)
+        let _ = client.write_all(forward_buf);
+        forward_buf.clear();
     }
 }
 

@@ -265,11 +265,17 @@ fn run_session(
 
     let mut backend_buf = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
+    // Per-exchange scratch, hoisted out of the session loop so a long-lived
+    // session stops allocating once its buffers reach steady-state size.
+    let mut closed = vec![false; n];
+    let mut failed = vec![false; n];
+    let mut response_buf: Vec<u8> = Vec::new();
+    let mut replicate_failed: Vec<usize> = Vec::new();
     'session: while let Some(backend_conn) = backend_conn.as_mut() {
         // Collect one complete request from every live member.
         let t0 = Instant::now();
-        let mut closed = vec![false; n];
-        let mut failed = vec![false; n];
+        closed.iter_mut().for_each(|c| *c = false);
+        failed.iter_mut().for_each(|f| *f = false);
         let mut first_complete: Option<Instant> = None;
         let mut saw_data = false;
         loop {
@@ -418,12 +424,12 @@ fn run_session(
             break 'session;
         }
 
-        // Read one complete backend response and replicate it to the live
-        // members.
-        let response = loop {
+        // Read one complete backend response (into the reused scratch
+        // buffer) and replicate it to the live members.
+        response_buf.clear();
+        let complete = loop {
             match response_protocol.split_frames(&mut backend_buf, Direction::Response) {
                 Ok(frames) if !frames.is_empty() => {
-                    let mut bytes = Vec::new();
                     let mut collected = frames;
                     // Keep reading until the response exchange completes
                     // (e.g. PostgreSQL: through ReadyForQuery).
@@ -446,39 +452,39 @@ fn run_session(
                         }
                     }
                     for f in &collected {
-                        bytes.extend_from_slice(&f.bytes);
+                        response_buf.extend_from_slice(&f.bytes);
                     }
-                    break Some(bytes);
+                    break true;
                 }
                 Ok(_) => {}
-                Err(_) => break None,
+                Err(_) => break false,
             }
             match backend_conn.read(&mut chunk) {
-                Ok(0) | Err(_) => break None,
+                Ok(0) | Err(_) => break false,
                 Ok(n) => {
                     let Some(read) = chunk.get(..n) else {
-                        break None;
+                        break false;
                     };
                     backend_buf.extend_from_slice(read);
                 }
             }
         };
-        let Some(response) = response else {
+        if !complete {
             break 'session;
-        };
+        }
         if let Some(t) = &telemetry {
             t.backend_us.record_duration(backend_start.elapsed());
         }
-        let mut replicate_failed: Vec<usize> = Vec::new();
+        replicate_failed.clear();
         for (i, slot) in roster.writers.iter_mut().enumerate() {
             let Some(w) = slot else {
                 continue;
             };
-            if w.write_all(&response).is_err() {
+            if w.write_all(&response_buf).is_err() {
                 replicate_failed.push(i);
             }
         }
-        for i in replicate_failed {
+        for &i in &replicate_failed {
             if !degrade.ejects() {
                 break 'session;
             }

@@ -20,6 +20,9 @@ echo "==> rddr-analyze (all six passes, stale-baseline check, timing report)"
 cargo run --release -p rddr-analyze -- \
   --baseline analyze-baseline.toml --forbid-stale --json BENCH_analyze.json
 
+echo "==> proxy_hotpath smoke (correctness gate + throughput report)"
+cargo run --release -p rddr-bench --bin proxy_hotpath -- --smoke --json BENCH_proxy_smoke.json
+
 echo "==> chaos suite under the three CI seeds"
 for seed in 1 271828 3141592653; do
   echo "    seed $seed"

@@ -4,13 +4,14 @@
 
 use proptest::prelude::*;
 
+use rddr_repro::core::protocol::LineProtocol;
 use rddr_repro::core::{
-    diff_segments, EphemeralStore, GlobPattern, NoiseMask, Segment, SignatureThrottle,
-    VarianceRules,
+    diff_segments, EngineConfig, EphemeralStore, GlobPattern, NVersionEngine, NoiseMask, Segment,
+    SignatureThrottle, VarianceRules, Verdict,
 };
 use rddr_repro::pgsim::{Database, PgVersion, Value};
 use rddr_repro::protocols::http::{rle_decode, rle_encode};
-use rddr_repro::protocols::parse_json;
+use rddr_repro::protocols::{parse_json, HttpProtocol};
 
 fn segs(lines: &[String]) -> Vec<Segment> {
     lines
@@ -83,6 +84,108 @@ proptest! {
             let rewritten = store.substitute(request.as_bytes(), i);
             let text = String::from_utf8_lossy(&rewritten).into_owned();
             prop_assert!(text.contains(expected.as_str()), "{i}: {text}");
+        }
+    }
+
+    /// The unanimous fast path renders verdicts identical to the full
+    /// pipeline, whatever the instances answer: unanimous ⇔ unanimous with
+    /// the same forwarded bytes, and byte-for-byte the same
+    /// `DivergenceReport` on a mismatch. Covers clean agreement, filter-pair
+    /// noise (which forces a fast-path miss and a full de-noise run), and a
+    /// surplus-line leak on a non-filter-pair instance.
+    #[test]
+    fn fast_path_verdicts_match_full_pipeline(
+        lines in proptest::collection::vec("[a-z]{1,12}", 1..6),
+        with_nonce in any::<bool>(),
+        nonces in proptest::collection::vec("[0-9a-f]{4,8}", 3..4),
+        with_leak in any::<bool>(),
+        leak in "[A-Z]{1,6}",
+    ) {
+        let nonce = with_nonce.then_some(&nonces);
+        let leak = with_leak.then_some(&leak);
+        let mut responses: Vec<Vec<u8>> = (0..3)
+            .map(|i| {
+                let mut out = String::new();
+                for (k, line) in lines.iter().enumerate() {
+                    // Optional per-instance noise on the first line: the
+                    // (0,1) filter pair should mask it when it is truly
+                    // nondeterministic, and flag instance 2 when not.
+                    match (&nonce, k) {
+                        (Some(ns), 0) => {
+                            let n = &ns[i];
+                            out.push_str(&format!("id={n} {line}\n"));
+                        }
+                        _ => {
+                            out.push_str(line);
+                            out.push('\n');
+                        }
+                    }
+                }
+                out.into_bytes()
+            })
+            .collect();
+        if let Some(extra) = &leak {
+            // A surplus line from instance 2 only: the classic data leak.
+            responses[2].extend_from_slice(format!("{extra}\n").as_bytes());
+        }
+        let run = |fast: bool| {
+            let config = EngineConfig::builder(3).fast_path(fast).build().unwrap();
+            NVersionEngine::new(config, LineProtocol::new())
+                .evaluate_responses(&responses)
+                .unwrap()
+        };
+        match (run(true), run(false)) {
+            (Verdict::Unanimous(a), Verdict::Unanimous(b)) => prop_assert_eq!(a, b),
+            (Verdict::Divergent(a), Verdict::Divergent(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "verdicts disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Replication is copy-on-write under ephemeral-token substitution: a
+    /// request that echoes the captured token is rewritten per instance
+    /// (each instance receives exactly its own token), while a token-free
+    /// request shares one allocation across all N copies even with live
+    /// tokens in the store.
+    #[test]
+    fn ephemeral_replication_is_copy_on_write(
+        t0 in "[a-zA-Z0-9]{12,18}",
+        t1 in "[a-zA-Z0-9]{12,18}",
+        t2 in "[a-zA-Z0-9]{12,18}",
+    ) {
+        prop_assume!(t0 != t1 && t1 != t2 && t0 != t2);
+        let config = EngineConfig::builder(3).build().unwrap();
+        let mut engine = NVersionEngine::new(config, HttpProtocol::new());
+        for (i, t) in [&t0, &t1, &t2].iter().enumerate() {
+            let body = format!("token={t}\n");
+            let resp = format!(
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            engine.push_response(i, resp.as_bytes()).unwrap();
+        }
+        let outcome = engine.finish_exchange().unwrap();
+        // Pathological token overlaps (shared prefixes shrinking the
+        // differing middle below the capture threshold) abort capture.
+        prop_assume!(outcome.report.tokens_captured > 0);
+        prop_assert!(!outcome.report.diverged());
+
+        // Token-free request: live tokens, nothing fires — all N copies
+        // borrow the same shared buffer.
+        let plain = b"GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        let copies = engine.replicate_request(plain).unwrap();
+        for copy in &copies {
+            prop_assert!(copy.is_shared());
+            prop_assert_eq!(copy.as_bytes().as_ptr(), copies[0].as_bytes().as_ptr());
+        }
+
+        // The canonical token echoed back: every instance's copy is
+        // rewritten to carry its own token.
+        let echo = format!("POST /s?t={t0} HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        let copies = engine.replicate_request(echo.as_bytes()).unwrap();
+        prop_assert_eq!(copies.len(), 3);
+        for (copy, expected) in copies.iter().zip([&t0, &t1, &t2]) {
+            let text = String::from_utf8_lossy(copy.as_bytes()).into_owned();
+            prop_assert!(text.contains(expected.as_str()), "{text}");
         }
     }
 
