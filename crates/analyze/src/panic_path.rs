@@ -7,8 +7,10 @@
 use crate::source::SourceFile;
 use crate::{Finding, Lint};
 
-/// Crates whose threads sit on the request hot path.
-pub const TARGET_CRATES: &[&str] = &["proxy", "net", "telemetry"];
+/// Crates whose threads sit on the request hot path. The storage engine
+/// qualifies: a panic inside a `PagedStore` commit takes the instance down
+/// mid-exchange, which the proxy can only see as an ejection.
+pub const TARGET_CRATES: &[&str] = &["proxy", "net", "telemetry", "pgstore"];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 

@@ -1,0 +1,150 @@
+//! Storage-engine comparison: the in-memory store vs the `rddr-pgstore`
+//! paged engine under a pgbench-shaped workload, on one MiniPg instance
+//! (no proxy — this isolates the storage layer itself).
+//!
+//! Three measurements per engine:
+//!
+//! * `load` — seeded pgbench dataset generation (`[storage]`-selectable
+//!   engines must pay their WAL/heap cost here, the in-memory store only
+//!   its vectors).
+//! * `select` — point-select transactions/sec over the loaded dataset,
+//!   through the key index both engines expose.
+//! * `recovery` — the instance is killed (drop + disk crash) and brought
+//!   back: the paged engine replays its WAL; the in-memory engine has
+//!   nothing durable and must re-run the loader. The gap is the price and
+//!   the payoff of the paged engine in one number.
+//!
+//! ```text
+//! pgstore_bench [--smoke] [--json BENCH_pgstore.json]
+//! ```
+//!
+//! Rows carry a `variant` label from `RDDR_BENCH_VARIANT` (default
+//! `"current"`). `--smoke` shrinks the dataset and transaction counts for
+//! CI and asserts both engines recover to the exact pre-crash state
+//! digest. Knobs: `RDDR_BENCH_SCALE` (branches), `RDDR_BENCH_ACCOUNTS`
+//! (accounts per branch), `RDDR_BENCH_TXNS` (measured selects).
+
+use std::time::Instant;
+
+use rddr_bench::report::{num, obj, s};
+use rddr_bench::{env_usize, json_path_from_args, write_report};
+use rddr_pgsim::pgbench::{self, SelectWorkload};
+use rddr_pgsim::{Database, DbFlavor, PgVersion, StorageEngine, VDisk};
+use rddr_protocols::JsonValue;
+
+#[derive(Clone, Copy)]
+struct Knobs {
+    scale: usize,
+    accounts: usize,
+    txns: usize,
+}
+
+fn version() -> PgVersion {
+    PgVersion::parse("10.7").expect("static version string")
+}
+
+fn open(engine: StorageEngine, disk: &VDisk) -> Database {
+    Database::with_engine(version(), DbFlavor::Postgres, engine, disk).expect("bench storage opens")
+}
+
+/// One engine's full pass: load, select throughput, crash, recover.
+fn bench_engine(spec: &'static str, knobs: Knobs, smoke: bool) -> JsonValue {
+    let engine = StorageEngine::parse(spec).expect("static engine spec");
+    let disk = VDisk::new("bench");
+    let mut db = open(engine, &disk);
+
+    let t0 = Instant::now();
+    let accounts = pgbench::load_scaled(&mut db, knobs.scale, knobs.accounts).expect("load");
+    let load_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut session = db.session("app");
+    let mut workload = SelectWorkload::new(accounts, 1);
+    for _ in 0..(knobs.txns / 10).max(1) {
+        db.execute(&mut session, &workload.next_query())
+            .expect("warmup select");
+    }
+    let t0 = Instant::now();
+    for _ in 0..knobs.txns {
+        db.execute(&mut session, &workload.next_query())
+            .expect("measured select");
+    }
+    let select_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let tps = knobs.txns as f64 / select_secs;
+
+    let bytes = db.storage_bytes();
+    let digest = db.state_digest();
+
+    // Kill the instance: the process dies, unsynced writes die with it.
+    drop(db);
+    disk.crash();
+
+    let t0 = Instant::now();
+    let mut db = open(engine, &disk);
+    let replayed = db.recovery_stats().map_or(0, |r| r.committed_txns);
+    if db.recovery_stats().is_none() {
+        // Nothing durable: the in-memory engine's "recovery" is a reload.
+        pgbench::load_scaled(&mut db, knobs.scale, knobs.accounts).expect("reload");
+    }
+    let recovery_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    if smoke {
+        assert_eq!(
+            db.state_digest(),
+            digest,
+            "{spec}: recovery must reproduce the pre-crash state"
+        );
+        let mut session = db.session("app");
+        let r = db
+            .execute(&mut session, "SELECT COUNT(*) FROM pgbench_accounts")
+            .expect("post-recovery count");
+        assert_eq!(r.rows[0][0].to_string(), accounts.to_string(), "{spec}");
+    }
+
+    println!(
+        "{spec:>20}  load {load_secs:>7.3}s  select {tps:>9.0} tx/s  \
+         recovery {:>7.1}ms ({replayed} txns replayed)  {bytes} bytes",
+        recovery_secs * 1e3,
+    );
+    obj([
+        (
+            "variant",
+            s(std::env::var("RDDR_BENCH_VARIANT").unwrap_or_else(|_| "current".into())),
+        ),
+        ("engine", s(spec)),
+        ("accounts", num(accounts as f64)),
+        ("load_secs", num(load_secs)),
+        ("load_rows_per_sec", num(accounts as f64 / load_secs)),
+        ("select_txns", num(knobs.txns as f64)),
+        ("select_tx_per_sec", num(tps)),
+        ("storage_bytes", num(bytes as f64)),
+        ("recovery_ms", num(recovery_secs * 1e3)),
+        ("recovered_txns", num(replayed as f64)),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = json_path_from_args();
+    let knobs = Knobs {
+        scale: env_usize("RDDR_BENCH_SCALE", if smoke { 2 } else { 5 }),
+        accounts: env_usize("RDDR_BENCH_ACCOUNTS", if smoke { 250 } else { 1000 }),
+        txns: env_usize("RDDR_BENCH_TXNS", if smoke { 2000 } else { 20000 }),
+    };
+    println!(
+        "pgstore_bench: scale={} accounts/branch={} txns={}",
+        knobs.scale, knobs.accounts, knobs.txns
+    );
+    let rows: Vec<JsonValue> = ["memory", "paged:replay-forward", "paged:shadow-discard"]
+        .into_iter()
+        .map(|spec| bench_engine(spec, knobs, smoke))
+        .collect();
+    if let Some(path) = json {
+        let params = obj([
+            ("scale", num(knobs.scale as f64)),
+            ("accounts_per_branch", num(knobs.accounts as f64)),
+            ("select_txns", num(knobs.txns as f64)),
+        ]);
+        write_report(&path, "pgstore", params, rows).expect("report written");
+        println!("wrote {}", path.display());
+    }
+}

@@ -39,6 +39,34 @@ pub enum Fault {
     ResetAfterBytes(u64),
 }
 
+/// One injected storage fault kind, consumed by simulated disks (see
+/// `rddr-pgstore`'s `DiskFaults` hook). Sequence numbers are per
+/// `(target, file, operation)`: torn pages count fsynced writes, lost
+/// fsyncs count fsync calls, truncated tails count crashes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageFault {
+    /// An fsynced write persists only its leading half; the rest of the
+    /// page reads back as zeros after a crash.
+    TornPage,
+    /// An fsync reports success but hardens nothing.
+    LostFsync,
+    /// A crash truncates the file's last durable append mid-record (the
+    /// torn-WAL-tail recovery divergence corner).
+    TruncatedWalTail,
+}
+
+/// Probabilistic storage fault mix for one target (per-mille draws, same
+/// seeded replay guarantee as [`ChaosProfile`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageChaosProfile {
+    /// Probability (0–1000) that an fsynced write tears.
+    pub torn_page_per_mille: u16,
+    /// Probability (0–1000) that an fsync is silently lost.
+    pub lost_fsync_per_mille: u16,
+    /// Probability (0–1000) that a crash truncates the last append.
+    pub truncate_tail_per_mille: u16,
+}
+
 /// Which dials a rule applies to, in per-address arrival order (0-based).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConnSelector {
@@ -92,6 +120,12 @@ pub struct FaultStats {
     pub stalled: u64,
     /// Writes that delivered only a prefix before the reset surfaced.
     pub truncated_writes: u64,
+    /// Storage writes torn by a [`StorageFault::TornPage`] draw.
+    pub torn_pages: u64,
+    /// Fsyncs silently lost to a [`StorageFault::LostFsync`] draw.
+    pub lost_fsyncs: u64,
+    /// Crashes that truncated a WAL tail ([`StorageFault::TruncatedWalTail`]).
+    pub truncated_tails: u64,
 }
 
 struct Rule {
@@ -100,10 +134,20 @@ struct Rule {
     fault: Fault,
 }
 
+struct StorageRule {
+    target: String,
+    /// `None` applies to every file on the target's disk.
+    file: Option<String>,
+    selector: ConnSelector,
+    fault: StorageFault,
+}
+
 #[derive(Default)]
 struct PlanState {
     rules: Vec<Rule>,
     chaos: BTreeMap<String, ChaosProfile>,
+    storage_rules: Vec<StorageRule>,
+    storage_chaos: BTreeMap<String, StorageChaosProfile>,
     partitioned: BTreeSet<String>,
     seq: BTreeMap<String, u64>,
 }
@@ -117,6 +161,9 @@ struct Shared {
     resets: AtomicU64,
     stalled: AtomicU64,
     truncated_writes: AtomicU64,
+    torn_pages: AtomicU64,
+    lost_fsyncs: AtomicU64,
+    truncated_tails: AtomicU64,
 }
 
 /// The fate assigned to one connection, fixed at dial time.
@@ -175,6 +222,9 @@ impl FaultPlan {
                 resets: AtomicU64::new(0),
                 stalled: AtomicU64::new(0),
                 truncated_writes: AtomicU64::new(0),
+                torn_pages: AtomicU64::new(0),
+                lost_fsyncs: AtomicU64::new(0),
+                truncated_tails: AtomicU64::new(0),
             }),
         }
     }
@@ -243,7 +293,90 @@ impl FaultPlan {
             resets: self.shared.resets.load(Ordering::SeqCst),
             stalled: self.shared.stalled.load(Ordering::SeqCst),
             truncated_writes: self.shared.truncated_writes.load(Ordering::SeqCst),
+            torn_pages: self.shared.torn_pages.load(Ordering::SeqCst),
+            lost_fsyncs: self.shared.lost_fsyncs.load(Ordering::SeqCst),
+            truncated_tails: self.shared.truncated_tails.load(Ordering::SeqCst),
         }
+    }
+
+    /// Schedules a storage fault on `target`'s simulated disk. `file`
+    /// restricts the rule to one file (`None` = any); `selector` picks
+    /// operation sequence numbers — fsynced writes for
+    /// [`StorageFault::TornPage`], fsyncs for [`StorageFault::LostFsync`],
+    /// crashes for [`StorageFault::TruncatedWalTail`].
+    pub fn storage_inject(
+        &self,
+        target: &str,
+        file: Option<&str>,
+        selector: ConnSelector,
+        fault: StorageFault,
+    ) {
+        self.shared.state.lock().storage_rules.push(StorageRule {
+            target: target.to_string(),
+            file: file.map(str::to_string),
+            selector,
+            fault,
+        });
+    }
+
+    /// Installs a probabilistic storage fault mix for `target` (consulted
+    /// only when no explicit rule decided the operation).
+    pub fn storage_chaos(&self, target: &str, profile: StorageChaosProfile) {
+        self.shared
+            .state
+            .lock()
+            .storage_chaos
+            .insert(target.to_string(), profile);
+    }
+
+    /// Adjudicates one storage operation: `seq`-th op of `fault`'s kind on
+    /// `(target, file)`. Pure in `(seed, target, file, kind, seq)` plus the
+    /// installed rules, so same-seed runs replay identically.
+    pub fn storage_fault(&self, target: &str, file: &str, fault: StorageFault, seq: u64) -> bool {
+        let state = self.shared.state.lock();
+        let mut decided = None;
+        for rule in &state.storage_rules {
+            if rule.fault == fault
+                && rule.target == target
+                && rule.file.as_deref().is_none_or(|f| f == file)
+                && rule.selector.matches(seq)
+            {
+                decided = Some(true);
+            }
+        }
+        let hit = match decided {
+            Some(d) => d,
+            None => match state.storage_chaos.get(target) {
+                Some(profile) => {
+                    let per_mille = match fault {
+                        StorageFault::TornPage => profile.torn_page_per_mille,
+                        StorageFault::LostFsync => profile.lost_fsync_per_mille,
+                        StorageFault::TruncatedWalTail => profile.truncate_tail_per_mille,
+                    };
+                    let kind = match fault {
+                        StorageFault::TornPage => "torn",
+                        StorageFault::LostFsync => "fsync",
+                        StorageFault::TruncatedWalTail => "tail",
+                    };
+                    let key = format!("storage/{kind}/{target}/{file}");
+                    let draw = splitmix64(
+                        self.shared.seed ^ fnv1a(&key) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    (draw % 1000) < u64::from(per_mille)
+                }
+                None => false,
+            },
+        };
+        drop(state);
+        if hit {
+            let counter = match fault {
+                StorageFault::TornPage => &self.shared.torn_pages,
+                StorageFault::LostFsync => &self.shared.lost_fsyncs,
+                StorageFault::TruncatedWalTail => &self.shared.truncated_tails,
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
+        }
+        hit
     }
 
     /// Applies the next fate for `addr` to an already-established stream
@@ -678,6 +811,59 @@ mod tests {
         plan.refuse(&addr, ConnSelector::Nth(1));
         let (client2, _server2) = crate::duplex_pair("client", "db:5432");
         assert!(plan.wrap(&addr, Box::new(client2)).is_err());
+    }
+
+    #[test]
+    fn storage_rule_hits_selected_sequence_and_file() {
+        let plan = FaultPlan::new(10);
+        plan.storage_inject(
+            "db-2",
+            Some("wal"),
+            ConnSelector::Nth(0),
+            StorageFault::TruncatedWalTail,
+        );
+        assert!(plan.storage_fault("db-2", "wal", StorageFault::TruncatedWalTail, 0));
+        assert!(!plan.storage_fault("db-2", "wal", StorageFault::TruncatedWalTail, 1));
+        assert!(!plan.storage_fault("db-2", "heap", StorageFault::TruncatedWalTail, 0));
+        assert!(!plan.storage_fault("db-1", "wal", StorageFault::TruncatedWalTail, 0));
+        assert!(!plan.storage_fault("db-2", "wal", StorageFault::TornPage, 0));
+        assert_eq!(plan.stats().truncated_tails, 1);
+    }
+
+    #[test]
+    fn storage_rule_without_file_applies_to_all_files() {
+        let plan = FaultPlan::new(11);
+        plan.storage_inject("db-0", None, ConnSelector::All, StorageFault::LostFsync);
+        assert!(plan.storage_fault("db-0", "wal", StorageFault::LostFsync, 0));
+        assert!(plan.storage_fault("db-0", "heap", StorageFault::LostFsync, 7));
+        assert_eq!(plan.stats().lost_fsyncs, 2);
+    }
+
+    #[test]
+    fn storage_chaos_replays_identically_per_seed() {
+        let draws = |seed: u64| {
+            let plan = FaultPlan::new(seed);
+            plan.storage_chaos(
+                "db-1",
+                StorageChaosProfile {
+                    torn_page_per_mille: 250,
+                    lost_fsync_per_mille: 250,
+                    truncate_tail_per_mille: 500,
+                },
+            );
+            let mut out = Vec::new();
+            for seq in 0..64 {
+                out.push(plan.storage_fault("db-1", "heap", StorageFault::TornPage, seq));
+                out.push(plan.storage_fault("db-1", "wal", StorageFault::LostFsync, seq));
+                out.push(plan.storage_fault("db-1", "wal", StorageFault::TruncatedWalTail, seq));
+            }
+            out
+        };
+        let a = draws(0xABCD);
+        let b = draws(0xABCD);
+        assert_eq!(a, b);
+        assert!(a.contains(&true) && a.contains(&false));
+        assert_ne!(a, draws(0xDCBA), "different seed, different schedule");
     }
 
     #[test]

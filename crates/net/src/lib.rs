@@ -50,7 +50,10 @@ mod tcp;
 pub use addr::ServiceAddr;
 pub use duplex::{duplex_pair, DuplexStream};
 pub use error::NetError;
-pub use fault::{ChaosProfile, ConnSelector, Fault, FaultNet, FaultPlan, FaultStats};
+pub use fault::{
+    ChaosProfile, ConnSelector, Fault, FaultNet, FaultPlan, FaultStats, StorageChaosProfile,
+    StorageFault,
+};
 pub use secure::{PresharedKey, SecureListener, SecureNet, SecureStream};
 pub use sim::{LatencyModel, NetStats, SimNet};
 pub use stream::{BoxListener, BoxStream, Listener, Network, Stream};

@@ -19,6 +19,9 @@ pub enum ClusterError {
     UnknownReplica(String),
     /// A respawned replica did not pass its readiness probe in time.
     NotReady(String),
+    /// A replica's service factory failed while rebuilding the service
+    /// (e.g. storage recovery found unrepairable corruption).
+    SpawnFailed(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -30,6 +33,7 @@ impl fmt::Display for ClusterError {
             ClusterError::NotReady(n) => {
                 write!(f, "replica {n} failed its readiness probe")
             }
+            ClusterError::SpawnFailed(e) => write!(f, "service factory failed: {e}"),
         }
     }
 }
@@ -341,6 +345,30 @@ mod tests {
         let _again = cluster
             .run_container("a2", Image::new("x", "2"), &addr, echo_service())
             .unwrap();
+    }
+
+    #[test]
+    fn kill_severs_in_flight_connections() {
+        let cluster = Cluster::new(1);
+        let addr = ServiceAddr::new("svc", 80);
+        let mut c = cluster
+            .run_container("a", Image::new("x", "1"), &addr, echo_service())
+            .unwrap();
+        let mut conn = cluster.net().dial(&addr).unwrap();
+        conn.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        c.kill();
+        // The established connection is severed, not drained: the peer
+        // sees EOF (or an error) instead of another echo.
+        let _ = conn.write_all(b"yo");
+        let mut buf = [0u8; 2];
+        assert!(
+            conn.read_exact(&mut buf).is_err(),
+            "kill must sever connections already being served"
+        );
+        assert!(cluster.net().dial(&addr).is_err());
     }
 
     #[test]

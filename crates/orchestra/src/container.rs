@@ -2,7 +2,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rddr_net::{BoxListener, ServiceAddr};
+use parking_lot::Mutex;
+use rddr_net::{BoxListener, BoxStream, ServiceAddr};
 
 use crate::{Image, ResourceMeter, Service, ServiceCtx};
 
@@ -20,6 +21,9 @@ pub struct ContainerHandle {
     unbind: Box<dyn Fn() + Send + Sync>,
     accept_thread: Option<JoinHandle<()>>,
     connections: Arc<AtomicU64>,
+    /// Clones of every accepted stream, so [`ContainerHandle::kill`] can
+    /// sever in-flight connections the way a crashed process would.
+    live: Arc<Mutex<Vec<BoxStream>>>,
 }
 
 impl std::fmt::Debug for ContainerHandle {
@@ -45,8 +49,10 @@ impl ContainerHandle {
         let meter = ctx.meter.clone();
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
+        let live: Arc<Mutex<Vec<BoxStream>>> = Arc::new(Mutex::new(Vec::new()));
         let stop2 = Arc::clone(&stop);
         let conn_count = Arc::clone(&connections);
+        let live2 = Arc::clone(&live);
         let thread_name = name.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("container-{thread_name}"))
@@ -59,6 +65,9 @@ impl ContainerHandle {
                         break;
                     }
                     conn_count.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = conn.try_clone() {
+                        live2.lock().push(clone);
+                    }
                     let service = Arc::clone(&service);
                     let ctx = ctx.clone();
                     std::thread::Builder::new()
@@ -77,6 +86,7 @@ impl ContainerHandle {
             unbind,
             accept_thread: Some(accept_thread),
             connections,
+            live,
         }
     }
 
@@ -106,7 +116,8 @@ impl ContainerHandle {
     }
 
     /// Stops the accept loop and unbinds the address. Connections already
-    /// handed to worker threads run to completion.
+    /// handed to worker threads run to completion (a graceful drain, like
+    /// `docker stop`).
     pub fn stop(&mut self) {
         if !self.stop.swap(true, Ordering::Relaxed) {
             (self.unbind)();
@@ -114,6 +125,17 @@ impl ContainerHandle {
         if let Some(t) = self.accept_thread.take() {
             // The accept loop exits once its listener sees the unbind.
             let _ = t.join();
+        }
+    }
+
+    /// Kills the container like a crashed process (`docker kill`): stops
+    /// the accept loop, unbinds the address, *and* severs every connection
+    /// currently being served — peers see an abrupt close, and crash-
+    /// recovery chaos tests pair this with a disk crash.
+    pub fn kill(&mut self) {
+        self.stop();
+        for mut conn in self.live.lock().drain(..) {
+            conn.shutdown();
         }
     }
 }

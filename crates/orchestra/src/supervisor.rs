@@ -19,12 +19,27 @@ use rddr_net::{Network, ServiceAddr};
 
 use crate::{Cluster, ClusterError, ContainerHandle, Image, Service};
 
+/// How a replica's service object is produced at respawn time.
+#[derive(Clone)]
+enum Launch {
+    /// Reuse one shared service object across respawns. The object's
+    /// in-memory state survives the "crash" — fine for stateless services,
+    /// wrong for stateful ones (the restart-lossiness bug this module's
+    /// factory mode exists to fix).
+    Shared(Arc<dyn Service>),
+    /// Call a factory on every respawn. The factory rebuilds the service
+    /// from durable state (e.g. WAL recovery off a virtual disk) *before*
+    /// the container starts listening, so a passing readiness probe
+    /// implies recovery completed.
+    Factory(Arc<dyn Fn() -> Result<Arc<dyn Service>, String> + Send + Sync>),
+}
+
 /// Everything needed to stamp a replica back out after it dies.
 struct ReplicaSpec {
     image: Image,
     addr: ServiceAddr,
     node: usize,
-    service: Arc<dyn Service>,
+    launch: Launch,
     restarts: u64,
 }
 
@@ -58,7 +73,10 @@ impl Supervisor {
         Self::default()
     }
 
-    /// Registers (or replaces) the spec for replica `name` on node 0.
+    /// Registers (or replaces) the spec for replica `name` on node 0. The
+    /// shared `service` object is reused across respawns; for stateful
+    /// services prefer [`Supervisor::register_factory`] so restarts rebuild
+    /// state from durable storage instead of resurrecting pre-crash memory.
     pub fn register(
         &self,
         name: impl Into<String>,
@@ -79,13 +97,61 @@ impl Supervisor {
         addr: ServiceAddr,
         service: Arc<dyn Service>,
     ) {
-        self.specs.lock().insert(
+        self.insert_spec(node, name.into(), image, addr, Launch::Shared(service));
+    }
+
+    /// Registers replica `name` on node 0 with a service *factory*: every
+    /// respawn calls it to rebuild the service from durable state (WAL
+    /// recovery, config reload, …) before the container starts listening.
+    /// A factory error aborts the respawn with
+    /// [`ClusterError::SpawnFailed`].
+    ///
+    /// The factory must not call back into this supervisor (it runs while
+    /// no spec lock is held, but re-registering from inside it would race
+    /// the respawn that invoked it).
+    pub fn register_factory(
+        &self,
+        name: impl Into<String>,
+        image: Image,
+        addr: ServiceAddr,
+        factory: impl Fn() -> Result<Arc<dyn Service>, String> + Send + Sync + 'static,
+    ) {
+        self.register_factory_on(0, name, image, addr, factory);
+    }
+
+    /// [`Supervisor::register_factory`] with explicit node placement.
+    pub fn register_factory_on(
+        &self,
+        node: usize,
+        name: impl Into<String>,
+        image: Image,
+        addr: ServiceAddr,
+        factory: impl Fn() -> Result<Arc<dyn Service>, String> + Send + Sync + 'static,
+    ) {
+        self.insert_spec(
+            node,
             name.into(),
+            image,
+            addr,
+            Launch::Factory(Arc::new(factory)),
+        );
+    }
+
+    fn insert_spec(
+        &self,
+        node: usize,
+        name: String,
+        image: Image,
+        addr: ServiceAddr,
+        launch: Launch,
+    ) {
+        self.specs.lock().insert(
+            name,
             ReplicaSpec {
                 image,
                 addr,
                 node,
-                service,
+                launch,
                 restarts: 0,
             },
         );
@@ -123,15 +189,17 @@ impl Supervisor {
     ///
     /// [`ClusterError::UnknownReplica`] if `name` was never registered,
     /// [`ClusterError::AddressInUse`] if the old container still holds the
-    /// address, and [`ClusterError::NotReady`] if the respawned container
-    /// did not accept a connection within `ready_timeout`.
+    /// address, [`ClusterError::SpawnFailed`] if a registered service
+    /// factory failed to rebuild the service, and [`ClusterError::NotReady`]
+    /// if the respawned container did not accept a connection within
+    /// `ready_timeout`.
     pub fn respawn(
         &self,
         cluster: &Cluster,
         name: &str,
         ready_timeout: Duration,
     ) -> crate::Result<ContainerHandle> {
-        let (node, image, addr, service) = {
+        let (node, image, addr, launch) = {
             let specs = self.specs.lock();
             let spec = specs
                 .get(name)
@@ -140,8 +208,14 @@ impl Supervisor {
                 spec.node,
                 spec.image.clone(),
                 spec.addr.clone(),
-                Arc::clone(&spec.service),
+                spec.launch.clone(),
             )
+        };
+        // Factory mode rebuilds the service (running recovery) before the
+        // container exists, so readiness cannot race recovery.
+        let service = match launch {
+            Launch::Shared(service) => service,
+            Launch::Factory(factory) => factory().map_err(ClusterError::SpawnFailed)?,
         };
         let handle = cluster.run_container_on(node, name, image, &addr, service)?;
         if !wait_ready(&cluster.net(), &addr, ready_timeout) {
@@ -222,6 +296,54 @@ mod tests {
         let mut buf = [0u8; 2];
         conn.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn factory_respawn_rebuilds_before_readiness() {
+        let cluster = Cluster::new(1);
+        let addr = ServiceAddr::new("svc", 80);
+        let image = Image::new("svc", "v1");
+        let supervisor = Supervisor::new();
+        // The "durable state" the factory recovers from: each rebuild
+        // stamps a fresh generation, and the service answers with it.
+        let generation = Arc::new(AtomicU64::new(0));
+        let gen_for_factory = Arc::clone(&generation);
+        supervisor.register_factory("svc-0", image.clone(), addr.clone(), move || {
+            let gen = gen_for_factory.fetch_add(1, Ordering::SeqCst) + 1;
+            Ok(Arc::new(FnService::new("svc", move |mut conn, _ctx| {
+                let _ = conn.write_all(&gen.to_le_bytes());
+            })) as Arc<dyn Service>)
+        });
+
+        let mut first = cluster
+            .run_container("svc-0", image, &addr, echo_service())
+            .unwrap();
+        first.stop();
+        let _respawned = supervisor
+            .respawn(&cluster, "svc-0", Duration::from_secs(1))
+            .unwrap();
+        // The factory ran exactly once, before readiness reported.
+        assert_eq!(generation.load(Ordering::SeqCst), 1);
+        let mut conn = cluster.net().dial(&addr).unwrap();
+        let mut buf = [0u8; 8];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 1);
+    }
+
+    #[test]
+    fn factory_failure_aborts_the_respawn() {
+        let cluster = Cluster::new(1);
+        let addr = ServiceAddr::new("svc", 80);
+        let supervisor = Supervisor::new();
+        supervisor.register_factory("svc-0", Image::new("svc", "v1"), addr.clone(), || {
+            Err("wal corrupt at offset 12".to_string())
+        });
+        let err = supervisor
+            .respawn(&cluster, "svc-0", Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::SpawnFailed(_)));
+        assert!(cluster.net().dial(&addr).is_err(), "nothing must be bound");
+        assert_eq!(supervisor.restarts(), 0);
     }
 
     #[test]

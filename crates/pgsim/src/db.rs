@@ -1,12 +1,26 @@
 //! The database catalog and statement executor.
+//!
+//! Since the storage split, the executor owns only the *catalog* (column
+//! definitions, ownership, privileges, row security) and runs all row
+//! access through an `rddr_pgstore::Storage` backend — in-memory or paged
+//! — chosen per instance via [`crate::storage::StorageEngine`]. Every
+//! mutation is transactional: explicit `BEGIN`/`COMMIT`/`ROLLBACK` map to
+//! storage transactions, and standalone mutations are wrapped in an
+//! implicit one, so on the paged engine every change reaches the WAL with
+//! a commit record.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+use rddr_pgstore::{RecoveryStats, StoreError, VDisk};
 
 use crate::ast::{ColumnDef, Expr, Select, Statement};
 use crate::eval::{eval, Env, ExecCtx};
 use crate::exec::run_select;
 use crate::parser::parse_statement;
+use crate::storage::{
+    decode_table_meta, encode_table_meta, open_storage, DynStorage, StorageEngine,
+};
 use crate::value::{SqlType, Value};
 use crate::version::PgVersion;
 
@@ -36,6 +50,10 @@ impl fmt::Display for SqlError {
 }
 
 impl std::error::Error for SqlError {}
+
+fn store_err(e: StoreError) -> SqlError {
+    SqlError::Exec(format!("storage: {e}"))
+}
 
 /// Which database product this engine is impersonating.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,19 +105,18 @@ struct Operator {
     restrict: Option<String>,
 }
 
-/// One table.
+/// One table's catalog entry. Rows live in the storage backend; this is
+/// the schema-and-privileges half the executor still owns. Recovery
+/// rebuilds `columns`/`owner` from the storage catalog blob; RLS state,
+/// policies and grants are deliberately not durable (scenarios re-apply
+/// schema policy on boot, like init scripts).
 #[derive(Debug, Clone)]
 struct Table {
     columns: Vec<ColumnDef>,
-    rows: Vec<Vec<Value>>,
     owner: String,
     rls_enabled: bool,
     policies: Vec<Expr>,
     select_grants: BTreeSet<String>,
-    /// Point-lookup index on the first column (the conventional primary key),
-    /// built lazily for large tables and invalidated by UPDATE/DELETE.
-    /// Models the index scan pgbench's `WHERE aid = ?` point queries hit.
-    pkey_index: Option<BTreeMap<String, Vec<usize>>>,
 }
 
 /// A client session: the authenticated user plus session settings.
@@ -135,7 +152,7 @@ pub struct QueryResult {
     pub scanned: u64,
 }
 
-/// An in-memory SQL database.
+/// A SQL database: catalog and executor over a pluggable storage backend.
 pub struct Database {
     version: PgVersion,
     flavor: DbFlavor,
@@ -143,8 +160,12 @@ pub struct Database {
     functions: BTreeMap<String, PlFunction>,
     operators: BTreeMap<String, Operator>,
     users: BTreeSet<String>,
-    /// Total bytes of simulated row storage (for memory metering).
-    storage_bytes: u64,
+    store: DynStorage,
+    engine: StorageEngine,
+    recovery: Option<RecoveryStats>,
+    /// Catalog undo log while an explicit transaction is open: table name →
+    /// its pre-transaction catalog entry (`None` = did not exist).
+    catalog_undo: Option<BTreeMap<String, Option<Table>>>,
 }
 
 impl fmt::Debug for Database {
@@ -152,6 +173,7 @@ impl fmt::Debug for Database {
         f.debug_struct("Database")
             .field("version", &self.version)
             .field("flavor", &self.flavor)
+            .field("engine", &self.engine)
             .field("tables", &self.tables.len())
             .finish()
     }
@@ -161,24 +183,69 @@ impl fmt::Debug for Database {
 pub const SUPERUSER: &str = "APP";
 
 impl Database {
-    /// Creates a MiniPg database at the given version.
+    /// Creates a MiniPg database at the given version (in-memory storage).
     pub fn new(version: PgVersion) -> Self {
         Self::with_flavor(version, DbFlavor::Postgres)
     }
 
-    /// Creates a database with an explicit flavor.
+    /// Creates a database with an explicit flavor (in-memory storage).
     pub fn with_flavor(version: PgVersion, flavor: DbFlavor) -> Self {
+        let disk = VDisk::new("mem");
+        match Self::with_engine(version, flavor, StorageEngine::InMemory, &disk) {
+            Ok(db) => db,
+            // In-memory open cannot fail (no WAL to replay); satisfy the
+            // type without a panic path.
+            Err(_) => unreachable!("in-memory storage open is infallible"),
+        }
+    }
+
+    /// Creates a database on an explicit storage engine. For
+    /// [`StorageEngine::Paged`], `disk` carries state across restarts —
+    /// clone the same [`VDisk`] into a respawned instance and its WAL is
+    /// replayed under the engine's recovery policy, with the catalog
+    /// rebuilt from the recovered tables.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Exec`] when WAL replay finds interior corruption or the
+    /// recovered catalog blob cannot be decoded.
+    pub fn with_engine(
+        version: PgVersion,
+        flavor: DbFlavor,
+        engine: StorageEngine,
+        disk: &VDisk,
+    ) -> Result<Self, SqlError> {
+        let (store, recovery) = open_storage(engine, disk)?;
         let mut users = BTreeSet::new();
         users.insert(SUPERUSER.to_string());
-        Self {
+        let mut db = Self {
             version,
             flavor,
             tables: BTreeMap::new(),
             functions: BTreeMap::new(),
             operators: BTreeMap::new(),
             users,
-            storage_bytes: 0,
+            store,
+            engine,
+            recovery,
+            catalog_undo: None,
+        };
+        for name in db.store.table_names() {
+            let meta = db.store.table_meta(&name).unwrap_or_default();
+            let (owner, columns) = decode_table_meta(&meta)?;
+            db.users.insert(owner.clone());
+            db.tables.insert(
+                name,
+                Table {
+                    columns,
+                    owner,
+                    rls_enabled: false,
+                    policies: Vec::new(),
+                    select_grants: BTreeSet::new(),
+                },
+            );
         }
+        Ok(db)
     }
 
     /// The server version banner, as reported in `ParameterStatus` and
@@ -195,9 +262,33 @@ impl Database {
         &self.version
     }
 
-    /// Total bytes of simulated row storage.
+    /// Total bytes of simulated row storage (logical heap bytes in-memory,
+    /// live heap pages paged).
     pub fn storage_bytes(&self) -> u64 {
-        self.storage_bytes
+        self.store.bytes()
+    }
+
+    /// The storage engine this instance was opened with.
+    pub fn storage_engine(&self) -> StorageEngine {
+        self.engine
+    }
+
+    /// What WAL replay found when the instance opened, if the engine
+    /// recovers at all (`None` for in-memory storage).
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// Deterministic digest of the full logical row state — the
+    /// replay-equivalence probe recovery tests compare across engines,
+    /// restarts, and recovery policies.
+    pub fn state_digest(&self) -> u64 {
+        self.store.state_digest()
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.store.in_txn()
     }
 
     /// Opens a session as `user` (created implicitly if unknown — the wire
@@ -263,7 +354,7 @@ impl Database {
         match stmt {
             Statement::Select(select) => {
                 if let Some(plan) = self.point_query_plan(session, &select) {
-                    self.ensure_pkey_index(&plan.table);
+                    self.store.ensure_index(&plan.table).map_err(store_err)?;
                     return self.run_point_query(session, &select, &plan);
                 }
                 self.run_query(session, &select, false)
@@ -276,16 +367,19 @@ impl Database {
                         name.to_lowercase()
                     )));
                 }
+                self.remember_catalog(&name);
+                let meta = encode_table_meta(&session.user, &columns);
+                let implicit = self.begin_implicit()?;
+                let result = self.store.create_table(&name, &meta);
+                self.finish_implicit(implicit, result)?;
                 self.tables.insert(
                     name,
                     Table {
                         columns,
-                        rows: Vec::new(),
                         owner: session.user.clone(),
                         rls_enabled: false,
                         policies: Vec::new(),
                         select_grants: BTreeSet::new(),
-                        pkey_index: None,
                     },
                 );
                 Ok(tag("CREATE TABLE"))
@@ -298,9 +392,10 @@ impl Database {
                         name.to_lowercase()
                     )));
                 }
-                self.storage_bytes = self
-                    .storage_bytes
-                    .saturating_sub(table_bytes(&self.tables[&name]));
+                self.remember_catalog(&name);
+                let implicit = self.begin_implicit()?;
+                let result = self.store.drop_table(&name);
+                self.finish_implicit(implicit, result)?;
                 self.tables.remove(&name);
                 Ok(tag("DROP TABLE"))
             }
@@ -362,6 +457,7 @@ impl Database {
                 Ok(tag("CREATE ROLE"))
             }
             Statement::Grant { table, user } => {
+                self.remember_catalog(&table);
                 let t = self
                     .tables
                     .get_mut(&table)
@@ -370,6 +466,7 @@ impl Database {
                 Ok(tag("GRANT"))
             }
             Statement::EnableRls { table } => {
+                self.remember_catalog(&table);
                 let t = self
                     .tables
                     .get_mut(&table)
@@ -381,6 +478,7 @@ impl Database {
                 if let DbFlavor::Cockroach(_) = self.flavor {
                     return Err(SqlError::Unsupported("policies are not supported".into()));
                 }
+                self.remember_catalog(&table);
                 let t = self
                     .tables
                     .get_mut(&table)
@@ -415,28 +513,100 @@ impl Database {
                     scanned: 0,
                 })
             }
-            Statement::Transaction { verb } => Ok(tag(&verb)),
+            Statement::Transaction { verb } => self.transaction_verb(&verb),
         }
     }
 
-    /// Builds the lazily-maintained primary-key index for `table`.
-    fn ensure_pkey_index(&mut self, table: &str) {
-        if let Some(t) = self.tables.get_mut(table) {
-            if t.pkey_index.is_none() {
-                let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-                for (ri, row) in t.rows.iter().enumerate() {
-                    index.entry(row[0].group_key()).or_default().push(ri);
+    /// `BEGIN`/`COMMIT`/`END`/`ROLLBACK`. Nested `BEGIN` and commits
+    /// without a transaction are no-ops (tag only), preserving the
+    /// pre-storage-split wire behaviour for benign traffic.
+    fn transaction_verb(&mut self, verb: &str) -> Result<QueryResult, SqlError> {
+        match verb {
+            "BEGIN" if !self.store.in_txn() => {
+                self.store.begin().map_err(store_err)?;
+                self.catalog_undo = Some(BTreeMap::new());
+            }
+            "COMMIT" | "END" if self.store.in_txn() => {
+                self.store.commit().map_err(store_err)?;
+                self.catalog_undo = None;
+            }
+            "ROLLBACK" if self.store.in_txn() => {
+                self.store.rollback().map_err(store_err)?;
+                if let Some(undo) = self.catalog_undo.take() {
+                    for (name, prior) in undo {
+                        match prior {
+                            Some(t) => {
+                                self.tables.insert(name, t);
+                            }
+                            None => {
+                                self.tables.remove(&name);
+                            }
+                        }
+                    }
                 }
-                t.pkey_index = Some(index);
+            }
+            _ => {}
+        }
+        Ok(tag(verb))
+    }
+
+    /// Opens an implicit storage transaction around a standalone mutation;
+    /// returns whether one was opened (false inside an explicit txn).
+    fn begin_implicit(&mut self) -> Result<bool, SqlError> {
+        if self.store.in_txn() {
+            return Ok(false);
+        }
+        self.store.begin().map_err(store_err)?;
+        Ok(true)
+    }
+
+    /// Completes a mutation: commits the implicit transaction on success,
+    /// rolls it back (restoring pre-statement state) on failure.
+    fn finish_implicit(
+        &mut self,
+        implicit: bool,
+        result: Result<(), StoreError>,
+    ) -> Result<(), SqlError> {
+        match result {
+            Ok(()) => {
+                if implicit {
+                    self.store.commit().map_err(store_err)?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if implicit {
+                    self.store.rollback().map_err(store_err)?;
+                }
+                Err(store_err(e))
             }
         }
+    }
+
+    /// Records `table`'s pre-transaction catalog entry the first time an
+    /// explicit transaction touches it (for `ROLLBACK`).
+    fn remember_catalog(&mut self, table: &str) {
+        if let Some(undo) = &mut self.catalog_undo {
+            if !undo.contains_key(table) {
+                undo.insert(table.to_string(), self.tables.get(table).cloned());
+            }
+        }
+    }
+
+    /// All stored rows of `table`, in insertion order.
+    fn stored_rows(&self, table: &str) -> Result<Vec<Vec<Value>>, SqlError> {
+        let mut rows = Vec::new();
+        self.store
+            .scan(table, &mut |r| rows.push(r))
+            .map_err(store_err)?;
+        Ok(rows)
     }
 
     /// Recognizes the indexable point-query shape:
     /// `SELECT cols FROM t WHERE pkey = literal [AND simple-conjuncts]` on a
     /// sizeable table without row security.
     fn point_query_plan(&self, session: &Session, select: &Select) -> Option<PointPlan> {
-        const INDEX_THRESHOLD: usize = 128;
+        const INDEX_THRESHOLD: u64 = 128;
         if select.from.len() != 1
             || select.distinct
             || !select.group_by.is_empty()
@@ -450,7 +620,7 @@ impl Database {
             return None;
         }
         let t = self.tables.get(&tref.name)?;
-        if t.rows.len() < INDEX_THRESHOLD
+        if self.store.row_count(&tref.name).unwrap_or(0) < INDEX_THRESHOLD
             || (t.rls_enabled && t.owner != session.user && session.user != SUPERUSER)
         {
             return None;
@@ -497,19 +667,21 @@ impl Database {
     ) -> Result<QueryResult, SqlError> {
         let ctx = ExecCtx::new(self, session);
         let t = self.tables.get(&plan.table).expect("plan checked table");
-        let index = t.pkey_index.as_ref().expect("ensure_pkey_index ran");
         let schema: Vec<(String, String)> = t
             .columns
             .iter()
             .map(|c| (plan.alias.clone(), c.name.clone()))
             .collect();
-        let empty = Vec::new();
-        let candidates = index.get(&plan.key.group_key()).unwrap_or(&empty);
-        ctx.charge_scan(candidates.len() as u64 + 1); // index probe + matches
+        let key_bytes = plan.key.group_key().into_bytes();
+        let mut candidate_rows: Vec<Vec<Value>> = Vec::new();
+        let candidates = self
+            .store
+            .lookup(&plan.table, &key_bytes, &mut |r| candidate_rows.push(r))
+            .map_err(store_err)?;
+        ctx.charge_scan(candidates + 1); // index probe + matches
         let conjuncts = flatten_and(select.where_clause.as_ref().expect("plan has WHERE"));
         let mut rows = Vec::new();
-        for &ri in candidates {
-            let row = &t.rows[ri];
+        for row in &candidate_rows {
             let env = Env {
                 schema: &schema,
                 row,
@@ -689,7 +861,8 @@ impl Database {
             .iter()
             .map(|c| (alias.to_string(), c.name.clone()))
             .collect();
-        for row in &t.rows {
+        let rows = self.stored_rows(table)?;
+        for row in &rows {
             let env = Env {
                 schema: &schema,
                 row,
@@ -699,7 +872,7 @@ impl Database {
                 let _ = eval(ctx, c, &env)?;
             }
         }
-        ctx.charge_scan(t.rows.len() as u64);
+        ctx.charge_scan(rows.len() as u64);
         Ok(())
     }
 
@@ -734,7 +907,8 @@ impl Database {
             .collect();
         // Only the *hidden* rows constitute the leak; visible rows are
         // evaluated by the ordinary filter anyway.
-        for row in &t.rows {
+        let rows = self.stored_rows(table)?;
+        for row in &rows {
             let env = Env {
                 schema: &schema,
                 row,
@@ -796,10 +970,11 @@ impl Database {
         }
         let cols: Vec<String> = t.columns.iter().map(|c| c.name.clone()).collect();
         let exempt = t.owner == ctx.session.user || ctx.session.user == SUPERUSER;
-        let mut rows = Vec::with_capacity(t.rows.len());
-        for row in &t.rows {
-            if !t.rls_enabled || exempt || self.row_visible(ctx, t, row)? {
-                rows.push(row.clone());
+        let stored = self.stored_rows(table)?;
+        let mut rows = Vec::with_capacity(stored.len());
+        for row in stored {
+            if !t.rls_enabled || exempt || self.row_visible(ctx, t, &row)? {
+                rows.push(row);
             }
         }
         if let DbFlavor::Cockroach(c) = &self.flavor {
@@ -856,19 +1031,10 @@ impl Database {
             new_rows.push(row);
         }
         drop(ctx);
-        let added: u64 = new_rows.iter().map(|r| row_bytes(r)).sum();
         let count = new_rows.len();
-        let t = self.tables.get_mut(table).expect("checked above");
-        if let Some(index) = &mut t.pkey_index {
-            for (offset, row) in new_rows.iter().enumerate() {
-                index
-                    .entry(row[0].group_key())
-                    .or_default()
-                    .push(t.rows.len() + offset);
-            }
-        }
-        t.rows.extend(new_rows);
-        self.storage_bytes += added;
+        let implicit = self.begin_implicit()?;
+        let result = self.store.insert(table, new_rows);
+        self.finish_implicit(implicit, result)?;
         Ok(tag(&format!("INSERT 0 {count}")))
     }
 
@@ -897,9 +1063,11 @@ impl Database {
                     })
             })
             .collect::<Result<_, _>>()?;
+        let stored = self.stored_rows(table)?;
         let ctx = ExecCtx::new(self, session);
-        let mut updates: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
-        for (ri, row) in t.rows.iter().enumerate() {
+        let mut new_rows = Vec::with_capacity(stored.len());
+        let mut count = 0u64;
+        for row in &stored {
             let env = Env {
                 schema: &schema,
                 row,
@@ -910,25 +1078,23 @@ impl Database {
                 None => true,
             };
             if hit {
-                let mut assignments = Vec::with_capacity(set_positions.len());
+                let mut updated = row.clone();
                 for (pos, expr) in &set_positions {
                     let v = eval(&ctx, expr, &env)?;
-                    assignments.push((*pos, coerce(v, t.columns[*pos].ty)?));
+                    updated[*pos] = coerce(v, t.columns[*pos].ty)?;
                 }
-                updates.push((ri, assignments));
+                new_rows.push(updated);
+                count += 1;
+            } else {
+                new_rows.push(row.clone());
             }
         }
-        ctx.charge_scan(t.rows.len() as u64);
+        ctx.charge_scan(stored.len() as u64);
         let scanned = ctx.scanned.get();
         drop(ctx);
-        let count = updates.len();
-        let t = self.tables.get_mut(table).expect("checked above");
-        t.pkey_index = None;
-        for (ri, assignments) in updates {
-            for (pos, v) in assignments {
-                t.rows[ri][pos] = v;
-            }
-        }
+        let implicit = self.begin_implicit()?;
+        let result = self.store.rewrite(table, new_rows);
+        self.finish_implicit(implicit, result)?;
         Ok(QueryResult {
             tag: format!("UPDATE {count}"),
             scanned,
@@ -948,14 +1114,14 @@ impl Database {
             .iter()
             .map(|c| (table.to_string(), c.name.clone()))
             .collect();
+        let stored = self.stored_rows(table)?;
         let ctx = ExecCtx::new(self, session);
-        let mut keep = Vec::with_capacity(t.rows.len());
-        let mut removed_bytes = 0u64;
+        let mut keep = Vec::with_capacity(stored.len());
         let mut removed = 0usize;
-        for row in &t.rows {
+        for row in stored {
             let env = Env {
                 schema: &schema,
-                row,
+                row: &row,
                 parent: None,
             };
             let hit = match where_clause {
@@ -964,17 +1130,15 @@ impl Database {
             };
             if hit {
                 removed += 1;
-                removed_bytes += row_bytes(row);
             } else {
-                keep.push(row.clone());
+                keep.push(row);
             }
         }
         let scanned = ctx.scanned.get() + keep.len() as u64 + removed as u64;
         drop(ctx);
-        let t = self.tables.get_mut(table).expect("checked above");
-        t.pkey_index = None;
-        t.rows = keep;
-        self.storage_bytes = self.storage_bytes.saturating_sub(removed_bytes);
+        let implicit = self.begin_implicit()?;
+        let result = self.store.rewrite(table, keep);
+        self.finish_implicit(implicit, result)?;
         Ok(QueryResult {
             tag: format!("DELETE {removed}"),
             scanned,
@@ -1158,23 +1322,6 @@ fn coerce(v: Value, ty: SqlType) -> Result<Value, SqlError> {
             return Err(SqlError::Exec(format!("cannot store {v} in {ty} column")));
         }
     })
-}
-
-fn row_bytes(row: &[Value]) -> u64 {
-    row.iter()
-        .map(|v| match v {
-            Value::Null => 1,
-            Value::Int(_) => 8,
-            Value::Float(_) => 8,
-            Value::Bool(_) => 1,
-            Value::Text(t) => 16 + t.len() as u64,
-        })
-        .sum::<u64>()
-        + 24 // per-row header
-}
-
-fn table_bytes(t: &Table) -> u64 {
-    t.rows.iter().map(|r| row_bytes(r)).sum()
 }
 
 fn tag(t: &str) -> QueryResult {

@@ -48,12 +48,15 @@ mod lexer;
 mod parser;
 pub mod pgbench;
 mod server;
+pub mod storage;
 pub mod tpch;
 mod value;
 mod version;
 
 pub use db::{CockroachFlavor, Database, DbFlavor, QueryResult, Session, SqlError};
+pub use rddr_pgstore::{RecoveryPolicy, RecoveryStats, VDisk};
 pub use server::{query_message, startup_message, PgClient, PgResponse, PgServer, PgServerConfig};
+pub use storage::{open_storage, PlanDiskFaults, StorageEngine, ValueCodec};
 pub use value::{SqlType, Value};
 pub use version::PgVersion;
 

@@ -32,12 +32,30 @@ pub const SCHEMA: &[&str] = &[
 ];
 
 /// Populates `db` with a pgbench dataset at the given scale (number of
-/// branches). Returns the number of account rows created.
+/// branches) and the default accounts-per-branch. Returns the number of
+/// account rows created.
 ///
 /// # Errors
 ///
 /// Returns [`SqlError`] if DDL or inserts fail.
 pub fn load(db: &mut Database, scale: usize) -> Result<usize, SqlError> {
+    load_scaled(db, scale, ACCOUNTS_PER_BRANCH)
+}
+
+/// Like [`load`], with an explicit accounts-per-branch knob so benchmarks
+/// can dial dataset size independently of branch count. Generation is
+/// seeded: the same `(scale, accounts_per_branch)` always produces the
+/// same rows, so two instances loaded with the same knobs agree byte-for-
+/// byte on the wire.
+///
+/// # Errors
+///
+/// Returns [`SqlError`] if DDL or inserts fail.
+pub fn load_scaled(
+    db: &mut Database,
+    scale: usize,
+    accounts_per_branch: usize,
+) -> Result<usize, SqlError> {
     let mut session = db.session("app");
     for ddl in SCHEMA {
         db.execute(&mut session, ddl)?;
@@ -60,10 +78,10 @@ pub fn load(db: &mut Database, scale: usize) -> Result<usize, SqlError> {
             &format!("INSERT INTO pgbench_tellers VALUES {}", chunk.join(", ")),
         )?;
     }
-    let total_accounts = scale * ACCOUNTS_PER_BRANCH;
+    let total_accounts = scale * accounts_per_branch;
     let mut batch = Vec::with_capacity(500);
     for aid in 1..=total_accounts {
-        let bid = (aid - 1) / ACCOUNTS_PER_BRANCH + 1;
+        let bid = (aid - 1) / accounts_per_branch + 1;
         let balance: i32 = rng.gen_range(-5000..5000);
         batch.push(format!("({aid}, {bid}, {balance}, 'a')"));
         if batch.len() == 500 {
@@ -145,6 +163,27 @@ mod tests {
             "point query must hit the index, scanned {}",
             r.scanned
         );
+    }
+
+    #[test]
+    fn load_scaled_honours_the_accounts_knob() {
+        let mut db = Database::new(PgVersion::parse("10.7").unwrap());
+        let accounts = load_scaled(&mut db, 3, 50).unwrap();
+        assert_eq!(accounts, 150);
+        let mut s = db.session("app");
+        let r = db
+            .execute(&mut s, "SELECT COUNT(*) FROM pgbench_accounts")
+            .unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "150");
+    }
+
+    #[test]
+    fn same_knobs_load_identical_datasets() {
+        let mut a = Database::new(PgVersion::parse("10.7").unwrap());
+        let mut b = Database::new(PgVersion::parse("10.7").unwrap());
+        load_scaled(&mut a, 2, 40).unwrap();
+        load_scaled(&mut b, 2, 40).unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
     }
 
     #[test]

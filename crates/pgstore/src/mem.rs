@@ -1,0 +1,358 @@
+//! The in-memory storage engine: MiniPg's original row vectors behind the
+//! [`Storage`] trait.
+//!
+//! Rows live in insertion-order `Vec<R>`s with a lazily-built primary-key
+//! index (`BTreeMap<key bytes, Vec<row index>>`), exactly the structure the
+//! executor used before the storage split. Nothing survives a restart —
+//! the behaviour the recovery chaos suite contrasts against the paged
+//! engine. Transactions take lazy per-table snapshots: the first mutation
+//! of a table inside a transaction clones it, and rollback restores the
+//! clones.
+
+use std::collections::BTreeMap;
+
+use crate::{fnv1a_extend, Result, Storage, StoreError, TupleCodec};
+
+struct MemTable<R> {
+    meta: Vec<u8>,
+    rows: Vec<R>,
+    heap_bytes: u64,
+    index: Option<BTreeMap<Vec<u8>, Vec<usize>>>,
+}
+
+impl<R: Clone> Clone for MemTable<R> {
+    fn clone(&self) -> Self {
+        Self {
+            meta: self.meta.clone(),
+            rows: self.rows.clone(),
+            heap_bytes: self.heap_bytes,
+            index: self.index.clone(),
+        }
+    }
+}
+
+/// The in-memory engine. `C` supplies key extraction and heap accounting;
+/// rows are stored as-is, so scans are clone-only.
+pub struct MemStore<R, C> {
+    codec: C,
+    tables: BTreeMap<String, MemTable<R>>,
+    /// `Some` while a transaction is open; maps table name to its
+    /// pre-transaction state (`None` = table did not exist).
+    undo: Option<BTreeMap<String, Option<MemTable<R>>>>,
+}
+
+impl<R: Clone, C: TupleCodec<R>> MemStore<R, C> {
+    /// An empty store using `codec`.
+    #[must_use]
+    pub fn new(codec: C) -> Self {
+        Self {
+            codec,
+            tables: BTreeMap::new(),
+            undo: None,
+        }
+    }
+
+    fn table(&self, table: &str) -> Result<&MemTable<R>> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))
+    }
+
+    /// Records `table`'s pre-transaction state the first time it is
+    /// mutated inside an open transaction.
+    fn snapshot(&mut self, table: &str) {
+        if let Some(undo) = &mut self.undo {
+            if !undo.contains_key(table) {
+                undo.insert(table.to_string(), self.tables.get(table).cloned());
+            }
+        }
+    }
+}
+
+impl<R: Clone + Send, C: TupleCodec<R>> Storage<R> for MemStore<R, C> {
+    fn engine(&self) -> &'static str {
+        "memory"
+    }
+
+    fn create_table(&mut self, table: &str, meta: &[u8]) -> Result<()> {
+        if self.tables.contains_key(table) {
+            return Err(StoreError::TableExists(table.into()));
+        }
+        self.snapshot(table);
+        self.tables.insert(
+            table.to_string(),
+            MemTable {
+                meta: meta.to_vec(),
+                rows: Vec::new(),
+                heap_bytes: 0,
+                index: None,
+            },
+        );
+        Ok(())
+    }
+
+    fn drop_table(&mut self, table: &str) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(StoreError::NoSuchTable(table.into()));
+        }
+        self.snapshot(table);
+        self.tables.remove(table);
+        Ok(())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    fn table_meta(&self, table: &str) -> Option<Vec<u8>> {
+        self.tables.get(table).map(|t| t.meta.clone())
+    }
+
+    fn row_count(&self, table: &str) -> Result<u64> {
+        Ok(self.table(table)?.rows.len() as u64)
+    }
+
+    fn scan(&self, table: &str, visit: &mut dyn FnMut(R)) -> Result<()> {
+        for row in &self.table(table)?.rows {
+            visit(row.clone());
+        }
+        Ok(())
+    }
+
+    fn ensure_index(&mut self, table: &str) -> Result<()> {
+        let codec = &self.codec;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))?;
+        if t.index.is_none() {
+            let mut index: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
+            for (i, row) in t.rows.iter().enumerate() {
+                index.entry(codec.key(row)).or_default().push(i);
+            }
+            t.index = Some(index);
+        }
+        Ok(())
+    }
+
+    fn has_index(&self, table: &str) -> bool {
+        self.tables.get(table).is_some_and(|t| t.index.is_some())
+    }
+
+    fn lookup(&self, table: &str, key: &[u8], visit: &mut dyn FnMut(R)) -> Result<u64> {
+        let t = self.table(table)?;
+        if let Some(index) = &t.index {
+            let candidates: &[usize] = index.get(key).map_or(&[], Vec::as_slice);
+            for &i in candidates {
+                if let Some(row) = t.rows.get(i) {
+                    visit(row.clone());
+                }
+            }
+            return Ok(candidates.len() as u64);
+        }
+        // No index: filtered scan — same candidate set, same order.
+        let mut candidates = 0u64;
+        for row in &t.rows {
+            if self.codec.key(row) == key {
+                candidates += 1;
+                visit(row.clone());
+            }
+        }
+        Ok(candidates)
+    }
+
+    fn insert(&mut self, table: &str, rows: Vec<R>) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(StoreError::NoSuchTable(table.into()));
+        }
+        self.snapshot(table);
+        let codec = &self.codec;
+        let Some(t) = self.tables.get_mut(table) else {
+            return Err(StoreError::NoSuchTable(table.into()));
+        };
+        for row in rows {
+            t.heap_bytes += codec.heap_bytes(&row);
+            if let Some(index) = &mut t.index {
+                index.entry(codec.key(&row)).or_default().push(t.rows.len());
+            }
+            t.rows.push(row);
+        }
+        Ok(())
+    }
+
+    fn rewrite(&mut self, table: &str, rows: Vec<R>) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(StoreError::NoSuchTable(table.into()));
+        }
+        self.snapshot(table);
+        let codec = &self.codec;
+        let Some(t) = self.tables.get_mut(table) else {
+            return Err(StoreError::NoSuchTable(table.into()));
+        };
+        t.heap_bytes = rows.iter().map(|r| codec.heap_bytes(r)).sum();
+        t.rows = rows;
+        t.index = None;
+        Ok(())
+    }
+
+    fn begin(&mut self) -> Result<()> {
+        if self.undo.is_some() {
+            return Err(StoreError::TransactionOpen);
+        }
+        self.undo = Some(BTreeMap::new());
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        if self.undo.take().is_none() {
+            return Err(StoreError::NoTransaction);
+        }
+        Ok(())
+    }
+
+    fn rollback(&mut self) -> Result<()> {
+        let Some(undo) = self.undo.take() else {
+            return Err(StoreError::NoTransaction);
+        };
+        for (table, prior) in undo {
+            match prior {
+                Some(t) => {
+                    self.tables.insert(table, t);
+                }
+                None => {
+                    self.tables.remove(&table);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn in_txn(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.tables.values().map(|t| t.heap_bytes).sum()
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut buf = Vec::new();
+        for (name, t) in &self.tables {
+            h = fnv1a_extend(h, name.as_bytes());
+            h = fnv1a_extend(h, &t.meta);
+            for row in &t.rows {
+                buf.clear();
+                self.codec.encode(row, &mut buf);
+                h = fnv1a_extend(h, &buf);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A toy codec over `(u64, String)` rows.
+    pub(crate) struct PairCodec;
+
+    impl TupleCodec<(u64, String)> for PairCodec {
+        fn encode(&self, row: &(u64, String), out: &mut Vec<u8>) {
+            out.extend_from_slice(&row.0.to_le_bytes());
+            out.extend_from_slice(row.1.as_bytes());
+        }
+
+        fn decode(&self, bytes: &[u8]) -> Result<(u64, String)> {
+            let head = bytes
+                .get(..8)
+                .ok_or_else(|| StoreError::Corrupt("pair row too short".into()))?;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(head);
+            let tail = bytes.get(8..).unwrap_or(&[]);
+            let text = String::from_utf8(tail.to_vec())
+                .map_err(|_| StoreError::Corrupt("pair row not UTF-8".into()))?;
+            Ok((u64::from_le_bytes(buf), text))
+        }
+
+        fn key(&self, row: &(u64, String)) -> Vec<u8> {
+            row.0.to_be_bytes().to_vec()
+        }
+
+        fn heap_bytes(&self, row: &(u64, String)) -> u64 {
+            24 + 8 + 16 + row.1.len() as u64
+        }
+    }
+
+    fn store() -> MemStore<(u64, String), PairCodec> {
+        let mut s = MemStore::new(PairCodec);
+        s.create_table("T", b"meta").unwrap();
+        s
+    }
+
+    #[test]
+    fn scan_preserves_insertion_order() {
+        let mut s = store();
+        s.insert("T", vec![(2, "b".into()), (1, "a".into()), (2, "c".into())])
+            .unwrap();
+        let mut seen = Vec::new();
+        s.scan("T", &mut |r| seen.push(r)).unwrap();
+        assert_eq!(
+            seen,
+            vec![(2, "b".into()), (1, "a".into()), (2, "c".into())]
+        );
+    }
+
+    #[test]
+    fn lookup_matches_with_and_without_index() {
+        let mut s = store();
+        s.insert("T", vec![(2, "b".into()), (1, "a".into()), (2, "c".into())])
+            .unwrap();
+        let key = 2u64.to_be_bytes();
+        let mut unindexed = Vec::new();
+        let n0 = s.lookup("T", &key, &mut |r| unindexed.push(r)).unwrap();
+        s.ensure_index("T").unwrap();
+        assert!(s.has_index("T"));
+        let mut indexed = Vec::new();
+        let n1 = s.lookup("T", &key, &mut |r| indexed.push(r)).unwrap();
+        assert_eq!(unindexed, indexed);
+        assert_eq!(n0, n1);
+        assert_eq!(n0, 2);
+    }
+
+    #[test]
+    fn rollback_restores_rows_and_dropped_tables() {
+        let mut s = store();
+        s.insert("T", vec![(1, "keep".into())]).unwrap();
+        let digest = s.state_digest();
+        s.begin().unwrap();
+        s.insert("T", vec![(2, "gone".into())]).unwrap();
+        s.drop_table("T").unwrap();
+        s.create_table("U", b"").unwrap();
+        s.rollback().unwrap();
+        assert_eq!(s.state_digest(), digest);
+        assert_eq!(s.table_names(), vec!["T".to_string()]);
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut s = store();
+        s.begin().unwrap();
+        s.insert("T", vec![(1, "kept".into())]).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.row_count("T").unwrap(), 1);
+        assert!(!s.in_txn());
+        assert!(matches!(s.commit(), Err(StoreError::NoTransaction)));
+    }
+
+    #[test]
+    fn bytes_metering_tracks_rows() {
+        let mut s = store();
+        assert_eq!(s.bytes(), 0);
+        s.insert("T", vec![(1, "ab".into())]).unwrap();
+        assert_eq!(s.bytes(), 24 + 8 + 16 + 2);
+        s.rewrite("T", Vec::new()).unwrap();
+        assert_eq!(s.bytes(), 0);
+    }
+}

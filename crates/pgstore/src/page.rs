@@ -1,0 +1,261 @@
+//! Slotted heap pages.
+//!
+//! Layout (little-endian, [`PAGE_SIZE`] bytes):
+//!
+//! ```text
+//! 0..8    checksum   FNV-1a of bytes 8..PAGE_SIZE, stamped at seal time
+//! 8..16   next page  number of the next page in the table's chain (0 = end)
+//! 16..18  slot count
+//! 18..20  free offset — start of the tuple data region (grows downward)
+//! 20..    slot directory: per slot, offset u16 + length u16 (grows upward)
+//! ...     tuple bytes, packed from the end of the page
+//! ```
+//!
+//! Tuples are append-only within a page; a table's UPDATE/DELETE rewrites
+//! its whole chain. The checksum is what detects a torn page: a write that
+//! persisted only its leading sectors fails verification on the next
+//! read-from-disk, surfacing as [`StoreError::Corrupt`].
+
+use crate::{fnv1a, Result, StoreError};
+
+/// Size of one heap page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Header bytes before the slot directory.
+const HEADER: usize = 20;
+
+/// Bytes one slot-directory entry occupies.
+const SLOT_ENTRY: usize = 4;
+
+/// One in-memory heap page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    bytes: Vec<u8>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut page = Self {
+            bytes: vec![0u8; PAGE_SIZE],
+        };
+        page.put_u16(18, PAGE_SIZE as u16);
+        page
+    }
+
+    /// Largest tuple a page can hold.
+    #[must_use]
+    pub fn max_tuple() -> usize {
+        PAGE_SIZE - HEADER - SLOT_ENTRY
+    }
+
+    /// Validates length and checksum of bytes read back from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on a short read or checksum mismatch — the
+    /// torn-page detection path.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "short page read: {} bytes",
+                bytes.len()
+            )));
+        }
+        let page = Self { bytes };
+        let stored = page.read_u64(0);
+        let actual = fnv1a(page.bytes.get(8..).unwrap_or(&[]));
+        if stored != actual {
+            return Err(StoreError::Corrupt(format!(
+                "page checksum mismatch: stored {stored:#x}, computed {actual:#x}"
+            )));
+        }
+        Ok(page)
+    }
+
+    /// Stamps the checksum and returns the full page image for writing.
+    pub fn seal(&mut self) -> &[u8] {
+        let sum = fnv1a(self.bytes.get(8..).unwrap_or(&[]));
+        self.put_u64(0, sum);
+        &self.bytes
+    }
+
+    /// The next page in the chain (0 = end of chain).
+    #[must_use]
+    pub fn next(&self) -> u64 {
+        self.read_u64(8)
+    }
+
+    /// Links the chain to `page_no`.
+    pub fn set_next(&mut self, page_no: u64) {
+        self.put_u64(8, page_no);
+    }
+
+    /// Number of tuples stored.
+    #[must_use]
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(16)
+    }
+
+    /// Bytes still available for one more tuple (including its slot entry).
+    #[must_use]
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + usize::from(self.slot_count()) * SLOT_ENTRY;
+        let free_off = usize::from(self.read_u16(18));
+        free_off.saturating_sub(dir_end).saturating_sub(SLOT_ENTRY)
+    }
+
+    /// Appends a tuple, returning its slot number, or `None` if the page
+    /// is full.
+    pub fn insert(&mut self, tuple: &[u8]) -> Option<u16> {
+        if tuple.len() > Self::max_tuple() || self.free_space() < tuple.len() {
+            return None;
+        }
+        let slot = self.slot_count();
+        let free_off = usize::from(self.read_u16(18));
+        let new_off = free_off - tuple.len();
+        if let Some(dst) = self.bytes.get_mut(new_off..free_off) {
+            dst.copy_from_slice(tuple);
+        }
+        let entry = HEADER + usize::from(slot) * SLOT_ENTRY;
+        self.put_u16(entry, new_off as u16);
+        self.put_u16(entry + 2, tuple.len() as u16);
+        self.put_u16(16, slot + 1);
+        self.put_u16(18, new_off as u16);
+        Some(slot)
+    }
+
+    /// The tuple bytes in `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if the slot or its extent is out of range.
+    pub fn tuple(&self, slot: u16) -> Result<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(StoreError::Corrupt(format!(
+                "slot {slot} out of range ({} slots)",
+                self.slot_count()
+            )));
+        }
+        let entry = HEADER + usize::from(slot) * SLOT_ENTRY;
+        let off = usize::from(self.read_u16(entry));
+        let len = usize::from(self.read_u16(entry + 2));
+        self.bytes
+            .get(off..off + len)
+            .ok_or_else(|| StoreError::Corrupt(format!("slot {slot} extent {off}+{len} invalid")))
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        match self.bytes.get(off..off + 2) {
+            Some([a, b]) => u16::from_le_bytes([*a, *b]),
+            _ => 0,
+        }
+    }
+
+    fn put_u16(&mut self, off: usize, v: u16) {
+        if let Some(dst) = self.bytes.get_mut(off..off + 2) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn read_u64(&self, off: usize) -> u64 {
+        let mut buf = [0u8; 8];
+        match self.bytes.get(off..off + 8) {
+            Some(src) => {
+                buf.copy_from_slice(src);
+                u64::from_le_bytes(buf)
+            }
+            None => 0,
+        }
+    }
+
+    fn put_u64(&mut self, off: usize, v: u64) {
+        if let Some(dst) = self.bytes.get_mut(off..off + 8) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_back_in_order() {
+        let mut p = Page::new();
+        assert_eq!(p.insert(b"alpha"), Some(0));
+        assert_eq!(p.insert(b"beta"), Some(1));
+        assert_eq!(p.insert(b""), Some(2));
+        assert_eq!(p.tuple(0).unwrap(), b"alpha");
+        assert_eq!(p.tuple(1).unwrap(), b"beta");
+        assert_eq!(p.tuple(2).unwrap(), b"");
+        assert!(p.tuple(3).is_err());
+    }
+
+    #[test]
+    fn page_fills_up_and_rejects_overflow() {
+        let mut p = Page::new();
+        let tuple = vec![0xABu8; 100];
+        let mut n = 0;
+        while p.insert(&tuple).is_some() {
+            n += 1;
+        }
+        // 4096 - 20 header, 104 bytes per tuple+slot.
+        assert_eq!(n, (PAGE_SIZE - HEADER) / 104);
+        assert!(p.free_space() < 104);
+        // Smaller tuples still fit afterwards if space remains.
+        let spare = p.free_space();
+        if spare > 0 {
+            assert!(p.insert(&vec![1u8; spare]).is_some());
+        }
+    }
+
+    #[test]
+    fn oversize_tuple_is_rejected() {
+        let mut p = Page::new();
+        assert!(p.insert(&vec![0u8; Page::max_tuple() + 1]).is_none());
+        assert!(p.insert(&vec![0u8; Page::max_tuple()]).is_some());
+    }
+
+    #[test]
+    fn seal_round_trips_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"persist me").unwrap();
+        p.set_next(42);
+        let image = p.seal().to_vec();
+        let back = Page::from_bytes(image).unwrap();
+        assert_eq!(back.tuple(0).unwrap(), b"persist me");
+        assert_eq!(back.next(), 42);
+    }
+
+    #[test]
+    fn torn_page_fails_checksum() {
+        let mut p = Page::new();
+        p.insert(b"full tuple data").unwrap();
+        let mut image = p.seal().to_vec();
+        // Tear: keep the first half, zero the rest (what a torn sector
+        // write leaves on the platter).
+        for b in &mut image[PAGE_SIZE / 2..] {
+            *b = 0;
+        }
+        assert!(matches!(
+            Page::from_bytes(image),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn short_read_is_corrupt() {
+        assert!(matches!(
+            Page::from_bytes(vec![0u8; 17]),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

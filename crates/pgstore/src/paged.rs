@@ -1,0 +1,879 @@
+//! The paged storage engine: slotted heap pages behind a buffer pool, a
+//! write-ahead log for durability, and a B+Tree primary-key index.
+//!
+//! Each table owns a chain of heap pages (`first → … → last`, linked via
+//! the page header's `next` field). INSERT appends tuples to the chain
+//! tail; UPDATE/DELETE rewrite the whole chain (old pages return to a free
+//! list), mirroring the executor's rewrite-the-vector semantics so the two
+//! engines stay wire-identical.
+//!
+//! Durability is WAL-first: every mutation appends a logical record, and
+//! commit appends a `Commit` record and fsyncs — the only fsync on the
+//! write path. Heap pages are flushed lazily (eviction, commit) and the
+//! heap file is *rebuilt from the WAL* on open, so a torn heap page can
+//! never survive recovery; the heap exists to bound memory, not to be the
+//! source of truth. [`PagedStore::open`] replays the log under the
+//! instance's [`RecoveryPolicy`] and reports [`RecoveryStats`], which the
+//! chaos suite asserts on.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::btree::{BTree, TupleId};
+use crate::disk::VDisk;
+use crate::page::{Page, PAGE_SIZE};
+use crate::pool::{BufferPool, PoolStats, DEFAULT_FRAMES};
+use crate::wal::{RecoveryPolicy, TailState, Wal, WalRecord};
+use crate::{fnv1a_extend, Result, Storage, StoreError, TupleCodec};
+
+/// Heap file name on the instance's [`VDisk`].
+pub const HEAP_FILE: &str = "heap";
+/// WAL file name on the instance's [`VDisk`].
+pub const WAL_FILE: &str = "wal";
+
+/// What [`PagedStore::open`] found and did during WAL replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Transactions rolled forward.
+    pub committed_txns: u64,
+    /// Transactions discarded for lack of a verifiable commit.
+    pub discarded_txns: u64,
+    /// Whether the log ended in a torn record.
+    pub torn_tail: bool,
+    /// Whether the policy honoured a torn trailing commit record
+    /// (ReplayForward's divergence corner).
+    pub honoured_torn_commit: bool,
+    /// Bytes of torn tail truncated to restore clean framing.
+    pub truncated_bytes: u64,
+}
+
+#[derive(Debug)]
+struct PagedTable {
+    meta: Vec<u8>,
+    /// First page of the heap chain (0 = empty table).
+    first: u64,
+    /// Last page of the chain (0 = empty table).
+    last: u64,
+    /// Pages in chain order (so scans never chase `next` through the pool).
+    pages: Vec<u64>,
+    rows: u64,
+    heap_bytes: u64,
+    index: Option<BTree>,
+}
+
+impl PagedTable {
+    fn new(meta: Vec<u8>) -> Self {
+        Self {
+            meta,
+            first: 0,
+            last: 0,
+            pages: Vec::new(),
+            rows: 0,
+            heap_bytes: 0,
+            index: None,
+        }
+    }
+}
+
+/// Undo record for rollback: the table's full logical content before the
+/// transaction first touched it (`None` = did not exist).
+type Undo<R> = BTreeMap<String, Option<(Vec<u8>, Vec<R>)>>;
+
+/// The paged engine. Generic over the host row type `R`; the codec maps
+/// rows to heap tuples and index keys.
+pub struct PagedStore<R, C> {
+    codec: C,
+    disk: VDisk,
+    wal: Wal,
+    policy: RecoveryPolicy,
+    pool: RefCell<BufferPool>,
+    tables: BTreeMap<String, PagedTable>,
+    /// Recycled page numbers, LIFO (deterministic reuse order).
+    free_pages: Vec<u64>,
+    next_page: u64,
+    next_txn: u64,
+    /// Open explicit transaction, if any.
+    txn: Option<OpenTxn<R>>,
+    recovery: RecoveryStats,
+}
+
+struct OpenTxn<R> {
+    id: u64,
+    undo: Undo<R>,
+}
+
+impl<R: Clone, C: TupleCodec<R>> PagedStore<R, C> {
+    /// Opens the store on `disk`, replaying any existing WAL under
+    /// `policy`. The heap file is rebuilt from the log, so this is both
+    /// cold start and crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on interior WAL corruption (torn tails are
+    /// handled per policy, not errors).
+    pub fn open(disk: VDisk, codec: C, policy: RecoveryPolicy) -> Result<Self> {
+        Self::open_with_frames(disk, codec, policy, DEFAULT_FRAMES)
+    }
+
+    /// [`PagedStore::open`] with an explicit buffer-pool capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on interior WAL corruption.
+    pub fn open_with_frames(
+        disk: VDisk,
+        codec: C,
+        policy: RecoveryPolicy,
+        frames: usize,
+    ) -> Result<Self> {
+        let wal = Wal::new(disk.clone(), WAL_FILE);
+        let replay = wal.replay(policy)?;
+        // The heap is rebuilt from the log: discard whatever the crash left.
+        disk.remove(HEAP_FILE);
+        let mut store = Self {
+            codec,
+            disk: disk.clone(),
+            wal,
+            policy,
+            pool: RefCell::new(BufferPool::new(HEAP_FILE, frames)),
+            tables: BTreeMap::new(),
+            free_pages: Vec::new(),
+            next_page: 1,
+            next_txn: replay.next_txn,
+            txn: None,
+            recovery: RecoveryStats {
+                committed_txns: replay.committed,
+                discarded_txns: replay.discarded,
+                torn_tail: !matches!(replay.tail, TailState::Clean),
+                honoured_torn_commit: replay.honoured_torn_commit,
+                truncated_bytes: store_len_delta(&disk, replay.valid_end),
+            },
+        };
+        let honoured = replay
+            .honoured_torn_commit
+            .then_some(replay.tail_txn)
+            .flatten();
+        if store.recovery.torn_tail {
+            // Clear the torn tail so future appends restore clean framing.
+            store.wal.truncate(replay.valid_end);
+            if let Some(txn) = honoured {
+                // ReplayForward honoured the torn commit: re-log it cleanly
+                // so the *next* recovery reaches the same state.
+                store.wal.append(&WalRecord::Commit { txn });
+            }
+            store.wal.sync();
+        }
+        for op in replay.ops {
+            store.apply(op)?;
+        }
+        store.flush_heap();
+        Ok(store)
+    }
+
+    /// Stats from the replay that [`PagedStore::open`] performed.
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Buffer-pool statistics.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.borrow().stats()
+    }
+
+    /// The recovery policy this instance runs.
+    #[must_use]
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// The underlying disk (for tests and fault orchestration).
+    #[must_use]
+    pub fn disk(&self) -> &VDisk {
+        &self.disk
+    }
+
+    /// Applies a replayed logical record to the heap without re-logging.
+    fn apply(&mut self, op: WalRecord) -> Result<()> {
+        match op {
+            WalRecord::CreateTable { table, meta } => {
+                self.tables.insert(table, PagedTable::new(meta));
+                Ok(())
+            }
+            WalRecord::DropTable { table } => {
+                self.release_table(&table);
+                Ok(())
+            }
+            WalRecord::Insert { table, rows } => {
+                let decoded = rows
+                    .iter()
+                    .map(|b| self.codec.decode(b))
+                    .collect::<Result<Vec<R>>>()?;
+                self.heap_insert(&table, decoded)
+            }
+            WalRecord::Rewrite { table, rows } => {
+                let decoded = rows
+                    .iter()
+                    .map(|b| self.codec.decode(b))
+                    .collect::<Result<Vec<R>>>()?;
+                self.heap_rewrite(&table, decoded)
+            }
+            WalRecord::Begin { .. } | WalRecord::Commit { .. } => Ok(()),
+        }
+    }
+
+    /// Allocates a page number (recycled first) and installs a fresh page.
+    fn alloc_page(&mut self) -> Result<u64> {
+        let no = match self.free_pages.pop() {
+            Some(no) => no,
+            None => {
+                let no = self.next_page;
+                self.next_page += 1;
+                no
+            }
+        };
+        self.pool.borrow_mut().create_page(&self.disk, no)?;
+        Ok(no)
+    }
+
+    /// Returns a table's pages to the free list and forgets it.
+    fn release_table(&mut self, table: &str) {
+        if let Some(t) = self.tables.remove(table) {
+            // LIFO, most recently allocated first: reuse order stays
+            // deterministic across engines and runs.
+            for &p in t.pages.iter().rev() {
+                self.free_pages.push(p);
+            }
+        }
+    }
+
+    /// Appends rows to the table's heap chain, maintaining the index.
+    fn heap_insert(&mut self, table: &str, rows: Vec<R>) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(StoreError::NoSuchTable(table.into()));
+        }
+        let mut buf = Vec::new();
+        for row in rows {
+            buf.clear();
+            self.codec.encode(&row, &mut buf);
+            if buf.len() > Page::max_tuple() {
+                return Err(StoreError::TupleTooLarge {
+                    bytes: buf.len(),
+                    max: Page::max_tuple(),
+                });
+            }
+            let heap = self.codec.heap_bytes(&row);
+            let key = self.codec.key(&row);
+            // Try the chain tail; grow the chain when full.
+            let last = self.tables.get(table).map_or(0, |t| t.last);
+            let mut target = last;
+            let mut slot = None;
+            if target != 0 {
+                slot = self
+                    .pool
+                    .borrow_mut()
+                    .with_page_mut(&self.disk, target, |p| p.insert(&buf))?;
+            }
+            if slot.is_none() {
+                let fresh = self.alloc_page()?;
+                if last != 0 {
+                    self.pool
+                        .borrow_mut()
+                        .with_page_mut(&self.disk, last, |p| p.set_next(fresh))?;
+                }
+                slot = self
+                    .pool
+                    .borrow_mut()
+                    .with_page_mut(&self.disk, fresh, |p| p.insert(&buf))?;
+                if let Some(t) = self.tables.get_mut(table) {
+                    if t.first == 0 {
+                        t.first = fresh;
+                    }
+                    t.last = fresh;
+                    t.pages.push(fresh);
+                }
+                target = fresh;
+            }
+            let Some(slot) = slot else {
+                return Err(StoreError::Corrupt(format!(
+                    "tuple of {} bytes rejected by a fresh page",
+                    buf.len()
+                )));
+            };
+            if let Some(t) = self.tables.get_mut(table) {
+                t.rows += 1;
+                t.heap_bytes += heap;
+                if let Some(index) = &mut t.index {
+                    index.insert(&key, TupleId { page: target, slot });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the table's chain wholesale; the index is dropped.
+    fn heap_rewrite(&mut self, table: &str, rows: Vec<R>) -> Result<()> {
+        let meta = self
+            .tables
+            .get(table)
+            .map(|t| t.meta.clone())
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))?;
+        self.release_table(table);
+        self.tables.insert(table.into(), PagedTable::new(meta));
+        self.heap_insert(table, rows)
+    }
+
+    /// Reads the table's full content in insertion order.
+    fn read_rows(&self, table: &str) -> Result<Vec<R>> {
+        let mut rows = Vec::new();
+        self.scan_visit(table, &mut |r| rows.push(r))?;
+        Ok(rows)
+    }
+
+    fn scan_visit(&self, table: &str, visit: &mut dyn FnMut(R)) -> Result<()> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))?;
+        let mut pool = self.pool.borrow_mut();
+        for &page_no in &t.pages {
+            let tuples = pool.with_page(&self.disk, page_no, |p| {
+                let mut out = Vec::with_capacity(usize::from(p.slot_count()));
+                for slot in 0..p.slot_count() {
+                    out.push(p.tuple(slot).map(<[u8]>::to_vec));
+                }
+                out
+            })?;
+            for tuple in tuples {
+                visit(self.codec.decode(&tuple?)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records `table`'s pre-transaction content on first touch.
+    fn snapshot(&mut self, table: &str) -> Result<()> {
+        let Some(txn) = &self.txn else {
+            return Ok(());
+        };
+        if txn.undo.contains_key(table) {
+            return Ok(());
+        }
+        let prior = match self.tables.get(table) {
+            Some(t) => Some((t.meta.clone(), self.read_rows(table)?)),
+            None => None,
+        };
+        if let Some(txn) = &mut self.txn {
+            txn.undo.insert(table.to_string(), prior);
+        }
+        Ok(())
+    }
+
+    /// Flushes dirty heap pages (unsynced; commit syncs only the WAL — the
+    /// heap is rebuilt from the log after a crash).
+    fn flush_heap(&self) {
+        self.pool.borrow_mut().flush_all(&self.disk);
+    }
+}
+
+fn store_len_delta(disk: &VDisk, valid_end: u64) -> u64 {
+    disk.len(WAL_FILE).saturating_sub(valid_end)
+}
+
+impl<R: Clone + Send, C: TupleCodec<R> + Send> Storage<R> for PagedStore<R, C> {
+    fn engine(&self) -> &'static str {
+        "paged"
+    }
+
+    fn create_table(&mut self, table: &str, meta: &[u8]) -> Result<()> {
+        if self.tables.contains_key(table) {
+            return Err(StoreError::TableExists(table.into()));
+        }
+        self.snapshot(table)?;
+        self.wal.append(&WalRecord::CreateTable {
+            table: table.into(),
+            meta: meta.to_vec(),
+        });
+        self.tables
+            .insert(table.into(), PagedTable::new(meta.to_vec()));
+        Ok(())
+    }
+
+    fn drop_table(&mut self, table: &str) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(StoreError::NoSuchTable(table.into()));
+        }
+        self.snapshot(table)?;
+        self.wal.append(&WalRecord::DropTable {
+            table: table.into(),
+        });
+        self.release_table(table);
+        Ok(())
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    fn table_meta(&self, table: &str) -> Option<Vec<u8>> {
+        self.tables.get(table).map(|t| t.meta.clone())
+    }
+
+    fn row_count(&self, table: &str) -> Result<u64> {
+        self.tables
+            .get(table)
+            .map(|t| t.rows)
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))
+    }
+
+    fn scan(&self, table: &str, visit: &mut dyn FnMut(R)) -> Result<()> {
+        self.scan_visit(table, visit)
+    }
+
+    fn ensure_index(&mut self, table: &str) -> Result<()> {
+        if self
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))?
+            .index
+            .is_some()
+        {
+            return Ok(());
+        }
+        // Build from a heap walk: key -> TupleId per tuple, chain order.
+        let mut index = BTree::new();
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))?;
+        let pages = t.pages.clone();
+        {
+            let mut pool = self.pool.borrow_mut();
+            for &page_no in &pages {
+                let tuples = pool.with_page(&self.disk, page_no, |p| {
+                    let mut out = Vec::with_capacity(usize::from(p.slot_count()));
+                    for slot in 0..p.slot_count() {
+                        out.push((slot, p.tuple(slot).map(<[u8]>::to_vec)));
+                    }
+                    out
+                })?;
+                for (slot, tuple) in tuples {
+                    let row = self.codec.decode(&tuple?)?;
+                    index.insert(
+                        &self.codec.key(&row),
+                        TupleId {
+                            page: page_no,
+                            slot,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(t) = self.tables.get_mut(table) {
+            t.index = Some(index);
+        }
+        Ok(())
+    }
+
+    fn has_index(&self, table: &str) -> bool {
+        self.tables.get(table).is_some_and(|t| t.index.is_some())
+    }
+
+    fn lookup(&self, table: &str, key: &[u8], visit: &mut dyn FnMut(R)) -> Result<u64> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::NoSuchTable(table.into()))?;
+        if let Some(index) = &t.index {
+            let candidates: Vec<TupleId> = index.get(key).to_vec();
+            let mut pool = self.pool.borrow_mut();
+            for tid in &candidates {
+                let tuple = pool.with_page(&self.disk, tid.page, |p| {
+                    p.tuple(tid.slot).map(<[u8]>::to_vec)
+                })??;
+                visit(self.codec.decode(&tuple)?);
+            }
+            return Ok(candidates.len() as u64);
+        }
+        // No index: filtered heap scan — identical candidate set.
+        let mut candidates = 0u64;
+        self.scan_visit(table, &mut |row| {
+            if self.codec.key(&row) == key {
+                candidates += 1;
+                visit(row);
+            }
+        })?;
+        Ok(candidates)
+    }
+
+    fn insert(&mut self, table: &str, rows: Vec<R>) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(StoreError::NoSuchTable(table.into()));
+        }
+        self.snapshot(table)?;
+        let mut encoded = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut buf = Vec::new();
+            self.codec.encode(row, &mut buf);
+            if buf.len() > Page::max_tuple() {
+                return Err(StoreError::TupleTooLarge {
+                    bytes: buf.len(),
+                    max: Page::max_tuple(),
+                });
+            }
+            encoded.push(buf);
+        }
+        self.wal.append(&WalRecord::Insert {
+            table: table.into(),
+            rows: encoded,
+        });
+        self.heap_insert(table, rows)
+    }
+
+    fn rewrite(&mut self, table: &str, rows: Vec<R>) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(StoreError::NoSuchTable(table.into()));
+        }
+        self.snapshot(table)?;
+        let mut encoded = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut buf = Vec::new();
+            self.codec.encode(row, &mut buf);
+            if buf.len() > Page::max_tuple() {
+                return Err(StoreError::TupleTooLarge {
+                    bytes: buf.len(),
+                    max: Page::max_tuple(),
+                });
+            }
+            encoded.push(buf);
+        }
+        self.wal.append(&WalRecord::Rewrite {
+            table: table.into(),
+            rows: encoded,
+        });
+        self.heap_rewrite(table, rows)
+    }
+
+    fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(StoreError::TransactionOpen);
+        }
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.wal.append(&WalRecord::Begin { txn: id });
+        self.txn = Some(OpenTxn {
+            id,
+            undo: BTreeMap::new(),
+        });
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Err(StoreError::NoTransaction);
+        };
+        self.wal.append(&WalRecord::Commit { txn: txn.id });
+        self.wal.sync();
+        self.flush_heap();
+        Ok(())
+    }
+
+    fn rollback(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Err(StoreError::NoTransaction);
+        };
+        // Undo the heap in memory (no WAL records: the transaction's
+        // records were never committed, so recovery already discards them).
+        for (table, prior) in txn.undo {
+            self.release_table(&table);
+            if let Some((meta, rows)) = prior {
+                self.tables.insert(table.clone(), PagedTable::new(meta));
+                self.heap_insert(&table, rows)?;
+            }
+        }
+        // The log still holds the dead transaction's unsynced records; a
+        // clean truncate keeps framing tidy for the next append. Records
+        // may already be durable (mid-txn eviction never syncs, but an
+        // earlier commit's fsync can harden them); recovery handles both,
+        // so only trim the unhardened cache tail.
+        Ok(())
+    }
+
+    fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    fn bytes(&self) -> u64 {
+        let live: u64 = self.tables.values().map(|t| t.pages.len() as u64).sum();
+        live * PAGE_SIZE as u64
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut buf = Vec::new();
+        for (name, t) in &self.tables {
+            h = fnv1a_extend(h, name.as_bytes());
+            h = fnv1a_extend(h, &t.meta);
+            let mut rows = Vec::new();
+            if self.scan_visit(name, &mut |r| rows.push(r)).is_err() {
+                // Digest of unreadable state: poison deterministically.
+                h = fnv1a_extend(h, b"<corrupt>");
+                continue;
+            }
+            for row in &rows {
+                buf.clear();
+                self.codec.encode(row, &mut buf);
+                h = fnv1a_extend(h, &buf);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskFaults;
+    use crate::mem::tests::PairCodec;
+    use crate::mem::MemStore;
+    use std::sync::Arc;
+
+    type Row = (u64, String);
+
+    fn open(disk: &VDisk, policy: RecoveryPolicy) -> PagedStore<Row, PairCodec> {
+        PagedStore::open(disk.clone(), PairCodec, policy).unwrap()
+    }
+
+    fn rows(n: u64) -> Vec<Row> {
+        (0..n).map(|i| (i % 7, format!("row-{i:04}"))).collect()
+    }
+
+    #[test]
+    fn paged_matches_memory_digest() {
+        let disk = VDisk::new("d");
+        let mut paged = open(&disk, RecoveryPolicy::ReplayForward);
+        let mut mem = MemStore::new(PairCodec);
+        for s in [&mut paged as &mut dyn Storage<Row>, &mut mem] {
+            s.create_table("T", b"meta").unwrap();
+            s.begin().unwrap();
+            s.insert("T", rows(300)).unwrap();
+            s.commit().unwrap();
+            s.begin().unwrap();
+            s.rewrite("T", rows(150)).unwrap();
+            s.insert("T", vec![(99, "tail".into())]).unwrap();
+            s.commit().unwrap();
+        }
+        assert_eq!(paged.state_digest(), mem.state_digest());
+        assert_eq!(paged.row_count("T").unwrap(), mem.row_count("T").unwrap());
+        // Scan order identical.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        paged.scan("T", &mut |r| a.push(r)).unwrap();
+        mem.scan("T", &mut |r| b.push(r)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookup_candidates_match_memory_engine() {
+        let disk = VDisk::new("d");
+        let mut paged = open(&disk, RecoveryPolicy::ReplayForward);
+        let mut mem = MemStore::new(PairCodec);
+        for s in [&mut paged as &mut dyn Storage<Row>, &mut mem] {
+            s.create_table("T", b"").unwrap();
+            s.begin().unwrap();
+            s.insert("T", rows(200)).unwrap();
+            s.commit().unwrap();
+            s.ensure_index("T").unwrap();
+        }
+        for key in 0u64..8 {
+            let k = key.to_be_bytes();
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let na = paged.lookup("T", &k, &mut |r| a.push(r)).unwrap();
+            let nb = mem.lookup("T", &k, &mut |r| b.push(r)).unwrap();
+            assert_eq!(a, b, "candidate rows for key {key}");
+            assert_eq!(na, nb, "candidate count for key {key}");
+        }
+    }
+
+    #[test]
+    fn restart_replays_committed_state() {
+        let disk = VDisk::new("d");
+        let digest = {
+            let mut s = open(&disk, RecoveryPolicy::ReplayForward);
+            s.create_table("T", b"meta").unwrap();
+            s.begin().unwrap();
+            s.insert("T", rows(500)).unwrap();
+            s.commit().unwrap();
+            s.state_digest()
+        };
+        disk.crash();
+        let s = open(&disk, RecoveryPolicy::ReplayForward);
+        assert_eq!(s.state_digest(), digest);
+        // One explicit txn; the standalone CREATE replays as-is.
+        assert_eq!(s.recovery_stats().committed_txns, 1);
+        assert_eq!(s.table_meta("T").unwrap(), b"meta");
+    }
+
+    #[test]
+    fn uncommitted_transaction_dies_with_the_crash() {
+        let disk = VDisk::new("d");
+        let digest = {
+            let mut s = open(&disk, RecoveryPolicy::ReplayForward);
+            s.create_table("T", b"").unwrap();
+            s.begin().unwrap();
+            s.insert("T", rows(10)).unwrap();
+            s.commit().unwrap();
+            let committed = s.state_digest();
+            s.begin().unwrap();
+            s.insert("T", vec![(999, "phantom".into())]).unwrap();
+            committed
+        };
+        disk.crash();
+        for policy in [RecoveryPolicy::ReplayForward, RecoveryPolicy::ShadowDiscard] {
+            let s = open(&disk, policy);
+            assert_eq!(s.state_digest(), digest, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn rollback_restores_pre_transaction_state() {
+        let disk = VDisk::new("d");
+        let mut s = open(&disk, RecoveryPolicy::ReplayForward);
+        s.create_table("T", b"").unwrap();
+        s.begin().unwrap();
+        s.insert("T", rows(50)).unwrap();
+        s.commit().unwrap();
+        let digest = s.state_digest();
+        s.begin().unwrap();
+        s.rewrite("T", rows(3)).unwrap();
+        s.drop_table("T").unwrap();
+        s.create_table("U", b"").unwrap();
+        s.rollback().unwrap();
+        assert_eq!(s.state_digest(), digest);
+        assert_eq!(s.table_names(), vec!["T".to_string()]);
+    }
+
+    struct TruncateFirstCrash;
+    impl DiskFaults for TruncateFirstCrash {
+        fn truncate_tail(&self, _d: &str, _f: &str, seq: u64) -> bool {
+            seq == 0
+        }
+    }
+
+    /// The divergence recipe: commit a transaction, then crash with the
+    /// tail-truncation fault armed so the durable log ends mid-Commit.
+    fn torn_commit_disk() -> (VDisk, u64, u64) {
+        let disk = VDisk::with_faults("d", Arc::new(TruncateFirstCrash));
+        let (with_marker, without_marker) = {
+            let mut s = open(&disk, RecoveryPolicy::ReplayForward);
+            s.create_table("T", b"").unwrap();
+            s.begin().unwrap();
+            s.insert("T", rows(10)).unwrap();
+            s.commit().unwrap();
+            let without = s.state_digest();
+            s.begin().unwrap();
+            s.insert("T", vec![(42, "marker".into())]).unwrap();
+            s.commit().unwrap(); // this Commit record gets torn at crash
+            (s.state_digest(), without)
+        };
+        disk.crash();
+        (disk, with_marker, without_marker)
+    }
+
+    #[test]
+    fn recovery_policies_diverge_on_torn_commit() {
+        // Two independent, deterministically-identical disks: recovery
+        // repairs the log, so the policies must not share one.
+        let (disk_fwd, with_marker, without_marker) = torn_commit_disk();
+        let forward = open(&disk_fwd, RecoveryPolicy::ReplayForward);
+        assert!(forward.recovery_stats().honoured_torn_commit);
+        assert_eq!(forward.state_digest(), with_marker);
+
+        let (disk_shadow, _, _) = torn_commit_disk();
+        let shadow = open(&disk_shadow, RecoveryPolicy::ShadowDiscard);
+        assert!(!shadow.recovery_stats().honoured_torn_commit);
+        assert!(shadow.recovery_stats().torn_tail);
+        assert_eq!(shadow.state_digest(), without_marker);
+        assert_ne!(with_marker, without_marker);
+    }
+
+    #[test]
+    fn replay_forward_recovery_is_stable_across_restarts() {
+        let (disk, with_marker, _) = torn_commit_disk();
+        let first = open(&disk, RecoveryPolicy::ReplayForward);
+        assert_eq!(first.state_digest(), with_marker);
+        drop(first);
+        // Second recovery sees the re-logged clean Commit: same state, no
+        // torn tail this time.
+        disk.crash();
+        let second = open(&disk, RecoveryPolicy::ReplayForward);
+        assert_eq!(second.state_digest(), with_marker);
+        assert!(!second.recovery_stats().torn_tail);
+    }
+
+    #[test]
+    fn oversize_tuple_fails_on_paged_only() {
+        let disk = VDisk::new("d");
+        let mut paged = open(&disk, RecoveryPolicy::ReplayForward);
+        let mut mem = MemStore::new(PairCodec);
+        let big = vec![(1u64, "x".repeat(Page::max_tuple() + 100))];
+        paged.create_table("T", b"").unwrap();
+        mem.create_table("T", b"").unwrap();
+        assert!(matches!(
+            paged.insert("T", big.clone()),
+            Err(StoreError::TupleTooLarge { .. })
+        ));
+        assert!(mem.insert("T", big).is_ok());
+    }
+
+    #[test]
+    fn buffer_pool_pressure_does_not_change_results() {
+        let disk = VDisk::new("d");
+        let mut tiny =
+            PagedStore::open_with_frames(disk.clone(), PairCodec, RecoveryPolicy::ReplayForward, 2)
+                .unwrap();
+        tiny.create_table("T", b"").unwrap();
+        tiny.begin().unwrap();
+        tiny.insert("T", rows(2_000)).unwrap();
+        tiny.commit().unwrap();
+        let digest = tiny.state_digest();
+        assert!(tiny.pool_stats().evictions > 0, "pool actually thrashed");
+
+        let disk2 = VDisk::new("d2");
+        let mut roomy =
+            PagedStore::open_with_frames(disk2, PairCodec, RecoveryPolicy::ReplayForward, 1_024)
+                .unwrap();
+        roomy.create_table("T", b"").unwrap();
+        roomy.begin().unwrap();
+        roomy.insert("T", rows(2_000)).unwrap();
+        roomy.commit().unwrap();
+        assert_eq!(roomy.state_digest(), digest);
+    }
+
+    #[test]
+    fn same_seed_replay_is_byte_identical() {
+        let run = || {
+            let disk = VDisk::new("d");
+            let mut s = open(&disk, RecoveryPolicy::ReplayForward);
+            s.create_table("T", b"m").unwrap();
+            s.begin().unwrap();
+            s.insert("T", rows(100)).unwrap();
+            s.commit().unwrap();
+            disk.crash();
+            let s = open(&disk, RecoveryPolicy::ReplayForward);
+            (
+                s.state_digest(),
+                disk.read(WAL_FILE, 0, disk.len(WAL_FILE) as usize),
+            )
+        };
+        let (d1, wal1) = run();
+        let (d2, wal2) = run();
+        assert_eq!(d1, d2);
+        assert_eq!(
+            wal1, wal2,
+            "WAL images byte-identical across same-seed runs"
+        );
+    }
+}

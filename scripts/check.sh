@@ -23,10 +23,14 @@ cargo run --release -p rddr-analyze -- \
 echo "==> proxy_hotpath smoke (correctness gate + throughput report)"
 cargo run --release -p rddr-bench --bin proxy_hotpath -- --smoke --json BENCH_proxy_smoke.json
 
-echo "==> chaos suite under the three CI seeds"
+echo "==> pgstore_bench smoke (recovery gate + storage throughput report)"
+cargo run --release -p rddr-bench --bin pgstore_bench -- --smoke --json BENCH_pgstore_smoke.json
+
+echo "==> chaos + crash-recovery suites under the three CI seeds"
 for seed in 1 271828 3141592653; do
   echo "    seed $seed"
   RDDR_CHAOS_SEED=$seed cargo test -q --test chaos
+  RDDR_CHAOS_SEED=$seed cargo test -q --test recovery_chaos
 done
 
 echo "OK"

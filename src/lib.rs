@@ -9,6 +9,7 @@ pub use rddr_libsim as libsim;
 pub use rddr_net as net;
 pub use rddr_orchestra as orchestra;
 pub use rddr_pgsim as pgsim;
+pub use rddr_pgstore as pgstore;
 pub use rddr_protocols as protocols;
 pub use rddr_proxy as proxy;
 pub use rddr_telemetry as telemetry;
