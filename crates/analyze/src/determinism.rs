@@ -10,7 +10,15 @@ use crate::{Finding, Lint};
 
 /// Crates whose output bytes feed the diff engine, so any self-inflicted
 /// nondeterminism manufactures false divergences.
-pub const TARGET_CRATES: &[&str] = &["core", "protocols", "pgsim", "pgstore", "httpsim", "libsim"];
+pub const TARGET_CRATES: &[&str] = &[
+    "core",
+    "protocols",
+    "pgsim",
+    "pgstore",
+    "httpsim",
+    "libsim",
+    "fuzz",
+];
 
 /// Runs the pass over one prepared file.
 pub fn check(file: &SourceFile) -> Vec<Finding> {

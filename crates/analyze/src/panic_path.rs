@@ -10,7 +10,7 @@ use crate::{Finding, Lint};
 /// Crates whose threads sit on the request hot path. The storage engine
 /// qualifies: a panic inside a `PagedStore` commit takes the instance down
 /// mid-exchange, which the proxy can only see as an ejection.
-pub const TARGET_CRATES: &[&str] = &["proxy", "net", "telemetry", "pgstore"];
+pub const TARGET_CRATES: &[&str] = &["proxy", "net", "telemetry", "pgstore", "fuzz"];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 

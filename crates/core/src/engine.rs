@@ -25,6 +25,17 @@ pub struct SessionState {
     pub throttle: Option<SignatureThrottle>,
 }
 
+impl SessionState {
+    /// Whether the signature throttle is configured *and* has recorded at
+    /// least one divergence signature. Callers that batch requests ahead of
+    /// the throttle check (pipelined fan-out) use this to fall back to
+    /// frame-at-a-time processing, so the throttle state can no longer lag
+    /// behind frames already committed to a batch.
+    pub fn throttle_engaged(&self) -> bool {
+        self.throttle.as_ref().is_some_and(|t| !t.is_empty())
+    }
+}
+
 /// The verdict for one exchange.
 #[derive(Debug, Clone)]
 pub enum Verdict {

@@ -1,0 +1,231 @@
+//! Fuzz cases and their on-disk reproducer form.
+//!
+//! A case is an ordered stream of protocol items (SQL statements, raw HTTP
+//! requests, payload bodies, …) fed to one fresh deployment of a target.
+//! Reproducers serialize to a line-oriented text format with `\`-escaped
+//! items so crafted bytes (CRLF, tabs, control characters) survive a
+//! checked-in corpus file byte-exactly.
+
+use crate::target::TargetId;
+use crate::triage::Verdict;
+
+/// One generated input stream for one target.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FuzzCase {
+    /// The deployment recipe this case drives.
+    pub target: TargetId,
+    /// The input items, executed in order against a fresh deployment.
+    pub items: Vec<String>,
+}
+
+impl FuzzCase {
+    /// Creates a case.
+    #[must_use]
+    pub fn new(target: TargetId, items: Vec<String>) -> Self {
+        Self { target, items }
+    }
+}
+
+/// A shrunk, triaged finding in committable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reproducer {
+    /// The minimal input stream that still diverges.
+    pub case: FuzzCase,
+    /// The derived per-case seed (drives the chaos plan on replay).
+    pub case_seed: u64,
+    /// Whether a fault schedule was active when the divergence was found.
+    pub chaos: bool,
+    /// The triage verdict for the shrunk case.
+    pub verdict: Verdict,
+    /// The normalized divergence signature the replay must match.
+    pub signature: String,
+}
+
+/// Escapes one item for the single-line corpus format.
+#[must_use]
+pub fn escape_item(item: &str) -> String {
+    let mut out = String::with_capacity(item.len() + 8);
+    for c in item.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\x{:02x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_item`].
+///
+/// # Errors
+///
+/// Returns a message for truncated or unknown escape sequences.
+pub fn unescape_item(text: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('x') => {
+                let hi = chars
+                    .next()
+                    .ok_or_else(|| "truncated \\x escape".to_string())?;
+                let lo = chars
+                    .next()
+                    .ok_or_else(|| "truncated \\x escape".to_string())?;
+                let code = u32::from_str_radix(&format!("{hi}{lo}"), 16)
+                    .map_err(|e| format!("bad \\x escape: {e}"))?;
+                out.push(char::from_u32(code).ok_or_else(|| "bad \\x escape".to_string())?);
+            }
+            other => return Err(format!("unknown escape {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+const HEADER: &str = "# rddr-fuzz reproducer v1";
+
+impl Reproducer {
+    /// Renders the reproducer to its committable text form.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("target: {}\n", self.case.target.name()));
+        out.push_str(&format!("case-seed: {}\n", self.case_seed));
+        out.push_str(&format!("chaos: {}\n", self.chaos));
+        out.push_str(&format!("verdict: {}\n", self.verdict.name()));
+        out.push_str(&format!("signature: {}\n", escape_item(&self.signature)));
+        for item in &self.case.items {
+            out.push_str(&format!("item: {}\n", escape_item(item)));
+        }
+        out
+    }
+
+    /// Parses the text form back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line or missing
+    /// field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(format!("missing header line {HEADER:?}"));
+        }
+        let mut target = None;
+        let mut case_seed = None;
+        let mut chaos = None;
+        let mut verdict = None;
+        let mut signature = None;
+        let mut items = Vec::new();
+        for line in lines {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(": ")
+                .or_else(|| line.split_once(':').map(|(k, _)| (k, "")))
+                .ok_or_else(|| format!("malformed line {line:?}"))?;
+            match key {
+                "target" => {
+                    target = Some(
+                        TargetId::parse(value)
+                            .ok_or_else(|| format!("unknown target {value:?}"))?,
+                    );
+                }
+                "case-seed" => {
+                    case_seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("case-seed: {e}"))?,
+                    );
+                }
+                "chaos" => {
+                    chaos = Some(value.parse::<bool>().map_err(|e| format!("chaos: {e}"))?);
+                }
+                "verdict" => {
+                    verdict = Some(
+                        Verdict::parse(value)
+                            .ok_or_else(|| format!("unknown verdict {value:?}"))?,
+                    );
+                }
+                "signature" => signature = Some(unescape_item(value)?),
+                "item" => items.push(unescape_item(value)?),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(Self {
+            case: FuzzCase::new(target.ok_or_else(|| "missing target".to_string())?, items),
+            case_seed: case_seed.ok_or_else(|| "missing case-seed".to_string())?,
+            chaos: chaos.ok_or_else(|| "missing chaos".to_string())?,
+            verdict: verdict.ok_or_else(|| "missing verdict".to_string())?,
+            signature: signature.ok_or_else(|| "missing signature".to_string())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips_crafted_bytes() {
+        let nasty = "GET /x HTTP/1.1\r\nRange: bytes=-1\r\n\r\n\ttab \u{b}vt \\slash";
+        assert_eq!(unescape_item(&escape_item(nasty)).unwrap(), nasty);
+        assert!(!escape_item(nasty).contains('\n'), "must stay one line");
+    }
+
+    #[test]
+    fn control_chars_use_hex_escapes() {
+        assert_eq!(escape_item("a\u{1}b"), "a\\x01b");
+        assert_eq!(unescape_item("a\\x01b").unwrap(), "a\u{1}b");
+    }
+
+    #[test]
+    fn unescape_rejects_truncated_escapes() {
+        assert!(unescape_item("bad\\x0").is_err());
+        assert!(unescape_item("bad\\").is_err());
+        assert!(unescape_item("bad\\q").is_err());
+    }
+
+    #[test]
+    fn reproducer_roundtrips() {
+        let rep = Reproducer {
+            case: FuzzCase::new(
+                TargetId::HttpRange,
+                vec![
+                    "GET /index.html HTTP/1.1\r\nHost: f\r\n\r\n".to_string(),
+                    "line two".to_string(),
+                ],
+            ),
+            case_seed: 0xDEAD_BEEF,
+            chaos: true,
+            verdict: Verdict::TruePositive,
+            signature: "fuzz_in|2|structural".to_string(),
+        };
+        let text = rep.to_text();
+        assert_eq!(Reproducer::parse(&text).unwrap(), rep);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Reproducer::parse("nope").is_err());
+        let missing = format!("{HEADER}\ntarget: pg-rls\n");
+        assert!(Reproducer::parse(&missing).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! On-disk corpus layout.
+//!
+//! A corpus directory holds one `.case` file per reproducer, named
+//! `{target}-{index:02}-{verdict}.case` so a directory listing reads as a
+//! triage summary. Files are the text form from
+//! [`Reproducer::to_text`](crate::Reproducer::to_text); loading walks the
+//! directory in sorted order so replay order is stable across platforms.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::case::Reproducer;
+use crate::FuzzError;
+
+/// The stable file name for a reproducer at `idx` within its campaign.
+#[must_use]
+pub fn file_name(rep: &Reproducer, idx: usize) -> String {
+    format!(
+        "{}-{:02}-{}.case",
+        rep.case.target.name(),
+        idx,
+        rep.verdict.name()
+    )
+}
+
+/// Writes every reproducer into `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_dir(dir: &Path, reps: &[Reproducer]) -> Result<(), FuzzError> {
+    fs::create_dir_all(dir)?;
+    for (idx, rep) in reps.iter().enumerate() {
+        fs::write(dir.join(file_name(rep, idx)), rep.to_text())?;
+    }
+    Ok(())
+}
+
+/// Loads every `*.case` file under `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and reports the offending path for parse
+/// failures.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Reproducer)>, FuzzError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let rep = Reproducer::parse(&text)
+            .map_err(|e| FuzzError::msg(format!("{}: {e}", path.display())))?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        out.push((name, rep));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::FuzzCase;
+    use crate::target::TargetId;
+    use crate::triage::Verdict;
+
+    fn sample(tag: &str, verdict: Verdict) -> Reproducer {
+        Reproducer {
+            case: FuzzCase::new(
+                TargetId::LibMarkdown,
+                vec![format!("[{tag}](java\tscript:alert(1))")],
+            ),
+            case_seed: 7,
+            chaos: false,
+            verdict,
+            signature: format!("lib-markdown|Some(0)|false|{tag}"),
+        }
+    }
+
+    #[test]
+    fn corpus_roundtrips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("rddr-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let reps = vec![
+            sample("a", Verdict::TruePositive),
+            sample("b", Verdict::ChaosOnly),
+        ];
+        write_dir(&dir, &reps).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let loaded_reps: Vec<Reproducer> = loaded.iter().map(|(_, r)| r.clone()).collect();
+        assert_eq!(loaded_reps, reps);
+        assert!(loaded
+            .iter()
+            .all(|(name, _)| name.starts_with("lib-markdown-") && name.ends_with(".case")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_names_encode_target_index_and_verdict() {
+        let rep = sample("x", Verdict::FalsePositive);
+        assert_eq!(file_name(&rep, 3), "lib-markdown-03-false-positive.case");
+    }
+}

@@ -1,0 +1,533 @@
+//! Seeded, protocol-valid input generators.
+//!
+//! Each target family gets a weighted grammar: SQL statement streams
+//! reusing pgsim's surface (SELECT/EXPLAIN/DML/DDL/transactions, plus the
+//! CVE-2019-10130 non-leakproof-operator motif), raw HTTP/1.1 requests
+//! with adversarial `Range` values, `Transfer-Encoding` obfuscation, and
+//! randomized header casing, and markdown/SVG/XML payload documents built
+//! around the libsim pairs' divergence seams (scheme-smuggling whitespace,
+//! XXE doctypes, control characters in URLs). Generators draw only from
+//! the seeded [`StdRng`], so a case is a pure function of its seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::case::FuzzCase;
+use crate::exec::CRASH_INSTANCE;
+use crate::target::TargetId;
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct GenOpts {
+    /// Maximum items per case (at least 2 are always generated).
+    pub max_items: usize,
+    /// Whether a fault schedule is active: the pg-storage grammar then
+    /// emits `!CRASH` items that kill + respawn the shadow-discard
+    /// instance mid-stream.
+    pub chaos: bool,
+}
+
+impl Default for GenOpts {
+    fn default() -> Self {
+        Self {
+            max_items: 8,
+            chaos: false,
+        }
+    }
+}
+
+const WORDS: &[&str] = &[
+    "amber", "basalt", "cedar", "delta", "ember", "flint", "garnet", "heron", "indigo", "juniper",
+    "krill", "lumen", "maple", "nectar",
+];
+
+fn pick<'a>(rng: &mut StdRng, items: &[&'a str]) -> &'a str {
+    let i = rng.gen_range(0..items.len());
+    items.get(i).copied().unwrap_or("")
+}
+
+fn word(rng: &mut StdRng) -> String {
+    format!("{}{}", pick(rng, WORDS), rng.gen_range(0..100u32))
+}
+
+fn item_count(rng: &mut StdRng, opts: &GenOpts) -> usize {
+    rng.gen_range(2..=opts.max_items.max(2))
+}
+
+// ---- SQL ----------------------------------------------------------------
+
+const RLS_TABLES: &[(&str, &[&str])] = &[
+    ("users", &["id", "name", "karma"]),
+    ("user_secrets", &["secret_level", "owner", "token"]),
+];
+
+const PLAIN_TABLES: &[(&str, &[&str])] = &[
+    ("inventory", &["id", "sku", "qty"]),
+    ("audit_log", &["id", "entry"]),
+];
+
+const LEDGER_TABLES: &[(&str, &[&str])] = &[("ledger", &["id", "amount", "note"])];
+
+fn table<'a>(rng: &mut StdRng, tables: &[(&'a str, &'a [&'a str])]) -> (&'a str, &'a [&'a str]) {
+    let i = rng.gen_range(0..tables.len());
+    tables
+        .get(i)
+        .map(|(t, c)| (*t, *c))
+        .unwrap_or(("users", &["id"]))
+}
+
+fn column<'a>(rng: &mut StdRng, columns: &'a [&'a str]) -> &'a str {
+    let i = rng.gen_range(0..columns.len().max(1));
+    columns.get(i).copied().unwrap_or("id")
+}
+
+fn select_stmt(rng: &mut StdRng, tables: &[(&str, &[&str])]) -> String {
+    let (t, cols) = table(rng, tables);
+    let projection = match rng.gen_range(0..4u32) {
+        0 => "*".to_string(),
+        1 => column(rng, cols).to_string(),
+        2 => format!("{}, {}", column(rng, cols), column(rng, cols)),
+        _ => "COUNT(*)".to_string(),
+    };
+    let mut sql = format!("SELECT {projection} FROM {t}");
+    if rng.gen_bool(0.4) {
+        let col = column(rng, cols);
+        let op = pick(rng, &["<", ">", "=", "<=", ">="]);
+        sql.push_str(&format!(" WHERE {col} {op} {}", rng.gen_range(0..120u32)));
+    }
+    if rng.gen_bool(0.35) {
+        sql.push_str(&format!(" ORDER BY {}", column(rng, cols)));
+    }
+    if rng.gen_bool(0.2) {
+        sql.push_str(&format!(" LIMIT {}", rng.gen_range(1..6u32)));
+    }
+    sql
+}
+
+fn insert_stmt(rng: &mut StdRng, tables: &[(&str, &[&str])]) -> String {
+    let (t, cols) = table(rng, tables);
+    let values: Vec<String> = cols
+        .iter()
+        .map(|c| {
+            if c.ends_with("id")
+                || c.ends_with("qty")
+                || c.ends_with("karma")
+                || c.ends_with("level")
+                || c.ends_with("amount")
+            {
+                format!("{}", rng.gen_range(0..1000u32))
+            } else {
+                format!("'{}'", word(rng))
+            }
+        })
+        .collect();
+    format!("INSERT INTO {t} VALUES ({})", values.join(", "))
+}
+
+/// The CVE-2019-10130 motif: a non-leakproof user-defined operator with a
+/// selectivity estimator, then a row-security-filtered scan the buggy
+/// planner stats-probes with it.
+fn rls_motif(rng: &mut StdRng, items: &mut Vec<String>) {
+    let threshold = rng.gen_range(100..10_000u32);
+    items.push(
+        "CREATE FUNCTION op_leak(int, int) RETURNS bool \
+         AS 'BEGIN RAISE NOTICE ''leak %, %'', $1, $2; RETURN $1 < $2; END' \
+         LANGUAGE plpgsql"
+            .to_string(),
+    );
+    items.push(
+        "CREATE OPERATOR <<< (procedure=op_leak, leftarg=int, rightarg=int, \
+         restrict=scalarltsel)"
+            .to_string(),
+    );
+    items.push(format!(
+        "SELECT * FROM user_secrets WHERE secret_level <<< {threshold}"
+    ));
+}
+
+/// A user-defined function: valid plpgsql-lite on MiniPg, an unsupported
+/// feature on MiniCockroach — implementation diversity, not a bug.
+fn function_motif(rng: &mut StdRng, items: &mut Vec<String>) {
+    let name = format!("fn_{}", rng.gen_range(0..50u32));
+    items.push(format!(
+        "CREATE FUNCTION {name}(int, int) RETURNS bool AS 'BEGIN RETURN $1 > $2; END' \
+         LANGUAGE plpgsql"
+    ));
+}
+
+fn sql_case(rng: &mut StdRng, opts: &GenOpts, target: TargetId) -> Vec<String> {
+    let (tables, motif_weight): (&[(&str, &[&str])], u32) = match target {
+        TargetId::PgRls => (RLS_TABLES, 25),
+        TargetId::PgFlavors => (PLAIN_TABLES, 20),
+        _ => (LEDGER_TABLES, 0),
+    };
+    let n = item_count(rng, opts);
+    let mut items = Vec::new();
+    let mut in_txn = false;
+    let mut crashed = false;
+    while items.len() < n {
+        let roll = rng.gen_range(0..100u32);
+        if roll < motif_weight {
+            match target {
+                TargetId::PgRls => rls_motif(rng, &mut items),
+                _ => function_motif(rng, &mut items),
+            }
+            continue;
+        }
+        if target == TargetId::PgStorage && opts.chaos && !crashed && roll < 40 {
+            // Crash motif: a write that lands in the WAL tail, the crash
+            // (the armed fault tears the torn instance's durable suffix),
+            // then an unfiltered read. Whether the recovered instance
+            // still has the write is exactly where the two recovery
+            // policies disagree — the read is what surfaces it.
+            if in_txn {
+                items.push("COMMIT".to_string());
+                in_txn = false;
+            }
+            items.push(insert_stmt(rng, tables));
+            items.push(format!("!CRASH {CRASH_INSTANCE}"));
+            items.push("SELECT * FROM ledger ORDER BY id".to_string());
+            crashed = true;
+            continue;
+        }
+        match rng.gen_range(0..100u32) {
+            0..=34 => items.push(select_stmt(rng, tables)),
+            35..=59 => items.push(insert_stmt(rng, tables)),
+            60..=69 => {
+                let (t, cols) = table(rng, tables);
+                let col = column(rng, cols);
+                items.push(format!(
+                    "UPDATE {t} SET {col} = {} WHERE id = {}",
+                    rng.gen_range(0..500u32),
+                    rng.gen_range(1..6u32)
+                ));
+            }
+            70..=76 => {
+                items.push(format!(
+                    "EXPLAIN SELECT * FROM {} WHERE id < {}",
+                    table(rng, tables).0,
+                    rng.gen_range(1..50u32)
+                ));
+            }
+            77..=86 => {
+                if in_txn {
+                    items.push(pick(rng, &["COMMIT", "ROLLBACK"]).to_string());
+                    in_txn = false;
+                } else {
+                    items.push("BEGIN".to_string());
+                    in_txn = true;
+                }
+            }
+            87..=92 => items.push(format!("SET application_name = '{}'", word(rng))),
+            _ => {
+                let (t, _) = table(rng, tables);
+                items.push(format!(
+                    "DELETE FROM {t} WHERE id = {}",
+                    rng.gen_range(1..8u32)
+                ));
+            }
+        }
+    }
+    if in_txn {
+        items.push("COMMIT".to_string());
+    }
+    items
+}
+
+// ---- HTTP ---------------------------------------------------------------
+
+/// Randomizes header-name casing: exact, lower, upper, or studly.
+fn casing(rng: &mut StdRng, name: &str) -> String {
+    match rng.gen_range(0..4u32) {
+        0 => name.to_string(),
+        1 => name.to_ascii_lowercase(),
+        2 => name.to_ascii_uppercase(),
+        _ => name
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                if i % 2 == 0 {
+                    c.to_ascii_uppercase()
+                } else {
+                    c.to_ascii_lowercase()
+                }
+            })
+            .collect(),
+    }
+}
+
+/// `Range` values around the CVE-2017-7529 overflow seam.
+fn range_value(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..6u32) {
+        0 => {
+            let a = rng.gen_range(0..20u32);
+            let b = a + rng.gen_range(0..20u32);
+            format!("bytes={a}-{b}")
+        }
+        1 => format!("bytes=-{}", rng.gen_range(1..32u32)),
+        2 => pick(
+            rng,
+            &[
+                "bytes=-9223372036854775608",
+                "bytes=-9223372036854775807",
+                "bytes=-9223372036854775616",
+            ],
+        )
+        .to_string(),
+        3 => format!(
+            "bytes={}-{},{}-{}",
+            rng.gen_range(0..4u32),
+            rng.gen_range(4..8u32),
+            rng.gen_range(8..12u32),
+            rng.gen_range(12..20u32)
+        ),
+        4 => format!("bytes={}-", rng.gen_range(0..30u32)),
+        _ => pick(rng, &["bytes=oops", "chars=0-5", "bytes="]).to_string(),
+    }
+}
+
+fn range_request(rng: &mut StdRng) -> String {
+    let method = pick(rng, &["GET", "GET", "GET", "HEAD"]);
+    let path = pick(
+        rng,
+        &["/index.html", "/index.html", "/big.bin", "/missing.html"],
+    );
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\n{}: fuzz\r\n",
+        casing(rng, "Host")
+    );
+    if rng.gen_bool(0.65) {
+        req.push_str(&format!(
+            "{}: {}\r\n",
+            casing(rng, "Range"),
+            range_value(rng)
+        ));
+    }
+    if rng.gen_bool(0.3) {
+        req.push_str(&format!("{}: {}\r\n", casing(rng, "X-Fuzz-Pad"), word(rng)));
+    }
+    req.push_str("\r\n");
+    req
+}
+
+/// A CVE-2019-18277-shaped request: an outer request for a permitted path
+/// whose body hides a complete request for a denied path behind an
+/// obfuscated `Transfer-Encoding`.
+fn smuggle_request(rng: &mut StdRng) -> String {
+    let inner = format!(
+        "GET /internal/flush HTTP/1.1\r\n{}: s1\r\n\r\n",
+        casing(rng, "Host")
+    );
+    let te = pick(
+        rng,
+        &[
+            "chunked",
+            "\u{b}chunked",
+            " chunked",
+            "identity, chunked",
+            "chunked ",
+            "\u{c}chunked",
+        ],
+    );
+    format!(
+        "GET /public HTTP/1.1\r\n{}: s1\r\n{}: {te}\r\nContent-Length: {}\r\n\r\n{inner}",
+        casing(rng, "Host"),
+        casing(rng, "Transfer-Encoding"),
+        inner.len()
+    )
+}
+
+fn http_case(rng: &mut StdRng, opts: &GenOpts, target: TargetId) -> Vec<String> {
+    let n = item_count(rng, opts);
+    (0..n)
+        .map(|_| match target {
+            TargetId::HttpSmuggle => {
+                if rng.gen_bool(0.5) {
+                    format!(
+                        "GET /public HTTP/1.1\r\n{}: s1\r\n\r\n",
+                        casing(rng, "Host")
+                    )
+                } else {
+                    smuggle_request(rng)
+                }
+            }
+            _ => range_request(rng),
+        })
+        .collect()
+}
+
+// ---- Payloads -----------------------------------------------------------
+
+/// URL schemes around the `javascript:` detection seams all three payload
+/// pairs share (raw prefix check vs normalize-then-check).
+fn scheme(rng: &mut StdRng) -> &'static str {
+    pick(
+        rng,
+        &[
+            "https://example.test/",
+            "javascript:",
+            "java\tscript:",
+            "JaVaScRiPt:",
+            "java\u{b}script:",
+            "java\u{1}script:",
+            "  javascript:",
+        ],
+    )
+}
+
+fn markdown_doc(rng: &mut StdRng) -> String {
+    let parts = rng.gen_range(1..4u32);
+    let mut doc = Vec::new();
+    for _ in 0..parts {
+        doc.push(match rng.gen_range(0..5u32) {
+            0 => format!("plain **{}** text", word(rng)),
+            1 => format!("[{}]({}{})", word(rng), scheme(rng), word(rng)),
+            2 => format!("`code {}`", word(rng)),
+            3 => format!("# heading {}", word(rng)),
+            _ => format!("<b>{}</b>", word(rng)),
+        });
+    }
+    doc.join("\n\n")
+}
+
+fn svg_doc(rng: &mut StdRng) -> String {
+    let w = rng.gen_range(8..32u32);
+    let h = rng.gen_range(8..32u32);
+    if rng.gen_bool(0.35) {
+        let path = pick(
+            rng,
+            &["/app/secrets.env", "/etc/passwd", "/app/missing.txt"],
+        );
+        format!(
+            "<!DOCTYPE svg [<!ENTITY xxe SYSTEM \"file://{path}\">]>\n\
+             <svg width=\"{w}\" height=\"{h}\"><text>&xxe;</text></svg>"
+        )
+    } else {
+        let x = rng.gen_range(0..8u32);
+        let y = rng.gen_range(0..8u32);
+        let rw = rng.gen_range(1..8u32);
+        let rh = rng.gen_range(1..8u32);
+        format!(
+            "<svg width=\"{w}\" height=\"{h}\">\
+             <rect x=\"{x}\" y=\"{y}\" width=\"{rw}\" height=\"{rh}\"/>\
+             <text>{}</text></svg>",
+            word(rng)
+        )
+    }
+}
+
+fn html_fragment(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..5u32) {
+        0 => format!("<b>{}</b>", word(rng)),
+        1 => format!("<a href=\"{}alert(1)\">{}</a>", scheme(rng), word(rng)),
+        2 => format!("<script>{}</script>", word(rng)),
+        3 => format!("<i onclick=\"{}()\">{}</i>", word(rng), word(rng)),
+        _ => format!("<p>{} and {}</p>", word(rng), word(rng)),
+    }
+}
+
+fn payload_case(rng: &mut StdRng, opts: &GenOpts, target: TargetId) -> Vec<String> {
+    let n = item_count(rng, opts);
+    (0..n)
+        .map(|_| match target {
+            TargetId::LibMarkdown => markdown_doc(rng),
+            TargetId::LibSvg => svg_doc(rng),
+            _ => html_fragment(rng),
+        })
+        .collect()
+}
+
+// ---- Entry point --------------------------------------------------------
+
+/// Generates one protocol-valid case for `target` from the seeded rng.
+#[must_use]
+pub fn generate(target: TargetId, rng: &mut StdRng, opts: &GenOpts) -> FuzzCase {
+    let items = match target {
+        TargetId::PgRls | TargetId::PgFlavors | TargetId::PgStorage => sql_case(rng, opts, target),
+        TargetId::HttpRange | TargetId::HttpSmuggle => http_case(rng, opts, target),
+        TargetId::LibMarkdown | TargetId::LibSvg | TargetId::LibXml => {
+            payload_case(rng, opts, target)
+        }
+        TargetId::LineNoise => {
+            let n = item_count(rng, opts);
+            (0..n).map(|_| word(rng)).collect()
+        }
+    };
+    FuzzCase::new(target, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn same_seed_generates_identical_cases() {
+        for target in TargetId::all() {
+            let opts = GenOpts {
+                max_items: 10,
+                chaos: true,
+            };
+            let a = generate(*target, &mut StdRng::seed_from_u64(99), &opts);
+            let b = generate(*target, &mut StdRng::seed_from_u64(99), &opts);
+            assert_eq!(a, b, "{target}");
+            assert!(a.items.len() >= 2, "{target}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let opts = GenOpts::default();
+        let a = generate(TargetId::HttpRange, &mut StdRng::seed_from_u64(1), &opts);
+        let b = generate(TargetId::HttpRange, &mut StdRng::seed_from_u64(2), &opts);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn http_items_are_complete_requests() {
+        let opts = GenOpts::default();
+        for seed in 0..20u64 {
+            let case = generate(TargetId::HttpRange, &mut StdRng::seed_from_u64(seed), &opts);
+            for item in &case.items {
+                assert!(item.ends_with("\r\n\r\n"), "{item:?}");
+                assert!(item.contains(" HTTP/1.1\r\n"), "{item:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn storage_chaos_cases_crash_at_most_once_and_balance_txns() {
+        for seed in 0..40u64 {
+            let opts = GenOpts {
+                max_items: 10,
+                chaos: true,
+            };
+            let case = generate(TargetId::PgStorage, &mut StdRng::seed_from_u64(seed), &opts);
+            let crashes = case
+                .items
+                .iter()
+                .filter(|i| i.starts_with("!CRASH"))
+                .count();
+            assert!(crashes <= 1, "{:?}", case.items);
+            let begins = case.items.iter().filter(|i| *i == "BEGIN").count();
+            let ends = case
+                .items
+                .iter()
+                .filter(|i| *i == "COMMIT" || *i == "ROLLBACK")
+                .count();
+            assert_eq!(begins, ends, "{:?}", case.items);
+        }
+    }
+
+    #[test]
+    fn without_chaos_no_crash_items_are_emitted() {
+        for seed in 0..40u64 {
+            let opts = GenOpts {
+                max_items: 10,
+                chaos: false,
+            };
+            let case = generate(TargetId::PgStorage, &mut StdRng::seed_from_u64(seed), &opts);
+            assert!(!case.items.iter().any(|i| i.starts_with("!CRASH")));
+        }
+    }
+}

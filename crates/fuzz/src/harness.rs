@@ -1,0 +1,363 @@
+//! The campaign loop: generate → execute → dedupe → shrink → triage.
+//!
+//! A campaign is a pure function of its [`FuzzConfig`]: per-case seeds are
+//! derived from the campaign seed by a stable FNV-1a mix over
+//! `(seed, target-name, case-index)`, the chaos plan seed is derived from
+//! the case seed the same way, and every deployment/drive is
+//! deterministic. Same config ⇒ byte-identical [`FuzzReport::findings_json`]
+//! and reproducers, which is what lets CI gate on exact counts and replay
+//! the committed corpus exactly.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::case::{FuzzCase, Reproducer};
+use crate::exec::{classify, execute, Mode};
+use crate::gen::{generate, GenOpts};
+use crate::shrink::ddmin;
+use crate::target::TargetId;
+use crate::triage::{Finding, Verdict};
+use crate::FuzzError;
+
+/// Campaign configuration. A report is a pure function of this struct.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed: everything else derives from it.
+    pub seed: u64,
+    /// Deployment recipes to fuzz.
+    pub targets: Vec<TargetId>,
+    /// Generated cases per target.
+    pub cases_per_target: usize,
+    /// Maximum items per generated case.
+    pub max_items: usize,
+    /// Predicate-evaluation budget per shrink.
+    pub shrink_budget: usize,
+    /// Compose a seeded [`rddr_net::FaultPlan`] on targets that support it
+    /// (fuzz-under-chaos).
+    pub chaos: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            targets: TargetId::default_set(),
+            cases_per_target: 12,
+            max_items: 8,
+            shrink_budget: 48,
+            chaos: false,
+        }
+    }
+}
+
+/// Per-target campaign counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetStats {
+    /// The target these counters describe.
+    pub target: TargetId,
+    /// Cases executed.
+    pub cases: usize,
+    /// Input items fed across all cases.
+    pub items: usize,
+    /// Cases whose mixed run recorded at least one divergence.
+    pub divergent: usize,
+    /// Deduplicated findings kept (shrunk + triaged).
+    pub findings: usize,
+    /// Predicate evaluations spent shrinking.
+    pub shrink_evals: usize,
+}
+
+impl TargetStats {
+    fn new(target: TargetId) -> Self {
+        Self {
+            target,
+            cases: 0,
+            items: 0,
+            divergent: 0,
+            findings: 0,
+            shrink_evals: 0,
+        }
+    }
+}
+
+/// The result of one campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Whether fuzz-under-chaos was requested.
+    pub chaos: bool,
+    /// Deduplicated, shrunk, triaged findings in discovery order.
+    pub findings: Vec<Finding>,
+    /// Per-target counters in config order.
+    pub stats: Vec<TargetStats>,
+}
+
+impl FuzzReport {
+    /// Findings with the given verdict.
+    #[must_use]
+    pub fn count(&self, verdict: Verdict) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.verdict == verdict)
+            .count()
+    }
+
+    /// Total cases executed.
+    #[must_use]
+    pub fn total_cases(&self) -> usize {
+        self.stats.iter().map(|s| s.cases).sum()
+    }
+
+    /// Total input items fed.
+    #[must_use]
+    pub fn total_items(&self) -> usize {
+        self.stats.iter().map(|s| s.items).sum()
+    }
+
+    /// Mean shrunk-to-original item ratio across findings (1000 = no
+    /// reduction, 0 = everything removed). Returns 1000 with no findings.
+    #[must_use]
+    pub fn shrink_ratio_permille(&self) -> u64 {
+        let mut num = 0u64;
+        let mut den = 0u64;
+        for f in &self.findings {
+            num += f.shrunk.items.len() as u64;
+            den += f.original.items.len() as u64;
+        }
+        (num * 1000).checked_div(den).unwrap_or(1000)
+    }
+
+    /// The committable reproducer for every finding, in discovery order.
+    #[must_use]
+    pub fn reproducers(&self) -> Vec<Reproducer> {
+        self.findings
+            .iter()
+            .map(|f| Reproducer {
+                case: f.shrunk.clone(),
+                case_seed: f.case_seed,
+                chaos: f.chaos,
+                verdict: f.verdict,
+                signature: f.signature.clone(),
+            })
+            .collect()
+    }
+
+    /// The replay-stable findings section: a JSON array that is
+    /// byte-identical across runs of the same config (no timings, no
+    /// wall-clock, no ordering nondeterminism).
+    #[must_use]
+    pub fn findings_json(&self) -> String {
+        let entries: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let items: Vec<String> = f
+                    .shrunk
+                    .items
+                    .iter()
+                    .map(|i| format!("\"{}\"", json_escape(i)))
+                    .collect();
+                format!(
+                    "{{\"target\":\"{}\",\"verdict\":\"{}\",\"signature\":\"{}\",\
+                     \"case_seed\":{},\"chaos\":{},\"original_items\":{},\
+                     \"shrunk_items\":[{}]}}",
+                    f.target.name(),
+                    f.verdict.name(),
+                    json_escape(&f.signature),
+                    f.case_seed,
+                    f.chaos,
+                    f.original.items.len(),
+                    items.join(",")
+                )
+            })
+            .collect();
+        format!("[{}]", entries.join(","))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Derives a sub-seed from `(seed, tag, idx)` by FNV-1a. Stable across
+/// runs and platforms; used for per-case seeds and chaos-plan seeds.
+#[must_use]
+pub fn mix_seed(seed: u64, tag: &str, idx: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seed
+        .to_le_bytes()
+        .iter()
+        .chain(tag.as_bytes().iter())
+        .chain(idx.to_le_bytes().iter())
+    {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn chaos_seed_for(case_seed: u64) -> u64 {
+    mix_seed(case_seed, "chaos", 0)
+}
+
+/// Runs one campaign. See the module docs for the loop shape.
+///
+/// # Errors
+///
+/// Propagates deployment failures; a severed client connection or a SQL
+/// error inside a case is part of the observed behaviour, not an error.
+pub fn fuzz(config: &FuzzConfig) -> Result<FuzzReport, FuzzError> {
+    let mut findings = Vec::new();
+    let mut stats = Vec::new();
+    for target in &config.targets {
+        let target = *target;
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut tstats = TargetStats::new(target);
+        for case_idx in 0..config.cases_per_target {
+            let case_seed = mix_seed(config.seed, target.name(), case_idx as u64);
+            let chaos_active = config.chaos && target.supports_chaos();
+            let opts = GenOpts {
+                max_items: config.max_items,
+                chaos: chaos_active,
+            };
+            let case = generate(target, &mut StdRng::seed_from_u64(case_seed), &opts);
+            let chaos_seed = chaos_active.then(|| chaos_seed_for(case_seed));
+            let found = execute(target, Mode::Mixed, chaos_seed, &case)?;
+            tstats.cases += 1;
+            tstats.items += found.items_run;
+            if !found.diverged {
+                continue;
+            }
+            tstats.divergent += 1;
+            if !seen.insert(found.key.clone()) {
+                continue;
+            }
+            let key = found.key.clone();
+            // Shrink against the *same* signature: a subset that diverges
+            // differently is a different finding, not a smaller one. A
+            // deploy error during a probe counts as "does not fail" — the
+            // full case is already known-failing, so the shrink stays
+            // sound.
+            let outcome = ddmin(&case.items, config.shrink_budget, |items| {
+                let candidate = FuzzCase::new(target, items.to_vec());
+                execute(target, Mode::Mixed, chaos_seed, &candidate)
+                    .map(|e| e.diverged && e.key == key)
+                    .unwrap_or(false)
+            });
+            let shrunk = FuzzCase::new(target, outcome.items.clone());
+            // Triage the shrunk case — that's what gets committed, so
+            // that's what the verdict must describe.
+            let verdict = classify(target, &shrunk, chaos_seed)?;
+            tstats.findings += 1;
+            tstats.shrink_evals += outcome.evals;
+            findings.push(Finding {
+                target,
+                verdict,
+                signature: key,
+                detail: found.detail,
+                original: case,
+                shrunk,
+                case_seed,
+                chaos: chaos_active,
+                shrink_evals: outcome.evals,
+            });
+        }
+        stats.push(tstats);
+    }
+    Ok(FuzzReport {
+        seed: config.seed,
+        chaos: config.chaos,
+        findings,
+        stats,
+    })
+}
+
+/// The result of replaying one committed reproducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Whether the mixed deployment diverged on the replay.
+    pub diverged: bool,
+    /// The re-derived triage verdict (when the replay diverged).
+    pub verdict: Option<Verdict>,
+    /// The normalized signature observed on the replay.
+    pub signature: String,
+}
+
+impl ReplayOutcome {
+    /// Whether the replay reproduced the committed finding exactly:
+    /// diverged, same signature, same verdict.
+    #[must_use]
+    pub fn matches(&self, rep: &Reproducer) -> bool {
+        self.diverged && self.signature == rep.signature && self.verdict == Some(rep.verdict)
+    }
+}
+
+/// Replays a committed reproducer: rebuilds the deployment (re-deriving
+/// the chaos plan from the stored case seed), drives the stored items, and
+/// re-runs triage.
+///
+/// # Errors
+///
+/// Propagates deployment failures.
+pub fn replay(rep: &Reproducer) -> Result<ReplayOutcome, FuzzError> {
+    let chaos_seed = rep.chaos.then(|| chaos_seed_for(rep.case_seed));
+    let run = execute(rep.case.target, Mode::Mixed, chaos_seed, &rep.case)?;
+    let verdict = if run.diverged {
+        Some(classify(rep.case.target, &rep.case, chaos_seed)?)
+    } else {
+        None
+    };
+    Ok(ReplayOutcome {
+        diverged: run.diverged,
+        verdict,
+        signature: run.key,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_is_stable_and_sensitive() {
+        assert_eq!(mix_seed(42, "pg-rls", 0), mix_seed(42, "pg-rls", 0));
+        assert_ne!(mix_seed(42, "pg-rls", 0), mix_seed(42, "pg-rls", 1));
+        assert_ne!(mix_seed(42, "pg-rls", 0), mix_seed(42, "pg-flavors", 0));
+        assert_ne!(mix_seed(42, "pg-rls", 0), mix_seed(43, "pg-rls", 0));
+    }
+
+    #[test]
+    fn json_escape_handles_crafted_bytes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\r\ny"), "x\\r\\ny");
+        assert_eq!(json_escape("v\u{b}t"), "v\\u000bt");
+    }
+
+    #[test]
+    fn empty_target_list_yields_empty_report() {
+        let config = FuzzConfig {
+            targets: Vec::new(),
+            ..FuzzConfig::default()
+        };
+        let report = fuzz(&config).unwrap();
+        assert!(report.findings.is_empty());
+        assert_eq!(report.total_cases(), 0);
+        assert_eq!(report.shrink_ratio_permille(), 1000);
+        assert_eq!(report.findings_json(), "[]");
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic delta-debugging on the input stream.
+//!
+//! Classic ddmin (Zeller & Hildebrandt): partition the stream into `n`
+//! chunks, try each complement; if a complement still fails, adopt it and
+//! coarsen, otherwise refine granularity until single items are removed.
+//! The predicate order is fully deterministic, so the same failing case
+//! and predicate shrink to byte-identical reproducers on every run. A
+//! predicate-evaluation budget bounds the walk; on exhaustion the smallest
+//! stream seen so far is returned.
+
+/// The result of one shrink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkOutcome {
+    /// The minimal item stream that still satisfies the predicate.
+    pub items: Vec<String>,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+}
+
+/// Minimizes `items` with respect to `fails` (which must hold for the full
+/// input, and is assumed deterministic). `budget` caps predicate calls.
+pub fn ddmin<F>(items: &[String], budget: usize, mut fails: F) -> ShrinkOutcome
+where
+    F: FnMut(&[String]) -> bool,
+{
+    let mut current: Vec<String> = items.to_vec();
+    let mut evals = 0usize;
+    let mut n = 2usize;
+    while current.len() >= 2 && n <= current.len() && evals < budget {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() && evals < budget {
+            let complement: Vec<String> = current
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < start || *i >= start + chunk)
+                .map(|(_, s)| s.clone())
+                .collect();
+            start += chunk;
+            if complement.is_empty() {
+                continue;
+            }
+            evals += 1;
+            if fails(&complement) {
+                current = complement;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    ShrinkOutcome {
+        items: current,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_failing_item() {
+        let input = items(&["a", "b", "BOOM", "c", "d", "e", "f", "g"]);
+        let out = ddmin(&input, 1000, |c| c.iter().any(|s| s == "BOOM"));
+        assert_eq!(out.items, items(&["BOOM"]));
+    }
+
+    #[test]
+    fn keeps_a_required_pair_spread_apart() {
+        let input = items(&["x", "ARM", "y", "z", "FIRE", "w"]);
+        let out = ddmin(&input, 1000, |c| {
+            let arm = c.iter().position(|s| s == "ARM");
+            let fire = c.iter().position(|s| s == "FIRE");
+            matches!((arm, fire), (Some(a), Some(f)) if a < f)
+        });
+        assert_eq!(out.items, items(&["ARM", "FIRE"]));
+    }
+
+    #[test]
+    fn budget_bounds_predicate_calls() {
+        let input: Vec<String> = (0..64).map(|i| format!("i{i}")).collect();
+        let mut calls = 0usize;
+        let out = ddmin(&input, 5, |c| {
+            calls += 1;
+            c.iter().any(|s| s == "i63")
+        });
+        assert!(out.evals <= 5);
+        assert_eq!(calls, out.evals);
+        assert!(out.items.iter().any(|s| s == "i63"), "must stay failing");
+    }
+
+    #[test]
+    fn single_item_input_is_already_minimal() {
+        let input = items(&["only"]);
+        let out = ddmin(&input, 100, |_| true);
+        assert_eq!(out.items, input);
+        assert_eq!(out.evals, 0);
+    }
+
+    #[test]
+    fn same_input_shrinks_identically() {
+        let input: Vec<String> = (0..23).map(|i| format!("s{i}")).collect();
+        let pred = |c: &[String]| c.iter().filter(|s| s.ends_with('3')).count() >= 2;
+        let a = ddmin(&input, 400, pred);
+        let b = ddmin(&input, 400, pred);
+        assert_eq!(a, b);
+    }
+}

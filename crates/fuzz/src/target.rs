@@ -1,0 +1,156 @@
+//! The fuzzable deployment shapes.
+//!
+//! Each target names a complete N-version deployment recipe (instance
+//! versions/flavors, filter pair, quorum policy, wire protocol) plus the
+//! input family its generator speaks. `Mixed` mode deploys the diverse
+//! instance set the operator would run in production; `Uniform` mode
+//! deploys N copies of instance 0 and is the triage oracle: a divergence
+//! that survives uniformity is noise, not version-gated behaviour.
+
+/// Identifies one fuzz target (deployment recipe + generator family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TargetId {
+    /// MiniPg 10.7/10.7/10.9 behind a filter pair, RLS-secured schema —
+    /// the CVE-2019-10130 surface (non-leakproof operators vs row security).
+    PgRls,
+    /// MiniPg 10.9 ×2 + MiniCockroach (scrambled row order, no plpgsql)
+    /// behind a filter pair — implementation diversity, not version
+    /// diversity.
+    PgFlavors,
+    /// Three paged-storage MiniPg instances, `replay-forward` ×2 +
+    /// `shadow-discard`, MajorityVote + eject. The only target that
+    /// composes with a [`rddr_net::FaultPlan`]: under chaos the generator
+    /// emits `!CRASH` items and the plan arms torn-WAL-tail storage faults
+    /// plus a connection refusal on the same seed.
+    PgStorage,
+    /// NginxSim 1.13.2 ×2 (filter pair) + 1.13.4 static file server — the
+    /// CVE-2017-7529 range-filter overflow surface, plus header casing.
+    HttpRange,
+    /// HAProxySim 1.5.3 vs NginxSim 1.13.4 reverse proxies in front of
+    /// replicated backends — the CVE-2019-18277 Transfer-Encoding
+    /// smuggling surface.
+    HttpSmuggle,
+    /// `markdown2` vs `markdown-safe` behind `POST /render`
+    /// (CVE-2020-11888 scheme-check bypass).
+    LibMarkdown,
+    /// `svglib` vs `cairosvg` behind `POST /convert` (CVE-2020-10799 XXE
+    /// file disclosure).
+    LibSvg,
+    /// `lxml.clean` vs `sanitize-html` behind `POST /sanitize`
+    /// (CVE-2014-3146 control-character scheme bypass).
+    LibXml,
+    /// A deliberately noisy echo pair whose responses embed a per-instance
+    /// marker with no de-noise configuration. Every divergence it produces
+    /// is a false positive by construction — it exists to validate the
+    /// triage oracle and is excluded from [`TargetId::default_set`].
+    LineNoise,
+}
+
+/// The input family a target's generator speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Family {
+    /// SQL statement streams over the PG v3 wire protocol.
+    Sql,
+    /// Raw HTTP/1.1 request bytes, one request per item.
+    Http,
+    /// Request bodies POSTed to a fixed route.
+    Payload,
+    /// Newline-framed text lines.
+    Line,
+}
+
+const ALL: &[TargetId] = &[
+    TargetId::PgRls,
+    TargetId::PgFlavors,
+    TargetId::PgStorage,
+    TargetId::HttpRange,
+    TargetId::HttpSmuggle,
+    TargetId::LibMarkdown,
+    TargetId::LibSvg,
+    TargetId::LibXml,
+    TargetId::LineNoise,
+];
+
+impl TargetId {
+    /// Stable machine name (used in corpus files and reports).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            TargetId::PgRls => "pg-rls",
+            TargetId::PgFlavors => "pg-flavors",
+            TargetId::PgStorage => "pg-storage",
+            TargetId::HttpRange => "http-range",
+            TargetId::HttpSmuggle => "http-smuggle",
+            TargetId::LibMarkdown => "lib-markdown",
+            TargetId::LibSvg => "lib-svg",
+            TargetId::LibXml => "lib-xml",
+            TargetId::LineNoise => "line-noise",
+        }
+    }
+
+    /// Parses a [`TargetId::name`] back to the id.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        ALL.iter().copied().find(|t| t.name() == name)
+    }
+
+    /// Every target, in stable order.
+    #[must_use]
+    pub fn all() -> &'static [TargetId] {
+        ALL
+    }
+
+    /// The production fuzzing set: every real deployment recipe. The
+    /// synthetic [`TargetId::LineNoise`] oracle-validation target is
+    /// excluded — its findings are false positives by design and would
+    /// defeat the zero-FP CI gate.
+    #[must_use]
+    pub fn default_set() -> Vec<TargetId> {
+        ALL.iter()
+            .copied()
+            .filter(|t| *t != TargetId::LineNoise)
+            .collect()
+    }
+
+    /// Whether a composed [`rddr_net::FaultPlan`] changes this target's
+    /// behaviour (connection + storage faults armed on the fuzz seed).
+    #[must_use]
+    pub fn supports_chaos(self) -> bool {
+        matches!(self, TargetId::PgStorage)
+    }
+
+    pub(crate) fn family(self) -> Family {
+        match self {
+            TargetId::PgRls | TargetId::PgFlavors | TargetId::PgStorage => Family::Sql,
+            TargetId::HttpRange | TargetId::HttpSmuggle => Family::Http,
+            TargetId::LibMarkdown | TargetId::LibSvg | TargetId::LibXml => Family::Payload,
+            TargetId::LineNoise => Family::Line,
+        }
+    }
+}
+
+impl std::fmt::Display for TargetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for t in TargetId::all() {
+            assert_eq!(TargetId::parse(t.name()), Some(*t), "{t}");
+        }
+        assert_eq!(TargetId::parse("no-such-target"), None);
+    }
+
+    #[test]
+    fn default_set_excludes_the_noise_oracle() {
+        let set = TargetId::default_set();
+        assert!(!set.contains(&TargetId::LineNoise));
+        assert_eq!(set.len(), TargetId::all().len() - 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Verdict taxonomy and finding records.
+//!
+//! A non-unanimous verdict found on the mixed (version-diverse) deployment
+//! is not automatically a bug worth keeping. The triage oracle replays the
+//! case on control deployments:
+//!
+//! 1. If a fault schedule was active, replay on a fresh mixed deployment
+//!    *without* the plan. Divergence gone ⇒ [`Verdict::ChaosOnly`] — the
+//!    behaviour is gated on the fault schedule (e.g. recovery-policy
+//!    divergence after a torn WAL tail).
+//! 2. Replay on a *uniform* deployment (N copies of instance 0).
+//!    Divergence persists ⇒ [`Verdict::FalsePositive`] — the noise is not
+//!    version-gated and the de-noiser should have masked it. Divergence
+//!    gone ⇒ [`Verdict::TruePositive`] — behaviour gated on the version /
+//!    implementation mix, which is exactly what N-versioning exists to
+//!    catch.
+
+use crate::case::FuzzCase;
+use crate::target::TargetId;
+
+/// The triage class of one finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Version-gated behaviour: disappears on a homogeneous deployment.
+    TruePositive,
+    /// De-noiser miss: persists on a homogeneous deployment.
+    FalsePositive,
+    /// Fault-schedule-gated: disappears when the composed
+    /// [`rddr_net::FaultPlan`] is removed.
+    ChaosOnly,
+}
+
+impl Verdict {
+    /// Stable machine name (used in corpus files and reports).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Verdict::TruePositive => "true-positive",
+            Verdict::FalsePositive => "false-positive",
+            Verdict::ChaosOnly => "chaos-only",
+        }
+    }
+
+    /// Parses a [`Verdict::name`] back.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        [
+            Verdict::TruePositive,
+            Verdict::FalsePositive,
+            Verdict::ChaosOnly,
+        ]
+        .into_iter()
+        .find(|v| v.name() == name)
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One deduplicated, triaged, shrunk divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The deployment the divergence was found on.
+    pub target: TargetId,
+    /// The triage class (of the shrunk case).
+    pub verdict: Verdict,
+    /// Normalized divergence signature (dedup key): offending instance,
+    /// structural flag, and the audit detail with value noise collapsed.
+    pub signature: String,
+    /// Raw audit detail of the first divergence record.
+    pub detail: String,
+    /// The generated case as found.
+    pub original: FuzzCase,
+    /// The minimal reproducer after delta-debugging.
+    pub shrunk: FuzzCase,
+    /// The derived per-case seed (recreates the chaos plan on replay).
+    pub case_seed: u64,
+    /// Whether a fault schedule was active during the finding run.
+    pub chaos: bool,
+    /// Predicate evaluations the shrink spent.
+    pub shrink_evals: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_names_roundtrip() {
+        for v in [
+            Verdict::TruePositive,
+            Verdict::FalsePositive,
+            Verdict::ChaosOnly,
+        ] {
+            assert_eq!(Verdict::parse(v.name()), Some(v), "{v}");
+        }
+        assert_eq!(Verdict::parse("maybe"), None);
+    }
+}

@@ -145,3 +145,84 @@ impl Drop for ContainerHandle {
         self.stop();
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    use rddr_net::{Network, Stream};
+
+    use super::*;
+    use crate::{Cluster, FnService, Service};
+
+    fn echo_service() -> Arc<dyn Service> {
+        Arc::new(FnService::new("echo", |mut conn, _ctx| {
+            let mut buf = [0u8; 64];
+            while let Ok(n) = conn.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                if conn.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }))
+    }
+
+    fn echo_once(conn: &mut BoxStream, payload: &[u8]) -> Vec<u8> {
+        conn.write_all(payload).unwrap();
+        let mut buf = [0u8; 64];
+        let n = conn.read(&mut buf).unwrap();
+        buf[..n].to_vec()
+    }
+
+    #[test]
+    fn kill_severs_live_connections_mid_read() {
+        let cluster = Cluster::new(1);
+        let addr = ServiceAddr::new("svc-kill", 80);
+        let mut handle = cluster
+            .run_container("svc-0", Image::new("svc", "v1"), &addr, echo_service())
+            .unwrap();
+        let mut conn = cluster.net().dial(&addr).unwrap();
+        assert_eq!(echo_once(&mut conn, b"ping"), b"ping");
+
+        // Park a reader mid-read, then kill: like a crashed process, the
+        // blocked read must end abruptly instead of waiting on data that
+        // will never come (`stop` would leave it parked forever).
+        let (tx, rx) = mpsc::channel();
+        let mut reader = conn.try_clone().unwrap();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 8];
+            tx.send(reader.read(&mut buf)).ok();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        handle.kill();
+        let outcome = rx
+            .recv_timeout(Duration::from_secs(2))
+            .expect("kill must sever the in-flight read");
+        assert!(
+            matches!(outcome, Ok(0) | Err(_)),
+            "severed close expected, got data: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn stop_drains_live_connections_and_unbinds() {
+        let cluster = Cluster::new(1);
+        let addr = ServiceAddr::new("svc-stop", 80);
+        let mut handle = cluster
+            .run_container("svc-0", Image::new("svc", "v1"), &addr, echo_service())
+            .unwrap();
+        let mut conn = cluster.net().dial(&addr).unwrap();
+        assert_eq!(echo_once(&mut conn, b"before"), b"before");
+
+        handle.stop();
+        // New sessions are refused (the address is unbound)…
+        assert!(cluster.net().dial(&addr).is_err(), "stop must unbind");
+        // …but the in-flight session drains to completion, like
+        // `docker stop` letting workers finish.
+        assert_eq!(echo_once(&mut conn, b"after"), b"after");
+        assert_eq!(handle.connections(), 1);
+    }
+}

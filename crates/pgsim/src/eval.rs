@@ -19,7 +19,13 @@ impl<'a> Env<'a> {
     pub fn lookup(&self, col: &ColumnRef) -> Option<Value> {
         for (i, (alias, name)) in self.schema.iter().enumerate() {
             if name == &col.column && col.table.as_ref().is_none_or(|t| t == alias) {
-                return Some(self.row[i].clone());
+                // The row can be narrower than the schema when an aggregate
+                // output row is evaluated against the source-table schema
+                // (e.g. `SELECT COUNT(*) .. ORDER BY col`): treat the
+                // unmaterialized column as unresolvable rather than panic.
+                if let Some(v) = self.row.get(i) {
+                    return Some(v.clone());
+                }
             }
         }
         self.parent.and_then(|p| p.lookup(col))

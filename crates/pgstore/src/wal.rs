@@ -57,6 +57,11 @@ impl RecoveryPolicy {
     }
 }
 
+/// Largest payload `replay` accepts from a length header (16 MiB). Honest
+/// records are orders of magnitude smaller; a declared length beyond this
+/// is header corruption, not a torn tail.
+pub const MAX_RECORD_LEN: usize = 1 << 24;
+
 const KIND_BEGIN: u8 = 1;
 const KIND_COMMIT: u8 = 2;
 const KIND_CREATE: u8 = 3;
@@ -349,6 +354,17 @@ impl Wal {
             crc_buf.copy_from_slice(header.get(4..).unwrap_or(&[0; 8]));
             let len = u32::from_le_bytes(len_buf) as usize;
             let crc = u64::from_le_bytes(crc_buf);
+            // A crash can truncate a record, never inflate one: a declared
+            // length past the cap no honest writer produces is a corrupt
+            // header, and must fail recovery cleanly rather than be misread
+            // as innocuous torn-tail damage (or drive a reader that trusts
+            // the header into a giant allocation).
+            if len > MAX_RECORD_LEN {
+                return Err(StoreError::Corrupt(format!(
+                    "WAL record at offset {pos} declares a {len} byte payload \
+                     (cap {MAX_RECORD_LEN}): length header corrupt"
+                )));
+            }
             let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
                 tail = TailState::Torn(bytes.get(pos + 12).copied());
                 break;
@@ -560,6 +576,42 @@ mod tests {
             wal.replay(RecoveryPolicy::ReplayForward),
             Err(StoreError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn oversize_declared_length_is_corruption_not_a_torn_tail() {
+        let d = disk();
+        let wal = Wal::new(d.clone(), "wal");
+        committed_txn(&wal, 1, "T", vec![row(1)]);
+        // Hand-corrupt the tail: a frame header declaring a payload far
+        // beyond both the remaining file size and any honest record, with
+        // a few garbage payload bytes behind it. A reader that trusts the
+        // header would attempt a gigabyte allocation; replay must fail
+        // cleanly instead of reporting innocuous crash damage.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&0x4000_0000u32.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        frame.extend_from_slice(b"junk");
+        d.append("wal", &frame);
+        d.fsync("wal");
+        for policy in [RecoveryPolicy::ReplayForward, RecoveryPolicy::ShadowDiscard] {
+            assert!(
+                matches!(wal.replay(policy), Err(StoreError::Corrupt(_))),
+                "{policy:?} must reject the oversize length header"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tail_under_the_cap_stays_torn() {
+        // The guard must not reclassify ordinary crash damage: a record
+        // whose (honest) declared length just runs past the end of the
+        // file is still a torn tail, for both policies.
+        let d = torn_commit_disk();
+        for policy in [RecoveryPolicy::ReplayForward, RecoveryPolicy::ShadowDiscard] {
+            let r = Wal::new(d.clone(), "wal").replay(policy).unwrap();
+            assert!(matches!(r.tail, TailState::Torn(_)));
+        }
     }
 
     #[test]

@@ -291,7 +291,12 @@ fn run_session(
             let pipelined = request_frames.len() > 1 && request_protocol.supports_pipelining();
             let mut next_frame = 0;
             while next_frame < request_frames.len() {
-                let batch_end = if pipelined {
+                // Once the signature throttle has recorded a divergence the
+                // batch depth clamps to one frame: every frame then meets a
+                // fully up-to-date throttle instead of the lagging
+                // whole-batch check (the PR-introducing caveat in
+                // DESIGN.md's pipelined-batching note).
+                let batch_end = if pipelined && !engine.session().throttle_engaged() {
                     request_frames.len()
                 } else {
                     next_frame + 1

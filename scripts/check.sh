@@ -26,6 +26,13 @@ cargo run --release -p rddr-bench --bin proxy_hotpath -- --smoke --json BENCH_pr
 echo "==> pgstore_bench smoke (recovery gate + storage throughput report)"
 cargo run --release -p rddr-bench --bin pgstore_bench -- --smoke --json BENCH_pgstore_smoke.json
 
+echo "==> fuzz_bench smoke (zero-FP + true-positive gates) and fuzz-under-chaos"
+cargo run --release -p rddr-bench --bin fuzz_bench -- --smoke --json BENCH_fuzz_smoke.json
+cargo run --release -p rddr-bench --bin fuzz_bench -- --smoke --chaos --json BENCH_fuzz_chaos_smoke.json
+
+echo "==> committed corpus replay + campaign determinism gates"
+cargo test --release -q --test fuzz_replay
+
 echo "==> chaos + crash-recovery suites under the three CI seeds"
 for seed in 1 271828 3141592653; do
   echo "    seed $seed"

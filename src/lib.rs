@@ -4,6 +4,7 @@
 //! single dependency. See `README.md` and `DESIGN.md` at the repository root.
 
 pub use rddr_core as core;
+pub use rddr_fuzz as fuzz;
 pub use rddr_httpsim as httpsim;
 pub use rddr_libsim as libsim;
 pub use rddr_net as net;

@@ -1,0 +1,78 @@
+//! Corpus replay gates for the seeded fuzz harness.
+//!
+//! The committed corpus under `tests/corpus/` is the contract the fuzzer
+//! must keep honouring: every shrunk reproducer must still rebuild its
+//! deployment (re-deriving the chaos plan from the stored case seed),
+//! diverge with the same normalized signature, and re-triage to the same
+//! verdict. A second gate pins the determinism claim itself — a campaign
+//! is a pure function of `(seed, config)`, so two identical runs must
+//! serialize byte-identically.
+
+use std::path::PathBuf;
+
+use rddr_repro::fuzz::{corpus, fuzz, replay, FuzzConfig, TargetId, Verdict};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn committed_corpus_replays_exactly() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus loads");
+    assert!(
+        entries.len() >= 8,
+        "starter corpus went missing: {} entries",
+        entries.len()
+    );
+    for (name, rep) in &entries {
+        let outcome = replay(rep).expect("replay deploys");
+        assert!(
+            outcome.matches(rep),
+            "{name}: replay drifted: diverged={} verdict={:?} signature={}",
+            outcome.diverged,
+            outcome.verdict,
+            outcome.signature,
+        );
+    }
+}
+
+#[test]
+fn corpus_includes_a_chaos_only_reproducer_and_it_replays() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus loads");
+    let chaos_only: Vec<_> = entries
+        .iter()
+        .filter(|(_, rep)| rep.verdict == Verdict::ChaosOnly)
+        .collect();
+    assert!(
+        !chaos_only.is_empty(),
+        "the corpus must carry at least one fuzz-under-chaos finding"
+    );
+    for (name, rep) in chaos_only {
+        assert!(rep.chaos, "{name}: chaos-only finding without a fault plan");
+        let outcome = replay(rep).expect("replay deploys");
+        assert_eq!(
+            outcome.verdict,
+            Some(Verdict::ChaosOnly),
+            "{name}: divergence should vanish without the fault schedule"
+        );
+    }
+}
+
+#[test]
+fn same_seed_campaigns_serialize_byte_identically() {
+    let config = FuzzConfig {
+        seed: 7,
+        targets: vec![TargetId::PgFlavors, TargetId::LibMarkdown],
+        cases_per_target: 4,
+        max_items: 6,
+        shrink_budget: 16,
+        chaos: false,
+    };
+    let a = fuzz(&config).expect("first campaign");
+    let b = fuzz(&config).expect("second campaign");
+    assert_eq!(a.findings_json(), b.findings_json());
+    let texts = |reps: Vec<rddr_repro::fuzz::Reproducer>| {
+        reps.iter().map(|r| r.to_text()).collect::<Vec<_>>()
+    };
+    assert_eq!(texts(a.reproducers()), texts(b.reproducers()));
+}

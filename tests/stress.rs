@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rddr_repro::core::protocol::LineProtocol;
-use rddr_repro::core::EngineConfig;
+use rddr_repro::core::{DegradePolicy, EngineConfig, ResponsePolicy};
 use rddr_repro::net::{BoxStream, Network, ServiceAddr, SimNet, Stream};
 use rddr_repro::proxy::{IncomingProxy, ProtocolFactory};
 
@@ -98,4 +98,98 @@ fn concurrent_sessions_are_isolated_and_lossless() {
     assert_eq!(stats.exchanges, (CLIENTS * EXCHANGES) as u64);
     assert_eq!(stats.divergences, 0, "identical echoes must never diverge");
     assert_eq!(stats.severed, 0);
+}
+
+/// Echo that mangles any line containing `evil` — a deterministic
+/// divergence trigger for one instance of a voting trio.
+fn spawn_mangling_echo(net: &SimNet, addr: ServiceAddr) {
+    let mut listener = net.listen(&addr).unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let mut line: Vec<u8> = buf.drain(..=pos).collect();
+                        if line.windows(4).any(|w| w == b"evil") {
+                            line = b"mangled\n".to_vec();
+                        }
+                        if conn.write_all(&line).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Regression for the pipelined-batching throttle-lag caveat: once the
+/// signature throttle has recorded a divergence, batch depth must clamp to
+/// one frame so a repeated diverging input *within a single client write*
+/// is refused at its exact budget instead of riding a whole-batch fan-out
+/// past a stale throttle check.
+#[test]
+fn engaged_throttle_clamps_pipelined_batch_depth() {
+    let net = SimNet::new();
+    spawn_echo(&net, ServiceAddr::new("tsvc", 9100));
+    spawn_echo(&net, ServiceAddr::new("tsvc", 9101));
+    spawn_mangling_echo(&net, ServiceAddr::new("tsvc", 9102));
+    let proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr-throttle", 80),
+        (9100..9103).map(|p| ServiceAddr::new("tsvc", p)).collect(),
+        EngineConfig::builder(3)
+            .policy(ResponsePolicy::MajorityVote)
+            // Ejecting degrade mode lets the outvoted (quarantined) mangler
+            // rejoin before each batch, so every exchange keeps all three
+            // instances in the diff set and repeats keep diverging.
+            .degrade(DegradePolicy::eject())
+            .throttle(0)
+            .response_deadline(Duration::from_secs(10))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+
+    let mut conn = net.dial(&ServiceAddr::new("rddr-throttle", 80)).unwrap();
+    // Engage the throttle: one diverging exchange, allowed (budget 0 allows
+    // the first occurrence) and recorded. Majority voting keeps the session
+    // alive and forwards the honest echo.
+    conn.write_all(b"evil-seed\n").unwrap();
+    assert_eq!(read_line(&mut conn).unwrap(), b"evil-seed");
+
+    // One pipelined write carrying a *new* diverging input twice. With the
+    // engaged-throttle clamp the frames meet the throttle one at a time:
+    // the first occurrence is allowed and recorded, the repeat is refused
+    // and the session severed. Without the clamp the whole batch fans out
+    // against the stale pre-batch throttle state and the repeat (and the
+    // trailing frame) are answered as if nothing happened.
+    conn.write_all(b"evil-fresh\nevil-fresh\nafter\n").unwrap();
+    assert_eq!(
+        read_line(&mut conn).unwrap(),
+        b"evil-fresh",
+        "first occurrence of a new diverging input is within budget"
+    );
+    assert!(
+        read_line(&mut conn).is_none(),
+        "the in-batch repeat must be throttled and the session severed"
+    );
+
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = proxy.stats();
+    assert!(
+        stats.throttled >= 1,
+        "the repeated signature must hit the throttle, got {stats:?}"
+    );
+    assert!(
+        stats.divergences >= 2,
+        "both evil inputs diverged once each"
+    );
 }
