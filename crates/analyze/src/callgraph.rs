@@ -5,7 +5,12 @@
 //! nested `mod name { … }` blocks). Functions that share a module and a name
 //! (e.g. `new` on two types in one file) merge into one node; that
 //! over-approximation is deliberate — the taint and hot-path passes want
-//! reachability, and a merged node only ever *adds* paths.
+//! reachability, and a merged node only ever *adds* paths. Closures passed
+//! to spawn-like callees (`thread::spawn`, scoped `spawn`,
+//! `Supervisor::register_factory`) become synthetic nodes of their own
+//! (`parent::closure@LINE`) with an edge from the spawning function, and
+//! their token range is a *hole* in the parent's span so findings inside the
+//! closure are attributed to the closure node.
 //!
 //! Edges come from three call shapes, resolved in decreasing precision:
 //!
@@ -15,15 +20,20 @@
 //!    prefix normalized first.
 //! 2. **Plain names** (`run_select(…)`): same module first, then a unique
 //!    match in the same crate, then a unique match workspace-wide.
-//! 3. **Method calls** (`.session(…)`): linked only when the name is unique
-//!    across the workspace and not a ubiquitous std name (`len`, `clone`,
-//!    `read`, …) — receivers are untyped at the token level, so anything
-//!    more aggressive manufactures edges.
+//! 3. **Method calls** (`.split_frames(…)`): if the name is declared by a
+//!    workspace `trait` block, the call *dispatches* — it fans out to every
+//!    `impl Trait for Type` body registered in the trait-impl map, provided
+//!    the call's argument count matches the declaration's non-`self`
+//!    parameter count (so `guard.read()` never aliases `Stream::read(buf)`).
+//!    Names no workspace trait declares fall back to workspace uniqueness,
+//!    minus a ubiquitous-std-name denylist (`len`, `clone`, …) — receivers
+//!    are untyped at the token level, so anything more aggressive
+//!    manufactures edges.
 //!
-//! Unresolved calls (std, shims, trait dispatch) simply produce no edge; the
-//! passes that consume the graph treat missing edges as "not reachable",
-//! which keeps them quiet rather than noisy. Known imprecision is documented
-//! in DESIGN.md.
+//! Unresolved calls (std, shims) simply produce no edge; the passes that
+//! consume the graph treat missing edges as "not reachable", which keeps
+//! them quiet rather than noisy. Known imprecision is documented in
+//! DESIGN.md.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -32,7 +42,9 @@ use crate::source::SourceFile;
 
 /// Method names too generic to resolve by uniqueness: std trait methods and
 /// container vocabulary that would otherwise alias unrelated workspace
-/// functions onto one node.
+/// functions onto one node. Names declared by a workspace trait (`read`,
+/// `insert`, …) are *not* listed — the trait-impl map resolves those by
+/// declaration + arity instead.
 const UBIQUITOUS_METHODS: &[&str] = &[
     "as_mut",
     "as_ref",
@@ -54,7 +66,6 @@ const UBIQUITOUS_METHODS: &[&str] = &[
     "get",
     "get_mut",
     "hash",
-    "insert",
     "into",
     "into_iter",
     "is_empty",
@@ -71,7 +82,6 @@ const UBIQUITOUS_METHODS: &[&str] = &[
     "parse",
     "pop",
     "push",
-    "read",
     "recv",
     "remove",
     "replace",
@@ -89,11 +99,19 @@ const UBIQUITOUS_METHODS: &[&str] = &[
     "write",
 ];
 
-/// Keywords that can precede `(` without being a call.
+/// Keywords that can precede `(` without being a call. `drop` rides along:
+/// `drop(x)` is the prelude's `mem::drop`, and which `impl Drop` it runs
+/// depends on `x`'s type — name resolution would link it to whatever
+/// workspace `fn drop` happens to be nearest (usually the wrong one).
 const CALL_KEYWORDS: &[&str] = &[
     "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "fn",
-    "impl", "where", "unsafe", "dyn",
+    "impl", "where", "unsafe", "dyn", "drop",
 ];
+
+/// Callees whose closure argument runs on another thread (or later, on a
+/// respawn): the closure becomes a synthetic node instead of being folded
+/// into the caller's body.
+const SPAWN_CALLEES: &[&str] = &["spawn", "register_factory"];
 
 /// One contiguous body of a function, as token indices into its file.
 #[derive(Debug, Clone)]
@@ -104,19 +122,70 @@ pub struct FnSpan {
     pub start: usize,
     /// End of the body (exclusive token index).
     pub end: usize,
-    /// Line of the `fn` keyword.
+    /// Line of the `fn` keyword (or of the closure's opening `|`).
     pub line: u32,
+    /// Token ranges excluded from this span: spawned closures directly
+    /// inside it, which are nodes of their own.
+    pub holes: Vec<(usize, usize)>,
+}
+
+impl FnSpan {
+    /// Whether token index `i` belongs to this span (in range and not
+    /// inside a spawned-closure hole).
+    pub fn covers(&self, i: usize) -> bool {
+        i >= self.start && i < self.end && !self.holes.iter().any(|&(s, e)| i >= s && i < e)
+    }
 }
 
 /// One function node (possibly merged from same-module same-name functions).
 #[derive(Debug, Clone)]
 pub struct FnNode {
-    /// Module-qualified id, e.g. `pgsim::exec::run_select`.
+    /// Module-qualified id, e.g. `pgsim::exec::run_select`; spawned closures
+    /// append `::closure@LINE` to their spawner's id.
     pub id: String,
     /// Crate the function lives in (`pgsim`, `proxy`, `shim:rand`, …).
     pub crate_name: String,
     /// Every body with this id.
     pub spans: Vec<FnSpan>,
+}
+
+/// One resolved call site. The interprocedural lock-order pass consumes
+/// these: it needs token positions to interleave lock acquisitions with the
+/// calls made while the guard is held. Spawner→closure edges deliberately
+/// have no call site — the closure runs on another thread, so locks held at
+/// the spawn point are not held inside it.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Caller node index.
+    pub caller: usize,
+    /// Index into the slice of [`SourceFile`]s the graph was built from.
+    pub file: usize,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// Line of the call.
+    pub line: u32,
+    /// Resolved target node indices (non-empty).
+    pub targets: Vec<usize>,
+    /// Whether the targets came from trait-impl dispatch fan-out rather
+    /// than name resolution.
+    pub dispatched: bool,
+}
+
+/// Size counters for the built graph, surfaced in `BENCH_analyze.json`.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Function + closure nodes.
+    pub nodes: usize,
+    /// Total caller→callee edges.
+    pub edges: usize,
+    /// Edges added by trait-impl dispatch fan-out.
+    pub dispatch_edges: usize,
+    /// Workspace `trait` declarations seen.
+    pub traits: usize,
+    /// (trait, method) → impl-body registrations in the trait-impl map.
+    pub impl_methods: usize,
+    /// Synthetic spawned-closure nodes.
+    pub closure_nodes: usize,
 }
 
 /// An unresolved call reference found in a body.
@@ -126,7 +195,19 @@ struct CallRef {
     path: Vec<String>,
     /// Whether it was `.name(` (method dispatch).
     method: bool,
+    /// Argument count at the call site (computed for method calls only).
+    argc: usize,
+    /// Token index of the callee name.
+    tok: usize,
+    /// Line of the call.
+    line: u32,
 }
+
+/// Workspace trait declarations: trait name → method name → non-`self`
+/// parameter count.
+type TraitDecls = BTreeMap<String, BTreeMap<String, usize>>;
+/// Trait-impl map: trait name → method name → implementing node indices.
+type ImplMap = BTreeMap<String, BTreeMap<String, BTreeSet<usize>>>;
 
 /// The workspace call graph.
 #[derive(Debug, Default)]
@@ -136,16 +217,42 @@ pub struct CallGraph {
     by_id: BTreeMap<String, usize>,
     /// caller -> callees.
     edges: BTreeMap<usize, BTreeSet<usize>>,
+    /// Every resolved call site, for positional passes (lock-order).
+    pub call_sites: Vec<CallSite>,
+    /// Size counters, filled by [`CallGraph::build`].
+    pub stats: GraphStats,
+}
+
+/// One function/closure occurrence being assembled during `build`.
+struct Occ {
+    node: usize,
+    start: usize,
+    end: usize,
+    line: u32,
+    owner_module: String,
+    holes: Vec<(usize, usize)>,
 }
 
 impl CallGraph {
     /// Builds the graph over every file (the same slice the spans index).
     pub fn build(files: &[SourceFile]) -> CallGraph {
         let mut graph = CallGraph::default();
-        // (node index, module path, file index, calls) per function occurrence.
-        let mut pending: Vec<(usize, String, usize, Vec<CallRef>)> = Vec::new();
-        for (file_idx, file) in files.iter().enumerate() {
+        // Pass A: workspace trait declarations (dispatch needs them all
+        // before any impl body is registered).
+        let mut traits: TraitDecls = BTreeMap::new();
+        for file in files {
+            for (name, methods) in collect_traits(file) {
+                traits.entry(name).or_default().extend(methods);
+            }
+        }
+        // Pass B: function occurrences, impl-map registration, and spawned
+        // closures (which punch holes in their parent's span).
+        let mut impl_map: ImplMap = BTreeMap::new();
+        let mut occs_by_file: Vec<Vec<Occ>> = Vec::with_capacity(files.len());
+        let mut closure_edges: Vec<(usize, usize)> = Vec::new();
+        for file in files {
             let module = module_path(file);
+            let mut occs: Vec<Occ> = Vec::new();
             for f in functions(file) {
                 let id = if f.module.is_empty() {
                     format!("{}::{}", module, f.name)
@@ -153,25 +260,92 @@ impl CallGraph {
                     format!("{}::{}::{}", module, f.module, f.name)
                 };
                 let node = graph.intern(&id, &file.crate_name);
-                graph.nodes[node].spans.push(FnSpan {
-                    file: file_idx,
-                    start: f.body_start,
-                    end: f.body_end,
-                    line: f.line,
-                });
-                let calls = call_refs(file, f.body_start, f.body_end);
+                if let Some(tr) = &f.owner_trait {
+                    if traits.get(tr).is_some_and(|m| m.contains_key(&f.name)) {
+                        impl_map
+                            .entry(tr.clone())
+                            .or_default()
+                            .entry(f.name.clone())
+                            .or_default()
+                            .insert(node);
+                    }
+                }
                 let owner_module = match f.module.is_empty() {
                     true => module.clone(),
                     false => format!("{}::{}", module, f.module),
                 };
-                pending.push((node, owner_module, file_idx, calls));
+                occs.push(Occ {
+                    node,
+                    start: f.body_start,
+                    end: f.body_end,
+                    line: f.line,
+                    owner_module,
+                    holes: Vec::new(),
+                });
+            }
+            let mut closures = spawn_closures(file);
+            closures.sort_by_key(|c| c.start);
+            for c in closures {
+                // Innermost containing occurrence (a prior closure wins over
+                // the enclosing fn: outer closures are processed first).
+                let parent = occs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.start <= c.start && c.end <= o.end)
+                    .max_by_key(|&(_, o)| o.start)
+                    .map(|(i, _)| i);
+                let Some(p) = parent else { continue };
+                let parent_node = occs[p].node;
+                let owner_module = occs[p].owner_module.clone();
+                let id = format!("{}::closure@{}", graph.nodes[parent_node].id, c.line);
+                let node = graph.intern(&id, &file.crate_name);
+                occs[p].holes.push((c.start, c.end));
+                closure_edges.push((parent_node, node));
+                occs.push(Occ {
+                    node,
+                    start: c.start,
+                    end: c.end,
+                    line: c.line,
+                    owner_module,
+                    holes: Vec::new(),
+                });
+            }
+            occs_by_file.push(occs);
+        }
+        // Spans + call references.
+        struct Pending {
+            node: usize,
+            owner_module: String,
+            file: usize,
+            calls: Vec<CallRef>,
+        }
+        let mut pending: Vec<Pending> = Vec::new();
+        for (file_idx, occs) in occs_by_file.iter().enumerate() {
+            let file = &files[file_idx];
+            for o in occs {
+                graph.nodes[o.node].spans.push(FnSpan {
+                    file: file_idx,
+                    start: o.start,
+                    end: o.end,
+                    line: o.line,
+                    holes: o.holes.clone(),
+                });
+                pending.push(Pending {
+                    node: o.node,
+                    owner_module: o.owner_module.clone(),
+                    file: file_idx,
+                    calls: call_refs(file, o.start, o.end, &o.holes),
+                });
             }
         }
-        // Name index for resolution.
+        // Name index for resolution. Closure ids never resolve a call (the
+        // `@` cannot appear in source), so they are left out.
         let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for (i, n) in graph.nodes.iter().enumerate() {
             let tail = n.id.rsplit("::").next().unwrap_or(&n.id);
-            by_name.entry(tail).or_default().push(i);
+            if !tail.contains('@') {
+                by_name.entry(tail).or_default().push(i);
+            }
         }
         // One use-map per file, built once: `resolve` consults it for every
         // plain call, and rebuilding it per call made graph construction
@@ -179,18 +353,62 @@ impl CallGraph {
         let use_maps: Vec<BTreeMap<String, String>> = files.iter().map(use_map).collect();
         let no_uses = BTreeMap::new();
         let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
-        for (node, owner_module, file_idx, calls) in &pending {
-            let crate_name = &graph.nodes[*node].crate_name;
-            let uses = use_maps.get(*file_idx).unwrap_or(&no_uses);
-            for call in calls {
-                for target in graph.resolve(call, owner_module, crate_name, &by_name, uses) {
-                    if target != *node {
-                        edges.entry(*node).or_default().insert(target);
+        for (a, b) in &closure_edges {
+            edges.entry(*a).or_default().insert(*b);
+        }
+        let mut call_sites: Vec<CallSite> = Vec::new();
+        let mut dispatch_edges = 0usize;
+        for p in &pending {
+            let crate_name = &graph.nodes[p.node].crate_name;
+            let uses = use_maps.get(p.file).unwrap_or(&no_uses);
+            for call in &p.calls {
+                let (targets, dispatched) = graph.resolve(
+                    call,
+                    &p.owner_module,
+                    crate_name,
+                    &by_name,
+                    uses,
+                    &traits,
+                    &impl_map,
+                );
+                let mut kept = Vec::new();
+                for target in targets {
+                    if target != p.node {
+                        if edges.entry(p.node).or_default().insert(target) && dispatched {
+                            dispatch_edges += 1;
+                        }
+                        kept.push(target);
                     }
+                }
+                if !kept.is_empty() {
+                    call_sites.push(CallSite {
+                        caller: p.node,
+                        file: p.file,
+                        tok: call.tok,
+                        line: call.line,
+                        targets: kept,
+                        dispatched,
+                    });
                 }
             }
         }
         graph.edges = edges;
+        graph.call_sites = call_sites;
+        graph.stats = GraphStats {
+            nodes: graph.nodes.len(),
+            edges: graph.edges.values().map(BTreeSet::len).sum(),
+            dispatch_edges,
+            traits: traits.len(),
+            impl_methods: impl_map
+                .values()
+                .map(|m| m.values().map(BTreeSet::len).sum::<usize>())
+                .sum(),
+            closure_nodes: graph
+                .nodes
+                .iter()
+                .filter(|n| n.id.contains("::closure@"))
+                .count(),
+        };
         graph
     }
 
@@ -275,7 +493,9 @@ impl CallGraph {
         names.join(" -> ")
     }
 
-    /// Resolves one call reference to zero or more node indices.
+    /// Resolves one call reference to zero or more node indices; the flag
+    /// reports whether trait-impl dispatch produced the targets.
+    #[allow(clippy::too_many_arguments)]
     fn resolve(
         &self,
         call: &CallRef,
@@ -283,17 +503,41 @@ impl CallGraph {
         crate_name: &str,
         by_name: &BTreeMap<&str, Vec<usize>>,
         uses: &BTreeMap<String, String>,
-    ) -> Vec<usize> {
+        traits: &TraitDecls,
+        impl_map: &ImplMap,
+    ) -> (Vec<usize>, bool) {
         let tail = call.path.last().map(String::as_str).unwrap_or_default();
         if call.method {
+            // A name declared by any workspace trait is handled exclusively
+            // by dispatch: fan out to every registered impl of an
+            // arity-matching declaration, or to nothing (never fall back to
+            // uniqueness — `guard.read()` must not alias a lone
+            // `Stream::read(buf)` impl).
+            let declaring: Vec<&String> = traits
+                .iter()
+                .filter(|(_, methods)| methods.contains_key(tail))
+                .map(|(name, _)| name)
+                .collect();
+            if !declaring.is_empty() {
+                let mut targets: BTreeSet<usize> = BTreeSet::new();
+                for trait_name in declaring {
+                    if traits[trait_name].get(tail) == Some(&call.argc) {
+                        if let Some(impls) = impl_map.get(trait_name).and_then(|m| m.get(tail)) {
+                            targets.extend(impls.iter().copied());
+                        }
+                    }
+                }
+                let dispatched = !targets.is_empty();
+                return (targets.into_iter().collect(), dispatched);
+            }
             // `.name(…)`: untyped receiver — only a workspace-unique,
             // non-ubiquitous name is trustworthy.
             if UBIQUITOUS_METHODS.contains(&tail) {
-                return Vec::new();
+                return (Vec::new(), false);
             }
             return match by_name.get(tail).map(Vec::as_slice) {
-                Some([single]) => vec![*single],
-                _ => Vec::new(),
+                Some([single]) => (vec![*single], false),
+                _ => (Vec::new(), false),
             };
         }
         if call.path.len() == 1 {
@@ -307,18 +551,18 @@ impl CallGraph {
                     if let Some(cands) = by_name.get(full_tail) {
                         let matches = self.suffix_matches(&segs.join("::"), cands);
                         if !matches.is_empty() {
-                            return matches;
+                            return (matches, false);
                         }
                     }
                 }
             }
             let Some(candidates) = by_name.get(tail) else {
-                return Vec::new();
+                return (Vec::new(), false);
             };
             // Same module, then unique-in-crate, then unique-global.
             let in_module = format!("{owner_module}::{tail}");
             if let Some(i) = self.node(&in_module) {
-                return vec![i];
+                return (vec![i], false);
             }
             let in_crate: Vec<usize> = candidates
                 .iter()
@@ -326,20 +570,20 @@ impl CallGraph {
                 .filter(|&i| self.nodes[i].crate_name == crate_name)
                 .collect();
             if let [single] = in_crate.as_slice() {
-                return vec![*single];
+                return (vec![*single], false);
             }
             return match candidates.as_slice() {
-                [single] => vec![*single],
-                _ => Vec::new(),
+                [single] => (vec![*single], false),
+                _ => (Vec::new(), false),
             };
         }
         // Qualified path: normalize the head, then suffix-match node ids.
         let Some(segs) = normalize_head(call.path.clone(), owner_module, crate_name) else {
-            return Vec::new();
+            return (Vec::new(), false);
         };
         match by_name.get(tail) {
-            Some(candidates) => self.suffix_matches(&segs.join("::"), candidates),
-            None => Vec::new(),
+            Some(candidates) => (self.suffix_matches(&segs.join("::"), candidates), false),
+            None => (Vec::new(), false),
         }
     }
 
@@ -408,28 +652,33 @@ struct FnOccurrence {
     name: String,
     /// Extra module path from nested `mod x { … }` blocks ("" at top level).
     module: String,
+    /// The trait this body implements (from an enclosing `impl Trait for …`
+    /// block, or a default body inside the `trait` block itself).
+    owner_trait: Option<String>,
     body_start: usize,
     body_end: usize,
     line: u32,
 }
 
 /// Extracts every `fn name … { body }` from a file, tracking nested
-/// `mod name { … }` blocks for qualification. Bodies of nested functions
-/// are spans of their own; the enclosing span simply also covers them
-/// (again: over-approximation is fine for reachability).
+/// `mod name { … }` blocks for qualification and `impl`/`trait` blocks for
+/// trait-impl registration. Bodies of nested functions are spans of their
+/// own; the enclosing span simply also covers them (again:
+/// over-approximation is fine for reachability).
 fn functions(file: &SourceFile) -> Vec<FnOccurrence> {
     let toks = &file.tokens;
     let mut out = Vec::new();
     // (mod name, close token index) stack.
     let mut mods: Vec<(String, usize)> = Vec::new();
+    // (implemented trait, close token index) stack for impl/trait blocks.
+    let mut owners: Vec<(Option<String>, usize)> = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        while let Some(&(_, close)) = mods.last() {
-            if i > close {
-                mods.pop();
-            } else {
-                break;
-            }
+        while mods.last().is_some_and(|&(_, close)| i > close) {
+            mods.pop();
+        }
+        while owners.last().is_some_and(|&(_, close)| i > close) {
+            owners.pop();
         }
         let t = &toks[i];
         if t.is_ident("mod")
@@ -439,6 +688,37 @@ fn functions(file: &SourceFile) -> Vec<FnOccurrence> {
             mods.push((toks[i + 1].text.clone(), file.close_of(i + 2)));
             i += 3;
             continue;
+        }
+        if t.is_ident("impl") {
+            // Also matched by `impl Trait` in signature position (`-> impl
+            // Iterator`): the header scan then lands on the fn's own body
+            // brace and pushes an inert `(None, …)` owner — harmless.
+            if let Some((trait_name, open)) = impl_header(toks, i) {
+                owners.push((trait_name, file.close_of(open)));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("trait") && toks.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident) {
+            let mut j = i + 2;
+            let mut open = None;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if toks[j].is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                // Default bodies in the trait block register as impls too:
+                // a type that doesn't override one runs exactly this body.
+                owners.push((Some(toks[i + 1].text.clone()), file.close_of(open)));
+                i = open + 1;
+                continue;
+            }
         }
         if t.is_ident("fn") && toks.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident) {
             let name = toks[i + 1].text.clone();
@@ -470,6 +750,7 @@ fn functions(file: &SourceFile) -> Vec<FnOccurrence> {
                             .map(|(m, _)| m.as_str())
                             .collect::<Vec<_>>()
                             .join("::"),
+                        owner_trait: owners.last().and_then(|(tr, _)| tr.clone()),
                         body_start: open,
                         body_end: (close + 1).min(toks.len()),
                         line,
@@ -480,6 +761,254 @@ fn functions(file: &SourceFile) -> Vec<FnOccurrence> {
             }
         }
         i += 1;
+    }
+    out
+}
+
+/// Parses an `impl … {` header starting at the `impl` token: the
+/// implemented trait is the last type name before a top-level `for` (absent
+/// for inherent impls; `for<'a>` higher-ranked bounds don't count). Returns
+/// the trait and the body's open brace, or `None` when no body follows.
+fn impl_header(toks: &[crate::lexer::Token], at: usize) -> Option<(Option<String>, usize)> {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut trait_name: Option<String> = None;
+    let mut j = at + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if angle == 0 && t.is_punct('{') {
+            return Some((trait_name, j));
+        }
+        if angle == 0 && t.is_punct(';') {
+            return None;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && angle > 0 && !toks[j - 1].is_punct('-') {
+            // `->` in an `Fn() -> T` bound is not an angle close.
+            angle -= 1;
+        } else if angle == 0 && t.kind == TokenKind::Ident {
+            if t.text == "for" {
+                if trait_name.is_none() && !toks.get(j + 1).is_some_and(|n| n.is_punct('<')) {
+                    trait_name = last_ident.take();
+                }
+            } else if t.text != "where" && t.text != "dyn" {
+                last_ident = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collects every workspace `trait` declaration in a file: trait name →
+/// method name → non-`self` parameter count (declarations and default
+/// bodies alike; nested items inside default bodies are skipped).
+fn collect_traits(file: &SourceFile) -> Vec<(String, BTreeMap<String, usize>)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("trait") && toks.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident))
+        {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let mut j = i + 2;
+        let mut open = None;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if toks[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = file.close_of(open);
+        let mut methods: BTreeMap<String, usize> = BTreeMap::new();
+        let mut depth = 1usize;
+        let mut k = open + 1;
+        while k < close.min(toks.len()) {
+            let t = &toks[k];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 1
+                && t.is_ident("fn")
+                && toks.get(k + 1).map(|n| n.kind) == Some(TokenKind::Ident)
+            {
+                if let Some(po) = (k + 2..toks.len().min(k + 64)).find(|&x| toks[x].is_punct('(')) {
+                    let pc = match_forward(toks, po, '(', ')');
+                    methods.insert(toks[k + 1].text.clone(), non_self_params(toks, po, pc));
+                    k = pc;
+                }
+            }
+            k += 1;
+        }
+        out.push((name, methods));
+        i = close + 1;
+    }
+    out
+}
+
+/// Counts the non-`self` parameters of a declaration's `(...)` list.
+/// Commas inside nested brackets or generic angles don't split (`->` is
+/// recognized so `Fn() -> T` doesn't unbalance the angle depth), and a
+/// rustfmt trailing comma doesn't add a phantom parameter.
+fn non_self_params(toks: &[crate::lexer::Token], open: usize, close: usize) -> usize {
+    if close <= open + 1 {
+        return 0;
+    }
+    let mut nest = 0i32;
+    let mut angle = 0i32;
+    let mut count = 1usize;
+    let mut seg = 0usize;
+    let mut first_has_self = false;
+    for j in open + 1..close.min(toks.len()) {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            nest -= 1;
+        } else if t.is_punct('<') && nest == 0 {
+            angle += 1;
+        } else if t.is_punct('>') && nest == 0 && angle > 0 && !toks[j - 1].is_punct('-') {
+            angle -= 1;
+        } else if t.is_punct(',') && nest == 0 && angle == 0 {
+            count += 1;
+            seg += 1;
+        } else if t.is_ident("self") && seg == 0 {
+            first_has_self = true;
+        }
+    }
+    if toks[close - 1].is_punct(',') {
+        count -= 1;
+    }
+    if first_has_self {
+        count = count.saturating_sub(1);
+    }
+    count
+}
+
+/// Counts the arguments of a call's `(...)` list (commas at nesting depth
+/// zero; a rustfmt trailing comma doesn't count). Angle depth is *not*
+/// tracked — these are expressions, where `<` is usually comparison.
+fn call_argc(toks: &[crate::lexer::Token], open: usize, close: usize) -> usize {
+    if close <= open + 1 {
+        return 0;
+    }
+    let mut nest = 0i32;
+    let mut count = 1usize;
+    for t in &toks[open + 1..close.min(toks.len())] {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            nest -= 1;
+        } else if t.is_punct(',') && nest == 0 {
+            count += 1;
+        }
+    }
+    if toks[close - 1].is_punct(',') {
+        count -= 1;
+    }
+    count
+}
+
+/// One spawned-closure occurrence (token range from the opening `|` through
+/// the end of the body).
+struct ClosureOcc {
+    start: usize,
+    end: usize,
+    line: u32,
+}
+
+/// Finds closures passed to spawn-like callees: `…spawn(move || { … })`,
+/// `scope.spawn(|| …)`, `sup.register_factory(name, move || { … })`. The
+/// closure is the first `|…|` at the call's top argument level; a braced
+/// body runs to its matching `}`, an expression body to the next top-level
+/// `,` or the call's `)`.
+fn spawn_closures(file: &SourceFile) -> Vec<ClosureOcc> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident
+            || !SPAWN_CALLEES.contains(&t.text.as_str())
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || i.checked_sub(1).is_some_and(|j| toks[j].is_ident("fn"))
+        {
+            continue;
+        }
+        let open = i + 1;
+        let close = match_forward(toks, open, '(', ')');
+        // First `|` at argument level.
+        let mut nest = 0i32;
+        let mut pipe = None;
+        for (j, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                nest -= 1;
+            } else if t.is_punct('|') && nest == 0 {
+                pipe = Some(j);
+                break;
+            }
+        }
+        let Some(p) = pipe else { continue };
+        // Parameter list: `||` is empty, otherwise scan to the closing `|`.
+        let params_close = if toks.get(p + 1).is_some_and(|n| n.is_punct('|')) {
+            p + 1
+        } else {
+            let mut pc = None;
+            let mut nest = 0i32;
+            for (j, t) in toks.iter().enumerate().take(close).skip(p + 1) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    nest += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    nest -= 1;
+                } else if t.is_punct('|') && nest == 0 {
+                    pc = Some(j);
+                    break;
+                }
+            }
+            match pc {
+                Some(j) => j,
+                None => continue,
+            }
+        };
+        let b = params_close + 1;
+        let end = if toks.get(b).is_some_and(|n| n.is_punct('{')) {
+            file.close_of(b) + 1
+        } else {
+            // Expression body: runs to a top-level `,` or the call's `)`.
+            let mut j = b;
+            let mut nest = 0i32;
+            while j < close {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    nest += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    nest -= 1;
+                } else if t.is_punct(',') && nest == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            j
+        };
+        out.push(ClosureOcc {
+            start: p,
+            end: end.min(toks.len()),
+            line: toks[p].line,
+        });
     }
     out
 }
@@ -502,11 +1031,20 @@ fn match_forward(toks: &[crate::lexer::Token], open: usize, open_c: char, close_
     toks.len().saturating_sub(1)
 }
 
-/// Collects call references inside a body span.
-fn call_refs(file: &SourceFile, start: usize, end: usize) -> Vec<CallRef> {
+/// Collects call references inside a body span, skipping hole ranges
+/// (spawned closures, which collect their own).
+fn call_refs(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    holes: &[(usize, usize)],
+) -> Vec<CallRef> {
     let toks = &file.tokens;
     let mut out = Vec::new();
     for i in start..end.min(toks.len()) {
+        if holes.iter().any(|&(s, e)| i >= s && i < e) {
+            continue;
+        }
         let t = &toks[i];
         if t.kind != TokenKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
             continue;
@@ -519,9 +1057,13 @@ fn call_refs(file: &SourceFile, start: usize, end: usize) -> Vec<CallRef> {
             continue; // a definition, not a call
         }
         if prev.is_some_and(|p| p.is_punct('.')) {
+            let close = match_forward(toks, i + 1, '(', ')');
             out.push(CallRef {
                 path: vec![t.text.clone()],
                 method: true,
+                argc: call_argc(toks, i + 1, close),
+                tok: i,
+                line: t.line,
             });
             continue;
         }
@@ -539,6 +1081,9 @@ fn call_refs(file: &SourceFile, start: usize, end: usize) -> Vec<CallRef> {
         out.push(CallRef {
             path,
             method: false,
+            argc: 0,
+            tok: i,
+            line: t.line,
         });
     }
     out
@@ -807,5 +1352,215 @@ mod tests {
         let g = CallGraph::build(std::slice::from_ref(&f));
         assert!(g.node("demo::decl").is_none());
         assert!(g.node("demo::real").is_some());
+    }
+
+    #[test]
+    fn trait_object_call_fans_out_to_every_impl() {
+        let t = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "pub trait Render { fn paint(&self, out: &mut Vec<u8>); }",
+        );
+        let a = file(
+            "crates/demo/src/canvas.rs",
+            "demo",
+            "impl Render for Canvas { fn paint(&self, out: &mut Vec<u8>) {} }",
+        );
+        let b = file(
+            "crates/demo/src/plotter.rs",
+            "demo",
+            "impl Render for Plotter { fn paint(&self, out: &mut Vec<u8>) {} }",
+        );
+        let c = file(
+            "crates/demo/src/go.rs",
+            "demo",
+            "fn go(r: &dyn Render, buf: &mut Vec<u8>) { r.paint(buf); }",
+        );
+        let g = CallGraph::build(&[t, a, b, c]);
+        let go = g.node("demo::go::go").unwrap();
+        let targets: Vec<usize> = g.callees(go).collect();
+        assert!(targets.contains(&g.node("demo::canvas::paint").unwrap()));
+        assert!(targets.contains(&g.node("demo::plotter::paint").unwrap()));
+        assert_eq!(g.stats.dispatch_edges, 2);
+        assert_eq!(g.stats.traits, 1);
+        assert_eq!(g.stats.impl_methods, 2);
+        assert!(g.call_sites.iter().any(|cs| cs.dispatched));
+    }
+
+    #[test]
+    fn arity_mismatch_blocks_dispatch() {
+        // `guard.read()` takes no args; the trait's `read` takes a buffer —
+        // the RwLock guard call must not alias the lone Stream-like impl,
+        // and a trait-declared name never falls back to uniqueness.
+        let t = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "pub trait Pipe { fn read(&mut self, buf: &mut [u8]) -> usize; }",
+        );
+        let a = file(
+            "crates/demo/src/conn.rs",
+            "demo",
+            "impl Pipe for Conn { fn read(&mut self, buf: &mut [u8]) -> usize { 0 } }",
+        );
+        let c = file(
+            "crates/demo/src/go.rs",
+            "demo",
+            "fn go(m: &M) { let g = m.state.read(); }",
+        );
+        let g = CallGraph::build(&[t, a, c]);
+        let go = g.node("demo::go::go").unwrap();
+        assert_eq!(g.callees(go).count(), 0);
+        // The matching arity does dispatch.
+        let d = file(
+            "crates/demo/src/rd.rs",
+            "demo",
+            "fn pump(s: &mut dyn Pipe, buf: &mut [u8]) { s.read(buf); }",
+        );
+        let g = CallGraph::build(&[
+            file(
+                "crates/demo/src/lib.rs",
+                "demo",
+                "pub trait Pipe { fn read(&mut self, buf: &mut [u8]) -> usize; }",
+            ),
+            file(
+                "crates/demo/src/conn.rs",
+                "demo",
+                "impl Pipe for Conn { fn read(&mut self, buf: &mut [u8]) -> usize { 0 } }",
+            ),
+            d,
+        ]);
+        let pump = g.node("demo::rd::pump").unwrap();
+        let read = g.node("demo::conn::read").unwrap();
+        assert!(g.callees(pump).any(|x| x == read));
+    }
+
+    #[test]
+    fn trait_default_body_is_a_dispatch_target() {
+        let t = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "pub trait Svc { fn tag(&self) -> u8 { fallback() } }\nfn fallback() -> u8 { 7 }",
+        );
+        let c = file(
+            "crates/demo/src/go.rs",
+            "demo",
+            "fn go(s: &dyn Svc) { s.tag(); }",
+        );
+        let g = CallGraph::build(&[t, c]);
+        let go = g.node("demo::go::go").unwrap();
+        let tag = g.node("demo::tag").unwrap();
+        assert!(g.callees(go).any(|x| x == tag));
+        // The default body's own calls resolve too.
+        assert!(g
+            .callees(tag)
+            .any(|x| x == g.node("demo::fallback").unwrap()));
+    }
+
+    #[test]
+    fn generic_param_types_do_not_split_arity() {
+        let t = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "pub trait Store { fn put(&mut self, pairs: BTreeMap<u8, u8>) -> bool; }",
+        );
+        let a = file(
+            "crates/demo/src/mem.rs",
+            "demo",
+            "impl Store for Mem { fn put(&mut self, pairs: BTreeMap<u8, u8>) -> bool { true } }",
+        );
+        let c = file(
+            "crates/demo/src/go.rs",
+            "demo",
+            "fn go(s: &mut dyn Store, m: BTreeMap<u8, u8>) { s.put(m); }",
+        );
+        let g = CallGraph::build(&[t, a, c]);
+        let go = g.node("demo::go::go").unwrap();
+        let put = g.node("demo::mem::put").unwrap();
+        assert!(g.callees(go).any(|x| x == put));
+    }
+
+    #[test]
+    fn spawned_closure_becomes_its_own_node() {
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn boss() { std::thread::spawn(move || { helper(); }); }\nfn helper() {}",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        let boss = g.node("demo::boss").unwrap();
+        let closure = g.node("demo::boss::closure@1").unwrap();
+        let helper = g.node("demo::helper").unwrap();
+        // boss -> closure -> helper; the hole keeps boss off helper.
+        let boss_targets: Vec<usize> = g.callees(boss).collect();
+        assert_eq!(boss_targets, vec![closure]);
+        assert!(g.callees(closure).any(|x| x == helper));
+        assert_eq!(g.stats.closure_nodes, 1);
+        // The spawn edge is not a call site (other-thread boundary).
+        assert!(g.call_sites.iter().all(|cs| !cs.targets.contains(&closure)));
+        // The closure's span is a hole in boss's span.
+        let span = &g.nodes[boss].spans[0];
+        assert_eq!(span.holes.len(), 1);
+        assert!(!span.covers(span.holes[0].0));
+    }
+
+    #[test]
+    fn scoped_spawn_and_expression_bodies_work() {
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn boss(s: &Scope) { s.spawn(|| pump()); }\nfn pump() {}",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        let closure = g.node("demo::boss::closure@1").unwrap();
+        assert!(g
+            .callees(closure)
+            .any(|x| x == g.node("demo::pump").unwrap()));
+    }
+
+    #[test]
+    fn register_factory_closure_is_tracked() {
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn wire(sup: &Supervisor) {\n    sup.register_factory(\"pg\", move || { respawn(); });\n}\nfn respawn() {}",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        let wire = g.node("demo::wire").unwrap();
+        let closure = g.node("demo::wire::closure@2").unwrap();
+        assert!(g.callees(wire).any(|x| x == closure));
+        assert!(g
+            .callees(closure)
+            .any(|x| x == g.node("demo::respawn").unwrap()));
+    }
+
+    #[test]
+    fn call_sites_carry_positions() {
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn a() { b(); }\nfn b() {}",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        let a = g.node("demo::a").unwrap();
+        let b = g.node("demo::b").unwrap();
+        let cs = g.call_sites.iter().find(|cs| cs.caller == a).unwrap();
+        assert_eq!(cs.targets, vec![b]);
+        assert_eq!(cs.line, 1);
+        assert!(!cs.dispatched);
+    }
+
+    #[test]
+    fn explicit_drop_is_not_a_call_to_an_impl_drop() {
+        // `drop(guard)` is `mem::drop`; linking it to the module's own
+        // `impl Drop` fn would manufacture self-deadlocks out of lock
+        // releases.
+        let f = file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn release() { drop(guard); }\nimpl Drop for Pipe { fn drop(&mut self) {} }",
+        );
+        let g = CallGraph::build(std::slice::from_ref(&f));
+        let release = g.node("demo::release").unwrap();
+        assert_eq!(g.callees(release).count(), 0);
     }
 }

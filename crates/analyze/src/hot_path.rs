@@ -41,6 +41,11 @@ pub fn check(graph: &CallGraph, files: &[SourceFile]) -> Vec<Finding> {
             };
             let toks = &file.tokens;
             for i in span.start..span.end.min(toks.len()) {
+                // Spawned closures are holes: their blocking calls belong to
+                // the closure's own node (reached via the spawn edge).
+                if !span.covers(i) {
+                    continue;
+                }
                 let t = &toks[i];
                 if !BLOCKING_CALLS.contains(&t.text.as_str())
                     || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))

@@ -15,8 +15,9 @@
 //!   sources in *any* crate a diff-reaching sink can call into.
 //! * [`panic_path`] — `unwrap()`/`expect()`/panicking macros/slice
 //!   indexing in proxy, net, and telemetry hot paths.
-//! * [`lock_order`] — per-crate lock-acquisition graphs; cycles are
-//!   potential deadlocks.
+//! * [`lock_order`] — a workspace lock-acquisition graph lifted onto the
+//!   call graph (held guards nest everything a callee may acquire, across
+//!   crates); cycles are potential deadlocks.
 //! * [`shim_hygiene`] — `std::` concurrency/randomness where an in-tree
 //!   shim exists.
 //! * [`hot_path`] — `thread::sleep`/unbounded drains reachable from the
@@ -42,7 +43,6 @@ pub mod shim_hygiene;
 pub mod source;
 pub mod taint;
 
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -116,10 +116,14 @@ pub const EXPLANATIONS: &[(&str, &str)] = &[
     (
         "taint",
         "Interprocedural extension of `determinism` (reported under that key).\n\
-         Builds a module-qualified call graph of the workspace, walks it from the\n\
-         diff-reaching sinks (core::signature, core::diff, core::denoise, and both\n\
-         proxies' run_session), and flags nondeterminism sources in any reached\n\
-         function of any other crate, with the call chain that makes it diff-reaching.\n\
+         Builds a module-qualified call graph of the workspace — with trait-impl\n\
+         dispatch (a call through dyn Protocol/dyn Storage or a T: Trait bound\n\
+         fans out to every impl of a matching arity) and spawned-closure nodes\n\
+         (thread::spawn / scoped spawn / register_factory closures) — walks it\n\
+         from the diff-reaching sinks (core::signature, core::diff, core::denoise,\n\
+         and both proxies' run_session), and flags nondeterminism sources in any\n\
+         reached function of any other crate, with the call chain that makes it\n\
+         diff-reaching.\n\
          Suppress at the source site: // rddr-analyze: allow(determinism)",
     ),
     (
@@ -132,9 +136,13 @@ pub const EXPLANATIONS: &[(&str, &str)] = &[
     ),
     (
         "lock-order",
-        "Builds a per-crate lock-acquisition graph from .lock()/.read()/.write()\n\
-         sites; a cycle (including re-acquiring a held lock) is a potential deadlock.\n\
-         Fix: acquire locks in one global order; narrow guard scopes.\n\
+        "Builds a workspace lock-acquisition graph from .lock()/.read()/.write()\n\
+         sites, lifted onto the call graph: a guard held across a call nests\n\
+         everything the callee may transitively acquire, so acquire-then-call-\n\
+         then-acquire chains crossing crates (proxy -> core -> telemetry) are\n\
+         checked too. Spawned closures are a thread boundary. A cycle (including\n\
+         re-acquiring a held lock, directly or through a callee) is a potential\n\
+         deadlock. Fix: acquire locks in one global order; narrow guard scopes.\n\
          Suppress a deliberate site: // rddr-analyze: allow(lock-order)",
     ),
     (
@@ -148,8 +156,10 @@ pub const EXPLANATIONS: &[(&str, &str)] = &[
         "blocking-hot-path",
         "The per-exchange proxy paths race N instances under a deadline; an\n\
          unbounded block stalls every exchange at once. Walks the call graph from\n\
-         proxy::{incoming,outgoing}::run_session and flags thread::sleep,\n\
-         read_to_end, read_to_string, and park in everything reachable.\n\
+         proxy::{incoming,outgoing}::run_session — through trait-impl dispatch\n\
+         (dyn Stream reads reach every impl) and into spawned closures (reader\n\
+         pumps) — and flags thread::sleep, read_to_end, read_to_string, and park\n\
+         in everything reachable.\n\
          Fix: bounded waits (recv_timeout, wait_timeout, read deadlines).\n\
          Suppress a deliberate site: // rddr-analyze: allow(blocking-hot-path)",
     ),
@@ -209,6 +219,8 @@ pub struct Analysis {
     /// Wall-clock per stage, milliseconds, in execution order: `parse`,
     /// one entry per pass, and `callgraph` for graph construction.
     pub timings_ms: Vec<(String, f64)>,
+    /// Size counters of the call graph the graph passes ran over.
+    pub graph_stats: callgraph::GraphStats,
 }
 
 impl Analysis {
@@ -232,12 +244,13 @@ pub fn analyze_source(path: &str, crate_name: &str, src: &[u8]) -> Vec<Finding> 
 
 /// Runs every pass over already-parsed files, timing each stage.
 ///
-/// The five token passes are independent of one another *and* of
-/// call-graph construction, so stage one runs all six concurrently over the
-/// shared parsed sources; stage two runs the two graph walks (taint,
-/// blocking-hot-path) concurrently once the graph exists. Findings and
-/// `timings_ms` keep the fixed sequential reporting order regardless of
-/// which thread finishes first, so output stays byte-stable.
+/// The token passes are independent of one another *and* of call-graph
+/// construction, so stage one runs them concurrently with graph building
+/// over the shared parsed sources; stage two runs the three graph walks
+/// (taint, blocking-hot-path, lock-order — now interprocedural) once the
+/// graph exists. Findings and `timings_ms` keep the fixed sequential
+/// reporting order regardless of which thread finishes first, so output
+/// stays byte-stable.
 pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
     fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
         let t0 = Instant::now();
@@ -252,7 +265,7 @@ pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
     let files_ref = &files;
 
     // Stage one: token passes ∥ call-graph construction.
-    let (determinism_r, panic_r, lock_r, shim_r, swallow_r, graph_r) = std::thread::scope(|s| {
+    let (determinism_r, panic_r, shim_r, swallow_r, graph_r) = std::thread::scope(|s| {
         let determinism_h = s.spawn(|| {
             timed(|| {
                 files_ref
@@ -268,21 +281,6 @@ pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
                     .iter()
                     .filter(|f| panic_path::TARGET_CRATES.contains(&f.crate_name.as_str()))
                     .flat_map(panic_path::check)
-                    .collect::<Vec<Finding>>()
-            })
-        });
-        let lock_h = s.spawn(|| {
-            timed(|| {
-                let mut lock_edges: BTreeMap<&str, Vec<lock_order::LockEdge>> = BTreeMap::new();
-                for file in files_ref {
-                    lock_edges
-                        .entry(file.crate_name.as_str())
-                        .or_default()
-                        .extend(lock_order::edges(file));
-                }
-                lock_edges
-                    .iter()
-                    .flat_map(|(crate_name, edges)| lock_order::cycles(crate_name, edges))
                     .collect::<Vec<Finding>>()
             })
         });
@@ -308,7 +306,6 @@ pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
         (
             determinism_h.join(),
             panic_h.join(),
-            lock_h.join(),
             shim_h.join(),
             swallow_h.join(),
             graph_h.join(),
@@ -317,20 +314,23 @@ pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
     // A panicked pass is a bug in the analyzer itself; surface it.
     let (determinism_findings, determinism_ms) = determinism_r.unwrap();
     let (panic_findings, panic_ms) = panic_r.unwrap();
-    let (lock_findings, lock_ms) = lock_r.unwrap();
     let (shim_findings, shim_ms) = shim_r.unwrap();
     let (swallow_findings, swallow_ms) = swallow_r.unwrap();
     let (graph, callgraph_ms) = graph_r.unwrap();
 
-    // Stage two: both graph walks read the same immutable graph.
+    // Stage two: the three graph walks read the same immutable graph
+    // (lock-order moved here when it went interprocedural — it lifts the
+    // per-crate acquisition graph onto the resolved call sites).
     let graph_ref = &graph;
-    let (taint_r, blocking_r) = std::thread::scope(|s| {
+    let (taint_r, blocking_r, lock_r) = std::thread::scope(|s| {
         let taint_h = s.spawn(|| timed(|| taint::check(graph_ref, files_ref)));
         let blocking_h = s.spawn(|| timed(|| hot_path::check(graph_ref, files_ref)));
-        (taint_h.join(), blocking_h.join())
+        let lock_h = s.spawn(|| timed(|| lock_order::check(graph_ref, files_ref)));
+        (taint_h.join(), blocking_h.join(), lock_h.join())
     });
     let (taint_findings, taint_ms) = taint_r.unwrap();
     let (blocking_findings, blocking_ms) = blocking_r.unwrap();
+    let (lock_findings, lock_ms) = lock_r.unwrap();
 
     analysis.findings.extend(determinism_findings);
     analysis.findings.extend(panic_findings);
@@ -341,6 +341,7 @@ pub fn analyze_files(files: Vec<SourceFile>) -> Analysis {
     analysis.findings.extend(blocking_findings);
     analysis.findings.sort();
     analysis.findings.dedup();
+    analysis.graph_stats = graph.stats.clone();
     analysis.timings_ms = vec![
         ("determinism".to_string(), determinism_ms),
         ("panic-path".to_string(), panic_ms),

@@ -1,41 +1,57 @@
-//! Lock-order pass: builds a per-crate lock-acquisition graph and reports
-//! cycles as potential deadlocks.
+//! Lock-order pass: builds a workspace-wide lock-acquisition graph over the
+//! call graph and reports cycles as potential deadlocks.
 //!
 //! Heuristic, in keeping with the token-level analysis: a lock site is a
 //! `.lock()`, `.read()`, or `.write()` call **with no arguments** (stream
 //! I/O `read(&mut buf)` takes a buffer and is not matched). The receiver is
 //! the dotted path before the call (`self.` stripped, index expressions
-//! skipped), so `self.shards[i].lock()` and `shards[j].lock()` name the
-//! same node. A guard is assumed held until the end of its enclosing block,
-//! so any lock acquired before that closing brace gets an edge from the
-//! held lock. Edges from all files of one crate are merged; a cycle in the
-//! merged graph (including a self-edge — re-acquiring a non-reentrant lock)
-//! is reported at the first edge's site.
+//! skipped) qualified by the owning crate, so `self.shards[i].lock()` and
+//! `shards[j].lock()` in rddr-proxy both name `proxy:shards`. A guard is
+//! assumed held until the end of its enclosing block, so:
+//!
+//! * any lock acquired *textually* before that closing brace nests under
+//!   the held lock, and
+//! * any **call** made before that closing brace nests everything the
+//!   callee may transitively acquire under it — computed as a fixpoint over
+//!   the [`CallGraph`]'s resolved call sites, so acquire-then-call-then-
+//!   acquire chains crossing crate boundaries (proxy→core→telemetry) are
+//!   seen.
+//!
+//! Spawned closures are a thread boundary: a guard held at the spawn point
+//! is *not* held inside the closure (the spawner→closure edge carries no
+//! call site, and textual pairs never cross into a closure's range), so
+//! handing work to another thread while holding a lock does not manufacture
+//! edges. A cycle in the merged graph (including a self-edge — re-acquiring
+//! a non-reentrant lock, directly or through a callee) is reported at the
+//! edge's site.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{CallGraph, FnSpan};
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 use crate::{Finding, Lint};
 
-/// One `A held while acquiring B` observation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct LockEdge {
-    /// Receiver path of the lock already held.
-    pub held: String,
-    /// Receiver path of the lock being acquired.
-    pub acquired: String,
-    /// File the edge was observed in.
-    pub file: String,
+/// One lock acquisition: where the guard is taken and how long it lives.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Token index of the `lock`/`read`/`write` callee name.
+    pub tok: usize,
+    /// Token index the guard is assumed held until (exclusive): the end of
+    /// the enclosing block, or of the statement for a chained temporary.
+    pub scope_end: usize,
+    /// Receiver path of the lock (`self.` stripped, indexes collapsed).
+    pub receiver: String,
     /// Line of the acquisition.
     pub line: u32,
 }
 
-/// Extracts lock-acquisition edges from one prepared file.
-pub fn edges(file: &SourceFile) -> Vec<LockEdge> {
+/// Extracts lock-acquisition sites from one prepared file (allow-commented
+/// sites are dropped here, so neither textual nor call-mediated edges see
+/// them).
+pub fn sites(file: &SourceFile) -> Vec<LockSite> {
     let toks = &file.tokens;
-    // Lock sites: (token index, end of enclosing block, receiver, line).
-    let mut sites: Vec<(usize, usize, String, u32)> = Vec::new();
+    let mut out: Vec<LockSite> = Vec::new();
     let mut block_stack: Vec<usize> = Vec::new(); // open-brace token indices
     for (i, t) in toks.iter().enumerate() {
         if t.is_punct('{') {
@@ -64,24 +80,140 @@ pub fn edges(file: &SourceFile) -> Vec<LockEdge> {
                 .map(|&open| file.close_of(open))
                 .unwrap_or(toks.len())
         };
-        sites.push((i, scope_end, receiver, t.line));
+        out.push(LockSite {
+            tok: i,
+            scope_end,
+            receiver,
+            line: t.line,
+        });
     }
-    let mut out = Vec::new();
-    for (a, &(ia, end_a, ref held, _)) in sites.iter().enumerate() {
-        for &(ib, _, ref acquired, line_b) in &sites[a + 1..] {
-            // The guard taken at `ia` is live until its block closes at
-            // `end_a`; a lock taken before that point nests under it.
-            if ib < end_a && ib > ia {
-                out.push(LockEdge {
-                    held: held.clone(),
-                    acquired: acquired.clone(),
-                    file: file.path.clone(),
-                    line: line_b,
-                });
+    out
+}
+
+/// Runs the pass: `files` must be the slice `graph` was built over.
+pub fn check(graph: &CallGraph, files: &[SourceFile]) -> Vec<Finding> {
+    // Spans per file (for attributing sites to nodes) and closure ranges
+    // (thread boundaries).
+    let mut spans_by_file: Vec<Vec<(usize, &FnSpan)>> = vec![Vec::new(); files.len()];
+    let mut closure_ranges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); files.len()];
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let is_closure = n.id.contains("::closure@");
+        for span in &n.spans {
+            if let Some(per_file) = spans_by_file.get_mut(span.file) {
+                per_file.push((i, span));
+                if is_closure {
+                    closure_ranges[span.file].push((span.start, span.end));
+                }
             }
         }
     }
-    out
+    // Lock sites per file, qualified by crate and attributed to the
+    // innermost covering node.
+    struct Site {
+        tok: usize,
+        scope_end: usize,
+        name: String,
+        line: u32,
+    }
+    let mut sites_by_file: Vec<Vec<Site>> = Vec::with_capacity(files.len());
+    let mut direct: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let mut v = Vec::new();
+        for s in sites(file) {
+            let name = format!("{}:{}", file.crate_name, s.receiver);
+            let node = spans_by_file[fi]
+                .iter()
+                .filter(|(_, sp)| sp.covers(s.tok))
+                .max_by_key(|(_, sp)| sp.start)
+                .map(|&(n, _)| n);
+            if let Some(n) = node {
+                direct.entry(n).or_default().insert(name.clone());
+            }
+            v.push(Site {
+                tok: s.tok,
+                scope_end: s.scope_end,
+                name,
+                line: s.line,
+            });
+        }
+        sites_by_file.push(v);
+    }
+    // acq*: every lock a call into `node` may transitively acquire, as a
+    // fixpoint over the call-site adjacency (spawner→closure edges have no
+    // call site — the closure's locks are taken on another thread).
+    let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    let mut cs_by_file: Vec<Vec<&crate::callgraph::CallSite>> = vec![Vec::new(); files.len()];
+    for cs in &graph.call_sites {
+        adj.entry(cs.caller)
+            .or_default()
+            .extend(cs.targets.iter().copied());
+        if let Some(per_file) = cs_by_file.get_mut(cs.file) {
+            per_file.push(cs);
+        }
+    }
+    let mut acq: BTreeMap<usize, BTreeSet<String>> = direct;
+    loop {
+        let mut changed = false;
+        for (&caller, callees) in &adj {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for c in callees {
+                if let Some(set) = acq.get(c) {
+                    add.extend(set.iter().cloned());
+                }
+            }
+            if !add.is_empty() {
+                let entry = acq.entry(caller).or_default();
+                let before = entry.len();
+                entry.extend(add);
+                changed |= entry.len() > before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Edges: `held -> acquired`, with the first site observed per edge.
+    let mut edge_site: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        // `inner` sits inside a spawned closure that does not also contain
+        // `outer`: the two execute on different threads.
+        let crosses_spawn = |inner: usize, outer: usize| {
+            closure_ranges[fi]
+                .iter()
+                .any(|&(s, e)| inner >= s && inner < e && !(outer >= s && outer < e))
+        };
+        let fsites = &sites_by_file[fi];
+        for (a_idx, a) in fsites.iter().enumerate() {
+            // Textual nesting: a later acquisition before the guard's scope
+            // closes.
+            for b in &fsites[a_idx + 1..] {
+                if b.tok < a.scope_end && !crosses_spawn(b.tok, a.tok) {
+                    edge_site
+                        .entry((a.name.clone(), b.name.clone()))
+                        .or_insert((file.path.clone(), b.line));
+                }
+            }
+            // Call-mediated nesting: everything a callee may acquire nests
+            // under the held guard.
+            for cs in &cs_by_file[fi] {
+                if cs.tok <= a.tok
+                    || cs.tok >= a.scope_end
+                    || crosses_spawn(cs.tok, a.tok)
+                    || file.allowed(Lint::LockOrder, cs.line)
+                {
+                    continue;
+                }
+                for t in &cs.targets {
+                    for q in acq.get(t).into_iter().flatten() {
+                        edge_site
+                            .entry((a.name.clone(), q.clone()))
+                            .or_insert((file.path.clone(), cs.line));
+                    }
+                }
+            }
+        }
+    }
+    cycles(&edge_site)
 }
 
 /// Whether the guard produced by a lock call is consumed by further method
@@ -197,30 +329,31 @@ fn receiver_path(toks: &[crate::lexer::Token], dot: usize) -> Option<String> {
     Some(parts.join("."))
 }
 
-/// Merges edges from all files of one crate and reports each distinct cycle.
-pub fn cycles(crate_name: &str, all_edges: &[LockEdge]) -> Vec<Finding> {
-    // adjacency + first site per edge
+/// Reports each distinct cycle in the merged `held -> acquired` graph.
+fn cycles(edge_site: &BTreeMap<(String, String), (String, u32)>) -> Vec<Finding> {
     let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    let mut site: BTreeMap<(&str, &str), (&str, u32)> = BTreeMap::new();
-    for e in all_edges {
-        adj.entry(&e.held).or_default().insert(&e.acquired);
-        site.entry((&e.held, &e.acquired))
-            .or_insert((&e.file, e.line));
+    for (held, acquired) in edge_site.keys() {
+        adj.entry(held).or_default().insert(acquired);
     }
+    let site = |held: &str, acquired: &str| {
+        let (file, line) = &edge_site[&(held.to_string(), acquired.to_string())];
+        (file.clone(), *line)
+    };
     let mut findings = Vec::new();
     let mut reported: BTreeSet<Vec<&str>> = BTreeSet::new();
     // Self-edges are immediate deadlocks with std's non-reentrant locks.
     for (&n, succ) in &adj {
-        if succ.contains(n) {
-            let (file, line) = site[&(n, n)];
-            if reported.insert(vec![n]) {
-                findings.push(Finding::new(
-                    Lint::LockOrder,
-                    file,
-                    line,
-                    format!("`{n}` is re-acquired while already held (crate `{crate_name}`): self-deadlock with a non-reentrant lock"),
-                ));
-            }
+        if succ.contains(n) && reported.insert(vec![n]) {
+            let (file, line) = site(n, n);
+            findings.push(Finding::new(
+                Lint::LockOrder,
+                file,
+                line,
+                format!(
+                    "`{n}` is re-acquired while already held: self-deadlock \
+                     with a non-reentrant lock"
+                ),
+            ));
         }
     }
     // DFS for longer cycles.
@@ -237,13 +370,13 @@ pub fn cycles(crate_name: &str, all_edges: &[LockEdge]) -> Vec<Finding> {
                     let mut key: Vec<&str> = path.clone();
                     key.sort_unstable();
                     if reported.insert(key) {
-                        let (file, line) = site[&(path[path.len() - 1], start)];
+                        let (file, line) = site(path[path.len() - 1], start);
                         findings.push(Finding::new(
                             Lint::LockOrder,
                             file,
                             line,
                             format!(
-                                "lock-order cycle in crate `{crate_name}`: {} -> {start}; \
+                                "lock-order cycle: {} -> {start}; \
                                  acquire in one global order to rule out deadlock",
                                 path.join(" -> ")
                             ),
@@ -264,9 +397,17 @@ pub fn cycles(crate_name: &str, all_edges: &[LockEdge]) -> Vec<Finding> {
 mod tests {
     use super::*;
 
-    fn run(src: &str) -> Vec<Finding> {
-        let f = SourceFile::parse("demo.rs", "demo", src.as_bytes());
-        cycles("demo", &edges(&f))
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        let graph = CallGraph::build(&files);
+        check(&graph, &files)
+    }
+
+    fn run_one(src: &str) -> Vec<Finding> {
+        run(vec![SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "demo",
+            src.as_bytes(),
+        )])
     }
 
     #[test]
@@ -275,9 +416,10 @@ mod tests {
             fn a(&self) { let g1 = self.meter.lock(); let g2 = self.governor.lock(); }
             fn b(&self) { let g1 = self.governor.lock(); let g2 = self.meter.lock(); }
         ";
-        let f = run(src);
+        let f = run_one(src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("cycle"));
+        assert!(f[0].message.contains("demo:meter"), "{f:?}");
     }
 
     #[test]
@@ -286,7 +428,7 @@ mod tests {
             fn a(&self) { let g1 = self.meter.lock(); let g2 = self.governor.lock(); }
             fn b(&self) { let g1 = self.meter.lock(); let g2 = self.governor.lock(); }
         ";
-        assert!(run(src).is_empty());
+        assert!(run_one(src).is_empty());
     }
 
     #[test]
@@ -296,13 +438,13 @@ mod tests {
             fn a(&self) { { let g = self.meter.lock(); } { let g = self.governor.lock(); } }
             fn b(&self) { { let g = self.governor.lock(); } { let g = self.meter.lock(); } }
         ";
-        assert!(run(src).is_empty());
+        assert!(run_one(src).is_empty());
     }
 
     #[test]
     fn reacquiring_the_same_lock_is_a_self_deadlock() {
         let src = "fn a(&self) { let g = self.state.lock(); let h = self.state.lock(); }";
-        let f = run(src);
+        let f = run_one(src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("re-acquired"));
     }
@@ -313,14 +455,14 @@ mod tests {
             fn a(&self) { let g = self.map.read(); let h = self.log.write(); }
             fn b(&self) { let g = self.log.read(); let h = self.map.write(); }
         ";
-        let f = run(src);
+        let f = run_one(src);
         assert_eq!(f.len(), 1, "{f:?}");
     }
 
     #[test]
     fn stream_read_with_arguments_is_not_a_lock() {
         let src = "fn a(&mut self) { self.conn.read(&mut buf); self.other.lock(); }";
-        assert!(run(src).is_empty());
+        assert!(run_one(src).is_empty());
     }
 
     #[test]
@@ -329,7 +471,7 @@ mod tests {
             fn a(&self) { let g = self.shards[i].lock(); let h = self.audit.lock(); }
             fn b(&self) { let g = self.audit.lock(); let h = self.shards[j].lock(); }
         ";
-        let f = run(src);
+        let f = run_one(src);
         assert_eq!(f.len(), 1, "{f:?}");
     }
 
@@ -340,7 +482,7 @@ mod tests {
         let src = "
             fn a(&self) { let s = self.db.lock().session(); let b = self.db.lock().banner(); }
         ";
-        assert!(run(src).is_empty());
+        assert!(run_one(src).is_empty());
     }
 
     #[test]
@@ -351,7 +493,7 @@ mod tests {
             fn a(&self) { let g = self.meter.lock().unwrap(); let h = self.governor.lock().unwrap(); }
             fn b(&self) { let g = self.governor.lock().unwrap(); let h = self.meter.lock().unwrap(); }
         ";
-        let f = run(src);
+        let f = run_one(src);
         assert_eq!(f.len(), 1, "{f:?}");
     }
 
@@ -365,6 +507,53 @@ mod tests {
                 let g2 = self.meter.lock();
             }
         ";
-        assert!(run(src).is_empty());
+        assert!(run_one(src).is_empty());
+    }
+
+    #[test]
+    fn call_mediated_self_deadlock_is_found() {
+        // `outer` holds the guard across a call into `refresh`, which
+        // re-acquires the same lock.
+        let src = "
+            fn outer(&self) { let g = self.state.lock(); self.refresh_once(); }
+            fn refresh_once(&self) { let h = self.state.lock(); }
+        ";
+        let f = run_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("re-acquired"), "{f:?}");
+    }
+
+    #[test]
+    fn cross_crate_cycle_is_detected() {
+        let proxy = SourceFile::parse(
+            "crates/proxy/src/session.rs",
+            "proxy",
+            "pub fn finish(&self) { let g = self.roster.lock(); rddr_audit::record(); }\n\
+             pub fn poke(&self) { let g = self.roster.lock(); }"
+                .as_bytes(),
+        );
+        let audit = SourceFile::parse(
+            "crates/audit/src/lib.rs",
+            "audit",
+            "pub fn record() { let g = ring().lock(); }\n\
+             pub fn sweep(p: &Proxy) { let g = ring().lock(); p.poke(); }"
+                .as_bytes(),
+        );
+        let f = run(vec![proxy, audit]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cycle"), "{f:?}");
+        assert!(f[0].message.contains("proxy:roster"), "{f:?}");
+        assert!(f[0].message.contains("audit:ring()"), "{f:?}");
+    }
+
+    #[test]
+    fn spawned_closures_are_a_thread_boundary() {
+        // The guard held at the spawn point is not held inside the closure,
+        // so the opposite textual order does not form a cycle.
+        let src = "
+            fn a(&self) { let g = self.m.lock(); std::thread::spawn(move || { let h = self.n.lock(); }); }
+            fn b(&self) { let g = self.n.lock(); let h = self.m.lock(); }
+        ";
+        assert!(run_one(src).is_empty(), "{:?}", run_one(src));
     }
 }

@@ -3,9 +3,11 @@
 //! ```text
 //! rddr-analyze [--root DIR] [--baseline FILE] [--json FILE]
 //!              [--write-baseline] [--forbid-stale] [--list] [--explain PASS]
+//!              [--min-dispatch-edges N] [--max-total-ms MS]
 //! ```
 //!
-//! Exit codes: 0 clean (no new violations), 1 new violations or — with
+//! Exit codes: 0 clean (no new violations), 1 new violations, a failed
+//! gate (`--min-dispatch-edges`, `--max-total-ms`), or — with
 //! `--forbid-stale` — a stale baseline, 2 usage or I/O error.
 
 use std::path::PathBuf;
@@ -21,7 +23,9 @@ const USAGE: &str = "usage: rddr-analyze [options]
   --write-baseline  regenerate the baseline from the current findings
   --forbid-stale    fail if any baseline ceiling exceeds the current count
   --list            print every finding (grandfathered ones included)
-  --explain PASS    print a pass's rule and suppression syntax (`all` for every pass)";
+  --explain PASS    print a pass's rule and suppression syntax (`all` for every pass)
+  --min-dispatch-edges N  fail unless the call graph has at least N dispatch edges
+  --max-total-ms MS       fail if all passes together exceed MS milliseconds";
 
 struct Options {
     root: Option<PathBuf>,
@@ -31,6 +35,8 @@ struct Options {
     forbid_stale: bool,
     list: bool,
     explain: Option<String>,
+    min_dispatch_edges: Option<usize>,
+    max_total_ms: Option<f64>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -42,6 +48,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         forbid_stale: false,
         list: false,
         explain: None,
+        min_dispatch_edges: None,
+        max_total_ms: None,
     };
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -54,6 +62,20 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--forbid-stale" => opts.forbid_stale = true,
             "--list" => opts.list = true,
             "--explain" => opts.explain = Some(value("--explain")?),
+            "--min-dispatch-edges" => {
+                let v = value("--min-dispatch-edges")?;
+                opts.min_dispatch_edges = Some(
+                    v.parse()
+                        .map_err(|_| format!("--min-dispatch-edges: `{v}` is not a count"))?,
+                );
+            }
+            "--max-total-ms" => {
+                let v = value("--max-total-ms")?;
+                opts.max_total_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-total-ms: `{v}` is not a duration"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -126,6 +148,30 @@ fn run() -> Result<bool, String> {
     if let Some(json) = opts.json {
         let doc = report::json_document(&analysis, &baseline, &ratchet);
         std::fs::write(&json, doc).map_err(|e| format!("writing {}: {e}", json.display()))?;
+    }
+    let mut gates_ok = true;
+    if let Some(min) = opts.min_dispatch_edges {
+        let have = analysis.graph_stats.dispatch_edges;
+        if have < min {
+            println!(
+                "GATE: call graph has {have} dispatch edge(s), gate requires at least {min} — \
+                 trait-impl resolution is not seeing the workspace"
+            );
+            gates_ok = false;
+        }
+    }
+    if let Some(max) = opts.max_total_ms {
+        let total: f64 = analysis.timings_ms.iter().map(|(_, ms)| ms).sum();
+        if total > max {
+            println!(
+                "GATE: passes took {total:.1}ms combined, gate allows {max:.1}ms — \
+                 the analyzer must stay cheap enough for every CI run"
+            );
+            gates_ok = false;
+        }
+    }
+    if !gates_ok {
+        return Ok(false);
     }
     if opts.forbid_stale && !ratchet.improvements.is_empty() {
         println!(

@@ -43,7 +43,14 @@ pub fn json_document(analysis: &Analysis, baseline: &Baseline, ratchet: &Ratchet
         }
         let _ = write!(out, "\"{}\": {ms:.3}", json_escape(stage));
     }
-    out.push_str("}}, \"rows\": [");
+    let g = &analysis.graph_stats;
+    let _ = write!(
+        out,
+        "}}, \"callgraph\": {{\"nodes\": {}, \"edges\": {}, \"dispatch_edges\": {}, \
+         \"traits\": {}, \"impl_methods\": {}, \"closure_nodes\": {}}}",
+        g.nodes, g.edges, g.dispatch_edges, g.traits, g.impl_methods, g.closure_nodes
+    );
+    out.push_str("}, \"rows\": [");
     for (i, lint) in Lint::ALL.into_iter().enumerate() {
         let current = analysis.of(lint).count();
         let new: usize = ratchet
@@ -91,6 +98,13 @@ pub fn text_summary(analysis: &Analysis, baseline: &Baseline, ratchet: &RatchetR
         out,
         "rddr-analyze: scanned {} files",
         analysis.files_scanned
+    );
+    let g = &analysis.graph_stats;
+    let _ = writeln!(
+        out,
+        "  call graph: {} nodes ({} closures), {} edges ({} via dispatch), \
+         {} traits / {} impl methods",
+        g.nodes, g.closure_nodes, g.edges, g.dispatch_edges, g.traits, g.impl_methods
     );
     for lint in Lint::ALL {
         let _ = writeln!(
@@ -158,6 +172,7 @@ mod tests {
             findings: findings.clone(),
             files_scanned: 2,
             timings_ms: vec![("parse".into(), 0.5)],
+            graph_stats: Default::default(),
         };
         let baseline = Baseline::from_findings(&findings[..1]);
         let ratchet = baseline.ratchet(&findings);
@@ -173,6 +188,7 @@ mod tests {
         assert!(doc.contains("\\\"quoted\\\""), "escaped: {doc}");
         assert!(doc.contains("\"lint\": \"determinism\", \"violations\": 1"));
         assert!(doc.contains("\"timings_ms\": {\"parse\": 0.500}"), "{doc}");
+        assert!(doc.contains("\"callgraph\": {\"nodes\": 0"), "{doc}");
     }
 
     #[test]
@@ -190,6 +206,7 @@ mod tests {
             findings: findings.clone(),
             files_scanned: 1,
             timings_ms: Vec::new(),
+            graph_stats: Default::default(),
         };
         let baseline = Baseline::from_findings(&findings);
         let ratchet = baseline.ratchet(&findings);

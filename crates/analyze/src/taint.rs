@@ -55,7 +55,7 @@ pub fn check(graph: &CallGraph, files: &[SourceFile]) -> Vec<Finding> {
             let Some(file) = files.get(span.file) else {
                 continue;
             };
-            for site in source_sites(file, span.start, span.end) {
+            for site in source_sites(file, span) {
                 if file.allowed(Lint::Determinism, site.line) {
                     continue;
                 }
@@ -78,11 +78,16 @@ pub fn check(graph: &CallGraph, files: &[SourceFile]) -> Vec<Finding> {
 
 /// Token patterns that make a function's behavior differ across the N
 /// instances: unstable iteration order, wall-clock, thread identity,
-/// address-derived integers, and seeded-from-process hashing.
-fn source_sites(file: &SourceFile, start: usize, end: usize) -> Vec<SourceSite> {
+/// address-derived integers, and seeded-from-process hashing. Spawned
+/// closures are holes in their parent's span — their sites belong to the
+/// closure's own node.
+fn source_sites(file: &SourceFile, span: &crate::callgraph::FnSpan) -> Vec<SourceSite> {
     let toks = &file.tokens;
     let mut out = Vec::new();
-    for i in start..end.min(toks.len()) {
+    for i in span.start..span.end.min(toks.len()) {
+        if !span.covers(i) {
+            continue;
+        }
         let t = &toks[i];
         let what = match t.text.as_str() {
             "HashMap" => Some("`HashMap` iteration order is nondeterministic"),

@@ -1,0 +1,224 @@
+//! Dispatch resolution, end to end against fixture workspaces. Each test
+//! pins a finding the pre-dispatch analyzer structurally missed: a method
+//! call with two trait impls was ambiguous under uniqueness resolution and
+//! silently dropped, and closure bodies were folded into their spawner.
+
+use std::path::{Path, PathBuf};
+
+use rddr_analyze::{analyze_workspace, Finding, Lint};
+
+/// Builds a miniature multi-crate workspace in a temp dir.
+fn seed_fixture(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rddr-analyze-dispatch-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    for (rel, source) in files {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, source).expect("write source");
+    }
+    std::fs::write(dir.join("analyze-baseline.toml"), "").expect("write baseline");
+    dir
+}
+
+fn findings_of(dir: &Path, lint: Lint) -> Vec<Finding> {
+    analyze_workspace(dir)
+        .expect("scan fixture")
+        .findings
+        .into_iter()
+        .filter(|f| f.lint == lint)
+        .collect()
+}
+
+#[test]
+fn taint_follows_dyn_protocol_dispatch_to_the_leaky_impl() {
+    // The sink calls through `&dyn Protocol`; with two impls, uniqueness
+    // resolution could never pick one. Dispatch fans out to both, and only
+    // the impl holding a `HashMap` is flagged — with the dispatch path.
+    let dir = seed_fixture(
+        "dyn-protocol",
+        &[
+            (
+                "crates/core/src/diff.rs",
+                "use rddr_wire::Protocol;\n\
+                 pub fn diff_segments(p: &dyn Protocol) {\n\
+                \x20    let mut out = Vec::new();\n\
+                \x20    p.frame(&mut out);\n\
+                 }\n",
+            ),
+            (
+                "crates/wire/src/lib.rs",
+                "pub trait Protocol {\n\
+                \x20    fn frame(&self, out: &mut Vec<u8>);\n\
+                 }\n",
+            ),
+            (
+                "crates/wire/src/pg.rs",
+                "pub struct Pg;\n\
+                 impl Protocol for Pg {\n\
+                \x20    fn frame(&self, out: &mut Vec<u8>) {\n\
+                \x20        let m: std::collections::HashMap<u8, u8> = Default::default();\n\
+                \x20        let _ = (m, out);\n\
+                \x20    }\n\
+                 }\n",
+            ),
+            (
+                "crates/wire/src/http.rs",
+                "pub struct Http;\n\
+                 impl Protocol for Http {\n\
+                \x20    fn frame(&self, out: &mut Vec<u8>) { out.clear(); }\n\
+                 }\n",
+            ),
+        ],
+    );
+    let findings = findings_of(&dir, Lint::Determinism);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.file, "crates/wire/src/pg.rs");
+    assert!(f.message.contains("HashMap"), "{f}");
+    assert!(
+        f.message
+            .contains("core::diff::diff_segments -> wire::pg::frame"),
+        "dispatch path named: {f}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn blocking_call_in_a_spawned_closure_is_flagged_in_its_spawner() {
+    // run_session reaches the spawner only through dispatch (two Pump
+    // impls), and the sleep lives in a closure handed to `thread::spawn` —
+    // a reader-pump shape the span-folding analyzer attributed to nothing.
+    let dir = seed_fixture(
+        "spawned-closure",
+        &[
+            (
+                "crates/proxy/src/incoming.rs",
+                "use rddr_pumps::Pump;\n\
+                 pub fn run_session(p: &dyn Pump) { p.engage(0); }\n",
+            ),
+            (
+                "crates/pumps/src/lib.rs",
+                "pub trait Pump {\n\
+                \x20    fn engage(&self, shard: u8);\n\
+                 }\n",
+            ),
+            (
+                "crates/pumps/src/tail.rs",
+                "pub struct Tail;\n\
+                 impl Pump for Tail {\n\
+                \x20    fn engage(&self, shard: u8) {\n\
+                \x20        let _ = shard;\n\
+                \x20        std::thread::spawn(move || {\n\
+                \x20            std::thread::sleep(std::time::Duration::from_millis(5));\n\
+                \x20        });\n\
+                \x20    }\n\
+                 }\n",
+            ),
+            (
+                "crates/pumps/src/head.rs",
+                "pub struct Head;\n\
+                 impl Pump for Head {\n\
+                \x20    fn engage(&self, shard: u8) { let _ = shard; }\n\
+                 }\n",
+            ),
+        ],
+    );
+    let findings = findings_of(&dir, Lint::BlockingHotPath);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.file, "crates/pumps/src/tail.rs");
+    assert!(
+        f.message.contains(
+            "proxy::incoming::run_session -> pumps::tail::engage -> \
+             pumps::tail::engage::closure@5"
+        ),
+        "chain crosses the spawn edge into the closure node: {f}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The cross-crate deadlock shape: `relay::finish` holds `relay:roster` and
+/// calls into `audit`, which acquires `audit:ring()`; `audit::sweep` holds
+/// `audit:ring()` and calls back into `relay`, which acquires
+/// `relay:roster`. Neither crate sees both locks textually.
+const RELAY: &str = "use rddr_audit::record;\n\
+     pub fn finish(roster: &std::sync::Mutex<u8>) {\n\
+    \x20    let g = roster.lock();\n\
+    \x20    record(*g.unwrap());\n\
+     }\n\
+     pub fn poke(roster: &std::sync::Mutex<u8>) {\n\
+    \x20    let mut g = roster.lock().unwrap();\n\
+    \x20    *g += 1;\n\
+     }\n";
+
+#[test]
+fn cross_crate_lock_cycle_is_detected() {
+    let dir = seed_fixture(
+        "lock-cycle",
+        &[
+            ("crates/relay/src/lib.rs", RELAY),
+            (
+                "crates/audit/src/lib.rs",
+                "use rddr_relay::poke;\n\
+                 pub fn record(v: u8) {\n\
+                \x20    let g = ring().lock();\n\
+                \x20    let _ = (g, v);\n\
+                 }\n\
+                 pub fn sweep(roster: &std::sync::Mutex<u8>) {\n\
+                \x20    let g = ring().lock();\n\
+                \x20    poke(roster);\n\
+                \x20    let _ = g;\n\
+                 }\n",
+            ),
+        ],
+    );
+    let findings = findings_of(&dir, Lint::LockOrder);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert!(f.message.contains("lock-order cycle"), "{f}");
+    assert!(f.message.contains("relay:roster"), "{f}");
+    assert!(f.message.contains("audit:ring()"), "{f}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn allow_comment_suppresses_exactly_the_cycle_edge() {
+    // The allow sits on the call that mediates audit:ring() -> relay:roster,
+    // killing the cycle — but an unrelated self-deadlock in relay must
+    // survive it.
+    let relay_with_double = format!(
+        "{RELAY}pub fn double(roster: &std::sync::Mutex<u8>) {{\n\
+        \x20    let a = roster.lock();\n\
+        \x20    let b = roster.lock();\n\
+        \x20    let _ = (a, b);\n\
+         }}\n"
+    );
+    let dir = seed_fixture(
+        "lock-cycle-allow",
+        &[
+            ("crates/relay/src/lib.rs", relay_with_double.as_str()),
+            (
+                "crates/audit/src/lib.rs",
+                "use rddr_relay::poke;\n\
+                 pub fn record(v: u8) {\n\
+                \x20    let g = ring().lock();\n\
+                \x20    let _ = (g, v);\n\
+                 }\n\
+                 pub fn sweep(roster: &std::sync::Mutex<u8>) {\n\
+                \x20    let g = ring().lock();\n\
+                \x20    // roster is only poked post-drain. rddr-analyze: allow(lock-order)\n\
+                \x20    poke(roster);\n\
+                \x20    let _ = g;\n\
+                 }\n",
+            ),
+        ],
+    );
+    let findings = findings_of(&dir, Lint::LockOrder);
+    assert_eq!(findings.len(), 1, "only the self-deadlock: {findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.file, "crates/relay/src/lib.rs");
+    assert!(f.message.contains("re-acquired while already held"), "{f}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -266,6 +266,7 @@ impl FaultPlan {
             .state
             .lock()
             .chaos
+            // Map insert, not `Storage::insert`. rddr-analyze: allow(lock-order)
             .insert(addr.to_string(), profile);
     }
 
@@ -326,6 +327,7 @@ impl FaultPlan {
             .state
             .lock()
             .storage_chaos
+            // Map insert, not `Storage::insert`. rddr-analyze: allow(lock-order)
             .insert(target.to_string(), profile);
     }
 
@@ -569,6 +571,7 @@ impl Stream for FaultStream {
             return Err(NetError::Reset);
         }
         if let Some(delay) = self.conn.stall {
+            // The stall IS the injected fault. rddr-analyze: allow(blocking-hot-path)
             std::thread::sleep(delay);
         }
         let n = self.inner.read(buf)?;

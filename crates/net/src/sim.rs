@@ -172,6 +172,7 @@ impl Network for SimNet {
             return Err(NetError::ConnectionRefused(addr.to_string()));
         };
         if let Some(delay) = self.latency_delay() {
+            // Injected dial latency. rddr-analyze: allow(blocking-hot-path)
             std::thread::sleep(delay);
         }
         let (client, server): (DuplexStream, DuplexStream) = duplex_pair_counted(

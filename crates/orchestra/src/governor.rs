@@ -111,6 +111,9 @@ impl CpuGovernor {
         }
         let scaled = Duration::from_micros(micros * self.inner.time_scale_permille / 1000);
         if !scaled.is_zero() {
+            // Simulated CPU occupancy is the governor's contract: the slot
+            // is held for the scaled duration so co-located services contend
+            // realistically. rddr-analyze: allow(blocking-hot-path)
             std::thread::sleep(scaled);
         }
         {

@@ -198,14 +198,17 @@ impl VDisk {
     }
 
     fn write_inner(&self, file: &str, off: usize, bytes: &[u8], is_append: bool) {
-        let torn = {
+        // The fault adjudicator may consult the shared fault plan (its own
+        // lock); take the sequence number first so the state lock is fully
+        // released before calling out.
+        let seq = {
             let mut state = self.state.lock();
             let f = state.files.entry(file.to_string()).or_default();
             let seq = f.write_seq;
             f.write_seq += 1;
-            drop(state);
-            !is_append && self.faults.torn_page(&self.name, file, seq)
+            seq
         };
+        let torn = !is_append && self.faults.torn_page(&self.name, file, seq);
         let mut state = self.state.lock();
         if torn {
             state.torn_writes += 1;

@@ -16,9 +16,10 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> rddr-analyze (all six passes, stale-baseline check, timing report)"
+echo "==> rddr-analyze (all six passes, stale-baseline check, dispatch + timing gates)"
 cargo run --release -p rddr-analyze -- \
-  --baseline analyze-baseline.toml --forbid-stale --json BENCH_analyze.json
+  --baseline analyze-baseline.toml --forbid-stale --json BENCH_analyze.json \
+  --min-dispatch-edges 1 --max-total-ms 150
 
 echo "==> proxy_hotpath smoke (correctness gate + throughput report)"
 cargo run --release -p rddr-bench --bin proxy_hotpath -- --smoke --json BENCH_proxy_smoke.json
