@@ -13,11 +13,11 @@ use crate::callgraph::CallGraph;
 use crate::source::SourceFile;
 use crate::{Finding, Lint};
 
-/// Call-graph id prefixes of the per-exchange hot paths.
-pub const ENTRY_POINTS: &[&str] = &[
-    "proxy::incoming::run_session",
-    "proxy::outgoing::run_session",
-];
+/// Call-graph id prefixes of the per-exchange hot paths. Since the reactor
+/// rewrite every session (incoming and outgoing) runs inside the shared
+/// worker loop, so a single entry covers them all: the `SessionTask` trait
+/// dispatch fans out from `worker_loop` to every session's `init`/`step`.
+pub const ENTRY_POINTS: &[&str] = &["proxy::reactor::worker_loop"];
 
 /// Blocking calls with no deadline. `sleep` covers `std::thread::sleep` and
 /// the shims' re-exports; `read_to_end`/`read_to_string` drain until EOF
@@ -87,11 +87,11 @@ mod tests {
     }
 
     #[test]
-    fn sleep_in_exchange_path_is_flagged() {
+    fn sleep_in_worker_loop_is_flagged() {
         let findings = run(vec![parse(
-            "crates/proxy/src/incoming.rs",
+            "crates/proxy/src/reactor.rs",
             "proxy",
-            "fn run_session() { std::thread::sleep(d); }",
+            "fn worker_loop() { std::thread::sleep(d); }",
         )]);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].lint, Lint::BlockingHotPath);
@@ -101,15 +101,39 @@ mod tests {
     #[test]
     fn sleep_reached_through_a_helper_is_flagged_with_the_chain() {
         let findings = run(vec![parse(
-            "crates/proxy/src/outgoing.rs",
+            "crates/proxy/src/reactor.rs",
             "proxy",
-            "fn run_session() { backoff(); }\nfn backoff() { std::thread::sleep(d); }",
+            "fn worker_loop() { backoff(); }\nfn backoff() { std::thread::sleep(d); }",
         )]);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(
             findings[0]
                 .message
-                .contains("proxy::outgoing::run_session -> proxy::outgoing::backoff"),
+                .contains("proxy::reactor::worker_loop -> proxy::reactor::backoff"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sleep_in_a_session_step_is_flagged_via_trait_dispatch() {
+        // The reactor invokes sessions through `SessionTask::step`; the
+        // trait-impl map must carry the entry point into every impl body.
+        let findings = run(vec![
+            parse(
+                "crates/proxy/src/reactor.rs",
+                "proxy",
+                "trait SessionTask { fn step(&mut self); }\n\
+                 fn worker_loop(task: &mut dyn SessionTask) { task.step(); }",
+            ),
+            parse(
+                "crates/proxy/src/incoming.rs",
+                "proxy",
+                "impl SessionTask for InSession { fn step(&mut self) { std::thread::sleep(d); } }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("proxy::reactor::worker_loop"),
             "{findings:?}"
         );
     }
@@ -120,7 +144,7 @@ mod tests {
         let findings = run(vec![parse(
             "crates/proxy/src/bin/rddr.rs",
             "proxy",
-            "fn main() { std::thread::sleep(d); }\nfn run_session() {}",
+            "fn main() { std::thread::sleep(d); }\nfn worker_loop() {}",
         )]);
         assert!(findings.is_empty(), "{findings:?}");
     }
@@ -128,9 +152,9 @@ mod tests {
     #[test]
     fn bounded_waits_are_clean() {
         let findings = run(vec![parse(
-            "crates/proxy/src/incoming.rs",
+            "crates/proxy/src/reactor.rs",
             "proxy",
-            "fn run_session() { rx.recv_timeout(d); cv.wait_timeout(g, d); }",
+            "fn worker_loop() { rx.recv_timeout(d); cv.wait_timeout(g, d); }",
         )]);
         assert!(findings.is_empty(), "{findings:?}");
     }
@@ -138,9 +162,9 @@ mod tests {
     #[test]
     fn allow_comment_suppresses() {
         let findings = run(vec![parse(
-            "crates/proxy/src/incoming.rs",
+            "crates/proxy/src/reactor.rs",
             "proxy",
-            "fn run_session() {\n    // paced probe. rddr-analyze: allow(blocking-hot-path)\n    std::thread::sleep(d);\n}",
+            "fn worker_loop() {\n    // paced probe. rddr-analyze: allow(blocking-hot-path)\n    std::thread::sleep(d);\n}",
         )]);
         assert!(findings.is_empty(), "{findings:?}");
     }

@@ -121,7 +121,7 @@ pub const EXPLANATIONS: &[(&str, &str)] = &[
          fans out to every impl of a matching arity) and spawned-closure nodes\n\
          (thread::spawn / scoped spawn / register_factory closures) — walks it\n\
          from the diff-reaching sinks (core::signature, core::diff, core::denoise,\n\
-         and both proxies' run_session), and flags nondeterminism sources in any\n\
+         and the proxy reactor's worker_loop), and flags nondeterminism sources in any\n\
          reached function of any other crate, with the call chain that makes it\n\
          diff-reaching.\n\
          Suppress at the source site: // rddr-analyze: allow(determinism)",
@@ -156,7 +156,7 @@ pub const EXPLANATIONS: &[(&str, &str)] = &[
         "blocking-hot-path",
         "The per-exchange proxy paths race N instances under a deadline; an\n\
          unbounded block stalls every exchange at once. Walks the call graph from\n\
-         proxy::{incoming,outgoing}::run_session — through trait-impl dispatch\n\
+         proxy::reactor::worker_loop (which runs every session) — through dispatch\n\
          (dyn Stream reads reach every impl) and into spawned closures (reader\n\
          pumps) — and flags thread::sleep, read_to_end, read_to_string, and park\n\
          in everything reachable.\n\
@@ -554,10 +554,10 @@ mod tests {
 
     #[test]
     fn graph_passes_run_through_analyze_source() {
-        // A single-file "workspace": sleep inside run_session is caught by
-        // the graph pass even via the per-file entry point.
-        let src = b"fn run_session() { std::thread::sleep(d); }";
-        let f = analyze_source("crates/proxy/src/incoming.rs", "proxy", src);
+        // A single-file "workspace": sleep inside the reactor worker loop is
+        // caught by the graph pass even via the per-file entry point.
+        let src = b"fn worker_loop() { std::thread::sleep(d); }";
+        let f = analyze_source("crates/proxy/src/reactor.rs", "proxy", src);
         assert!(f.iter().any(|x| x.lint == Lint::BlockingHotPath), "{f:?}");
     }
 }

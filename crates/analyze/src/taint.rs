@@ -23,14 +23,14 @@ use crate::source::SourceFile;
 use crate::{determinism, Finding, Lint};
 
 /// Call-graph id prefixes whose functions are diff-reaching sinks:
-/// signature/diff construction in core, response serialization (the
-/// per-exchange session loops) in both proxies.
+/// signature/diff construction in core, and the reactor worker loop that
+/// runs every proxy session (incoming and outgoing reached through
+/// `SessionTask` dispatch) since the readiness-driven rewrite.
 pub const SINKS: &[&str] = &[
     "core::signature",
     "core::diff",
     "core::denoise",
-    "proxy::incoming::run_session",
-    "proxy::outgoing::run_session",
+    "proxy::reactor::worker_loop",
 ];
 
 /// One nondeterminism source occurrence inside a function body.
@@ -189,9 +189,9 @@ mod tests {
     fn transitive_chain_is_reported() {
         let findings = run(vec![
             parse(
-                "crates/proxy/src/incoming.rs",
+                "crates/proxy/src/reactor.rs",
                 "proxy",
-                "use rddr_helper::mid;\nfn run_session() { mid(); }",
+                "use rddr_helper::mid;\nfn worker_loop() { mid(); }",
             ),
             parse(
                 "crates/helper/src/lib.rs",
@@ -204,7 +204,7 @@ mod tests {
         assert!(
             findings[0]
                 .message
-                .contains("proxy::incoming::run_session -> helper::mid -> helper::deep"),
+                .contains("proxy::reactor::worker_loop -> helper::mid -> helper::deep"),
             "{findings:?}"
         );
     }

@@ -87,16 +87,16 @@ fn taint_follows_dyn_protocol_dispatch_to_the_leaky_impl() {
 
 #[test]
 fn blocking_call_in_a_spawned_closure_is_flagged_in_its_spawner() {
-    // run_session reaches the spawner only through dispatch (two Pump
+    // worker_loop reaches the spawner only through dispatch (two Pump
     // impls), and the sleep lives in a closure handed to `thread::spawn` —
     // a reader-pump shape the span-folding analyzer attributed to nothing.
     let dir = seed_fixture(
         "spawned-closure",
         &[
             (
-                "crates/proxy/src/incoming.rs",
+                "crates/proxy/src/reactor.rs",
                 "use rddr_pumps::Pump;\n\
-                 pub fn run_session(p: &dyn Pump) { p.engage(0); }\n",
+                 pub fn worker_loop(p: &dyn Pump) { p.engage(0); }\n",
             ),
             (
                 "crates/pumps/src/lib.rs",
@@ -131,7 +131,7 @@ fn blocking_call_in_a_spawned_closure_is_flagged_in_its_spawner() {
     assert_eq!(f.file, "crates/pumps/src/tail.rs");
     assert!(
         f.message.contains(
-            "proxy::incoming::run_session -> pumps::tail::engage -> \
+            "proxy::reactor::worker_loop -> pumps::tail::engage -> \
              pumps::tail::engage::closure@5"
         ),
         "chain crosses the spawn edge into the closure node: {f}"

@@ -124,14 +124,15 @@ fn unreached_crate_is_not_flagged() {
 #[test]
 fn blocking_pass_rides_the_same_graph() {
     // The hot-path pass shares the call graph: a sleep two hops below
-    // run_session is flagged, a sleep in an unreached helper is not.
+    // the reactor worker loop is flagged, a sleep in an unreached helper
+    // is not.
     let dir = seed_fixture(
         "blocking",
         &[
             (
-                "crates/proxy/src/incoming.rs",
+                "crates/proxy/src/reactor.rs",
                 "use rddr_pacing::throttle;\n\
-                 pub fn run_session() { throttle(); }\n",
+                 pub fn worker_loop() { throttle(); }\n",
             ),
             (
                 "crates/pacing/src/lib.rs",
@@ -151,7 +152,7 @@ fn blocking_pass_rides_the_same_graph() {
     assert!(
         blocking[0]
             .message
-            .contains("proxy::incoming::run_session -> pacing::throttle -> pacing::pause"),
+            .contains("proxy::reactor::worker_loop -> pacing::throttle -> pacing::pause"),
         "{blocking:?}"
     );
     std::fs::remove_dir_all(&dir).ok();

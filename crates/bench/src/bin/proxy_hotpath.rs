@@ -14,6 +14,16 @@
 //! * `divergent` — every exchange diverges; the worst case, pinned so the
 //!   fast path can be shown to cost nothing when it never fires.
 //!
+//! A fifth shape, `unanimous_sweep`, is the reactor's raison d'être: the
+//! same unanimous pipelined traffic driven by hundreds to tens of
+//! thousands of *concurrent* sessions (sim 256/1k/4k/10k, tcp 256/1k), all
+//! multiplexed from one poll-driven driver thread so the process's thread
+//! count measures the proxy, not the harness. Every row records
+//! `peak_threads` (the `Threads:` line of `/proc/self/status`); under
+//! `--smoke` the sweep asserts the count stays flat — within a fixed
+//! harness allowance of the reactor worker count — instead of scaling with
+//! sessions.
+//!
 //! ```text
 //! proxy_hotpath [--smoke] [--json BENCH_proxy.json]
 //! ```
@@ -25,67 +35,264 @@
 //! (per client), `RDDR_BENCH_WARMUP`, `RDDR_BENCH_PAYLOAD`,
 //! `RDDR_BENCH_CLIENTS` (concurrent sessions, pgbench-style),
 //! `RDDR_BENCH_PIPELINE` (requests in flight per client on the pipelined
-//! workload).
+//! workload), `RDDR_BENCH_SWEEP_EXCHANGES` (total exchanges per sweep row,
+//! spread across its sessions).
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use rddr_bench::report::{latency_json, num, obj, s};
 use rddr_bench::{env_usize, json_path_from_args, write_report};
 use rddr_core::protocol::LineProtocol;
 use rddr_core::EngineConfig;
-use rddr_net::{BoxStream, Network, ServiceAddr, SimNet, TcpNet};
+use rddr_net::{BoxStream, Network, Poller, ServiceAddr, SimNet, TcpNet, Token, TryRead};
 use rddr_protocols::JsonValue;
 use rddr_proxy::{IncomingProxy, ProtocolFactory, ProxyTelemetry};
 use rddr_telemetry::Histogram;
 
 const INSTANCES: usize = 3;
 
+/// Sweep sessions beyond the reactor workers that the harness itself is
+/// allowed: main, the sweep driver, 3 instance accept + 3 instance serve
+/// threads, the proxy accept thread, and slack for short-lived dials.
+const THREAD_ALLOWANCE: usize = 12;
+
 fn line_protocol() -> ProtocolFactory {
     Arc::new(|| Box::new(LineProtocol::new()))
 }
 
-/// Serves newline-delimited requests on one accepted connection. Normal
-/// lines get the identical `ok:<line>` answer on every instance; lines
-/// starting with `DIV` get a different answer from instance 2 only — the
-/// version-diverse replica — so the deployment diverges exactly when the
-/// workload asks it to. (Instances 0 and 1 are the filter pair; if they
+/// The process's current thread count (`Threads:` in `/proc/self/status`).
+/// Returns 0 where procfs is unavailable; the sweep gate is skipped then.
+fn thread_count() -> usize {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Computes one instance's reply to one request line (without the newline).
+/// Normal lines get the identical `ok:<line>` answer on every instance;
+/// lines starting with `DIV` get a different answer from instance 2 only —
+/// the version-diverse replica — so the deployment diverges exactly when
+/// the workload asks it to. (Instances 0 and 1 are the filter pair; if they
 /// diverged too, the difference would be masked as noise.)
-fn serve_lines(conn: &mut BoxStream, instance: usize) {
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        match conn.read(&mut chunk) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+fn reply_for(body: &[u8], instance: usize) -> Vec<u8> {
+    let body = String::from_utf8_lossy(body);
+    if body.starts_with("DIV") && instance == 2 {
+        format!("inst{instance}:{body}\n").into_bytes()
+    } else {
+        format!("ok:{body}\n").into_bytes()
+    }
+}
+
+/// One connection owned by the poll-driven instance server.
+struct ServeConn {
+    conn: BoxStream,
+    buf: Vec<u8>,
+}
+
+/// A diverse service instance: one accept thread and one poll-driven serve
+/// thread handle every connection, however many sessions fan in — the
+/// serve side must stay O(1) threads or it would mask the proxy's own
+/// thread behavior in the sweep.
+struct InstanceServer {
+    net: Arc<dyn Network>,
+    addr: ServiceAddr,
+    stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Token the accept thread wakes the serve loop with after queuing a new
+/// connection; ordinary connections use their slot index.
+const ADOPT: u64 = u64::MAX;
+
+impl InstanceServer {
+    fn start(net: &Arc<dyn Network>, want: &ServiceAddr, instance: usize) -> InstanceServer {
+        let mut listener = net.listen(want).expect("instance listener binds");
+        let bound = listener.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller = Arc::new(Poller::new());
+        let inbox: Arc<Mutex<Vec<BoxStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+        {
+            let poller = Arc::clone(&poller);
+            let inbox = Arc::clone(&inbox);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("bench-inst{instance}-accept"))
+                    .spawn(move || {
+                        while let Ok(conn) = listener.accept() {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            inbox.lock().push(conn);
+                            poller.wake(Token(ADOPT));
+                        }
+                    })
+                    .expect("accept thread spawns"),
+            );
         }
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let body = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            let reply = if body.starts_with("DIV") && instance == 2 {
-                format!("inst{instance}:{body}\n")
+        {
+            let poller = Arc::clone(&poller);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("bench-inst{instance}-serve"))
+                    .spawn(move || serve_loop(&poller, &inbox, &stop, instance))
+                    .expect("serve thread spawns"),
+            );
+        }
+        InstanceServer {
+            net: Arc::clone(net),
+            addr: bound,
+            stop,
+            poller,
+            threads,
+        }
+    }
+}
+
+impl Drop for InstanceServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.net.unbind_addr(&self.addr);
+        // Fabrics whose unbind is a no-op (plain TCP) need the accept loop
+        // woken so it can observe the stop flag.
+        if let Ok(mut conn) = self.net.dial(&self.addr) {
+            conn.shutdown();
+        }
+        self.poller.wake(Token(ADOPT));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves every connection of one instance from a single thread: adopt new
+/// connections on the `ADOPT` wake, then drain and answer whichever wake.
+fn serve_loop(poller: &Poller, inbox: &Mutex<Vec<BoxStream>>, stop: &AtomicBool, instance: usize) {
+    let mut conns: std::collections::BTreeMap<u64, ServeConn> = std::collections::BTreeMap::new();
+    let mut next_id = 0u64;
+    let mut ready = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    loop {
+        poller.poll(&mut ready, None);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut woken: Vec<u64> = Vec::new();
+        for t in ready.drain(..) {
+            if t.0 == ADOPT {
+                for mut conn in inbox.lock().drain(..) {
+                    let id = next_id;
+                    next_id += 1;
+                    if !conn.poll_register(poller.readiness(Token(id))) {
+                        // Every in-tree transport registers natively; an
+                        // exotic one would need a read pump, which would
+                        // defeat the thread-count measurement.
+                        panic!("bench instance stream cannot register readiness");
+                    }
+                    conns.insert(
+                        id,
+                        ServeConn {
+                            conn,
+                            buf: Vec::new(),
+                        },
+                    );
+                    // Bytes may have landed before registration; serve once
+                    // immediately rather than waiting for the next edge.
+                    woken.push(id);
+                }
             } else {
-                format!("ok:{body}\n")
+                woken.push(t.0);
+            }
+        }
+        for id in woken {
+            let Some(sc) = conns.get_mut(&id) else {
+                continue;
             };
-            if conn.write_all(reply.as_bytes()).is_err() {
-                return;
+            if !serve_ready(sc, instance, &mut chunk) {
+                poller.deregister(Token(id));
+                conns.remove(&id);
             }
         }
     }
 }
 
-/// Binds `want` on `net`, returns the resolved address (TCP port 0 binds an
-/// ephemeral port), and pumps accepted connections through [`serve_lines`]
-/// on detached threads for the life of the process.
-fn spawn_instance(net: &Arc<dyn Network>, want: &ServiceAddr, instance: usize) -> ServiceAddr {
-    let mut listener = net.listen(want).expect("instance listener binds");
-    let bound = listener.local_addr();
-    std::thread::spawn(move || {
-        while let Ok(mut conn) = listener.accept() {
-            std::thread::spawn(move || serve_lines(&mut conn, instance));
+/// Drains one connection to `WouldBlock`, answering each complete line.
+/// Returns `false` when the connection is finished (EOF or error).
+fn serve_ready(sc: &mut ServeConn, instance: usize, chunk: &mut [u8]) -> bool {
+    loop {
+        match sc.conn.try_read(chunk) {
+            Ok(TryRead::WouldBlock) => return true,
+            Ok(TryRead::Eof) | Err(_) => return false,
+            Ok(TryRead::Data(n)) => {
+                sc.buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = sc.buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = sc.buf.drain(..=pos).collect();
+                    let reply = reply_for(&line[..line.len() - 1], instance);
+                    if sc.conn.write_all(&reply).is_err() {
+                        return false;
+                    }
+                }
+            }
         }
-    });
-    bound
+    }
+}
+
+/// Binds the three diverse instances on `net` and returns their resolved
+/// addresses plus the server handles (dropping a handle tears its threads
+/// down, keeping later rows' thread counts clean).
+fn spawn_instances(
+    net: &Arc<dyn Network>,
+    fabric: &str,
+) -> (Vec<ServiceAddr>, Vec<InstanceServer>) {
+    let mut addrs = Vec::new();
+    let mut servers = Vec::new();
+    for i in 0..INSTANCES {
+        let want = match fabric {
+            "tcp" => ServiceAddr::new("127.0.0.1", 0),
+            _ => ServiceAddr::new("inst", 7000 + i as u16),
+        };
+        let server = InstanceServer::start(net, &want, i);
+        addrs.push(server.addr.clone());
+        servers.push(server);
+    }
+    (addrs, servers)
+}
+
+/// Starts a fresh 3-instance deployment behind a fresh proxy on `net`.
+fn start_proxy(
+    net: &Arc<dyn Network>,
+    fabric: &str,
+    instances: Vec<ServiceAddr>,
+    telemetry: &ProxyTelemetry,
+) -> IncomingProxy {
+    let listen = match fabric {
+        "tcp" => ServiceAddr::new("127.0.0.1", 0),
+        _ => ServiceAddr::new("rddr", 9000),
+    };
+    IncomingProxy::start_with_telemetry(
+        Arc::clone(net),
+        &listen,
+        instances,
+        EngineConfig::builder(INSTANCES)
+            .filter_pair(0, 1)
+            .response_deadline(Duration::from_secs(10))
+            .build()
+            .expect("static config"),
+        line_protocol(),
+        Some(telemetry.clone()),
+    )
+    .expect("proxy starts")
 }
 
 /// A proxy client that redials after severed sessions (the Block policy
@@ -96,6 +303,16 @@ struct Client {
     conn: Option<BoxStream>,
     line: Vec<u8>,
     response: Vec<u8>,
+}
+
+/// Appends one padded request line for `seq` to `line`.
+fn push_line(line: &mut Vec<u8>, seq: usize, divergent: bool, payload: usize) {
+    line.extend_from_slice(if divergent { b"DIV" } else { b"req" });
+    line.extend_from_slice(format!("{seq:08}:").as_bytes());
+    while line.len() < payload {
+        line.push(b'x');
+    }
+    line.push(b'\n');
 }
 
 impl Client {
@@ -118,21 +335,11 @@ impl Client {
         self.conn.as_mut().expect("connection just established")
     }
 
-    fn push_line(&mut self, seq: usize, divergent: bool, payload: usize) {
-        self.line
-            .extend_from_slice(if divergent { b"DIV" } else { b"req" });
-        self.line.extend_from_slice(format!("{seq:08}:").as_bytes());
-        while self.line.len() < payload {
-            self.line.push(b'x');
-        }
-        self.line.push(b'\n');
-    }
-
     /// One request/response exchange. Returns `true` when the session was
     /// severed (divergence under Block) instead of answered.
     fn exchange(&mut self, seq: usize, divergent: bool, payload: usize) -> bool {
         self.line.clear();
-        self.push_line(seq, divergent, payload);
+        push_line(&mut self.line, seq, divergent, payload);
         if !self.write_batch() {
             return true;
         }
@@ -186,7 +393,7 @@ impl Client {
     ) -> usize {
         self.line.clear();
         for k in 0..count {
-            self.push_line(seq0 + k, false, payload);
+            push_line(&mut self.line, seq0 + k, false, payload);
         }
         let t0 = Instant::now();
         if !self.write_batch() {
@@ -221,6 +428,7 @@ struct Knobs {
     payload: usize,
     clients: usize,
     pipeline: usize,
+    sweep_total: usize,
 }
 
 /// One (fabric, workload) cell: a fresh 3-instance deployment behind a
@@ -237,33 +445,9 @@ fn run_workload(
     knobs: Knobs,
     smoke: bool,
 ) -> JsonValue {
-    let instances: Vec<ServiceAddr> = (0..INSTANCES)
-        .map(|i| {
-            let want = match fabric {
-                "tcp" => ServiceAddr::new("127.0.0.1", 0),
-                _ => ServiceAddr::new("inst", 7000 + i as u16),
-            };
-            spawn_instance(net, &want, i)
-        })
-        .collect();
-    let listen = match fabric {
-        "tcp" => ServiceAddr::new("127.0.0.1", 0),
-        _ => ServiceAddr::new("rddr", 9000),
-    };
+    let (instances, _servers) = spawn_instances(net, fabric);
     let telemetry = ProxyTelemetry::new("hot");
-    let proxy = IncomingProxy::start_with_telemetry(
-        Arc::clone(net),
-        &listen,
-        instances,
-        EngineConfig::builder(INSTANCES)
-            .filter_pair(0, 1)
-            .response_deadline(Duration::from_secs(10))
-            .build()
-            .expect("static config"),
-        line_protocol(),
-        Some(telemetry.clone()),
-    )
-    .expect("proxy starts");
+    let proxy = start_proxy(net, fabric, instances, &telemetry);
 
     if smoke {
         // Correctness gate for CI: a unanimous exchange answers, a
@@ -291,7 +475,8 @@ fn run_workload(
         .registry
         .counter(&format!("{}_in_fastpath_misses_total", telemetry.prefix));
     let latency = Histogram::new();
-    let severed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let severed = Arc::new(AtomicUsize::new(0));
+    let peak_threads = Arc::new(AtomicUsize::new(thread_count()));
     let is_divergent = move |seq: usize| divergent_every > 0 && seq.is_multiple_of(divergent_every);
 
     let started = Instant::now();
@@ -301,6 +486,7 @@ fn run_workload(
             let mut client = Client::new(Arc::clone(net), proxy.listen_addr().clone());
             let latency = &latency;
             let severed = Arc::clone(&severed);
+            let peak_threads = Arc::clone(&peak_threads);
             workers.push(scope.spawn(move || {
                 if pipeline > 1 {
                     let sink = Histogram::new();
@@ -309,11 +495,12 @@ fn run_workload(
                         client.exchange_pipelined(seq, pipeline, knobs.payload, &sink);
                         seq += pipeline;
                     }
+                    peak_threads.fetch_max(thread_count(), Ordering::Relaxed);
                     let mut done = 0usize;
                     while done < knobs.measured {
                         let count = pipeline.min(knobs.measured - done);
                         let cut = client.exchange_pipelined(seq, count, knobs.payload, latency);
-                        severed.fetch_add(cut, std::sync::atomic::Ordering::Relaxed);
+                        severed.fetch_add(cut, Ordering::Relaxed);
                         seq += count;
                         done += count;
                     }
@@ -322,6 +509,7 @@ fn run_workload(
                 for seq in 0..knobs.warmup {
                     client.exchange(seq, is_divergent(seq), knobs.payload);
                 }
+                peak_threads.fetch_max(thread_count(), Ordering::Relaxed);
                 for seq in 0..knobs.measured {
                     let t0 = Instant::now();
                     let cut = client.exchange(
@@ -330,7 +518,7 @@ fn run_workload(
                         knobs.payload,
                     );
                     if cut {
-                        severed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        severed.fetch_add(1, Ordering::Relaxed);
                     }
                     latency.record(t0.elapsed().as_micros() as u64);
                 }
@@ -346,7 +534,8 @@ fn run_workload(
     // run with identical knobs.
     let total = (knobs.clients * knobs.measured) as f64;
     let rate = total / elapsed;
-    let severed = severed.load(std::sync::atomic::Ordering::Relaxed);
+    let severed = severed.load(Ordering::Relaxed);
+    let peak = peak_threads.load(Ordering::Relaxed);
     let eval_us = telemetry
         .registry
         .histogram(&format!("{}_in_exchange_eval_latency_us", telemetry.prefix));
@@ -355,14 +544,16 @@ fn run_workload(
         .histogram(&format!("{}_in_merge_latency_us", telemetry.prefix));
 
     println!(
-        "{fabric:>4} {workload:<10} {rate:>10.0} ex/s  p50 {:>7.3}ms  p99 {:>7.3}ms  \
-         eval-p50 {:>4}us  severed {severed:>6}  fastpath {}/{}",
+        "{fabric:>4} {workload:<16} {:>6} cl {rate:>10.0} ex/s  p50 {:>7.3}ms  p99 {:>7.3}ms  \
+         eval-p50 {:>4}us  severed {severed:>6}  threads {peak:>3}  fastpath {}/{}",
+        knobs.clients,
         latency.quantile(0.50) as f64 / 1000.0,
         latency.quantile(0.99) as f64 / 1000.0,
         eval_us.quantile(0.50),
         hits.get(),
         hits.get() + misses.get(),
     );
+    let workers = proxy.workers();
     drop(proxy);
     obj([
         (
@@ -376,6 +567,8 @@ fn run_workload(
         ("exchanges", num(total)),
         ("exchanges_per_sec", num(rate)),
         ("severed", num(severed as f64)),
+        ("peak_threads", num(peak as f64)),
+        ("reactor_workers", num(workers as f64)),
         ("fastpath_hits", num(hits.get() as f64)),
         ("fastpath_misses", num(misses.get() as f64)),
         ("engine_eval_p50_us", num(eval_us.quantile(0.50) as f64)),
@@ -384,16 +577,200 @@ fn run_workload(
     ])
 }
 
-/// One fabric's full sweep: the four workloads, one report row each. Each
-/// workload gets a fresh fabric, so listeners from the previous deployment
-/// can't collide or serve stale sessions.
+/// One session driven by the poll-driven sweep harness: pipelined unanimous
+/// batches, `rounds` of them, all responses counted by newline.
+struct SweepConn {
+    conn: BoxStream,
+    pending: usize,
+    rounds_left: usize,
+    seq: usize,
+    t0: Instant,
+    batch: Vec<u8>,
+}
+
+impl SweepConn {
+    /// Writes the next pipelined batch of `count` requests.
+    fn send_batch(&mut self, count: usize, payload: usize) -> bool {
+        self.batch.clear();
+        for k in 0..count {
+            push_line(&mut self.batch, self.seq + k, false, payload);
+        }
+        self.seq += count;
+        self.pending = count;
+        self.t0 = Instant::now();
+        self.conn.write_all(&self.batch).is_ok()
+    }
+}
+
+/// The high-concurrency sweep row: `clients` concurrent proxy sessions all
+/// multiplexed onto ONE driver thread via the readiness [`Poller`] — the
+/// harness adds O(1) threads no matter how many sessions it drives, so
+/// `peak_threads` isolates how the proxy scales. Each session pipelines
+/// `batch` unanimous requests per round for `rounds` rounds.
+fn run_sweep_row(
+    fabric: &'static str,
+    net: &Arc<dyn Network>,
+    clients: usize,
+    knobs: Knobs,
+    smoke: bool,
+) -> JsonValue {
+    // Spread the row's total exchanges across its sessions; huge rows trim
+    // the batch rather than multiply rounds.
+    let batch = (knobs.sweep_total / clients).clamp(1, knobs.pipeline);
+    let rounds = (knobs.sweep_total / (clients * batch)).max(1);
+
+    let (instances, _servers) = spawn_instances(net, fabric);
+    let telemetry = ProxyTelemetry::new("hot");
+    let proxy = start_proxy(net, fabric, instances, &telemetry);
+    let workers = proxy.workers();
+
+    let poller = Poller::new();
+    let mut conns: Vec<SweepConn> = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let mut conn = net.dial(proxy.listen_addr()).expect("sweep dial succeeds");
+        if !conn.poll_register(poller.readiness(Token(i as u64))) {
+            panic!("sweep client stream cannot register readiness");
+        }
+        conns.push(SweepConn {
+            conn,
+            pending: 0,
+            rounds_left: rounds,
+            seq: 0,
+            t0: Instant::now(),
+            batch: Vec::new(),
+        });
+    }
+    let mut peak = thread_count();
+
+    let latency = Histogram::new();
+    let mut severed = 0usize;
+    let mut done = 0usize;
+    let started = Instant::now();
+    for c in conns.iter_mut() {
+        c.rounds_left -= 1;
+        if !c.send_batch(batch, knobs.payload) {
+            severed += c.pending + c.rounds_left * batch;
+            c.pending = 0;
+            c.rounds_left = 0;
+            done += 1;
+        }
+    }
+    let mut ready = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut polls = 0usize;
+    let mut last_progress = Instant::now();
+    while done < clients {
+        if poller.poll(&mut ready, Some(Duration::from_secs(1))) == 0 {
+            assert!(
+                last_progress.elapsed() < Duration::from_secs(60),
+                "sweep stalled: {done}/{clients} sessions finished on {fabric}"
+            );
+            continue;
+        }
+        last_progress = Instant::now();
+        polls += 1;
+        if polls.is_multiple_of(64) {
+            peak = peak.max(thread_count());
+        }
+        for t in ready.drain(..) {
+            let Some(c) = conns.get_mut(t.0 as usize) else {
+                continue;
+            };
+            if c.pending == 0 && c.rounds_left == 0 {
+                continue;
+            }
+            let mut dead = false;
+            loop {
+                match c.conn.try_read(&mut chunk) {
+                    Ok(TryRead::WouldBlock) => break,
+                    Ok(TryRead::Eof) | Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(TryRead::Data(n)) => {
+                        for &b in &chunk[..n] {
+                            if b == b'\n' {
+                                latency.record(c.t0.elapsed().as_micros() as u64);
+                                c.pending = c.pending.saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+            }
+            if dead {
+                severed += c.pending + c.rounds_left * batch;
+                c.pending = 0;
+                c.rounds_left = 0;
+                done += 1;
+            } else if c.pending == 0 {
+                if c.rounds_left == 0 {
+                    done += 1;
+                } else {
+                    c.rounds_left -= 1;
+                    if !c.send_batch(batch, knobs.payload) {
+                        severed += c.rounds_left * batch;
+                        c.rounds_left = 0;
+                        done += 1;
+                    }
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    peak = peak.max(thread_count());
+
+    let total = (clients * rounds * batch) as f64;
+    let answered = total - severed as f64;
+    let rate = answered / elapsed;
+    println!(
+        "{fabric:>4} {:<16} {clients:>6} cl {rate:>10.0} ex/s  p50 {:>7.3}ms  p99 {:>7.3}ms  \
+         severed {severed:>6}  threads {peak:>3} (workers {workers})",
+        "unanimous_sweep",
+        latency.quantile(0.50) as f64 / 1000.0,
+        latency.quantile(0.99) as f64 / 1000.0,
+    );
+    if smoke {
+        assert_eq!(severed, 0, "unanimous sweep must not sever any session");
+        // The tentpole gate: thread count must not scale with sessions.
+        if peak > 0 {
+            assert!(
+                peak <= workers + THREAD_ALLOWANCE,
+                "thread count scaled with sessions: {peak} threads for {clients} \
+                 clients ({workers} reactor workers + {THREAD_ALLOWANCE} allowed)"
+            );
+        }
+    }
+    drop(proxy);
+    obj([
+        (
+            "variant",
+            s(std::env::var("RDDR_BENCH_VARIANT").unwrap_or_else(|_| "current".into())),
+        ),
+        ("fabric", s(fabric)),
+        ("workload", s("unanimous_sweep")),
+        ("clients", num(clients as f64)),
+        ("pipeline", num(batch as f64)),
+        ("rounds", num(rounds as f64)),
+        ("exchanges", num(total)),
+        ("exchanges_per_sec", num(rate)),
+        ("severed", num(severed as f64)),
+        ("peak_threads", num(peak as f64)),
+        ("reactor_workers", num(workers as f64)),
+        ("latency", latency_json(&latency)),
+    ])
+}
+
+/// One fabric's full sweep: the four 4-client workloads plus the
+/// high-concurrency rows, one report row each. Each row gets a fresh
+/// fabric, so listeners from the previous deployment can't collide or
+/// serve stale sessions.
 fn bench_fabric(
     fabric: &'static str,
     net: &dyn Fn() -> Arc<dyn Network>,
     knobs: Knobs,
     smoke: bool,
 ) -> Vec<JsonValue> {
-    [
+    let mut rows: Vec<JsonValue> = [
         ("unanimous", 0usize, knobs.pipeline),
         ("unanimous_sync", 0, 1),
         ("mixed", 10, 1),
@@ -403,7 +780,15 @@ fn bench_fabric(
     .map(|(workload, every, pipeline)| {
         run_workload(fabric, &net(), workload, every, pipeline, knobs, smoke)
     })
-    .collect()
+    .collect();
+    let sweep: &[usize] = match fabric {
+        "tcp" => &[256, 1000],
+        _ => &[256, 1000, 4000, 10_000],
+    };
+    for &clients in sweep {
+        rows.push(run_sweep_row(fabric, &net(), clients, knobs, smoke));
+    }
+    rows
 }
 
 fn main() {
@@ -416,12 +801,21 @@ fn main() {
         payload: env_usize("RDDR_BENCH_PAYLOAD", 64),
         clients: env_usize("RDDR_BENCH_CLIENTS", 4),
         pipeline: env_usize("RDDR_BENCH_PIPELINE", 16),
+        sweep_total: env_usize(
+            "RDDR_BENCH_SWEEP_EXCHANGES",
+            if smoke { 10_000 } else { 120_000 },
+        ),
     };
 
     println!(
         "proxy_hotpath: variant={variant} clients={} exchanges={}/client warmup={} \
-         payload={}B pipeline={} instances={INSTANCES}",
-        knobs.clients, knobs.measured, knobs.warmup, knobs.payload, knobs.pipeline
+         payload={}B pipeline={} sweep_total={} instances={INSTANCES}",
+        knobs.clients,
+        knobs.measured,
+        knobs.warmup,
+        knobs.payload,
+        knobs.pipeline,
+        knobs.sweep_total
     );
     let mut rows = Vec::new();
     rows.extend(bench_fabric(
@@ -444,6 +838,7 @@ fn main() {
             ("warmup", num(knobs.warmup as f64)),
             ("payload_bytes", num(knobs.payload as f64)),
             ("pipeline", num(knobs.pipeline as f64)),
+            ("sweep_exchanges", num(knobs.sweep_total as f64)),
             ("instances", num(INSTANCES as f64)),
         ]);
         write_report(&path, "proxy_hotpath", params, rows).expect("report written");

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::poll::{Readiness, TryRead};
 use crate::{NetError, Result, Stream};
 
 /// Shared state for one direction of a duplex pipe.
@@ -16,6 +17,11 @@ struct Pipe {
 struct PipeBuf {
     data: VecDeque<u8>,
     closed: bool,
+    /// Reactor handle to wake whenever data or EOF arrives. Wakes are
+    /// edge-triggered: registered consumers drain via `try_read` until
+    /// `WouldBlock` on every wake. Blocking `read`ers coexist through the
+    /// condvar path.
+    watcher: Option<Readiness>,
 }
 
 impl Pipe {
@@ -24,6 +30,7 @@ impl Pipe {
             buf: Mutex::new(PipeBuf {
                 data: VecDeque::new(),
                 closed: false,
+                watcher: None,
             }),
             readable: Condvar::new(),
         })
@@ -34,13 +41,26 @@ impl Pipe {
         if guard.closed {
             return Err(NetError::Closed);
         }
+        let was_empty = guard.data.is_empty();
         guard.data.extend(bytes);
+        // Wake only on the empty→non-empty transition: consumers (blocking
+        // readers and registered watchers alike) only park after observing
+        // an empty buffer under this lock, so leftover data means the wake
+        // that announced it is still pending — a pipelined burst of writes
+        // pays one wake, not one per frame.
+        if !was_empty {
+            return Ok(());
+        }
+        let watcher = guard.watcher.clone();
         drop(guard);
         // A pipe direction has exactly one logical consumer (the peer's
         // reader); waking one waiter suffices and skips the thundering herd
         // a `try_clone`'d endpoint would otherwise pay per write. `close`
         // still notifies all: every waiter must observe EOF.
         self.readable.notify_one();
+        if let Some(w) = watcher {
+            w.wake();
+        }
         Ok(())
     }
 
@@ -72,8 +92,14 @@ impl Pipe {
     }
 
     fn close(&self) {
-        self.buf.lock().closed = true;
+        let mut guard = self.buf.lock();
+        guard.closed = true;
+        let watcher = guard.watcher.clone();
+        drop(guard);
         self.readable.notify_all();
+        if let Some(w) = watcher {
+            w.wake();
+        }
     }
 }
 
@@ -186,6 +212,32 @@ impl Stream for DuplexStream {
             bytes_tx: Arc::clone(&self.bytes_tx),
             close_on_drop: false,
         }))
+    }
+
+    fn poll_register(&mut self, readiness: Readiness) -> bool {
+        let mut guard = self.rx.buf.lock();
+        let ready_now = !guard.data.is_empty() || guard.closed;
+        guard.watcher = Some(readiness.clone());
+        drop(guard);
+        if ready_now {
+            readiness.wake();
+        }
+        true
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> Result<TryRead> {
+        let mut guard = self.rx.buf.lock();
+        if !guard.data.is_empty() {
+            let n = buf.len().min(guard.data.len());
+            for (slot, byte) in buf.iter_mut().zip(guard.data.drain(..n)) {
+                *slot = byte;
+            }
+            return Ok(TryRead::Data(n));
+        }
+        if guard.closed {
+            return Ok(TryRead::Eof);
+        }
+        Ok(TryRead::WouldBlock)
     }
 }
 

@@ -480,6 +480,8 @@ impl FaultPlan {
                 reset: AtomicBool::new(false),
             }),
             plan: Arc::clone(&self.shared),
+            readiness: None,
+            stall_gate: None,
         })
     }
 }
@@ -539,6 +541,14 @@ struct FaultStream {
     inner: BoxStream,
     conn: Arc<ConnState>,
     plan: Arc<Shared>,
+    /// Readiness handle captured at `poll_register`, used to schedule the
+    /// end of an injected stall as a timer instead of blocking the reactor.
+    readiness: Option<crate::poll::Readiness>,
+    /// When a stall fate is active: the instant the currently pending stall
+    /// elapses. `try_read` returns `WouldBlock` until then, then delivers
+    /// and re-arms on the next read — mirroring the blocking `read`'s
+    /// per-read sleep without holding a worker thread.
+    stall_gate: Option<std::time::Instant>,
 }
 
 impl FaultStream {
@@ -625,7 +635,62 @@ impl Stream for FaultStream {
             inner: self.inner.try_clone()?,
             conn: Arc::clone(&self.conn),
             plan: Arc::clone(&self.plan),
+            readiness: None,
+            stall_gate: None,
         }))
+    }
+
+    fn poll_register(&mut self, readiness: crate::poll::Readiness) -> bool {
+        if self.inner.poll_register(readiness.clone()) {
+            self.readiness = Some(readiness);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> Result<crate::poll::TryRead> {
+        use crate::poll::TryRead;
+        if self.conn.reset.load(Ordering::SeqCst) {
+            return Err(NetError::Reset);
+        }
+        if let Some(delay) = self.conn.stall {
+            // The stall fault under the reactor: instead of sleeping (which
+            // would block every other session on this worker), gate delivery
+            // behind a deadline and ask the poller to wake us when it lapses.
+            let now = std::time::Instant::now();
+            match self.stall_gate {
+                None => {
+                    self.stall_gate = Some(now + delay);
+                    if let Some(r) = &self.readiness {
+                        r.wake_after(delay);
+                    }
+                    return Ok(TryRead::WouldBlock);
+                }
+                Some(gate) if now < gate => {
+                    if let Some(r) = &self.readiness {
+                        r.wake_after(gate - now);
+                    }
+                    return Ok(TryRead::WouldBlock);
+                }
+                Some(_) => {}
+            }
+        }
+        match self.inner.try_read(buf)? {
+            TryRead::Data(n) => {
+                // Delivered: the next read pays a fresh stall.
+                self.stall_gate = None;
+                let allowed = self.charge(n as u64);
+                if allowed < n as u64 {
+                    self.trip();
+                    if allowed == 0 {
+                        return Err(NetError::Reset);
+                    }
+                }
+                Ok(TryRead::Data(allowed as usize))
+            }
+            other => Ok(other),
+        }
     }
 }
 

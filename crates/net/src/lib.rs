@@ -42,6 +42,7 @@ mod addr;
 mod duplex;
 mod error;
 pub mod fault;
+pub mod poll;
 pub mod secure;
 mod sim;
 mod stream;
@@ -54,6 +55,7 @@ pub use fault::{
     ChaosProfile, ConnSelector, Fault, FaultNet, FaultPlan, FaultStats, StorageChaosProfile,
     StorageFault,
 };
+pub use poll::{Poller, Readiness, Token, TryRead};
 pub use secure::{PresharedKey, SecureListener, SecureNet, SecureStream};
 pub use sim::{LatencyModel, NetStats, SimNet};
 pub use stream::{BoxListener, BoxStream, Listener, Network, Stream};

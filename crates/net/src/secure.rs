@@ -218,6 +218,22 @@ impl<S: Stream> Stream for SecureStream<S> {
             rx: std::sync::Arc::clone(&self.rx),
         }))
     }
+
+    fn poll_register(&mut self, readiness: crate::poll::Readiness) -> bool {
+        // The handshake already ran in connect/accept, so readiness is just
+        // the inner transport's; decryption happens per try_read.
+        self.inner.poll_register(readiness)
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> Result<crate::poll::TryRead> {
+        let r = self.inner.try_read(buf)?;
+        if let crate::poll::TryRead::Data(n) = r {
+            if let Some(filled) = buf.get_mut(..n) {
+                self.rx.lock().apply(filled);
+            }
+        }
+        Ok(r)
+    }
 }
 
 impl SecureStream<crate::BoxStream> {

@@ -1,5 +1,6 @@
 use std::time::Duration;
 
+use crate::poll::{Readiness, TryRead};
 use crate::{NetError, Result, ServiceAddr};
 
 /// A bidirectional, blocking byte stream — the socket abstraction both RDDR
@@ -47,6 +48,38 @@ pub trait Stream: Send {
         Err(NetError::Io(std::io::Error::new(
             std::io::ErrorKind::Unsupported,
             "stream does not support cloning",
+        )))
+    }
+
+    /// Registers this stream with a reactor: subsequent readable bytes, EOF,
+    /// or errors must wake `readiness`. Returns `false` if the transport
+    /// cannot deliver readiness natively (callers then fall back to
+    /// [`crate::poll::with_read_pump`] or a dedicated thread).
+    ///
+    /// After a successful registration the owner reads exclusively through
+    /// [`try_read`](Stream::try_read), draining to
+    /// [`TryRead::WouldBlock`] on every wake — wakes may be edge-triggered.
+    fn poll_register(&mut self, readiness: Readiness) -> bool {
+        let _ = readiness;
+        false
+    }
+
+    /// Non-blocking read: returns immediately with data, EOF, or
+    /// [`TryRead::WouldBlock`].
+    ///
+    /// Only meaningful after [`poll_register`](Stream::poll_register)
+    /// returned `true` (or on transports that are intrinsically
+    /// non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`read`](Stream::read); an unsupported
+    /// transport reports [`NetError::Io`] with `ErrorKind::Unsupported`.
+    fn try_read(&mut self, buf: &mut [u8]) -> Result<TryRead> {
+        let _ = buf;
+        Err(NetError::Io(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "stream does not support non-blocking reads",
         )))
     }
 
@@ -138,5 +171,11 @@ impl Stream for Box<dyn Stream> {
     }
     fn try_clone(&self) -> Result<BoxStream> {
         (**self).try_clone()
+    }
+    fn poll_register(&mut self, readiness: Readiness) -> bool {
+        (**self).poll_register(readiness)
+    }
+    fn try_read(&mut self, buf: &mut [u8]) -> Result<TryRead> {
+        (**self).try_read(buf)
     }
 }

@@ -2,7 +2,8 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::time::Duration;
 
-use crate::{BoxListener, BoxStream, Listener, Network, Result, ServiceAddr, Stream};
+use crate::poll::{Readiness, TryRead};
+use crate::{BoxListener, BoxStream, Listener, NetError, Network, Result, ServiceAddr, Stream};
 
 /// A [`Network`] backed by the operating system's TCP stack.
 ///
@@ -46,6 +47,9 @@ impl TcpNet {
 struct TcpConn {
     inner: TcpStream,
     peer: String,
+    /// Set once the socket has been switched to non-blocking for reactor
+    /// use; `write_all` then has to ride out `WouldBlock` itself.
+    nonblocking: bool,
 }
 
 impl Stream for TcpConn {
@@ -54,6 +58,34 @@ impl Stream for TcpConn {
     }
 
     fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        if !self.nonblocking {
+            return Ok(self.inner.write_all(buf)?);
+        }
+        // Non-blocking socket: a full kernel send buffer surfaces as
+        // WouldBlock; park in a one-shot poll(2) until writable. Reactor
+        // sessions write merged responses inline, so this bounds the stall
+        // to genuine peer backpressure.
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let mut rest = buf;
+            while !rest.is_empty() {
+                match self.inner.write(rest) {
+                    Ok(0) => return Err(NetError::Closed),
+                    Ok(n) => rest = rest.get(n..).unwrap_or(&[]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        crate::poll::wait_writable(
+                            self.inner.as_raw_fd(),
+                            Duration::from_secs(30),
+                        )?;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
         Ok(self.inner.write_all(buf)?)
     }
 
@@ -74,7 +106,33 @@ impl Stream for TcpConn {
         Ok(Box::new(TcpConn {
             inner,
             peer: self.peer.clone(),
+            nonblocking: self.nonblocking,
         }))
+    }
+
+    #[cfg(unix)]
+    fn poll_register(&mut self, readiness: Readiness) -> bool {
+        use std::os::unix::io::AsRawFd;
+        if self.inner.set_nonblocking(true).is_err() {
+            return false;
+        }
+        self.nonblocking = true;
+        readiness.register_fd(self.inner.as_raw_fd());
+        true
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> Result<TryRead> {
+        match self.inner.read(buf) {
+            Ok(0) => Ok(TryRead::Eof),
+            Ok(n) => Ok(TryRead::Data(n)),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                Ok(TryRead::WouldBlock)
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -90,6 +148,7 @@ impl Listener for TcpAcceptor {
         Ok(Box::new(TcpConn {
             inner: stream,
             peer: peer.to_string(),
+            nonblocking: false,
         }))
     }
 
@@ -115,6 +174,7 @@ impl Network for TcpNet {
         Ok(Box::new(TcpConn {
             inner: stream,
             peer,
+            nonblocking: false,
         }))
     }
 }

@@ -243,6 +243,8 @@ impl VDisk {
             let seq = f.fsync_seq;
             f.fsync_seq += 1;
             drop(state);
+            // `state` was dropped above: the fault-plan lock is consulted
+            // unnested. rddr-analyze: allow(lock-order)
             self.faults.lost_fsync(&self.name, file, seq)
         };
         let mut state = self.state.lock();

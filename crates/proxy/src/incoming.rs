@@ -2,18 +2,21 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use crossbeam::channel::{unbounded, Sender};
-use rddr_core::{Direction, EngineConfig, NVersionEngine, RddrError, INTERVENTION_PAGE};
-use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
+use rddr_core::{
+    DegradePolicy, Direction, EngineConfig, Frame, NVersionEngine, Protocol, RddrError,
+    INTERVENTION_PAGE,
+};
+use rddr_net::{BoxStream, Network, ServiceAddr, Stream, TryRead};
 use rddr_telemetry::Span;
 
 use crate::plumbing::{
-    below_survivor_floor, eject_instance, fault_instance, quarantine_instance, spawn_reader,
-    DegradedTelemetry, InstanceEvent, ProxyTelemetry, Roster,
+    below_survivor_floor, eject_instance, fault_instance, quarantine_instance, DegradedTelemetry,
+    ProxyTelemetry, Roster,
 };
+use crate::reactor::{default_workers, Ctx, Flow, ReactorPool, SessionTask, SLOT_PRIMARY};
 use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
 
 /// Per-session handles to the shared telemetry bundle: the latency series
@@ -55,14 +58,21 @@ impl SessionTelemetry {
 /// protected microservice; every request is replicated to the N instances
 /// and their responses are diffed (Figure 2, top half).
 ///
+/// Sessions run as state machines on a shared [`ReactorPool`] of O(cores)
+/// worker threads — only the accept loop keeps a thread of its own, so
+/// thread count stays flat as concurrent client sessions grow.
+///
 /// Start with [`IncomingProxy::start`]; the returned handle owns the accept
-/// loop and stops it on drop.
+/// loop and the reactor pool, and stops both on drop.
 pub struct IncomingProxy {
     listen_addr: ServiceAddr,
     stats: Arc<ProxyStats>,
     stop: Arc<AtomicBool>,
     unbind: Box<dyn Fn() + Send + Sync>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Dropped (tearing down any in-flight sessions) after the accept loop
+    /// has been joined.
+    pool: Option<Arc<ReactorPool>>,
 }
 
 impl std::fmt::Debug for IncomingProxy {
@@ -95,7 +105,9 @@ impl IncomingProxy {
     /// Like [`IncomingProxy::start`], but every session's engine feeds the
     /// shared [`ProxyTelemetry`] bundle: exchange/divergence counters and
     /// fan-out/merge latency histograms go to its registry (metric names
-    /// under `{prefix}_in_*`), divergence incidents to its audit log.
+    /// under `{prefix}_in_*`), divergence incidents to its audit log, and
+    /// the reactor exports its worker/session gauges under
+    /// `{prefix}_in_reactor_*`.
     pub fn start_with_telemetry(
         net: Arc<dyn Network>,
         listen: &ServiceAddr,
@@ -116,11 +128,26 @@ impl IncomingProxy {
         let bound = listener.local_addr();
         let stats = Arc::new(ProxyStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let pool = {
+            let reactor_telemetry = telemetry
+                .as_ref()
+                .map(|t| (t.registry.as_ref(), format!("{}_in", t.prefix)));
+            Arc::new(
+                ReactorPool::new(
+                    "in",
+                    default_workers(),
+                    reactor_telemetry.as_ref().map(|(r, s)| (*r, s.as_str())),
+                )
+                .map_err(ProxyError::Spawn)?,
+            )
+        };
         let session_telemetry = telemetry.map(SessionTelemetry::new);
 
         let session_stats = Arc::clone(&stats);
         let session_stop = Arc::clone(&stop);
         let session_net = Arc::clone(&net);
+        let session_pool = Arc::clone(&pool);
+        let instances = Arc::new(instances);
         let accept_thread = std::thread::Builder::new()
             .name(format!("rddr-in-{listen}"))
             .spawn(move || {
@@ -132,19 +159,17 @@ impl IncomingProxy {
                         break;
                     }
                     session_stats.sessions.fetch_add(1, Ordering::Relaxed);
-                    let net = Arc::clone(&session_net);
-                    let instances = instances.clone();
-                    let config = config.clone();
-                    let protocol = Arc::clone(&protocol);
-                    let stats = Arc::clone(&session_stats);
-                    let telemetry = session_telemetry.clone();
-                    let spawned = std::thread::Builder::new()
-                        .name("rddr-in-session".into())
-                        .spawn(move || {
-                            run_session(client, net, &instances, config, protocol, stats, telemetry)
-                        });
-                    if spawned.is_err() {
-                        // Thread exhaustion: the dropped closure closes the
+                    let task = InSession::new(
+                        client,
+                        Arc::clone(&session_net),
+                        Arc::clone(&instances),
+                        config.clone(),
+                        &protocol,
+                        Arc::clone(&session_stats),
+                        session_telemetry.clone(),
+                    );
+                    if !session_pool.submit(Box::new(task)) {
+                        // Pool shutting down: the dropped task closes the
                         // client connection — a severed session, not a
                         // crashed accept loop.
                         session_stats.severed.fetch_add(1, Ordering::Relaxed);
@@ -168,6 +193,7 @@ impl IncomingProxy {
                 }
             }),
             accept_thread: Some(accept_thread),
+            pool: Some(pool),
         })
     }
 
@@ -181,7 +207,13 @@ impl IncomingProxy {
         self.stats.snapshot()
     }
 
+    /// Number of reactor workers serving this proxy's sessions.
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.worker_count())
+    }
+
     /// Stops accepting new sessions and unbinds the listen address.
+    /// In-flight sessions keep running until the proxy is dropped.
     pub fn stop(&mut self) {
         if !self.stop.swap(true, Ordering::Relaxed) {
             (self.unbind)();
@@ -195,476 +227,709 @@ impl IncomingProxy {
 impl Drop for IncomingProxy {
     fn drop(&mut self) {
         self.stop();
+        // Accept loop is down; dropping the pool tears down live sessions.
+        self.pool.take();
     }
 }
 
-fn run_session(
-    mut client: BoxStream,
+/// Where an incoming session currently is in its exchange cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InState {
+    /// Reading client bytes until at least one complete request frame.
+    Gather,
+    /// A batch is fanned out; merging instance responses unit by unit.
+    Merge,
+}
+
+/// What one state-machine transition asks the step driver to do next.
+enum Advance {
+    /// Re-run the state machine immediately (state changed, or buffered
+    /// data may complete the next unit without a fresh wake).
+    Again,
+    /// Park until the next wake (readiness or timer).
+    Park,
+    /// Session over.
+    Finish,
+}
+
+/// One client session of the incoming proxy, driven by the reactor.
+///
+/// The state machine mirrors the old per-session thread loop exactly:
+/// `Gather` is the blocking client `read` loop, `Merge` is the per-unit
+/// `recv_timeout` merge loop — with waits replaced by poller parks and the
+/// per-instance reader threads replaced by draining `try_read` on every
+/// wake. Data arriving "early" (before its unit starts merging) is pushed
+/// straight into the engine, which buffers it just as the reader channel
+/// used to.
+struct InSession {
+    client: BoxStream,
+    client_open: bool,
     net: Arc<dyn Network>,
-    instances: &[ServiceAddr],
-    config: EngineConfig,
-    protocol: ProtocolFactory,
+    instances: Arc<Vec<ServiceAddr>>,
+    deadline: Duration,
+    degrade: DegradePolicy,
+    instance_deadline: Option<Duration>,
+    is_http: bool,
+    engine: NVersionEngine,
+    request_protocol: Box<dyn Protocol>,
+    roster: Roster,
     stats: Arc<ProxyStats>,
     telemetry: Option<SessionTelemetry>,
-) {
-    let deadline = config.response_deadline();
-    let degrade = config.degrade();
-    let instance_deadline = config.instance_deadline();
-    let mut engine = NVersionEngine::from_boxed(config, protocol());
-    if let Some(t) = &telemetry {
-        engine = engine.with_telemetry(
-            Arc::clone(&t.shared.registry),
-            &format!("{}_in", t.shared.prefix),
-            Some(Arc::clone(&t.shared.audit)),
+    degraded: Option<Arc<DegradedTelemetry>>,
+
+    state: InState,
+    request_buf: BytesMut,
+    request_frames: Vec<Frame>,
+    next_frame: usize,
+    pipelined: bool,
+
+    // Per-batch state (valid while `state == Merge`).
+    exchange_start: Instant,
+    span: Option<Arc<Span>>,
+    throttled_stop: bool,
+    hard_stop: bool,
+    units: usize,
+    units_done: usize,
+    forward_buf: Vec<u8>,
+    fanout_bufs: Vec<Vec<u8>>,
+
+    // Per-unit merge state.
+    t0: Instant,
+    failed: Vec<bool>,
+    first_complete: Option<Instant>,
+
+    // Instance EOFs observed during a drain, awaiting processing at the
+    // thread-model-equivalent point (the merge loop).
+    pending_close: Vec<bool>,
+    closed_seen: Vec<bool>,
+}
+
+impl InSession {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        client: BoxStream,
+        net: Arc<dyn Network>,
+        instances: Arc<Vec<ServiceAddr>>,
+        config: EngineConfig,
+        protocol: &ProtocolFactory,
+        stats: Arc<ProxyStats>,
+        telemetry: Option<SessionTelemetry>,
+    ) -> Self {
+        let deadline = config.response_deadline();
+        let degrade = config.degrade();
+        let instance_deadline = config.instance_deadline();
+        let mut engine = NVersionEngine::from_boxed(config, protocol());
+        if let Some(t) = &telemetry {
+            engine = engine.with_telemetry(
+                Arc::clone(&t.shared.registry),
+                &format!("{}_in", t.shared.prefix),
+                Some(Arc::clone(&t.shared.audit)),
+            );
+        }
+        let degraded = telemetry.as_ref().map(|t| Arc::clone(&t.degraded));
+        let request_protocol = protocol();
+        let is_http = request_protocol.name() == "http";
+        let n = instances.len();
+        InSession {
+            client,
+            client_open: true,
+            net,
+            instances,
+            deadline,
+            degrade,
+            instance_deadline,
+            is_http,
+            engine,
+            request_protocol,
+            roster: Roster::new(n),
+            stats,
+            telemetry,
+            degraded,
+            state: InState::Gather,
+            request_buf: BytesMut::new(),
+            request_frames: Vec::new(),
+            next_frame: 0,
+            pipelined: false,
+            exchange_start: Instant::now(),
+            span: None,
+            throttled_stop: false,
+            hard_stop: false,
+            units: 0,
+            units_done: 0,
+            forward_buf: Vec::new(),
+            fanout_bufs: (0..n).map(|_| Vec::new()).collect(),
+            t0: Instant::now(),
+            failed: vec![false; n],
+            first_complete: None,
+            pending_close: vec![false; n],
+            closed_seen: vec![false; n],
+        }
+    }
+
+    /// Routes an instance fault through the degrade policy, deregistering
+    /// its readiness token first when the stream will leave the roster.
+    fn fault(&mut self, i: usize, ctx: &Ctx<'_>) {
+        if self.degrade.ejects() {
+            ctx.deregister(i as u64);
+        }
+        fault_instance(
+            i,
+            self.degrade,
+            &mut self.engine,
+            &mut self.roster,
+            &mut self.failed,
+            &self.stats,
+            self.degraded.as_deref(),
         );
     }
-    let degraded = telemetry.as_ref().map(|t| Arc::clone(&t.degraded));
-    let request_protocol = protocol();
-    let is_http = request_protocol.name() == "http";
 
-    // Dial every instance. Under the default sever policy any unreachable
-    // instance aborts the whole session; under an eject policy it is ejected
-    // and the session starts degraded, as long as enough survivors remain.
-    let mut roster = Roster::new(instances.len());
-    let (events_tx, events_rx) = unbounded();
-    let mut aborted = false;
-    for (i, addr) in instances.iter().enumerate() {
-        let attached = net.dial(addr).ok().and_then(|conn| {
-            let reader = conn.try_clone().ok()?;
-            spawn_reader(i, roster.epoch(i), reader, events_tx.clone(), "in").ok()?;
-            Some(conn)
-        });
-        match attached {
-            Some(conn) => {
-                if let Some(slot) = roster.writers.get_mut(i) {
-                    *slot = Some(conn);
+    fn eject(&mut self, i: usize, ctx: &Ctx<'_>) {
+        ctx.deregister(i as u64);
+        eject_instance(
+            i,
+            &mut self.engine,
+            &mut self.roster,
+            &self.stats,
+            self.degraded.as_deref(),
+        );
+    }
+
+    fn quarantine(&mut self, i: usize, ctx: &Ctx<'_>) {
+        ctx.deregister(i as u64);
+        quarantine_instance(
+            i,
+            &mut self.engine,
+            &mut self.roster,
+            &self.stats,
+            self.degraded.as_deref(),
+        );
+    }
+
+    /// Drains every *woken* stream to `WouldBlock`: client bytes into the
+    /// request buffer, instance bytes into the engine. EOFs are recorded
+    /// (`pending_close`) and their tokens deregistered, but close handling
+    /// is deferred to the merge step. Streams that did not wake are left
+    /// alone — every arrival produces a slot wake, so nothing is missed.
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        if self.client_open && ctx.woken.contains(&SLOT_PRIMARY) {
+            loop {
+                let res = self.client.try_read(ctx.scratch);
+                match res {
+                    Ok(TryRead::Data(n)) => {
+                        if let Some(read) = ctx.scratch.get(..n) {
+                            self.request_buf.extend_from_slice(read);
+                        }
+                    }
+                    Ok(TryRead::WouldBlock) => break,
+                    Ok(TryRead::Eof) | Err(_) => {
+                        self.client_open = false;
+                        ctx.deregister(SLOT_PRIMARY);
+                        break;
+                    }
                 }
             }
-            None if degrade.ejects() => {
-                eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+        }
+        let merging = self.state == InState::Merge;
+        for &slot in ctx.woken {
+            let i = slot as usize;
+            if i >= self.roster.writers.len() || self.closed_seen.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            loop {
+                let res = {
+                    let Some(conn) = self.roster.writers.get_mut(i).and_then(|s| s.as_mut()) else {
+                        break;
+                    };
+                    conn.try_read(ctx.scratch)
+                };
+                match res {
+                    Ok(TryRead::Data(n)) => {
+                        if merging {
+                            if let Some(t) = &self.telemetry {
+                                t.instance_us.record_duration(self.t0.elapsed());
+                                if let Some(span) = &self.span {
+                                    span.event(format!("instance:{i}:data"));
+                                }
+                            }
+                        }
+                        let pushed = match ctx.scratch.get(..n) {
+                            Some(read) => self.engine.push_response(i, read),
+                            None => Err(RddrError::Protocol("scratch underflow".into())),
+                        };
+                        if pushed.is_err() {
+                            self.fault(i, ctx);
+                            break;
+                        }
+                        if merging
+                            && self.first_complete.is_none()
+                            && self.engine.instance_complete(i)
+                        {
+                            self.first_complete = Some(Instant::now());
+                        }
+                    }
+                    Ok(TryRead::WouldBlock) => break,
+                    Ok(TryRead::Eof) | Err(_) => {
+                        // Observed here, processed in the merge step — and
+                        // deregistered now so a closed fd can't spin the
+                        // poller.
+                        ctx.deregister(i as u64);
+                        if let Some(p) = self.pending_close.get_mut(i) {
+                            *p = true;
+                        }
+                        if let Some(c) = self.closed_seen.get_mut(i) {
+                            *c = true;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Gather`: split complete request frames out of the buffer and start
+    /// the next fan-out window, or park until more client bytes arrive.
+    fn gather(&mut self, ctx: &mut Ctx<'_>) -> Advance {
+        if self.next_frame < self.request_frames.len() {
+            return self.start_window(ctx);
+        }
+        match self
+            .request_protocol
+            .split_frames(&mut self.request_buf, Direction::Request)
+        {
+            Ok(frames) if !frames.is_empty() => {
+                self.pipelined = frames.len() > 1 && self.request_protocol.supports_pipelining();
+                self.request_frames = frames;
+                self.next_frame = 0;
+                self.start_window(ctx)
+            }
+            Ok(_) => {
+                if !self.client_open {
+                    return Advance::Finish;
+                }
+                Advance::Park
+            }
+            Err(_) => Advance::Finish,
+        }
+    }
+
+    /// Replicates and fans out the next window of buffered request frames,
+    /// then enters `Merge`. Mirrors the batch preamble of the old session
+    /// loop: rejoin probes, span, throttle clamp, replicate, fan-out.
+    fn start_window(&mut self, ctx: &mut Ctx<'_>) -> Advance {
+        // Once the signature throttle has recorded a divergence the batch
+        // depth clamps to one frame: every frame then meets a fully
+        // up-to-date throttle instead of the lagging whole-batch check.
+        let batch_end = if self.pipelined && !self.engine.session().throttle_engaged() {
+            self.request_frames.len()
+        } else {
+            self.next_frame + 1
+        };
+
+        // A replica ejected in an earlier exchange gets a rejoin probe
+        // before each new batch: a successful re-dial readmits it.
+        if self.degrade.ejects() && self.engine.active_count() < self.instances.len() {
+            self.attempt_rejoins(ctx);
+        }
+
+        // One span per batch: it travels into the engine, shows up in any
+        // divergence audit record, and times the proxy's own phases.
+        self.exchange_start = Instant::now();
+        self.span = self
+            .telemetry
+            .as_ref()
+            .map(|_| Arc::new(Span::start("exchange")));
+        if let Some(span) = &self.span {
+            self.engine.set_span(Arc::clone(span));
+        }
+
+        // Replicate every frame of the batch up front. The signature
+        // throttle is consulted per frame at fan-out time; a throttled
+        // frame severs the session once the units already on the wire have
+        // been answered.
+        let mut unit_copies: Vec<Vec<rddr_core::RequestCopy>> = Vec::new();
+        self.throttled_stop = false;
+        self.hard_stop = false;
+        let Some(batch) = self.request_frames.get(self.next_frame..batch_end) else {
+            return Advance::Finish;
+        };
+        self.next_frame = batch_end;
+        let mut replicated: Vec<&Frame> = Vec::with_capacity(batch.len());
+        replicated.extend(batch.iter());
+        for frame in replicated {
+            match self.engine.replicate_request(&frame.bytes) {
+                Ok(copies) => unit_copies.push(copies),
+                Err(RddrError::Throttled) => {
+                    self.stats.throttled.fetch_add(1, Ordering::Relaxed);
+                    self.throttled_stop = true;
+                    break;
+                }
+                Err(_) => {
+                    self.hard_stop = true;
+                    break;
+                }
+            }
+        }
+        if unit_copies.is_empty() {
+            if self.throttled_stop {
+                self.sever();
+            }
+            return Advance::Finish;
+        }
+
+        // Fan out: one write per instance covering the whole batch.
+        let fanout_start = Instant::now();
+        let mut fanout_failed: Vec<usize> = Vec::new();
+        if let [copies] = unit_copies.as_slice() {
+            for (i, (slot, copy)) in self.roster.writers.iter_mut().zip(copies).enumerate() {
+                let Some(writer) = slot else {
+                    continue;
+                };
+                if writer.write_all(copy).is_err() {
+                    fanout_failed.push(i);
+                }
+            }
+        } else {
+            for (i, (slot, buf)) in self
+                .roster
+                .writers
+                .iter_mut()
+                .zip(self.fanout_bufs.iter_mut())
+                .enumerate()
+            {
+                let Some(writer) = slot else {
+                    continue;
+                };
+                buf.clear();
+                for copies in &unit_copies {
+                    if let Some(copy) = copies.get(i) {
+                        buf.extend_from_slice(copy);
+                    }
+                }
+                if writer.write_all(buf).is_err() {
+                    fanout_failed.push(i);
+                }
+            }
+        }
+        for i in fanout_failed {
+            if !self.degrade.ejects() {
+                self.sever();
+                return Advance::Finish;
+            }
+            self.eject(i, ctx);
+        }
+        if let Some(t) = &self.telemetry {
+            t.fanout_us.record_duration(fanout_start.elapsed());
+            if let Some(span) = &self.span {
+                span.event("fanout:done");
+            }
+        }
+
+        self.units = unit_copies.len();
+        self.units_done = 0;
+        self.forward_buf.clear();
+        self.state = InState::Merge;
+        self.begin_unit();
+        Advance::Again
+    }
+
+    /// Resets per-unit merge state (the top of the old per-unit loop).
+    fn begin_unit(&mut self) {
+        self.t0 = Instant::now();
+        self.failed.iter_mut().for_each(|f| *f = false);
+        self.first_complete = None;
+    }
+
+    /// `Merge`: the wait-loop plus completion of one exchange unit. Runs the
+    /// same checks the old `recv_timeout` loop ran — on data wakes, close
+    /// processing, and timer fires alike.
+    fn merge(&mut self, ctx: &mut Ctx<'_>) -> Advance {
+        // Deferred instance closes: processed exactly where the thread
+        // model consumed its `Closed` events.
+        for i in 0..self.pending_close.len() {
+            if !self.pending_close.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some(p) = self.pending_close.get_mut(i) {
+                *p = false;
+            }
+            if !self.engine.is_active(i) {
+                continue;
+            }
+            if let Some(span) = &self.span {
+                span.event(format!("instance:{i}:closed"));
+            }
+            self.fault(i, ctx);
+        }
+
+        // Under the sever policy a session whose every instance has faulted
+        // has nothing left to wait for: evaluate immediately (the diff over
+        // the failure markers severs it), as the thread loop did when the
+        // last `Closed` event arrived.
+        let all_failed = !self.degrade.ejects() && self.failed.iter().all(|&f| f);
+
+        // Wait-loop equivalent: park (with a deadline timer) while the unit
+        // is incomplete and time remains.
+        if !(all_failed || self.engine.exchange_ready() || self.engine.active_count() == 0) {
+            let mut wait = self.deadline.saturating_sub(self.t0.elapsed());
+            if !wait.is_zero() {
+                let mut straggler_fired = false;
+                if let (Some(limit), Some(first)) = (self.instance_deadline, self.first_complete) {
+                    let straggler = limit.saturating_sub(first.elapsed());
+                    if straggler.is_zero() {
+                        // Straggler deadline: every incomplete live instance
+                        // is now treated as faulted.
+                        for i in 0..self.instances.len() {
+                            if self.engine.is_active(i) && !self.engine.instance_complete(i) {
+                                self.fault(i, ctx);
+                            }
+                        }
+                        straggler_fired = true;
+                    } else {
+                        wait = wait.min(straggler);
+                    }
+                }
+                if !straggler_fired {
+                    ctx.set_timer(wait);
+                    return Advance::Park;
+                }
+            }
+            // Overall deadline passed (or stragglers faulted): fall through
+            // to completion with whatever arrived.
+        }
+
+        // Completion (the code after the old wait loop).
+        ctx.clear_timer();
+        if let Some(t) = &self.telemetry {
+            t.merge_us.record_duration(self.t0.elapsed());
+        }
+        // Anything still incomplete at the overall deadline is faulted too:
+        // ejected in degraded mode, left for the diff to flag under sever.
+        if self.degrade.ejects() && !self.engine.exchange_ready() {
+            for i in 0..self.instances.len() {
+                if self.engine.is_active(i) && !self.engine.instance_complete(i) {
+                    self.eject(i, ctx);
+                }
+            }
+        }
+        // Survivor floor: diffing needs at least two live instances.
+        if below_survivor_floor(self.engine.active_count(), self.degrade) {
+            self.stats.severed.fetch_add(1, Ordering::Relaxed);
+            self.flush_forwards();
+            self.sever();
+            return Advance::Finish;
+        }
+        if self.engine.active_count() == 1 {
+            // Lone-survivor pass-through: the exchange is answered
+            // unchecked and counted as a warning.
+            self.stats.pass_through.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.degraded.as_deref() {
+                t.pass_through.inc();
+            }
+        }
+        // De-noise + Diff + Respond. Pipelined batches consume one exchange
+        // unit per pass; the classic path takes everything buffered, so a
+        // surplus frame still diffs against the exchange that provoked it.
+        let finished = if self.pipelined {
+            self.engine.finish_exchange_unit()
+        } else {
+            self.engine.finish_exchange()
+        };
+        let outcome = match finished {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                self.flush_forwards();
+                self.sever();
+                return Advance::Finish;
+            }
+        };
+        self.stats.exchanges.fetch_add(1, Ordering::Relaxed);
+        if outcome.report.diverged() {
+            self.stats.divergences.fetch_add(1, Ordering::Relaxed);
+        }
+        // Quorum voting: instances outvoted by the winning group are
+        // quarantined (eligible for a rejoin probe next exchange).
+        for &i in &outcome.quarantined {
+            self.quarantine(i, ctx);
+        }
+        if let Some(t) = &self.telemetry {
+            t.exchange_us.record_duration(self.exchange_start.elapsed());
+        }
+        match outcome.forward {
+            Some(bytes) => {
+                // Forwards for a batch accumulate and reach the client in
+                // one write once every unit is answered.
+                self.forward_buf.extend_from_slice(&bytes);
             }
             None => {
-                aborted = true;
-                break;
+                self.stats.severed.fetch_add(1, Ordering::Relaxed);
+                self.flush_forwards();
+                self.sever();
+                return Advance::Finish;
             }
         }
-    }
-    if !aborted && below_survivor_floor(engine.active_count(), degrade) {
-        aborted = true;
+        self.units_done += 1;
+        if self.units_done < self.units {
+            self.begin_unit();
+            // Data for the next unit may already be buffered in the engine.
+            return Advance::Again;
+        }
+
+        // Batch complete: flush forwards, then back to gathering (or stop).
+        if !self.forward_buf.is_empty() {
+            let flushed = self.client.write_all(&self.forward_buf);
+            self.forward_buf.clear();
+            if flushed.is_err() {
+                return Advance::Finish;
+            }
+        }
+        if self.throttled_stop {
+            self.sever();
+            return Advance::Finish;
+        }
+        if self.hard_stop {
+            return Advance::Finish;
+        }
+        self.state = InState::Gather;
+        Advance::Again
     }
 
-    let mut request_buf = BytesMut::new();
-    let mut chunk = [0u8; 16 * 1024];
-    // Scratch reused across the whole session: per-instance fan-out buffers
-    // for batched writes, accumulated forward bytes for the client, and the
-    // per-unit failure flags.
-    let mut fanout_bufs: Vec<Vec<u8>> = (0..instances.len()).map(|_| Vec::new()).collect();
-    let mut forward_buf: Vec<u8> = Vec::new();
-    let mut failed = vec![false; instances.len()];
-    'serve: {
-        if aborted {
-            break 'serve;
-        }
-        'session: loop {
-            // Read from the client until at least one complete request frame.
-            let request_frames = loop {
-                match request_protocol.split_frames(&mut request_buf, Direction::Request) {
-                    Ok(frames) if !frames.is_empty() => break frames,
-                    Ok(_) => {}
-                    Err(_) => break 'session,
-                }
-                match client.read(&mut chunk) {
-                    Ok(0) | Err(_) => break 'session,
-                    Ok(n) => {
-                        let Some(read) = chunk.get(..n) else {
-                            break 'session;
-                        };
-                        request_buf.extend_from_slice(read);
-                    }
-                }
+    /// Probes every ejected instance once: a successful re-dial plus
+    /// readiness registration is the warm-up check that readmits the
+    /// replica into the diff set.
+    fn attempt_rejoins(&mut self, ctx: &mut Ctx<'_>) {
+        let instances = Arc::clone(&self.instances);
+        for (i, addr) in instances.iter().enumerate() {
+            if self.engine.is_active(i) {
+                continue;
+            }
+            let Ok(mut conn) = self.net.dial(addr) else {
+                continue;
             };
-
-            // Pipelining-capable protocols (strict 1:1 framing, no ephemeral
-            // capture) fan out every buffered request frame in one write per
-            // instance and evaluate responses unit by unit; everything else
-            // runs the classic one-frame-per-cycle path.
-            let pipelined = request_frames.len() > 1 && request_protocol.supports_pipelining();
-            let mut next_frame = 0;
-            while next_frame < request_frames.len() {
-                // Once the signature throttle has recorded a divergence the
-                // batch depth clamps to one frame: every frame then meets a
-                // fully up-to-date throttle instead of the lagging
-                // whole-batch check (the PR-introducing caveat in
-                // DESIGN.md's pipelined-batching note).
-                let batch_end = if pipelined && !engine.session().throttle_engaged() {
-                    request_frames.len()
-                } else {
-                    next_frame + 1
-                };
-                let Some(batch) = request_frames.get(next_frame..batch_end) else {
-                    break 'session;
-                };
-                next_frame = batch_end;
-
-                // A replica ejected in an earlier exchange gets a rejoin
-                // probe before each new batch: a successful re-dial readmits
-                // it into the diff set.
-                if degrade.ejects() && engine.active_count() < instances.len() {
-                    attempt_rejoins(
-                        &net,
-                        instances,
-                        &mut engine,
-                        &mut roster,
-                        &events_tx,
-                        &stats,
-                        degraded.as_deref(),
-                    );
-                }
-
-                // One span per batch: it travels into the engine, shows up
-                // in any divergence audit record, and times the proxy's own
-                // phases.
-                let exchange_start = Instant::now();
-                let span = telemetry
-                    .as_ref()
-                    .map(|_| Arc::new(Span::start("exchange")));
-                if let Some(span) = &span {
-                    engine.set_span(Arc::clone(span));
-                }
-
-                // Replicate every frame of the batch up front. The signature
-                // throttle is consulted per frame at fan-out time; a
-                // throttled frame severs the session once the units already
-                // on the wire have been answered (the throttle state lags
-                // within a batch — see DESIGN.md).
-                let mut unit_copies: Vec<Vec<rddr_core::RequestCopy>> =
-                    Vec::with_capacity(batch.len());
-                let mut throttled_stop = false;
-                let mut hard_stop = false;
-                for frame in batch {
-                    match engine.replicate_request(&frame.bytes) {
-                        Ok(copies) => unit_copies.push(copies),
-                        Err(RddrError::Throttled) => {
-                            stats.throttled.fetch_add(1, Ordering::Relaxed);
-                            throttled_stop = true;
-                            break;
-                        }
-                        Err(_) => {
-                            hard_stop = true;
-                            break;
-                        }
-                    }
-                }
-                if unit_copies.is_empty() {
-                    if throttled_stop {
-                        sever(&mut client, &mut roster, is_http);
-                    }
-                    break 'session;
-                }
-
-                // Fan out: one write per instance covering the whole batch.
-                let fanout_start = Instant::now();
-                let mut fanout_failed: Vec<usize> = Vec::new();
-                if let [copies] = unit_copies.as_slice() {
-                    for (i, (slot, copy)) in roster.writers.iter_mut().zip(copies).enumerate() {
-                        let Some(writer) = slot else {
-                            continue;
-                        };
-                        if writer.write_all(copy).is_err() {
-                            fanout_failed.push(i);
-                        }
-                    }
-                } else {
-                    for (i, (slot, buf)) in roster
-                        .writers
-                        .iter_mut()
-                        .zip(fanout_bufs.iter_mut())
-                        .enumerate()
-                    {
-                        let Some(writer) = slot else {
-                            continue;
-                        };
-                        buf.clear();
-                        for copies in &unit_copies {
-                            if let Some(copy) = copies.get(i) {
-                                buf.extend_from_slice(copy);
-                            }
-                        }
-                        if writer.write_all(buf).is_err() {
-                            fanout_failed.push(i);
-                        }
-                    }
-                }
-                for i in fanout_failed {
-                    if !degrade.ejects() {
-                        sever(&mut client, &mut roster, is_http);
-                        break 'session;
-                    }
-                    eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
-                }
-                if let Some(t) = &telemetry {
-                    t.fanout_us.record_duration(fanout_start.elapsed());
-                    if let Some(span) = &span {
-                        span.event("fanout:done");
-                    }
-                }
-
-                let units = unit_copies.len();
-                forward_buf.clear();
-                for _unit in 0..units {
-                    // Collect responses until every live instance completes or a
-                    // deadline passes (the paper's DoS timeout, §IV-D). The
-                    // per-instance straggler deadline starts counting when the
-                    // first instance finishes its exchange.
-                    let t0 = Instant::now();
-                    failed.iter_mut().for_each(|f| *f = false);
-                    let mut first_complete: Option<Instant> = None;
-                    loop {
-                        if engine.exchange_ready() || engine.active_count() == 0 {
-                            break;
-                        }
-                        let mut wait = deadline.saturating_sub(t0.elapsed());
-                        if wait.is_zero() {
-                            break;
-                        }
-                        if let (Some(limit), Some(first)) = (instance_deadline, first_complete) {
-                            let straggler = limit.saturating_sub(first.elapsed());
-                            if straggler.is_zero() {
-                                // Straggler deadline: every incomplete live
-                                // instance is now treated as faulted.
-                                for i in 0..instances.len() {
-                                    if engine.is_active(i) && !engine.instance_complete(i) {
-                                        fault_instance(
-                                            i,
-                                            degrade,
-                                            &mut engine,
-                                            &mut roster,
-                                            &mut failed,
-                                            &stats,
-                                            degraded.as_deref(),
-                                        );
-                                    }
-                                }
-                                break;
-                            }
-                            wait = wait.min(straggler);
-                        }
-                        match events_rx.recv_timeout(wait) {
-                            Ok(InstanceEvent::Data(i, epoch, data)) => {
-                                if !roster.current(i, epoch) {
-                                    continue; // stale pre-ejection reader
-                                }
-                                if let Some(t) = &telemetry {
-                                    t.instance_us.record_duration(t0.elapsed());
-                                    if let Some(span) = &span {
-                                        span.event(format!("instance:{i}:data"));
-                                    }
-                                }
-                                if engine.push_response(i, &data).is_err() {
-                                    fault_instance(
-                                        i,
-                                        degrade,
-                                        &mut engine,
-                                        &mut roster,
-                                        &mut failed,
-                                        &stats,
-                                        degraded.as_deref(),
-                                    );
-                                } else if first_complete.is_none() && engine.instance_complete(i) {
-                                    first_complete = Some(Instant::now());
-                                }
-                            }
-                            Ok(InstanceEvent::Closed(i, epoch)) => {
-                                if !roster.current(i, epoch) {
-                                    continue;
-                                }
-                                if let Some(span) = &span {
-                                    span.event(format!("instance:{i}:closed"));
-                                }
-                                fault_instance(
-                                    i,
-                                    degrade,
-                                    &mut engine,
-                                    &mut roster,
-                                    &mut failed,
-                                    &stats,
-                                    degraded.as_deref(),
-                                );
-                                if !degrade.ejects() && failed.iter().all(|&f| f) {
-                                    break;
-                                }
-                            }
-                            Err(_) => continue, // timeout: re-checked at loop top
-                        }
-                    }
-                    if let Some(t) = &telemetry {
-                        t.merge_us.record_duration(t0.elapsed());
-                    }
-                    // Anything still incomplete at the overall deadline is
-                    // faulted too: ejected in degraded mode, left for the diff
-                    // to flag as divergent (partial frames) under sever.
-                    if degrade.ejects() && !engine.exchange_ready() {
-                        for i in 0..instances.len() {
-                            if engine.is_active(i) && !engine.instance_complete(i) {
-                                eject_instance(
-                                    i,
-                                    &mut engine,
-                                    &mut roster,
-                                    &stats,
-                                    degraded.as_deref(),
-                                );
-                            }
-                        }
-                    }
-                    // Survivor floor: diffing needs at least two live instances.
-                    if below_survivor_floor(engine.active_count(), degrade) {
-                        stats.severed.fetch_add(1, Ordering::Relaxed);
-                        flush_forwards(&mut client, &mut forward_buf);
-                        sever(&mut client, &mut roster, is_http);
-                        break 'session;
-                    }
-                    if engine.active_count() == 1 {
-                        // Lone-survivor pass-through: the exchange is answered
-                        // unchecked and counted as a warning.
-                        stats.pass_through.fetch_add(1, Ordering::Relaxed);
-                        if let Some(t) = degraded.as_deref() {
-                            t.pass_through.inc();
-                        }
-                    }
-                    // De-noise + Diff + Respond. Pipelined batches consume one
-                    // exchange unit per pass; the classic path takes everything
-                    // buffered, so a surplus frame still diffs against the
-                    // exchange that provoked it.
-                    let finished = if pipelined {
-                        engine.finish_exchange_unit()
-                    } else {
-                        engine.finish_exchange()
-                    };
-                    let outcome = match finished {
-                        Ok(outcome) => outcome,
-                        Err(_) => {
-                            flush_forwards(&mut client, &mut forward_buf);
-                            sever(&mut client, &mut roster, is_http);
-                            break 'session;
-                        }
-                    };
-                    stats.exchanges.fetch_add(1, Ordering::Relaxed);
-                    if outcome.report.diverged() {
-                        stats.divergences.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // Quorum voting: instances outvoted by the winning group are
-                    // quarantined (eligible for a rejoin probe next exchange).
-                    for &i in &outcome.quarantined {
-                        quarantine_instance(
-                            i,
-                            &mut engine,
-                            &mut roster,
-                            &stats,
-                            degraded.as_deref(),
-                        );
-                    }
-                    if let Some(t) = &telemetry {
-                        t.exchange_us.record_duration(exchange_start.elapsed());
-                    }
-                    match outcome.forward {
-                        Some(bytes) => {
-                            // Forwards for a batch accumulate and reach the
-                            // client in one write once every unit is answered.
-                            forward_buf.extend_from_slice(&bytes);
-                        }
-                        None => {
-                            stats.severed.fetch_add(1, Ordering::Relaxed);
-                            flush_forwards(&mut client, &mut forward_buf);
-                            sever(&mut client, &mut roster, is_http);
-                            break 'session;
-                        }
-                    }
-                } // end per-unit loop
-                if !forward_buf.is_empty() {
-                    let flushed = client.write_all(&forward_buf);
-                    forward_buf.clear();
-                    if flushed.is_err() {
-                        break 'session;
-                    }
-                }
-                if throttled_stop {
-                    sever(&mut client, &mut roster, is_http);
-                    break 'session;
-                }
-                if hard_stop {
-                    break 'session;
-                }
+            if !ctx.register(&mut conn, i as u64) {
+                continue;
+            }
+            if let Some(p) = self.pending_close.get_mut(i) {
+                *p = false;
+            }
+            if let Some(c) = self.closed_seen.get_mut(i) {
+                *c = false;
+            }
+            if let Some(slot) = self.roster.writers.get_mut(i) {
+                *slot = Some(conn);
+            }
+            self.engine.readmit(i);
+            self.stats.rejoined.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.degraded.as_deref() {
+                t.rejoins.inc();
+                t.degraded_depth.add(-1);
             }
         }
     }
-    client.shutdown();
-    roster.shutdown_all();
-    // The gauge tracks currently-ejected instances; a session that ends
-    // while degraded returns its contribution.
-    if let Some(t) = degraded.as_deref() {
-        let depth = instances.len().saturating_sub(engine.active_count());
-        if depth > 0 {
-            t.degraded_depth.add(-(depth as i64));
+
+    /// Writes any accumulated batch forwards to the client before the
+    /// session is severed, so units answered ahead of a mid-batch sever
+    /// still reach the client in order.
+    fn flush_forwards(&mut self) {
+        if !self.forward_buf.is_empty() {
+            // Best-effort on a session being severed anyway; a failed write
+            // changes nothing. rddr-analyze: allow(error-swallow)
+            let _ = self.client.write_all(&self.forward_buf);
+            self.forward_buf.clear();
         }
+    }
+
+    /// Severs the session: optionally sends the HTTP intervention page, then
+    /// closes the client and all remaining instance connections.
+    fn sever(&mut self) {
+        if self.is_http {
+            // Best-effort courtesy page on a connection being severed
+            // anyway; a failed write changes nothing.
+            // rddr-analyze: allow(error-swallow)
+            let _ = self.client.write_all(INTERVENTION_PAGE.as_bytes());
+        }
+        self.client.shutdown();
+        self.roster.shutdown_all();
     }
 }
 
-/// Probes every ejected instance once: a successful re-dial plus reader
-/// spawn is the warm-up check that readmits the replica into the diff set.
-/// A failed probe leaves the instance ejected until the next exchange.
-fn attempt_rejoins(
-    net: &Arc<dyn Network>,
-    instances: &[ServiceAddr],
-    engine: &mut NVersionEngine,
-    roster: &mut Roster,
-    events_tx: &Sender<InstanceEvent>,
-    stats: &ProxyStats,
-    degraded: Option<&DegradedTelemetry>,
-) {
-    for (i, addr) in instances.iter().enumerate() {
-        if engine.is_active(i) {
-            continue;
+impl SessionTask for InSession {
+    fn init(&mut self, ctx: &mut Ctx<'_>) -> Flow {
+        // Dial every instance. Under the default sever policy any
+        // unreachable instance aborts the whole session; under an eject
+        // policy it is ejected and the session starts degraded, as long as
+        // enough survivors remain.
+        let instances = Arc::clone(&self.instances);
+        for (i, addr) in instances.iter().enumerate() {
+            match self.net.dial(addr) {
+                Ok(conn) => {
+                    if let Some(slot) = self.roster.writers.get_mut(i) {
+                        *slot = Some(conn);
+                    }
+                }
+                Err(_) if self.degrade.ejects() => self.eject(i, ctx),
+                Err(_) => return Flow::Done,
+            }
         }
-        let attached = net.dial(addr).ok().and_then(|conn| {
-            let reader = conn.try_clone().ok()?;
-            spawn_reader(i, roster.epoch(i), reader, events_tx.clone(), "in").ok()?;
-            Some(conn)
-        });
-        let Some(conn) = attached else {
-            continue;
-        };
-        if let Some(slot) = roster.writers.get_mut(i) {
-            *slot = Some(conn);
+        if below_survivor_floor(self.engine.active_count(), self.degrade) {
+            return Flow::Done;
         }
-        engine.readmit(i);
-        stats.rejoined.fetch_add(1, Ordering::Relaxed);
-        if let Some(t) = degraded {
-            t.rejoins.inc();
-            t.degraded_depth.add(-1);
+        if !ctx.register(&mut self.client, SLOT_PRIMARY) {
+            return Flow::Done;
         }
+        for i in 0..self.roster.writers.len() {
+            let registered = match self.roster.writers.get_mut(i).and_then(|s| s.as_mut()) {
+                Some(conn) => ctx.register(conn, i as u64),
+                None => true, // already ejected
+            };
+            if !registered {
+                if self.degrade.ejects() {
+                    self.eject(i, ctx);
+                } else {
+                    return Flow::Done;
+                }
+            }
+        }
+        if below_survivor_floor(self.engine.active_count(), self.degrade) {
+            return Flow::Done;
+        }
+        Flow::Continue
     }
-}
 
-/// Writes any accumulated batch forwards to the client before the session
-/// is torn down, so units answered ahead of a mid-batch sever still reach
-/// the client in order.
-fn flush_forwards(client: &mut BoxStream, forward_buf: &mut Vec<u8>) {
-    if !forward_buf.is_empty() {
-        // Best-effort on a session being severed anyway; a failed write
-        // changes nothing. rddr-analyze: allow(error-swallow)
-        let _ = client.write_all(forward_buf);
-        forward_buf.clear();
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Flow {
+        self.drain(ctx);
+        loop {
+            let advance = match self.state {
+                InState::Gather => self.gather(ctx),
+                InState::Merge => self.merge(ctx),
+            };
+            match advance {
+                Advance::Again => continue,
+                Advance::Park => return Flow::Continue,
+                Advance::Finish => return Flow::Done,
+            }
+        }
     }
-}
 
-/// Severs the session: optionally sends the HTTP intervention page, then
-/// closes the client and all remaining instance connections.
-fn sever(client: &mut BoxStream, roster: &mut Roster, is_http: bool) {
-    if is_http {
-        // Best-effort courtesy page on a connection being severed anyway; a
-        // failed write changes nothing. rddr-analyze: allow(error-swallow)
-        let _ = client.write_all(INTERVENTION_PAGE.as_bytes());
+    fn teardown(&mut self) {
+        self.client.shutdown();
+        self.roster.shutdown_all();
+        // The gauge tracks currently-ejected instances; a session that ends
+        // while degraded returns its contribution.
+        if let Some(t) = self.degraded.as_deref() {
+            let depth = self
+                .instances
+                .len()
+                .saturating_sub(self.engine.active_count());
+            if depth > 0 {
+                t.degraded_depth.add(-(depth as i64));
+            }
+        }
     }
-    client.shutdown();
-    roster.shutdown_all();
+
+    fn state_ordinal(&self) -> u64 {
+        match self.state {
+            InState::Gather => 0,
+            InState::Merge => 1,
+        }
+    }
 }

@@ -14,9 +14,12 @@
 //!   replicates the backend's answer to every instance. One outgoing proxy
 //!   is deployed per distinct downstream service.
 //!
-//! Both proxies are thread-per-connection (mirroring the paper's Python
-//! implementation) and transport-agnostic: they run over the in-memory
-//! [`rddr_net::SimNet`] or real TCP unchanged.
+//! Both proxies run their sessions as explicit state machines on a
+//! readiness-driven reactor (a fixed pool of O(cores) worker threads per
+//! proxy; see `reactor`): only the accept loop keeps a dedicated thread, so
+//! thread count stays flat as concurrent sessions grow. They are
+//! transport-agnostic: they run over the in-memory [`rddr_net::SimNet`] or
+//! real TCP unchanged.
 //!
 //! # Examples
 //!
@@ -68,6 +71,7 @@ pub mod deploy;
 mod incoming;
 mod outgoing;
 mod plumbing;
+mod reactor;
 
 pub use deploy::{n_version, n_version_with_telemetry, NVersionedService, Variant};
 pub use incoming::IncomingProxy;

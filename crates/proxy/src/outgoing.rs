@@ -2,18 +2,21 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use crossbeam::channel::unbounded;
-use rddr_core::{Direction, EngineConfig, NVersionEngine, PolicyDecision};
-use rddr_net::{BoxStream, Network, ServiceAddr, Stream};
+use rddr_core::{
+    DegradePolicy, Direction, EngineConfig, Frame, NVersionEngine, PolicyDecision, Protocol,
+    RddrError,
+};
+use rddr_net::{BoxStream, Network, ServiceAddr, Stream, TryRead};
 use rddr_telemetry::Histogram;
 
 use crate::plumbing::{
     below_survivor_floor, eject_instance, fault_instance, quarantine_instance, remove_instance,
-    spawn_reader, DegradedTelemetry, InstanceEvent, ProxyTelemetry, Roster,
+    DegradedTelemetry, ProxyTelemetry, Roster,
 };
+use crate::reactor::{default_workers, Ctx, Flow, ReactorPool, SessionTask, SLOT_PRIMARY};
 use crate::{ProtocolFactory, ProxyError, ProxyStats, Result, StatsSnapshot};
 
 /// Latency series the outgoing proxy maintains on top of the engine's
@@ -58,6 +61,9 @@ impl SessionTelemetry {
 /// downstream microservices — RDDR addresses this issue with an outgoing
 /// proxy to merge traffic streams" (§III-A).
 ///
+/// Sessions run as state machines on a shared [`ReactorPool`] of O(cores)
+/// worker threads — only the accept loop keeps a thread of its own.
+///
 /// **Grouping assumption**: the N instances' connections for one logical
 /// client flow arrive as a contiguous batch. This holds when the incoming
 /// proxy serializes exchanges per client session (instances dial the
@@ -71,6 +77,9 @@ pub struct OutgoingProxy {
     stop: Arc<AtomicBool>,
     unbind: Box<dyn Fn() + Send + Sync>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Dropped (tearing down any in-flight sessions) after the accept loop
+    /// has been joined.
+    pool: Option<Arc<ReactorPool>>,
 }
 
 impl std::fmt::Debug for OutgoingProxy {
@@ -101,7 +110,8 @@ impl OutgoingProxy {
 
     /// Like [`OutgoingProxy::start`], but every session's engine feeds the
     /// shared [`ProxyTelemetry`] bundle (metric names under
-    /// `{prefix}_out_*`, divergences to its audit log).
+    /// `{prefix}_out_*`, divergences to its audit log) and the reactor
+    /// exports its worker/session gauges under `{prefix}_out_reactor_*`.
     pub fn start_with_telemetry(
         net: Arc<dyn Network>,
         listen: &ServiceAddr,
@@ -116,11 +126,25 @@ impl OutgoingProxy {
         let stats = Arc::new(ProxyStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let n = config.instances();
+        let pool = {
+            let reactor_telemetry = telemetry
+                .as_ref()
+                .map(|t| (t.registry.as_ref(), format!("{}_out", t.prefix)));
+            Arc::new(
+                ReactorPool::new(
+                    "out",
+                    default_workers(),
+                    reactor_telemetry.as_ref().map(|(r, s)| (*r, s.as_str())),
+                )
+                .map_err(ProxyError::Spawn)?,
+            )
+        };
         let session_telemetry = telemetry.map(SessionTelemetry::new);
 
         let session_stats = Arc::clone(&stats);
         let session_stop = Arc::clone(&stop);
         let session_net = Arc::clone(&net);
+        let session_pool = Arc::clone(&pool);
         let accept_thread = std::thread::Builder::new()
             .name(format!("rddr-out-{listen}"))
             .spawn(move || {
@@ -137,19 +161,17 @@ impl OutgoingProxy {
                         members.push(conn);
                     }
                     session_stats.sessions.fetch_add(1, Ordering::Relaxed);
-                    let net = Arc::clone(&session_net);
-                    let backend = backend.clone();
-                    let config = config.clone();
-                    let protocol = Arc::clone(&protocol);
-                    let stats = Arc::clone(&session_stats);
-                    let telemetry = session_telemetry.clone();
-                    let spawned = std::thread::Builder::new()
-                        .name("rddr-out-session".into())
-                        .spawn(move || {
-                            run_session(members, net, backend, config, protocol, stats, telemetry)
-                        });
-                    if spawned.is_err() {
-                        // Thread exhaustion: the dropped closure closes the
+                    let task = OutSession::new(
+                        members,
+                        Arc::clone(&session_net),
+                        backend.clone(),
+                        config.clone(),
+                        &protocol,
+                        Arc::clone(&session_stats),
+                        session_telemetry.clone(),
+                    );
+                    if !session_pool.submit(Box::new(task)) {
+                        // Pool shutting down: the dropped task closes the
                         // member connections — a severed session, not a
                         // crashed accept loop.
                         session_stats.severed.fetch_add(1, Ordering::Relaxed);
@@ -173,6 +195,7 @@ impl OutgoingProxy {
                 }
             }),
             accept_thread: Some(accept_thread),
+            pool: Some(pool),
         })
     }
 
@@ -186,7 +209,13 @@ impl OutgoingProxy {
         self.stats.snapshot()
     }
 
+    /// Number of reactor workers serving this proxy's sessions.
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.worker_count())
+    }
+
     /// Stops accepting new sessions and unbinds the listen address.
+    /// In-flight sessions keep running until the proxy is dropped.
     pub fn stop(&mut self) {
         if !self.stop.swap(true, Ordering::Relaxed) {
             (self.unbind)();
@@ -200,310 +229,572 @@ impl OutgoingProxy {
 impl Drop for OutgoingProxy {
     fn drop(&mut self) {
         self.stop();
+        // Accept loop is down; dropping the pool tears down live sessions.
+        self.pool.take();
     }
 }
 
-fn run_session(
+/// Where an outgoing session currently is in its exchange cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutState {
+    /// Collecting one complete request from every live member.
+    MergeRequests,
+    /// Merged request forwarded; reading the backend's complete response.
+    BackendRead,
+}
+
+/// What one state-machine transition asks the step driver to do next.
+enum Advance {
+    /// Re-run the state machine immediately (state changed, or buffered
+    /// data may complete the next phase without a fresh wake).
+    Again,
+    /// Park until the next wake (readiness or timer).
+    Park,
+    /// Session over.
+    Finish,
+}
+
+/// One merge session of the outgoing proxy, driven by the reactor.
+///
+/// Mirrors the old per-session thread loop: `MergeRequests` is the
+/// `recv_timeout` merge loop over member requests, `BackendRead` is the
+/// blocking backend read loop — with waits replaced by poller parks and the
+/// per-member reader threads replaced by draining `try_read` on every wake.
+struct OutSession {
+    /// Member connections held between construction (accept thread) and
+    /// `init` (reactor worker), where they move into the roster.
     members: Vec<BoxStream>,
     net: Arc<dyn Network>,
-    backend: ServiceAddr,
-    config: EngineConfig,
-    protocol: ProtocolFactory,
+    backend_addr: ServiceAddr,
+    deadline: Duration,
+    degrade: DegradePolicy,
+    instance_deadline: Option<Duration>,
+    n: usize,
+    engine: NVersionEngine,
+    response_protocol: Box<dyn Protocol>,
+    roster: Roster,
     stats: Arc<ProxyStats>,
     telemetry: Option<SessionTelemetry>,
-) {
-    let deadline = config.response_deadline();
-    let degrade = config.degrade();
-    let instance_deadline = config.instance_deadline();
-    let n = config.instances();
-    // The outgoing proxy diffs the instances' *requests*.
-    let mut engine =
-        NVersionEngine::from_boxed(config, protocol()).diff_direction(Direction::Request);
-    if let Some(t) = &telemetry {
-        engine = engine.with_telemetry(
-            Arc::clone(&t.shared.registry),
-            &format!("{}_out", t.shared.prefix),
-            Some(Arc::clone(&t.shared.audit)),
+    degraded: Option<Arc<DegradedTelemetry>>,
+
+    backend: Option<BoxStream>,
+    backend_open: bool,
+    backend_buf: BytesMut,
+
+    state: OutState,
+
+    // Per-exchange merge state.
+    t0: Instant,
+    closed: Vec<bool>,
+    failed: Vec<bool>,
+    first_complete: Option<Instant>,
+    saw_data: bool,
+    /// Member data drained while reading the backend counts as this
+    /// exchange's traffic once the next merge begins (the thread model
+    /// queued it in the channel until then).
+    carry_saw_data: bool,
+
+    // Per-exchange backend-read state.
+    backend_start: Instant,
+    collected: Vec<Frame>,
+    response_buf: Vec<u8>,
+
+    // Member EOFs observed during a drain, awaiting processing at the
+    // thread-model-equivalent point (the merge loop).
+    pending_close: Vec<bool>,
+    closed_seen: Vec<bool>,
+}
+
+impl OutSession {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        members: Vec<BoxStream>,
+        net: Arc<dyn Network>,
+        backend_addr: ServiceAddr,
+        config: EngineConfig,
+        protocol: &ProtocolFactory,
+        stats: Arc<ProxyStats>,
+        telemetry: Option<SessionTelemetry>,
+    ) -> Self {
+        let deadline = config.response_deadline();
+        let degrade = config.degrade();
+        let instance_deadline = config.instance_deadline();
+        let n = config.instances();
+        // The outgoing proxy diffs the instances' *requests*.
+        let mut engine =
+            NVersionEngine::from_boxed(config, protocol()).diff_direction(Direction::Request);
+        if let Some(t) = &telemetry {
+            engine = engine.with_telemetry(
+                Arc::clone(&t.shared.registry),
+                &format!("{}_out", t.shared.prefix),
+                Some(Arc::clone(&t.shared.audit)),
+            );
+        }
+        let degraded = telemetry.as_ref().map(|t| Arc::clone(&t.degraded));
+        OutSession {
+            members,
+            net,
+            backend_addr,
+            deadline,
+            degrade,
+            instance_deadline,
+            n,
+            engine,
+            response_protocol: protocol(),
+            roster: Roster::new(n),
+            stats,
+            telemetry,
+            degraded,
+            backend: None,
+            backend_open: false,
+            backend_buf: BytesMut::new(),
+            state: OutState::MergeRequests,
+            t0: Instant::now(),
+            closed: vec![false; n],
+            failed: vec![false; n],
+            first_complete: None,
+            saw_data: false,
+            carry_saw_data: false,
+            backend_start: Instant::now(),
+            collected: Vec::new(),
+            response_buf: Vec::new(),
+            pending_close: vec![false; n],
+            closed_seen: vec![false; n],
+        }
+    }
+
+    /// Routes a member fault through the degrade policy, deregistering its
+    /// readiness token first when the stream will leave the roster.
+    fn fault(&mut self, i: usize, ctx: &Ctx<'_>) {
+        if self.degrade.ejects() {
+            ctx.deregister(i as u64);
+        }
+        fault_instance(
+            i,
+            self.degrade,
+            &mut self.engine,
+            &mut self.roster,
+            &mut self.failed,
+            &self.stats,
+            self.degraded.as_deref(),
         );
     }
-    let degraded = telemetry.as_ref().map(|t| Arc::clone(&t.degraded));
-    let response_protocol = protocol();
 
-    // Attach a reader to every member connection. Unlike the incoming proxy
-    // the members dialed *us*, so a member lost here cannot be re-dialed: no
-    // rejoin probes — a recovered replica reappears as a fresh session.
-    let mut roster = Roster::new(n);
-    let (events_tx, events_rx) = unbounded();
-    let mut aborted = false;
-    for (i, conn) in members.into_iter().enumerate() {
-        let spawned = conn
-            .try_clone()
-            .map_err(|_| ())
-            .and_then(|reader| {
-                spawn_reader(i, roster.epoch(i), reader, events_tx.clone(), "out").map_err(|_| ())
-            })
-            .is_ok();
-        if let Some(slot) = roster.writers.get_mut(i) {
-            *slot = Some(conn);
-        }
-        if !spawned {
-            if degrade.ejects() {
-                eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
-            } else {
-                aborted = true;
-            }
-        }
+    fn eject(&mut self, i: usize, ctx: &Ctx<'_>) {
+        ctx.deregister(i as u64);
+        eject_instance(
+            i,
+            &mut self.engine,
+            &mut self.roster,
+            &self.stats,
+            self.degraded.as_deref(),
+        );
     }
-    if !aborted && below_survivor_floor(engine.active_count(), degrade) {
-        aborted = true;
-    }
-    let mut backend_conn = if aborted {
-        None
-    } else {
-        net.dial(&backend).ok()
-    };
 
-    let mut backend_buf = BytesMut::new();
-    let mut chunk = [0u8; 16 * 1024];
-    // Per-exchange scratch, hoisted out of the session loop so a long-lived
-    // session stops allocating once its buffers reach steady-state size.
-    let mut closed = vec![false; n];
-    let mut failed = vec![false; n];
-    let mut response_buf: Vec<u8> = Vec::new();
-    let mut replicate_failed: Vec<usize> = Vec::new();
-    'session: while let Some(backend_conn) = backend_conn.as_mut() {
-        // Collect one complete request from every live member.
-        let t0 = Instant::now();
-        closed.iter_mut().for_each(|c| *c = false);
-        failed.iter_mut().for_each(|f| *f = false);
-        let mut first_complete: Option<Instant> = None;
-        let mut saw_data = false;
-        loop {
-            if engine.exchange_ready() || engine.active_count() == 0 {
-                break;
+    /// Clean departure: the member leaves the diff set without counting as
+    /// a fault (no eject counter).
+    fn remove(&mut self, i: usize, ctx: &Ctx<'_>) {
+        ctx.deregister(i as u64);
+        remove_instance(
+            i,
+            &mut self.engine,
+            &mut self.roster,
+            self.degraded.as_deref(),
+        );
+    }
+
+    fn quarantine(&mut self, i: usize, ctx: &Ctx<'_>) {
+        ctx.deregister(i as u64);
+        quarantine_instance(
+            i,
+            &mut self.engine,
+            &mut self.roster,
+            &self.stats,
+            self.degraded.as_deref(),
+        );
+    }
+
+    /// Resets per-exchange merge state (the top of the old `'session` loop).
+    fn begin_exchange(&mut self) {
+        self.t0 = Instant::now();
+        self.closed.iter_mut().for_each(|c| *c = false);
+        self.failed.iter_mut().for_each(|f| *f = false);
+        self.first_complete = None;
+        self.saw_data = self.carry_saw_data;
+        self.carry_saw_data = false;
+    }
+
+    /// Drains every *woken* stream to `WouldBlock`: member bytes into the
+    /// engine, backend bytes into the parse buffer. EOFs are recorded
+    /// (`pending_close`) and their tokens deregistered; member close
+    /// handling is deferred to the merge step. Streams that did not wake
+    /// are left alone — every arrival produces a slot wake.
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        for &slot in ctx.woken {
+            let i = slot as usize;
+            if i >= self.roster.writers.len() || self.closed_seen.get(i).copied().unwrap_or(false) {
+                continue;
             }
-            let mut wait = deadline.saturating_sub(t0.elapsed());
-            if wait.is_zero() {
-                break;
-            }
-            if let (Some(limit), Some(first)) = (instance_deadline, first_complete) {
-                let straggler = limit.saturating_sub(first.elapsed());
-                if straggler.is_zero() {
-                    // Straggler deadline: incomplete live members are faulted.
-                    for i in 0..n {
-                        if engine.is_active(i) && !engine.instance_complete(i) {
-                            fault_instance(
-                                i,
-                                degrade,
-                                &mut engine,
-                                &mut roster,
-                                &mut failed,
-                                &stats,
-                                degraded.as_deref(),
-                            );
-                        }
-                    }
-                    break;
-                }
-                wait = wait.min(straggler);
-            }
-            match events_rx.recv_timeout(wait) {
-                Ok(InstanceEvent::Data(i, epoch, data)) => {
-                    if !roster.current(i, epoch) {
-                        continue; // stale pre-ejection reader
-                    }
-                    saw_data = true;
-                    if engine.push_response(i, &data).is_err() {
-                        fault_instance(
-                            i,
-                            degrade,
-                            &mut engine,
-                            &mut roster,
-                            &mut failed,
-                            &stats,
-                            degraded.as_deref(),
-                        );
-                    } else if first_complete.is_none() && engine.instance_complete(i) {
-                        first_complete = Some(Instant::now());
-                    }
-                }
-                Ok(InstanceEvent::Closed(i, epoch)) => {
-                    if !roster.current(i, epoch) {
-                        continue;
-                    }
-                    if degrade.ejects() {
-                        // A member closing before any request data this
-                        // exchange is a clean departure, not a fault.
-                        if saw_data {
-                            eject_instance(
-                                i,
-                                &mut engine,
-                                &mut roster,
-                                &stats,
-                                degraded.as_deref(),
-                            );
+            loop {
+                let res = {
+                    let Some(conn) = self.roster.writers.get_mut(i).and_then(|s| s.as_mut()) else {
+                        break;
+                    };
+                    conn.try_read(ctx.scratch)
+                };
+                match res {
+                    Ok(TryRead::Data(n)) => {
+                        if self.state == OutState::MergeRequests {
+                            self.saw_data = true;
                         } else {
-                            remove_instance(i, &mut engine, &mut roster, degraded.as_deref());
+                            self.carry_saw_data = true;
                         }
-                        if engine.active_count() == 0 {
-                            break 'session; // all members gone: session over
+                        let pushed = match ctx.scratch.get(..n) {
+                            Some(read) => self.engine.push_response(i, read),
+                            None => Err(RddrError::Protocol("scratch underflow".into())),
+                        };
+                        if pushed.is_err() {
+                            self.fault(i, ctx);
+                            break;
                         }
-                    } else {
-                        if let Some(c) = closed.get_mut(i) {
+                        if self.state == OutState::MergeRequests
+                            && self.first_complete.is_none()
+                            && self.engine.instance_complete(i)
+                        {
+                            self.first_complete = Some(Instant::now());
+                        }
+                    }
+                    Ok(TryRead::WouldBlock) => break,
+                    Ok(TryRead::Eof) | Err(_) => {
+                        // Observed here, processed in the merge step — and
+                        // deregistered now so a closed fd can't spin the
+                        // poller.
+                        ctx.deregister(i as u64);
+                        if let Some(p) = self.pending_close.get_mut(i) {
+                            *p = true;
+                        }
+                        if let Some(c) = self.closed_seen.get_mut(i) {
                             *c = true;
                         }
-                        if closed.iter().all(|&c| c) {
-                            break 'session; // all instances done: clean end
-                        }
-                        fault_instance(
-                            i,
-                            degrade,
-                            &mut engine,
-                            &mut roster,
-                            &mut failed,
-                            &stats,
-                            degraded.as_deref(),
-                        );
+                        break;
                     }
                 }
-                Err(_) => continue, // timeout: re-checked at loop top
             }
         }
-        if let Some(t) = &telemetry {
-            t.merge_us.record_duration(t0.elapsed());
-        }
-        // Members still incomplete at the overall deadline are faulted too.
-        if degrade.ejects() && !engine.exchange_ready() {
-            for i in 0..n {
-                if engine.is_active(i) && !engine.instance_complete(i) {
-                    eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+        if self.backend_open && ctx.woken.contains(&SLOT_PRIMARY) {
+            loop {
+                let res = {
+                    let Some(conn) = self.backend.as_mut() else {
+                        break;
+                    };
+                    conn.try_read(ctx.scratch)
+                };
+                match res {
+                    Ok(TryRead::Data(n)) => {
+                        if let Some(read) = ctx.scratch.get(..n) {
+                            self.backend_buf.extend_from_slice(read);
+                        }
+                    }
+                    Ok(TryRead::WouldBlock) => break,
+                    Ok(TryRead::Eof) | Err(_) => {
+                        self.backend_open = false;
+                        ctx.deregister(SLOT_PRIMARY);
+                        break;
+                    }
                 }
             }
         }
-        if engine.active_count() == 0 {
-            break 'session; // nothing left to merge for
+    }
+
+    /// `MergeRequests`: the wait-loop plus completion of one merge exchange.
+    fn merge_requests(&mut self, ctx: &mut Ctx<'_>) -> Advance {
+        // Deferred member closes: processed exactly where the thread model
+        // consumed its `Closed` events, with the clean-departure logic.
+        for i in 0..self.pending_close.len() {
+            if !self.pending_close.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some(p) = self.pending_close.get_mut(i) {
+                *p = false;
+            }
+            if !self.engine.is_active(i) {
+                continue;
+            }
+            if self.degrade.ejects() {
+                // A member closing before any request data this exchange is
+                // a clean departure, not a fault.
+                if self.saw_data {
+                    self.eject(i, ctx);
+                } else {
+                    self.remove(i, ctx);
+                }
+                if self.engine.active_count() == 0 {
+                    return Advance::Finish; // all members gone: session over
+                }
+            } else {
+                if let Some(c) = self.closed.get_mut(i) {
+                    *c = true;
+                }
+                if self.closed.iter().all(|&c| c) {
+                    return Advance::Finish; // all instances done: clean end
+                }
+                self.fault(i, ctx);
+            }
+        }
+
+        // A member whose request was already fully buffered (drained during
+        // the previous backend read) starts the straggler clock now — the
+        // thread model set it when it consumed the queued event.
+        if self.first_complete.is_none()
+            && (0..self.n).any(|i| self.engine.is_active(i) && self.engine.instance_complete(i))
+        {
+            self.first_complete = Some(Instant::now());
+        }
+
+        // Wait-loop equivalent: park (with a deadline timer) while the
+        // exchange is incomplete and time remains.
+        if !(self.engine.exchange_ready() || self.engine.active_count() == 0) {
+            let mut wait = self.deadline.saturating_sub(self.t0.elapsed());
+            if !wait.is_zero() {
+                let mut straggler_fired = false;
+                if let (Some(limit), Some(first)) = (self.instance_deadline, self.first_complete) {
+                    let straggler = limit.saturating_sub(first.elapsed());
+                    if straggler.is_zero() {
+                        // Straggler deadline: incomplete live members are
+                        // faulted.
+                        for i in 0..self.n {
+                            if self.engine.is_active(i) && !self.engine.instance_complete(i) {
+                                self.fault(i, ctx);
+                            }
+                        }
+                        straggler_fired = true;
+                    } else {
+                        wait = wait.min(straggler);
+                    }
+                }
+                if !straggler_fired {
+                    ctx.set_timer(wait);
+                    return Advance::Park;
+                }
+            }
+            // Overall deadline passed (or stragglers faulted): fall through
+            // to completion with whatever arrived.
+        }
+
+        // Completion (the code after the old wait loop).
+        ctx.clear_timer();
+        if let Some(t) = &self.telemetry {
+            t.merge_us.record_duration(self.t0.elapsed());
+        }
+        // Members still incomplete at the overall deadline are faulted too.
+        if self.degrade.ejects() && !self.engine.exchange_ready() {
+            for i in 0..self.n {
+                if self.engine.is_active(i) && !self.engine.instance_complete(i) {
+                    self.eject(i, ctx);
+                }
+            }
+        }
+        if self.engine.active_count() == 0 {
+            return Advance::Finish; // nothing left to merge for
         }
         // Survivor floor: merging needs at least two live members.
-        if below_survivor_floor(engine.active_count(), degrade) {
-            stats.severed.fetch_add(1, Ordering::Relaxed);
-            break 'session;
+        if below_survivor_floor(self.engine.active_count(), self.degrade) {
+            self.stats.severed.fetch_add(1, Ordering::Relaxed);
+            return Advance::Finish;
         }
-        if engine.active_count() == 1 {
+        if self.engine.active_count() == 1 {
             // Lone-survivor pass-through: its request is forwarded unmerged.
-            stats.pass_through.fetch_add(1, Ordering::Relaxed);
-            if let Some(t) = degraded.as_deref() {
+            self.stats.pass_through.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.degraded.as_deref() {
                 t.pass_through.inc();
             }
         }
 
         // Verify consistency of the merged request.
-        let outcome = match engine.finish_exchange() {
+        let outcome = match self.engine.finish_exchange() {
             Ok(outcome) => outcome,
-            Err(_) => break 'session, // nothing buffered (e.g. idle EOF race)
+            Err(_) => return Advance::Finish, // nothing buffered (idle EOF race)
         };
-        stats.exchanges.fetch_add(1, Ordering::Relaxed);
+        self.stats.exchanges.fetch_add(1, Ordering::Relaxed);
         if outcome.report.diverged() {
-            stats.divergences.fetch_add(1, Ordering::Relaxed);
+            self.stats.divergences.fetch_add(1, Ordering::Relaxed);
         }
         // Quorum voting: members outvoted by the winning group are
         // quarantined for the rest of the session.
         for &i in &outcome.quarantined {
-            quarantine_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+            self.quarantine(i, ctx);
         }
         let merged = match (&outcome.decision, outcome.forward) {
             (PolicyDecision::Forward { .. }, Some(bytes)) => bytes,
             _ => {
-                stats.severed.fetch_add(1, Ordering::Relaxed);
-                break 'session;
+                self.stats.severed.fetch_add(1, Ordering::Relaxed);
+                return Advance::Finish;
             }
         };
 
         // Forward the single merged request to the real backend.
-        let backend_start = Instant::now();
-        if backend_conn.write_all(&merged).is_err() {
-            break 'session;
+        self.backend_start = Instant::now();
+        let written = match self.backend.as_mut() {
+            Some(conn) => conn.write_all(&merged).is_ok(),
+            None => false,
+        };
+        if !written {
+            return Advance::Finish;
+        }
+        self.response_buf.clear();
+        self.collected.clear();
+        self.state = OutState::BackendRead;
+        // Backend bytes may already be buffered from the drain.
+        Advance::Again
+    }
+
+    /// `BackendRead`: parse one complete backend response out of the drain
+    /// buffer, then replicate it to the live members. A backend EOF or split
+    /// error mid-exchange still replicates the partial frames collected so
+    /// far (matching the old blocking read loop); before any frame it ends
+    /// the session.
+    fn backend_read(&mut self, ctx: &mut Ctx<'_>) -> Advance {
+        if self.collected.is_empty() {
+            match self
+                .response_protocol
+                .split_frames(&mut self.backend_buf, Direction::Response)
+            {
+                Ok(frames) if !frames.is_empty() => self.collected = frames,
+                Ok(_) => {
+                    if !self.backend_open {
+                        return Advance::Finish;
+                    }
+                    return Advance::Park;
+                }
+                Err(_) => return Advance::Finish,
+            }
+        }
+        // Keep collecting until the response exchange completes (e.g.
+        // PostgreSQL: through ReadyForQuery).
+        while !self
+            .response_protocol
+            .exchange_complete(&self.collected, Direction::Response)
+        {
+            match self
+                .response_protocol
+                .split_frames(&mut self.backend_buf, Direction::Response)
+            {
+                Ok(more) if !more.is_empty() => self.collected.extend(more),
+                Ok(_) => {
+                    if self.backend_open {
+                        return Advance::Park;
+                    }
+                    break; // EOF mid-exchange: replicate the partial frames
+                }
+                Err(_) => break, // parse error mid-exchange: same
+            }
+        }
+        for f in &self.collected {
+            self.response_buf.extend_from_slice(&f.bytes);
+        }
+        self.collected.clear();
+        if let Some(t) = &self.telemetry {
+            t.backend_us.record_duration(self.backend_start.elapsed());
         }
 
-        // Read one complete backend response (into the reused scratch
-        // buffer) and replicate it to the live members.
-        response_buf.clear();
-        let complete = loop {
-            match response_protocol.split_frames(&mut backend_buf, Direction::Response) {
-                Ok(frames) if !frames.is_empty() => {
-                    let mut collected = frames;
-                    // Keep reading until the response exchange completes
-                    // (e.g. PostgreSQL: through ReadyForQuery).
-                    while !response_protocol.exchange_complete(&collected, Direction::Response) {
-                        match backend_conn.read(&mut chunk) {
-                            Ok(0) | Err(_) => break,
-                            Ok(n) => {
-                                let Some(read) = chunk.get(..n) else {
-                                    break;
-                                };
-                                backend_buf.extend_from_slice(read);
-                                if let Ok(more) = response_protocol
-                                    .split_frames(&mut backend_buf, Direction::Response)
-                                {
-                                    collected.extend(more);
-                                } else {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    for f in &collected {
-                        response_buf.extend_from_slice(&f.bytes);
-                    }
-                    break true;
-                }
-                Ok(_) => {}
-                Err(_) => break false,
-            }
-            match backend_conn.read(&mut chunk) {
-                Ok(0) | Err(_) => break false,
-                Ok(n) => {
-                    let Some(read) = chunk.get(..n) else {
-                        break false;
-                    };
-                    backend_buf.extend_from_slice(read);
-                }
-            }
-        };
-        if !complete {
-            break 'session;
-        }
-        if let Some(t) = &telemetry {
-            t.backend_us.record_duration(backend_start.elapsed());
-        }
-        replicate_failed.clear();
-        for (i, slot) in roster.writers.iter_mut().enumerate() {
+        // Replicate the backend's response to every live member.
+        let mut replicate_failed: Vec<usize> = Vec::new();
+        for (i, slot) in self.roster.writers.iter_mut().enumerate() {
             let Some(w) = slot else {
                 continue;
             };
-            if w.write_all(&response_buf).is_err() {
+            if w.write_all(&self.response_buf).is_err() {
                 replicate_failed.push(i);
             }
         }
-        for &i in &replicate_failed {
-            if !degrade.ejects() {
-                break 'session;
+        for i in replicate_failed {
+            if !self.degrade.ejects() {
+                return Advance::Finish;
             }
-            eject_instance(i, &mut engine, &mut roster, &stats, degraded.as_deref());
+            self.eject(i, ctx);
         }
-        if engine.active_count() == 0 {
-            break 'session;
+        if self.engine.active_count() == 0 {
+            return Advance::Finish;
+        }
+        self.begin_exchange();
+        self.state = OutState::MergeRequests;
+        Advance::Again
+    }
+}
+
+impl SessionTask for OutSession {
+    fn init(&mut self, ctx: &mut Ctx<'_>) -> Flow {
+        // Adopt the member connections accepted for this session. A member
+        // that cannot register for readiness is treated like the old
+        // reader-spawn failure: ejected under an eject policy, fatal under
+        // sever.
+        for (i, conn) in std::mem::take(&mut self.members).into_iter().enumerate() {
+            if let Some(slot) = self.roster.writers.get_mut(i) {
+                *slot = Some(conn);
+            }
+        }
+        for i in 0..self.n {
+            let registered = match self.roster.writers.get_mut(i).and_then(|s| s.as_mut()) {
+                Some(conn) => ctx.register(conn, i as u64),
+                None => true,
+            };
+            if !registered {
+                if self.degrade.ejects() {
+                    self.eject(i, ctx);
+                } else {
+                    return Flow::Done;
+                }
+            }
+        }
+        if below_survivor_floor(self.engine.active_count(), self.degrade) {
+            return Flow::Done;
+        }
+        let Ok(mut backend) = self.net.dial(&self.backend_addr) else {
+            return Flow::Done;
+        };
+        if !ctx.register(&mut backend, SLOT_PRIMARY) {
+            return Flow::Done;
+        }
+        self.backend = Some(backend);
+        self.backend_open = true;
+        self.begin_exchange();
+        Flow::Continue
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Flow {
+        self.drain(ctx);
+        loop {
+            let advance = match self.state {
+                OutState::MergeRequests => self.merge_requests(ctx),
+                OutState::BackendRead => self.backend_read(ctx),
+            };
+            match advance {
+                Advance::Again => continue,
+                Advance::Park => return Flow::Continue,
+                Advance::Finish => return Flow::Done,
+            }
         }
     }
-    if let Some(mut conn) = backend_conn {
-        conn.shutdown();
+
+    fn teardown(&mut self) {
+        if let Some(conn) = self.backend.as_mut() {
+            conn.shutdown();
+        }
+        self.roster.shutdown_all();
+        // The gauge tracks currently-ejected members; a session that ends
+        // while degraded returns its contribution.
+        if let Some(t) = self.degraded.as_deref() {
+            let depth = self.n.saturating_sub(self.engine.active_count());
+            if depth > 0 {
+                t.degraded_depth.add(-(depth as i64));
+            }
+        }
     }
-    roster.shutdown_all();
-    // The gauge tracks currently-ejected members; a session that ends while
-    // degraded returns its contribution.
-    if let Some(t) = degraded.as_deref() {
-        let depth = n.saturating_sub(engine.active_count());
-        if depth > 0 {
-            t.degraded_depth.add(-(depth as i64));
+
+    fn state_ordinal(&self) -> u64 {
+        match self.state {
+            OutState::MergeRequests => 0,
+            OutState::BackendRead => 1,
         }
     }
 }

@@ -1,10 +1,7 @@
 use std::fmt;
-use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::Sender;
-use parking_lot::Mutex;
 use rddr_core::{DegradePolicy, NVersionEngine, Protocol, SurvivorPolicy};
 use rddr_net::{BoxStream, NetError, Stream};
 use rddr_telemetry::{AuditLog, Counter, Gauge, Registry};
@@ -211,32 +208,17 @@ impl DegradedTelemetry {
 /// Per-session connection state for the N instance streams.
 ///
 /// A `None` writer slot means the instance is currently ejected from the
-/// session. `epochs[i]` counts connection generations for instance `i`: it
-/// is bumped on every ejection so events still draining from the previous
-/// connection's reader thread can be discarded by epoch mismatch.
+/// session.
 pub(crate) struct Roster {
     pub(crate) writers: Vec<Option<BoxStream>>,
-    pub(crate) epochs: Vec<u64>,
 }
 
 impl Roster {
-    /// An empty roster with `n` unfilled slots (epoch 0 each).
+    /// An empty roster with `n` unfilled slots.
     pub(crate) fn new(n: usize) -> Self {
         Roster {
             writers: (0..n).map(|_| None).collect(),
-            epochs: vec![0; n],
         }
-    }
-
-    /// Whether an event stamped `epoch` comes from instance `i`'s *current*
-    /// connection generation.
-    pub(crate) fn current(&self, i: usize, epoch: u64) -> bool {
-        self.epochs.get(i).copied() == Some(epoch)
-    }
-
-    /// The epoch a freshly spawned reader for instance `i` should stamp.
-    pub(crate) fn epoch(&self, i: usize) -> u64 {
-        self.epochs.get(i).copied().unwrap_or(0)
     }
 
     /// Closes every remaining connection (session teardown).
@@ -247,9 +229,8 @@ impl Roster {
     }
 }
 
-/// Removes instance `i` from the session: the engine stops waiting for it,
-/// its connection is shut down, and its epoch is bumped so stale reader
-/// events are discarded from now on. Returns `false` if it was already out.
+/// Removes instance `i` from the session: the engine stops waiting for it
+/// and its connection is shut down. Returns `false` if it was already out.
 ///
 /// Callers pick the counter (eject vs quarantine) via the wrappers below;
 /// this records only the shared degraded-depth transition.
@@ -268,9 +249,6 @@ pub(crate) fn remove_instance(
             conn.shutdown();
         }
         *slot = None;
-    }
-    if let Some(e) = roster.epochs.get_mut(i) {
-        *e += 1;
     }
     if let Some(t) = degraded {
         t.degraded_depth.add(1);
@@ -346,138 +324,9 @@ pub(crate) fn below_survivor_floor(active: usize, degrade: DegradePolicy) -> boo
     }
 }
 
-/// Reader chunk size: one socket read's worth of bytes.
-const CHUNK_SIZE: usize = 16 * 1024;
-
-/// Buffers a reader's pool retains for reuse. Beyond this the session loop
-/// is holding chunks longer than the reader produces them; extra buffers
-/// are simply freed rather than stockpiled.
-const POOL_CAP: usize = 8;
-
-/// A per-reader free list of reusable read buffers. In steady state each
-/// [`InstanceEvent::Data`] borrows a recycled buffer instead of allocating
-/// a fresh `Vec` per socket read; the buffer returns to the pool when the
-/// session loop drops the [`Chunk`].
-pub(crate) struct ChunkPool {
-    free: Mutex<Vec<Vec<u8>>>,
-}
-
-impl ChunkPool {
-    pub(crate) fn new() -> Self {
-        ChunkPool {
-            free: Mutex::new(Vec::new()),
-        }
-    }
-
-    /// A buffer of length [`CHUNK_SIZE`], recycled when available.
-    pub(crate) fn acquire(&self) -> Vec<u8> {
-        let mut buf = self.free.lock().pop().unwrap_or_default();
-        buf.resize(CHUNK_SIZE, 0);
-        buf
-    }
-}
-
-/// One socket read's bytes, backed by a pooled buffer. Dereferences to the
-/// `len` bytes actually read; dropping it returns the buffer to its pool.
-pub(crate) struct Chunk {
-    data: Vec<u8>,
-    len: usize,
-    pool: Arc<ChunkPool>,
-}
-
-impl Chunk {
-    pub(crate) fn new(data: Vec<u8>, len: usize, pool: Arc<ChunkPool>) -> Self {
-        Chunk { data, len, pool }
-    }
-}
-
-impl Deref for Chunk {
-    type Target = [u8];
-
-    fn deref(&self) -> &[u8] {
-        self.data.get(..self.len).unwrap_or(&[])
-    }
-}
-
-impl Drop for Chunk {
-    fn drop(&mut self) {
-        let mut free = self.pool.free.lock();
-        if free.len() < POOL_CAP {
-            free.push(std::mem::take(&mut self.data));
-        }
-    }
-}
-
-impl fmt::Debug for Chunk {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Chunk").field("len", &self.len).finish()
-    }
-}
-
-/// An event from one instance-connection reader thread. The epoch stamps
-/// which connection generation produced the event: after an instance is
-/// ejected and rejoined, its old reader thread may still drain a few stale
-/// events, which the session loop discards by epoch mismatch.
-#[derive(Debug)]
-pub(crate) enum InstanceEvent {
-    /// Bytes arrived from the instance.
-    Data(usize, u64, Chunk),
-    /// The instance closed its connection (or errored).
-    Closed(usize, u64),
-}
-
-/// Spawns a reader thread pumping `conn` into `events`.
-///
-/// The thread exits on EOF, error, or when the receiver is dropped.
-///
-/// # Errors
-///
-/// Returns the OS error when the thread cannot be spawned (resource
-/// exhaustion); the caller severs the session instead of panicking.
-pub(crate) fn spawn_reader(
-    index: usize,
-    epoch: u64,
-    mut conn: BoxStream,
-    events: Sender<InstanceEvent>,
-    label: &str,
-) -> std::io::Result<()> {
-    let name = format!("rddr-reader-{label}-{index}");
-    std::thread::Builder::new()
-        .name(name)
-        .spawn(move || {
-            let pool = Arc::new(ChunkPool::new());
-            loop {
-                // Read straight into a pooled buffer; the session loop drops
-                // the Chunk after push_response and the buffer comes back.
-                let mut buf = pool.acquire();
-                match conn.read(&mut buf) {
-                    Ok(0) | Err(_) => {
-                        // Send failure means the session already tore down the
-                        // receiver; the pump exits either way.
-                        // rddr-analyze: allow(error-swallow)
-                        let _ = events.send(InstanceEvent::Closed(index, epoch));
-                        return;
-                    }
-                    Ok(n) => {
-                        let chunk = Chunk::new(buf, n.min(CHUNK_SIZE), Arc::clone(&pool));
-                        if events
-                            .send(InstanceEvent::Data(index, epoch, chunk))
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                }
-            }
-        })
-        .map(|_handle| ())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
-    use rddr_net::duplex_pair;
 
     #[test]
     fn stats_snapshot_reads_counters() {
@@ -488,36 +337,6 @@ mod tests {
         assert_eq!(snap.sessions, 2);
         assert_eq!(snap.divergences, 1);
         assert_eq!(snap.exchanges, 0);
-    }
-
-    #[test]
-    fn chunk_pool_recycles_buffers() {
-        let pool = Arc::new(ChunkPool::new());
-        let buf = pool.acquire();
-        assert_eq!(buf.len(), CHUNK_SIZE);
-        let ptr = buf.as_ptr();
-        let chunk = Chunk::new(buf, 3, Arc::clone(&pool));
-        assert_eq!(chunk.len(), 3, "chunk derefs to the bytes actually read");
-        drop(chunk);
-        let again = pool.acquire();
-        assert_eq!(again.as_ptr(), ptr, "dropped chunk's buffer is reused");
-    }
-
-    #[test]
-    fn reader_pumps_data_then_close() {
-        let (mut tx_side, rx_side) = duplex_pair("writer", "reader");
-        let (events_tx, events_rx) = unbounded();
-        spawn_reader(3, 7, Box::new(rx_side), events_tx, "test").unwrap();
-        tx_side.write_all(b"abc").unwrap();
-        match events_rx.recv().unwrap() {
-            InstanceEvent::Data(3, 7, data) => assert_eq!(&data[..], b"abc"),
-            other => panic!("unexpected event: {other:?}"),
-        }
-        tx_side.shutdown();
-        assert!(matches!(
-            events_rx.recv().unwrap(),
-            InstanceEvent::Closed(3, 7)
-        ));
     }
 
     #[test]

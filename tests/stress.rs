@@ -100,6 +100,74 @@ fn concurrent_sessions_are_isolated_and_lossless() {
     assert_eq!(stats.severed, 0);
 }
 
+/// Counts live threads whose name starts with `rddr-` — the proxy's own
+/// threads (accept loops, reactor workers). The test harness's unnamed
+/// helper threads (echo handlers, client drivers) don't match.
+#[cfg(target_os = "linux")]
+fn rddr_threads() -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .filter_map(|t| std::fs::read_to_string(t.ok()?.path().join("comm")).ok())
+        .filter(|comm| comm.starts_with("rddr-"))
+        .count()
+}
+
+/// The reactor's core claim, asserted as a regression test: session count
+/// must not move proxy thread count. Before the reactor every session cost
+/// one thread per direction plus a reader per instance; any reappearance of
+/// per-session threads shows up here as growth while clients are in flight.
+#[cfg(target_os = "linux")]
+#[test]
+fn proxy_thread_count_stays_flat_under_concurrent_sessions() {
+    let net = SimNet::new();
+    for port in [9200u16, 9201, 9202] {
+        spawn_echo(&net, ServiceAddr::new("fsvc", port));
+    }
+    let proxy = IncomingProxy::start(
+        Arc::new(net.clone()),
+        &ServiceAddr::new("rddr-flat", 80),
+        (9200..9203).map(|p| ServiceAddr::new("fsvc", p)).collect(),
+        EngineConfig::builder(3)
+            .response_deadline(Duration::from_secs(10))
+            .build()
+            .unwrap(),
+        line(),
+    )
+    .unwrap();
+    // The proxy's fixed thread budget: its reactor workers plus the accept
+    // loop. (A freshly spawned thread only names itself once scheduled, so a
+    // pre-session `rddr_threads()` baseline would race on a loaded box.)
+    let budget = proxy.workers() + 1;
+
+    let peak = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let net = net.clone();
+            let peak = Arc::clone(&peak);
+            scope.spawn(move || {
+                let mut conn = net.dial(&ServiceAddr::new("rddr-flat", 80)).unwrap();
+                for i in 0..EXCHANGES {
+                    let msg = format!("flat-{client_id}-{i}\n");
+                    conn.write_all(msg.as_bytes()).unwrap();
+                    assert_eq!(read_line(&mut conn).unwrap(), msg.trim_end().as_bytes());
+                    peak.fetch_max(rddr_threads(), std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let peak = peak.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(peak > 0, "proxy threads must be named rddr-*");
+    assert!(
+        peak <= budget,
+        "proxy threads grew with sessions: budget {budget} (workers + accept), saw {peak} \
+         with {CLIENTS} live clients — per-session threads are back"
+    );
+    drop(proxy);
+}
+
 /// Echo that mangles any line containing `evil` — a deterministic
 /// divergence trigger for one instance of a voting trio.
 fn spawn_mangling_echo(net: &SimNet, addr: ServiceAddr) {

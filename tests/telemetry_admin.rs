@@ -75,6 +75,19 @@ fn assert_observability(net: &dyn Network, addr: &ServiceAddr, prefix: &str, poi
         );
     }
 
+    // Reactor observability rides the same registry: worker/session gauges
+    // and the per-step session-state histogram must be live on /metrics.
+    for gauge in ["reactor_workers", "reactor_sessions", "reactor_ready_depth"] {
+        assert!(
+            metrics.contains(&format!("{prefix}_in_{gauge} ")),
+            "reactor gauge {gauge} missing:\n{metrics}"
+        );
+    }
+    assert!(
+        metrics.contains(&format!("{prefix}_in_reactor_session_state_count")),
+        "reactor session-state histogram missing:\n{metrics}"
+    );
+
     let divergences = admin_get(net, addr, "/divergences");
     let doc = parse_json(body(&divergences)).expect("audit JSON parses");
     let entry = doc
